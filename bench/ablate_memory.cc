@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Ablation: memory-system sensitivity (the paper's Section VI
+ * "cache hierarchy" discussion). Sweeps the shared L1 capacity and
+ * the outstanding-miss (MSHR) budget on a cache-pressure kernel and
+ * reports cycles + hit rate: the accelerator's performance hinges on
+ * the memory system exactly as the paper's future-work laments.
+ */
+
+#include "bench/common.hh"
+
+using namespace tapas;
+using namespace tapas::bench;
+
+int
+main()
+{
+    banner("Ablation", "shared-cache capacity and MSHR "
+                       "sensitivity");
+
+    std::cout << "L1 capacity sweep (4 MSHRs, mergesort n=2048 -- "
+                 "16K working set per array):\n";
+    TextTable t1;
+    t1.header({"cache", "cycles", "hit rate", "slowdown vs 64K"});
+    uint64_t base = 0;
+    for (unsigned kb : {64u, 16u, 4u, 1u}) {
+        auto w = workloads::makeMergeSort(2048, 32);
+        arch::AcceleratorParams p = w.params;
+        p.setAllTiles(2);
+        p.mem.cacheBytes = kb * 1024;
+        auto design = hls::compile(*w.module, w.top, p);
+        ir::MemImage mem(64 << 20);
+        auto args = w.setup(mem);
+        sim::AcceleratorSim accel(*design, mem);
+        accel.run(args);
+        std::string err = w.verify(mem, ir::RtValue());
+        tapas_assert(err.empty(), "verify failed: %s", err.c_str());
+        if (kb == 64)
+            base = accel.cycles();
+        t1.row({strfmt("%uK", kb), std::to_string(accel.cycles()),
+                strfmt("%.1f%%",
+                       accel.cacheModel().hitRate() * 100.0),
+                strfmt("%.2fx",
+                       static_cast<double>(accel.cycles()) / base)});
+    }
+    t1.print(std::cout);
+
+    std::cout << "\nMSHR sweep (16K cache):\n";
+    TextTable t2;
+    t2.header({"MSHRs", "cycles", "mshr rejects",
+               "speedup vs 1"});
+    uint64_t one = 0;
+    for (unsigned mshrs : {1u, 2u, 4u, 8u, 16u}) {
+        auto w = workloads::makeSaxpy(8192);
+        arch::AcceleratorParams p = w.params;
+        p.setAllTiles(4);
+        p.mem.mshrs = mshrs;
+        auto design = hls::compile(*w.module, w.top, p);
+        ir::MemImage mem(64 << 20);
+        auto args = w.setup(mem);
+        sim::AcceleratorSim accel(*design, mem);
+        accel.run(args);
+        std::string err = w.verify(mem, ir::RtValue());
+        tapas_assert(err.empty(), "verify failed: %s", err.c_str());
+        if (mshrs == 1)
+            one = accel.cycles();
+        t2.row({std::to_string(mshrs),
+                std::to_string(accel.cycles()),
+                std::to_string(
+                    accel.cacheModel().mshrRejects.value()),
+                strfmt("%.2fx",
+                       static_cast<double>(one) / accel.cycles())});
+    }
+    t2.print(std::cout);
+
+    std::cout << "\nCache vs scratchpad (stencil 32x32, 4 tiles -- "
+                 "the Fig. 8 data box\nsupports both; the paper "
+                 "evaluates only the cache):\n";
+    TextTable t3;
+    t3.header({"backend", "cycles", "speedup"});
+    uint64_t cache_cycles = 0;
+    for (bool scratch : {false, true}) {
+        auto w = workloads::makeStencil(32, 32, 2);
+        arch::AcceleratorParams p = w.params;
+        p.setAllTiles(4);
+        p.mem.useScratchpad = scratch;
+        auto design = hls::compile(*w.module, w.top, p);
+        ir::MemImage mem(64 << 20);
+        auto args = w.setup(mem);
+        sim::AcceleratorSim accel(*design, mem);
+        accel.run(args);
+        std::string err = w.verify(mem, ir::RtValue());
+        tapas_assert(err.empty(), "verify failed: %s", err.c_str());
+        if (!scratch)
+            cache_cycles = accel.cycles();
+        t3.row({scratch ? "scratchpad" : "cache",
+                std::to_string(accel.cycles()),
+                strfmt("%.2fx", static_cast<double>(cache_cycles) /
+                                    accel.cycles())});
+    }
+    t3.print(std::cout);
+
+    std::cout << "\nThe paper ships a blocking RISC-V cache with "
+                 "\"limited support for\nmultiple outstanding "
+                 "misses\" and names the cache hierarchy the main\n"
+                 "obstacle to beating the multicore; the sweeps "
+                 "quantify both effects.\n";
+    return 0;
+}

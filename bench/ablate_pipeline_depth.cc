@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ablation: TXU pipeline depth — how many task instances one tile
+ * may overlap (paper Fig. 7's in-flight tasks; a Stage-3 parameter).
+ * Deeper pipelines hide memory latency and fill the dataflow; the
+ * sweep shows dedup's streaming stages need depth, while a tiny-body
+ * microbenchmark saturates immediately.
+ */
+
+#include "bench/common.hh"
+
+using namespace tapas;
+using namespace tapas::bench;
+
+namespace {
+
+uint64_t
+runDepth(workloads::Workload &w, unsigned tiles, unsigned depth)
+{
+    arch::AcceleratorParams p = w.params;
+    p.setAllTiles(tiles);
+    p.defaults.tilePipelineDepth = depth;
+    for (auto &[sid, tp] : p.perTask)
+        tp.tilePipelineDepth = depth;
+    auto design = hls::compile(*w.module, w.top, p);
+    ir::MemImage mem(128 << 20);
+    auto args = w.setup(mem);
+    sim::AcceleratorSim accel(*design, mem);
+    accel.run(args);
+    std::string err = w.verify(mem, ir::RtValue());
+    tapas_assert(err.empty(), "verify failed: %s", err.c_str());
+    return accel.cycles();
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation", "TXU pipeline depth (in-flight task "
+                       "instances per tile)");
+
+    TextTable t;
+    t.header({"depth", "dedup cycles", "dedup speedup",
+              "spawn_scale cycles", "spawn_scale speedup"});
+
+    uint64_t dedup1 = 0;
+    uint64_t scale1 = 0;
+    for (unsigned depth : {1u, 2u, 4u, 8u, 16u, 48u}) {
+        auto wd = workloads::makeDedup(48, 256);
+        uint64_t d = runDepth(wd, 2, depth);
+        auto ws = workloads::makeSpawnScale(2048, 10);
+        uint64_t s = runDepth(ws, 2, depth);
+        if (depth == 1) {
+            dedup1 = d;
+            scale1 = s;
+        }
+        t.row({std::to_string(depth), std::to_string(d),
+               strfmt("%.2fx", static_cast<double>(dedup1) / d),
+               std::to_string(s),
+               strfmt("%.2fx", static_cast<double>(scale1) / s)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nStreaming stages with long per-instance loops "
+                 "(dedup) keep gaining from\ndeeper pipelines; tiny "
+                 "task bodies saturate after a couple of in-flight\n"
+                 "instances because the spawner is the bottleneck "
+                 "(Fig. 13's regime).\n";
+    return 0;
+}

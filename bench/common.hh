@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses in bench/: run a
+ * workload on the simulated accelerator and on the modelled CPU,
+ * combine with the FPGA resource/timing/power models, and print
+ * paper-style tables.
+ *
+ * Each bench binary regenerates one table or figure from the paper's
+ * evaluation (Section V); see DESIGN.md for the index and
+ * EXPERIMENTS.md for paper-vs-measured values.
+ */
+
+#ifndef TAPAS_BENCH_COMMON_HH
+#define TAPAS_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+
+#include "cpu/multicore.hh"
+#include "fpga/model.hh"
+#include "sim/accel.hh"
+#include "support/table.hh"
+#include "workloads/workload.hh"
+
+namespace tapas::bench {
+
+/** One accelerator measurement. */
+struct AccelRun
+{
+    uint64_t cycles = 0;
+    uint64_t spawns = 0;
+    double seconds = 0; ///< at the device's modelled fmax
+    fpga::ResourceReport report;
+    double cacheHitRate = 0;
+};
+
+/**
+ * Compile and simulate `w` with `ntiles` tiles per task unit on
+ * `dev`; fatal()s if the output fails verification.
+ */
+inline AccelRun
+runAccel(workloads::Workload &w, unsigned ntiles,
+         const fpga::Device &dev,
+         uint64_t mem_bytes = 256ull << 20)
+{
+    arch::AcceleratorParams p = w.params;
+    p.setAllTiles(ntiles);
+    auto design = hls::compile(*w.module, w.top, p);
+
+    ir::MemImage mem(mem_bytes);
+    auto args = w.setup(mem);
+    sim::AcceleratorSim accel(*design, mem);
+    ir::RtValue ret = accel.run(args);
+
+    std::string err = w.verify(mem, ret);
+    if (!err.empty()) {
+        tapas_fatal("bench '%s' failed verification: %s",
+                    w.name.c_str(), err.c_str());
+    }
+
+    AccelRun r;
+    r.cycles = accel.cycles();
+    r.spawns = accel.totalSpawns();
+    r.report = fpga::estimateResources(*design, dev);
+    r.seconds = accel.seconds(r.report.fmaxMhz);
+    r.cacheHitRate = accel.cacheModel().hitRate();
+    return r;
+}
+
+/** Run `w` on a modelled CPU (consumes a fresh memory image). */
+inline cpu::CpuRunResult
+runCpu(workloads::Workload &w, const cpu::CpuParams &params,
+       uint64_t mem_bytes = 256ull << 20)
+{
+    ir::MemImage mem(mem_bytes);
+    auto args = w.setup(mem);
+    return cpu::runOnCpu(*w.module, *w.top, args, mem, params);
+}
+
+/** One entry of the paper's benchmark suite at bench scale. */
+struct SuiteEntry
+{
+    const char *name;
+    unsigned paperTiles; ///< Table IV tile counts
+    workloads::Workload (*make)();
+};
+
+/** The 7 paper benchmarks at the sizes used by the harnesses. */
+inline std::vector<SuiteEntry>
+paperSuite()
+{
+    return {
+        {"matrix_add", 3,
+         [] { return workloads::makeMatrixAdd(48); }},
+        {"stencil", 3,
+         [] { return workloads::makeStencil(32, 32, 2); }},
+        {"saxpy", 5, [] { return workloads::makeSaxpy(8192); }},
+        {"image_scale", 4,
+         [] { return workloads::makeImageScale(64, 32); }},
+        {"dedup", 3,
+         [] { return workloads::makeDedup(64, 512); }},
+        {"fib", 4, [] { return workloads::makeFib(15); }},
+        {"mergesort", 4,
+         [] { return workloads::makeMergeSort(4096, 64); }},
+    };
+}
+
+/**
+ * CPU parameters used when comparing against a given benchmark. The
+ * pipeline benchmark models Cilk-P's on-the-fly pipeline runtime,
+ * whose per-stage bookkeeping is far heavier than a cilk_spawn (Lee
+ * et al. [28]); everything else uses plain Cilk costs.
+ */
+inline cpu::CpuParams
+cpuParamsFor(const std::string &bench_name)
+{
+    cpu::CpuParams p = cpu::CpuParams::intelI7();
+    if (bench_name == "dedup")
+        p.spawnOverhead = 450.0; // pipe_while stage transitions
+    return p;
+}
+
+/** Consistent experiment banner. */
+inline void
+banner(const std::string &id, const std::string &what)
+{
+    std::cout << "\n==========================================="
+                 "=====================\n"
+              << id << ": " << what << "\n"
+              << "============================================"
+                 "====================\n\n";
+}
+
+} // namespace tapas::bench
+
+#endif // TAPAS_BENCH_COMMON_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 14: ALM utilization by sub-block (tiles / parallel-for /
+ * task control / memory arbitration / misc) for the four spawn-
+ * microbenchmark configurations, as stacked percentages.
+ */
+
+#include "bench/common.hh"
+
+using namespace tapas;
+using namespace tapas::bench;
+
+namespace {
+
+void
+addRow(TextTable &t, unsigned tiles, unsigned instrs)
+{
+    auto w = workloads::makeSpawnScale(64, instrs);
+    arch::AcceleratorParams p = w.params;
+    p.setAllTiles(tiles);
+    auto design0 = hls::compile(*w.module, w.top, p);
+    unsigned root_sid = design0->taskGraph->root()->sid();
+    p.perTask[root_sid].ntiles = 1;
+    auto design = hls::compile(*w.module, w.top, p);
+
+    fpga::ResourceReport r =
+        fpga::estimateResources(*design, fpga::Device::cycloneV());
+    const fpga::AlmBreakdown &bd = r.breakdown;
+    double total = bd.total();
+    auto pct = [&](uint32_t v) {
+        return strfmt("%5.1f%%", 100.0 * v / total);
+    };
+    t.row({strfmt("%uT/%uIns", tiles, instrs), pct(bd.tiles),
+           pct(bd.parallelFor), pct(bd.taskCtrl), pct(bd.memArb),
+           pct(bd.misc), std::to_string(bd.total())});
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Fig. 14", "ALM utilization by sub-block (Cyclone V)");
+
+    TextTable t;
+    t.header({"config", "Tiles", "ParallelFor", "TaskCtrl", "MemArb",
+              "Misc", "total ALM"});
+    addRow(t, 1, 1);
+    addRow(t, 1, 50);
+    addRow(t, 10, 1);
+    addRow(t, 10, 50);
+    t.print(std::cout);
+
+    std::cout << "\nPaper's qualitative result: ~60% non-compute "
+                 "overhead at 1T/1Ins,\n~20% at 1T/50Ins, control "
+                 "amortized to ~3% at 10 tiles; the memory\nnetwork "
+                 "stays under 10% of the chip.\n";
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 15: performance scalability with 1/2/4/8 execution tiles per
+ * task unit for all seven benchmarks, normalized to the 1-tile
+ * configuration. Paper shape: saxpy/matrix saturate the cache
+ * bandwidth after ~2 tiles, stencil keeps scaling past 8, dedup's
+ * balanced pipeline stays flat.
+ */
+
+#include "bench/common.hh"
+
+using namespace tapas;
+using namespace tapas::bench;
+
+int
+main()
+{
+    banner("Fig. 15", "normalized performance vs tiles per task "
+                      "(Cyclone V)");
+
+    TextTable t;
+    t.header({"benchmark", "1 tile", "2 tiles", "4 tiles",
+              "8 tiles", "1-tile cycles"});
+
+    for (const SuiteEntry &entry : paperSuite()) {
+        uint64_t base = 0;
+        std::vector<std::string> row{entry.name};
+        for (unsigned tiles : {1u, 2u, 4u, 8u}) {
+            auto w = entry.make();
+            AccelRun r = runAccel(w, tiles, fpga::Device::cycloneV());
+            if (tiles == 1)
+                base = r.cycles;
+            row.push_back(strfmt(
+                "%.2f", static_cast<double>(base) / r.cycles));
+        }
+        row.push_back(std::to_string(base));
+        t.row(row);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper shape: stencil scales best (compute "
+                 "bound); saxpy and matrix\nsaturate shared-cache "
+                 "bandwidth after ~2 tiles; dedup's balanced\n"
+                 "pipeline gains little from extra tiles per "
+                 "stage.\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 16: TAPAS accelerators vs an Intel i7 quad core, on both the
+ * Cyclone V and the Arria 10, with matched concurrency (paper tile
+ * counts vs 4 cores). Values > 1 mean the FPGA is faster. The paper's
+ * shape: dedup wins big (1.6x / 3.2x), the loop kernels sit around
+ * 0.3-1.2x, mergesort loses badly (0.06x / 0.1x).
+ */
+
+#include "bench/common.hh"
+
+using namespace tapas;
+using namespace tapas::bench;
+
+int
+main()
+{
+    banner("Fig. 16", "performance vs Intel i7 quad core "
+                      "(>1 means FPGA faster)");
+
+    TextTable t;
+    t.header({"benchmark", "CycloneV", "Arria10", "i7 (us)",
+              "CV (us)", "A10 (us)", "paper CV/A10"});
+
+    static const std::map<std::string, std::string> paper = {
+        {"matrix_add", "0.6x / 1.2x"}, {"stencil", "0.6x / 0.8x"},
+        {"saxpy", "0.7x / 1.2x"},      {"image_scale", "0.3x / 0.4x"},
+        {"dedup", "1.6x / 3.2x"},      {"fib", "0.4x / 0.6x"},
+        {"mergesort", "0.06x / 0.1x"},
+    };
+
+    for (const SuiteEntry &entry : paperSuite()) {
+        auto w_cpu = entry.make();
+        cpu::CpuRunResult i7 = runCpu(w_cpu,
+                                      cpuParamsFor(entry.name));
+
+        auto w_cv = entry.make();
+        AccelRun cv = runAccel(w_cv, entry.paperTiles,
+                               fpga::Device::cycloneV());
+        auto w_a10 = entry.make();
+        AccelRun a10 = runAccel(w_a10, entry.paperTiles,
+                                fpga::Device::arria10());
+
+        t.row({entry.name,
+               strfmt("%.2fx", i7.seconds / cv.seconds),
+               strfmt("%.2fx", i7.seconds / a10.seconds),
+               strfmt("%.1f", i7.seconds * 1e6),
+               strfmt("%.1f", cv.seconds * 1e6),
+               strfmt("%.1f", a10.seconds * 1e6),
+               paper.at(entry.name)});
+    }
+    t.print(std::cout);
+
+    // Context row: sequential ARM (same memory system as the FPGA)
+    // vs sequential i7 — the paper reports ~13x.
+    {
+        auto wa = workloads::makeStencil(32, 32, 2);
+        cpu::CpuRunResult arm = runCpu(wa, cpu::CpuParams::armA9());
+        auto wi = workloads::makeStencil(32, 32, 2);
+        cpu::CpuRunResult i7 = runCpu(wi, cpu::CpuParams::intelI7());
+        std::cout << "\nSequential ARM (SoC) vs sequential i7 on "
+                     "stencil: "
+                  << strfmt("%.1fx", arm.serialSeconds /
+                                         i7.serialSeconds)
+                  << " slower (paper: ~13x)\n";
+    }
+    return 0;
+}

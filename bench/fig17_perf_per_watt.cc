@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 17: performance/watt gain over the Intel i7 (RAPL-measured
+ * package power in the paper, a fixed 46 W here; FPGA power from the
+ * PowerPlay-style model). Values > 1 mean the FPGA is more efficient;
+ * the paper reports 10-78x, with mergesort the outlier at 1.3-1.9x.
+ */
+
+#include "bench/common.hh"
+
+using namespace tapas;
+using namespace tapas::bench;
+
+int
+main()
+{
+    banner("Fig. 17", "performance/watt vs Intel i7 quad core "
+                      "(>1 means FPGA better)");
+
+    TextTable t;
+    t.header({"benchmark", "CycloneV", "Arria10", "CV power (W)",
+              "A10 power (W)", "paper CV/A10"});
+
+    static const std::map<std::string, std::string> paper = {
+        {"matrix_add", "26.7x / 20.2x"},
+        {"stencil", "16.8x / 14.4x"},
+        {"saxpy", "30.6x / 32.3x"},
+        {"image_scale", "9.7x / 10.6x"},
+        {"dedup", "78.3x / 66.9x"},
+        {"fib", "14.6x / 13.3x"},
+        {"mergesort", "1.9x / 1.3x"},
+    };
+
+    for (const SuiteEntry &entry : paperSuite()) {
+        auto w_cpu = entry.make();
+        cpu::CpuRunResult i7 = runCpu(w_cpu,
+                                      cpuParamsFor(entry.name));
+
+        auto w_cv = entry.make();
+        AccelRun cv = runAccel(w_cv, entry.paperTiles,
+                               fpga::Device::cycloneV());
+        auto w_a10 = entry.make();
+        AccelRun a10 = runAccel(w_a10, entry.paperTiles,
+                                fpga::Device::arria10());
+
+        auto ppw_gain = [&](const AccelRun &r) {
+            double perf_gain = i7.seconds / r.seconds;
+            double power_ratio =
+                fpga::kIntelI7PowerW / r.report.powerW;
+            return perf_gain * power_ratio;
+        };
+
+        t.row({entry.name, strfmt("%.1fx", ppw_gain(cv)),
+               strfmt("%.1fx", ppw_gain(a10)),
+               strfmt("%.2f", cv.report.powerW),
+               strfmt("%.2f", a10.report.powerW),
+               paper.at(entry.name)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\ni7 package power: " << fpga::kIntelI7PowerW
+              << " W (paper: measured via RAPL).\n";
+    return 0;
+}

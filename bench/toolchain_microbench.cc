@@ -1,0 +1,116 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the toolchain itself: IR
+ * construction, verification, task extraction, full compilation,
+ * reference interpretation and cycle simulation throughput. These
+ * guard against performance regressions in the infrastructure (they
+ * do not reproduce paper results).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "hls/compile.hh"
+#include "hls/task_extract.hh"
+#include "ir/printer.hh"
+#include "ir/parser.hh"
+#include "ir/verifier.hh"
+#include "sim/accel.hh"
+#include "workloads/workload.hh"
+
+using namespace tapas;
+
+namespace {
+
+void
+BM_BuildWorkloadIr(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto w = workloads::makeStencil(16, 16, 1);
+        benchmark::DoNotOptimize(w.top);
+    }
+}
+BENCHMARK(BM_BuildWorkloadIr);
+
+void
+BM_VerifyModule(benchmark::State &state)
+{
+    auto w = workloads::makeDedup(8, 64);
+    for (auto _ : state) {
+        auto r = ir::verifyModule(*w.module);
+        benchmark::DoNotOptimize(r.ok());
+    }
+}
+BENCHMARK(BM_VerifyModule);
+
+void
+BM_PrintParseRoundTrip(benchmark::State &state)
+{
+    auto w = workloads::makeMergeSort(64, 16);
+    for (auto _ : state) {
+        std::string text = ir::toString(*w.module);
+        auto parsed = ir::parseModule(text);
+        benchmark::DoNotOptimize(parsed.ok());
+    }
+}
+BENCHMARK(BM_PrintParseRoundTrip);
+
+void
+BM_TaskExtraction(benchmark::State &state)
+{
+    auto w = workloads::makeDedup(8, 64);
+    for (auto _ : state) {
+        auto tg = hls::extractTasks(*w.module, w.top);
+        benchmark::DoNotOptimize(tg->numTasks());
+    }
+}
+BENCHMARK(BM_TaskExtraction);
+
+void
+BM_FullCompile(benchmark::State &state)
+{
+    auto w = workloads::makeMergeSort(256, 32);
+    for (auto _ : state) {
+        auto design = hls::compile(*w.module, w.top, w.params);
+        benchmark::DoNotOptimize(design->dataflows.size());
+    }
+}
+BENCHMARK(BM_FullCompile);
+
+void
+BM_InterpThroughput(benchmark::State &state)
+{
+    auto w = workloads::makeStencil(12, 12, 1);
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        ir::MemImage mem(32 << 20);
+        auto args = w.setup(mem);
+        ir::Interp interp(*w.module, mem);
+        interp.run(*w.top, args);
+        insts += interp.stats().totalInsts;
+    }
+    state.counters["insts/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpThroughput);
+
+void
+BM_AccelSimThroughput(benchmark::State &state)
+{
+    auto w = workloads::makeSaxpy(1024);
+    auto design = hls::compile(*w.module, w.top, w.params);
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        ir::MemImage mem(32 << 20);
+        auto args = w.setup(mem);
+        sim::AcceleratorSim accel(*design, mem);
+        accel.run(args);
+        cycles += accel.cycles();
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AccelSimThroughput);
+
+} // namespace
+
+BENCHMARK_MAIN();

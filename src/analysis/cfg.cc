@@ -1,0 +1,90 @@
+#include "analysis/cfg.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace tapas::analysis {
+
+using ir::BasicBlock;
+using ir::CfgEdge;
+using ir::EdgeKind;
+using ir::Function;
+
+std::vector<BasicBlock *>
+reversePostOrder(const Function &func)
+{
+    std::vector<BasicBlock *> post;
+    std::vector<bool> visited(func.numBlocks(), false);
+
+    // Iterative DFS with an explicit stack of (block, next-succ-index).
+    std::vector<std::pair<BasicBlock *, size_t>> stack;
+    BasicBlock *entry = func.entry();
+    visited[entry->id()] = true;
+    stack.emplace_back(entry, 0);
+
+    while (!stack.empty()) {
+        auto &[bb, idx] = stack.back();
+        auto succs = bb->successorBlocks();
+        if (idx < succs.size()) {
+            BasicBlock *next = succs[idx++];
+            if (!visited[next->id()]) {
+                visited[next->id()] = true;
+                stack.emplace_back(next, 0);
+            }
+        } else {
+            post.push_back(bb);
+            stack.pop_back();
+        }
+    }
+
+    std::reverse(post.begin(), post.end());
+    return post;
+}
+
+std::vector<BasicBlock *>
+reachableFrom(BasicBlock *from)
+{
+    std::vector<BasicBlock *> out;
+    std::set<BasicBlock *> seen;
+    std::vector<BasicBlock *> work{from};
+    while (!work.empty()) {
+        BasicBlock *bb = work.back();
+        work.pop_back();
+        if (!seen.insert(bb).second)
+            continue;
+        out.push_back(bb);
+        for (BasicBlock *s : bb->successorBlocks())
+            work.push_back(s);
+    }
+    return out;
+}
+
+std::vector<BasicBlock *>
+detachedRegion(BasicBlock *from, BasicBlock *boundary)
+{
+    std::vector<BasicBlock *> out;
+    std::set<BasicBlock *> seen;
+    std::vector<BasicBlock *> work{from};
+    while (!work.empty()) {
+        BasicBlock *bb = work.back();
+        work.pop_back();
+        if (!seen.insert(bb).second)
+            continue;
+        out.push_back(bb);
+
+        const ir::Instruction *term = bb->terminator();
+        if (term && term->opcode() == ir::Opcode::Reattach) {
+            auto *re = ir::cast<ir::ReattachInst>(term);
+            if (re->cont() == boundary)
+                continue; // region exit
+        }
+        for (const CfgEdge &e : bb->successors()) {
+            tapas_assert(e.to != boundary || e.kind == EdgeKind::Reattach,
+                         "detached region leaks into its boundary");
+            work.push_back(e.to);
+        }
+    }
+    return out;
+}
+
+} // namespace tapas::analysis

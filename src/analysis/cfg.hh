@@ -1,0 +1,32 @@
+/**
+ * @file
+ * CFG traversal utilities shared by the analyses and the HLS passes:
+ * reverse post-order, reachability, and edge enumeration.
+ */
+
+#ifndef TAPAS_ANALYSIS_CFG_HH
+#define TAPAS_ANALYSIS_CFG_HH
+
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace tapas::analysis {
+
+/** Blocks of `func` in reverse post-order from the entry. */
+std::vector<ir::BasicBlock *> reversePostOrder(const ir::Function &func);
+
+/** Blocks reachable from `from` (inclusive), following all edges. */
+std::vector<ir::BasicBlock *> reachableFrom(ir::BasicBlock *from);
+
+/**
+ * Blocks reachable from `from` without leaving via reattach edges
+ * that target `boundary` — i.e. the detached region of a detach whose
+ * continuation is `boundary`. Includes the reattaching blocks.
+ */
+std::vector<ir::BasicBlock *> detachedRegion(ir::BasicBlock *from,
+                                             ir::BasicBlock *boundary);
+
+} // namespace tapas::analysis
+
+#endif // TAPAS_ANALYSIS_CFG_HH

@@ -1,0 +1,96 @@
+#include "analysis/dominators.hh"
+
+#include "analysis/cfg.hh"
+
+namespace tapas::analysis {
+
+using ir::BasicBlock;
+using ir::Function;
+
+DomTree::DomTree(const Function &func)
+    : func(func), idoms(func.numBlocks(), nullptr),
+      rpoIndex(func.numBlocks(), -1)
+{
+    std::vector<BasicBlock *> rpo = reversePostOrder(func);
+    for (size_t i = 0; i < rpo.size(); ++i)
+        rpoIndex[rpo[i]->id()] = static_cast<int>(i);
+
+    auto preds = func.predecessorMap();
+
+    auto intersect = [&](BasicBlock *a, BasicBlock *b) {
+        while (a != b) {
+            while (rpoIndex[a->id()] > rpoIndex[b->id()])
+                a = idoms[a->id()];
+            while (rpoIndex[b->id()] > rpoIndex[a->id()])
+                b = idoms[b->id()];
+        }
+        return a;
+    };
+
+    BasicBlock *entry = func.entry();
+    idoms[entry->id()] = entry;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BasicBlock *bb : rpo) {
+            if (bb == entry)
+                continue;
+            BasicBlock *new_idom = nullptr;
+            for (BasicBlock *p : preds[bb->id()]) {
+                if (rpoIndex[p->id()] < 0 || !idoms[p->id()])
+                    continue; // unreachable or not yet processed
+                new_idom = new_idom ? intersect(p, new_idom) : p;
+            }
+            if (new_idom && idoms[bb->id()] != new_idom) {
+                idoms[bb->id()] = new_idom;
+                changed = true;
+            }
+        }
+    }
+}
+
+BasicBlock *
+DomTree::idom(const BasicBlock *bb) const
+{
+    if (bb == func.entry())
+        return nullptr;
+    return idoms[bb->id()];
+}
+
+bool
+DomTree::dominates(const BasicBlock *a, const BasicBlock *b) const
+{
+    if (!reachable(a) || !reachable(b))
+        return false;
+    const BasicBlock *walk = b;
+    while (walk) {
+        if (walk == a)
+            return true;
+        if (walk == func.entry())
+            return false;
+        walk = idoms[walk->id()];
+    }
+    return false;
+}
+
+bool
+DomTree::reachable(const BasicBlock *bb) const
+{
+    return rpoIndex[bb->id()] >= 0;
+}
+
+std::vector<BasicBlock *>
+DomTree::children(const BasicBlock *bb) const
+{
+    std::vector<BasicBlock *> out;
+    for (const auto &cand : func.basicBlocks()) {
+        if (cand.get() != bb && idom(cand.get()) == bb &&
+            reachable(cand.get())) {
+            out.push_back(cand.get());
+        }
+    }
+    return out;
+}
+
+} // namespace tapas::analysis

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Dominator tree via the Cooper-Harvey-Kennedy iterative algorithm
+ * ("A Simple, Fast Dominance Algorithm"). Used by loop detection and
+ * by the HLS passes to reason about task-region structure.
+ */
+
+#ifndef TAPAS_ANALYSIS_DOMINATORS_HH
+#define TAPAS_ANALYSIS_DOMINATORS_HH
+
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace tapas::analysis {
+
+/** Immediate-dominator tree for one function. */
+class DomTree
+{
+  public:
+    /** Build the tree; `func` must verify (all blocks terminated). */
+    explicit DomTree(const ir::Function &func);
+
+    /**
+     * Immediate dominator of a block, or nullptr for the entry (and
+     * for unreachable blocks).
+     */
+    ir::BasicBlock *idom(const ir::BasicBlock *bb) const;
+
+    /** True if `a` dominates `b` (reflexive). */
+    bool dominates(const ir::BasicBlock *a,
+                   const ir::BasicBlock *b) const;
+
+    /** True if the block is reachable from the entry. */
+    bool reachable(const ir::BasicBlock *bb) const;
+
+    /** Children of `bb` in the dominator tree. */
+    std::vector<ir::BasicBlock *>
+    children(const ir::BasicBlock *bb) const;
+
+  private:
+    const ir::Function &func;
+    std::vector<ir::BasicBlock *> idoms;  // by block id
+    std::vector<int> rpoIndex;            // by block id; -1 unreachable
+};
+
+} // namespace tapas::analysis
+
+#endif // TAPAS_ANALYSIS_DOMINATORS_HH

@@ -1,0 +1,125 @@
+#include "analysis/liveness.hh"
+
+#include <algorithm>
+
+namespace tapas::analysis {
+
+using ir::Argument;
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instruction;
+using ir::PhiInst;
+using ir::Value;
+
+namespace {
+
+/** True for values liveness tracks (SSA temporaries and arguments). */
+bool
+tracked(const Value *v)
+{
+    return v->valueKind() == Value::Kind::Argument ||
+           v->valueKind() == Value::Kind::Instruction;
+}
+
+} // namespace
+
+Liveness::Liveness(const Function &func)
+    : ins(func.numBlocks()), outs(func.numBlocks())
+{
+    // use[b]: upward-exposed uses; def[b]: values defined in b.
+    std::vector<std::set<const Value *>> use(func.numBlocks());
+    std::vector<std::set<const Value *>> def(func.numBlocks());
+
+    for (const auto &bb : func.basicBlocks()) {
+        auto &u = use[bb->id()];
+        auto &d = def[bb->id()];
+        for (const auto &inst : bb->instructions()) {
+            if (inst->opcode() == ir::Opcode::Phi)
+                continue; // phi uses belong to predecessors
+            for (const Value *op : inst->operands()) {
+                if (tracked(op) && !d.count(op))
+                    u.insert(op);
+            }
+            if (!inst->type().isVoid())
+                d.insert(inst.get());
+        }
+        // Phis define at the head of the block.
+        for (const PhiInst *phi : bb->phis())
+            def[bb->id()].insert(phi);
+    }
+
+    // Iterate to fixpoint (backward).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto &bb : func.basicBlocks()) {
+            unsigned id = bb->id();
+            std::set<const Value *> out;
+            for (BasicBlock *succ : bb->successorBlocks()) {
+                // liveIn(succ) minus its phi defs, plus the values the
+                // succ's phis receive from *this* predecessor.
+                for (const Value *v : ins[succ->id()])
+                    out.insert(v);
+                for (const PhiInst *phi : succ->phis()) {
+                    out.erase(phi);
+                    const Value *inc = phi->incomingFor(bb.get());
+                    if (tracked(inc))
+                        out.insert(inc);
+                }
+            }
+            std::set<const Value *> in = use[id];
+            for (const Value *v : out) {
+                if (!def[id].count(v))
+                    in.insert(v);
+            }
+            if (out != outs[id] || in != ins[id]) {
+                outs[id] = std::move(out);
+                ins[id] = std::move(in);
+                changed = true;
+            }
+        }
+    }
+}
+
+size_t
+Liveness::maxLive() const
+{
+    size_t m = 0;
+    for (const auto &s : ins)
+        m = std::max(m, s.size());
+    for (const auto &s : outs)
+        m = std::max(m, s.size());
+    return m;
+}
+
+std::vector<Value *>
+externalInputs(const std::vector<BasicBlock *> &region)
+{
+    std::set<const BasicBlock *> in_region(region.begin(),
+                                           region.end());
+    std::set<Value *> seen;
+    std::vector<Value *> out;
+
+    auto defined_inside = [&](const Value *v) {
+        if (v->valueKind() != Value::Kind::Instruction)
+            return false;
+        const auto *inst = static_cast<const Instruction *>(v);
+        return in_region.count(inst->parent()) != 0;
+    };
+
+    for (BasicBlock *bb : region) {
+        for (const auto &inst : bb->instructions()) {
+            for (Value *op : inst->operands()) {
+                if (!tracked(op))
+                    continue;
+                if (defined_inside(op))
+                    continue;
+                if (seen.insert(op).second)
+                    out.push_back(op);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace tapas::analysis

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Live-variable analysis over the parallel IR, plus the external-input
+ * helper the HLS front-end uses to derive task arguments (paper
+ * Section III-F: "We perform live variable analysis to extract and
+ * create the requisite arguments that need to be passed between
+ * tasks").
+ */
+
+#ifndef TAPAS_ANALYSIS_LIVENESS_HH
+#define TAPAS_ANALYSIS_LIVENESS_HH
+
+#include <set>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace tapas::analysis {
+
+/**
+ * Classic backward may-liveness. Values are SSA (each Instruction or
+ * Argument defines one value); phi uses are attributed to the
+ * corresponding predecessor's live-out, per convention.
+ */
+class Liveness
+{
+  public:
+    explicit Liveness(const ir::Function &func);
+
+    /** Values live on entry to a block. */
+    const std::set<const ir::Value *> &
+    liveIn(const ir::BasicBlock *bb) const
+    {
+        return ins[bb->id()];
+    }
+
+    /** Values live on exit from a block. */
+    const std::set<const ir::Value *> &
+    liveOut(const ir::BasicBlock *bb) const
+    {
+        return outs[bb->id()];
+    }
+
+    /** Peak number of simultaneously live values over all blocks. */
+    size_t maxLive() const;
+
+  private:
+    std::vector<std::set<const ir::Value *>> ins;
+    std::vector<std::set<const ir::Value *>> outs;
+};
+
+/**
+ * Values used by instructions in `region` but defined outside it
+ * (function arguments or instructions in other blocks). For a
+ * detached task region these are exactly the task's arguments: what
+ * the spawn must marshal through the task queue's args RAM.
+ *
+ * The returned list is deterministic (ordered by definition).
+ */
+std::vector<ir::Value *> externalInputs(
+    const std::vector<ir::BasicBlock *> &region);
+
+} // namespace tapas::analysis
+
+#endif // TAPAS_ANALYSIS_LIVENESS_HH

@@ -1,0 +1,116 @@
+#include "analysis/loopinfo.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/dominators.hh"
+
+namespace tapas::analysis {
+
+using ir::BasicBlock;
+using ir::Function;
+
+bool
+Loop::spawnsTasks() const
+{
+    for (const BasicBlock *bb : blocks) {
+        const ir::Instruction *term = bb->terminator();
+        if (term && term->opcode() == ir::Opcode::Detach)
+            return true;
+    }
+    return false;
+}
+
+LoopInfo::LoopInfo(const Function &func)
+{
+    DomTree dom(func);
+    auto preds = func.predecessorMap();
+
+    // Find back edges (latch -> header where header dominates latch)
+    // and collect each loop's body by backward walk from the latch.
+    std::map<BasicBlock *, Loop *> loop_of_header;
+
+    for (const auto &bb : func.basicBlocks()) {
+        if (!dom.reachable(bb.get()))
+            continue;
+        for (BasicBlock *succ : bb->successorBlocks()) {
+            if (!dom.dominates(succ, bb.get()))
+                continue;
+            // bb -> succ is a back edge; succ is the header.
+            Loop *loop;
+            auto it = loop_of_header.find(succ);
+            if (it != loop_of_header.end()) {
+                loop = it->second;
+            } else {
+                all.push_back(std::make_unique<Loop>());
+                loop = all.back().get();
+                loop->header = succ;
+                loop->blocks.insert(succ);
+                loop_of_header[succ] = loop;
+            }
+            loop->latches.push_back(bb.get());
+
+            // Backward BFS from the latch up to the header.
+            std::vector<BasicBlock *> work{bb.get()};
+            while (!work.empty()) {
+                BasicBlock *cur = work.back();
+                work.pop_back();
+                if (!loop->blocks.insert(cur).second)
+                    continue;
+                for (BasicBlock *p : preds[cur->id()]) {
+                    if (dom.reachable(p))
+                        work.push_back(p);
+                }
+            }
+        }
+    }
+
+    // Establish nesting: the parent of L is the smallest loop that
+    // strictly contains L's header (and is not L itself).
+    for (auto &lp : all) {
+        Loop *best = nullptr;
+        for (auto &cand : all) {
+            if (cand.get() == lp.get())
+                continue;
+            if (!cand->contains(lp->header))
+                continue;
+            if (!best || cand->blocks.size() < best->blocks.size())
+                best = cand.get();
+        }
+        lp->parent = best;
+        if (best)
+            best->subLoops.push_back(lp.get());
+    }
+    for (auto &lp : all) {
+        unsigned d = 1;
+        for (Loop *p = lp->parent; p; p = p->parent)
+            ++d;
+        lp->depth = d;
+    }
+}
+
+Loop *
+LoopInfo::loopFor(const BasicBlock *bb) const
+{
+    Loop *best = nullptr;
+    for (const auto &lp : all) {
+        if (lp->contains(bb) &&
+            (!best || lp->blocks.size() < best->blocks.size())) {
+            best = lp.get();
+        }
+    }
+    return best;
+}
+
+std::vector<Loop *>
+LoopInfo::topLevel() const
+{
+    std::vector<Loop *> out;
+    for (const auto &lp : all) {
+        if (!lp->parent)
+            out.push_back(lp.get());
+    }
+    return out;
+}
+
+} // namespace tapas::analysis

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Natural-loop detection from dominator-identified back edges. Used by
+ * the static-HLS baseline (loop unrolling / pipelining) and by the
+ * TAPAS concurrency analysis to recognize spawning loops.
+ */
+
+#ifndef TAPAS_ANALYSIS_LOOPINFO_HH
+#define TAPAS_ANALYSIS_LOOPINFO_HH
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace tapas::analysis {
+
+/** One natural loop. */
+struct Loop
+{
+    ir::BasicBlock *header = nullptr;
+
+    /** Blocks branching back to the header from inside the loop. */
+    std::vector<ir::BasicBlock *> latches;
+
+    /** All blocks in the loop, header included. */
+    std::set<ir::BasicBlock *> blocks;
+
+    /** Enclosing loop, or nullptr for a top-level loop. */
+    Loop *parent = nullptr;
+
+    /** Directly nested loops. */
+    std::vector<Loop *> subLoops;
+
+    /** 1 for top-level loops, +1 per nesting level. */
+    unsigned depth = 1;
+
+    bool contains(const ir::BasicBlock *bb) const
+    {
+        return blocks.count(const_cast<ir::BasicBlock *>(bb)) != 0;
+    }
+
+    /** True if some block in the loop spawns a task (detach). */
+    bool spawnsTasks() const;
+};
+
+/** All natural loops of a function. */
+class LoopInfo
+{
+  public:
+    explicit LoopInfo(const ir::Function &func);
+
+    const std::vector<std::unique_ptr<Loop>> &loops() const
+    {
+        return all;
+    }
+
+    /** Innermost loop containing `bb`, or nullptr. */
+    Loop *loopFor(const ir::BasicBlock *bb) const;
+
+    /** Top-level loops only. */
+    std::vector<Loop *> topLevel() const;
+
+  private:
+    std::vector<std::unique_ptr<Loop>> all;
+};
+
+} // namespace tapas::analysis
+
+#endif // TAPAS_ANALYSIS_LOOPINFO_HH

@@ -1,0 +1,165 @@
+#include "arch/dataflow.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace tapas::arch {
+
+using ir::BasicBlock;
+using ir::CallInst;
+using ir::Instruction;
+using ir::Value;
+
+size_t
+Dataflow::numOps() const
+{
+    size_t n = 0;
+    for (const DfgNode &node : _nodes) {
+        if (!node.isArgIn)
+            ++n;
+    }
+    return n;
+}
+
+size_t
+Dataflow::countOf(OpClass cls) const
+{
+    size_t n = 0;
+    for (const DfgNode &node : _nodes) {
+        if (!node.isArgIn && node.cls == cls)
+            ++n;
+    }
+    return n;
+}
+
+unsigned
+Dataflow::pipelineDepth() const
+{
+    // Longest latency chain over intra-block data edges. Blocks are
+    // identified by (blockId, inlineDepth) pairs folded together; an
+    // edge crossing blocks restarts the chain.
+    std::vector<unsigned> level(_nodes.size(), 0);
+    unsigned best = 1;
+    // Nodes were appended in topological-enough order for intra-block
+    // SSA chains (definitions precede uses within a block).
+    for (const DfgNode &node : _nodes) {
+        unsigned in_level = 0;
+        for (unsigned src : node.inputs) {
+            const DfgNode &p = _nodes[src];
+            if (p.blockId == node.blockId &&
+                p.inlineDepth == node.inlineDepth && p.id < node.id) {
+                in_level = std::max(in_level, level[src]);
+            }
+        }
+        level[node.id] = in_level + std::max(1u, node.latency);
+        best = std::max(best, level[node.id]);
+    }
+    return best;
+}
+
+const DfgNode *
+Dataflow::nodeFor(const Instruction *inst) const
+{
+    for (const DfgNode &node : _nodes) {
+        if (node.inst == inst && node.inlineDepth == 0)
+            return &node;
+    }
+    return nullptr;
+}
+
+namespace {
+
+/**
+ * Recursive lowering helper. Every inlined leaf-call body gets a
+ * fresh context id so distinct call sites to the same callee produce
+ * distinct hardware (and distinct value keys).
+ */
+class Lowerer
+{
+  public:
+    explicit Lowerer(Dataflow &df) : df(df) {}
+
+    void
+    lowerTask(const Task &task)
+    {
+        // Pseudo-nodes for marshaled arguments.
+        for (Value *arg : task.args()) {
+            DfgNode &n = df.addNode();
+            n.isArgIn = true;
+            n.cls = OpClass::Cast; // wire from args RAM
+            n.latency = 0;
+            valueNode[key(arg, 0)] = n.id;
+        }
+        for (const BasicBlock *bb : task.blocks())
+            lowerBlock(*bb, 0, 0);
+        connect();
+    }
+
+  private:
+    using Key = std::pair<const Value *, unsigned>;
+
+    static Key key(const Value *v, unsigned ctx) { return {v, ctx}; }
+
+    void
+    lowerBlock(const BasicBlock &bb, unsigned ctx, unsigned depth)
+    {
+        tapas_assert(depth < 32, "leaf-call inlining too deep");
+        for (const auto &inst : bb.instructions()) {
+            DfgNode &n = df.addNode();
+            n.inst = inst.get();
+            n.cls = opClassOf(inst->opcode());
+            n.latency = opLatency(n.cls);
+            n.blockId = bb.id();
+            n.inlineDepth = ctx;
+            valueNode[key(inst.get(), ctx)] = n.id;
+            pending.push_back(n.id);
+
+            // Inline detach-free callees: one copy per call site.
+            auto *call = ir::dyn_cast<CallInst>(inst.get());
+            if (call && !call->callee()->hasDetach()) {
+                unsigned callee_ctx = ++nextCtx;
+                for (const auto &cbb :
+                     call->callee()->basicBlocks()) {
+                    lowerBlock(*cbb, callee_ctx, depth + 1);
+                }
+            }
+        }
+    }
+
+    /** Wire operand edges once all nodes exist. */
+    void
+    connect()
+    {
+        for (unsigned id : pending) {
+            const Instruction *inst = df.nodes()[id].inst;
+            unsigned ctx = df.nodes()[id].inlineDepth;
+            for (const Value *op : inst->operands()) {
+                auto it = valueNode.find(key(op, ctx));
+                // Constants, globals, caller values (arriving via
+                // args RAM at ctx 0) and callee formals have no
+                // producing node in this context.
+                if (it != valueNode.end())
+                    df.addEdge(it->second, id);
+            }
+        }
+    }
+
+    Dataflow &df;
+    std::map<Key, unsigned> valueNode;
+    std::vector<unsigned> pending;
+    unsigned nextCtx = 0;
+};
+
+} // namespace
+
+Dataflow
+buildDataflow(const Task &task)
+{
+    Dataflow df(&task);
+    Lowerer lw(df);
+    lw.lowerTask(task);
+    return df;
+}
+
+} // namespace tapas::arch

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Per-task dataflow graph (paper Section III-C, Fig. 6/7): the TXU's
+ * execution structure. Stage 2 of the toolchain lowers each task's
+ * sub-CFG into nodes connected by latency-insensitive ready-valid
+ * edges; leaf calls (to detach-free functions) are inlined, so every
+ * node maps to a hardware function unit.
+ *
+ * The Dataflow is consumed by
+ *  - the FPGA resource/timing models (node counts by OpClass),
+ *  - the Chisel emitter (module + wiring per node), and
+ *  - the TXU simulator (pipeline-depth defaults, memory-port counts).
+ */
+
+#ifndef TAPAS_ARCH_DATAFLOW_HH
+#define TAPAS_ARCH_DATAFLOW_HH
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "arch/opmodel.hh"
+#include "arch/task.hh"
+
+namespace tapas::arch {
+
+/** One dataflow node (hardware function unit instance). */
+struct DfgNode
+{
+    unsigned id = 0;
+
+    /** IR instruction this node implements; nullptr for ArgIn. */
+    const ir::Instruction *inst = nullptr;
+
+    OpClass cls = OpClass::IntAlu;
+
+    /** Fixed latency (dynamic part excluded for memory/spawn/sync). */
+    unsigned latency = 0;
+
+    /** Producer node ids feeding this node's operands. */
+    std::vector<unsigned> inputs;
+
+    /** Consumer node ids. */
+    std::vector<unsigned> outputs;
+
+    /** Basic block the node belongs to (id within its function). */
+    unsigned blockId = 0;
+
+    /** Nesting depth of leaf-call inlining (0 = task's own body). */
+    unsigned inlineDepth = 0;
+
+    /** True for the task's argument-input pseudo nodes. */
+    bool isArgIn = false;
+};
+
+/** The lowered dataflow for one task unit's TXU. */
+class Dataflow
+{
+  public:
+    explicit Dataflow(const Task *task) : _task(task) {}
+
+    const Task *task() const { return _task; }
+
+    const std::vector<DfgNode> &nodes() const { return _nodes; }
+
+    /** Number of real (non-ArgIn) function units. */
+    size_t numOps() const;
+
+    /** Node count for one functional class. */
+    size_t countOf(OpClass cls) const;
+
+    /** Loads + stores: clients of the task unit's data box. */
+    size_t numMemPorts() const
+    {
+        return countOf(OpClass::Load) + countOf(OpClass::Store);
+    }
+
+    /**
+     * Longest intra-block latency chain: the TXU pipeline depth
+     * (paper Fig. 7 shows instances striding down these stages).
+     */
+    unsigned pipelineDepth() const;
+
+    /** Node implementing `inst`, or nullptr (inlined copies differ). */
+    const DfgNode *nodeFor(const ir::Instruction *inst) const;
+
+    // --- construction ------------------------------------------------
+
+    DfgNode &
+    addNode()
+    {
+        _nodes.emplace_back();
+        _nodes.back().id = static_cast<unsigned>(_nodes.size() - 1);
+        return _nodes.back();
+    }
+
+    void
+    addEdge(unsigned from, unsigned to)
+    {
+        _nodes.at(from).outputs.push_back(to);
+        _nodes.at(to).inputs.push_back(from);
+    }
+
+  private:
+    const Task *_task;
+    std::vector<DfgNode> _nodes;
+};
+
+/**
+ * Stage 2: lower a task's sub-CFG into its dataflow.
+ *
+ * @param task the task (Stage 1 output)
+ * @return the dataflow, with leaf calls inlined
+ */
+Dataflow buildDataflow(const Task &task);
+
+} // namespace tapas::arch
+
+#endif // TAPAS_ARCH_DATAFLOW_HH

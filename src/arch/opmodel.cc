@@ -1,0 +1,117 @@
+#include "arch/opmodel.hh"
+
+#include "support/logging.hh"
+
+namespace tapas::arch {
+
+OpClass
+opClassOf(ir::Opcode op)
+{
+    using ir::Opcode;
+    switch (op) {
+      case Opcode::Add: case Opcode::Sub:
+      case Opcode::And: case Opcode::Or: case Opcode::Xor:
+      case Opcode::Shl: case Opcode::LShr: case Opcode::AShr:
+        return OpClass::IntAlu;
+      case Opcode::Mul:
+        return OpClass::IntMul;
+      case Opcode::SDiv: case Opcode::UDiv:
+      case Opcode::SRem: case Opcode::URem:
+        return OpClass::IntDiv;
+      case Opcode::FAdd: case Opcode::FSub:
+        return OpClass::FloatAdd;
+      case Opcode::FMul:
+        return OpClass::FloatMul;
+      case Opcode::FDiv:
+        return OpClass::FloatDiv;
+      case Opcode::ICmp: case Opcode::FCmp:
+        return OpClass::Compare;
+      case Opcode::Select:
+        return OpClass::Select;
+      case Opcode::Trunc: case Opcode::ZExt: case Opcode::SExt:
+      case Opcode::SIToFP: case Opcode::FPToSI:
+      case Opcode::PtrToInt: case Opcode::IntToPtr:
+        return OpClass::Cast;
+      case Opcode::Gep:
+        return OpClass::Gep;
+      case Opcode::Load:
+        return OpClass::Load;
+      case Opcode::Store:
+        return OpClass::Store;
+      case Opcode::Alloca:
+        return OpClass::Alloca;
+      case Opcode::Phi:
+        return OpClass::Phi;
+      case Opcode::Br:
+        return OpClass::Branch;
+      case Opcode::Ret:
+        return OpClass::Return;
+      case Opcode::Detach:
+        return OpClass::Detach;
+      case Opcode::Reattach:
+        return OpClass::Reattach;
+      case Opcode::Sync:
+        return OpClass::Sync;
+      case Opcode::Call:
+        return OpClass::Call;
+    }
+    tapas_panic("unknown opcode");
+}
+
+unsigned
+opLatency(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return 1;
+      case OpClass::IntMul: return 3;
+      case OpClass::IntDiv: return 16;
+      case OpClass::FloatAdd: return 4;
+      case OpClass::FloatMul: return 4;
+      case OpClass::FloatDiv: return 16;
+      case OpClass::Compare: return 1;
+      case OpClass::Select: return 1;
+      case OpClass::Cast: return 1;
+      case OpClass::Gep: return 1;
+      case OpClass::Load: return 1;    // issue; rest is dynamic
+      case OpClass::Store: return 1;   // issue; rest is dynamic
+      case OpClass::Alloca: return 1;
+      case OpClass::Phi: return 0;
+      case OpClass::Branch: return 1;
+      case OpClass::Return: return 1;
+      case OpClass::Detach: return 2;  // spawn-port handshake
+      case OpClass::Reattach: return 1;
+      case OpClass::Sync: return 1;    // plus dynamic wait
+      case OpClass::Call: return 1;
+    }
+    tapas_panic("unknown op class");
+}
+
+const char *
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return "IntAlu";
+      case OpClass::IntMul: return "IntMul";
+      case OpClass::IntDiv: return "IntDiv";
+      case OpClass::FloatAdd: return "FloatAdd";
+      case OpClass::FloatMul: return "FloatMul";
+      case OpClass::FloatDiv: return "FloatDiv";
+      case OpClass::Compare: return "Compare";
+      case OpClass::Select: return "Select";
+      case OpClass::Cast: return "Cast";
+      case OpClass::Gep: return "Gep";
+      case OpClass::Load: return "Load";
+      case OpClass::Store: return "Store";
+      case OpClass::Alloca: return "Alloca";
+      case OpClass::Phi: return "Phi";
+      case OpClass::Branch: return "Branch";
+      case OpClass::Return: return "Return";
+      case OpClass::Detach: return "Detach";
+      case OpClass::Reattach: return "Reattach";
+      case OpClass::Sync: return "Sync";
+      case OpClass::Call: return "Call";
+    }
+    tapas_panic("unknown op class");
+}
+
+} // namespace tapas::arch

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Operation categories with per-op pipeline latency. This is the
+ * timing contract of the TXU dataflow nodes (paper Section III-C):
+ * every node is a latency-insensitive, ready-valid stage; fixed-
+ * latency ops take the cycles listed here, memory ops have dynamic
+ * latency resolved by the data box / cache.
+ */
+
+#ifndef TAPAS_ARCH_OPMODEL_HH
+#define TAPAS_ARCH_OPMODEL_HH
+
+#include "ir/instruction.hh"
+
+namespace tapas::arch {
+
+/** Functional-unit category of a dataflow node. */
+enum class OpClass : uint8_t {
+    IntAlu,    ///< add/sub/logic/shift
+    IntMul,
+    IntDiv,
+    FloatAdd,  ///< fadd/fsub
+    FloatMul,
+    FloatDiv,
+    Compare,
+    Select,
+    Cast,
+    Gep,       ///< address generation
+    Load,      ///< data box client (dynamic latency)
+    Store,     ///< data box client (dynamic latency)
+    Alloca,    ///< stack-RAM pointer bump
+    Phi,
+    Branch,
+    Return,
+    Detach,    ///< spawn port access
+    Reattach,  ///< join/complete port access
+    Sync,      ///< join-counter wait
+    Call,      ///< inlined leaf call or task call
+};
+
+/** Map an IR opcode to its functional-unit class. */
+OpClass opClassOf(ir::Opcode op);
+
+/**
+ * Fixed pipeline latency in cycles for non-memory classes. Memory
+ * classes return the *issue* overhead only; the rest is dynamic.
+ */
+unsigned opLatency(OpClass cls);
+
+/** Printable class name (stats, Chisel emission). */
+const char *opClassName(OpClass cls);
+
+} // namespace tapas::arch
+
+#endif // TAPAS_ARCH_OPMODEL_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Late-bound hardware parameters (paper Section III-D, Stage 3).
+ * Every task unit is parameterized independently; the memory system
+ * is shared. Parameter binding happens after Stage 1/2, mirroring
+ * TAPAS's "parameterize then elaborate" flow.
+ */
+
+#ifndef TAPAS_ARCH_PARAMS_HH
+#define TAPAS_ARCH_PARAMS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace tapas::arch {
+
+/** Per-task-unit knobs (paper: Ntasks, Ntiles). */
+struct TaskUnitParams
+{
+    /** Task queue entries (spawned-but-unfinished task capacity). */
+    unsigned ntasks = 32;
+
+    /** Task execution tiles (paper: "worker tiles"). */
+    unsigned ntiles = 1;
+
+    /**
+     * In-flight task instances a single pipelined tile may overlap
+     * (the dataflow pipeline depth of paper Fig. 7).
+     */
+    unsigned tilePipelineDepth = 4;
+};
+
+/** Shared memory-system configuration. */
+struct MemSystemParams
+{
+    /**
+     * Back the data boxes with a software-managed scratchpad instead
+     * of the cache (paper Fig. 8 supports both; data is assumed
+     * staged ahead of invocation, as in streaming HLS).
+     */
+    bool useScratchpad = false;
+
+    /** Scratchpad access latency in cycles. */
+    unsigned scratchpadLatency = 2;
+
+    /** L1 cache capacity in bytes (paper synthesizes 16 KiB). */
+    uint32_t cacheBytes = 16 * 1024;
+
+    /** Cache line size in bytes. */
+    uint32_t lineBytes = 32;
+
+    /** Set associativity. */
+    uint32_t ways = 2;
+
+    /** Cache hit latency in cycles. */
+    unsigned hitLatency = 2;
+
+    /**
+     * DRAM access latency in cycles at the accelerator clock
+     * (paper Table V experiment uses 270 ns ~= 40 cycles @150 MHz).
+     */
+    unsigned dramLatency = 40;
+
+    /** Outstanding misses supported (paper: "limited support"). */
+    unsigned mshrs = 4;
+
+    /** Cache request ports accepted per cycle (shared L1). */
+    unsigned portsPerCycle = 2;
+
+    /** DRAM words (8B) transferred per cycle once a burst starts. */
+    unsigned dramWordsPerCycle = 2;
+};
+
+/** Whole-accelerator parameterization. */
+struct AcceleratorParams
+{
+    /** Per-sid overrides; tasks not present use `defaults`. */
+    std::map<unsigned, TaskUnitParams> perTask;
+
+    TaskUnitParams defaults;
+
+    MemSystemParams mem;
+
+    /** Spawn-port transfer cycles per argument word. */
+    unsigned spawnCyclesPerArg = 1;
+
+    /** Fixed spawn-port handshake cycles (enqueue side). */
+    unsigned spawnHandshake = 2;
+
+    /** Scheduler cycles to dispatch a READY entry to a free tile. */
+    unsigned dispatchLatency = 2;
+
+    /** Join (reattach/sync) port cycles. */
+    unsigned joinLatency = 2;
+
+    const TaskUnitParams &
+    forTask(unsigned sid) const
+    {
+        auto it = perTask.find(sid);
+        return it == perTask.end() ? defaults : it->second;
+    }
+
+    /** Set Ntiles for every task unit (bench sweeps use this). */
+    void
+    setAllTiles(unsigned ntiles)
+    {
+        defaults.ntiles = ntiles;
+        for (auto &[sid, p] : perTask)
+            p.ntiles = ntiles;
+    }
+};
+
+} // namespace tapas::arch
+
+#endif // TAPAS_ARCH_PARAMS_HH

@@ -1,0 +1,74 @@
+#include "arch/task.hh"
+
+#include <algorithm>
+
+namespace tapas::arch {
+
+std::vector<Task *>
+Task::children() const
+{
+    std::vector<Task *> out;
+    auto add = [&](Task *t) {
+        if (std::find(out.begin(), out.end(), t) == out.end())
+            out.push_back(t);
+    };
+    for (const SpawnSite &s : _spawnSites)
+        add(s.child);
+    for (const TaskCallSite &c : _taskCalls)
+        add(c.callee);
+    return out;
+}
+
+Task *
+Task::childForDetach(const ir::DetachInst *detach) const
+{
+    for (const SpawnSite &s : _spawnSites) {
+        if (s.detach == detach)
+            return s.child;
+    }
+    tapas_panic("task '%s': detach has no registered child",
+                _name.c_str());
+}
+
+Task *
+Task::calleeForCall(const ir::CallInst *call) const
+{
+    for (const TaskCallSite &c : _taskCalls) {
+        if (c.call == call)
+            return c.callee;
+    }
+    tapas_panic("task '%s': call site is not a task call",
+                _name.c_str());
+}
+
+Task *
+TaskGraph::addTask(std::string name, const ir::Function *func,
+                   ir::BasicBlock *entry)
+{
+    unsigned sid = static_cast<unsigned>(_tasks.size());
+    _tasks.push_back(
+        std::make_unique<Task>(sid, std::move(name), func, entry));
+    return _tasks.back().get();
+}
+
+Task *
+TaskGraph::functionRootTask(const ir::Function *func) const
+{
+    for (const auto &t : _tasks) {
+        if (t->function() == func && t->isFunctionRoot())
+            return t.get();
+    }
+    return nullptr;
+}
+
+Task *
+TaskGraph::taskOwning(const ir::BasicBlock *bb) const
+{
+    for (const auto &t : _tasks) {
+        if (t->owns(bb))
+            return t.get();
+    }
+    return nullptr;
+}
+
+} // namespace tapas::arch

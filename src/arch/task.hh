@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Task and TaskGraph: the architecture blueprint TAPAS Stage 1
+ * extracts from the parallel IR (paper Section III-A / Fig. 9).
+ *
+ * Each Task corresponds to one *task unit* in the generated
+ * accelerator: a static task id (SID), the sub-CFG implementing its
+ * body, the live-in arguments marshaled through the unit's args RAM,
+ * and the static spawn edges to child tasks.
+ *
+ * Two spawn mechanisms appear in lowered Tapir code and both are
+ * first-class here:
+ *  - a detach whose region is lowered in-place (the common parallel
+ *    loop body), and
+ *  - a call to a function that itself contains detaches (spawned
+ *    function; this is how recursion like mergesort/fib appears). The
+ *    callee's root task becomes a task of the accelerator and the
+ *    call site becomes a *task call* that spawns it and waits for the
+ *    returned value.
+ */
+
+#ifndef TAPAS_ARCH_TASK_HH
+#define TAPAS_ARCH_TASK_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace tapas::arch {
+
+class Task;
+
+/** A static spawn edge: which detach in the parent spawns which task. */
+struct SpawnSite
+{
+    const ir::DetachInst *detach = nullptr;
+    Task *child = nullptr;
+};
+
+/** A call site that spawns another task unit and awaits its result. */
+struct TaskCallSite
+{
+    const ir::CallInst *call = nullptr;
+    Task *callee = nullptr;
+};
+
+/** One static task == one task unit in the accelerator. */
+class Task
+{
+  public:
+    Task(unsigned sid, std::string name, const ir::Function *func,
+         ir::BasicBlock *entry)
+        : _sid(sid), _name(std::move(name)), _func(func), _entry(entry)
+    {}
+
+    /** Static task id; index of the task unit at the top level. */
+    unsigned sid() const { return _sid; }
+
+    const std::string &name() const { return _name; }
+
+    /** Function this task's blocks belong to. */
+    const ir::Function *function() const { return _func; }
+
+    /** First block executed by a task instance. */
+    ir::BasicBlock *entry() const { return _entry; }
+
+    /** Blocks owned by this task (excludes nested tasks' regions). */
+    const std::vector<ir::BasicBlock *> &blocks() const
+    {
+        return _blocks;
+    }
+
+    /** True if `bb` belongs to this task. */
+    bool
+    owns(const ir::BasicBlock *bb) const
+    {
+        for (const ir::BasicBlock *mine : _blocks) {
+            if (mine == bb)
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * Live-in values the spawn must marshal into the args RAM
+     * (paper: derived by live-variable analysis).
+     */
+    const std::vector<ir::Value *> &args() const { return _args; }
+
+    /** Static spawn edges originating in this task. */
+    const std::vector<SpawnSite> &spawnSites() const
+    {
+        return _spawnSites;
+    }
+
+    /** Task-call sites (spawn + wait-for-value). */
+    const std::vector<TaskCallSite> &taskCalls() const
+    {
+        return _taskCalls;
+    }
+
+    /** Distinct child tasks (union of spawn sites and task calls). */
+    std::vector<Task *> children() const;
+
+    /** Task that spawns this one in-place, or nullptr for roots. */
+    Task *parent() const { return _parent; }
+
+    /**
+     * True if this task can (transitively) spawn itself — e.g. the
+     * mergesort or fib root task.
+     */
+    bool isRecursive() const { return _recursive; }
+
+    /** True for the root task of a function entered by task call. */
+    bool isFunctionRoot() const { return _entry == _func->entry(); }
+
+    /** Static instruction count of the task body (leaf calls inlined). */
+    size_t numInstructions() const { return _numInsts; }
+
+    /** Static memory operations in the task body (ditto). */
+    size_t numMemOps() const { return _numMemOps; }
+
+    // --- mutation (used by the Stage 1 extractor only) --------------
+
+    void setBlocks(std::vector<ir::BasicBlock *> blocks)
+    {
+        _blocks = std::move(blocks);
+    }
+
+    void setArgs(std::vector<ir::Value *> args)
+    {
+        _args = std::move(args);
+    }
+
+    void addSpawnSite(const ir::DetachInst *detach, Task *child)
+    {
+        _spawnSites.push_back({detach, child});
+    }
+
+    void addTaskCall(const ir::CallInst *call, Task *callee)
+    {
+        _taskCalls.push_back({call, callee});
+    }
+
+    void setParent(Task *parent) { _parent = parent; }
+    void setRecursive(bool r) { _recursive = r; }
+
+    void setStaticCounts(size_t insts, size_t mem_ops)
+    {
+        _numInsts = insts;
+        _numMemOps = mem_ops;
+    }
+
+    /** Child task spawned by a given detach; panics if unknown. */
+    Task *childForDetach(const ir::DetachInst *detach) const;
+
+    /** Callee task for a given task-call; panics if unknown. */
+    Task *calleeForCall(const ir::CallInst *call) const;
+
+  private:
+    unsigned _sid;
+    std::string _name;
+    const ir::Function *_func;
+    ir::BasicBlock *_entry;
+    std::vector<ir::BasicBlock *> _blocks;
+    std::vector<ir::Value *> _args;
+    std::vector<SpawnSite> _spawnSites;
+    std::vector<TaskCallSite> _taskCalls;
+    Task *_parent = nullptr;
+    bool _recursive = false;
+    size_t _numInsts = 0;
+    size_t _numMemOps = 0;
+};
+
+/** The extracted task graph: the accelerator's top-level blueprint. */
+class TaskGraph
+{
+  public:
+    TaskGraph() = default;
+
+    TaskGraph(const TaskGraph &) = delete;
+    TaskGraph &operator=(const TaskGraph &) = delete;
+
+    /** Create a task; sids are dense and allocation-ordered. */
+    Task *addTask(std::string name, const ir::Function *func,
+                  ir::BasicBlock *entry);
+
+    const std::vector<std::unique_ptr<Task>> &tasks() const
+    {
+        return _tasks;
+    }
+
+    size_t numTasks() const { return _tasks.size(); }
+
+    Task *task(unsigned sid) const { return _tasks.at(sid).get(); }
+
+    /** Root task (sid 0): the top function's body. */
+    Task *root() const { return _tasks.empty() ? nullptr
+                                               : _tasks[0].get(); }
+
+    /** Task whose entry is the root of `func`, or nullptr. */
+    Task *functionRootTask(const ir::Function *func) const;
+
+    /** Task owning `bb`, or nullptr. */
+    Task *taskOwning(const ir::BasicBlock *bb) const;
+
+  private:
+    std::vector<std::unique_ptr<Task>> _tasks;
+};
+
+} // namespace tapas::arch
+
+#endif // TAPAS_ARCH_TASK_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Chisel emitter: renders a compiled AcceleratorDesign as the
+ * parameterized Chisel (Scala) source the real TAPAS toolchain emits
+ * (paper Fig. 4 top level, Fig. 6 TXU dataflow). The output is
+ * syntactically Scala against the TAPAS hardware library interface;
+ * it is the designed artifact a hardware flow would elaborate, while
+ * this repository's executable artifact is the cycle simulator.
+ */
+
+#ifndef TAPAS_CODEGEN_CHISEL_HH
+#define TAPAS_CODEGEN_CHISEL_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "hls/compile.hh"
+
+namespace tapas::codegen {
+
+/** Emit the full accelerator (top module + one module per TXU). */
+void emitChisel(const hls::AcceleratorDesign &design,
+                std::ostream &os);
+
+/** Convenience: Chisel source as a string. */
+std::string chiselString(const hls::AcceleratorDesign &design);
+
+/** Graphviz DOT of the task graph (paper Fig. 3 middle). */
+void emitTaskGraphDot(const arch::TaskGraph &tg, std::ostream &os);
+
+/** Graphviz DOT of one task's dataflow (paper Fig. 6). */
+void emitDataflowDot(const arch::Dataflow &df, std::ostream &os);
+
+} // namespace tapas::codegen
+
+#endif // TAPAS_CODEGEN_CHISEL_HH

@@ -1,0 +1,71 @@
+#include "cpu/cost_model.hh"
+
+#include "support/logging.hh"
+
+namespace tapas::cpu {
+
+void
+CpuCacheModel::Level::init(unsigned bytes, unsigned ways_,
+                           unsigned line)
+{
+    ways = ways_;
+    unsigned num_lines = bytes / line;
+    tapas_assert(num_lines >= ways, "cache smaller than one set");
+    sets = num_lines / ways;
+    tags.assign(static_cast<size_t>(sets) * ways, 0);
+    lastUse.assign(static_cast<size_t>(sets) * ways, 0);
+    valid.assign(static_cast<size_t>(sets) * ways, false);
+}
+
+bool
+CpuCacheModel::Level::touch(uint64_t line_addr)
+{
+    ++tick;
+    size_t set = line_addr % sets;
+    size_t base = set * ways;
+    for (unsigned w = 0; w < ways; ++w) {
+        if (valid[base + w] && tags[base + w] == line_addr) {
+            lastUse[base + w] = tick;
+            return true;
+        }
+    }
+    // Miss: install over LRU.
+    size_t victim = base;
+    for (unsigned w = 1; w < ways; ++w) {
+        if (!valid[base + w]) {
+            victim = base + w;
+            break;
+        }
+        if (lastUse[base + w] < lastUse[victim])
+            victim = base + w;
+    }
+    valid[victim] = true;
+    tags[victim] = line_addr;
+    lastUse[victim] = tick;
+    return false;
+}
+
+CpuCacheModel::CpuCacheModel(const CpuParams &params) : params(params)
+{
+    l1.init(params.l1Bytes, params.l1Ways, params.lineBytes);
+    l2.init(params.l2Bytes, params.l2Ways, params.lineBytes);
+}
+
+double
+CpuCacheModel::access(uint64_t addr, bool is_store)
+{
+    (void)is_store;
+    uint64_t line = addr / params.lineBytes;
+    if (l1.touch(line)) {
+        ++l1Hits;
+        return params.l1HitCost;
+    }
+    if (l2.touch(line)) {
+        ++l2Hits;
+        return params.l2HitCost;
+    }
+    ++dramAccesses;
+    return params.dramCost;
+}
+
+} // namespace tapas::cpu

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * CPU cost model for the software baseline (the paper's Intel i7
+ * quad-core running the identical Cilk programs, Section V). The
+ * model charges per-instruction cycles reflecting a wide superscalar
+ * core, plus trace-driven cache costs through a two-level hierarchy,
+ * plus Cilk runtime overheads (spawn bookkeeping, steals).
+ */
+
+#ifndef TAPAS_CPU_COST_MODEL_HH
+#define TAPAS_CPU_COST_MODEL_HH
+
+#include <vector>
+
+#include "arch/opmodel.hh"
+
+namespace tapas::cpu {
+
+/** Core + runtime + memory parameters for one CPU model. */
+struct CpuParams
+{
+    std::string name = "i7-quad";
+
+    /** Core clock in GHz (used to convert cycles to seconds). */
+    double freqGhz = 3.4;
+
+    /** Hardware threads participating in work stealing. */
+    unsigned cores = 4;
+
+    // --- per-op costs in cycles (superscalar-amortized) -------------
+
+    double aluCost = 0.5;
+    double mulCost = 1.0;
+    double divCost = 7.0;
+    double floatCost = 0.8;
+    double floatDivCost = 7.0;
+    double cmpCost = 0.5;
+    double gepCost = 0.3;     ///< folds into x86 addressing modes
+    double phiCost = 0.1;
+    double branchCost = 0.75; ///< amortized misprediction
+    double callCost = 2.0;
+
+    // --- Cilk runtime ------------------------------------------------
+
+    /** Cycles to push a spawned frame (cilk_spawn fast path). */
+    double spawnOverhead = 30.0;
+
+    /** Cycles at a sync (fast path, no suspension). */
+    double syncOverhead = 12.0;
+
+    /** Thief-side cycles per successful steal. */
+    double stealLatency = 500.0;
+
+    // --- memory hierarchy --------------------------------------------
+
+    unsigned l1Bytes = 32 * 1024;
+    unsigned l1Ways = 8;
+    unsigned l2Bytes = 8 * 1024 * 1024; ///< paper: 8MB L2 (LLC)
+    unsigned l2Ways = 16;
+    unsigned lineBytes = 64;
+
+    double l1HitCost = 1.0;
+    double l2HitCost = 14.0;
+    double dramCost = 190.0;
+
+    /** The paper's i7-3.4 GHz quad core. */
+    static CpuParams intelI7() { return CpuParams(); }
+
+    /**
+     * The DE1-SoC's ARM core (same memory system as the FPGA): used
+     * for the paper's "ARM is 13x slower than i7" context point.
+     */
+    static CpuParams
+    armA9()
+    {
+        CpuParams p;
+        p.name = "arm-a9";
+        p.freqGhz = 0.8;
+        p.cores = 1;
+        p.aluCost = 1.0;
+        p.mulCost = 2.0;
+        p.divCost = 12.0;
+        p.floatCost = 2.0;
+        p.floatDivCost = 14.0;
+        p.cmpCost = 1.0;
+        p.gepCost = 0.6;
+        p.phiCost = 0.2;
+        p.branchCost = 1.5;
+        p.callCost = 4.0;
+        p.l1Bytes = 32 * 1024;
+        p.l1Ways = 4;
+        p.l2Bytes = 512 * 1024; ///< shared with the FPGA
+        p.l2Ways = 8;
+        p.l1HitCost = 1.5;
+        p.l2HitCost = 12.0;
+        p.dramCost = 120.0;
+        return p;
+    }
+
+    /** Cycles for one non-memory instruction. */
+    double
+    instCost(arch::OpClass cls) const
+    {
+        using arch::OpClass;
+        switch (cls) {
+          case OpClass::IntAlu: return aluCost;
+          case OpClass::IntMul: return mulCost;
+          case OpClass::IntDiv: return divCost;
+          case OpClass::FloatAdd:
+          case OpClass::FloatMul: return floatCost;
+          case OpClass::FloatDiv: return floatDivCost;
+          case OpClass::Compare:
+          case OpClass::Select: return cmpCost;
+          case OpClass::Cast: return gepCost;
+          case OpClass::Gep: return gepCost;
+          case OpClass::Alloca: return aluCost;
+          case OpClass::Phi: return phiCost;
+          case OpClass::Branch: return branchCost;
+          case OpClass::Return: return callCost / 2;
+          case OpClass::Call: return callCost;
+          case OpClass::Detach: return spawnOverhead;
+          case OpClass::Reattach: return callCost;
+          case OpClass::Sync: return syncOverhead;
+          case OpClass::Load:
+          case OpClass::Store:
+            return 0.0; // charged by the cache model
+        }
+        return 1.0;
+    }
+};
+
+/**
+ * Trace-driven two-level cache cost model (timing only). Fed the
+ * serial-elision access sequence; returns the cycle cost of each
+ * access.
+ */
+class CpuCacheModel
+{
+  public:
+    explicit CpuCacheModel(const CpuParams &params);
+
+    /** Cost in cycles of this access (updates LRU state). */
+    double access(uint64_t addr, bool is_store);
+
+    uint64_t l1Hits = 0;
+    uint64_t l2Hits = 0;
+    uint64_t dramAccesses = 0;
+
+  private:
+    struct Level
+    {
+        unsigned sets;
+        unsigned ways;
+        std::vector<uint64_t> tags;   // sets x ways
+        std::vector<uint64_t> lastUse;
+        std::vector<bool> valid;
+        uint64_t tick = 0;
+
+        void init(unsigned bytes, unsigned ways_, unsigned line);
+        bool touch(uint64_t line_addr);
+    };
+
+    const CpuParams &params;
+    Level l1;
+    Level l2;
+};
+
+} // namespace tapas::cpu
+
+#endif // TAPAS_CPU_COST_MODEL_HH

@@ -1,0 +1,27 @@
+#include "cpu/multicore.hh"
+
+namespace tapas::cpu {
+
+CpuRunResult
+runOnCpu(const ir::Module &mod, const ir::Function &top,
+         std::vector<ir::RtValue> args, ir::MemImage &mem,
+         const CpuParams &params)
+{
+    TaskDag dag = buildTaskDag(mod, top, std::move(args), mem, params);
+    ScheduleResult sched =
+        scheduleWorkStealing(dag, params.cores, params.stealLatency);
+
+    CpuRunResult r;
+    r.cycles = sched.cycles;
+    r.workCycles = dag.work;
+    r.spanCycles = dag.span;
+    r.seconds = sched.cycles / (params.freqGhz * 1e9);
+    r.serialSeconds = dag.work / (params.freqGhz * 1e9);
+    r.spawns = dag.spawns;
+    r.steals = sched.steals;
+    r.utilization = sched.utilization(params.cores);
+    r.dramAccesses = dag.dramAccesses;
+    return r;
+}
+
+} // namespace tapas::cpu

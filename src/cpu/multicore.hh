@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Multicore software baseline facade: run a workload on a modelled
+ * CPU (instrumented execution -> task DAG -> work-stealing schedule)
+ * and report timing, matching how the paper measures the identical
+ * Cilk program on the Intel i7 (Section V) and the sequential run on
+ * the SoC's ARM core.
+ */
+
+#ifndef TAPAS_CPU_MULTICORE_HH
+#define TAPAS_CPU_MULTICORE_HH
+
+#include "cpu/wssim.hh"
+
+namespace tapas::cpu {
+
+/** Timing result of one CPU run. */
+struct CpuRunResult
+{
+    /** Parallel makespan in cycles at the CPU clock. */
+    double cycles = 0;
+
+    /** Serial work T1 in cycles. */
+    double workCycles = 0;
+
+    /** Critical path in cycles. */
+    double spanCycles = 0;
+
+    /** Wall-clock seconds at the modelled frequency. */
+    double seconds = 0;
+
+    /** Serial-execution seconds (single core, no runtime overhead
+     *  removal — T1 at the same clock). */
+    double serialSeconds = 0;
+
+    uint64_t spawns = 0;
+    uint64_t steals = 0;
+    double utilization = 0;
+    uint64_t dramAccesses = 0;
+};
+
+/**
+ * Execute (mod, top, args) on the modelled CPU. `mem` must already
+ * contain the workload inputs; the run mutates it (the CPU and the
+ * accelerator runs therefore need separate images).
+ */
+CpuRunResult runOnCpu(const ir::Module &mod, const ir::Function &top,
+                      std::vector<ir::RtValue> args, ir::MemImage &mem,
+                      const CpuParams &params);
+
+} // namespace tapas::cpu
+
+#endif // TAPAS_CPU_MULTICORE_HH

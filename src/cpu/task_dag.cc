@@ -1,0 +1,191 @@
+#include "cpu/task_dag.hh"
+
+#include <algorithm>
+
+namespace tapas::cpu {
+
+using ir::DetachInst;
+using ir::Function;
+using ir::Instruction;
+using ir::ReattachInst;
+using ir::SyncInst;
+
+namespace {
+
+/**
+ * Observer that folds the serial-elision trace into a strand DAG.
+ *
+ * Context stack mirrors the dynamic task nesting: one context per
+ * live task frame (the root, each detached region, and each called
+ * function that itself spawns). Leaf calls accumulate into the
+ * caller's current strand.
+ */
+class DagBuilder : public ir::InterpObserver
+{
+  public:
+    DagBuilder(TaskDag &dag, const CpuParams &params)
+        : dag(dag), params(params), cache(params)
+    {
+        ctxs.push_back(Ctx{newStrand(), {}});
+    }
+
+    void
+    onInst(const Instruction *inst) override
+    {
+        arch::OpClass cls = arch::opClassOf(inst->opcode());
+        cur().work(dag) += params.instCost(cls);
+    }
+
+    void
+    onMemAccess(uint64_t addr, unsigned bytes, bool is_store) override
+    {
+        (void)bytes;
+        cur().work(dag) += cache.access(addr, is_store);
+    }
+
+    void
+    onDetach(const DetachInst *det) override
+    {
+        (void)det;
+        ++dag.spawns;
+        uint32_t child = newStrand();
+        dag.strands[child].isSpawnChild = true;
+        addEdge(cur().strand, child);
+        ctxs.push_back(Ctx{child, {}});
+    }
+
+    void
+    onReattach(const ReattachInst *re) override
+    {
+        (void)re;
+        tapas_assert(ctxs.size() > 1, "reattach without a detach");
+        uint32_t child_last = cur().strand;
+        ctxs.pop_back();
+        // Parent continuation strand runs concurrently with the
+        // child: both are successors of the pre-detach strand.
+        Ctx &parent = ctxs.back();
+        parent.pendingChildren.push_back(child_last);
+        uint32_t cont = newStrand();
+        addEdge(parent.strand, cont);
+        parent.strand = cont;
+    }
+
+    void
+    onSync(const SyncInst *sy) override
+    {
+        (void)sy;
+        Ctx &c = ctxs.back();
+        uint32_t after = newStrand();
+        addEdge(c.strand, after);
+        for (uint32_t child : c.pendingChildren)
+            addEdge(child, after);
+        c.pendingChildren.clear();
+        c.strand = after;
+    }
+
+    void
+    onCallEnter(const Function *callee) override
+    {
+        if (!callee->hasDetach())
+            return; // leaf call: stays in the current strand
+        uint32_t entry = newStrand();
+        addEdge(cur().strand, entry);
+        ctxs.push_back(Ctx{entry, {}});
+    }
+
+    void
+    onCallExit(const Function *callee) override
+    {
+        if (!callee->hasDetach())
+            return;
+        // Serial call: the callee's final strand feeds the caller's
+        // next strand.
+        tapas_assert(ctxs.back().pendingChildren.empty(),
+                     "function returned with unsynced children");
+        uint32_t callee_last = cur().strand;
+        ctxs.pop_back();
+        Ctx &caller = ctxs.back();
+        uint32_t next = newStrand();
+        addEdge(callee_last, next);
+        caller.strand = next;
+    }
+
+    void
+    finish()
+    {
+        tapas_assert(ctxs.size() == 1, "unbalanced task contexts");
+        // Work and span.
+        dag.work = 0;
+        std::vector<double> done(dag.strands.size(), 0);
+        double span = 0;
+        for (size_t i = 0; i < dag.strands.size(); ++i) {
+            // Strand ids are creation-ordered, which is topological
+            // (every edge goes forward).
+            double start = done[i];
+            double end = start + dag.strands[i].work;
+            dag.work += dag.strands[i].work;
+            span = std::max(span, end);
+            for (uint32_t s : dag.strands[i].succs)
+                done[s] = std::max(done[s], end);
+        }
+        dag.span = span;
+        dag.l1Hits = cache.l1Hits;
+        dag.l2Hits = cache.l2Hits;
+        dag.dramAccesses = cache.dramAccesses;
+    }
+
+  private:
+    struct Ctx
+    {
+        uint32_t strand;
+        std::vector<uint32_t> pendingChildren;
+
+        double &work(TaskDag &dag) const
+        {
+            return dag.strands[strand].work;
+        }
+    };
+
+    Ctx &cur() { return ctxs.back(); }
+
+    uint32_t
+    newStrand()
+    {
+        dag.strands.emplace_back();
+        return static_cast<uint32_t>(dag.strands.size() - 1);
+    }
+
+    void
+    addEdge(uint32_t from, uint32_t to)
+    {
+        tapas_assert(from < to, "DAG edge must go forward");
+        dag.strands[from].succs.push_back(to);
+        ++dag.strands[to].preds;
+    }
+
+    TaskDag &dag;
+    const CpuParams &params;
+    CpuCacheModel cache;
+    std::vector<Ctx> ctxs;
+};
+
+} // namespace
+
+TaskDag
+buildTaskDag(const ir::Module &mod, const ir::Function &top,
+             std::vector<ir::RtValue> args, ir::MemImage &mem,
+             const CpuParams &params)
+{
+    TaskDag dag;
+    DagBuilder builder(dag, params);
+
+    ir::Interp::Options opts;
+    opts.observer = &builder;
+    ir::Interp interp(mod, mem, opts);
+    interp.run(top, std::move(args));
+
+    builder.finish();
+    return dag;
+}
+
+} // namespace tapas::cpu

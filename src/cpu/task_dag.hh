@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Task DAG extraction for the CPU baseline: an instrumented
+ * interpreter run produces the program's Cilk computation DAG —
+ * strands (maximal serial instruction sequences) connected by
+ * spawn/continue/sync edges — with each strand's cost under a CPU
+ * cost model. The work-stealing simulator then schedules this DAG on
+ * P cores.
+ */
+
+#ifndef TAPAS_CPU_TASK_DAG_HH
+#define TAPAS_CPU_TASK_DAG_HH
+
+#include <memory>
+
+#include "cpu/cost_model.hh"
+#include "ir/interp.hh"
+
+namespace tapas::cpu {
+
+/** One strand: serial work between spawn/sync boundaries. */
+struct Strand
+{
+    double work = 0;                ///< cycles on this CPU
+    std::vector<uint32_t> succs;    ///< DAG edges (topological ids)
+    uint32_t preds = 0;             ///< in-degree (for scheduling)
+    bool isSpawnChild = false;      ///< first strand of a child task
+};
+
+/** The whole computation DAG for one program run. */
+struct TaskDag
+{
+    std::vector<Strand> strands;
+
+    /** Total work T1 in cycles. */
+    double work = 0;
+
+    /** Critical path (span) T-infinity in cycles. */
+    double span = 0;
+
+    /** Dynamic spawns observed. */
+    uint64_t spawns = 0;
+
+    /** Cache model statistics from the trace. */
+    uint64_t l1Hits = 0;
+    uint64_t l2Hits = 0;
+    uint64_t dramAccesses = 0;
+
+    /** Average parallelism T1 / Tinf. */
+    double
+    parallelism() const
+    {
+        return span > 0 ? work / span : 1.0;
+    }
+};
+
+/**
+ * Run `top` under instrumentation and return the computation DAG.
+ *
+ * @param mod the program
+ * @param top entry function
+ * @param args actual arguments
+ * @param mem memory image (inputs already staged; mutated by the run)
+ * @param params CPU cost model
+ */
+TaskDag buildTaskDag(const ir::Module &mod, const ir::Function &top,
+                     std::vector<ir::RtValue> args, ir::MemImage &mem,
+                     const CpuParams &params);
+
+} // namespace tapas::cpu
+
+#endif // TAPAS_CPU_TASK_DAG_HH

@@ -1,0 +1,157 @@
+#include "cpu/wssim.hh"
+
+#include <deque>
+#include <queue>
+
+#include "support/logging.hh"
+
+namespace tapas::cpu {
+
+namespace {
+
+struct DequeItem
+{
+    uint32_t strand;
+    double pushTime;
+};
+
+struct Worker
+{
+    std::deque<DequeItem> dq;
+    bool busy = false;
+};
+
+/** worker == kStealCheck marks a deferred steal-eligibility check. */
+constexpr unsigned kStealCheck = ~0u;
+
+struct Event
+{
+    double time;
+    unsigned worker;
+    uint32_t strand;
+
+    bool
+    operator>(const Event &o) const
+    {
+        // Deterministic tie-break on worker id.
+        if (time != o.time)
+            return time > o.time;
+        return worker > o.worker;
+    }
+};
+
+} // namespace
+
+ScheduleResult
+scheduleWorkStealing(const TaskDag &dag, unsigned cores,
+                     double steal_latency)
+{
+    tapas_assert(cores >= 1, "need at least one core");
+    ScheduleResult res;
+    if (dag.strands.empty())
+        return res;
+
+    std::vector<uint32_t> pending(dag.strands.size());
+    for (size_t i = 0; i < dag.strands.size(); ++i)
+        pending[i] = dag.strands[i].preds;
+
+    std::vector<Worker> workers(cores);
+    std::priority_queue<Event, std::vector<Event>, std::greater<>>
+        events;
+
+    auto start_on = [&](unsigned w, uint32_t s, double t) {
+        workers[w].busy = true;
+        double dur = dag.strands[s].work;
+        res.busyCycles += dur;
+        events.push(Event{t + dur, w, s});
+    };
+
+    auto push_item = [&](unsigned w, uint32_t s, double t) {
+        workers[w].dq.push_back(DequeItem{s, t});
+        // Revisit idle workers once the item becomes stealable.
+        events.push(Event{t + steal_latency, kStealCheck, s});
+    };
+
+    // Acquire work for an idle worker. Own deque first (LIFO, always
+    // allowed — the owner wins the THE race). Stealing takes from
+    // the FIFO side of the deepest victim, but only items exposed for
+    // at least `steal_latency` (the thief's search/handshake time);
+    // this models victims winning the race for freshly pushed work.
+    auto acquire = [&](unsigned w, double t) {
+        Worker &me = workers[w];
+        if (!me.dq.empty()) {
+            uint32_t s = me.dq.back().strand;
+            me.dq.pop_back();
+            start_on(w, s, t);
+            return true;
+        }
+        unsigned victim = cores;
+        size_t best = 0;
+        for (unsigned v = 0; v < cores; ++v) {
+            if (v == w || workers[v].dq.empty())
+                continue;
+            if (workers[v].dq.front().pushTime + steal_latency > t)
+                continue; // not aged enough to lose the race
+            if (workers[v].dq.size() > best) {
+                best = workers[v].dq.size();
+                victim = v;
+            }
+        }
+        if (victim == cores)
+            return false;
+        uint32_t s = workers[victim].dq.front().strand;
+        workers[victim].dq.pop_front();
+        ++res.steals;
+        start_on(w, s, t);
+        return true;
+    };
+
+    start_on(0, 0, 0.0);
+    double makespan = 0;
+
+    while (!events.empty()) {
+        Event ev = events.top();
+        events.pop();
+
+        if (ev.worker != kStealCheck) {
+            // Only real strand completions define the makespan;
+            // steal-eligibility checks are bookkeeping.
+            makespan = std::max(makespan, ev.time);
+            Worker &me = workers[ev.worker];
+            me.busy = false;
+
+            // Release successors. Cilk order: the spawned child (the
+            // first ready successor) continues on this worker; the
+            // continuation is pushed for stealing.
+            bool continued = false;
+            for (uint32_t s : dag.strands[ev.strand].succs) {
+                tapas_assert(pending[s] > 0, "DAG in-degree underflow");
+                if (--pending[s] != 0)
+                    continue;
+                if (!continued && !me.busy) {
+                    start_on(ev.worker, s, ev.time);
+                    continued = true;
+                } else {
+                    push_item(ev.worker, s, ev.time);
+                }
+            }
+            if (!continued)
+                acquire(ev.worker, ev.time);
+        }
+
+        // Let idle workers pick up whatever is now available/aged.
+        bool progressed = true;
+        while (progressed) {
+            progressed = false;
+            for (unsigned w = 0; w < cores && !progressed; ++w) {
+                if (!workers[w].busy && acquire(w, ev.time))
+                    progressed = true;
+            }
+        }
+    }
+
+    res.cycles = makespan;
+    return res;
+}
+
+} // namespace tapas::cpu

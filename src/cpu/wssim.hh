@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Work-stealing scheduler simulator: executes a TaskDag on P workers
+ * with Cilk-style deques (continuations pushed, children executed
+ * first, idle workers steal from the top of a victim's deque with a
+ * steal penalty). Deterministic event-driven simulation.
+ */
+
+#ifndef TAPAS_CPU_WSSIM_HH
+#define TAPAS_CPU_WSSIM_HH
+
+#include "cpu/task_dag.hh"
+
+namespace tapas::cpu {
+
+/** Result of scheduling a DAG. */
+struct ScheduleResult
+{
+    /** Makespan in CPU cycles. */
+    double cycles = 0;
+
+    /** Successful steals. */
+    uint64_t steals = 0;
+
+    /** Sum of busy cycles over workers (utilization numerator). */
+    double busyCycles = 0;
+
+    double
+    utilization(unsigned cores) const
+    {
+        return cycles > 0 ? busyCycles / (cycles * cores) : 0.0;
+    }
+};
+
+/**
+ * Schedule `dag` on `cores` workers.
+ *
+ * @param dag computation DAG (consumed read-only)
+ * @param cores worker count
+ * @param steal_latency thief-side cycles per steal
+ */
+ScheduleResult scheduleWorkStealing(const TaskDag &dag, unsigned cores,
+                                    double steal_latency);
+
+} // namespace tapas::cpu
+
+#endif // TAPAS_CPU_WSSIM_HH

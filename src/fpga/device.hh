@@ -1,0 +1,68 @@
+/**
+ * @file
+ * FPGA device descriptions for the two boards the paper evaluates:
+ * the DE1-SoC's Cyclone V (5CSEMA5) and the Arria 10 (10AS066).
+ * Capacities are set so that the paper's reported utilization
+ * percentages (Table III) reproduce.
+ */
+
+#ifndef TAPAS_FPGA_DEVICE_HH
+#define TAPAS_FPGA_DEVICE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tapas::fpga {
+
+/** One FPGA part. */
+struct Device
+{
+    std::string name;
+
+    /** Adaptive logic modules available. */
+    uint32_t totalAlms = 0;
+
+    /** M20K block RAMs available. */
+    uint32_t totalM20k = 0;
+
+    /** Achievable clock for a small design on this part (MHz). */
+    double baseMhz = 0;
+
+    /** Fmax degradation per unit utilization (fraction of base). */
+    double congestionSlope = 0.22;
+
+    /** Dynamic-power scale relative to Cyclone V's process. */
+    double powerScale = 1.0;
+
+    /** DE1-SoC's Cyclone V 5CSEMA5. */
+    static Device
+    cycloneV()
+    {
+        Device d;
+        d.name = "Cyclone V (5CSEMA5)";
+        d.totalAlms = 29'100;
+        d.totalM20k = 397;
+        d.baseMhz = 195.0;
+        d.congestionSlope = 0.24;
+        d.powerScale = 1.0;
+        return d;
+    }
+
+    /** Arria 10 10AS066. */
+    static Device
+    arria10()
+    {
+        Device d;
+        d.name = "Arria 10 (10AS066)";
+        d.totalAlms = 240'000;
+        d.totalM20k = 2'131;
+        d.baseMhz = 322.0;
+        d.congestionSlope = 0.30;
+        d.powerScale = 1.25; // larger part: higher static + clock tree
+        return d;
+    }
+};
+
+} // namespace tapas::fpga
+
+#endif // TAPAS_FPGA_DEVICE_HH

@@ -1,0 +1,198 @@
+#include "fpga/model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace tapas::fpga {
+
+using arch::OpClass;
+
+OpCosts
+opCosts(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return {35, 43};
+      case OpClass::IntMul: return {30, 60}; // DSP-mapped
+      case OpClass::IntDiv: return {280, 300};
+      case OpClass::FloatAdd: return {230, 255};
+      case OpClass::FloatMul: return {190, 215};
+      case OpClass::FloatDiv: return {640, 560};
+      case OpClass::Compare: return {18, 22};
+      case OpClass::Select: return {12, 16};
+      case OpClass::Cast: return {4, 8};
+      case OpClass::Gep: return {30, 36};
+      case OpClass::Load: return {85, 95};
+      case OpClass::Store: return {70, 80};
+      case OpClass::Alloca: return {25, 30};
+      case OpClass::Phi: return {20, 26};
+      case OpClass::Branch: return {14, 18};
+      case OpClass::Return: return {20, 24};
+      case OpClass::Detach: return {55, 60};
+      case OpClass::Reattach: return {40, 46};
+      case OpClass::Sync: return {35, 40};
+      case OpClass::Call: return {15, 18};
+    }
+    tapas_panic("unknown op class");
+}
+
+namespace {
+
+// Fixed structural costs, calibrated at Table III's anchors.
+constexpr uint32_t kMiscAlm = 150;        // AXI bridge + glue
+constexpr uint32_t kMiscReg = 220;
+constexpr uint32_t kUnitCtrlAlm = 180;    // queue mgmt + scheduler
+constexpr uint32_t kUnitCtrlReg = 230;
+constexpr uint32_t kPortAlm = 20;         // each spawn/sync port pair
+constexpr uint32_t kTileHarnessAlm = 80;  // per-tile wrapper/handshake
+constexpr uint32_t kTileHarnessReg = 110;
+constexpr uint32_t kArbPerClientAlm = 52; // data-box arbiter slice
+constexpr uint32_t kArbPerClientReg = 58;
+constexpr uint32_t kArbBaseAlm = 70;      // response demux root
+
+constexpr uint32_t kM20kBits = 20 * 1024;
+
+/** Deterministic per-design placement jitter in [-0.06, +0.06]. */
+double
+placementJitter(const hls::AcceleratorDesign &design,
+                const Device &dev)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&](uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+    };
+    for (const auto &t : design.taskGraph->tasks()) {
+        mix(t->numInstructions());
+        mix(t->numMemOps());
+        mix(design.params.forTask(t->sid()).ntiles);
+    }
+    for (char c : dev.name)
+        mix(static_cast<uint64_t>(c));
+    double u = static_cast<double>(h % 10000) / 10000.0;
+    return (u - 0.5) * 0.12;
+}
+
+} // namespace
+
+ResourceReport
+estimateResources(const hls::AcceleratorDesign &design,
+                  const Device &dev)
+{
+    ResourceReport rep;
+    AlmBreakdown &bd = rep.breakdown;
+    uint32_t regs = kMiscReg;
+    uint64_t bram_bits = 0;
+
+    bd.misc = kMiscAlm;
+
+    for (const auto &task : design.taskGraph->tasks()) {
+        unsigned sid = task->sid();
+        const arch::Dataflow &df = design.dataflow(sid);
+        const arch::TaskUnitParams &tp = design.params.forTask(sid);
+
+        // Task controller: queue bookkeeping + spawn/sync ports.
+        unsigned ports =
+            2 + 2 * static_cast<unsigned>(task->children().size());
+        uint32_t ctrl_alm = kUnitCtrlAlm + kPortAlm * ports;
+        bd.taskCtrl += ctrl_alm;
+        regs += kUnitCtrlReg + kPortAlm * ports;
+
+        // Queue storage: Ntasks entries x (args + metadata).
+        uint64_t entry_bits = 64ull * task->args().size() + 96;
+        bram_bits += entry_bits * tp.ntasks;
+
+        // Stack scratchpad for in-task allocas (recursion frames).
+        uint64_t alloca_bytes = 0;
+        for (const auto &node : df.nodes()) {
+            if (node.inst &&
+                node.inst->opcode() == ir::Opcode::Alloca) {
+                alloca_bytes += ir::cast<ir::AllocaInst>(node.inst)
+                                    ->sizeBytes();
+            }
+        }
+        bram_bits += 8ull * alloca_bytes * tp.ntasks;
+
+        // TXU tiles: one copy of every function unit per tile.
+        uint32_t tile_alm = kTileHarnessAlm;
+        uint32_t tile_reg = kTileHarnessReg;
+        for (const auto &node : df.nodes()) {
+            if (node.isArgIn)
+                continue;
+            OpCosts c = opCosts(node.cls);
+            // Constant shifts synthesize to wiring.
+            if (node.inst && node.cls == OpClass::IntAlu) {
+                ir::Opcode op = node.inst->opcode();
+                if ((op == ir::Opcode::Shl ||
+                     op == ir::Opcode::LShr ||
+                     op == ir::Opcode::AShr) &&
+                    node.inst->operand(1)->isConstant()) {
+                    c = OpCosts{2, 8};
+                }
+            }
+            tile_alm += c.alm;
+            tile_reg += c.reg;
+        }
+        // A spawning-loop control unit is reported as "Parallel For"
+        // in Fig. 14; worker units count as "Tiles".
+        bool is_control = !task->spawnSites().empty() ||
+                          !task->taskCalls().empty();
+        uint32_t all_tiles_alm = tile_alm * tp.ntiles;
+        if (is_control)
+            bd.parallelFor += all_tiles_alm;
+        else
+            bd.tiles += all_tiles_alm;
+        regs += tile_reg * tp.ntiles;
+
+        // Data box per tile: arbiter tree sized by memory clients.
+        uint32_t clients =
+            static_cast<uint32_t>(df.numMemPorts());
+        if (clients > 0) {
+            uint32_t arb = kArbBaseAlm + kArbPerClientAlm * clients;
+            bd.memArb += arb * tp.ntiles;
+            regs += (kArbPerClientReg * clients) * tp.ntiles;
+        }
+    }
+
+    // Shared L1 cache: tag+data in M20K, control in logic (memArb).
+    bd.memArb += 150;
+    regs += 260;
+    bram_bits += 8ull * design.params.mem.cacheBytes;
+    bram_bits += 64ull * (design.params.mem.cacheBytes /
+                          design.params.mem.lineBytes); // tags
+
+    rep.alms = bd.total();
+    rep.regs = regs;
+    rep.brams = static_cast<uint32_t>(
+        (bram_bits + kM20kBits - 1) / kM20kBits);
+    rep.utilization =
+        static_cast<double>(rep.alms) / dev.totalAlms;
+
+    double jitter = placementJitter(design, dev);
+    double fmax = dev.baseMhz *
+                  (1.0 - dev.congestionSlope *
+                             std::min(1.0, rep.utilization)) *
+                  (1.0 + jitter);
+    rep.fmaxMhz = fmax;
+
+    rep.powerW = estimatePower(dev, rep.alms, rep.regs, rep.brams,
+                               fmax);
+    return rep;
+}
+
+double
+estimatePower(const Device &dev, uint32_t alms, uint32_t regs,
+              uint32_t brams, double fmax_mhz)
+{
+    // Static + clock tree.
+    double p = 0.34 * dev.powerScale;
+    // Dynamic: logic + registers toggling at fmax.
+    double f_ghz = fmax_mhz / 1000.0;
+    p += 2.6e-4 * (alms + 0.55 * regs) * f_ghz * dev.powerScale;
+    // BRAM banks.
+    p += 0.0035 * brams * dev.powerScale;
+    return p;
+}
+
+} // namespace tapas::fpga

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Analytic FPGA resource, timing and power models for TAPAS-generated
+ * accelerators. These stand in for Quartus synthesis + PowerPlay in
+ * the paper's evaluation (Tables III-V, Fig. 14): per-node ALM and
+ * register costs, task-controller and memory-network overheads, M20K
+ * accounting for queues/scratchpads/cache, a congestion-aware Fmax
+ * estimate, and an activity-based power estimate.
+ *
+ * Coefficients are calibrated against the anchor points the paper
+ * publishes in Table III (see EXPERIMENTS.md for paper-vs-model).
+ */
+
+#ifndef TAPAS_FPGA_MODEL_HH
+#define TAPAS_FPGA_MODEL_HH
+
+#include <map>
+
+#include "arch/dataflow.hh"
+#include "fpga/device.hh"
+#include "hls/compile.hh"
+
+namespace tapas::fpga {
+
+/** Fig. 14's sub-block decomposition of ALM usage. */
+struct AlmBreakdown
+{
+    uint32_t tiles = 0;       ///< TXU function units (x Ntiles)
+    uint32_t parallelFor = 0; ///< spawning-loop control units
+    uint32_t taskCtrl = 0;    ///< task queues + schedulers + ports
+    uint32_t memArb = 0;      ///< data boxes + cache interconnect
+    uint32_t misc = 0;        ///< AXI bridge, top-level glue
+
+    uint32_t
+    total() const
+    {
+        return tiles + parallelFor + taskCtrl + memArb + misc;
+    }
+};
+
+/** Synthesis estimate for one accelerator on one device. */
+struct ResourceReport
+{
+    uint32_t alms = 0;
+    uint32_t regs = 0;
+    uint32_t brams = 0; ///< M20K blocks (queues + scratch + cache)
+    AlmBreakdown breakdown;
+
+    double fmaxMhz = 0;
+    double utilization = 0; ///< ALM fraction of the device
+
+    /** Estimated total power in watts at fmax (Cyclone V scale). */
+    double powerW = 0;
+};
+
+/** Per-node ALM/register cost table. */
+struct OpCosts
+{
+    uint32_t alm = 0;
+    uint32_t reg = 0;
+};
+
+/** Cost of one dataflow node class. */
+OpCosts opCosts(arch::OpClass cls);
+
+/**
+ * Estimate resources/Fmax/power for a compiled design on a device.
+ *
+ * @param design compiled accelerator (tasks + dataflows + params)
+ * @param dev target FPGA
+ */
+ResourceReport estimateResources(const hls::AcceleratorDesign &design,
+                                 const Device &dev);
+
+/**
+ * Power for an externally supplied resource count (used for the
+ * Intel-HLS baseline comparison in Table V).
+ */
+double estimatePower(const Device &dev, uint32_t alms, uint32_t regs,
+                     uint32_t brams, double fmax_mhz);
+
+/** The paper's comparison CPU package power (RAPL, i7 quad). */
+constexpr double kIntelI7PowerW = 46.0;
+
+/** The embedded ARM core's power for context experiments. */
+constexpr double kArmPowerW = 1.8;
+
+} // namespace tapas::fpga
+
+#endif // TAPAS_FPGA_MODEL_HH

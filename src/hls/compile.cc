@@ -1,0 +1,46 @@
+#include "hls/compile.hh"
+
+#include <algorithm>
+
+#include "hls/task_extract.hh"
+#include "ir/verifier.hh"
+
+namespace tapas::hls {
+
+std::unique_ptr<AcceleratorDesign>
+compile(const ir::Module &mod, ir::Function *top,
+        arch::AcceleratorParams params)
+{
+    ir::VerifyResult v = ir::verifyModule(mod);
+    if (!v.ok()) {
+        tapas_fatal("cannot compile unverified module:\n%s",
+                    v.str().c_str());
+    }
+
+    auto design = std::make_unique<AcceleratorDesign>();
+    design->module = &mod;
+    design->top = top;
+
+    // Stage 1: task-level architecture.
+    design->taskGraph = extractTasks(mod, top);
+
+    // Stage 2: dataflow per task unit.
+    for (const auto &task : design->taskGraph->tasks())
+        design->dataflows.push_back(arch::buildDataflow(*task));
+
+    // Stage 3: late parameter binding. Derive each tile's pipeline
+    // depth from its dataflow when the caller left it unset.
+    design->params = params;
+    for (const auto &task : design->taskGraph->tasks()) {
+        unsigned sid = task->sid();
+        arch::TaskUnitParams tp = design->params.forTask(sid);
+        if (tp.tilePipelineDepth == 0) {
+            unsigned depth = design->dataflows[sid].pipelineDepth();
+            tp.tilePipelineDepth = std::clamp(depth, 2u, 16u);
+        }
+        design->params.perTask[sid] = tp;
+    }
+    return design;
+}
+
+} // namespace tapas::hls

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Top-level TAPAS HLS driver: runs Stage 1 (task extraction), Stage 2
+ * (dataflow generation) and Stage 3 (parameter binding) and yields an
+ * AcceleratorDesign — the complete blueprint the simulator executes,
+ * the FPGA models cost, and the Chisel emitter prints.
+ */
+
+#ifndef TAPAS_HLS_COMPILE_HH
+#define TAPAS_HLS_COMPILE_HH
+
+#include <memory>
+#include <vector>
+
+#include "arch/dataflow.hh"
+#include "arch/params.hh"
+#include "arch/task.hh"
+
+namespace tapas::hls {
+
+/** Output of the full TAPAS toolchain for one top function. */
+struct AcceleratorDesign
+{
+    /** Module the design was compiled from (non-owning). */
+    const ir::Module *module = nullptr;
+
+    /** Offloaded top function. */
+    const ir::Function *top = nullptr;
+
+    /** Stage 1 output: one task per task unit, sid-indexed. */
+    std::unique_ptr<arch::TaskGraph> taskGraph;
+
+    /** Stage 2 output: dataflow per task, sid-indexed. */
+    std::vector<arch::Dataflow> dataflows;
+
+    /** Stage 3 output: bound hardware parameters. */
+    arch::AcceleratorParams params;
+
+    const arch::Dataflow &
+    dataflow(unsigned sid) const
+    {
+        return dataflows.at(sid);
+    }
+};
+
+/**
+ * Run the TAPAS toolchain.
+ *
+ * The module must verify. Parameter defaults may be overridden by
+ * `params`; per-task tile pipeline depths left at 0 are derived from
+ * each dataflow's depth (Stage 3 late binding).
+ *
+ * @param mod the parallel-IR module
+ * @param top function to offload
+ * @param params initial parameterization
+ */
+std::unique_ptr<AcceleratorDesign> compile(
+    const ir::Module &mod, ir::Function *top,
+    arch::AcceleratorParams params = arch::AcceleratorParams());
+
+} // namespace tapas::hls
+
+#endif // TAPAS_HLS_COMPILE_HH

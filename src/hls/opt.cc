@@ -1,0 +1,279 @@
+#include "hls/opt.hh"
+
+#include <set>
+#include <vector>
+
+#include "ir/rtvalue.hh"
+
+namespace tapas::hls {
+
+using ir::BasicBlock;
+using ir::ConstantFloat;
+using ir::ConstantInt;
+using ir::Function;
+using ir::Instruction;
+using ir::Module;
+using ir::Opcode;
+using ir::PhiInst;
+using ir::RtValue;
+using ir::Value;
+
+namespace {
+
+/** Replace every operand use of `from` with `to` inside `func`. */
+void
+replaceAllUses(Function &func, Value *from, Value *to)
+{
+    for (const auto &bb : func.basicBlocks()) {
+        for (const auto &inst : bb->instructions()) {
+            for (unsigned i = 0; i < inst->numOperands(); ++i) {
+                if (inst->operand(i) == from)
+                    inst->setOperand(i, to);
+            }
+        }
+    }
+}
+
+/** Constant value of `v` if it is one. */
+bool
+constantOf(const Value *v, RtValue &out)
+{
+    if (auto *ci = dynamic_cast<const ConstantInt *>(v)) {
+        out = RtValue::fromInt(ci->value());
+        return true;
+    }
+    if (auto *cf = dynamic_cast<const ConstantFloat *>(v)) {
+        out = RtValue::fromFloat(cf->value());
+        return true;
+    }
+    return false;
+}
+
+/** Make a constant Value of the given type holding `v`. */
+Value *
+makeConstant(Module &mod, ir::Type type, RtValue v)
+{
+    if (type.isFloat())
+        return mod.constFloat(type, v.f);
+    return mod.constInt(type, v.i);
+}
+
+/** True for instructions that may be deleted when unused. */
+bool
+isPure(const Instruction *inst)
+{
+    switch (inst->opcode()) {
+      case Opcode::Store:
+      case Opcode::Call:
+      case Opcode::Br:
+      case Opcode::Ret:
+      case Opcode::Detach:
+      case Opcode::Reattach:
+      case Opcode::Sync:
+        return false;
+      default:
+        return true;
+    }
+}
+
+} // namespace
+
+unsigned
+foldConstants(Function &func, Module &mod)
+{
+    unsigned folded = 0;
+    // Collect first: folding mutates the block's instruction list.
+    std::vector<Instruction *> candidates;
+    for (const auto &bb : func.basicBlocks()) {
+        for (const auto &inst : bb->instructions()) {
+            Opcode op = inst->opcode();
+            if (ir::isIntBinary(op) || ir::isFloatBinary(op) ||
+                ir::isCast(op) || op == Opcode::ICmp ||
+                op == Opcode::FCmp || op == Opcode::Select) {
+                candidates.push_back(inst.get());
+            }
+        }
+    }
+
+    for (Instruction *inst : candidates) {
+        Opcode op = inst->opcode();
+        RtValue a;
+        RtValue b;
+        Value *replacement = nullptr;
+
+        if (ir::isIntBinary(op) || ir::isFloatBinary(op)) {
+            if (!constantOf(inst->operand(0), a) ||
+                !constantOf(inst->operand(1), b)) {
+                continue;
+            }
+            // Never fold a division by zero; leave the trap in place.
+            if ((op == Opcode::SDiv || op == Opcode::UDiv ||
+                 op == Opcode::SRem || op == Opcode::URem) &&
+                b.i == 0) {
+                continue;
+            }
+            replacement = makeConstant(
+                mod, inst->type(),
+                ir::evalBinary(op, inst->type(), a, b));
+        } else if (op == Opcode::ICmp || op == Opcode::FCmp) {
+            auto *cmp = ir::cast<ir::CmpInst>(inst);
+            if (!constantOf(cmp->lhs(), a) ||
+                !constantOf(cmp->rhs(), b)) {
+                continue;
+            }
+            replacement = makeConstant(
+                mod, ir::Type::i1(),
+                ir::evalCmp(op, cmp->pred(), cmp->lhs()->type(), a,
+                            b));
+        } else if (ir::isCast(op)) {
+            auto *c = ir::cast<ir::CastInst>(inst);
+            if (!constantOf(c->src(), a))
+                continue;
+            replacement = makeConstant(
+                mod, c->type(),
+                ir::evalCast(op, c->src()->type(), c->type(), a));
+        } else if (op == Opcode::Select) {
+            auto *sel = ir::cast<ir::SelectInst>(inst);
+            if (!constantOf(sel->cond(), a))
+                continue;
+            replacement = a.truthy() ? sel->ifTrue()
+                                     : sel->ifFalse();
+        }
+
+        if (!replacement)
+            continue;
+        replaceAllUses(func, inst, replacement);
+        inst->parent()->removeInstruction(inst);
+        ++folded;
+    }
+    return folded;
+}
+
+unsigned
+simplifyBranches(Function &func)
+{
+    unsigned simplified = 0;
+    for (const auto &bb : func.basicBlocks()) {
+        Instruction *term = bb->terminator();
+        auto *br = term ? ir::dyn_cast<ir::BranchInst>(term)
+                        : nullptr;
+        if (!br || !br->isConditional())
+            continue;
+        RtValue cond;
+        if (!constantOf(br->cond(), cond)) {
+            // cond-br with identical targets also simplifies.
+            if (br->ifTrue() != br->ifFalse())
+                continue;
+            cond = RtValue::fromInt(1);
+        }
+        BasicBlock *taken = cond.truthy() ? br->ifTrue()
+                                          : br->ifFalse();
+        BasicBlock *dropped = cond.truthy() ? br->ifFalse()
+                                            : br->ifTrue();
+        if (dropped != taken) {
+            for (PhiInst *phi : dropped->phis())
+                phi->removeIncoming(bb.get());
+        }
+        bb->removeInstruction(br);
+        bb->append(std::make_unique<ir::BranchInst>(taken));
+        ++simplified;
+    }
+    return simplified;
+}
+
+unsigned
+removeUnreachableBlocks(Function &func)
+{
+    std::set<const BasicBlock *> reachable;
+    std::vector<BasicBlock *> work{func.entry()};
+    while (!work.empty()) {
+        BasicBlock *bb = work.back();
+        work.pop_back();
+        if (!reachable.insert(bb).second)
+            continue;
+        if (bb->isTerminated()) {
+            for (BasicBlock *succ : bb->successorBlocks())
+                work.push_back(succ);
+        }
+    }
+
+    std::vector<BasicBlock *> dead;
+    for (const auto &bb : func.basicBlocks()) {
+        if (!reachable.count(bb.get()))
+            dead.push_back(bb.get());
+    }
+    for (BasicBlock *bb : dead) {
+        if (bb->isTerminated()) {
+            for (BasicBlock *succ : bb->successorBlocks()) {
+                if (!reachable.count(succ))
+                    continue;
+                for (PhiInst *phi : succ->phis())
+                    phi->removeIncoming(bb);
+            }
+        }
+        func.removeBlock(bb);
+    }
+    return static_cast<unsigned>(dead.size());
+}
+
+unsigned
+eliminateDeadCode(Function &func)
+{
+    unsigned removed = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        std::set<const Value *> used;
+        for (const auto &bb : func.basicBlocks()) {
+            for (const auto &inst : bb->instructions()) {
+                for (const Value *op : inst->operands())
+                    used.insert(op);
+            }
+        }
+        std::vector<Instruction *> dead;
+        for (const auto &bb : func.basicBlocks()) {
+            for (const auto &inst : bb->instructions()) {
+                if (isPure(inst.get()) && !used.count(inst.get()))
+                    dead.push_back(inst.get());
+            }
+        }
+        for (Instruction *inst : dead) {
+            inst->parent()->removeInstruction(inst);
+            ++removed;
+            changed = true;
+        }
+    }
+    return removed;
+}
+
+OptStats
+optimizeFunction(Function &func, Module &mod)
+{
+    OptStats stats;
+    bool changed = true;
+    while (changed) {
+        unsigned before = stats.total();
+        stats.foldedConstants += foldConstants(func, mod);
+        stats.simplifiedBranches += simplifyBranches(func);
+        stats.removedBlocks += removeUnreachableBlocks(func);
+        stats.removedInstructions += eliminateDeadCode(func);
+        changed = stats.total() != before;
+    }
+    return stats;
+}
+
+OptStats
+optimizeModule(Module &mod)
+{
+    OptStats total;
+    for (const auto &f : mod.functions()) {
+        OptStats s = optimizeFunction(*f, mod);
+        total.foldedConstants += s.foldedConstants;
+        total.simplifiedBranches += s.simplifiedBranches;
+        total.removedBlocks += s.removedBlocks;
+        total.removedInstructions += s.removedInstructions;
+    }
+    return total;
+}
+
+} // namespace tapas::hls

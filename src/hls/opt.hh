@@ -1,0 +1,66 @@
+/**
+ * @file
+ * IR optimization passes run before hardware generation — the
+ * "Concurrency Opt" / "Task Opt" boxes in the paper's Fig. 3
+ * pipeline. Every dataflow node costs real ALMs, so shrinking the IR
+ * directly shrinks the accelerator:
+ *
+ *  - constant folding (binary / compare / cast / select);
+ *  - branch simplification (conditional branch on a constant, and
+ *    select on a constant condition);
+ *  - unreachable-block elimination (with phi-edge cleanup);
+ *  - dead-code elimination of side-effect-free instructions.
+ *
+ * Passes run to a combined fixpoint via optimizeFunction(). They
+ * preserve Tapir structure: detach/reattach/sync terminators and
+ * anything with memory or control effects are never removed.
+ */
+
+#ifndef TAPAS_HLS_OPT_HH
+#define TAPAS_HLS_OPT_HH
+
+#include "ir/function.hh"
+
+namespace tapas::hls {
+
+/** Statistics from one optimizeFunction() run. */
+struct OptStats
+{
+    unsigned foldedConstants = 0;
+    unsigned simplifiedBranches = 0;
+    unsigned removedBlocks = 0;
+    unsigned removedInstructions = 0;
+
+    unsigned
+    total() const
+    {
+        return foldedConstants + simplifiedBranches + removedBlocks +
+               removedInstructions;
+    }
+};
+
+/** Fold instructions whose operands are all constants. One pass. */
+unsigned foldConstants(ir::Function &func, ir::Module &mod);
+
+/**
+ * Rewrite conditional branches whose condition is a constant into
+ * unconditional ones (phi edges of the dropped successor are
+ * cleaned). One pass.
+ */
+unsigned simplifyBranches(ir::Function &func);
+
+/** Delete blocks unreachable from the entry. One pass. */
+unsigned removeUnreachableBlocks(ir::Function &func);
+
+/** Delete unused side-effect-free instructions. One pass. */
+unsigned eliminateDeadCode(ir::Function &func);
+
+/** Run all passes to a fixpoint. */
+OptStats optimizeFunction(ir::Function &func, ir::Module &mod);
+
+/** optimizeFunction over every function in the module. */
+OptStats optimizeModule(ir::Module &mod);
+
+} // namespace tapas::hls
+
+#endif // TAPAS_HLS_OPT_HH

@@ -1,0 +1,259 @@
+#include "hls/task_extract.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "analysis/liveness.hh"
+#include "support/logging.hh"
+
+namespace tapas::hls {
+
+using arch::Task;
+using arch::TaskGraph;
+using ir::BasicBlock;
+using ir::CallInst;
+using ir::CfgEdge;
+using ir::DetachInst;
+using ir::EdgeKind;
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+
+namespace {
+
+/** Builder state for one extraction run. */
+class Extractor
+{
+  public:
+    explicit Extractor(const ir::Module &mod)
+        : tg(std::make_unique<TaskGraph>())
+    {
+        (void)mod;
+    }
+
+    std::unique_ptr<TaskGraph>
+    run(Function *top)
+    {
+        Task *root = tg->addTask(top->name(), top, top->entry());
+        funcRoots[top] = root;
+        buildTask(root, /*boundary=*/nullptr);
+        markRecursion();
+        countStatics();
+        inferArgs();
+        return std::move(tg);
+    }
+
+  private:
+    /**
+     * Collect the blocks of `task`, creating child tasks at each
+     * spawn edge and task-call site. `boundary` is the continuation
+     * of the spawning detach (nullptr for function-root tasks).
+     */
+    void
+    buildTask(Task *task, BasicBlock *boundary)
+    {
+        std::vector<BasicBlock *> blocks;
+        std::set<BasicBlock *> seen;
+        std::vector<BasicBlock *> work{task->entry()};
+
+        while (!work.empty()) {
+            BasicBlock *bb = work.back();
+            work.pop_back();
+            if (!seen.insert(bb).second)
+                continue;
+            blocks.push_back(bb);
+
+            scanForTaskCalls(task, bb);
+
+            Instruction *term = bb->terminator();
+            tapas_assert(term, "unterminated block in extraction");
+
+            if (term->opcode() == Opcode::Reattach) {
+                auto *re = ir::cast<ir::ReattachInst>(term);
+                if (re->cont() == boundary)
+                    continue; // task exit: join with parent
+                tapas_panic("reattach to '%s' escapes task '%s'",
+                            re->cont()->name().c_str(),
+                            task->name().c_str());
+            }
+
+            if (term->opcode() == Opcode::Detach) {
+                auto *det = ir::cast<DetachInst>(term);
+                Task *child = tg->addTask(
+                    task->name() + "." + det->detached()->name(),
+                    task->function(), det->detached());
+                child->setParent(task);
+                task->addSpawnSite(det, child);
+                buildTask(child, det->cont());
+                // Parent keeps running at the continuation only.
+                work.push_back(det->cont());
+                continue;
+            }
+
+            for (const CfgEdge &e : bb->successors())
+                work.push_back(e.to);
+        }
+
+        task->setBlocks(std::move(blocks));
+    }
+
+    /** Register task calls (callee has detaches) found in `bb`. */
+    void
+    scanForTaskCalls(Task *task, BasicBlock *bb)
+    {
+        for (const auto &inst : bb->instructions()) {
+            auto *call = ir::dyn_cast<CallInst>(inst.get());
+            if (!call || !call->callee()->hasDetach())
+                continue;
+            Function *callee = call->callee();
+            Task *callee_root;
+            auto it = funcRoots.find(callee);
+            if (it != funcRoots.end()) {
+                callee_root = it->second;
+            } else {
+                callee_root = tg->addTask(callee->name(), callee,
+                                          callee->entry());
+                funcRoots[callee] = callee_root;
+                buildTask(callee_root, nullptr);
+            }
+            task->addTaskCall(call, callee_root);
+        }
+    }
+
+    /** Mark tasks reachable from themselves in the spawn graph. */
+    void
+    markRecursion()
+    {
+        for (const auto &t : tg->tasks()) {
+            std::set<Task *> seen;
+            std::vector<Task *> work = t->children();
+            bool cyclic = false;
+            while (!work.empty()) {
+                Task *cur = work.back();
+                work.pop_back();
+                if (cur == t.get()) {
+                    cyclic = true;
+                    break;
+                }
+                if (!seen.insert(cur).second)
+                    continue;
+                for (Task *c : cur->children())
+                    work.push_back(c);
+            }
+            t->setRecursive(cyclic);
+        }
+    }
+
+    /**
+     * Static instruction / memory-op counts with leaf calls inlined
+     * (each call site contributes one copy of the callee's body).
+     */
+    void
+    countStatics()
+    {
+        for (const auto &t : tg->tasks()) {
+            size_t insts = 0;
+            size_t mems = 0;
+            for (BasicBlock *bb : t->blocks())
+                countBlock(bb, insts, mems, 0);
+            t->setStaticCounts(insts, mems);
+        }
+    }
+
+    void
+    countBlock(const BasicBlock *bb, size_t &insts, size_t &mems,
+               unsigned depth)
+    {
+        tapas_assert(depth < 32, "leaf-call inlining too deep");
+        for (const auto &inst : bb->instructions()) {
+            ++insts;
+            if (inst->isMemAccess())
+                ++mems;
+            auto *call = ir::dyn_cast<CallInst>(inst.get());
+            if (call && call->callee()->hasDetach() && depth > 0) {
+                // An inlined leaf callee may not spawn tasks: the TXU
+                // has no spawn port for inlined bodies.
+                tapas_fatal("leaf function '%s' calls task function "
+                            "'%s'; hoist the call into a task body",
+                            call->function()->name().c_str(),
+                            call->callee()->name().c_str());
+            }
+            if (call && !call->callee()->hasDetach()) {
+                for (const auto &cbb : call->callee()->basicBlocks())
+                    countBlock(cbb.get(), insts, mems, depth + 1);
+            }
+        }
+    }
+
+    /**
+     * Infer marshaled arguments for every task, then propagate
+     * transitively: if a spawned child needs a value neither defined
+     * in nor already an argument of the spawning task, the spawner
+     * must receive it too (closure conversion over the spawn tree).
+     * Propagation terminates at function-root tasks, whose arguments
+     * are the function's formals.
+     */
+    void
+    inferArgs()
+    {
+        for (const auto &t : tg->tasks()) {
+            if (t->isFunctionRoot()) {
+                std::vector<ir::Value *> args;
+                for (ir::Argument *a : t->function()->arguments())
+                    args.push_back(a);
+                t->setArgs(std::move(args));
+                continue;
+            }
+            std::vector<BasicBlock *> region = t->blocks();
+            t->setArgs(analysis::externalInputs(region));
+        }
+
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (const auto &t : tg->tasks()) {
+                if (t->isFunctionRoot())
+                    continue;
+                std::vector<ir::Value *> args = t->args();
+                auto has = [&](ir::Value *v) {
+                    return std::find(args.begin(), args.end(), v) !=
+                           args.end();
+                };
+                auto defined_here = [&](ir::Value *v) {
+                    if (v->valueKind() !=
+                        ir::Value::Kind::Instruction) {
+                        return false;
+                    }
+                    auto *inst = static_cast<Instruction *>(v);
+                    return t->owns(inst->parent());
+                };
+                for (const arch::SpawnSite &s : t->spawnSites()) {
+                    for (ir::Value *need : s.child->args()) {
+                        if (!defined_here(need) && !has(need)) {
+                            args.push_back(need);
+                            changed = true;
+                        }
+                    }
+                }
+                if (changed)
+                    t->setArgs(std::move(args));
+            }
+        }
+    }
+
+    std::unique_ptr<TaskGraph> tg;
+    std::map<const Function *, Task *> funcRoots;
+};
+
+} // namespace
+
+std::unique_ptr<TaskGraph>
+extractTasks(const ir::Module &mod, Function *top)
+{
+    tapas_assert(top, "extractTasks: null top function");
+    Extractor ex(mod);
+    return ex.run(top);
+}
+
+} // namespace tapas::hls

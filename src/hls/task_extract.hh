@@ -1,0 +1,45 @@
+/**
+ * @file
+ * TAPAS Stage 1: extract the explicit task graph from parallel IR
+ * (paper Section III-A and Fig. 9).
+ *
+ * Starting from a designated top function, reachability analysis over
+ * the Tapir-marked CFG partitions blocks into tasks:
+ *
+ *  - spawn edges (detach -> detached block) open a child task whose
+ *    region extends to the reattaches naming the detach continuation;
+ *  - calls to functions that themselves contain detaches become *task
+ *    calls*: the callee's root task joins the accelerator as its own
+ *    task unit and the call site spawns it and awaits the returned
+ *    value (this is how recursive parallelism like mergesort and fib
+ *    is realized, paper Section IV-C);
+ *  - calls to detach-free functions are treated as inlined leaf calls
+ *    executed by the caller's TXU.
+ *
+ * Task arguments are inferred with live-variable analysis (Section
+ * III-F): every value used inside the task but defined outside it is
+ * marshaled through the spawning unit's args RAM.
+ */
+
+#ifndef TAPAS_HLS_TASK_EXTRACT_HH
+#define TAPAS_HLS_TASK_EXTRACT_HH
+
+#include <memory>
+
+#include "arch/task.hh"
+
+namespace tapas::hls {
+
+/**
+ * Extract the task graph for an accelerator rooted at `top`.
+ *
+ * @param mod module containing `top` and everything it reaches
+ * @param top the offloaded top-level function
+ * @return the task graph; task 0 is the root task (top's body)
+ */
+std::unique_ptr<arch::TaskGraph> extractTasks(const ir::Module &mod,
+                                              ir::Function *top);
+
+} // namespace tapas::hls
+
+#endif // TAPAS_HLS_TASK_EXTRACT_HH

@@ -1,0 +1,405 @@
+#include "hls/unroll.hh"
+
+#include <map>
+#include <set>
+
+#include "analysis/loopinfo.hh"
+
+namespace tapas::hls {
+
+using ir::BasicBlock;
+using ir::BinaryInst;
+using ir::BranchInst;
+using ir::CmpInst;
+using ir::CmpPred;
+using ir::Function;
+using ir::Instruction;
+using ir::Module;
+using ir::Opcode;
+using ir::PhiInst;
+using ir::Value;
+
+namespace {
+
+/** A matched canonical loop. */
+struct CanonicalLoop
+{
+    BasicBlock *pre = nullptr;     ///< unique out-of-loop predecessor
+    BasicBlock *header = nullptr;
+    BasicBlock *body = nullptr;
+    BasicBlock *exit = nullptr;
+    BasicBlock *latch = nullptr;
+    PhiInst *iv = nullptr;
+    Value *bound = nullptr;
+    CmpInst *cond = nullptr;
+    Instruction *inext = nullptr;
+    std::vector<PhiInst *> carries; ///< header phis other than iv
+};
+
+/** Try to match the canonical shape; nullopt-style via bool. */
+bool
+matchCanonical(const analysis::Loop &loop, Function &func,
+               CanonicalLoop &out)
+{
+    if (!loop.subLoops.empty() || loop.spawnsTasks())
+        return false;
+    if (loop.latches.size() != 1 || loop.blocks.size() != 3)
+        return false;
+
+    BasicBlock *header = loop.header;
+    BasicBlock *latch = loop.latches[0];
+
+    // Header: phis, one icmp slt, conditional branch (body, exit).
+    auto *br = ir::dyn_cast<BranchInst>(header->terminator());
+    if (!br || !br->isConditional())
+        return false;
+    auto *cond = ir::dyn_cast<CmpInst>(
+        static_cast<Instruction *>(nullptr));
+    if (br->cond()->valueKind() == Value::Kind::Instruction) {
+        cond = ir::dyn_cast<CmpInst>(
+            static_cast<Instruction *>(br->cond()));
+    }
+    if (!cond || cond->opcode() != Opcode::ICmp ||
+        cond->pred() != CmpPred::SLT ||
+        cond->parent() != header) {
+        return false;
+    }
+    BasicBlock *body = br->ifTrue();
+    BasicBlock *exit = br->ifFalse();
+    if (!loop.contains(body) || loop.contains(exit))
+        return false;
+
+    // Header layout: phis .. cmp .. br only.
+    size_t num_phis = header->phis().size();
+    if (header->size() != num_phis + 2)
+        return false;
+
+    // Latch: inext = add iv, 1; br header.
+    if (latch->size() != 2)
+        return false;
+    auto *latch_br = ir::dyn_cast<BranchInst>(latch->terminator());
+    if (!latch_br || latch_br->isConditional() ||
+        latch_br->ifTrue() != header) {
+        return false;
+    }
+    auto *inext = ir::dyn_cast<BinaryInst>(
+        latch->instructions()[0].get());
+    if (!inext || inext->opcode() != Opcode::Add)
+        return false;
+    auto *step = dynamic_cast<ir::ConstantInt *>(inext->rhs());
+    if (!step || step->value() != 1)
+        return false;
+
+    // iv: the phi whose latch-incoming is inext and which inext uses.
+    PhiInst *iv = nullptr;
+    for (PhiInst *phi : header->phis()) {
+        if (phi->incomingFor(latch) == inext &&
+            inext->lhs() == phi) {
+            iv = phi;
+            break;
+        }
+    }
+    if (!iv || cond->lhs() != iv)
+        return false;
+
+    // Body: straight-line into the latch, no side exits.
+    auto *body_br = ir::dyn_cast<BranchInst>(body->terminator());
+    if (!body_br || body_br->isConditional() ||
+        body_br->ifTrue() != latch) {
+        return false;
+    }
+
+    // Unique out-of-loop predecessor of the header.
+    BasicBlock *pre = nullptr;
+    auto preds = func.predecessorMap();
+    for (BasicBlock *p : preds[header->id()]) {
+        if (p == latch)
+            continue;
+        if (pre)
+            return false;
+        pre = p;
+    }
+    if (!pre)
+        return false;
+
+    // If the header is itself a detached block (a task entry), the
+    // unrolled header would become one — and task entries must not
+    // hold phis. Leave such loops alone.
+    if (const Instruction *pt = pre->terminator()) {
+        if (pt->opcode() == Opcode::Detach &&
+            ir::cast<ir::DetachInst>(pt)->detached() == header) {
+            return false;
+        }
+    }
+
+    // Carries: every other phi's latch value must be loop-computed
+    // (body/latch/header) or invariant.
+    std::vector<PhiInst *> carries;
+    for (PhiInst *phi : header->phis()) {
+        if (phi != iv)
+            carries.push_back(phi);
+    }
+
+    // No body-defined value may be used outside the loop.
+    std::set<const Value *> body_defs;
+    for (const auto &inst : body->instructions())
+        body_defs.insert(inst.get());
+    for (const auto &bb : func.basicBlocks()) {
+        if (loop.contains(bb.get()))
+            continue;
+        for (const auto &inst : bb->instructions()) {
+            for (const Value *op : inst->operands()) {
+                if (body_defs.count(op))
+                    return false;
+            }
+        }
+    }
+
+    out = CanonicalLoop{pre, header, body, exit, latch,
+                        iv, cond->rhs(), cond, inext, carries};
+    return true;
+}
+
+/** Clone a straight-line instruction with operand remapping. */
+std::unique_ptr<Instruction>
+cloneInst(const Instruction *inst,
+          const std::map<const Value *, Value *> &remap)
+{
+    auto rm = [&](Value *v) -> Value * {
+        auto it = remap.find(v);
+        return it == remap.end() ? v : it->second;
+    };
+
+    Opcode op = inst->opcode();
+    if (ir::isIntBinary(op) || ir::isFloatBinary(op)) {
+        return std::make_unique<BinaryInst>(
+            op, rm(inst->operand(0)), rm(inst->operand(1)),
+            inst->name());
+    }
+    if (ir::isCast(op)) {
+        auto *c = ir::cast<ir::CastInst>(inst);
+        return std::make_unique<ir::CastInst>(op, rm(c->src()),
+                                              c->type(), c->name());
+    }
+    switch (op) {
+      case Opcode::ICmp:
+      case Opcode::FCmp: {
+        auto *c = ir::cast<CmpInst>(inst);
+        return std::make_unique<CmpInst>(op, c->pred(), rm(c->lhs()),
+                                         rm(c->rhs()), c->name());
+      }
+      case Opcode::Select: {
+        auto *s = ir::cast<ir::SelectInst>(inst);
+        return std::make_unique<ir::SelectInst>(
+            rm(s->cond()), rm(s->ifTrue()), rm(s->ifFalse()),
+            s->name());
+      }
+      case Opcode::Load: {
+        auto *l = ir::cast<ir::LoadInst>(inst);
+        return std::make_unique<ir::LoadInst>(l->type(),
+                                              rm(l->addr()),
+                                              l->name());
+      }
+      case Opcode::Store: {
+        auto *s = ir::cast<ir::StoreInst>(inst);
+        return std::make_unique<ir::StoreInst>(rm(s->value()),
+                                               rm(s->addr()));
+      }
+      case Opcode::Gep: {
+        auto *g = ir::cast<ir::GepInst>(inst);
+        std::vector<uint64_t> strides;
+        std::vector<Value *> idx;
+        for (unsigned i = 0; i < g->numIndices(); ++i) {
+            strides.push_back(g->stride(i));
+            idx.push_back(rm(g->index(i)));
+        }
+        return std::make_unique<ir::GepInst>(
+            rm(g->base()), std::move(strides), std::move(idx),
+            g->name());
+      }
+      case Opcode::Call: {
+        auto *c = ir::cast<ir::CallInst>(inst);
+        std::vector<Value *> args;
+        for (unsigned i = 0; i < c->numArgs(); ++i)
+            args.push_back(rm(c->arg(i)));
+        return std::make_unique<ir::CallInst>(
+            c->callee(), std::move(args), c->name());
+      }
+      default:
+        return nullptr; // allocas/terminators: not cloneable here
+    }
+}
+
+/** Apply the transform to one matched loop. */
+bool
+unrollOne(Function &func, Module &mod, const CanonicalLoop &cl,
+          unsigned factor)
+{
+    // The body must be fully cloneable.
+    for (const auto &inst : cl.body->instructions()) {
+        if (inst->isTerminator())
+            continue;
+        std::map<const Value *, Value *> empty;
+        if (!cloneInst(inst.get(), empty))
+            return false;
+    }
+
+    BasicBlock *u_header = func.addBlock(cl.header->name() + ".unr");
+    BasicBlock *u_body =
+        func.addBlock(cl.body->name() + ".unr");
+    BasicBlock *u_latch =
+        func.addBlock(cl.latch->name() + ".unr");
+
+    // --- unrolled header -------------------------------------------
+    auto u_iv = std::make_unique<PhiInst>(cl.iv->type(),
+                                          cl.iv->name() + ".u");
+    PhiInst *u_iv_raw = u_iv.get();
+    u_header->append(std::move(u_iv));
+
+    std::map<const PhiInst *, PhiInst *> u_carry;
+    for (PhiInst *carry : cl.carries) {
+        auto uc = std::make_unique<PhiInst>(carry->type(),
+                                            carry->name() + ".u");
+        u_carry[carry] = uc.get();
+        u_header->append(std::move(uc));
+    }
+
+    // Guard: iv + factor <= bound  (SLE via SLT on iv+factor-1).
+    auto iv_last = std::make_unique<BinaryInst>(
+        Opcode::Add, u_iv_raw,
+        mod.constInt(cl.iv->type(),
+                     static_cast<int64_t>(factor) - 1),
+        "iv.last");
+    Instruction *iv_last_raw = u_header->append(std::move(iv_last));
+    auto guard = std::make_unique<CmpInst>(
+        Opcode::ICmp, CmpPred::SLT, iv_last_raw, cl.bound,
+        "unr.guard");
+    Instruction *guard_raw = u_header->append(std::move(guard));
+    u_header->append(std::make_unique<BranchInst>(
+        static_cast<Value *>(guard_raw), u_body, cl.header));
+
+    // --- unrolled body: factor copies -------------------------------
+    std::map<const Value *, Value *> remap;
+    remap[cl.iv] = u_iv_raw;
+    for (PhiInst *carry : cl.carries)
+        remap[carry] = u_carry[carry];
+
+    for (unsigned u = 0; u < factor; ++u) {
+        if (u > 0) {
+            auto iv_u = std::make_unique<BinaryInst>(
+                Opcode::Add, u_iv_raw,
+                mod.constInt(cl.iv->type(),
+                             static_cast<int64_t>(u)),
+                cl.iv->name() + ".p" + std::to_string(u));
+            remap[cl.iv] = u_body->append(std::move(iv_u));
+        }
+        // Clone in program order, making each clone visible to the
+        // later instructions of the same copy immediately.
+        for (const auto &inst : cl.body->instructions()) {
+            if (inst->isTerminator())
+                continue;
+            auto clone = cloneInst(inst.get(), remap);
+            remap[inst.get()] = u_body->append(std::move(clone));
+        }
+        // Advance every carry against a snapshot so cross-carry
+        // patterns (a, b = b, f(a, b)) read pre-advance values.
+        std::map<const Value *, Value *> snapshot = remap;
+        for (PhiInst *carry : cl.carries) {
+            Value *next = carry->incomingFor(cl.latch);
+            auto it = snapshot.find(next);
+            remap[carry] = it == snapshot.end() ? next : it->second;
+        }
+    }
+    u_body->append(std::make_unique<BranchInst>(u_latch));
+
+    // --- unrolled latch ----------------------------------------------
+    auto iv_next = std::make_unique<BinaryInst>(
+        Opcode::Add, u_iv_raw,
+        mod.constInt(cl.iv->type(), static_cast<int64_t>(factor)),
+        cl.iv->name() + ".unext");
+    Instruction *iv_next_raw = u_latch->append(std::move(iv_next));
+    u_latch->append(std::make_unique<BranchInst>(u_header));
+
+    // --- wire phis -----------------------------------------------------
+    u_iv_raw->addIncoming(cl.iv->incomingFor(cl.pre), cl.pre);
+    u_iv_raw->addIncoming(iv_next_raw, u_latch);
+    for (PhiInst *carry : cl.carries) {
+        u_carry[carry]->addIncoming(carry->incomingFor(cl.pre),
+                                    cl.pre);
+        // remap[carry] holds the value after `factor` advances.
+        u_carry[carry]->addIncoming(remap.at(carry), u_latch);
+    }
+
+    // Redirect the preheader into the unrolled loop; the original
+    // loop becomes the remainder, entered from u_header.
+    auto *pre_term = cl.pre->terminator();
+    if (auto *pbr = ir::dyn_cast<BranchInst>(pre_term)) {
+        if (pbr->ifTrue() == cl.header)
+            pbr->setIfTrue(u_header);
+        if (pbr->isConditional() && pbr->ifFalse() == cl.header)
+            pbr->setIfFalse(u_header);
+    } else if (auto *pdet = ir::dyn_cast<ir::DetachInst>(pre_term)) {
+        if (pdet->detached() == cl.header)
+            pdet->setDetached(u_header);
+        if (pdet->cont() == cl.header)
+            pdet->setCont(u_header);
+    } else if (auto *psy = ir::dyn_cast<ir::SyncInst>(pre_term)) {
+        if (psy->cont() == cl.header)
+            psy->setCont(u_header);
+    } else if (auto *pre2 = ir::dyn_cast<ir::ReattachInst>(
+                   pre_term)) {
+        if (pre2->cont() == cl.header)
+            pre2->setCont(u_header);
+    } else {
+        return false; // unexpected preheader terminator
+    }
+
+    // Original header's phis now flow from u_header instead of pre.
+    for (PhiInst *phi : cl.header->phis()) {
+        for (unsigned i = 0; i < phi->numIncoming(); ++i) {
+            if (phi->incomingBlock(i) == cl.pre) {
+                phi->setIncomingBlock(i, u_header);
+                phi->setOperand(i, phi == cl.iv
+                                       ? static_cast<Value *>(u_iv_raw)
+                                       : static_cast<Value *>(
+                                             u_carry[phi]));
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+unsigned
+unrollSerialLoops(Function &func, Module &mod,
+                  const UnrollOptions &opts)
+{
+    tapas_assert(opts.factor >= 2, "unroll factor must be >= 2");
+    unsigned done = 0;
+    // One loop at a time: the transform invalidates LoopInfo.
+    bool changed = true;
+    std::set<const BasicBlock *> already;
+    while (changed) {
+        changed = false;
+        analysis::LoopInfo li(func);
+        for (const auto &loop : li.loops()) {
+            if (already.count(loop->header))
+                continue;
+            CanonicalLoop cl;
+            if (!matchCanonical(*loop, func, cl))
+                continue;
+            if (cl.body->size() > opts.maxBodyInsts)
+                continue;
+            already.insert(cl.header);
+            if (unrollOne(func, mod, cl, opts.factor)) {
+                ++done;
+                changed = true;
+                break; // recompute loop info
+            }
+        }
+    }
+    return done;
+}
+
+} // namespace tapas::hls

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Serial-loop unrolling — the paper's Section VI future-work item
+ * ("there exist loop patterns that can be statically parallelized;
+ * TAPAS can benefit from statically scheduling such loops").
+ *
+ * Inner serial loops execute one iteration per TXU block activation;
+ * unrolling packs U iterations into one activation, multiplying the
+ * dataflow ILP the tile can mine per cycle at the cost of U copies
+ * of the body's function units.
+ *
+ * The transform targets the canonical loop shape the kernel builders
+ * emit (and Tapir produces for counted loops):
+ *
+ *   header:  iv = phi [begin, pre], [inext, latch]
+ *            carries... ; cond = icmp slt iv, bound ; br cond, body, exit
+ *   body:    straight-line, ends br latch
+ *   latch:   inext = add iv, 1 ; br header
+ *
+ * A new guarded main loop consuming U iterations per trip is placed
+ * in front; the original loop remains as the remainder (epilogue), so
+ * any trip count is handled. Results are bit-identical by
+ * construction (checked by the cross-engine fuzz tests).
+ */
+
+#ifndef TAPAS_HLS_UNROLL_HH
+#define TAPAS_HLS_UNROLL_HH
+
+#include "ir/function.hh"
+
+namespace tapas::hls {
+
+/** Unroll knobs. */
+struct UnrollOptions
+{
+    /** Iterations per unrolled trip. */
+    unsigned factor = 4;
+
+    /** Skip loops whose body exceeds this many instructions. */
+    unsigned maxBodyInsts = 48;
+};
+
+/**
+ * Unroll every eligible innermost serial loop in `func`.
+ *
+ * Eligible: canonical shape (above), single-block body, unit step,
+ * no detach in the loop, and no body-defined value used outside the
+ * loop.
+ *
+ * @return number of loops unrolled
+ */
+unsigned unrollSerialLoops(ir::Function &func, ir::Module &mod,
+                           const UnrollOptions &opts = {});
+
+} // namespace tapas::hls
+
+#endif // TAPAS_HLS_UNROLL_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Basic block for the TAPAS parallel IR: an ordered list of
+ * instructions ending in exactly one terminator. Successor edges are
+ * derived from the terminator, including the Tapir edge kinds the task
+ * extractor classifies (paper Fig. 9): SPAWN (detach -> detached
+ * block), CONTINUE (detach -> continuation), and REATTACH.
+ */
+
+#ifndef TAPAS_IR_BASIC_BLOCK_HH
+#define TAPAS_IR_BASIC_BLOCK_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.hh"
+
+namespace tapas::ir {
+
+class Function;
+
+/** Kind of a CFG edge, as classified by the task extraction pass. */
+enum class EdgeKind : uint8_t {
+    Normal,     ///< plain branch / fallthrough
+    Spawn,      ///< detach -> detached block (creates a child task)
+    Continue,   ///< detach -> continuation (parent keeps running)
+    Reattach,   ///< reattach -> continuation (child rejoins)
+    Sync,       ///< sync -> continuation (join barrier)
+};
+
+/** One outgoing CFG edge. */
+struct CfgEdge
+{
+    BasicBlock *to;
+    EdgeKind kind;
+};
+
+/** A basic block; owns its instructions. */
+class BasicBlock : public Value
+{
+  public:
+    BasicBlock(std::string name, Function *parent)
+        : Value(Kind::BasicBlock, Type::voidTy(), std::move(name)),
+          _parent(parent)
+    {}
+
+    Function *parent() const { return _parent; }
+
+    /** Append an instruction, taking ownership. */
+    Instruction *append(std::unique_ptr<Instruction> inst);
+
+    /**
+     * Insert an instruction before the block's terminator (or append
+     * if the block has no terminator yet).
+     */
+    Instruction *insertBeforeTerminator(
+        std::unique_ptr<Instruction> inst);
+
+    /**
+     * Remove (destroy) an instruction. The caller must have replaced
+     * every use first; this is checked by the optimizer, not here.
+     */
+    void removeInstruction(Instruction *inst);
+
+    const std::vector<std::unique_ptr<Instruction>> &
+    instructions() const
+    {
+        return insts;
+    }
+
+    bool empty() const { return insts.empty(); }
+    size_t size() const { return insts.size(); }
+
+    /** The terminator, or nullptr if the block is still open. */
+    Instruction *terminator() const;
+
+    /** True once the block ends with a terminator. */
+    bool isTerminated() const { return terminator() != nullptr; }
+
+    /** Outgoing CFG edges with Tapir edge kinds. */
+    std::vector<CfgEdge> successors() const;
+
+    /** Plain successor blocks (edge kinds dropped). */
+    std::vector<BasicBlock *> successorBlocks() const;
+
+    /** All phi nodes at the head of the block. */
+    std::vector<PhiInst *> phis() const;
+
+    /** Sequential index within the parent function. */
+    unsigned id() const { return _id; }
+    void setId(unsigned id) { _id = id; }
+
+  private:
+    Function *_parent;
+    std::vector<std::unique_ptr<Instruction>> insts;
+    unsigned _id = 0;
+};
+
+} // namespace tapas::ir
+
+#endif // TAPAS_IR_BASIC_BLOCK_HH

@@ -1,0 +1,146 @@
+#include "ir/builder.hh"
+
+namespace tapas::ir {
+
+Instruction *
+IRBuilder::insert(std::unique_ptr<Instruction> inst)
+{
+    tapas_assert(block, "builder has no insert point");
+    return block->append(std::move(inst));
+}
+
+Value *
+IRBuilder::createBinary(Opcode op, Value *lhs, Value *rhs,
+                        std::string name)
+{
+    tapas_assert(lhs->type() == rhs->type(),
+                 "binary '%s' operand type mismatch: %s vs %s",
+                 opcodeName(op), lhs->type().str().c_str(),
+                 rhs->type().str().c_str());
+    return insert(std::make_unique<BinaryInst>(op, lhs, rhs,
+                                               std::move(name)));
+}
+
+Value *
+IRBuilder::createICmp(CmpPred pred, Value *lhs, Value *rhs,
+                      std::string name)
+{
+    return insert(std::make_unique<CmpInst>(Opcode::ICmp, pred, lhs,
+                                            rhs, std::move(name)));
+}
+
+Value *
+IRBuilder::createFCmp(CmpPred pred, Value *lhs, Value *rhs,
+                      std::string name)
+{
+    return insert(std::make_unique<CmpInst>(Opcode::FCmp, pred, lhs,
+                                            rhs, std::move(name)));
+}
+
+Value *
+IRBuilder::createSelect(Value *cond, Value *if_true, Value *if_false,
+                        std::string name)
+{
+    return insert(std::make_unique<SelectInst>(cond, if_true, if_false,
+                                               std::move(name)));
+}
+
+Value *
+IRBuilder::createCast(Opcode op, Value *src, Type to, std::string name)
+{
+    return insert(std::make_unique<CastInst>(op, src, to,
+                                             std::move(name)));
+}
+
+Value *
+IRBuilder::createLoad(Type type, Value *addr, std::string name)
+{
+    return insert(std::make_unique<LoadInst>(type, addr,
+                                             std::move(name)));
+}
+
+void
+IRBuilder::createStore(Value *value, Value *addr)
+{
+    insert(std::make_unique<StoreInst>(value, addr));
+}
+
+Value *
+IRBuilder::createGep(Value *base, uint64_t stride, Value *index,
+                     std::string name)
+{
+    return insert(std::make_unique<GepInst>(
+        base, std::vector<uint64_t>{stride},
+        std::vector<Value *>{index}, std::move(name)));
+}
+
+Value *
+IRBuilder::createGep2(Value *base, uint64_t stride0, Value *i0,
+                      uint64_t stride1, Value *i1, std::string name)
+{
+    return insert(std::make_unique<GepInst>(
+        base, std::vector<uint64_t>{stride0, stride1},
+        std::vector<Value *>{i0, i1}, std::move(name)));
+}
+
+Value *
+IRBuilder::createAlloca(uint64_t size_bytes, std::string name)
+{
+    return insert(std::make_unique<AllocaInst>(size_bytes,
+                                               std::move(name)));
+}
+
+PhiInst *
+IRBuilder::createPhi(Type type, std::string name)
+{
+    return static_cast<PhiInst *>(
+        insert(std::make_unique<PhiInst>(type, std::move(name))));
+}
+
+Value *
+IRBuilder::createCall(Function *callee, std::vector<Value *> args,
+                      std::string name)
+{
+    return insert(std::make_unique<CallInst>(callee, std::move(args),
+                                             std::move(name)));
+}
+
+void
+IRBuilder::createBr(BasicBlock *target)
+{
+    insert(std::make_unique<BranchInst>(target));
+}
+
+void
+IRBuilder::createCondBr(Value *cond, BasicBlock *if_true,
+                        BasicBlock *if_false)
+{
+    tapas_assert(cond->type().isBool(), "branch condition must be i1");
+    insert(std::make_unique<BranchInst>(cond, if_true, if_false));
+}
+
+void
+IRBuilder::createRet(Value *value)
+{
+    insert(std::make_unique<RetInst>(value));
+}
+
+void
+IRBuilder::createDetach(BasicBlock *detached, BasicBlock *cont)
+{
+    insert(std::make_unique<DetachInst>(detached, cont));
+}
+
+void
+IRBuilder::createReattach(BasicBlock *cont)
+{
+    insert(std::make_unique<ReattachInst>(cont));
+}
+
+void
+IRBuilder::createSync(BasicBlock *cont)
+{
+    insert(std::make_unique<SyncInst>(cont));
+}
+
+} // namespace tapas::ir

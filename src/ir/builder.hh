@@ -1,0 +1,238 @@
+/**
+ * @file
+ * IRBuilder: convenience API for constructing TAPAS parallel IR.
+ *
+ * The builder is positioned at the end of a basic block; each create
+ * method appends one instruction there. Tapir spawn constructs
+ * (detach/reattach/sync) are first-class, so parallel programs such as
+ * the paper's benchmarks can be written directly:
+ *
+ * @code
+ *   IRBuilder b(module);
+ *   auto *f = module.addFunction("saxpy", Type::voidTy(), {...});
+ *   b.setInsertPoint(f->addBlock("entry"));
+ *   ...
+ *   b.createDetach(body_bb, cont_bb);   // cilk_spawn
+ * @endcode
+ */
+
+#ifndef TAPAS_IR_BUILDER_HH
+#define TAPAS_IR_BUILDER_HH
+
+#include <memory>
+#include <string>
+
+#include "ir/function.hh"
+
+namespace tapas::ir {
+
+/** Appends instructions to a basic block. */
+class IRBuilder
+{
+  public:
+    explicit IRBuilder(Module &module) : mod(module) {}
+
+    /** Position the builder at the end of a block. */
+    void setInsertPoint(BasicBlock *bb) { block = bb; }
+
+    BasicBlock *insertPoint() const { return block; }
+
+    Module &module() { return mod; }
+
+    // --- Constants ------------------------------------------------
+
+    ConstantInt *constI1(bool v) { return mod.constInt(Type::i1(), v); }
+    ConstantInt *constI32(int32_t v) { return mod.i32(v); }
+    ConstantInt *constI64(int64_t v) { return mod.i64(v); }
+
+    ConstantFloat *
+    constF32(float v)
+    {
+        return mod.constFloat(Type::f32(), v);
+    }
+
+    ConstantFloat *
+    constF64(double v)
+    {
+        return mod.constFloat(Type::f64(), v);
+    }
+
+    // --- Arithmetic -----------------------------------------------
+
+    Value *createBinary(Opcode op, Value *lhs, Value *rhs,
+                        std::string name = "");
+
+    Value *
+    createAdd(Value *l, Value *r, std::string n = "")
+    {
+        return createBinary(Opcode::Add, l, r, std::move(n));
+    }
+
+    Value *
+    createSub(Value *l, Value *r, std::string n = "")
+    {
+        return createBinary(Opcode::Sub, l, r, std::move(n));
+    }
+
+    Value *
+    createMul(Value *l, Value *r, std::string n = "")
+    {
+        return createBinary(Opcode::Mul, l, r, std::move(n));
+    }
+
+    Value *
+    createSDiv(Value *l, Value *r, std::string n = "")
+    {
+        return createBinary(Opcode::SDiv, l, r, std::move(n));
+    }
+
+    Value *
+    createSRem(Value *l, Value *r, std::string n = "")
+    {
+        return createBinary(Opcode::SRem, l, r, std::move(n));
+    }
+
+    Value *
+    createAnd(Value *l, Value *r, std::string n = "")
+    {
+        return createBinary(Opcode::And, l, r, std::move(n));
+    }
+
+    Value *
+    createOr(Value *l, Value *r, std::string n = "")
+    {
+        return createBinary(Opcode::Or, l, r, std::move(n));
+    }
+
+    Value *
+    createXor(Value *l, Value *r, std::string n = "")
+    {
+        return createBinary(Opcode::Xor, l, r, std::move(n));
+    }
+
+    Value *
+    createShl(Value *l, Value *r, std::string n = "")
+    {
+        return createBinary(Opcode::Shl, l, r, std::move(n));
+    }
+
+    Value *
+    createLShr(Value *l, Value *r, std::string n = "")
+    {
+        return createBinary(Opcode::LShr, l, r, std::move(n));
+    }
+
+    Value *
+    createAShr(Value *l, Value *r, std::string n = "")
+    {
+        return createBinary(Opcode::AShr, l, r, std::move(n));
+    }
+
+    Value *
+    createFAdd(Value *l, Value *r, std::string n = "")
+    {
+        return createBinary(Opcode::FAdd, l, r, std::move(n));
+    }
+
+    Value *
+    createFSub(Value *l, Value *r, std::string n = "")
+    {
+        return createBinary(Opcode::FSub, l, r, std::move(n));
+    }
+
+    Value *
+    createFMul(Value *l, Value *r, std::string n = "")
+    {
+        return createBinary(Opcode::FMul, l, r, std::move(n));
+    }
+
+    Value *
+    createFDiv(Value *l, Value *r, std::string n = "")
+    {
+        return createBinary(Opcode::FDiv, l, r, std::move(n));
+    }
+
+    // --- Compares / select / casts --------------------------------
+
+    Value *createICmp(CmpPred pred, Value *lhs, Value *rhs,
+                      std::string name = "");
+
+    Value *createFCmp(CmpPred pred, Value *lhs, Value *rhs,
+                      std::string name = "");
+
+    Value *createSelect(Value *cond, Value *if_true, Value *if_false,
+                        std::string name = "");
+
+    Value *createCast(Opcode op, Value *src, Type to,
+                      std::string name = "");
+
+    Value *
+    createSExt(Value *src, Type to, std::string n = "")
+    {
+        return createCast(Opcode::SExt, src, to, std::move(n));
+    }
+
+    Value *
+    createZExt(Value *src, Type to, std::string n = "")
+    {
+        return createCast(Opcode::ZExt, src, to, std::move(n));
+    }
+
+    Value *
+    createTrunc(Value *src, Type to, std::string n = "")
+    {
+        return createCast(Opcode::Trunc, src, to, std::move(n));
+    }
+
+    // --- Memory ----------------------------------------------------
+
+    Value *createLoad(Type type, Value *addr, std::string name = "");
+
+    void createStore(Value *value, Value *addr);
+
+    /** 1-D address: base + stride * index. */
+    Value *createGep(Value *base, uint64_t stride, Value *index,
+                     std::string name = "");
+
+    /** 2-D address: base + stride0*i0 + stride1*i1. */
+    Value *createGep2(Value *base, uint64_t stride0, Value *i0,
+                      uint64_t stride1, Value *i1,
+                      std::string name = "");
+
+    Value *createAlloca(uint64_t size_bytes, std::string name = "");
+
+    // --- Control ----------------------------------------------------
+
+    PhiInst *createPhi(Type type, std::string name = "");
+
+    Value *createCall(Function *callee, std::vector<Value *> args,
+                      std::string name = "");
+
+    void createBr(BasicBlock *target);
+
+    void createCondBr(Value *cond, BasicBlock *if_true,
+                      BasicBlock *if_false);
+
+    void createRet(Value *value = nullptr);
+
+    // --- Tapir ------------------------------------------------------
+
+    /** Spawn `detached` as a child task; parent continues at `cont`. */
+    void createDetach(BasicBlock *detached, BasicBlock *cont);
+
+    /** Terminate a detached sub-CFG, naming the parent continuation. */
+    void createReattach(BasicBlock *cont);
+
+    /** Join all children of this task frame, then go to `cont`. */
+    void createSync(BasicBlock *cont);
+
+  private:
+    Instruction *insert(std::unique_ptr<Instruction> inst);
+
+    Module &mod;
+    BasicBlock *block = nullptr;
+};
+
+} // namespace tapas::ir
+
+#endif // TAPAS_IR_BUILDER_HH

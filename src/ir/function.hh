@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Function and Module for the TAPAS parallel IR.
+ */
+
+#ifndef TAPAS_IR_FUNCTION_HH
+#define TAPAS_IR_FUNCTION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.hh"
+
+namespace tapas::ir {
+
+/** A function: typed arguments plus a CFG of basic blocks. */
+class Function : public Value
+{
+  public:
+    Function(std::string name, Type ret_type,
+             std::vector<std::pair<Type, std::string>> params);
+
+    Type returnType() const { return _retType; }
+
+    unsigned numArgs() const { return args.size(); }
+    Argument *arg(unsigned i) const { return args.at(i).get(); }
+
+    std::vector<Argument *> arguments() const;
+
+    /** Create and append a new basic block. */
+    BasicBlock *addBlock(std::string name);
+
+    /** Entry block (the first block added). */
+    BasicBlock *
+    entry() const
+    {
+        tapas_assert(!blocks.empty(), "function '%s' has no blocks",
+                     name().c_str());
+        return blocks.front().get();
+    }
+
+    const std::vector<std::unique_ptr<BasicBlock>> &
+    basicBlocks() const
+    {
+        return blocks;
+    }
+
+    size_t numBlocks() const { return blocks.size(); }
+
+    /** Find a block by name; nullptr if absent. */
+    BasicBlock *blockByName(const std::string &bb_name) const;
+
+    /** Remove (destroy) a block; it must not be the entry. */
+    void removeBlock(BasicBlock *bb);
+
+    /**
+     * Renumber blocks and instructions (ids are used as dense keys by
+     * the analyses). Called automatically by addBlock/append via lazy
+     * renumber; cheap to call repeatedly.
+     */
+    void renumber();
+
+    /** Total instruction count over all blocks. */
+    size_t numInstructions() const;
+
+    /**
+     * Reorder blocks to match `order`, which must be a permutation of
+     * the current block list. The first entry becomes the entry block.
+     */
+    void reorderBlocks(const std::vector<BasicBlock *> &order);
+
+    /** True if any block contains a Detach (i.e. spawns tasks). */
+    bool hasDetach() const;
+
+    /** Predecessor blocks of each block, keyed by block id. */
+    std::vector<std::vector<BasicBlock *>> predecessorMap() const;
+
+  private:
+    Type _retType;
+    std::vector<std::unique_ptr<Argument>> args;
+    std::vector<std::unique_ptr<BasicBlock>> blocks;
+};
+
+/** A translation unit: functions plus named global memory regions. */
+class Module
+{
+  public:
+    Module() = default;
+
+    Module(const Module &) = delete;
+    Module &operator=(const Module &) = delete;
+
+    /** Create a function owned by this module. */
+    Function *addFunction(
+        std::string name, Type ret_type,
+        std::vector<std::pair<Type, std::string>> params);
+
+    /** Create a global memory region of the given byte size. */
+    GlobalVar *addGlobal(std::string name, uint64_t size_bytes);
+
+    Function *functionByName(const std::string &name) const;
+    GlobalVar *globalByName(const std::string &name) const;
+
+    const std::vector<std::unique_ptr<Function>> &
+    functions() const
+    {
+        return funcs;
+    }
+
+    const std::vector<std::unique_ptr<GlobalVar>> &
+    globals() const
+    {
+        return globs;
+    }
+
+    /**
+     * Intern an integer/pointer constant. Returned pointer is owned by
+     * the module and stable for its lifetime.
+     */
+    ConstantInt *constInt(Type type, int64_t value);
+
+    /** Intern a floating-point constant. */
+    ConstantFloat *constFloat(Type type, double value);
+
+    /** Shorthand for constInt(Type::i32(), v). */
+    ConstantInt *i32(int32_t v) { return constInt(Type::i32(), v); }
+
+    /** Shorthand for constInt(Type::i64(), v). */
+    ConstantInt *i64(int64_t v) { return constInt(Type::i64(), v); }
+
+  private:
+    std::vector<std::unique_ptr<Function>> funcs;
+    std::vector<std::unique_ptr<GlobalVar>> globs;
+    std::vector<std::unique_ptr<ConstantInt>> intConsts;
+    std::vector<std::unique_ptr<ConstantFloat>> floatConsts;
+};
+
+} // namespace tapas::ir
+
+#endif // TAPAS_IR_FUNCTION_HH

@@ -1,0 +1,595 @@
+/**
+ * @file
+ * Instruction classes for the TAPAS parallel IR.
+ *
+ * The instruction set is an LLVM-flavoured core (arithmetic, compares,
+ * casts, memory, phi, call, branch, return) plus the three Tapir
+ * parallelism markers the paper builds on (Section III-F):
+ *
+ *  - Detach:   terminates its block, spawns the "detached" block as a
+ *              new concurrent task, and continues at the continuation.
+ *  - Reattach: terminates the detached sub-CFG and names the
+ *              continuation block it logically rejoins.
+ *  - Sync:     waits for every task detached by the current task frame.
+ */
+
+#ifndef TAPAS_IR_INSTRUCTION_HH
+#define TAPAS_IR_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/value.hh"
+
+namespace tapas::ir {
+
+class BasicBlock;
+class Function;
+
+/** Instruction opcodes. */
+enum class Opcode : uint8_t {
+    // Integer binary arithmetic / bitwise.
+    Add, Sub, Mul, SDiv, UDiv, SRem, URem,
+    And, Or, Xor, Shl, LShr, AShr,
+    // Floating-point binary arithmetic.
+    FAdd, FSub, FMul, FDiv,
+    // Compares and select.
+    ICmp, FCmp, Select,
+    // Casts.
+    Trunc, ZExt, SExt, SIToFP, FPToSI, PtrToInt, IntToPtr,
+    // Memory.
+    Load, Store, Gep, Alloca,
+    // Ordinary control / data flow.
+    Phi, Call, Br, Ret,
+    // Tapir parallelism markers.
+    Detach, Reattach, Sync,
+};
+
+/** Comparison predicates (shared by ICmp and FCmp). */
+enum class CmpPred : uint8_t {
+    EQ, NE,
+    SLT, SLE, SGT, SGE,   // signed int
+    ULT, ULE, UGT, UGE,   // unsigned int
+    OLT, OLE, OGT, OGE,   // ordered float
+};
+
+/** Printable mnemonic for an opcode, e.g. "add". */
+const char *opcodeName(Opcode op);
+
+/** Printable mnemonic for a predicate, e.g. "slt". */
+const char *predName(CmpPred pred);
+
+/** True for integer binary arithmetic/bitwise opcodes. */
+bool isIntBinary(Opcode op);
+
+/** True for floating-point binary arithmetic opcodes. */
+bool isFloatBinary(Opcode op);
+
+/** True for cast opcodes. */
+bool isCast(Opcode op);
+
+/**
+ * Base instruction. Owns nothing; operands are non-owning Value
+ * pointers into the enclosing Module/Function.
+ */
+class Instruction : public Value
+{
+  public:
+    Opcode opcode() const { return _opcode; }
+
+    BasicBlock *parent() const { return _parent; }
+    void setParent(BasicBlock *bb) { _parent = bb; }
+
+    /** The function containing this instruction (via its block). */
+    Function *function() const;
+
+    unsigned numOperands() const { return ops.size(); }
+
+    Value *
+    operand(unsigned i) const
+    {
+        tapas_assert(i < ops.size(), "operand index %u out of range", i);
+        return ops[i];
+    }
+
+    /** Replace operand i (used by transforms such as loop unrolling). */
+    void
+    setOperand(unsigned i, Value *v)
+    {
+        tapas_assert(i < ops.size(), "operand index %u out of range", i);
+        ops[i] = v;
+    }
+
+    const std::vector<Value *> &operands() const { return ops; }
+
+    /** True if this instruction ends a basic block. */
+    bool
+    isTerminator() const
+    {
+        switch (_opcode) {
+          case Opcode::Br:
+          case Opcode::Ret:
+          case Opcode::Detach:
+          case Opcode::Reattach:
+          case Opcode::Sync:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /** True for Load/Store (the data-box clients in the TXU). */
+    bool
+    isMemAccess() const
+    {
+        return _opcode == Opcode::Load || _opcode == Opcode::Store;
+    }
+
+    /** Unique id within the parent function; set by Function. */
+    unsigned id() const { return _id; }
+    void setId(unsigned id) { _id = id; }
+
+  protected:
+    Instruction(Opcode opcode, Type type, std::string name,
+                std::vector<Value *> operands)
+        : Value(Kind::Instruction, type, std::move(name)),
+          ops(std::move(operands)), _opcode(opcode)
+    {}
+
+    std::vector<Value *> ops;
+
+  private:
+    Opcode _opcode;
+    BasicBlock *_parent = nullptr;
+    unsigned _id = 0;
+};
+
+/** Integer or floating binary operation: result = lhs op rhs. */
+class BinaryInst : public Instruction
+{
+  public:
+    static bool
+    classof(const Instruction *i)
+    {
+        return isIntBinary(i->opcode()) || isFloatBinary(i->opcode());
+    }
+
+    BinaryInst(Opcode op, Value *lhs, Value *rhs, std::string name)
+        : Instruction(op, lhs->type(), std::move(name), {lhs, rhs})
+    {
+        tapas_assert(isIntBinary(op) || isFloatBinary(op),
+                     "bad binary opcode");
+    }
+
+    Value *lhs() const { return operand(0); }
+    Value *rhs() const { return operand(1); }
+};
+
+/** Integer or float comparison producing an i1. */
+class CmpInst : public Instruction
+{
+  public:
+    static bool
+    classof(const Instruction *i)
+    {
+        return i->opcode() == Opcode::ICmp || i->opcode() == Opcode::FCmp;
+    }
+
+    CmpInst(Opcode op, CmpPred pred, Value *lhs, Value *rhs,
+            std::string name)
+        : Instruction(op, Type::i1(), std::move(name), {lhs, rhs}),
+          _pred(pred)
+    {
+        tapas_assert(op == Opcode::ICmp || op == Opcode::FCmp,
+                     "bad compare opcode");
+    }
+
+    CmpPred pred() const { return _pred; }
+    Value *lhs() const { return operand(0); }
+    Value *rhs() const { return operand(1); }
+
+  private:
+    CmpPred _pred;
+};
+
+/** result = cond ? ifTrue : ifFalse. */
+class SelectInst : public Instruction
+{
+  public:
+    static bool
+    classof(const Instruction *i)
+    {
+        return i->opcode() == Opcode::Select;
+    }
+
+    SelectInst(Value *cond, Value *if_true, Value *if_false,
+               std::string name)
+        : Instruction(Opcode::Select, if_true->type(), std::move(name),
+                      {cond, if_true, if_false})
+    {}
+
+    Value *cond() const { return operand(0); }
+    Value *ifTrue() const { return operand(1); }
+    Value *ifFalse() const { return operand(2); }
+};
+
+/** Width/representation cast. */
+class CastInst : public Instruction
+{
+  public:
+    static bool
+    classof(const Instruction *i)
+    {
+        return isCast(i->opcode());
+    }
+
+    CastInst(Opcode op, Value *src, Type to, std::string name)
+        : Instruction(op, to, std::move(name), {src})
+    {
+        tapas_assert(isCast(op), "bad cast opcode");
+    }
+
+    Value *src() const { return operand(0); }
+};
+
+/** Typed load from a pointer. */
+class LoadInst : public Instruction
+{
+  public:
+    static bool
+    classof(const Instruction *i)
+    {
+        return i->opcode() == Opcode::Load;
+    }
+
+    LoadInst(Type type, Value *addr, std::string name)
+        : Instruction(Opcode::Load, type, std::move(name), {addr})
+    {}
+
+    Value *addr() const { return operand(0); }
+};
+
+/** Typed store of a value to a pointer. Produces no result. */
+class StoreInst : public Instruction
+{
+  public:
+    static bool
+    classof(const Instruction *i)
+    {
+        return i->opcode() == Opcode::Store;
+    }
+
+    StoreInst(Value *value, Value *addr)
+        : Instruction(Opcode::Store, Type::voidTy(), "", {value, addr})
+    {}
+
+    Value *value() const { return operand(0); }
+    Value *addr() const { return operand(1); }
+};
+
+/**
+ * Simplified address arithmetic: base + sum(stride_i * index_i).
+ * Each index operand has a constant byte stride. This is the form the
+ * paper's GEP nodes take in the TXU dataflow (Fig. 6/7).
+ */
+class GepInst : public Instruction
+{
+  public:
+    static bool
+    classof(const Instruction *i)
+    {
+        return i->opcode() == Opcode::Gep;
+    }
+
+    GepInst(Value *base, std::vector<uint64_t> strides,
+            std::vector<Value *> indices, std::string name)
+        : Instruction(Opcode::Gep, Type::ptr(), std::move(name),
+                      makeOps(base, indices)),
+          _strides(std::move(strides))
+    {
+        tapas_assert(_strides.size() == numOperands() - 1,
+                     "stride/index count mismatch");
+    }
+
+    Value *base() const { return operand(0); }
+    unsigned numIndices() const { return numOperands() - 1; }
+    Value *index(unsigned i) const { return operand(i + 1); }
+    uint64_t stride(unsigned i) const { return _strides.at(i); }
+
+  private:
+    static std::vector<Value *>
+    makeOps(Value *base, const std::vector<Value *> &indices)
+    {
+        std::vector<Value *> v{base};
+        v.insert(v.end(), indices.begin(), indices.end());
+        return v;
+    }
+
+    std::vector<uint64_t> _strides;
+};
+
+/**
+ * Stack allocation of a fixed byte size; yields a pointer. On the
+ * accelerator, allocas live in the task unit's stack RAM / scratchpad
+ * (paper Section IV-C: recursion stack frames in scratchpad).
+ */
+class AllocaInst : public Instruction
+{
+  public:
+    static bool
+    classof(const Instruction *i)
+    {
+        return i->opcode() == Opcode::Alloca;
+    }
+
+    AllocaInst(uint64_t size_bytes, std::string name)
+        : Instruction(Opcode::Alloca, Type::ptr(), std::move(name), {}),
+          _sizeBytes(size_bytes)
+    {}
+
+    uint64_t sizeBytes() const { return _sizeBytes; }
+
+  private:
+    uint64_t _sizeBytes;
+};
+
+/** SSA phi node. Incoming values are parallel to incoming blocks. */
+class PhiInst : public Instruction
+{
+  public:
+    static bool
+    classof(const Instruction *i)
+    {
+        return i->opcode() == Opcode::Phi;
+    }
+
+    PhiInst(Type type, std::string name)
+        : Instruction(Opcode::Phi, type, std::move(name), {})
+    {}
+
+    void
+    addIncoming(Value *value, BasicBlock *pred)
+    {
+        ops.push_back(value);
+        preds.push_back(pred);
+    }
+
+    unsigned numIncoming() const { return ops.size(); }
+    Value *incomingValue(unsigned i) const { return operand(i); }
+
+    BasicBlock *
+    incomingBlock(unsigned i) const
+    {
+        return preds.at(i);
+    }
+
+    void
+    setIncomingBlock(unsigned i, BasicBlock *bb)
+    {
+        preds.at(i) = bb;
+    }
+
+    /** Drop the incoming edge from `pred` (dead-block cleanup). */
+    void removeIncoming(const BasicBlock *pred);
+
+    /** Incoming value for a predecessor block; panics if absent. */
+    Value *incomingFor(const BasicBlock *pred) const;
+
+  private:
+    std::vector<BasicBlock *> preds;
+};
+
+/** Direct call. Callee is a Function value. */
+class CallInst : public Instruction
+{
+  public:
+    static bool
+    classof(const Instruction *i)
+    {
+        return i->opcode() == Opcode::Call;
+    }
+
+    CallInst(Function *callee, std::vector<Value *> args,
+             std::string name);
+
+    Function *callee() const { return _callee; }
+    unsigned numArgs() const { return numOperands(); }
+    Value *arg(unsigned i) const { return operand(i); }
+
+  private:
+    Function *_callee;
+};
+
+/** Conditional or unconditional branch. */
+class BranchInst : public Instruction
+{
+  public:
+    static bool
+    classof(const Instruction *i)
+    {
+        return i->opcode() == Opcode::Br;
+    }
+
+    /** Unconditional branch. */
+    explicit BranchInst(BasicBlock *target)
+        : Instruction(Opcode::Br, Type::voidTy(), "", {}),
+          _ifTrue(target), _ifFalse(nullptr)
+    {}
+
+    /** Conditional branch on an i1. */
+    BranchInst(Value *cond, BasicBlock *if_true, BasicBlock *if_false)
+        : Instruction(Opcode::Br, Type::voidTy(), "", {cond}),
+          _ifTrue(if_true), _ifFalse(if_false)
+    {}
+
+    bool isConditional() const { return numOperands() == 1; }
+
+    Value *
+    cond() const
+    {
+        tapas_assert(isConditional(), "unconditional branch");
+        return operand(0);
+    }
+
+    BasicBlock *ifTrue() const { return _ifTrue; }
+    BasicBlock *ifFalse() const { return _ifFalse; }
+
+    void setIfTrue(BasicBlock *bb) { _ifTrue = bb; }
+    void setIfFalse(BasicBlock *bb) { _ifFalse = bb; }
+
+  private:
+    BasicBlock *_ifTrue;
+    BasicBlock *_ifFalse;
+};
+
+/** Function return, optionally carrying a value. */
+class RetInst : public Instruction
+{
+  public:
+    static bool
+    classof(const Instruction *i)
+    {
+        return i->opcode() == Opcode::Ret;
+    }
+
+    explicit RetInst(Value *value = nullptr)
+        : Instruction(Opcode::Ret, Type::voidTy(), "",
+                      value ? std::vector<Value *>{value}
+                            : std::vector<Value *>{})
+    {}
+
+    bool hasValue() const { return numOperands() == 1; }
+
+    Value *
+    value() const
+    {
+        tapas_assert(hasValue(), "ret void has no value");
+        return operand(0);
+    }
+};
+
+/**
+ * Tapir detach: spawn `detached()` as a concurrent child task and
+ * continue at `cont()`.
+ */
+class DetachInst : public Instruction
+{
+  public:
+    static bool
+    classof(const Instruction *i)
+    {
+        return i->opcode() == Opcode::Detach;
+    }
+
+    DetachInst(BasicBlock *detached, BasicBlock *cont)
+        : Instruction(Opcode::Detach, Type::voidTy(), "", {}),
+          _detached(detached), _cont(cont)
+    {}
+
+    BasicBlock *detached() const { return _detached; }
+    BasicBlock *cont() const { return _cont; }
+
+    void setDetached(BasicBlock *bb) { _detached = bb; }
+    void setCont(BasicBlock *bb) { _cont = bb; }
+
+  private:
+    BasicBlock *_detached;
+    BasicBlock *_cont;
+};
+
+/**
+ * Tapir reattach: terminate the detached sub-CFG; control in the
+ * *parent* resumes (conceptually) at `cont()`, which must match the
+ * continuation of the corresponding detach.
+ */
+class ReattachInst : public Instruction
+{
+  public:
+    static bool
+    classof(const Instruction *i)
+    {
+        return i->opcode() == Opcode::Reattach;
+    }
+
+    explicit ReattachInst(BasicBlock *cont)
+        : Instruction(Opcode::Reattach, Type::voidTy(), "", {}),
+          _cont(cont)
+    {}
+
+    BasicBlock *cont() const { return _cont; }
+    void setCont(BasicBlock *bb) { _cont = bb; }
+
+  private:
+    BasicBlock *_cont;
+};
+
+/**
+ * Tapir sync: wait until every child detached by this task frame has
+ * completed, then continue at `cont()`.
+ */
+class SyncInst : public Instruction
+{
+  public:
+    static bool
+    classof(const Instruction *i)
+    {
+        return i->opcode() == Opcode::Sync;
+    }
+
+    explicit SyncInst(BasicBlock *cont)
+        : Instruction(Opcode::Sync, Type::voidTy(), "", {}),
+          _cont(cont)
+    {}
+
+    BasicBlock *cont() const { return _cont; }
+    void setCont(BasicBlock *bb) { _cont = bb; }
+
+  private:
+    BasicBlock *_cont;
+};
+
+/** LLVM-style isa<> test on instruction classes. */
+template <typename T>
+bool
+isa(const Instruction *inst)
+{
+    return T::classof(inst);
+}
+
+/** LLVM-style cast; returns nullptr if the class does not match. */
+template <typename T>
+T *
+dyn_cast(Instruction *inst)
+{
+    return inst && T::classof(inst) ? static_cast<T *>(inst) : nullptr;
+}
+
+template <typename T>
+const T *
+dyn_cast(const Instruction *inst)
+{
+    return inst && T::classof(inst) ? static_cast<const T *>(inst)
+                                    : nullptr;
+}
+
+/** LLVM-style checked cast; panics if the class does not match. */
+template <typename T>
+T *
+cast(Instruction *inst)
+{
+    tapas_assert(inst && T::classof(inst), "bad instruction cast");
+    return static_cast<T *>(inst);
+}
+
+template <typename T>
+const T *
+cast(const Instruction *inst)
+{
+    tapas_assert(inst && T::classof(inst), "bad instruction cast");
+    return static_cast<const T *>(inst);
+}
+
+} // namespace tapas::ir
+
+#endif // TAPAS_IR_INSTRUCTION_HH

@@ -1,0 +1,472 @@
+/**
+ * @file
+ * Implementation of the core IR classes (instructions, blocks,
+ * functions, module).
+ */
+
+#include "ir/function.hh"
+
+#include <algorithm>
+
+namespace tapas::ir {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::SDiv: return "sdiv";
+      case Opcode::UDiv: return "udiv";
+      case Opcode::SRem: return "srem";
+      case Opcode::URem: return "urem";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::LShr: return "lshr";
+      case Opcode::AShr: return "ashr";
+      case Opcode::FAdd: return "fadd";
+      case Opcode::FSub: return "fsub";
+      case Opcode::FMul: return "fmul";
+      case Opcode::FDiv: return "fdiv";
+      case Opcode::ICmp: return "icmp";
+      case Opcode::FCmp: return "fcmp";
+      case Opcode::Select: return "select";
+      case Opcode::Trunc: return "trunc";
+      case Opcode::ZExt: return "zext";
+      case Opcode::SExt: return "sext";
+      case Opcode::SIToFP: return "sitofp";
+      case Opcode::FPToSI: return "fptosi";
+      case Opcode::PtrToInt: return "ptrtoint";
+      case Opcode::IntToPtr: return "inttoptr";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::Gep: return "gep";
+      case Opcode::Alloca: return "alloca";
+      case Opcode::Phi: return "phi";
+      case Opcode::Call: return "call";
+      case Opcode::Br: return "br";
+      case Opcode::Ret: return "ret";
+      case Opcode::Detach: return "detach";
+      case Opcode::Reattach: return "reattach";
+      case Opcode::Sync: return "sync";
+    }
+    tapas_panic("unknown opcode %d", static_cast<int>(op));
+}
+
+const char *
+predName(CmpPred pred)
+{
+    switch (pred) {
+      case CmpPred::EQ: return "eq";
+      case CmpPred::NE: return "ne";
+      case CmpPred::SLT: return "slt";
+      case CmpPred::SLE: return "sle";
+      case CmpPred::SGT: return "sgt";
+      case CmpPred::SGE: return "sge";
+      case CmpPred::ULT: return "ult";
+      case CmpPred::ULE: return "ule";
+      case CmpPred::UGT: return "ugt";
+      case CmpPred::UGE: return "uge";
+      case CmpPred::OLT: return "olt";
+      case CmpPred::OLE: return "ole";
+      case CmpPred::OGT: return "ogt";
+      case CmpPred::OGE: return "oge";
+    }
+    tapas_panic("unknown predicate %d", static_cast<int>(pred));
+}
+
+bool
+isIntBinary(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::SDiv: case Opcode::UDiv:
+      case Opcode::SRem: case Opcode::URem:
+      case Opcode::And: case Opcode::Or: case Opcode::Xor:
+      case Opcode::Shl: case Opcode::LShr: case Opcode::AShr:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isFloatBinary(Opcode op)
+{
+    switch (op) {
+      case Opcode::FAdd: case Opcode::FSub:
+      case Opcode::FMul: case Opcode::FDiv:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isCast(Opcode op)
+{
+    switch (op) {
+      case Opcode::Trunc: case Opcode::ZExt: case Opcode::SExt:
+      case Opcode::SIToFP: case Opcode::FPToSI:
+      case Opcode::PtrToInt: case Opcode::IntToPtr:
+        return true;
+      default:
+        return false;
+    }
+}
+
+Function *
+Instruction::function() const
+{
+    return _parent ? _parent->parent() : nullptr;
+}
+
+void
+PhiInst::removeIncoming(const BasicBlock *pred)
+{
+    for (unsigned i = 0; i < numIncoming(); ++i) {
+        if (preds[i] == pred) {
+            ops.erase(ops.begin() + i);
+            preds.erase(preds.begin() + i);
+            return;
+        }
+    }
+    tapas_panic("phi '%s' has no incoming from '%s'",
+                name().c_str(), pred->name().c_str());
+}
+
+Value *
+PhiInst::incomingFor(const BasicBlock *pred) const
+{
+    for (unsigned i = 0; i < numIncoming(); ++i) {
+        if (incomingBlock(i) == pred)
+            return incomingValue(i);
+    }
+    tapas_panic("phi '%s' has no incoming edge from block '%s'",
+                name().c_str(), pred->name().c_str());
+}
+
+CallInst::CallInst(Function *callee, std::vector<Value *> args,
+                   std::string name)
+    : Instruction(Opcode::Call, callee->returnType(), std::move(name),
+                  std::move(args)),
+      _callee(callee)
+{
+    tapas_assert(numOperands() == callee->numArgs(),
+                 "call to '%s': %u args, expected %u",
+                 callee->name().c_str(), numOperands(),
+                 callee->numArgs());
+}
+
+Instruction *
+BasicBlock::append(std::unique_ptr<Instruction> inst)
+{
+    tapas_assert(!isTerminated(),
+                 "appending to terminated block '%s'", name().c_str());
+    inst->setParent(this);
+    insts.push_back(std::move(inst));
+    if (_parent)
+        _parent->renumber();
+    return insts.back().get();
+}
+
+Instruction *
+BasicBlock::insertBeforeTerminator(std::unique_ptr<Instruction> inst)
+{
+    inst->setParent(this);
+    Instruction *raw = inst.get();
+    if (isTerminated())
+        insts.insert(insts.end() - 1, std::move(inst));
+    else
+        insts.push_back(std::move(inst));
+    if (_parent)
+        _parent->renumber();
+    return raw;
+}
+
+void
+BasicBlock::removeInstruction(Instruction *inst)
+{
+    for (size_t i = 0; i < insts.size(); ++i) {
+        if (insts[i].get() == inst) {
+            insts.erase(insts.begin() + static_cast<long>(i));
+            if (_parent)
+                _parent->renumber();
+            return;
+        }
+    }
+    tapas_panic("instruction not in block '%s'", name().c_str());
+}
+
+Instruction *
+BasicBlock::terminator() const
+{
+    if (insts.empty())
+        return nullptr;
+    Instruction *last = insts.back().get();
+    return last->isTerminator() ? last : nullptr;
+}
+
+std::vector<CfgEdge>
+BasicBlock::successors() const
+{
+    Instruction *term = terminator();
+    tapas_assert(term, "block '%s' has no terminator", name().c_str());
+
+    std::vector<CfgEdge> out;
+    switch (term->opcode()) {
+      case Opcode::Br: {
+        auto *br = cast<BranchInst>(term);
+        out.push_back({br->ifTrue(), EdgeKind::Normal});
+        if (br->isConditional())
+            out.push_back({br->ifFalse(), EdgeKind::Normal});
+        break;
+      }
+      case Opcode::Detach: {
+        auto *det = cast<DetachInst>(term);
+        out.push_back({det->detached(), EdgeKind::Spawn});
+        out.push_back({det->cont(), EdgeKind::Continue});
+        break;
+      }
+      case Opcode::Reattach: {
+        auto *re = cast<ReattachInst>(term);
+        out.push_back({re->cont(), EdgeKind::Reattach});
+        break;
+      }
+      case Opcode::Sync: {
+        auto *sy = cast<SyncInst>(term);
+        out.push_back({sy->cont(), EdgeKind::Sync});
+        break;
+      }
+      case Opcode::Ret:
+        break;
+      default:
+        tapas_panic("bad terminator '%s'", opcodeName(term->opcode()));
+    }
+    return out;
+}
+
+std::vector<BasicBlock *>
+BasicBlock::successorBlocks() const
+{
+    std::vector<BasicBlock *> out;
+    for (const CfgEdge &e : successors())
+        out.push_back(e.to);
+    return out;
+}
+
+std::vector<PhiInst *>
+BasicBlock::phis() const
+{
+    std::vector<PhiInst *> out;
+    for (const auto &inst : insts) {
+        if (auto *phi = dyn_cast<PhiInst>(inst.get()))
+            out.push_back(phi);
+        else
+            break;
+    }
+    return out;
+}
+
+Function::Function(std::string name, Type ret_type,
+                   std::vector<std::pair<Type, std::string>> params)
+    : Value(Kind::Function, Type::ptr(), std::move(name)),
+      _retType(ret_type)
+{
+    unsigned idx = 0;
+    for (auto &[type, pname] : params) {
+        args.push_back(
+            std::make_unique<Argument>(type, pname, idx++, this));
+    }
+}
+
+std::vector<Argument *>
+Function::arguments() const
+{
+    std::vector<Argument *> out;
+    for (const auto &a : args)
+        out.push_back(a.get());
+    return out;
+}
+
+BasicBlock *
+Function::addBlock(std::string bb_name)
+{
+    blocks.push_back(
+        std::make_unique<BasicBlock>(std::move(bb_name), this));
+    renumber();
+    return blocks.back().get();
+}
+
+BasicBlock *
+Function::blockByName(const std::string &bb_name) const
+{
+    for (const auto &bb : blocks) {
+        if (bb->name() == bb_name)
+            return bb.get();
+    }
+    return nullptr;
+}
+
+void
+Function::renumber()
+{
+    unsigned bb_id = 0;
+    unsigned inst_id = 0;
+    for (const auto &bb : blocks) {
+        bb->setId(bb_id++);
+        for (const auto &inst : bb->instructions())
+            inst->setId(inst_id++);
+    }
+}
+
+void
+Function::reorderBlocks(const std::vector<BasicBlock *> &order)
+{
+    tapas_assert(order.size() == blocks.size(),
+                 "reorderBlocks: %zu blocks given, function has %zu",
+                 order.size(), blocks.size());
+    std::vector<std::unique_ptr<BasicBlock>> reordered;
+    reordered.reserve(blocks.size());
+    for (BasicBlock *want : order) {
+        bool found = false;
+        for (auto &bb : blocks) {
+            if (bb.get() == want) {
+                tapas_assert(bb != nullptr,
+                             "duplicate block in reorder list");
+                reordered.push_back(std::move(bb));
+                found = true;
+                break;
+            }
+        }
+        tapas_assert(found, "reorderBlocks: block not in function");
+    }
+    blocks = std::move(reordered);
+    renumber();
+}
+
+size_t
+Function::numInstructions() const
+{
+    size_t n = 0;
+    for (const auto &bb : blocks)
+        n += bb->size();
+    return n;
+}
+
+bool
+Function::hasDetach() const
+{
+    for (const auto &bb : blocks) {
+        for (const auto &inst : bb->instructions()) {
+            if (inst->opcode() == Opcode::Detach)
+                return true;
+        }
+    }
+    return false;
+}
+
+void
+Function::removeBlock(BasicBlock *bb)
+{
+    tapas_assert(bb != entry(), "cannot remove the entry block");
+    for (size_t i = 0; i < blocks.size(); ++i) {
+        if (blocks[i].get() == bb) {
+            blocks.erase(blocks.begin() + static_cast<long>(i));
+            renumber();
+            return;
+        }
+    }
+    tapas_panic("block '%s' not in function", bb->name().c_str());
+}
+
+std::vector<std::vector<BasicBlock *>>
+Function::predecessorMap() const
+{
+    std::vector<std::vector<BasicBlock *>> preds(blocks.size());
+    for (const auto &bb : blocks) {
+        for (BasicBlock *succ : bb->successorBlocks())
+            preds.at(succ->id()).push_back(bb.get());
+    }
+    return preds;
+}
+
+Function *
+Module::addFunction(std::string name, Type ret_type,
+                    std::vector<std::pair<Type, std::string>> params)
+{
+    tapas_assert(!functionByName(name),
+                 "duplicate function '%s'", name.c_str());
+    funcs.push_back(std::make_unique<Function>(
+        std::move(name), ret_type, std::move(params)));
+    return funcs.back().get();
+}
+
+GlobalVar *
+Module::addGlobal(std::string name, uint64_t size_bytes)
+{
+    tapas_assert(!globalByName(name),
+                 "duplicate global '%s'", name.c_str());
+    globs.push_back(
+        std::make_unique<GlobalVar>(std::move(name), size_bytes));
+    return globs.back().get();
+}
+
+Function *
+Module::functionByName(const std::string &name) const
+{
+    for (const auto &f : funcs) {
+        if (f->name() == name)
+            return f.get();
+    }
+    return nullptr;
+}
+
+GlobalVar *
+Module::globalByName(const std::string &name) const
+{
+    for (const auto &g : globs) {
+        if (g->name() == name)
+            return g.get();
+    }
+    return nullptr;
+}
+
+ConstantInt *
+Module::constInt(Type type, int64_t value)
+{
+    for (const auto &c : intConsts) {
+        if (c->type() == type && c->value() == value)
+            return c.get();
+    }
+    intConsts.push_back(std::make_unique<ConstantInt>(type, value));
+    return intConsts.back().get();
+}
+
+ConstantFloat *
+Module::constFloat(Type type, double value)
+{
+    for (const auto &c : floatConsts) {
+        if (c->type() == type && c->value() == value)
+            return c.get();
+    }
+    floatConsts.push_back(std::make_unique<ConstantFloat>(type, value));
+    return floatConsts.back().get();
+}
+
+std::string
+Type::str() const
+{
+    switch (_kind) {
+      case Kind::Void: return "void";
+      case Kind::Int: return "i" + std::to_string(_bits);
+      case Kind::Float: return "f" + std::to_string(_bits);
+      case Kind::Ptr: return "ptr";
+    }
+    tapas_panic("unknown type kind");
+}
+
+} // namespace tapas::ir

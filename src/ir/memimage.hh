@@ -1,0 +1,191 @@
+/**
+ * @file
+ * MemImage: a flat byte-addressable memory image shared by every
+ * execution engine. Globals from a Module are laid out at fixed base
+ * addresses; a bump region provides stack/heap space for allocas and
+ * workload inputs. This models the shared-DRAM address space through
+ * which the ARM host and the TAPAS accelerator communicate (paper
+ * Section III: "all communication between the ARM and the accelerator
+ * occurs through shared memory").
+ */
+
+#ifndef TAPAS_IR_MEMIMAGE_HH
+#define TAPAS_IR_MEMIMAGE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/function.hh"
+#include "support/logging.hh"
+
+namespace tapas::ir {
+
+/** Flat little-endian memory image with bounds checking. */
+class MemImage
+{
+  public:
+    /** Address 0 is kept unmapped so null dereferences trap. */
+    static constexpr uint64_t kBase = 0x1000;
+
+    explicit MemImage(uint64_t size_bytes = 64ull << 20)
+        : bytes(size_bytes, 0), bump(kBase)
+    {}
+
+    uint64_t sizeBytes() const { return bytes.size(); }
+
+    /**
+     * Assign a base address to every global in `mod`.
+     * May be called once per module.
+     */
+    void
+    layout(const Module &mod)
+    {
+        for (const auto &g : mod.globals()) {
+            uint64_t addr = alloc(g->sizeBytes(), 64);
+            globalBase[g.get()] = addr;
+        }
+    }
+
+    /** Base address previously assigned to a global. */
+    uint64_t
+    addressOf(const GlobalVar *g) const
+    {
+        auto it = globalBase.find(g);
+        tapas_assert(it != globalBase.end(),
+                     "global '%s' has no address (layout() not run?)",
+                     g->name().c_str());
+        return it->second;
+    }
+
+    /** Bump-allocate a fresh region. */
+    uint64_t
+    alloc(uint64_t size, uint64_t align = 8)
+    {
+        bump = (bump + align - 1) & ~(align - 1);
+        uint64_t addr = bump;
+        bump += size;
+        tapas_assert(bump <= bytes.size(),
+                     "memory image exhausted (%llu bytes)",
+                     static_cast<unsigned long long>(bytes.size()));
+        return addr;
+    }
+
+    /** Current bump pointer (used to save/restore stack frames). */
+    uint64_t bumpPtr() const { return bump; }
+
+    /** Reset the bump pointer (frees everything above `to`). */
+    void
+    setBumpPtr(uint64_t to)
+    {
+        tapas_assert(to >= kBase && to <= bytes.size(),
+                     "bad bump pointer");
+        bump = to;
+    }
+
+    /** Load `size` bytes as a sign-extended integer. */
+    int64_t
+    loadInt(uint64_t addr, unsigned size) const
+    {
+        check(addr, size);
+        uint64_t u = 0;
+        std::memcpy(&u, &bytes[addr], size);
+        if (size < 8) {
+            uint64_t sign = uint64_t{1} << (size * 8 - 1);
+            if (u & sign)
+                u |= ~((uint64_t{1} << (size * 8)) - 1);
+        }
+        return static_cast<int64_t>(u);
+    }
+
+    /** Store the low `size` bytes of an integer. */
+    void
+    storeInt(uint64_t addr, unsigned size, int64_t value)
+    {
+        check(addr, size);
+        std::memcpy(&bytes[addr], &value, size);
+    }
+
+    double
+    loadF64(uint64_t addr) const
+    {
+        check(addr, 8);
+        double d;
+        std::memcpy(&d, &bytes[addr], 8);
+        return d;
+    }
+
+    void
+    storeF64(uint64_t addr, double v)
+    {
+        check(addr, 8);
+        std::memcpy(&bytes[addr], &v, 8);
+    }
+
+    float
+    loadF32(uint64_t addr) const
+    {
+        check(addr, 4);
+        float f;
+        std::memcpy(&f, &bytes[addr], 4);
+        return f;
+    }
+
+    void
+    storeF32(uint64_t addr, float v)
+    {
+        check(addr, 4);
+        std::memcpy(&bytes[addr], &v, 4);
+    }
+
+    /** Raw byte access for workload setup/verification. */
+    void
+    write(uint64_t addr, const void *src, uint64_t n)
+    {
+        check(addr, n);
+        std::memcpy(&bytes[addr], src, n);
+    }
+
+    void
+    read(uint64_t addr, void *dst, uint64_t n) const
+    {
+        check(addr, n);
+        std::memcpy(dst, &bytes[addr], n);
+    }
+
+    /** Typed helpers for workload code. */
+    template <typename T>
+    T
+    get(uint64_t addr) const
+    {
+        T v;
+        read(addr, &v, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    put(uint64_t addr, T v)
+    {
+        write(addr, &v, sizeof(T));
+    }
+
+  private:
+    void
+    check(uint64_t addr, uint64_t n) const
+    {
+        tapas_assert(addr >= kBase && addr + n <= bytes.size(),
+                     "memory access [0x%llx, +%llu) out of bounds",
+                     static_cast<unsigned long long>(addr),
+                     static_cast<unsigned long long>(n));
+    }
+
+    std::vector<uint8_t> bytes;
+    uint64_t bump;
+    std::unordered_map<const GlobalVar *, uint64_t> globalBase;
+};
+
+} // namespace tapas::ir
+
+#endif // TAPAS_IR_MEMIMAGE_HH

@@ -1,0 +1,798 @@
+#include "ir/parser.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <optional>
+#include <stdexcept>
+
+#include "ir/function.hh"
+#include "support/logging.hh"
+
+namespace tapas::ir {
+
+namespace {
+
+/** Thrown internally; converted to ParseResult::error at the API. */
+struct ParseError : std::runtime_error
+{
+    explicit ParseError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+enum class Tok : uint8_t {
+    Ident,      // bare word: func, global, add, i32, label, ...
+    LocalName,  // %foo
+    GlobalName, // @foo
+    IntLit,     // -42
+    FloatLit,   // 1.5, 2e9
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Comma, Colon, Equals, Arrow, Cross,
+    Eof,
+};
+
+struct Token
+{
+    Tok kind;
+    std::string text;
+    int64_t ival = 0;
+    double fval = 0.0;
+    unsigned line = 0;
+};
+
+/** Hand-rolled lexer for the .tir grammar. */
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &src) : src(src) { advance(); }
+
+    const Token &peek() const { return tok; }
+
+    Token
+    next()
+    {
+        Token t = tok;
+        advance();
+        return t;
+    }
+
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        throw ParseError("line " + std::to_string(tok.line) + ": " +
+                         msg + " (at '" + tok.text + "')");
+    }
+
+  private:
+    void
+    advance()
+    {
+        skipSpace();
+        tok = Token{};
+        tok.line = line;
+        if (pos >= src.size()) {
+            tok.kind = Tok::Eof;
+            tok.text = "<eof>";
+            return;
+        }
+        char c = src[pos];
+        switch (c) {
+          case '(': single(Tok::LParen); return;
+          case ')': single(Tok::RParen); return;
+          case '{': single(Tok::LBrace); return;
+          case '}': single(Tok::RBrace); return;
+          case '[': single(Tok::LBracket); return;
+          case ']': single(Tok::RBracket); return;
+          case ',': single(Tok::Comma); return;
+          case ':': single(Tok::Colon); return;
+          case '=': single(Tok::Equals); return;
+          case 'x':
+            // 'x' alone inside gep brackets is the Cross token; it is
+            // disambiguated from identifiers below.
+            break;
+          default:
+            break;
+        }
+        if (c == '-' && pos + 1 < src.size() && src[pos + 1] == '>') {
+            pos += 2;
+            tok.kind = Tok::Arrow;
+            tok.text = "->";
+            return;
+        }
+        if (c == '%' || c == '@') {
+            ++pos;
+            std::string name = lexWord();
+            if (name.empty())
+                throw ParseError("line " + std::to_string(line) +
+                                 ": empty name after sigil");
+            tok.kind = c == '%' ? Tok::LocalName : Tok::GlobalName;
+            tok.text = name;
+            return;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+            c == '+') {
+            lexNumber();
+            return;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '.') {
+            std::string word = lexWord();
+            if (word == "x") {
+                tok.kind = Tok::Cross;
+            } else {
+                tok.kind = Tok::Ident;
+            }
+            tok.text = word;
+            return;
+        }
+        throw ParseError("line " + std::to_string(line) +
+                         ": unexpected character '" +
+                         std::string(1, c) + "'");
+    }
+
+    void
+    single(Tok kind)
+    {
+        tok.kind = kind;
+        tok.text = std::string(1, src[pos]);
+        ++pos;
+    }
+
+    std::string
+    lexWord()
+    {
+        size_t start = pos;
+        while (pos < src.size()) {
+            char c = src[pos];
+            if (std::isalnum(static_cast<unsigned char>(c)) ||
+                c == '_' || c == '.' || c == '$') {
+                ++pos;
+            } else {
+                break;
+            }
+        }
+        return src.substr(start, pos - start);
+    }
+
+    void
+    lexNumber()
+    {
+        size_t start = pos;
+        if (src[pos] == '-' || src[pos] == '+')
+            ++pos;
+        bool is_float = false;
+        while (pos < src.size()) {
+            char c = src[pos];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos;
+            } else if (c == '.' || c == 'e' || c == 'E') {
+                is_float = true;
+                ++pos;
+                if (pos < src.size() &&
+                    (src[pos] == '-' || src[pos] == '+') &&
+                    (c == 'e' || c == 'E')) {
+                    ++pos;
+                }
+            } else if (c == 'i' || c == 'n' || c == 'a' || c == 'f') {
+                // inf / nan spellings
+                is_float = true;
+                ++pos;
+            } else {
+                break;
+            }
+        }
+        tok.text = src.substr(start, pos - start);
+        if (is_float) {
+            tok.kind = Tok::FloatLit;
+            tok.fval = std::strtod(tok.text.c_str(), nullptr);
+        } else {
+            tok.kind = Tok::IntLit;
+            tok.ival = std::strtoll(tok.text.c_str(), nullptr, 10);
+        }
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < src.size()) {
+            char c = src[pos];
+            if (c == '\n') {
+                ++line;
+                ++pos;
+            } else if (std::isspace(static_cast<unsigned char>(c))) {
+                ++pos;
+            } else if (c == ';' || c == '#') {
+                while (pos < src.size() && src[pos] != '\n')
+                    ++pos;
+            } else {
+                break;
+            }
+        }
+    }
+
+    const std::string &src;
+    size_t pos = 0;
+    unsigned line = 1;
+    Token tok;
+};
+
+/** One parsed operand: a value or a pending reference to a %name. */
+struct Operand
+{
+    Type type;
+    Value *value = nullptr;   // resolved (constant/global/arg/inst)
+    std::string pendingName;  // unresolved %name (forward reference)
+};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : lex(text) {}
+
+    std::unique_ptr<Module>
+    parse()
+    {
+        mod = std::make_unique<Module>();
+        while (lex.peek().kind != Tok::Eof) {
+            Token t = lex.peek();
+            if (t.kind == Tok::Ident && t.text == "global") {
+                parseGlobal();
+            } else if (t.kind == Tok::Ident && t.text == "func") {
+                parseFunctionHeader();
+            } else {
+                lex.fail("expected 'global' or 'func'");
+            }
+        }
+        return std::move(mod);
+    }
+
+  private:
+    // ---- module level ------------------------------------------------
+
+    void
+    parseGlobal()
+    {
+        expectIdent("global");
+        Token name = expect(Tok::GlobalName, "global name");
+        Token size = expect(Tok::IntLit, "global size");
+        mod->addGlobal(name.text, static_cast<uint64_t>(size.ival));
+    }
+
+    void
+    parseFunctionHeader()
+    {
+        expectIdent("func");
+        Token name = expect(Tok::GlobalName, "function name");
+        expect(Tok::LParen, "'('");
+        std::vector<std::pair<Type, std::string>> params;
+        std::vector<std::string> param_names;
+        if (lex.peek().kind != Tok::RParen) {
+            while (true) {
+                Type t = parseType();
+                Token pn = expect(Tok::LocalName, "parameter name");
+                params.emplace_back(t, pn.text);
+                if (lex.peek().kind == Tok::Comma) {
+                    lex.next();
+                    continue;
+                }
+                break;
+            }
+        }
+        expect(Tok::RParen, "')'");
+        expect(Tok::Arrow, "'->'");
+        Type ret = parseType(/*allow_void=*/true);
+        Function *func = mod->addFunction(name.text, ret,
+                                          std::move(params));
+        expect(Tok::LBrace, "'{'");
+        // Bodies must be parsed in stream order; do it now, but allow
+        // calls to later functions by pre-registering names lazily.
+        parseBody(func);
+        expect(Tok::RBrace, "'}'");
+    }
+
+    // ---- types ---------------------------------------------------------
+
+    Type
+    parseType(bool allow_void = false)
+    {
+        Token t = expect(Tok::Ident, "type");
+        if (t.text == "void") {
+            if (!allow_void)
+                lex.fail("void not allowed here");
+            return Type::voidTy();
+        }
+        if (t.text == "ptr")
+            return Type::ptr();
+        if (t.text.size() >= 2 && (t.text[0] == 'i' || t.text[0] == 'f')) {
+            unsigned bits =
+                static_cast<unsigned>(std::atoi(t.text.c_str() + 1));
+            if (t.text[0] == 'i' &&
+                (bits == 1 || bits == 8 || bits == 16 || bits == 32 ||
+                 bits == 64)) {
+                return Type::intTy(bits);
+            }
+            if (t.text[0] == 'f' && (bits == 32 || bits == 64))
+                return Type::floatTy(bits);
+        }
+        lex.fail("unknown type '" + t.text + "'");
+    }
+
+    // ---- function bodies -----------------------------------------------
+
+    void
+    parseBody(Function *func)
+    {
+        values.clear();
+        fixups.clear();
+        blockOf.clear();
+        defOrder.clear();
+
+        for (Argument *arg : func->arguments())
+            values[arg->name()] = arg;
+
+        // Blocks are created on first mention (label or definition).
+        cur = nullptr;
+        while (lex.peek().kind != Tok::RBrace) {
+            Token t = lex.peek();
+            if (t.kind == Tok::Ident && peekIsBlockLabel()) {
+                Token label = lex.next();
+                if (lex.peek().kind != Tok::Colon)
+                    lex.fail("unknown instruction '" + label.text +
+                             "'");
+                lex.next();
+                cur = getBlock(func, label.text);
+                defOrder.push_back(cur);
+                continue;
+            }
+            if (!cur)
+                lex.fail("instruction before first block label");
+            parseInstruction(func);
+        }
+
+        resolveFixups();
+        func->reorderBlocks(defOrder);
+    }
+
+    /** A bare identifier followed by ':' starts a new block. */
+    bool
+    peekIsBlockLabel()
+    {
+        // The lexer has one-token lookahead only; block labels are the
+        // only place a bare ident is followed by ':', and no
+        // instruction mnemonic is ever followed by ':'. We detect by
+        // mnemonic set membership instead of lookahead.
+        const std::string &w = lex.peek().text;
+        static const std::set<std::string> mnemonics = {
+            "add", "sub", "mul", "sdiv", "udiv", "srem", "urem",
+            "and", "or", "xor", "shl", "lshr", "ashr",
+            "fadd", "fsub", "fmul", "fdiv",
+            "icmp", "fcmp", "select",
+            "trunc", "zext", "sext", "sitofp", "fptosi",
+            "ptrtoint", "inttoptr",
+            "load", "store", "gep", "alloca",
+            "phi", "call", "br", "ret",
+            "detach", "reattach", "sync",
+        };
+        return !mnemonics.count(w);
+    }
+
+    BasicBlock *
+    getBlock(Function *func, const std::string &name)
+    {
+        auto it = blockOf.find(name);
+        if (it != blockOf.end())
+            return it->second;
+        BasicBlock *bb = func->addBlock(name);
+        blockOf[name] = bb;
+        return bb;
+    }
+
+    void
+    parseInstruction(Function *func)
+    {
+        std::string result_name;
+        if (lex.peek().kind == Tok::LocalName) {
+            result_name = lex.next().text;
+            expect(Tok::Equals, "'='");
+        }
+
+        Token mn = expect(Tok::Ident, "instruction mnemonic");
+        const std::string &m = mn.text;
+
+        Instruction *inst = nullptr;
+
+        auto binop = binaryOpcodeFor(m);
+        if (binop) {
+            Operand lhs = parseOperand();
+            expect(Tok::Comma, "','");
+            Operand rhs = parseOperand();
+            inst = emit(std::make_unique<BinaryInst>(
+                *binop, materialize(lhs), materialize(rhs),
+                result_name));
+            addFixup(inst, 0, lhs);
+            addFixup(inst, 1, rhs);
+        } else if (m == "icmp" || m == "fcmp") {
+            CmpPred pred = parsePred();
+            Operand lhs = parseOperand();
+            expect(Tok::Comma, "','");
+            Operand rhs = parseOperand();
+            inst = emit(std::make_unique<CmpInst>(
+                m == "icmp" ? Opcode::ICmp : Opcode::FCmp, pred,
+                materialize(lhs), materialize(rhs), result_name));
+            addFixup(inst, 0, lhs);
+            addFixup(inst, 1, rhs);
+        } else if (m == "select") {
+            Operand c = parseOperand();
+            expect(Tok::Comma, "','");
+            Operand a = parseOperand();
+            expect(Tok::Comma, "','");
+            Operand b = parseOperand();
+            inst = emit(std::make_unique<SelectInst>(
+                materialize(c), materialize(a), materialize(b),
+                result_name));
+            addFixup(inst, 0, c);
+            addFixup(inst, 1, a);
+            addFixup(inst, 2, b);
+        } else if (auto castop = castOpcodeFor(m)) {
+            Operand src = parseOperand();
+            expectIdent("to");
+            Type to = parseType();
+            inst = emit(std::make_unique<CastInst>(
+                *castop, materialize(src), to, result_name));
+            addFixup(inst, 0, src);
+        } else if (m == "load") {
+            Type t = parseType();
+            expect(Tok::Comma, "','");
+            Operand addr = parseOperand();
+            inst = emit(std::make_unique<LoadInst>(
+                t, materialize(addr), result_name));
+            addFixup(inst, 0, addr);
+        } else if (m == "store") {
+            Operand v = parseOperand();
+            expect(Tok::Comma, "','");
+            Operand addr = parseOperand();
+            inst = emit(std::make_unique<StoreInst>(
+                materialize(v), materialize(addr)));
+            addFixup(inst, 0, v);
+            addFixup(inst, 1, addr);
+        } else if (m == "gep") {
+            Operand base = parseOperand();
+            std::vector<uint64_t> strides;
+            std::vector<Operand> indices;
+            while (lex.peek().kind == Tok::Comma) {
+                lex.next();
+                expect(Tok::LBracket, "'['");
+                Token stride = expect(Tok::IntLit, "stride");
+                expect(Tok::Cross, "'x'");
+                indices.push_back(parseOperand());
+                expect(Tok::RBracket, "']'");
+                strides.push_back(static_cast<uint64_t>(stride.ival));
+            }
+            std::vector<Value *> idx_vals;
+            for (auto &o : indices)
+                idx_vals.push_back(materialize(o));
+            inst = emit(std::make_unique<GepInst>(
+                materialize(base), std::move(strides),
+                std::move(idx_vals), result_name));
+            addFixup(inst, 0, base);
+            for (size_t i = 0; i < indices.size(); ++i)
+                addFixup(inst, static_cast<unsigned>(i + 1), indices[i]);
+        } else if (m == "alloca") {
+            Token size = expect(Tok::IntLit, "alloca size");
+            inst = emit(std::make_unique<AllocaInst>(
+                static_cast<uint64_t>(size.ival), result_name));
+        } else if (m == "phi") {
+            Type t = parseType();
+            auto phi = std::make_unique<PhiInst>(t, result_name);
+            PhiInst *phi_raw = phi.get();
+            inst = emit(std::move(phi));
+            unsigned idx = 0;
+            while (true) {
+                expect(Tok::LBracket, "'['");
+                Operand v = parseOperand();
+                expect(Tok::Comma, "','");
+                Token pred = expect(Tok::LocalName, "predecessor");
+                expect(Tok::RBracket, "']'");
+                phi_raw->addIncoming(materialize(v),
+                                     getBlock(func, pred.text));
+                addFixup(inst, idx++, v);
+                if (lex.peek().kind == Tok::Comma) {
+                    lex.next();
+                    continue;
+                }
+                break;
+            }
+        } else if (m == "call") {
+            // Optional result type (printed for non-void calls).
+            if (lex.peek().kind == Tok::Ident &&
+                lex.peek().text != "void") {
+                parseType();
+            } else if (lex.peek().kind == Tok::Ident) {
+                lex.next(); // void
+            }
+            Token callee = expect(Tok::GlobalName, "callee");
+            Function *cf = mod->functionByName(callee.text);
+            if (!cf)
+                lex.fail("call to unknown function @" + callee.text);
+            expect(Tok::LParen, "'('");
+            std::vector<Operand> args;
+            if (lex.peek().kind != Tok::RParen) {
+                while (true) {
+                    args.push_back(parseOperand());
+                    if (lex.peek().kind == Tok::Comma) {
+                        lex.next();
+                        continue;
+                    }
+                    break;
+                }
+            }
+            expect(Tok::RParen, "')'");
+            std::vector<Value *> arg_vals;
+            for (auto &o : args)
+                arg_vals.push_back(materialize(o));
+            inst = emit(std::make_unique<CallInst>(
+                cf, std::move(arg_vals), result_name));
+            for (size_t i = 0; i < args.size(); ++i)
+                addFixup(inst, static_cast<unsigned>(i), args[i]);
+        } else if (m == "br") {
+            if (lex.peek().kind == Tok::Ident &&
+                lex.peek().text == "label") {
+                lex.next();
+                Token t = expect(Tok::LocalName, "target");
+                inst = emit(std::make_unique<BranchInst>(
+                    getBlock(func, t.text)));
+            } else {
+                Operand c = parseOperand();
+                expect(Tok::Comma, "','");
+                expectIdent("label");
+                Token a = expect(Tok::LocalName, "target");
+                expect(Tok::Comma, "','");
+                expectIdent("label");
+                Token b = expect(Tok::LocalName, "target");
+                inst = emit(std::make_unique<BranchInst>(
+                    materialize(c), getBlock(func, a.text),
+                    getBlock(func, b.text)));
+                addFixup(inst, 0, c);
+            }
+        } else if (m == "ret") {
+            // 'ret' may be followed by an operand or a block label /
+            // '}' — an operand begins with a type or literal.
+            if (lex.peek().kind == Tok::Ident &&
+                isTypeWord(lex.peek().text)) {
+                Operand v = parseOperand();
+                inst = emit(std::make_unique<RetInst>(materialize(v)));
+                addFixup(inst, 0, v);
+            } else {
+                inst = emit(std::make_unique<RetInst>());
+            }
+        } else if (m == "detach") {
+            expectIdent("label");
+            Token a = expect(Tok::LocalName, "detached block");
+            expect(Tok::Comma, "','");
+            expectIdent("label");
+            Token b = expect(Tok::LocalName, "continuation");
+            inst = emit(std::make_unique<DetachInst>(
+                getBlock(func, a.text), getBlock(func, b.text)));
+        } else if (m == "reattach") {
+            expectIdent("label");
+            Token a = expect(Tok::LocalName, "continuation");
+            inst = emit(std::make_unique<ReattachInst>(
+                getBlock(func, a.text)));
+        } else if (m == "sync") {
+            expectIdent("label");
+            Token a = expect(Tok::LocalName, "continuation");
+            inst = emit(std::make_unique<SyncInst>(
+                getBlock(func, a.text)));
+        } else {
+            lex.fail("unknown instruction '" + m + "'");
+        }
+
+        if (!result_name.empty()) {
+            if (values.count(result_name))
+                lex.fail("redefinition of %" + result_name);
+            values[result_name] = inst;
+        }
+    }
+
+    static bool
+    isTypeWord(const std::string &w)
+    {
+        return w == "ptr" || w == "void" ||
+               (w.size() >= 2 && (w[0] == 'i' || w[0] == 'f') &&
+                std::isdigit(static_cast<unsigned char>(w[1])));
+    }
+
+    static std::optional<Opcode>
+    binaryOpcodeFor(const std::string &m)
+    {
+        static const std::map<std::string, Opcode> table = {
+            {"add", Opcode::Add}, {"sub", Opcode::Sub},
+            {"mul", Opcode::Mul}, {"sdiv", Opcode::SDiv},
+            {"udiv", Opcode::UDiv}, {"srem", Opcode::SRem},
+            {"urem", Opcode::URem}, {"and", Opcode::And},
+            {"or", Opcode::Or}, {"xor", Opcode::Xor},
+            {"shl", Opcode::Shl}, {"lshr", Opcode::LShr},
+            {"ashr", Opcode::AShr}, {"fadd", Opcode::FAdd},
+            {"fsub", Opcode::FSub}, {"fmul", Opcode::FMul},
+            {"fdiv", Opcode::FDiv},
+        };
+        auto it = table.find(m);
+        if (it == table.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    static std::optional<Opcode>
+    castOpcodeFor(const std::string &m)
+    {
+        static const std::map<std::string, Opcode> table = {
+            {"trunc", Opcode::Trunc}, {"zext", Opcode::ZExt},
+            {"sext", Opcode::SExt}, {"sitofp", Opcode::SIToFP},
+            {"fptosi", Opcode::FPToSI},
+            {"ptrtoint", Opcode::PtrToInt},
+            {"inttoptr", Opcode::IntToPtr},
+        };
+        auto it = table.find(m);
+        if (it == table.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    CmpPred
+    parsePred()
+    {
+        Token t = expect(Tok::Ident, "predicate");
+        static const std::map<std::string, CmpPred> table = {
+            {"eq", CmpPred::EQ}, {"ne", CmpPred::NE},
+            {"slt", CmpPred::SLT}, {"sle", CmpPred::SLE},
+            {"sgt", CmpPred::SGT}, {"sge", CmpPred::SGE},
+            {"ult", CmpPred::ULT}, {"ule", CmpPred::ULE},
+            {"ugt", CmpPred::UGT}, {"uge", CmpPred::UGE},
+            {"olt", CmpPred::OLT}, {"ole", CmpPred::OLE},
+            {"ogt", CmpPred::OGT}, {"oge", CmpPred::OGE},
+        };
+        auto it = table.find(t.text);
+        if (it == table.end())
+            lex.fail("unknown predicate '" + t.text + "'");
+        return it->second;
+    }
+
+    /** Parse "type valueref" (e.g. "i64 %x", "i32 5", "ptr @g"). */
+    Operand
+    parseOperand()
+    {
+        Operand op;
+        op.type = parseType();
+        Token t = lex.next();
+        switch (t.kind) {
+          case Tok::IntLit:
+            op.value = mod->constInt(op.type, t.ival);
+            break;
+          case Tok::FloatLit:
+            if (op.type.isFloat()) {
+                op.value = mod->constFloat(op.type, t.fval);
+            } else {
+                lex.fail("float literal for non-float type");
+            }
+            break;
+          case Tok::GlobalName: {
+            Value *g = mod->globalByName(t.text);
+            if (!g)
+                g = mod->functionByName(t.text);
+            if (!g)
+                lex.fail("unknown global @" + t.text);
+            op.value = g;
+            break;
+          }
+          case Tok::LocalName: {
+            auto it = values.find(t.text);
+            if (it != values.end()) {
+                op.value = it->second;
+            } else {
+                op.pendingName = t.text;
+            }
+            break;
+          }
+          default:
+            lex.fail("expected operand value");
+        }
+        return op;
+    }
+
+    /**
+     * Yield a Value for an operand now; unresolved forward references
+     * get a typed placeholder constant patched in resolveFixups().
+     */
+    Value *
+    materialize(const Operand &op)
+    {
+        if (op.value)
+            return op.value;
+        if (op.type.isFloat())
+            return mod->constFloat(op.type, 0.0);
+        return mod->constInt(op.type.isPtr() ? Type::ptr() : op.type,
+                             0);
+    }
+
+    void
+    addFixup(Instruction *inst, unsigned idx, const Operand &op)
+    {
+        if (!op.value)
+            fixups.push_back({inst, idx, op.pendingName});
+    }
+
+    void
+    resolveFixups()
+    {
+        for (const auto &[inst, idx, name] : fixups) {
+            auto it = values.find(name);
+            if (it == values.end()) {
+                throw ParseError("undefined value %" + name +
+                                 " referenced in function");
+            }
+            inst->setOperand(idx, it->second);
+        }
+    }
+
+    Instruction *
+    emit(std::unique_ptr<Instruction> inst)
+    {
+        return cur->append(std::move(inst));
+    }
+
+    // ---- token helpers --------------------------------------------------
+
+    Token
+    expect(Tok kind, const std::string &what)
+    {
+        if (lex.peek().kind != kind)
+            lex.fail("expected " + what);
+        return lex.next();
+    }
+
+    void
+    expectIdent(const std::string &word)
+    {
+        Token t = lex.peek();
+        if (t.kind != Tok::Ident || t.text != word)
+            lex.fail("expected '" + word + "'");
+        lex.next();
+    }
+
+    Lexer lex;
+    std::unique_ptr<Module> mod;
+    BasicBlock *cur = nullptr;
+    std::map<std::string, Value *> values;
+    std::map<std::string, BasicBlock *> blockOf;
+    std::vector<BasicBlock *> defOrder;
+    std::vector<std::tuple<Instruction *, unsigned, std::string>>
+        fixups;
+};
+
+} // namespace
+
+ParseResult
+parseModule(const std::string &text)
+{
+    ParseResult r;
+    try {
+        Parser p(text);
+        r.module = p.parse();
+    } catch (const ParseError &e) {
+        r.error = e.what();
+    }
+    return r;
+}
+
+std::unique_ptr<Module>
+parseModuleOrDie(const std::string &text)
+{
+    ParseResult r = parseModule(text);
+    if (!r.ok())
+        tapas_fatal("IR parse error: %s", r.error.c_str());
+    return std::move(r.module);
+}
+
+} // namespace tapas::ir

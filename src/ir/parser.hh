@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Parser for the textual ".tir" form of the TAPAS parallel IR (the
+ * format produced by ir/printer.hh). Supports forward references to
+ * values and blocks, so any printed module round-trips.
+ */
+
+#ifndef TAPAS_IR_PARSER_HH
+#define TAPAS_IR_PARSER_HH
+
+#include <memory>
+#include <string>
+
+namespace tapas::ir {
+
+class Module;
+
+/** Outcome of a parse: either a module or a diagnostic. */
+struct ParseResult
+{
+    std::unique_ptr<Module> module;
+    std::string error; // empty on success
+
+    bool ok() const { return module != nullptr; }
+};
+
+/**
+ * Parse IR text into a fresh module.
+ *
+ * @param text the .tir source
+ * @return the module, or an error with line information
+ */
+ParseResult parseModule(const std::string &text);
+
+/** Parse, fatal() on error. */
+std::unique_ptr<Module> parseModuleOrDie(const std::string &text);
+
+} // namespace tapas::ir
+
+#endif // TAPAS_IR_PARSER_HH

@@ -1,0 +1,309 @@
+#include "ir/printer.hh"
+
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "ir/function.hh"
+
+namespace tapas::ir {
+
+namespace {
+
+/** Assigns stable, unique textual names to values within a function. */
+class NameMap
+{
+  public:
+    explicit NameMap(const Function &func)
+    {
+        for (Argument *arg : func.arguments())
+            assign(arg);
+        for (const auto &bb : func.basicBlocks()) {
+            assignBlock(bb.get());
+            for (const auto &inst : bb->instructions()) {
+                if (!inst->type().isVoid())
+                    assign(inst.get());
+            }
+        }
+    }
+
+    std::string
+    ref(const Value *v) const
+    {
+        auto it = names.find(v);
+        tapas_assert(it != names.end(), "value '%s' has no name",
+                     v->name().c_str());
+        return it->second;
+    }
+
+    std::string
+    blockRef(const BasicBlock *bb) const
+    {
+        return ref(bb);
+    }
+
+  private:
+    void
+    assign(const Value *v)
+    {
+        std::string base = v->name().empty() ? "v" : v->name();
+        std::string candidate = base;
+        unsigned suffix = 0;
+        while (used.count(candidate))
+            candidate = base + "." + std::to_string(suffix++);
+        // Unnamed values always get a numeric suffix for clarity.
+        if (v->name().empty()) {
+            candidate = "v" + std::to_string(counter++);
+            while (used.count(candidate))
+                candidate = "v" + std::to_string(counter++);
+        }
+        used.insert(candidate);
+        names.emplace(v, candidate);
+    }
+
+    void
+    assignBlock(const BasicBlock *bb)
+    {
+        std::string base = bb->name().empty() ? "bb" : bb->name();
+        std::string candidate = base;
+        unsigned suffix = 0;
+        while (used.count(candidate))
+            candidate = base + "." + std::to_string(suffix++);
+        used.insert(candidate);
+        names.emplace(bb, candidate);
+    }
+
+    std::map<const Value *, std::string> names;
+    std::set<std::string> used;
+    unsigned counter = 0;
+};
+
+/** Print "type ref" for one operand. */
+void
+printOperand(const Value *v, const NameMap &nm, std::ostream &os)
+{
+    switch (v->valueKind()) {
+      case Value::Kind::ConstantInt: {
+        auto *c = static_cast<const ConstantInt *>(v);
+        os << c->type().str() << ' ' << c->value();
+        break;
+      }
+      case Value::Kind::ConstantFloat: {
+        auto *c = static_cast<const ConstantFloat *>(v);
+        std::ostringstream tmp;
+        tmp.precision(17);
+        tmp << c->value();
+        std::string s = tmp.str();
+        // Ensure the literal is recognizably floating-point.
+        if (s.find('.') == std::string::npos &&
+            s.find('e') == std::string::npos &&
+            s.find("inf") == std::string::npos &&
+            s.find("nan") == std::string::npos) {
+            s += ".0";
+        }
+        os << c->type().str() << ' ' << s;
+        break;
+      }
+      case Value::Kind::Global:
+        os << "ptr @" << v->name();
+        break;
+      case Value::Kind::Function:
+        os << "ptr @" << v->name();
+        break;
+      default:
+        os << v->type().str() << " %" << nm.ref(v);
+        break;
+    }
+}
+
+void
+printInstruction(const Instruction *inst, const NameMap &nm,
+                 std::ostream &os)
+{
+    os << "    ";
+    if (!inst->type().isVoid())
+        os << '%' << nm.ref(inst) << " = ";
+
+    switch (inst->opcode()) {
+      case Opcode::ICmp:
+      case Opcode::FCmp: {
+        auto *cmp = cast<CmpInst>(inst);
+        os << opcodeName(inst->opcode()) << ' '
+           << predName(cmp->pred()) << ' ';
+        printOperand(cmp->lhs(), nm, os);
+        os << ", ";
+        printOperand(cmp->rhs(), nm, os);
+        break;
+      }
+      case Opcode::Trunc: case Opcode::ZExt: case Opcode::SExt:
+      case Opcode::SIToFP: case Opcode::FPToSI:
+      case Opcode::PtrToInt: case Opcode::IntToPtr: {
+        auto *c = cast<CastInst>(inst);
+        os << opcodeName(inst->opcode()) << ' ';
+        printOperand(c->src(), nm, os);
+        os << " to " << inst->type().str();
+        break;
+      }
+      case Opcode::Load: {
+        auto *ld = cast<LoadInst>(inst);
+        os << "load " << ld->type().str() << ", ";
+        printOperand(ld->addr(), nm, os);
+        break;
+      }
+      case Opcode::Store: {
+        auto *st = cast<StoreInst>(inst);
+        os << "store ";
+        printOperand(st->value(), nm, os);
+        os << ", ";
+        printOperand(st->addr(), nm, os);
+        break;
+      }
+      case Opcode::Gep: {
+        auto *gep = cast<GepInst>(inst);
+        os << "gep ";
+        printOperand(gep->base(), nm, os);
+        for (unsigned i = 0; i < gep->numIndices(); ++i) {
+            os << ", [" << gep->stride(i) << " x ";
+            printOperand(gep->index(i), nm, os);
+            os << ']';
+        }
+        break;
+      }
+      case Opcode::Alloca: {
+        auto *al = cast<AllocaInst>(inst);
+        os << "alloca " << al->sizeBytes();
+        break;
+      }
+      case Opcode::Phi: {
+        auto *phi = cast<PhiInst>(inst);
+        os << "phi " << phi->type().str();
+        for (unsigned i = 0; i < phi->numIncoming(); ++i) {
+            os << (i ? ", [" : " [");
+            printOperand(phi->incomingValue(i), nm, os);
+            os << ", %" << nm.blockRef(phi->incomingBlock(i)) << ']';
+        }
+        break;
+      }
+      case Opcode::Call: {
+        auto *call = cast<CallInst>(inst);
+        os << "call ";
+        if (!call->type().isVoid())
+            os << call->type().str() << ' ';
+        os << '@' << call->callee()->name() << '(';
+        for (unsigned i = 0; i < call->numArgs(); ++i) {
+            if (i)
+                os << ", ";
+            printOperand(call->arg(i), nm, os);
+        }
+        os << ')';
+        break;
+      }
+      case Opcode::Br: {
+        auto *br = cast<BranchInst>(inst);
+        if (br->isConditional()) {
+            os << "br ";
+            printOperand(br->cond(), nm, os);
+            os << ", label %" << nm.blockRef(br->ifTrue())
+               << ", label %" << nm.blockRef(br->ifFalse());
+        } else {
+            os << "br label %" << nm.blockRef(br->ifTrue());
+        }
+        break;
+      }
+      case Opcode::Ret: {
+        auto *ret = cast<RetInst>(inst);
+        os << "ret";
+        if (ret->hasValue()) {
+            os << ' ';
+            printOperand(ret->value(), nm, os);
+        }
+        break;
+      }
+      case Opcode::Detach: {
+        auto *det = cast<DetachInst>(inst);
+        os << "detach label %" << nm.blockRef(det->detached())
+           << ", label %" << nm.blockRef(det->cont());
+        break;
+      }
+      case Opcode::Reattach: {
+        auto *re = cast<ReattachInst>(inst);
+        os << "reattach label %" << nm.blockRef(re->cont());
+        break;
+      }
+      case Opcode::Sync: {
+        auto *sy = cast<SyncInst>(inst);
+        os << "sync label %" << nm.blockRef(sy->cont());
+        break;
+      }
+      default: {
+        // Binary arithmetic and select share operand-list syntax.
+        os << opcodeName(inst->opcode()) << ' ';
+        for (unsigned i = 0; i < inst->numOperands(); ++i) {
+            if (i)
+                os << ", ";
+            printOperand(inst->operand(i), nm, os);
+        }
+        break;
+      }
+    }
+    os << '\n';
+}
+
+} // namespace
+
+void
+printFunction(const Function &func, std::ostream &os)
+{
+    NameMap nm(func);
+
+    os << "func @" << func.name() << '(';
+    for (unsigned i = 0; i < func.numArgs(); ++i) {
+        if (i)
+            os << ", ";
+        Argument *arg = func.arg(i);
+        os << arg->type().str() << " %" << nm.ref(arg);
+    }
+    os << ") -> " << func.returnType().str() << " {\n";
+
+    for (const auto &bb : func.basicBlocks()) {
+        os << nm.blockRef(bb.get()) << ":\n";
+        for (const auto &inst : bb->instructions())
+            printInstruction(inst.get(), nm, os);
+    }
+    os << "}\n";
+}
+
+void
+printModule(const Module &mod, std::ostream &os)
+{
+    for (const auto &g : mod.globals())
+        os << "global @" << g->name() << ' ' << g->sizeBytes() << '\n';
+    if (!mod.globals().empty())
+        os << '\n';
+    bool first = true;
+    for (const auto &f : mod.functions()) {
+        if (!first)
+            os << '\n';
+        first = false;
+        printFunction(*f, os);
+    }
+}
+
+std::string
+toString(const Module &mod)
+{
+    std::ostringstream os;
+    printModule(mod, os);
+    return os.str();
+}
+
+std::string
+toString(const Function &func)
+{
+    std::ostringstream os;
+    printFunction(func, os);
+    return os.str();
+}
+
+} // namespace tapas::ir

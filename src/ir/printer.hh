@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Textual printer for the TAPAS parallel IR. The emitted text is the
+ * canonical ".tir" format accepted by ir/parser.hh, so modules
+ * round-trip: parse(print(m)) is structurally identical to m.
+ */
+
+#ifndef TAPAS_IR_PRINTER_HH
+#define TAPAS_IR_PRINTER_HH
+
+#include <iosfwd>
+#include <string>
+
+namespace tapas::ir {
+
+class Module;
+class Function;
+class Instruction;
+
+/** Print a whole module (globals then functions). */
+void printModule(const Module &mod, std::ostream &os);
+
+/** Print one function. */
+void printFunction(const Function &func, std::ostream &os);
+
+/** Convenience: module text as a string. */
+std::string toString(const Module &mod);
+
+/** Convenience: function text as a string. */
+std::string toString(const Function &func);
+
+} // namespace tapas::ir
+
+#endif // TAPAS_IR_PRINTER_HH

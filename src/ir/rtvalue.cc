@@ -1,0 +1,173 @@
+#include "ir/rtvalue.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace tapas::ir {
+
+int64_t
+normalizeInt(Type type, int64_t raw)
+{
+    unsigned bits = type.bits();
+    if (bits >= 64)
+        return raw;
+    if (bits == 1)
+        return raw & 1;
+    // Sign-extend from `bits`.
+    uint64_t u = static_cast<uint64_t>(raw);
+    uint64_t mask = (uint64_t{1} << bits) - 1;
+    u &= mask;
+    uint64_t sign = uint64_t{1} << (bits - 1);
+    if (u & sign)
+        u |= ~mask;
+    return static_cast<int64_t>(u);
+}
+
+namespace {
+
+/** Zero-extended view of an integer value at its static width. */
+uint64_t
+zext(Type type, int64_t v)
+{
+    unsigned bits = type.bits();
+    if (bits >= 64)
+        return static_cast<uint64_t>(v);
+    uint64_t mask = (uint64_t{1} << bits) - 1;
+    return static_cast<uint64_t>(v) & mask;
+}
+
+} // namespace
+
+RtValue
+evalBinary(Opcode op, Type type, RtValue lhs, RtValue rhs)
+{
+    if (isFloatBinary(op)) {
+        double a = lhs.f;
+        double b = rhs.f;
+        double r = 0.0;
+        switch (op) {
+          case Opcode::FAdd: r = a + b; break;
+          case Opcode::FSub: r = a - b; break;
+          case Opcode::FMul: r = a * b; break;
+          case Opcode::FDiv: r = a / b; break;
+          default: tapas_panic("bad float binary");
+        }
+        if (type.bits() == 32)
+            r = static_cast<float>(r);
+        return RtValue::fromFloat(r);
+    }
+
+    int64_t a = lhs.i;
+    int64_t b = rhs.i;
+    int64_t r = 0;
+    switch (op) {
+      case Opcode::Add: r = a + b; break;
+      case Opcode::Sub: r = a - b; break;
+      case Opcode::Mul: r = a * b; break;
+      case Opcode::SDiv:
+        tapas_assert(b != 0, "sdiv by zero");
+        r = a / b;
+        break;
+      case Opcode::UDiv:
+        tapas_assert(b != 0, "udiv by zero");
+        r = static_cast<int64_t>(zext(type, a) / zext(type, b));
+        break;
+      case Opcode::SRem:
+        tapas_assert(b != 0, "srem by zero");
+        r = a % b;
+        break;
+      case Opcode::URem:
+        tapas_assert(b != 0, "urem by zero");
+        r = static_cast<int64_t>(zext(type, a) % zext(type, b));
+        break;
+      case Opcode::And: r = a & b; break;
+      case Opcode::Or: r = a | b; break;
+      case Opcode::Xor: r = a ^ b; break;
+      case Opcode::Shl:
+        r = static_cast<int64_t>(static_cast<uint64_t>(a)
+                                 << (b & (type.bits() - 1)));
+        break;
+      case Opcode::LShr:
+        r = static_cast<int64_t>(zext(type, a) >>
+                                 (b & (type.bits() - 1)));
+        break;
+      case Opcode::AShr:
+        r = normalizeInt(type, a) >> (b & (type.bits() - 1));
+        break;
+      default:
+        tapas_panic("bad int binary '%s'", opcodeName(op));
+    }
+    return RtValue::fromInt(normalizeInt(type, r));
+}
+
+RtValue
+evalCmp(Opcode op, CmpPred pred, Type operand_type, RtValue lhs,
+        RtValue rhs)
+{
+    bool result = false;
+    if (op == Opcode::FCmp) {
+        double a = lhs.f;
+        double b = rhs.f;
+        switch (pred) {
+          case CmpPred::EQ: result = a == b; break;
+          case CmpPred::NE: result = a != b; break;
+          case CmpPred::OLT: result = a < b; break;
+          case CmpPred::OLE: result = a <= b; break;
+          case CmpPred::OGT: result = a > b; break;
+          case CmpPred::OGE: result = a >= b; break;
+          default: tapas_panic("bad fcmp predicate");
+        }
+        return RtValue::fromInt(result ? 1 : 0);
+    }
+
+    int64_t sa = normalizeInt(operand_type, lhs.i);
+    int64_t sb = normalizeInt(operand_type, rhs.i);
+    uint64_t ua = zext(operand_type, lhs.i);
+    uint64_t ub = zext(operand_type, rhs.i);
+    switch (pred) {
+      case CmpPred::EQ: result = ua == ub; break;
+      case CmpPred::NE: result = ua != ub; break;
+      case CmpPred::SLT: result = sa < sb; break;
+      case CmpPred::SLE: result = sa <= sb; break;
+      case CmpPred::SGT: result = sa > sb; break;
+      case CmpPred::SGE: result = sa >= sb; break;
+      case CmpPred::ULT: result = ua < ub; break;
+      case CmpPred::ULE: result = ua <= ub; break;
+      case CmpPred::UGT: result = ua > ub; break;
+      case CmpPred::UGE: result = ua >= ub; break;
+      default: tapas_panic("bad icmp predicate");
+    }
+    return RtValue::fromInt(result ? 1 : 0);
+}
+
+RtValue
+evalCast(Opcode op, Type from, Type to, RtValue src)
+{
+    switch (op) {
+      case Opcode::Trunc:
+        return RtValue::fromInt(normalizeInt(to, src.i));
+      case Opcode::ZExt:
+        return RtValue::fromInt(static_cast<int64_t>(zext(from,
+                                                          src.i)));
+      case Opcode::SExt:
+        return RtValue::fromInt(normalizeInt(from, src.i));
+      case Opcode::SIToFP: {
+        double d = static_cast<double>(normalizeInt(from, src.i));
+        if (to.bits() == 32)
+            d = static_cast<float>(d);
+        return RtValue::fromFloat(d);
+      }
+      case Opcode::FPToSI:
+        return RtValue::fromInt(
+            normalizeInt(to, static_cast<int64_t>(src.f)));
+      case Opcode::PtrToInt:
+        return RtValue::fromInt(normalizeInt(to, src.i));
+      case Opcode::IntToPtr:
+        return RtValue::fromInt(src.i);
+      default:
+        tapas_panic("bad cast '%s'", opcodeName(op));
+    }
+}
+
+} // namespace tapas::ir

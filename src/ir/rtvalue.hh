@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Runtime values and the shared instruction evaluation helpers used by
+ * every execution engine in the repository: the reference interpreter
+ * (ir/interp.hh), the accelerator TXU dataflow simulator (sim/), and
+ * the multicore CPU baseline (cpu/). Keeping evaluation in one place
+ * guarantees that all engines compute identical results, so timing
+ * models can be compared on functionally verified runs.
+ */
+
+#ifndef TAPAS_IR_RTVALUE_HH
+#define TAPAS_IR_RTVALUE_HH
+
+#include <cstdint>
+
+#include "ir/instruction.hh"
+
+namespace tapas::ir {
+
+/**
+ * A dynamic value: a 64-bit integer/pointer or a double. Integers are
+ * kept sign-extended to 64 bits; the static Type decides width
+ * behaviour at operation boundaries.
+ */
+struct RtValue
+{
+    union {
+        int64_t i;
+        double f;
+    };
+
+    RtValue() : i(0) {}
+
+    static RtValue
+    fromInt(int64_t v)
+    {
+        RtValue r;
+        r.i = v;
+        return r;
+    }
+
+    static RtValue
+    fromFloat(double v)
+    {
+        RtValue r;
+        r.f = v;
+        return r;
+    }
+
+    /** Pointer values travel in the integer lane. */
+    static RtValue fromPtr(uint64_t v)
+    {
+        return fromInt(static_cast<int64_t>(v));
+    }
+
+    uint64_t ptr() const { return static_cast<uint64_t>(i); }
+    bool truthy() const { return (i & 1) != 0; }
+};
+
+/** Truncate/sign-extend an integer to the width of `type`. */
+int64_t normalizeInt(Type type, int64_t raw);
+
+/** Evaluate an integer or float binary operation. */
+RtValue evalBinary(Opcode op, Type type, RtValue lhs, RtValue rhs);
+
+/** Evaluate an icmp/fcmp; returns 0/1 in the integer lane. */
+RtValue evalCmp(Opcode op, CmpPred pred, Type operand_type, RtValue lhs,
+                RtValue rhs);
+
+/** Evaluate a cast from `from` to `to`. */
+RtValue evalCast(Opcode op, Type from, Type to, RtValue src);
+
+} // namespace tapas::ir
+
+#endif // TAPAS_IR_RTVALUE_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Value types for the TAPAS parallel IR.
+ *
+ * The IR is deliberately small: void, integers of power-of-two widths,
+ * 32/64-bit floats, and an untyped 64-bit pointer. This mirrors the
+ * subset of LLVM types the TAPAS hardware generator consumes (paper
+ * Section III): datapaths are built from fixed-width integer/float
+ * function units and byte-addressed memory operations.
+ */
+
+#ifndef TAPAS_IR_TYPE_HH
+#define TAPAS_IR_TYPE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "support/logging.hh"
+
+namespace tapas::ir {
+
+/** A value type; cheap value-semantic class, compared structurally. */
+class Type
+{
+  public:
+    enum class Kind : uint8_t { Void, Int, Float, Ptr };
+
+    /** Default-constructed type is void. */
+    Type() : _kind(Kind::Void), _bits(0) {}
+
+    static Type voidTy() { return Type(Kind::Void, 0); }
+
+    /** Integer type of the given bit width (1, 8, 16, 32 or 64). */
+    static Type
+    intTy(unsigned bits)
+    {
+        tapas_assert(bits == 1 || bits == 8 || bits == 16 ||
+                     bits == 32 || bits == 64,
+                     "unsupported integer width %u", bits);
+        return Type(Kind::Int, static_cast<uint8_t>(bits));
+    }
+
+    static Type i1() { return intTy(1); }
+    static Type i8() { return intTy(8); }
+    static Type i16() { return intTy(16); }
+    static Type i32() { return intTy(32); }
+    static Type i64() { return intTy(64); }
+
+    /** Floating-point type (32 or 64 bits). */
+    static Type
+    floatTy(unsigned bits)
+    {
+        tapas_assert(bits == 32 || bits == 64,
+                     "unsupported float width %u", bits);
+        return Type(Kind::Float, static_cast<uint8_t>(bits));
+    }
+
+    static Type f32() { return floatTy(32); }
+    static Type f64() { return floatTy(64); }
+
+    /** 64-bit untyped pointer. */
+    static Type ptr() { return Type(Kind::Ptr, 64); }
+
+    Kind kind() const { return _kind; }
+    unsigned bits() const { return _bits; }
+
+    bool isVoid() const { return _kind == Kind::Void; }
+    bool isInt() const { return _kind == Kind::Int; }
+    bool isFloat() const { return _kind == Kind::Float; }
+    bool isPtr() const { return _kind == Kind::Ptr; }
+    bool isBool() const { return isInt() && _bits == 1; }
+
+    /** Storage footprint in bytes (i1 occupies one byte). */
+    unsigned
+    sizeBytes() const
+    {
+        tapas_assert(!isVoid(), "void has no size");
+        return _bits <= 8 ? 1 : _bits / 8;
+    }
+
+    bool
+    operator==(const Type &o) const
+    {
+        return _kind == o._kind && _bits == o._bits;
+    }
+
+    bool operator!=(const Type &o) const { return !(*this == o); }
+
+    /** Textual form, e.g. "i32", "f64", "ptr", "void". */
+    std::string str() const;
+
+  private:
+    Type(Kind kind, uint8_t bits) : _kind(kind), _bits(bits) {}
+
+    Kind _kind;
+    uint8_t _bits;
+};
+
+} // namespace tapas::ir
+
+#endif // TAPAS_IR_TYPE_HH

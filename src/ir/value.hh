@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Value base class and simple value kinds (arguments, constants,
+ * globals) for the TAPAS parallel IR.
+ */
+
+#ifndef TAPAS_IR_VALUE_HH
+#define TAPAS_IR_VALUE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/type.hh"
+
+namespace tapas::ir {
+
+class Function;
+
+/**
+ * Root of the IR value hierarchy. Everything that can appear as an
+ * instruction operand is a Value.
+ */
+class Value
+{
+  public:
+    enum class Kind : uint8_t {
+        Argument,
+        ConstantInt,
+        ConstantFloat,
+        Global,
+        Instruction,
+        BasicBlock,
+        Function,
+    };
+
+    Value(Kind kind, Type type, std::string name)
+        : _kind(kind), _type(type), _name(std::move(name))
+    {}
+
+    virtual ~Value() = default;
+
+    Value(const Value &) = delete;
+    Value &operator=(const Value &) = delete;
+
+    Kind valueKind() const { return _kind; }
+    Type type() const { return _type; }
+
+    const std::string &name() const { return _name; }
+    void setName(std::string n) { _name = std::move(n); }
+
+    bool isConstant() const
+    {
+        return _kind == Kind::ConstantInt || _kind == Kind::ConstantFloat;
+    }
+
+  protected:
+    void setType(Type t) { _type = t; }
+
+  private:
+    Kind _kind;
+    Type _type;
+    std::string _name;
+};
+
+/** A formal parameter of a Function. */
+class Argument : public Value
+{
+  public:
+    Argument(Type type, std::string name, unsigned index,
+             Function *parent)
+        : Value(Kind::Argument, type, std::move(name)), _index(index),
+          _parent(parent)
+    {}
+
+    unsigned index() const { return _index; }
+    Function *parent() const { return _parent; }
+
+  private:
+    unsigned _index;
+    Function *_parent;
+};
+
+/** An integer (or pointer) constant. Stored sign-extended to 64 bits. */
+class ConstantInt : public Value
+{
+  public:
+    ConstantInt(Type type, int64_t value)
+        : Value(Kind::ConstantInt, type, ""), _value(value)
+    {
+        tapas_assert(type.isInt() || type.isPtr(),
+                     "ConstantInt needs int/ptr type");
+    }
+
+    int64_t value() const { return _value; }
+
+  private:
+    int64_t _value;
+};
+
+/** A floating-point constant. */
+class ConstantFloat : public Value
+{
+  public:
+    ConstantFloat(Type type, double value)
+        : Value(Kind::ConstantFloat, type, ""), _value(value)
+    {
+        tapas_assert(type.isFloat(), "ConstantFloat needs float type");
+    }
+
+    double value() const { return _value; }
+
+  private:
+    double _value;
+};
+
+/**
+ * A named global memory region of fixed byte size. Globals are
+ * assigned concrete base addresses when a Module is loaded into a
+ * flat memory image (see ir/memimage.hh).
+ */
+class GlobalVar : public Value
+{
+  public:
+    GlobalVar(std::string name, uint64_t size_bytes)
+        : Value(Kind::Global, Type::ptr(), std::move(name)),
+          _sizeBytes(size_bytes)
+    {}
+
+    uint64_t sizeBytes() const { return _sizeBytes; }
+
+  private:
+    uint64_t _sizeBytes;
+};
+
+} // namespace tapas::ir
+
+#endif // TAPAS_IR_VALUE_HH

@@ -1,0 +1,396 @@
+#include "ir/verifier.hh"
+
+#include <set>
+#include <sstream>
+
+#include "ir/function.hh"
+#include "support/logging.hh"
+
+namespace tapas::ir {
+
+namespace {
+
+/** Collects errors with printf-style formatting. */
+class ErrorSink
+{
+  public:
+    explicit ErrorSink(const Function &func) : func(func) {}
+
+    void
+    add(const char *fmt, ...) __attribute__((format(printf, 2, 3)))
+    {
+        va_list ap;
+        va_start(ap, fmt);
+        std::string msg = vstrfmt(fmt, ap);
+        va_end(ap);
+        errors.push_back("in @" + func.name() + ": " + msg);
+    }
+
+    std::vector<std::string> take() { return std::move(errors); }
+
+  private:
+    const Function &func;
+    std::vector<std::string> errors;
+};
+
+/** True if `v` may be used as an operand inside `func`. */
+bool
+usableIn(const Value *v, const Function &func)
+{
+    switch (v->valueKind()) {
+      case Value::Kind::ConstantInt:
+      case Value::Kind::ConstantFloat:
+      case Value::Kind::Global:
+      case Value::Kind::Function:
+        return true;
+      case Value::Kind::Argument:
+        return static_cast<const Argument *>(v)->parent() == &func;
+      case Value::Kind::Instruction:
+        return static_cast<const Instruction *>(v)->function() == &func;
+      case Value::Kind::BasicBlock:
+        return false;
+    }
+    return false;
+}
+
+void
+checkBlockStructure(const Function &func, ErrorSink &err)
+{
+    for (const auto &bb : func.basicBlocks()) {
+        if (bb->empty()) {
+            err.add("block '%s' is empty", bb->name().c_str());
+            continue;
+        }
+        if (!bb->isTerminated()) {
+            err.add("block '%s' lacks a terminator",
+                    bb->name().c_str());
+            continue;
+        }
+        bool past_phis = false;
+        for (size_t i = 0; i < bb->size(); ++i) {
+            const Instruction *inst = bb->instructions()[i].get();
+            if (inst->isTerminator() && i + 1 != bb->size()) {
+                err.add("block '%s' has a terminator mid-block",
+                        bb->name().c_str());
+            }
+            if (inst->opcode() == Opcode::Phi) {
+                if (past_phis) {
+                    err.add("phi '%s' not at head of block '%s'",
+                            inst->name().c_str(), bb->name().c_str());
+                }
+            } else {
+                past_phis = true;
+            }
+        }
+    }
+}
+
+void
+checkOperands(const Function &func, ErrorSink &err)
+{
+    for (const auto &bb : func.basicBlocks()) {
+        for (const auto &inst_up : bb->instructions()) {
+            const Instruction *inst = inst_up.get();
+            for (const Value *op : inst->operands()) {
+                if (!usableIn(op, func)) {
+                    err.add("'%s' in block '%s' uses a value foreign "
+                            "to this function",
+                            opcodeName(inst->opcode()),
+                            bb->name().c_str());
+                }
+            }
+
+            switch (inst->opcode()) {
+              case Opcode::Load: {
+                auto *ld = cast<LoadInst>(inst);
+                if (!ld->addr()->type().isPtr())
+                    err.add("load address is not a ptr");
+                break;
+              }
+              case Opcode::Store: {
+                auto *st = cast<StoreInst>(inst);
+                if (!st->addr()->type().isPtr())
+                    err.add("store address is not a ptr");
+                if (st->value()->type().isVoid())
+                    err.add("store of a void value");
+                break;
+              }
+              case Opcode::Gep: {
+                auto *gep = cast<GepInst>(inst);
+                if (!gep->base()->type().isPtr())
+                    err.add("gep base is not a ptr");
+                for (unsigned i = 0; i < gep->numIndices(); ++i) {
+                    if (!gep->index(i)->type().isInt())
+                        err.add("gep index %u is not an integer", i);
+                }
+                break;
+              }
+              case Opcode::Br: {
+                auto *br = cast<BranchInst>(inst);
+                if (br->isConditional() &&
+                    !br->cond()->type().isBool()) {
+                    err.add("conditional branch in '%s' on non-i1",
+                            bb->name().c_str());
+                }
+                break;
+              }
+              case Opcode::Ret: {
+                auto *ret = cast<RetInst>(inst);
+                if (func.returnType().isVoid()) {
+                    if (ret->hasValue())
+                        err.add("ret with value in void function");
+                } else if (!ret->hasValue()) {
+                    err.add("ret without value in non-void function");
+                } else if (ret->value()->type() != func.returnType()) {
+                    err.add("ret type %s != function return type %s",
+                            ret->value()->type().str().c_str(),
+                            func.returnType().str().c_str());
+                }
+                break;
+              }
+              case Opcode::ICmp: {
+                auto *cmp = cast<CmpInst>(inst);
+                if (cmp->lhs()->type() != cmp->rhs()->type())
+                    err.add("icmp operand type mismatch");
+                if (cmp->lhs()->type().isFloat())
+                    err.add("icmp on floating-point operands");
+                break;
+              }
+              case Opcode::FCmp: {
+                auto *cmp = cast<CmpInst>(inst);
+                if (!cmp->lhs()->type().isFloat())
+                    err.add("fcmp on non-float operands");
+                break;
+              }
+              case Opcode::Call: {
+                auto *call = cast<CallInst>(inst);
+                const Function *callee = call->callee();
+                for (unsigned i = 0; i < call->numArgs(); ++i) {
+                    if (call->arg(i)->type() !=
+                        callee->arg(i)->type()) {
+                        err.add("call to @%s: arg %u type %s, "
+                                "expected %s",
+                                callee->name().c_str(), i,
+                                call->arg(i)->type().str().c_str(),
+                                callee->arg(i)->type().str().c_str());
+                    }
+                }
+                break;
+              }
+              case Opcode::Select: {
+                auto *sel = cast<SelectInst>(inst);
+                if (!sel->cond()->type().isBool())
+                    err.add("select condition is not i1");
+                if (sel->ifTrue()->type() != sel->ifFalse()->type())
+                    err.add("select arm type mismatch");
+                break;
+              }
+              default:
+                if (isIntBinary(inst->opcode())) {
+                    if (!inst->operand(0)->type().isInt())
+                        err.add("integer binary '%s' on non-int",
+                                opcodeName(inst->opcode()));
+                } else if (isFloatBinary(inst->opcode())) {
+                    if (!inst->operand(0)->type().isFloat())
+                        err.add("float binary '%s' on non-float",
+                                opcodeName(inst->opcode()));
+                }
+                break;
+            }
+        }
+    }
+}
+
+void
+checkPhis(const Function &func, ErrorSink &err)
+{
+    auto preds = func.predecessorMap();
+    for (const auto &bb : func.basicBlocks()) {
+        std::set<const BasicBlock *> pred_set(
+            preds[bb->id()].begin(), preds[bb->id()].end());
+        for (const PhiInst *phi : bb->phis()) {
+            std::set<const BasicBlock *> incoming;
+            for (unsigned i = 0; i < phi->numIncoming(); ++i) {
+                incoming.insert(phi->incomingBlock(i));
+                if (phi->incomingValue(i)->type() != phi->type()) {
+                    err.add("phi '%s' incoming %u type mismatch",
+                            phi->name().c_str(), i);
+                }
+            }
+            if (incoming != pred_set) {
+                err.add("phi '%s' in block '%s' does not cover its "
+                        "predecessors exactly",
+                        phi->name().c_str(), bb->name().c_str());
+            }
+        }
+    }
+}
+
+/**
+ * Check Tapir well-formedness of one detach: the detached sub-CFG must
+ * exit only via reattaches that name the detach's continuation, must
+ * not return, and must not fall through into the continuation.
+ */
+void
+checkDetach(const Function &func, const DetachInst *det, ErrorSink &err)
+{
+    const BasicBlock *body = det->detached();
+    const BasicBlock *cont = det->cont();
+
+    std::set<const BasicBlock *> region;
+    std::vector<const BasicBlock *> work{body};
+    bool found_reattach = false;
+
+    while (!work.empty()) {
+        const BasicBlock *bb = work.back();
+        work.pop_back();
+        if (region.count(bb))
+            continue;
+        region.insert(bb);
+
+        if (bb == &*func.basicBlocks().front()) {
+            err.add("detached region from '%s' reaches function entry",
+                    body->name().c_str());
+        }
+
+        const Instruction *term = bb->terminator();
+        if (!term)
+            continue; // reported by checkBlockStructure
+        if (term->opcode() == Opcode::Ret) {
+            err.add("detached region from '%s' contains a return",
+                    body->name().c_str());
+            continue;
+        }
+        if (term->opcode() == Opcode::Reattach) {
+            auto *re = cast<ReattachInst>(term);
+            if (re->cont() == cont) {
+                found_reattach = true;
+                continue; // region boundary
+            }
+        }
+        for (const CfgEdge &e : bb->successors()) {
+            if (e.to == cont) {
+                err.add("detached region from '%s' reaches the "
+                        "continuation '%s' without a reattach",
+                        body->name().c_str(), cont->name().c_str());
+                continue;
+            }
+            work.push_back(e.to);
+        }
+    }
+
+    if (!found_reattach) {
+        err.add("no reattach to '%s' reachable from detached block "
+                "'%s'", cont->name().c_str(), body->name().c_str());
+    }
+}
+
+void
+checkTapir(const Function &func, ErrorSink &err)
+{
+    // Continuations of all detaches, for validating reattach targets.
+    std::set<const BasicBlock *> detach_conts;
+    for (const auto &bb : func.basicBlocks()) {
+        const Instruction *term = bb->terminator();
+        if (term && term->opcode() == Opcode::Detach)
+            detach_conts.insert(cast<DetachInst>(term)->cont());
+    }
+
+    // A detach continuation may be reached by the parent (continue
+    // edge) or by the child (reattach edge); a phi there would make
+    // parallel and serial execution diverge, so it is forbidden.
+    for (const BasicBlock *cont : detach_conts) {
+        if (!cont->phis().empty()) {
+            err.add("detach continuation '%s' must not contain phis",
+                    cont->name().c_str());
+        }
+    }
+
+    // A detached block is a task entry: it has no meaningful
+    // predecessor for a phi to select on.
+    for (const auto &bb : func.basicBlocks()) {
+        const Instruction *term = bb->terminator();
+        if (!term || term->opcode() != Opcode::Detach)
+            continue;
+        const BasicBlock *detached =
+            cast<DetachInst>(term)->detached();
+        if (!detached->phis().empty()) {
+            err.add("detached block '%s' (a task entry) must not "
+                    "contain phis", detached->name().c_str());
+        }
+    }
+
+    for (const auto &bb : func.basicBlocks()) {
+        const Instruction *term = bb->terminator();
+        if (!term)
+            continue;
+        if (term->opcode() == Opcode::Detach)
+            checkDetach(func, cast<DetachInst>(term), err);
+        if (term->opcode() == Opcode::Reattach) {
+            auto *re = cast<ReattachInst>(term);
+            if (!detach_conts.count(re->cont())) {
+                err.add("reattach in '%s' targets '%s', which is not "
+                        "any detach's continuation",
+                        bb->name().c_str(), re->cont()->name().c_str());
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::string
+VerifyResult::str() const
+{
+    std::ostringstream os;
+    for (const auto &e : errors)
+        os << e << '\n';
+    return os.str();
+}
+
+VerifyResult
+verifyFunction(const Function &func)
+{
+    ErrorSink err(func);
+    if (func.numBlocks() == 0) {
+        err.add("function has no blocks");
+        return VerifyResult{err.take()};
+    }
+    checkBlockStructure(func, err);
+    checkOperands(func, err);
+
+    // CFG-wide checks need every block terminated; skip them when the
+    // structure is already broken (errors were reported above).
+    bool structurally_sound = true;
+    for (const auto &bb : func.basicBlocks()) {
+        if (!bb->isTerminated())
+            structurally_sound = false;
+    }
+    if (structurally_sound) {
+        checkPhis(func, err);
+        checkTapir(func, err);
+    }
+    return VerifyResult{err.take()};
+}
+
+VerifyResult
+verifyModule(const Module &mod)
+{
+    VerifyResult all;
+    for (const auto &f : mod.functions()) {
+        VerifyResult r = verifyFunction(*f);
+        all.errors.insert(all.errors.end(), r.errors.begin(),
+                          r.errors.end());
+    }
+    return all;
+}
+
+void
+verifyOrDie(const Module &mod)
+{
+    VerifyResult r = verifyModule(mod);
+    if (!r.ok())
+        tapas_fatal("IR verification failed:\n%s", r.str().c_str());
+}
+
+} // namespace tapas::ir

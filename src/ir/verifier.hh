@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Structural and semantic verifier for the TAPAS parallel IR.
+ *
+ * Checks, per function:
+ *  - every block ends in exactly one terminator;
+ *  - operand types are consistent (binary ops, branches, stores, ...);
+ *  - phi nodes cover exactly their block's predecessors;
+ *  - every used value is defined in the function (or is a constant,
+ *    argument, or global);
+ *  - Tapir well-formedness: each detached sub-CFG is single-entry,
+ *    exits only via reattach edges, and every reattach names the
+ *    continuation of the detach that spawned it (paper Section III-F);
+ *  - returns match the function's return type.
+ */
+
+#ifndef TAPAS_IR_VERIFIER_HH
+#define TAPAS_IR_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+namespace tapas::ir {
+
+class Module;
+class Function;
+
+/** Result of verification: empty `errors` means the IR is valid. */
+struct VerifyResult
+{
+    std::vector<std::string> errors;
+
+    bool ok() const { return errors.empty(); }
+
+    /** All error messages joined by newlines. */
+    std::string str() const;
+};
+
+/** Verify one function. */
+VerifyResult verifyFunction(const Function &func);
+
+/** Verify every function in a module. */
+VerifyResult verifyModule(const Module &mod);
+
+/** Verify and fatal() with the error list if invalid. */
+void verifyOrDie(const Module &mod);
+
+} // namespace tapas::ir
+
+#endif // TAPAS_IR_VERIFIER_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * AcceleratorSim: top-level cycle loop and inter-unit routing.
+ */
+
+#include "sim/accel.hh"
+
+#include <ostream>
+
+namespace tapas::sim {
+
+using ir::RtValue;
+
+AcceleratorSim::AcceleratorSim(const hls::AcceleratorDesign &design,
+                               ir::MemImage &mem)
+    : _design(design), _mem(mem), cache(design.params.mem)
+{
+    const arch::TaskGraph &tg = *design.taskGraph;
+    for (const auto &task : tg.tasks()) {
+        units.push_back(std::make_unique<TaskUnit>(
+            *this, *task, design.dataflow(task->sid()),
+            design.params.forTask(task->sid()), cache));
+    }
+    tapas_assert(!units.empty(), "accelerator with no task units");
+}
+
+bool
+AcceleratorSim::spawnTask(unsigned sid, std::vector<RtValue> args,
+                          TaskRef parent,
+                          const ir::CallInst *caller_site,
+                          uint64_t now)
+{
+    return units.at(sid)->trySpawn(std::move(args), parent,
+                                   caller_site, now);
+}
+
+void
+AcceleratorSim::notifyChildDone(TaskRef parent)
+{
+    units.at(parent.sid)->childJoined(parent.slot);
+}
+
+void
+AcceleratorSim::notifyCallDone(TaskRef parent,
+                               const ir::CallInst *site, RtValue v)
+{
+    units.at(parent.sid)->callReturned(parent.slot, site, v);
+}
+
+void
+AcceleratorSim::rootDone(RtValue v)
+{
+    rootFinished = true;
+    rootValue = v;
+}
+
+RtValue
+AcceleratorSim::run(std::vector<RtValue> top_args)
+{
+    ++rootRuns;
+    rootFinished = false;
+
+    // The host (ARM) writes the arguments and kicks the root unit.
+    bool ok = units[0]->trySpawn(std::move(top_args), TaskRef{},
+                                 nullptr, /*now=*/0);
+    tapas_assert(ok, "root spawn rejected on an empty accelerator");
+    units[0]->beginCycle(0); // re-arm the spawn port for cycle 0
+
+    uint64_t last_progress = progressEvents;
+    uint64_t last_progress_cycle = 0;
+
+    uint64_t cyc = 0;
+    for (; !rootFinished; ++cyc) {
+        if (cyc > maxCycles)
+            tapas_fatal("accelerator exceeded %llu cycles",
+                        static_cast<unsigned long long>(maxCycles));
+
+        cache.beginCycle(cyc);
+        for (auto &u : units)
+            u->beginCycle(cyc);
+        for (auto &u : units)
+            u->tick(cyc);
+
+        if (progressEvents != last_progress) {
+            last_progress = progressEvents;
+            last_progress_cycle = cyc;
+        } else if (cyc - last_progress_cycle > watchdogCycles) {
+            std::string occ;
+            for (auto &u : units) {
+                occ += u->task().name() + "=" +
+                       std::to_string(u->occupancy()) + " ";
+            }
+            tapas_fatal(
+                "accelerator deadlock at cycle %llu (no progress for "
+                "%llu cycles; queue occupancy: %s). Recursion deeper "
+                "than the task queues (Ntasks) causes this, exactly "
+                "as on the FPGA — raise Ntasks.",
+                static_cast<unsigned long long>(cyc),
+                static_cast<unsigned long long>(watchdogCycles),
+                occ.c_str());
+        }
+    }
+
+    _cycles = cyc;
+    return rootValue;
+}
+
+uint64_t
+AcceleratorSim::totalSpawns() const
+{
+    uint64_t n = 0;
+    for (const auto &u : units)
+        n += u->spawnsAccepted.value();
+    return n;
+}
+
+void
+AcceleratorSim::dumpStats(std::ostream &os) const
+{
+    stats.dump(os);
+    cache.stats.dump(os);
+    for (const auto &u : units)
+        u->stats.dump(os);
+}
+
+} // namespace tapas::sim

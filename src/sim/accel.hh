@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Cycle-level simulator of a TAPAS-generated accelerator.
+ *
+ * The simulated microarchitecture follows the paper exactly at the
+ * component level (Sections III-A..III-E, Figs. 3-8):
+ *
+ *  - one TaskUnit per static task: a task queue of Ntasks entries
+ *    (states READY / EXE / SYNC / WAIT-CALL / COMPLETE, per Fig. 5),
+ *    spawn/sync ports with one-accept-per-cycle arbitration, and
+ *    Ntiles task-execution tiles;
+ *  - each tile is a pipelined TXU executing the task's dataflow with
+ *    latency-insensitive ready-valid firing: a node fires when its
+ *    in-block producers are done, each static node accepts one new
+ *    token per cycle (II = 1 per function unit), and multiple task
+ *    instances overlap in the pipeline up to tilePipelineDepth;
+ *  - per-tile data boxes arbitrate memory operations into the shared
+ *    L1 cache, which models finite MSHRs and an AXI/DRAM channel;
+ *  - spawns marshal the child's live-in arguments through the target
+ *    unit's args RAM (spawnHandshake + cycles-per-arg), parent/child
+ *    join uses the (SID, DyID) scheme of Fig. 5: detach-spawned
+ *    children decrement the parent entry's child counter; task-call
+ *    children route their return value back to the waiting call node;
+ *  - a task instance blocked at a sync (children pending) or on a
+ *    task call vacates its tile and waits in the queue, which is what
+ *    allows unbounded-depth recursion without deadlocking the TXUs
+ *    (paper Section IV-C); queue capacity then bounds the practical
+ *    recursion depth, exactly as on the real hardware.
+ *
+ * Functional execution is exact: every fired node computes its real
+ * value against the shared MemImage, so a simulation both measures
+ * cycles and produces the program's actual output (verified against
+ * the reference interpreter by the tests).
+ */
+
+#ifndef TAPAS_SIM_ACCEL_HH
+#define TAPAS_SIM_ACCEL_HH
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "hls/compile.hh"
+#include "ir/interp.hh"
+#include "sim/databox.hh"
+#include "sim/trace.hh"
+
+namespace tapas::sim {
+
+class AcceleratorSim;
+class TaskUnit;
+
+/** Dynamic task identity: (SID, DyID) of paper Fig. 5. */
+struct TaskRef
+{
+    static constexpr unsigned kNone = ~0u;
+
+    unsigned sid = kNone;
+    unsigned slot = 0;
+
+    bool valid() const { return sid != kNone; }
+};
+
+/** One TXU tile: data box + per-cycle firing bookkeeping. */
+struct Tile
+{
+    Tile(SharedCache &cache, unsigned staging, unsigned issue_width,
+         std::string name)
+        : box(cache, staging, issue_width, std::move(name))
+    {}
+
+    DataBox box;
+
+    /** Slots of the instances currently in this tile's pipeline. */
+    std::vector<unsigned> active;
+
+    /** Static nodes that already accepted a token this cycle. */
+    std::set<const ir::Instruction *> fired;
+};
+
+/**
+ * Executes one dynamic task instance over the task's dataflow.
+ * Owned by a queue entry; attached to a tile while in state EXE.
+ */
+class InstanceExec
+{
+  public:
+    enum class Status : uint8_t {
+        Running,   ///< making progress (or stalled on memory/spawn)
+        WaitSync,  ///< blocked at sync with children outstanding
+        WaitCall,  ///< blocked on a task call's return value
+        Done,      ///< task completed (join the parent)
+    };
+
+    InstanceExec(AcceleratorSim &sim, const arch::Task &task,
+                 TaskRef self);
+
+    /** Provide the marshaled arguments; instance becomes runnable. */
+    void start(std::vector<ir::RtValue> args);
+
+    /** Advance one cycle on the given tile. */
+    Status step(uint64_t now, Tile &tile);
+
+    /** Deliver a task-call return value (wakes a WaitCall). */
+    void deliverCallResult(const ir::CallInst *site, ir::RtValue v);
+
+    /** Return value produced by the task's Ret (function tasks). */
+    ir::RtValue returnValue() const { return retVal; }
+
+    /** Outstanding memory requests (suspension is deferred on >0). */
+    unsigned outstandingMem() const { return memInFlight; }
+
+    /** Dynamic nodes fired so far (stats). */
+    uint64_t firedCount() const { return firedNodes; }
+
+  private:
+    enum class Phase : uint8_t {
+        Waiting,
+        Exec,       ///< fixed latency, completes at doneAt
+        Mem,        ///< waiting on a data-box ticket
+        SpawnRetry, ///< spawn target busy/full; retry
+        SyncWait,
+        CallWait,
+        LeafCall,   ///< a callee frame is executing
+        DoneNode,
+    };
+
+    struct NodeState
+    {
+        Phase phase = Phase::Waiting;
+        uint64_t doneAt = 0;
+        MemTicket ticket = 0;
+        bool callDelivered = false;
+        ir::RtValue callValue;
+    };
+
+    /** One activation record: the task body or an inlined leaf call. */
+    struct Frame
+    {
+        const ir::Function *func = nullptr;
+        std::vector<ir::RtValue> regs;     // by instruction id
+        std::vector<ir::RtValue> argVals;  // leaf formals
+        const ir::CallInst *returnTo = nullptr; // caller's call inst
+        const ir::BasicBlock *bb = nullptr;
+        const ir::BasicBlock *prev = nullptr;
+        std::vector<NodeState> nst;        // per instruction in bb
+    };
+
+    ir::RtValue evalOperand(const Frame &frame, const ir::Value *v);
+
+    void enterBlock(Frame &frame, const ir::BasicBlock *bb,
+                    uint64_t now);
+
+    /** Try to fire one waiting node; returns false if deps pending. */
+    bool tryFire(Frame &frame, size_t idx, uint64_t now, Tile &tile);
+
+    /** Progress a fired node toward completion. */
+    void advanceNode(Frame &frame, size_t idx, uint64_t now,
+                     Tile &tile);
+
+    /** All non-phi nodes of the current block are done. */
+    bool blockDone(const Frame &frame) const;
+
+    /** Handle a completed terminator: block transition / task end. */
+    Status finishBlock(uint64_t now);
+
+    void pushLeafFrame(const ir::CallInst *call,
+                       std::vector<ir::RtValue> args, uint64_t now);
+
+    AcceleratorSim &sim;
+    const arch::Task &task;
+    TaskRef self;
+
+    std::map<const ir::Value *, ir::RtValue> argMap;
+    std::vector<Frame> frames;
+    ir::RtValue retVal;
+    bool done = false;
+    unsigned memInFlight = 0;
+    uint64_t firedNodes = 0;
+};
+
+/** Task-queue entry states (paper Fig. 5). */
+enum class EntryState : uint8_t {
+    Free,
+    Ready,    ///< spawned / woken, not allocated a tile
+    Exe,      ///< attached to a tile
+    Sync,     ///< vacated tile, waiting for child join counter
+    WaitCall, ///< vacated tile, waiting for a task-call return
+};
+
+/** One task unit: queue + tiles + ports (paper Fig. 3 bottom). */
+class TaskUnit
+{
+  public:
+    TaskUnit(AcceleratorSim &sim, const arch::Task &task,
+             const arch::Dataflow &df,
+             const arch::TaskUnitParams &params, SharedCache &cache);
+
+    /**
+     * Spawn-port arbitration: accept at most one spawn per cycle and
+     * only while a queue entry is free.
+     *
+     * @return false if the spawner must retry.
+     */
+    bool trySpawn(std::vector<ir::RtValue> args, TaskRef parent,
+                  const ir::CallInst *caller_site, uint64_t now);
+
+    void beginCycle(uint64_t now);
+    void tick(uint64_t now);
+
+    /** A detach-spawned child of `slot` finished. */
+    void childJoined(unsigned slot);
+
+    /** A task-called child of `slot` returned `v` for `site`. */
+    void callReturned(unsigned slot, const ir::CallInst *site,
+                      ir::RtValue v);
+
+    /** Child-counter increment when `slot` spawns. */
+    void noteChildSpawned(unsigned slot);
+
+    /** Current child join counter of `slot` (sync resolution). */
+    int childCountOf(unsigned slot) const
+    {
+        return entries.at(slot).childCount;
+    }
+
+    bool idle() const;
+
+    const arch::Task &task() const { return _task; }
+
+    /** Entries currently not Free (tests/stats). */
+    unsigned occupancy() const;
+
+    // --- statistics ---------------------------------------------------
+
+    StatGroup stats;
+    Counter spawnsAccepted{stats, "spawns", "task instances enqueued"};
+    Counter spawnRejects{stats, "spawn_rejects",
+                         "spawns rejected (port busy or queue full)"};
+    Counter instancesDone{stats, "completed", "task instances retired"};
+    Counter tileBusyCycles{stats, "tile_busy_cycles",
+                           "cycles x tiles with >=1 active instance"};
+    Counter syncSuspends{stats, "sync_suspends",
+                         "instances that vacated a tile at a sync"};
+    Counter callSuspends{stats, "call_suspends",
+                         "instances that vacated a tile on a task call"};
+    Scalar avgSpawnToDispatch{stats, "spawn_to_dispatch",
+                              "avg cycles from spawn to tile dispatch"};
+
+  private:
+    struct QueueEntry
+    {
+        EntryState state = EntryState::Free;
+        std::unique_ptr<InstanceExec> exec;
+        TaskRef parent;
+        const ir::CallInst *callerSite = nullptr;
+        int childCount = 0;
+        uint64_t readyAt = 0;     ///< args-RAM transfer completion
+        uint64_t spawnedAt = 0;
+        int tile = -1;
+    };
+
+    void dispatch(uint64_t now);
+    void retire(unsigned slot, uint64_t now);
+    void detachFromTile(unsigned slot);
+
+    AcceleratorSim &sim;
+    const arch::Task &_task;
+    const arch::Dataflow &df;
+    arch::TaskUnitParams params;
+
+    std::vector<QueueEntry> entries;
+    std::vector<std::unique_ptr<Tile>> tiles;
+    std::deque<unsigned> readyQueue;
+    bool spawnAcceptedThisCycle = false;
+
+    uint64_t dispatchLatSum = 0;
+    uint64_t dispatchCount = 0;
+
+    friend class AcceleratorSim;
+};
+
+/** The whole accelerator: units + shared memory system. */
+class AcceleratorSim
+{
+  public:
+    /**
+     * @param design the compiled accelerator
+     * @param mem shared functional memory (globals already laid out)
+     */
+    AcceleratorSim(const hls::AcceleratorDesign &design,
+                   ir::MemImage &mem);
+
+    /**
+     * Run the accelerator: spawn the root task with `top_args` and
+     * simulate until it completes.
+     *
+     * @return the root task's return value
+     */
+    ir::RtValue run(std::vector<ir::RtValue> top_args);
+
+    /** Cycles consumed by the last run(). */
+    uint64_t cycles() const { return _cycles; }
+
+    /** Total dynamic spawns across all units in the last run. */
+    uint64_t totalSpawns() const;
+
+    /** Simulated seconds for the last run at `mhz`. */
+    double
+    seconds(double mhz) const
+    {
+        return static_cast<double>(_cycles) / (mhz * 1e6);
+    }
+
+    // --- services used by InstanceExec / TaskUnit ----------------------
+
+    /** Route a spawn to a unit (false => retry next cycle). */
+    bool spawnTask(unsigned sid, std::vector<ir::RtValue> args,
+                   TaskRef parent, const ir::CallInst *caller_site,
+                   uint64_t now);
+
+    /** Child of `parent` joined (detach join). */
+    void notifyChildDone(TaskRef parent);
+
+    /** Task-called child returned a value to `parent` at `site`. */
+    void notifyCallDone(TaskRef parent, const ir::CallInst *site,
+                        ir::RtValue v);
+
+    /** Root task finished. */
+    void rootDone(ir::RtValue v);
+
+    /** Something happened; feeds the deadlock watchdog. */
+    void progressEvent() { ++progressEvents; }
+
+    /** Attach (or detach, with nullptr) a task-lifetime tracer. */
+    void setTracer(TaskTracer *t) { tracer = t; }
+
+    /** Record a task-lifetime event if a tracer is attached. */
+    void
+    traceEvent(uint64_t cycle, TraceEvent::Kind kind, unsigned sid,
+               unsigned slot)
+    {
+        if (tracer)
+            tracer->record(cycle, kind, sid, slot);
+    }
+
+    ir::MemImage &mem() { return _mem; }
+
+    const hls::AcceleratorDesign &design() const { return _design; }
+
+    const arch::AcceleratorParams &params() const
+    {
+        return _design.params;
+    }
+
+    TaskUnit &unit(unsigned sid) { return *units.at(sid); }
+
+    SharedCache &cacheModel() { return cache; }
+
+    /** Dump all stat groups (units + cache + global). */
+    void dumpStats(std::ostream &os) const;
+
+    StatGroup stats{"accel"};
+    Counter rootRuns{stats, "runs", "root task invocations"};
+
+    /** Maximum cycles before declaring a hang. */
+    uint64_t maxCycles = 2'000'000'000ull;
+
+    /** Cycles without progress before declaring deadlock. */
+    uint64_t watchdogCycles = 1'000'000;
+
+  private:
+    const hls::AcceleratorDesign &_design;
+    ir::MemImage &_mem;
+    SharedCache cache;
+    std::vector<std::unique_ptr<TaskUnit>> units;
+
+    uint64_t _cycles = 0;
+    uint64_t progressEvents = 0;
+    TaskTracer *tracer = nullptr;
+    bool rootFinished = false;
+    ir::RtValue rootValue;
+};
+
+} // namespace tapas::sim
+
+#endif // TAPAS_SIM_ACCEL_HH

@@ -1,0 +1,72 @@
+#include "sim/databox.hh"
+
+#include "support/logging.hh"
+
+namespace tapas::sim {
+
+DataBox::DataBox(SharedCache &cache, unsigned staging_entries,
+                 unsigned issue_width, std::string stat_name)
+    : stats(std::move(stat_name)), cache(cache),
+      entries(staging_entries), issueWidth(issue_width)
+{
+    tapas_assert(staging_entries > 0 && issue_width > 0,
+                 "data box needs entries and issue width");
+}
+
+bool
+DataBox::submit(uint64_t addr, bool is_store, uint64_t now,
+                MemTicket &ticket)
+{
+    (void)now;
+    for (MemTicket t = 0; t < entries.size(); ++t) {
+        Entry &e = entries[t];
+        if (e.busy)
+            continue;
+        e.busy = true;
+        e.issued = false;
+        e.store = is_store;
+        e.addr = addr;
+        e.completesAt = 0;
+        issueQueue.push_back(t);
+        ++occupied;
+        ++submitted;
+        ticket = t;
+        return true;
+    }
+    ++fullRejects;
+    return false;
+}
+
+bool
+DataBox::poll(MemTicket ticket, uint64_t now)
+{
+    Entry &e = entries.at(ticket);
+    tapas_assert(e.busy, "polling a free ticket");
+    if (!e.issued || e.completesAt > now)
+        return false;
+    e.busy = false;
+    --occupied;
+    return true;
+}
+
+void
+DataBox::tick(uint64_t now)
+{
+    unsigned granted = 0;
+    while (granted < issueWidth && !issueQueue.empty()) {
+        MemTicket t = issueQueue.front();
+        Entry &e = entries.at(t);
+        tapas_assert(e.busy && !e.issued, "stale issue-queue entry");
+        CacheResult res = cache.request(e.addr, e.store, now);
+        if (!res.accepted) {
+            ++cacheRetries;
+            break; // in-order issue: head blocks the tree this cycle
+        }
+        e.issued = true;
+        e.completesAt = res.completesAt;
+        issueQueue.pop_front();
+        ++granted;
+    }
+}
+
+} // namespace tapas::sim

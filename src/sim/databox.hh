@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Data box (paper Section III-E, Fig. 8): the per-task-unit block that
+ * connects the TXU's memory operations to the shared cache. It models
+ * the in-arbiter tree (one request issued per cycle), the staging
+ * buffer table (finite entries; full table back-pressures the TXU),
+ * and the response demux (ticket-based completion back to the issuing
+ * dataflow node).
+ */
+
+#ifndef TAPAS_SIM_DATABOX_HH
+#define TAPAS_SIM_DATABOX_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/mem.hh"
+
+namespace tapas::sim {
+
+/** Handle identifying one in-flight memory request. */
+using MemTicket = uint32_t;
+
+/** Per-task-unit arbiter + staging buffers in front of the cache. */
+class DataBox
+{
+  public:
+    /**
+     * @param cache the shared L1
+     * @param staging_entries allocator-table capacity (Fig. 8)
+     * @param issue_width requests granted per cycle by the in-arbiter
+     */
+    DataBox(SharedCache &cache, unsigned staging_entries,
+            unsigned issue_width, std::string stat_name);
+
+    /**
+     * Try to accept a request from a dataflow node.
+     *
+     * @return true and a ticket if a staging entry was free.
+     */
+    bool submit(uint64_t addr, bool is_store, uint64_t now,
+                MemTicket &ticket);
+
+    /**
+     * Poll a ticket; when complete the ticket is consumed.
+     *
+     * @return true once the response has arrived.
+     */
+    bool poll(MemTicket ticket, uint64_t now);
+
+    /** Issue queued requests into the cache (call once per cycle). */
+    void tick(uint64_t now);
+
+    /** Entries currently occupied (tests/stats). */
+    unsigned occupancy() const { return occupied; }
+
+    StatGroup stats;
+    Counter submitted{stats, "requests", "memory requests accepted"};
+    Counter fullRejects{stats, "full_rejects",
+                        "requests rejected: staging table full"};
+    Counter cacheRetries{stats, "cache_retries",
+                         "issue attempts the cache rejected"};
+
+  private:
+    struct Entry
+    {
+        bool busy = false;
+        bool issued = false;
+        bool store = false;
+        uint64_t addr = 0;
+        uint64_t completesAt = 0;
+    };
+
+    SharedCache &cache;
+    std::vector<Entry> entries;
+    std::deque<MemTicket> issueQueue;
+    unsigned issueWidth;
+    unsigned occupied = 0;
+};
+
+} // namespace tapas::sim
+
+#endif // TAPAS_SIM_DATABOX_HH

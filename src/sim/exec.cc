@@ -1,0 +1,556 @@
+/**
+ * @file
+ * InstanceExec: dataflow execution of one dynamic task instance
+ * (the per-tile TXU pipeline of paper Section III-C).
+ */
+
+#include "sim/accel.hh"
+
+namespace tapas::sim {
+
+using ir::BasicBlock;
+using ir::Instruction;
+using ir::Opcode;
+using ir::RtValue;
+using ir::Value;
+
+InstanceExec::InstanceExec(AcceleratorSim &sim, const arch::Task &task,
+                           TaskRef self)
+    : sim(sim), task(task), self(self)
+{}
+
+void
+InstanceExec::start(std::vector<RtValue> args)
+{
+    const auto &formals = task.args();
+    tapas_assert(args.size() == formals.size(),
+                 "task '%s' spawned with %zu args, expects %zu",
+                 task.name().c_str(), args.size(), formals.size());
+    for (size_t i = 0; i < formals.size(); ++i)
+        argMap[formals[i]] = args[i];
+
+    frames.emplace_back();
+    Frame &f = frames.back();
+    f.func = task.function();
+    f.regs.resize(f.func->numInstructions());
+}
+
+RtValue
+InstanceExec::evalOperand(const Frame &frame, const Value *v)
+{
+    switch (v->valueKind()) {
+      case Value::Kind::ConstantInt:
+        return RtValue::fromInt(
+            static_cast<const ir::ConstantInt *>(v)->value());
+      case Value::Kind::ConstantFloat:
+        return RtValue::fromFloat(
+            static_cast<const ir::ConstantFloat *>(v)->value());
+      case Value::Kind::Global:
+        return RtValue::fromPtr(sim.mem().addressOf(
+            static_cast<const ir::GlobalVar *>(v)));
+      case Value::Kind::Argument: {
+        auto *arg = static_cast<const ir::Argument *>(v);
+        if (frame.returnTo) {
+            tapas_assert(arg->parent() == frame.func,
+                         "leaf frame uses a foreign argument");
+            return frame.argVals[arg->index()];
+        }
+        auto it = argMap.find(v);
+        tapas_assert(it != argMap.end(),
+                     "task '%s' uses unmarshaled argument '%s'",
+                     task.name().c_str(), arg->name().c_str());
+        return it->second;
+      }
+      case Value::Kind::Instruction: {
+        auto *inst = static_cast<const Instruction *>(v);
+        if (!frame.returnTo) {
+            // Values defined in enclosing tasks arrive as args.
+            auto it = argMap.find(v);
+            if (it != argMap.end())
+                return it->second;
+        }
+        return frame.regs[inst->id()];
+      }
+      default:
+        tapas_panic("unexpected operand kind in TXU");
+    }
+}
+
+void
+InstanceExec::enterBlock(Frame &frame, const BasicBlock *bb,
+                         uint64_t now)
+{
+    frame.prev = frame.bb;
+    frame.bb = bb;
+    frame.nst.assign(bb->size(), NodeState{});
+
+    // Phis are wires out of the instance's registers: resolve all of
+    // them in parallel at block entry, zero cost.
+    auto phis = bb->phis();
+    if (!phis.empty()) {
+        tapas_assert(frame.prev, "phi in a task/function entry block");
+        std::vector<RtValue> vals;
+        vals.reserve(phis.size());
+        for (ir::PhiInst *phi : phis)
+            vals.push_back(
+                evalOperand(frame, phi->incomingFor(frame.prev)));
+        for (size_t i = 0; i < phis.size(); ++i) {
+            frame.regs[phis[i]->id()] = vals[i];
+            frame.nst[i].phase = Phase::DoneNode;
+            frame.nst[i].doneAt = now;
+        }
+    }
+}
+
+bool
+InstanceExec::blockDone(const Frame &frame) const
+{
+    for (const NodeState &st : frame.nst) {
+        if (st.phase != Phase::DoneNode)
+            return false;
+    }
+    return true;
+}
+
+bool
+InstanceExec::tryFire(Frame &frame, size_t idx, uint64_t now,
+                      Tile &tile)
+{
+    const Instruction *inst = frame.bb->instructions()[idx].get();
+    unsigned base_id = frame.bb->instructions()[0]->id();
+
+    if (inst->isTerminator()) {
+        // Terminators leave the block: wait for full quiescence so no
+        // in-flight node outlives its block activation.
+        for (size_t i = 0; i < frame.nst.size(); ++i) {
+            if (i != idx && frame.nst[i].phase != Phase::DoneNode)
+                return false;
+        }
+    } else {
+        for (const Value *op : inst->operands()) {
+            if (op->valueKind() != Value::Kind::Instruction)
+                continue;
+            auto *dep = static_cast<const Instruction *>(op);
+            if (dep->parent() != frame.bb)
+                continue; // defined in an earlier block: in regs
+            if (!frame.returnTo && argMap.count(dep))
+                continue; // parent-task value marshaled as an arg
+            size_t dep_idx = dep->id() - base_id;
+            if (frame.nst[dep_idx].phase != Phase::DoneNode)
+                return false;
+        }
+    }
+
+    // One token per static function unit per cycle (II = 1).
+    if (!tile.fired.insert(inst).second)
+        return false;
+
+    NodeState &st = frame.nst[idx];
+    Opcode op = inst->opcode();
+
+    auto finish_fixed = [&](unsigned latency) {
+        st.phase = Phase::Exec;
+        st.doneAt = now + std::max(1u, latency);
+    };
+
+    ++firedNodes;
+    sim.progressEvent();
+
+    if (ir::isIntBinary(op) || ir::isFloatBinary(op)) {
+        frame.regs[inst->id()] = ir::evalBinary(
+            op, inst->type(), evalOperand(frame, inst->operand(0)),
+            evalOperand(frame, inst->operand(1)));
+        finish_fixed(arch::opLatency(arch::opClassOf(op)));
+        return true;
+    }
+    if (ir::isCast(op)) {
+        auto *c = ir::cast<ir::CastInst>(inst);
+        frame.regs[inst->id()] = ir::evalCast(
+            op, c->src()->type(), c->type(),
+            evalOperand(frame, c->src()));
+        finish_fixed(arch::opLatency(arch::OpClass::Cast));
+        return true;
+    }
+
+    switch (op) {
+      case Opcode::ICmp:
+      case Opcode::FCmp: {
+        auto *cmp = ir::cast<ir::CmpInst>(inst);
+        frame.regs[inst->id()] = ir::evalCmp(
+            op, cmp->pred(), cmp->lhs()->type(),
+            evalOperand(frame, cmp->lhs()),
+            evalOperand(frame, cmp->rhs()));
+        finish_fixed(arch::opLatency(arch::OpClass::Compare));
+        return true;
+      }
+      case Opcode::Select: {
+        auto *sel = ir::cast<ir::SelectInst>(inst);
+        bool c = evalOperand(frame, sel->cond()).truthy();
+        frame.regs[inst->id()] = evalOperand(
+            frame, c ? sel->ifTrue() : sel->ifFalse());
+        finish_fixed(arch::opLatency(arch::OpClass::Select));
+        return true;
+      }
+      case Opcode::Gep: {
+        auto *gep = ir::cast<ir::GepInst>(inst);
+        uint64_t addr = evalOperand(frame, gep->base()).ptr();
+        for (unsigned i = 0; i < gep->numIndices(); ++i) {
+            int64_t index = evalOperand(frame, gep->index(i)).i;
+            addr += static_cast<uint64_t>(
+                index * static_cast<int64_t>(gep->stride(i)));
+        }
+        frame.regs[inst->id()] = RtValue::fromPtr(addr);
+        finish_fixed(arch::opLatency(arch::OpClass::Gep));
+        return true;
+      }
+      case Opcode::Alloca: {
+        auto *al = ir::cast<ir::AllocaInst>(inst);
+        // Stack RAM bump; space is taken from the shared image and
+        // intentionally not recycled (see DESIGN.md).
+        frame.regs[inst->id()] =
+            RtValue::fromPtr(sim.mem().alloc(al->sizeBytes(), 8));
+        finish_fixed(arch::opLatency(arch::OpClass::Alloca));
+        return true;
+      }
+      case Opcode::Load: {
+        auto *ld = ir::cast<ir::LoadInst>(inst);
+        uint64_t addr = evalOperand(frame, ld->addr()).ptr();
+        MemTicket ticket;
+        if (!tile.box.submit(addr, false, now, ticket)) {
+            tile.fired.erase(inst); // no structural issue happened
+            --firedNodes;
+            return false;
+        }
+        ir::Type t = ld->type();
+        if (t.isFloat()) {
+            frame.regs[inst->id()] = RtValue::fromFloat(
+                t.bits() == 32 ? sim.mem().loadF32(addr)
+                               : sim.mem().loadF64(addr));
+        } else {
+            frame.regs[inst->id()] = RtValue::fromInt(
+                sim.mem().loadInt(addr, t.sizeBytes()));
+        }
+        st.phase = Phase::Mem;
+        st.ticket = ticket;
+        ++memInFlight;
+        return true;
+      }
+      case Opcode::Store: {
+        auto *sti = ir::cast<ir::StoreInst>(inst);
+        uint64_t addr = evalOperand(frame, sti->addr()).ptr();
+        MemTicket ticket;
+        if (!tile.box.submit(addr, true, now, ticket)) {
+            tile.fired.erase(inst);
+            --firedNodes;
+            return false;
+        }
+        ir::Type t = sti->value()->type();
+        RtValue v = evalOperand(frame, sti->value());
+        if (t.isFloat()) {
+            if (t.bits() == 32)
+                sim.mem().storeF32(addr, static_cast<float>(v.f));
+            else
+                sim.mem().storeF64(addr, v.f);
+        } else {
+            sim.mem().storeInt(addr, t.sizeBytes(), v.i);
+        }
+        st.phase = Phase::Mem;
+        st.ticket = ticket;
+        ++memInFlight;
+        return true;
+      }
+      case Opcode::Call: {
+        auto *call = ir::cast<ir::CallInst>(inst);
+        std::vector<RtValue> args;
+        args.reserve(call->numArgs());
+        for (unsigned i = 0; i < call->numArgs(); ++i)
+            args.push_back(evalOperand(frame, call->arg(i)));
+
+        if (call->callee()->hasDetach()) {
+            // Task call: spawn the callee's task unit, await value.
+            tapas_assert(!frame.returnTo,
+                         "task call inside an inlined leaf call");
+            arch::Task *callee = task.calleeForCall(call);
+            if (sim.spawnTask(callee->sid(), std::move(args), self,
+                              call, now)) {
+                st.phase = Phase::CallWait;
+            } else {
+                st.phase = Phase::SpawnRetry;
+            }
+            return true;
+        }
+        // Leaf call: push an inlined activation record.
+        st.phase = Phase::LeafCall;
+        pushLeafFrame(call, std::move(args), now);
+        return true;
+      }
+      case Opcode::Br:
+        finish_fixed(arch::opLatency(arch::OpClass::Branch));
+        return true;
+      case Opcode::Ret: {
+        auto *ret = ir::cast<ir::RetInst>(inst);
+        if (ret->hasValue())
+            retVal = evalOperand(frame, ret->value());
+        finish_fixed(arch::opLatency(arch::OpClass::Return));
+        return true;
+      }
+      case Opcode::Detach: {
+        auto *det = ir::cast<ir::DetachInst>(inst);
+        arch::Task *child = task.childForDetach(det);
+        std::vector<RtValue> args;
+        args.reserve(child->args().size());
+        for (Value *a : child->args())
+            args.push_back(evalOperand(frame, a));
+        if (sim.spawnTask(child->sid(), std::move(args), self,
+                          nullptr, now)) {
+            sim.unit(self.sid).noteChildSpawned(self.slot);
+            finish_fixed(arch::opLatency(arch::OpClass::Detach));
+        } else {
+            st.phase = Phase::SpawnRetry;
+        }
+        return true;
+      }
+      case Opcode::Reattach:
+        finish_fixed(sim.params().joinLatency);
+        return true;
+      case Opcode::Sync:
+        st.phase = Phase::SyncWait; // resolved against the counter
+        return true;
+      default:
+        tapas_panic("TXU cannot execute '%s'", ir::opcodeName(op));
+    }
+}
+
+void
+InstanceExec::advanceNode(Frame &frame, size_t idx, uint64_t now,
+                          Tile &tile)
+{
+    NodeState &st = frame.nst[idx];
+    const Instruction *inst = frame.bb->instructions()[idx].get();
+
+    switch (st.phase) {
+      case Phase::Exec:
+        if (st.doneAt <= now) {
+            st.phase = Phase::DoneNode;
+            sim.progressEvent();
+        }
+        break;
+      case Phase::Mem:
+        if (tile.box.poll(st.ticket, now)) {
+            st.phase = Phase::DoneNode;
+            st.doneAt = now;
+            --memInFlight;
+            sim.progressEvent();
+        }
+        break;
+      case Phase::SpawnRetry: {
+        // Re-attempt the spawn each cycle (ready/valid back-pressure).
+        if (inst->opcode() == Opcode::Detach) {
+            auto *det = ir::cast<const ir::DetachInst>(inst);
+            arch::Task *child = task.childForDetach(det);
+            std::vector<RtValue> args;
+            for (Value *a : child->args())
+                args.push_back(evalOperand(frame, a));
+            if (sim.spawnTask(child->sid(), std::move(args), self,
+                              nullptr, now)) {
+                sim.unit(self.sid).noteChildSpawned(self.slot);
+                st.phase = Phase::Exec;
+                st.doneAt =
+                    now + arch::opLatency(arch::OpClass::Detach);
+                sim.progressEvent();
+            }
+        } else {
+            auto *call = ir::cast<const ir::CallInst>(inst);
+            arch::Task *callee = task.calleeForCall(call);
+            std::vector<RtValue> args;
+            for (unsigned i = 0; i < call->numArgs(); ++i)
+                args.push_back(evalOperand(frame, call->arg(i)));
+            if (sim.spawnTask(callee->sid(), std::move(args), self,
+                              call, now)) {
+                st.phase = Phase::CallWait;
+                sim.progressEvent();
+            }
+        }
+        break;
+      }
+      case Phase::SyncWait:
+        // Resolved in step() against the unit's join counter.
+        break;
+      case Phase::CallWait:
+        if (st.callDelivered) {
+            if (!inst->type().isVoid())
+                frame.regs[inst->id()] = st.callValue;
+            st.phase = Phase::DoneNode;
+            st.doneAt = now;
+            sim.progressEvent();
+        }
+        break;
+      case Phase::LeafCall:
+        // Completed by the callee frame's Ret (see finishBlock).
+        break;
+      default:
+        break;
+    }
+}
+
+void
+InstanceExec::pushLeafFrame(const ir::CallInst *call,
+                            std::vector<RtValue> args, uint64_t now)
+{
+    (void)now;
+    frames.emplace_back();
+    Frame &f = frames.back();
+    f.func = call->callee();
+    f.regs.resize(f.func->numInstructions());
+    f.argVals = std::move(args);
+    f.returnTo = call;
+}
+
+InstanceExec::Status
+InstanceExec::step(uint64_t now, Tile &tile)
+{
+    tapas_assert(!done, "stepping a finished instance");
+    Frame &frame = frames.back();
+
+    if (!frame.bb) {
+        // First cycle: enter the task (or callee) entry block.
+        const BasicBlock *entry =
+            frames.size() == 1 ? task.entry() : frame.func->entry();
+        enterBlock(frame, entry, now);
+        return Status::Running;
+    }
+
+    bool has_sync_wait = false;
+    bool has_call_wait = false;
+    bool busy = false; // Exec/Mem/SpawnRetry/LeafCall in flight
+
+    for (size_t i = 0; i < frame.nst.size(); ++i) {
+        NodeState &st = frame.nst[i];
+        if (st.phase == Phase::Waiting)
+            tryFire(frame, i, now, tile);
+        if (st.phase != Phase::Waiting &&
+            st.phase != Phase::DoneNode) {
+            advanceNode(frame, i, now, tile);
+        }
+        switch (frame.nst[i].phase) {
+          case Phase::SyncWait:
+            // Resolve against the live join counter.
+            has_sync_wait = true;
+            break;
+          case Phase::CallWait:
+            has_call_wait = true;
+            break;
+          case Phase::Exec:
+          case Phase::Mem:
+          case Phase::SpawnRetry:
+          case Phase::LeafCall:
+            busy = true;
+            break;
+          default:
+            break;
+        }
+    }
+
+    // Sync resolution: the unit owns the join counter; ask it.
+    if (has_sync_wait) {
+        if (sim.unit(self.sid).childCountOf(self.slot) == 0) {
+            for (size_t i = 0; i < frame.nst.size(); ++i) {
+                if (frame.nst[i].phase == Phase::SyncWait) {
+                    frame.nst[i].phase = Phase::Exec;
+                    frame.nst[i].doneAt = now + 1;
+                    sim.progressEvent();
+                }
+            }
+            has_sync_wait = false;
+            busy = true;
+        }
+    }
+
+    // Block transition once everything in the block has completed.
+    if (blockDone(frame))
+        return finishBlock(now);
+
+    if (has_sync_wait && memInFlight == 0 && !busy)
+        return Status::WaitSync;
+    if (has_call_wait && memInFlight == 0 && !busy)
+        return Status::WaitCall;
+    return Status::Running;
+}
+
+InstanceExec::Status
+InstanceExec::finishBlock(uint64_t now)
+{
+    Frame &frame = frames.back();
+    const Instruction *term = frame.bb->terminator();
+
+    switch (term->opcode()) {
+      case Opcode::Br: {
+        auto *br = ir::cast<const ir::BranchInst>(term);
+        const BasicBlock *next = br->ifTrue();
+        if (br->isConditional() &&
+            !evalOperand(frame, br->cond()).truthy()) {
+            next = br->ifFalse();
+        }
+        enterBlock(frame, next, now);
+        return Status::Running;
+      }
+      case Opcode::Detach: {
+        auto *det = ir::cast<const ir::DetachInst>(term);
+        enterBlock(frame, det->cont(), now);
+        return Status::Running;
+      }
+      case Opcode::Sync: {
+        auto *sy = ir::cast<const ir::SyncInst>(term);
+        enterBlock(frame, sy->cont(), now);
+        return Status::Running;
+      }
+      case Opcode::Reattach:
+        tapas_assert(frames.size() == 1,
+                     "reattach inside an inlined leaf call");
+        done = true;
+        return Status::Done;
+      case Opcode::Ret: {
+        if (frames.size() > 1) {
+            // Leaf call returns: deliver to the caller's call node.
+            const ir::CallInst *site = frame.returnTo;
+            RtValue v = retVal;
+            frames.pop_back();
+            Frame &caller = frames.back();
+            unsigned base = caller.bb->instructions()[0]->id();
+            size_t idx = site->id() - base;
+            tapas_assert(caller.bb->instructions()[idx].get() == site,
+                         "leaf return to a foreign call site");
+            if (!site->type().isVoid())
+                caller.regs[site->id()] = v;
+            caller.nst[idx].phase = Phase::DoneNode;
+            caller.nst[idx].doneAt = now;
+            sim.progressEvent();
+            return Status::Running;
+        }
+        done = true;
+        return Status::Done;
+      }
+      default:
+        tapas_panic("bad block terminator at runtime");
+    }
+}
+
+void
+InstanceExec::deliverCallResult(const ir::CallInst *site, RtValue v)
+{
+    // Task calls only occur in the task frame (frames[0]).
+    Frame &frame = frames.front();
+    tapas_assert(frame.bb, "call result before instance started");
+    unsigned base = frame.bb->instructions()[0]->id();
+    size_t idx = site->id() - base;
+    tapas_assert(idx < frame.nst.size() &&
+                 frame.bb->instructions()[idx].get() == site,
+                 "call result for a node outside the current block");
+    NodeState &st = frame.nst[idx];
+    tapas_assert(st.phase == Phase::CallWait,
+                 "call result for a node not waiting");
+    st.callDelivered = true;
+    st.callValue = v;
+}
+
+} // namespace tapas::sim

@@ -1,0 +1,153 @@
+#include "sim/mem.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace tapas::sim {
+
+SharedCache::SharedCache(const arch::MemSystemParams &params)
+    : params(params)
+{
+    tapas_assert(params.lineBytes >= 8 &&
+                 (params.lineBytes & (params.lineBytes - 1)) == 0,
+                 "line size must be a power of two >= 8");
+    uint32_t num_lines = params.cacheBytes / params.lineBytes;
+    tapas_assert(params.ways >= 1 && num_lines >= params.ways,
+                 "cache too small for its associativity");
+    numSets = num_lines / params.ways;
+    lines.resize(static_cast<size_t>(numSets) * params.ways);
+    mshrs.resize(params.mshrs);
+}
+
+void
+SharedCache::reset()
+{
+    for (Line &l : lines)
+        l = Line{};
+    for (Mshr &m : mshrs)
+        m = Mshr{};
+    portsUsed = 0;
+    dramNextFree = 0;
+}
+
+void
+SharedCache::beginCycle(uint64_t now)
+{
+    portsUsed = 0;
+    for (Mshr &m : mshrs) {
+        if (m.busy && m.readyAt <= now)
+            m.busy = false;
+    }
+}
+
+CacheResult
+SharedCache::request(uint64_t addr, bool is_store, uint64_t now)
+{
+    CacheResult res;
+    if (portsUsed >= params.portsPerCycle) {
+        ++portRejects;
+        return res;
+    }
+
+    if (params.useScratchpad) {
+        // Banked scratchpad: fixed latency, no misses (data staged
+        // ahead of invocation, as in streaming HLS designs).
+        ++portsUsed;
+        ++accesses;
+        ++hits;
+        (void)is_store;
+        res.accepted = true;
+        res.hit = true;
+        res.completesAt = now + params.scratchpadLatency;
+        return res;
+    }
+
+    uint64_t line_addr = lineAddrOf(addr);
+    uint64_t set = line_addr % numSets;
+    Line *set_base = &lines[set * params.ways];
+
+    // Hit path.
+    for (unsigned w = 0; w < params.ways; ++w) {
+        Line &l = set_base[w];
+        if (l.valid && l.tag == line_addr) {
+            ++portsUsed;
+            ++accesses;
+            ++hits;
+            l.lastUse = now;
+            l.dirty = l.dirty || is_store;
+            uint64_t start = std::max(now, l.readyAt);
+            res.accepted = true;
+            res.hit = true;
+            res.completesAt = start + params.hitLatency;
+            return res;
+        }
+    }
+
+    // Merge into an in-flight miss to the same line.
+    for (Mshr &m : mshrs) {
+        if (m.busy && m.lineAddr == line_addr) {
+            ++portsUsed;
+            ++accesses;
+            ++misses;
+            ++mshrMerges;
+            res.accepted = true;
+            res.completesAt = m.readyAt + params.hitLatency;
+            return res;
+        }
+    }
+
+    // New miss: need a free MSHR.
+    Mshr *free_mshr = nullptr;
+    for (Mshr &m : mshrs) {
+        if (!m.busy) {
+            free_mshr = &m;
+            break;
+        }
+    }
+    if (!free_mshr) {
+        ++mshrRejects;
+        return res;
+    }
+
+    ++portsUsed;
+    ++accesses;
+    ++misses;
+
+    // Victim selection (LRU within the set).
+    Line *victim = set_base;
+    for (unsigned w = 1; w < params.ways; ++w) {
+        Line &l = set_base[w];
+        if (!l.valid) {
+            victim = &l;
+            break;
+        }
+        if (l.lastUse < victim->lastUse)
+            victim = &l;
+    }
+    uint64_t start = std::max(now + params.hitLatency, dramNextFree);
+    if (victim->valid && victim->dirty) {
+        ++writebacks;
+        dramNextFree = start + lineTransferCycles();
+        start = dramNextFree;
+    }
+    uint64_t fill_done =
+        start + params.dramLatency + lineTransferCycles();
+    dramNextFree = start + lineTransferCycles();
+
+    victim->valid = true;
+    victim->dirty = is_store;
+    victim->tag = line_addr;
+    victim->lastUse = now;
+    victim->readyAt = fill_done;
+
+    free_mshr->busy = true;
+    free_mshr->lineAddr = line_addr;
+    free_mshr->readyAt = fill_done;
+
+    res.accepted = true;
+    res.completesAt = fill_done + params.hitLatency;
+    return res;
+}
+
+} // namespace tapas::sim

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Shared memory-system timing model: a set-associative L1 cache with
+ * a finite number of outstanding misses (MSHRs) in front of an
+ * AXI/DRAM channel with fixed latency and finite bandwidth.
+ *
+ * This mirrors the paper's memory system (Section III-E and VI): all
+ * task units share one L1; the cache is blocking beyond its MSHR
+ * count ("limited support for multiple outstanding cache misses");
+ * DRAM transfers serialize on the AXI channel.
+ *
+ * The model is timing-only: functional data lives in the shared
+ * ir::MemImage and is read/written by the TXU at issue time.
+ */
+
+#ifndef TAPAS_SIM_MEM_HH
+#define TAPAS_SIM_MEM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/params.hh"
+#include "support/stats.hh"
+
+namespace tapas::sim {
+
+/** Outcome of presenting one request to the cache. */
+struct CacheResult
+{
+    /** False: no port or MSHR this cycle; retry later. */
+    bool accepted = false;
+
+    /** Cycle at which the data is available to the requester. */
+    uint64_t completesAt = 0;
+
+    /** True if the access hit (for stats/tests). */
+    bool hit = false;
+};
+
+/** Shared L1 cache + DRAM channel timing model. */
+class SharedCache
+{
+  public:
+    explicit SharedCache(const arch::MemSystemParams &params);
+
+    /** Reset per-cycle port bookkeeping; retire finished MSHRs. */
+    void beginCycle(uint64_t now);
+
+    /**
+     * Present one word access.
+     *
+     * @param addr byte address
+     * @param is_store true for stores
+     * @param now current cycle
+     */
+    CacheResult request(uint64_t addr, bool is_store, uint64_t now);
+
+    /** Invalidate all lines (fresh run on a reused model). */
+    void reset();
+
+    // --- statistics ---------------------------------------------------
+
+    StatGroup stats{"l1cache"};
+    Counter hits{stats, "hits", "cache hits"};
+    Counter misses{stats, "misses", "cache misses"};
+    Counter mshrMerges{stats, "mshr_merges",
+                       "misses merged into an in-flight MSHR"};
+    Counter portRejects{stats, "port_rejects",
+                        "requests rejected: all ports busy"};
+    Counter mshrRejects{stats, "mshr_rejects",
+                        "requests rejected: all MSHRs busy"};
+    Counter writebacks{stats, "writebacks", "dirty evictions"};
+    Counter accesses{stats, "accesses", "total accepted accesses"};
+
+    double
+    hitRate() const
+    {
+        uint64_t total = hits.value() + misses.value();
+        return total ? static_cast<double>(hits.value()) / total : 0.0;
+    }
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        uint64_t lastUse = 0;
+        uint64_t readyAt = 0; ///< fill completion time
+    };
+
+    struct Mshr
+    {
+        bool busy = false;
+        uint64_t lineAddr = 0;
+        uint64_t readyAt = 0;
+    };
+
+    uint64_t lineAddrOf(uint64_t addr) const
+    {
+        return addr / params.lineBytes;
+    }
+
+    /** Cycles to move one line over the DRAM channel. */
+    unsigned
+    lineTransferCycles() const
+    {
+        unsigned words = params.lineBytes / 8;
+        return std::max(1u, words / params.dramWordsPerCycle);
+    }
+
+    arch::MemSystemParams params;
+    unsigned numSets;
+    std::vector<Line> lines;       // numSets x ways
+    std::vector<Mshr> mshrs;
+    unsigned portsUsed = 0;
+    uint64_t dramNextFree = 0;
+};
+
+} // namespace tapas::sim
+
+#endif // TAPAS_SIM_MEM_HH

@@ -1,0 +1,69 @@
+#include "sim/trace.hh"
+
+#include <map>
+#include <ostream>
+
+#include "support/logging.hh"
+
+namespace tapas::sim {
+
+const char *
+traceKindName(TraceEvent::Kind kind)
+{
+    switch (kind) {
+      case TraceEvent::Kind::Spawn: return "spawn";
+      case TraceEvent::Kind::Dispatch: return "dispatch";
+      case TraceEvent::Kind::Suspend: return "suspend";
+      case TraceEvent::Kind::Retire: return "retire";
+    }
+    tapas_panic("unknown trace kind");
+}
+
+size_t
+TaskTracer::countOf(TraceEvent::Kind kind) const
+{
+    size_t n = 0;
+    for (const TraceEvent &e : events) {
+        if (e.kind == kind)
+            ++n;
+    }
+    return n;
+}
+
+double
+TaskTracer::meanLifetime(unsigned sid) const
+{
+    // Slots are reused; match each retire with the most recent spawn
+    // of the same (sid, slot).
+    std::map<std::pair<unsigned, unsigned>, uint64_t> open;
+    double sum = 0;
+    uint64_t count = 0;
+    for (const TraceEvent &e : events) {
+        if (sid != ~0u && e.sid != sid)
+            continue;
+        auto key = std::make_pair(e.sid, e.slot);
+        if (e.kind == TraceEvent::Kind::Spawn) {
+            open[key] = e.cycle;
+        } else if (e.kind == TraceEvent::Kind::Retire) {
+            auto it = open.find(key);
+            if (it != open.end()) {
+                sum += static_cast<double>(e.cycle - it->second);
+                ++count;
+                open.erase(it);
+            }
+        }
+    }
+    return count ? sum / static_cast<double>(count) : 0.0;
+}
+
+void
+TaskTracer::dumpCsv(std::ostream &os) const
+{
+    os << "cycle,event,sid,slot\n";
+    for (const TraceEvent &e : events) {
+        os << e.cycle << ',' << traceKindName(e.kind) << ',' << e.sid
+           << ',' << e.slot << '\n';
+    }
+}
+
+} // namespace tapas::sim

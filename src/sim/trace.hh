@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Task-lifetime tracer: records spawn / dispatch / suspend / retire
+ * events per dynamic task instance so accelerator schedules can be
+ * inspected (the execution-flow view of paper Fig. 5). Attach one to
+ * an AcceleratorSim before run(); dump as CSV for plotting or query
+ * the aggregate statistics.
+ */
+
+#ifndef TAPAS_SIM_TRACE_HH
+#define TAPAS_SIM_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace tapas::sim {
+
+/** One task-lifetime event. */
+struct TraceEvent
+{
+    enum class Kind : uint8_t {
+        Spawn,    ///< accepted into a task queue
+        Dispatch, ///< allocated a TXU tile (EXE)
+        Suspend,  ///< vacated the tile (SYNC / wait-call)
+        Retire,   ///< completed and joined its parent
+    };
+
+    uint64_t cycle = 0;
+    Kind kind = Kind::Spawn;
+    unsigned sid = 0;
+    unsigned slot = 0;
+};
+
+/** Printable event-kind name. */
+const char *traceKindName(TraceEvent::Kind kind);
+
+/** Collects TraceEvents emitted by the simulator. */
+class TaskTracer
+{
+  public:
+    void
+    record(uint64_t cycle, TraceEvent::Kind kind, unsigned sid,
+           unsigned slot)
+    {
+        events.push_back(TraceEvent{cycle, kind, sid, slot});
+    }
+
+    const std::vector<TraceEvent> &all() const { return events; }
+
+    /** Events of one kind (tests/statistics). */
+    size_t countOf(TraceEvent::Kind kind) const;
+
+    /**
+     * Mean cycles between a task's spawn and its retire, over every
+     * instance of `sid` (pass ~0u for all units).
+     */
+    double meanLifetime(unsigned sid = ~0u) const;
+
+    /** Write "cycle,event,sid,slot" CSV (header included). */
+    void dumpCsv(std::ostream &os) const;
+
+    void clear() { events.clear(); }
+
+  private:
+    std::vector<TraceEvent> events;
+};
+
+} // namespace tapas::sim
+
+#endif // TAPAS_SIM_TRACE_HH

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * TaskUnit: task queue, spawn/join ports, tile dispatch (paper
+ * Sections III-A/III-B, Figs. 4-5).
+ */
+
+#include "sim/accel.hh"
+
+namespace tapas::sim {
+
+using ir::RtValue;
+
+TaskUnit::TaskUnit(AcceleratorSim &sim, const arch::Task &task,
+                   const arch::Dataflow &df,
+                   const arch::TaskUnitParams &params,
+                   SharedCache &cache)
+    : stats("unit." + task.name()), sim(sim), _task(task), df(df),
+      params(params)
+{
+    tapas_assert(params.ntasks >= 1 && params.ntiles >= 1,
+                 "task unit needs a queue and at least one tile");
+    entries.resize(params.ntasks);
+    unsigned staging =
+        std::max<unsigned>(4, static_cast<unsigned>(
+                                  df.numMemPorts()) + 4);
+    for (unsigned t = 0; t < params.ntiles; ++t) {
+        tiles.push_back(std::make_unique<Tile>(
+            cache, staging, /*issue_width=*/1,
+            "box." + task.name() + "." + std::to_string(t)));
+    }
+}
+
+bool
+TaskUnit::trySpawn(std::vector<RtValue> args, TaskRef parent,
+                   const ir::CallInst *caller_site, uint64_t now)
+{
+    if (spawnAcceptedThisCycle) {
+        ++spawnRejects;
+        return false;
+    }
+    for (unsigned slot = 0; slot < entries.size(); ++slot) {
+        QueueEntry &e = entries[slot];
+        if (e.state != EntryState::Free)
+            continue;
+        spawnAcceptedThisCycle = true;
+        e.state = EntryState::Ready;
+        e.parent = parent;
+        e.callerSite = caller_site;
+        e.childCount = 0;
+        e.spawnedAt = now;
+        e.tile = -1;
+        e.readyAt = now + sim.params().spawnHandshake +
+                    static_cast<uint64_t>(args.size()) *
+                        sim.params().spawnCyclesPerArg;
+        e.exec = std::make_unique<InstanceExec>(
+            sim, _task, TaskRef{_task.sid(), slot});
+        e.exec->start(std::move(args));
+        readyQueue.push_back(slot);
+        ++spawnsAccepted;
+        sim.traceEvent(now, TraceEvent::Kind::Spawn, _task.sid(),
+                       slot);
+        sim.progressEvent();
+        return true;
+    }
+    ++spawnRejects;
+    return false;
+}
+
+void
+TaskUnit::beginCycle(uint64_t now)
+{
+    (void)now;
+    spawnAcceptedThisCycle = false;
+    for (auto &t : tiles)
+        t->fired.clear();
+}
+
+void
+TaskUnit::dispatch(uint64_t now)
+{
+    // One dispatch per unit per cycle, in spawn order.
+    if (readyQueue.empty())
+        return;
+    unsigned slot = readyQueue.front();
+    QueueEntry &e = entries[slot];
+    tapas_assert(e.state == EntryState::Ready,
+                 "non-ready entry in the ready queue");
+    if (e.readyAt > now)
+        return; // args still streaming into the args RAM
+
+    // Least-loaded tile with pipeline capacity.
+    int best = -1;
+    for (unsigned t = 0; t < tiles.size(); ++t) {
+        if (tiles[t]->active.size() >= params.tilePipelineDepth)
+            continue;
+        if (best < 0 ||
+            tiles[t]->active.size() < tiles[best]->active.size()) {
+            best = static_cast<int>(t);
+        }
+    }
+    if (best < 0)
+        return; // every tile pipeline is full
+
+    readyQueue.pop_front();
+    e.state = EntryState::Exe;
+    e.tile = best;
+    tiles[best]->active.push_back(slot);
+    dispatchLatSum += now - e.spawnedAt;
+    ++dispatchCount;
+    sim.traceEvent(now, TraceEvent::Kind::Dispatch, _task.sid(),
+                   slot);
+    avgSpawnToDispatch = dispatchCount
+        ? static_cast<double>(dispatchLatSum) / dispatchCount
+        : 0.0;
+    sim.progressEvent();
+}
+
+void
+TaskUnit::detachFromTile(unsigned slot)
+{
+    QueueEntry &e = entries[slot];
+    if (e.tile < 0)
+        return;
+    auto &act = tiles[e.tile]->active;
+    for (size_t i = 0; i < act.size(); ++i) {
+        if (act[i] == slot) {
+            act.erase(act.begin() + static_cast<long>(i));
+            break;
+        }
+    }
+    e.tile = -1;
+}
+
+void
+TaskUnit::retire(unsigned slot, uint64_t now)
+{
+    QueueEntry &e = entries[slot];
+    // Tapir requires a sync before a task completes; a nonzero join
+    // counter here would orphan children (their join would hit a
+    // recycled entry).
+    tapas_assert(e.childCount == 0,
+                 "task '%s' instance %u completed with %d unsynced "
+                 "children (missing sync before reattach/ret)",
+                 _task.name().c_str(), slot, e.childCount);
+    RtValue ret = e.exec->returnValue();
+    TaskRef parent = e.parent;
+    const ir::CallInst *site = e.callerSite;
+
+    detachFromTile(slot);
+    e.exec.reset();
+    e.state = EntryState::Free;
+    ++instancesDone;
+    sim.traceEvent(now, TraceEvent::Kind::Retire, _task.sid(), slot);
+    sim.progressEvent();
+
+    if (!parent.valid()) {
+        sim.rootDone(ret);
+    } else if (site) {
+        sim.notifyCallDone(parent, site, ret);
+    } else {
+        sim.notifyChildDone(parent);
+    }
+}
+
+void
+TaskUnit::tick(uint64_t now)
+{
+    dispatch(now);
+
+    for (auto &tile_up : tiles) {
+        Tile &tile = *tile_up;
+        if (!tile.active.empty())
+            ++tileBusyCycles;
+        // Copy: instances may retire/suspend during iteration.
+        std::vector<unsigned> slots = tile.active;
+        for (unsigned slot : slots) {
+            QueueEntry &e = entries[slot];
+            tapas_assert(e.state == EntryState::Exe,
+                         "active slot not in EXE");
+            InstanceExec::Status st = e.exec->step(now, tile);
+            switch (st) {
+              case InstanceExec::Status::Running:
+                break;
+              case InstanceExec::Status::WaitSync:
+                if (e.childCount == 0)
+                    break; // joined during this very cycle
+                detachFromTile(slot);
+                e.state = EntryState::Sync;
+                ++syncSuspends;
+                sim.traceEvent(now, TraceEvent::Kind::Suspend,
+                               _task.sid(), slot);
+                break;
+              case InstanceExec::Status::WaitCall:
+                detachFromTile(slot);
+                e.state = EntryState::WaitCall;
+                ++callSuspends;
+                sim.traceEvent(now, TraceEvent::Kind::Suspend,
+                               _task.sid(), slot);
+                break;
+              case InstanceExec::Status::Done:
+                retire(slot, now);
+                break;
+            }
+        }
+        tile.box.tick(now);
+    }
+}
+
+void
+TaskUnit::childJoined(unsigned slot)
+{
+    QueueEntry &e = entries.at(slot);
+    tapas_assert(e.state != EntryState::Free,
+                 "join for a freed entry in '%s'",
+                 _task.name().c_str());
+    tapas_assert(e.childCount > 0, "join underflow in '%s'",
+                 _task.name().c_str());
+    --e.childCount;
+    sim.progressEvent();
+    if (e.childCount == 0 && e.state == EntryState::Sync) {
+        e.state = EntryState::Ready;
+        e.readyAt = 0;
+        readyQueue.push_back(slot);
+    }
+}
+
+void
+TaskUnit::callReturned(unsigned slot, const ir::CallInst *site,
+                       RtValue v)
+{
+    QueueEntry &e = entries.at(slot);
+    tapas_assert(e.state != EntryState::Free,
+                 "call return for a freed entry");
+    e.exec->deliverCallResult(site, v);
+    sim.progressEvent();
+    if (e.state == EntryState::WaitCall) {
+        e.state = EntryState::Ready;
+        e.readyAt = 0;
+        readyQueue.push_back(slot);
+    }
+}
+
+void
+TaskUnit::noteChildSpawned(unsigned slot)
+{
+    QueueEntry &e = entries.at(slot);
+    tapas_assert(e.state == EntryState::Exe,
+                 "spawn from a non-executing entry");
+    ++e.childCount;
+}
+
+bool
+TaskUnit::idle() const
+{
+    for (const QueueEntry &e : entries) {
+        if (e.state != EntryState::Free)
+            return false;
+    }
+    return true;
+}
+
+unsigned
+TaskUnit::occupancy() const
+{
+    unsigned n = 0;
+    for (const QueueEntry &e : entries) {
+        if (e.state != EntryState::Free)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace tapas::sim

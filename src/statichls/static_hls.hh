@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Static-HLS baseline, standing in for the Intel HLS Compiler v17.1
+ * in the paper's Table V comparison (Section V-E).
+ *
+ * Industry HLS statically schedules: it accepts only kernels whose
+ * parallelism is a fixed-trip parallel loop, unrolls the body by a
+ * constant factor, modulo-schedules it with *deterministic* operation
+ * latencies, and replaces the cache with streaming DRAM interfaces
+ * backed by large block-RAM burst buffers. This module implements
+ * that compilation model:
+ *
+ *  - feasibility analysis: the kernel must be a single non-nested
+ *    parallel loop with a leaf body (no dynamic spawning, recursion,
+ *    or conditional pipeline stages) — the same programs the paper
+ *    found convertible (saxpy, image scale);
+ *  - initiation-interval computation from stream-port and DRAM
+ *    bandwidth constraints over the unrolled body;
+ *  - resource estimation: statically scheduled datapaths avoid the
+ *    ready/valid handshake logic (cheaper ALMs/op) but pay for deep
+ *    stream buffers (BRAM-heavy, as Table V shows);
+ *  - a runtime model: fill latency + groups x II at the achieved
+ *    Fmax.
+ */
+
+#ifndef TAPAS_STATICHLS_STATIC_HLS_HH
+#define TAPAS_STATICHLS_STATIC_HLS_HH
+
+#include <string>
+
+#include "fpga/model.hh"
+#include "hls/compile.hh"
+
+namespace tapas::statichls {
+
+/** Result of "compiling" a kernel with the static-HLS model. */
+struct StaticHlsReport
+{
+    /** False when static parallelism cannot express the kernel. */
+    bool feasible = false;
+
+    /** Human-readable reason when infeasible. */
+    std::string reason;
+
+    unsigned unroll = 1;
+
+    /** Cycles per unrolled iteration group at steady state. */
+    double groupII = 1.0;
+
+    /** Distinct streaming interfaces inferred. */
+    unsigned streams = 0;
+
+    uint32_t alms = 0;
+    uint32_t regs = 0;
+    uint32_t brams = 0;
+    double fmaxMhz = 0;
+    double powerW = 0;
+
+    /**
+     * Kernel runtime for a given trip count.
+     *
+     * @param trips dynamic iterations of the parallel loop
+     * @return milliseconds
+     */
+    double runtimeMs(uint64_t trips) const;
+
+    /** Pipeline fill cycles (stream warm-up = DRAM latency). */
+    double fillCycles = 0;
+};
+
+/** Tunables for the static-HLS model. */
+struct StaticHlsParams
+{
+    unsigned unroll = 3;
+
+    /** Elements a stream delivers per cycle. */
+    double streamElemsPerCycle = 1.0;
+
+    /** Effective DRAM bytes per cycle across all streams. */
+    double dramBytesPerCycle = 2.0;
+
+    /** DRAM latency in cycles (paper Table V: 270 ns at 150 MHz). */
+    double dramLatencyCycles = 40.0;
+};
+
+/**
+ * Analyze and "compile" the kernel with the static-HLS model.
+ *
+ * @param design TAPAS Stage 1/2 output for the same program (reused
+ *        for its task/dataflow analysis)
+ * @param dev target FPGA
+ * @param params model tunables
+ */
+StaticHlsReport compileStaticHls(const hls::AcceleratorDesign &design,
+                                 const fpga::Device &dev,
+                                 const StaticHlsParams &params);
+
+} // namespace tapas::statichls
+
+#endif // TAPAS_STATICHLS_STATIC_HLS_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the gem5 idiom.
+ *
+ * panic()  - an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger/core dump can capture state.
+ * fatal()  - the *user* asked for something impossible (bad parameters,
+ *            malformed input program); exits with an error code.
+ * warn()   - something works but is suspicious or approximated.
+ * inform() - plain status output.
+ */
+
+#ifndef TAPAS_SUPPORT_LOGGING_HH
+#define TAPAS_SUPPORT_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace tapas {
+
+/** Printf-style formatting into a std::string. */
+std::string vstrfmt(const char *fmt, va_list ap);
+
+/** Printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+
+void warnImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+void informImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Number of warn() calls so far (used by tests). */
+unsigned warnCount();
+
+} // namespace tapas
+
+#define tapas_panic(...) \
+    ::tapas::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define tapas_fatal(...) \
+    ::tapas::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define tapas_warn(...) ::tapas::warnImpl(__VA_ARGS__)
+
+#define tapas_inform(...) ::tapas::informImpl(__VA_ARGS__)
+
+/** Assert an internal invariant; active in all build types. */
+#define tapas_assert(cond, fmt, ...)                                      \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::tapas::panicImpl(__FILE__, __LINE__,                        \
+                               "assertion '%s' failed: " fmt,             \
+                               #cond, ##__VA_ARGS__);                     \
+        }                                                                 \
+    } while (0)
+
+#endif // TAPAS_SUPPORT_LOGGING_HH

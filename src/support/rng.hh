@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (splitmix64 +
+ * xoshiro256**). Every stochastic element in the toolchain and the
+ * simulators draws from an explicitly seeded Rng so runs are exactly
+ * reproducible.
+ */
+
+#ifndef TAPAS_SUPPORT_RNG_HH
+#define TAPAS_SUPPORT_RNG_HH
+
+#include <cstdint>
+
+namespace tapas {
+
+/** Deterministic 64-bit PRNG (xoshiro256**, seeded via splitmix64). */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x7a7a5u) { reseed(seed); }
+
+    /** Re-seed the generator, resetting its sequence. */
+    void
+    reseed(uint64_t seed)
+    {
+        uint64_t x = seed;
+        for (auto &word : s)
+            word = splitmix64(x);
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+            below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p) { return real() < p; }
+
+  private:
+    static uint64_t
+    splitmix64(uint64_t &x)
+    {
+        uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t s[4];
+};
+
+} // namespace tapas
+
+#endif // TAPAS_SUPPORT_RNG_HH

@@ -1,0 +1,65 @@
+#include "support/stats.hh"
+
+#include <ostream>
+
+#include "support/logging.hh"
+
+namespace tapas {
+
+Counter::Counter(StatGroup &group, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    group.counters.push_back(this);
+}
+
+Scalar::Scalar(StatGroup &group, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    group.scalars.push_back(this);
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const Counter *c : counters) {
+        os << _name << '.' << c->name() << ' ' << c->value() << " # "
+           << c->desc() << '\n';
+    }
+    for (const Scalar *s : scalars) {
+        os << _name << '.' << s->name() << ' ' << s->value() << " # "
+           << s->desc() << '\n';
+    }
+}
+
+void
+StatGroup::resetAll()
+{
+    for (Counter *c : counters)
+        c->reset();
+    for (Scalar *s : scalars)
+        s->reset();
+}
+
+uint64_t
+StatGroup::counterValue(const std::string &name) const
+{
+    for (const Counter *c : counters) {
+        if (c->name() == name)
+            return c->value();
+    }
+    tapas_panic("no counter named '%s' in group '%s'", name.c_str(),
+                _name.c_str());
+}
+
+double
+StatGroup::scalarValue(const std::string &name) const
+{
+    for (const Scalar *s : scalars) {
+        if (s->name() == name)
+            return s->value();
+    }
+    tapas_panic("no scalar named '%s' in group '%s'", name.c_str(),
+                _name.c_str());
+}
+
+} // namespace tapas

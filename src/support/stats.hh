@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Minimal statistics package: named scalar counters and formula-style
+ * derived values grouped per component, in the spirit of gem5's stats.
+ *
+ * Components that want to expose statistics own a StatGroup and
+ * register Counter / Scalar members with it. A StatGroup can be dumped
+ * to any std::ostream in a stable, grep-friendly format.
+ */
+
+#ifndef TAPAS_SUPPORT_STATS_HH
+#define TAPAS_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tapas {
+
+class StatGroup;
+
+/** A monotonically increasing 64-bit event counter. */
+class Counter
+{
+  public:
+    /**
+     * Register a counter with a group.
+     *
+     * @param group owning group (must outlive the counter's use)
+     * @param name stat name within the group
+     * @param desc one-line description
+     */
+    Counter(StatGroup &group, std::string name, std::string desc);
+
+    Counter &operator++() { ++_value; return *this; }
+    Counter &operator+=(uint64_t n) { _value += n; return *this; }
+
+    uint64_t value() const { return _value; }
+    void reset() { _value = 0; }
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+  private:
+    std::string _name;
+    std::string _desc;
+    uint64_t _value = 0;
+};
+
+/** A settable floating-point scalar statistic (e.g., a rate). */
+class Scalar
+{
+  public:
+    Scalar(StatGroup &group, std::string name, std::string desc);
+
+    Scalar &operator=(double v) { _value = v; return *this; }
+    double value() const { return _value; }
+    void reset() { _value = 0.0; }
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+  private:
+    std::string _name;
+    std::string _desc;
+    double _value = 0.0;
+};
+
+/**
+ * A named collection of statistics belonging to one component
+ * (e.g., one task unit, one cache).
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Dump all registered stats as "<group>.<stat> <value> # desc". */
+    void dump(std::ostream &os) const;
+
+    /** Reset every registered stat to zero. */
+    void resetAll();
+
+    /** Look up a counter value by name; panics if absent. */
+    uint64_t counterValue(const std::string &name) const;
+
+    /** Look up a scalar value by name; panics if absent. */
+    double scalarValue(const std::string &name) const;
+
+    const std::string &name() const { return _name; }
+
+  private:
+    friend class Counter;
+    friend class Scalar;
+
+    std::string _name;
+    std::vector<Counter *> counters;
+    std::vector<Scalar *> scalars;
+};
+
+} // namespace tapas
+
+#endif // TAPAS_SUPPORT_STATS_HH

@@ -1,0 +1,69 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <ostream>
+
+namespace tapas {
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    head = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+void
+TextTable::separator()
+{
+    rows.push_back({kSeparator});
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> widths;
+    auto widen = [&](const std::vector<std::string> &cells) {
+        if (cells.size() == 1 && cells[0] == kSeparator)
+            return;
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    widen(head);
+    for (const auto &r : rows)
+        widen(r);
+
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            os << cells[i];
+            if (i + 1 < cells.size()) {
+                for (size_t p = cells[i].size(); p < widths[i] + 2; ++p)
+                    os << ' ';
+            }
+        }
+        os << '\n';
+    };
+
+    if (!head.empty()) {
+        emit(head);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows) {
+        if (r.size() == 1 && r[0] == kSeparator)
+            os << std::string(total, '-') << '\n';
+        else
+            emit(r);
+    }
+}
+
+} // namespace tapas

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Plain-text table formatting used by the benchmark harnesses to print
+ * paper-style tables with aligned columns.
+ */
+
+#ifndef TAPAS_SUPPORT_TABLE_HH
+#define TAPAS_SUPPORT_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tapas {
+
+/** Accumulates rows of strings and prints them with aligned columns. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void separator();
+
+    /** Render with column alignment to the stream. */
+    void print(std::ostream &os) const;
+
+  private:
+    static constexpr const char *kSeparator = "\x01--";
+
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace tapas
+
+#endif // TAPAS_SUPPORT_TABLE_HH

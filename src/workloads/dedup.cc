@@ -1,0 +1,489 @@
+/**
+ * @file
+ * Dedup: the paper's flagship dynamic-pipeline benchmark (Fig. 1,
+ * Section IV-B), modelled on PARSEC dedup under Cilk-P.
+ *
+ * Pipeline per chunk:
+ *   S0  chunk fetch loop with a run-time exit condition (the chunk
+ *       count is loaded from memory);
+ *   S1  fingerprint the chunk (serial hash loop over 32-bit words)
+ *       and decide whether it is a duplicate;
+ *   S2  *conditional* stage: compress only non-duplicate chunks
+ *       (skipped entirely for duplicates — the pattern FIFO-based
+ *       pipelines cannot express). The compressor performs
+ *       word-level run-length coding plus `rounds` of arithmetic
+ *       mixing per word, calibrated to gzip-class per-byte work
+ *       (PARSEC dedup runs SHA1 + gzip at ~100 CPU ops/byte; see
+ *       EXPERIMENTS.md);
+ *   S3  write the output record.
+ *
+ * S1, S2 and S3 are separate task units; chunks flow through them
+ * concurrently and out of order, communicating through shared memory
+ * only. Duplicate detection uses a host-precomputed first-occurrence
+ * table so results are schedule-independent (see DESIGN.md).
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "workloads/loops.hh"
+#include "workloads/workload.hh"
+
+namespace tapas::workloads {
+
+using ir::BasicBlock;
+using ir::CmpPred;
+using ir::Function;
+using ir::GlobalVar;
+using ir::IRBuilder;
+using ir::MemImage;
+using ir::Module;
+using ir::Opcode;
+using ir::PhiInst;
+using ir::RtValue;
+using ir::Type;
+using ir::Value;
+
+namespace {
+
+/** Mixing rounds per word in the compression stage (see above). */
+constexpr unsigned kMixRounds = 24;
+
+/**
+ * Chunk content as 32-bit words, with word-level runs (RLE-friendly)
+ * Every third chunk duplicates the content of chunk/2.
+ */
+int32_t
+chunkWord(unsigned chunk, unsigned w)
+{
+    unsigned eff = (chunk % 3 == 0 && chunk > 0) ? chunk / 2 : chunk;
+    return static_cast<int32_t>(((eff * 37u + w / 5u) * 13u) & 0xff);
+}
+
+/** First chunk index with identical content. */
+unsigned
+firstOccurrence(unsigned chunk)
+{
+    unsigned eff = (chunk % 3 == 0 && chunk > 0) ? chunk / 2 : chunk;
+    while (eff > 0 && eff % 3 == 0)
+        eff = eff / 2;
+    return eff;
+}
+
+/** Golden fingerprint over words (matches the IR hash loop). */
+int64_t
+goldenHash(unsigned chunk, unsigned words)
+{
+    int64_t h = 0;
+    for (unsigned w = 0; w < words; ++w)
+        h = h * 31 + chunkWord(chunk, w);
+    return h;
+}
+
+/**
+ * One golden mixing lane (matches the IR exactly, i64 wrap). The
+ * lanes are *independent* per word — like real compression kernels,
+ * the expensive per-byte work parallelizes; only a single add is
+ * loop-carried.
+ */
+int64_t
+mixLane(int64_t w, unsigned r)
+{
+    int64_t k = static_cast<int64_t>(r * 2654435761u);
+    int64_t t = (w ^ k) * static_cast<int64_t>(0x9e37 + 2 * r);
+    t ^= static_cast<int64_t>(static_cast<uint64_t>(t) >> 9);
+    return t;
+}
+
+/** Golden compression: word-RLE size + entropy checksum. */
+void
+goldenCompress(unsigned chunk, unsigned words, int64_t &rle_pairs,
+               int64_t &checksum)
+{
+    rle_pairs = 0;
+    checksum = 0;
+    unsigned i = 0;
+    while (i < words) {
+        unsigned j = i + 1;
+        while (j < words &&
+               chunkWord(chunk, j) == chunkWord(chunk, i) &&
+               j - i < 255) {
+            ++j;
+        }
+        ++rle_pairs;
+        i = j;
+    }
+    for (unsigned w = 0; w < words; ++w) {
+        int64_t word = chunkWord(chunk, w);
+        int64_t g = 0;
+        for (unsigned r = 0; r < kMixRounds; ++r)
+            g ^= mixLane(word, r);
+        checksum += g;
+    }
+}
+
+/**
+ * Leaf compressor:
+ *   i64 compress(ptr src_words, i64 nwords, ptr dst, ptr csum_slot)
+ * Word-level RLE into dst (pairs of i32 word + i32 count), `rounds`
+ * of arithmetic mixing per word into *csum_slot; returns pair count.
+ */
+Function *
+buildCompress(Module &m, IRBuilder &b)
+{
+    Function *f = m.addFunction(
+        "compress", Type::i64(),
+        {{Type::ptr(), "src"}, {Type::i64(), "nwords"},
+         {Type::ptr(), "dst"}, {Type::ptr(), "csum"}});
+    Value *src = f->arg(0);
+    Value *nwords = f->arg(1);
+    Value *dst = f->arg(2);
+    Value *csum = f->arg(3);
+
+    // --- pass 1: word-level RLE -------------------------------------
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *outer = f->addBlock("outer");
+    BasicBlock *body = f->addBlock("body");
+    BasicBlock *ihdr = f->addBlock("run_hdr");
+    BasicBlock *icheck = f->addBlock("run_check");
+    BasicBlock *ilatch = f->addBlock("run_latch");
+    BasicBlock *endrun = f->addBlock("endrun");
+    BasicBlock *rle_done = f->addBlock("rle_done");
+
+    b.setInsertPoint(entry);
+    b.createBr(outer);
+
+    b.setInsertPoint(outer);
+    PhiInst *i = b.createPhi(Type::i64(), "i");
+    PhiInst *pairs = b.createPhi(Type::i64(), "pairs");
+    Value *more = b.createICmp(CmpPred::SLT, i, nwords, "more");
+    b.createCondBr(more, body, rle_done);
+
+    b.setInsertPoint(body);
+    Value *v = b.createLoad(Type::i32(), b.createGep(src, 4, i), "v");
+    Value *jinit = b.createAdd(i, b.constI64(1), "jinit");
+    b.createBr(ihdr);
+
+    b.setInsertPoint(ihdr);
+    PhiInst *j = b.createPhi(Type::i64(), "j");
+    Value *j_in = b.createICmp(CmpPred::SLT, j, nwords, "j_in");
+    b.createCondBr(j_in, icheck, endrun);
+
+    b.setInsertPoint(icheck);
+    Value *sv = b.createLoad(Type::i32(), b.createGep(src, 4, j),
+                             "sv");
+    Value *same = b.createICmp(CmpPred::EQ, sv, v, "same");
+    Value *short_run = b.createICmp(
+        CmpPred::SLT, b.createSub(j, i), b.constI64(255), "short");
+    Value *cont = b.createAnd(same, short_run, "cont");
+    b.createCondBr(cont, ilatch, endrun);
+
+    b.setInsertPoint(ilatch);
+    Value *jn = b.createAdd(j, b.constI64(1), "jn");
+    b.createBr(ihdr);
+
+    j->addIncoming(jinit, body);
+    j->addIncoming(jn, ilatch);
+
+    b.setInsertPoint(endrun);
+    Value *cnt = b.createSub(j, i, "cnt");
+    Value *slot = b.createMul(pairs, b.constI64(8));
+    b.createStore(v, b.createGep(dst, 1, slot));
+    Value *cnt32 = b.createTrunc(cnt, Type::i32(), "cnt32");
+    b.createStore(cnt32,
+                  b.createGep(dst, 1,
+                              b.createAdd(slot, b.constI64(4))));
+    Value *pairs2 = b.createAdd(pairs, b.constI64(1), "pairs2");
+    b.createBr(outer);
+
+    i->addIncoming(b.constI64(0), entry);
+    i->addIncoming(j, endrun);
+    pairs->addIncoming(b.constI64(0), entry);
+    pairs->addIncoming(pairs2, endrun);
+
+    // --- pass 2: entropy-model mixing (gzip-class arithmetic) -------
+    b.setInsertPoint(rle_done);
+    Value *zero = b.constI64(0);
+    Value *final_h = buildSerialForCarry(
+        b, b.constI64(0), nwords, zero, "mix",
+        [&](IRBuilder &bm, Value *w, Value *h) {
+            Value *word32 = bm.createLoad(
+                Type::i32(), bm.createGep(src, 4, w), "word32");
+            Value *word =
+                bm.createSExt(word32, Type::i64(), "word");
+            // Independent mixing lanes + xor-reduction tree: wide
+            // parallel work, shallow carried dependency.
+            std::vector<Value *> lanes;
+            for (unsigned r = 0; r < kMixRounds; ++r) {
+                int64_t k = static_cast<int64_t>(
+                    r * 2654435761u);
+                Value *t = bm.createMul(
+                    bm.createXor(word, bm.constI64(k)),
+                    bm.constI64(0x9e37 + 2 * static_cast<int64_t>(r)));
+                Value *sh = bm.createLShr(t, bm.constI64(9));
+                lanes.push_back(bm.createXor(t, sh));
+            }
+            while (lanes.size() > 1) {
+                std::vector<Value *> next;
+                for (size_t q = 0; q + 1 < lanes.size(); q += 2)
+                    next.push_back(
+                        bm.createXor(lanes[q], lanes[q + 1]));
+                if (lanes.size() % 2)
+                    next.push_back(lanes.back());
+                lanes = std::move(next);
+            }
+            return bm.createAdd(h, lanes[0]);
+        });
+    b.createStore(final_h, csum);
+    b.createRet(pairs);
+    return f;
+}
+
+/** Leaf output-record writer (pipeline stage S3's work). */
+Function *
+buildWriteBuf(Module &m, IRBuilder &b)
+{
+    Function *f = m.addFunction(
+        "write_buffer", Type::voidTy(),
+        {{Type::ptr(), "records"}, {Type::i64(), "chunk"},
+         {Type::i64(), "hash"}, {Type::ptr(), "sizes"},
+         {Type::i64(), "dup"}});
+    b.setInsertPoint(f->addBlock("entry"));
+    Value *sz = b.createLoad(
+        Type::i64(), b.createGep(f->arg(3), 8, f->arg(1)), "sz");
+    Value *rec = b.createAdd(
+        b.createMul(f->arg(2), b.constI64(4)),
+        b.createAdd(b.createMul(sz, b.constI64(2)), f->arg(4)),
+        "rec");
+    b.createStore(rec, b.createGep(f->arg(0), 8, f->arg(1)));
+    b.createRet();
+    return f;
+}
+
+} // namespace
+
+Workload
+makeDedup(unsigned nchunks, unsigned chunk_size)
+{
+    tapas_assert(chunk_size % 4 == 0, "chunk size must be words");
+    const unsigned words = chunk_size / 4;
+
+    Workload w;
+    w.name = "dedup";
+    w.challenge = "Task pipeline";
+    w.module = std::make_unique<Module>();
+    Module &m = *w.module;
+    IRBuilder b(m);
+
+    GlobalVar *gin = m.addGlobal("chunks", uint64_t{nchunks} *
+                                               chunk_size);
+    GlobalVar *gn = m.addGlobal("nchunks_box", 8);
+    GlobalVar *gfocc = m.addGlobal("first_occ", 8ull * nchunks);
+    GlobalVar *ghash = m.addGlobal("hashes", 8ull * nchunks);
+    GlobalVar *gsizes = m.addGlobal("sizes", 8ull * nchunks);
+    GlobalVar *gcsum = m.addGlobal("checksums", 8ull * nchunks);
+    GlobalVar *grec = m.addGlobal("records", 8ull * nchunks);
+    GlobalVar *gout = m.addGlobal("outdata",
+                                  2ull * nchunks * chunk_size);
+    (void)gout;
+
+    Function *compress = buildCompress(m, b);
+    Function *wbuf = buildWriteBuf(m, b);
+
+    Function *top = m.addFunction(
+        "dedup", Type::voidTy(),
+        {{Type::ptr(), "in"}, {Type::ptr(), "nbox"},
+         {Type::i64(), "nwords"}, {Type::ptr(), "focc"},
+         {Type::ptr(), "hashes"}, {Type::ptr(), "sizes"},
+         {Type::ptr(), "records"}, {Type::ptr(), "outdata"},
+         {Type::ptr(), "csums"}});
+    w.top = top;
+
+    Value *in = top->arg(0);
+    Value *vwords = top->arg(2);
+    Value *focc = top->arg(3);
+    Value *hashes = top->arg(4);
+    Value *sizes = top->arg(5);
+    Value *records = top->arg(6);
+    Value *outdata = top->arg(7);
+    Value *csums = top->arg(8);
+
+    b.setInsertPoint(top->addBlock("entry"));
+    // S0: dynamic pipeline control — the chunk count is a run-time
+    // value; each iteration launches a chunk down the pipeline.
+    Value *vn = b.createLoad(Type::i64(), top->arg(1), "n");
+
+    buildCilkFor(b, b.constI64(0), vn, "chunk",
+                 [&](IRBuilder &bc, Value *chunk) {
+        Function *f = bc.insertPoint()->parent();
+
+        // ---- S1: fingerprint + duplicate decision ----------------
+        Value *base = bc.createMul(chunk, vwords, "base");
+        Value *h = buildSerialForCarry(
+            bc, bc.constI64(0), vwords, bc.constI64(0), "hash",
+            [&](IRBuilder &bh, Value *i, Value *acc) {
+                Value *word = bh.createLoad(
+                    Type::i32(),
+                    bh.createGep(in, 4, bh.createAdd(base, i)),
+                    "hword");
+                Value *wide =
+                    bh.createSExt(word, Type::i64(), "wide");
+                return bh.createAdd(
+                    bh.createMul(acc, bh.constI64(31)), wide,
+                    "acc2");
+            });
+        bc.createStore(h, bc.createGep(hashes, 8, chunk));
+
+        Value *first = bc.createLoad(
+            Type::i64(), bc.createGep(focc, 8, chunk), "first");
+        Value *dup = bc.createICmp(CmpPred::NE, first, chunk, "dup");
+
+        BasicBlock *dup_bb = f->addBlock("s1.dup");
+        BasicBlock *uniq_bb = f->addBlock("s1.uniq");
+        BasicBlock *s2 = f->addBlock("s2.compress");
+        BasicBlock *post_s2 = f->addBlock("s2.cont");
+        BasicBlock *s2_done = f->addBlock("s2.done");
+        BasicBlock *s3_spawn = f->addBlock("s3.spawnblk");
+        BasicBlock *s3 = f->addBlock("s3.write");
+        BasicBlock *s3_cont = f->addBlock("s3.cont");
+        BasicBlock *fin = f->addBlock("s.done");
+
+        bc.createCondBr(dup, dup_bb, uniq_bb);
+
+        bc.setInsertPoint(dup_bb); // S2 skipped entirely
+        bc.createStore(bc.constI64(0),
+                       bc.createGep(sizes, 8, chunk));
+        bc.createStore(bc.constI64(0),
+                       bc.createGep(csums, 8, chunk));
+        bc.createBr(post_s2);
+
+        bc.setInsertPoint(uniq_bb);
+        bc.createDetach(s2, post_s2);
+
+        // ---- S2: conditional compression stage --------------------
+        bc.setInsertPoint(s2);
+        Value *src = bc.createGep(in, 4, base);
+        Value *dst = bc.createGep(
+            outdata, 1,
+            bc.createMul(chunk, bc.createMul(vwords,
+                                             bc.constI64(8))));
+        Value *csum_slot = bc.createGep(csums, 8, chunk);
+        Value *sz = bc.createCall(compress,
+                                  {src, vwords, dst, csum_slot},
+                                  "sz");
+        bc.createStore(sz, bc.createGep(sizes, 8, chunk));
+        bc.createReattach(post_s2);
+
+        bc.setInsertPoint(post_s2);
+        bc.createSync(s2_done);
+
+        bc.setInsertPoint(s2_done);
+        bc.createBr(s3_spawn);
+
+        // ---- S3: output stage (own task unit) ---------------------
+        bc.setInsertPoint(s3_spawn);
+        Value *dup_i64 =
+            bc.createZExt(dup, Type::i64(), "dup_i64");
+        bc.createDetach(s3, s3_cont);
+
+        bc.setInsertPoint(s3);
+        bc.createCall(wbuf, {records, chunk, h, sizes, dup_i64});
+        bc.createReattach(s3_cont);
+
+        bc.setInsertPoint(s3_cont);
+        bc.createSync(fin);
+
+        bc.setInsertPoint(fin);
+        // body ends; buildCilkFor places the reattach here
+    });
+    b.createRet();
+
+    w.workItems = nchunks;
+    w.workUnit = "chunks";
+    w.params.defaults.ntasks = 64;
+    // Streaming stages want deep TXU pipelines (Stage-3 knob) and a
+    // wider shared-cache port (the paper parameterizes the memory
+    // system per deployment).
+    w.params.defaults.tilePipelineDepth = 48;
+    w.params.mem.portsPerCycle = 4;
+    w.params.mem.mshrs = 12;          // streaming-friendly fills
+    w.params.mem.dramWordsPerCycle = 4; // AXI burst reads
+
+    w.setup = [&m, gin, gn, gfocc, nchunks, words](MemImage &mem) {
+        mem.layout(m);
+        uint64_t pin = mem.addressOf(gin);
+        for (unsigned c = 0; c < nchunks; ++c) {
+            for (unsigned i = 0; i < words; ++i) {
+                mem.put<int32_t>(pin + (uint64_t{c} * words + i) * 4,
+                                 chunkWord(c, i));
+            }
+        }
+        mem.put<int64_t>(mem.addressOf(gn), nchunks);
+        uint64_t pf = mem.addressOf(gfocc);
+        for (unsigned c = 0; c < nchunks; ++c)
+            mem.put<int64_t>(pf + 8ull * c, firstOccurrence(c));
+        return std::vector<RtValue>{
+            RtValue::fromPtr(pin),
+            RtValue::fromPtr(mem.addressOf(gn)),
+            RtValue::fromInt(words),
+            RtValue::fromPtr(pf),
+            RtValue::fromPtr(
+                mem.addressOf(m.globalByName("hashes"))),
+            RtValue::fromPtr(
+                mem.addressOf(m.globalByName("sizes"))),
+            RtValue::fromPtr(
+                mem.addressOf(m.globalByName("records"))),
+            RtValue::fromPtr(
+                mem.addressOf(m.globalByName("outdata"))),
+            RtValue::fromPtr(
+                mem.addressOf(m.globalByName("checksums")))};
+    };
+
+    w.verify = [&m, ghash, gsizes, gcsum, grec, nchunks, words](
+                   const MemImage &mem, RtValue) {
+        uint64_t ph = mem.addressOf(ghash);
+        uint64_t ps = mem.addressOf(gsizes);
+        uint64_t pc = mem.addressOf(gcsum);
+        uint64_t pr = mem.addressOf(grec);
+        for (unsigned c = 0; c < nchunks; ++c) {
+            int64_t h = goldenHash(c, words);
+            bool dup = firstOccurrence(c) != c;
+            int64_t pairs = 0;
+            int64_t csum = 0;
+            if (!dup)
+                goldenCompress(c, words, pairs, csum);
+            int64_t rec = h * 4 + pairs * 2 + (dup ? 1 : 0);
+            if (mem.get<int64_t>(ph + 8ull * c) != h)
+                return strfmt("hash[%u] mismatch", c);
+            if (mem.get<int64_t>(ps + 8ull * c) != pairs) {
+                return strfmt("size[%u] = %lld, want %lld", c,
+                              static_cast<long long>(
+                                  mem.get<int64_t>(ps + 8ull * c)),
+                              static_cast<long long>(pairs));
+            }
+            if (mem.get<int64_t>(pc + 8ull * c) != csum)
+                return strfmt("checksum[%u] mismatch", c);
+            if (mem.get<int64_t>(pr + 8ull * c) != rec)
+                return strfmt("record[%u] mismatch", c);
+        }
+        return std::string();
+    };
+    return w;
+}
+
+std::vector<Workload>
+makePaperSuite(unsigned scale)
+{
+    unsigned s = std::max(1u, scale);
+    std::vector<Workload> suite;
+    suite.push_back(makeMatrixAdd(16 * s));
+    suite.push_back(makeStencil(12 * s, 16 * s, 1));
+    suite.push_back(makeSaxpy(256 * s * s));
+    suite.push_back(makeImageScale(16 * s, 8 * s));
+    suite.push_back(makeDedup(12 * s, 64 * s));
+    suite.push_back(makeFib(scale >= 4 ? 15 : 10));
+    suite.push_back(makeMergeSort(256 * s * s, 32));
+    return suite;
+}
+
+} // namespace tapas::workloads

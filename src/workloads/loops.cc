@@ -1,0 +1,155 @@
+#include "workloads/loops.hh"
+
+namespace tapas::workloads {
+
+using ir::BasicBlock;
+using ir::CmpPred;
+using ir::Function;
+using ir::IRBuilder;
+using ir::PhiInst;
+using ir::Type;
+using ir::Value;
+
+void
+buildCilkFor(IRBuilder &b, Value *begin, Value *end,
+             const std::string &tag,
+             const std::function<void(IRBuilder &, Value *)> &body)
+{
+    Function *f = b.insertPoint()->parent();
+    BasicBlock *pre = b.insertPoint();
+    BasicBlock *header = f->addBlock(tag + ".header");
+    BasicBlock *spawn = f->addBlock(tag + ".spawn");
+    BasicBlock *detached = f->addBlock(tag + ".body");
+    BasicBlock *latch = f->addBlock(tag + ".latch");
+    BasicBlock *join = f->addBlock(tag + ".join");
+    BasicBlock *exit = f->addBlock(tag + ".exit");
+
+    b.createBr(header);
+
+    b.setInsertPoint(header);
+    PhiInst *i = b.createPhi(Type::i64(), tag + ".i");
+    Value *cond = b.createICmp(CmpPred::SLT, i, end, tag + ".cond");
+    b.createCondBr(cond, spawn, join);
+
+    b.setInsertPoint(spawn);
+    b.createDetach(detached, latch);
+
+    b.setInsertPoint(detached);
+    body(b, i);
+    b.createReattach(latch);
+
+    b.setInsertPoint(latch);
+    Value *inext = b.createAdd(i, b.constI64(1), tag + ".inext");
+    b.createBr(header);
+
+    i->addIncoming(begin, pre);
+    i->addIncoming(inext, latch);
+
+    b.setInsertPoint(join);
+    b.createSync(exit);
+
+    b.setInsertPoint(exit);
+}
+
+void
+buildSerialFor(IRBuilder &b, Value *begin, Value *end,
+               const std::string &tag,
+               const std::function<void(IRBuilder &, Value *)> &body)
+{
+    Function *f = b.insertPoint()->parent();
+    BasicBlock *pre = b.insertPoint();
+    BasicBlock *header = f->addBlock(tag + ".header");
+    BasicBlock *bodybb = f->addBlock(tag + ".body");
+    BasicBlock *latch = f->addBlock(tag + ".latch");
+    BasicBlock *exit = f->addBlock(tag + ".exit");
+
+    b.createBr(header);
+
+    b.setInsertPoint(header);
+    PhiInst *i = b.createPhi(Type::i64(), tag + ".i");
+    Value *cond = b.createICmp(CmpPred::SLT, i, end, tag + ".cond");
+    b.createCondBr(cond, bodybb, exit);
+
+    b.setInsertPoint(bodybb);
+    body(b, i);
+    b.createBr(latch);
+
+    b.setInsertPoint(latch);
+    Value *inext = b.createAdd(i, b.constI64(1), tag + ".inext");
+    b.createBr(header);
+
+    i->addIncoming(begin, pre);
+    i->addIncoming(inext, latch);
+
+    b.setInsertPoint(exit);
+}
+
+void
+buildCilkForGrained(
+    IRBuilder &b, Value *begin, Value *end, uint64_t grain,
+    const std::string &tag,
+    const std::function<void(IRBuilder &, Value *)> &body)
+{
+    tapas_assert(grain >= 1, "grain must be positive");
+    if (grain == 1) {
+        buildCilkFor(b, begin, end, tag, body);
+        return;
+    }
+    // Number of grains: ceil((end - begin) / grain).
+    Value *span = b.createSub(end, begin, tag + ".span");
+    Value *g = b.constI64(static_cast<int64_t>(grain));
+    Value *grains = b.createSDiv(
+        b.createAdd(span,
+                    b.constI64(static_cast<int64_t>(grain) - 1)),
+        g, tag + ".grains");
+
+    buildCilkFor(b, b.constI64(0), grains, tag,
+                 [&](IRBuilder &bg, Value *gi) {
+        Value *lo = bg.createAdd(begin, bg.createMul(gi, g),
+                                 tag + ".lo");
+        Value *hi_raw = bg.createAdd(lo, g, tag + ".hi_raw");
+        Value *over = bg.createICmp(CmpPred::SGT, hi_raw, end);
+        Value *hi = bg.createSelect(over, end, hi_raw, tag + ".hi");
+        buildSerialFor(bg, lo, hi, tag + ".elem", body);
+    });
+}
+
+Value *
+buildSerialForCarry(
+    IRBuilder &b, Value *begin, Value *end, Value *init,
+    const std::string &tag,
+    const std::function<Value *(IRBuilder &, Value *, Value *)> &body)
+{
+    Function *f = b.insertPoint()->parent();
+    BasicBlock *pre = b.insertPoint();
+    BasicBlock *header = f->addBlock(tag + ".header");
+    BasicBlock *bodybb = f->addBlock(tag + ".body");
+    BasicBlock *latch = f->addBlock(tag + ".latch");
+    BasicBlock *exit = f->addBlock(tag + ".exit");
+
+    b.createBr(header);
+
+    b.setInsertPoint(header);
+    PhiInst *i = b.createPhi(Type::i64(), tag + ".i");
+    PhiInst *carry = b.createPhi(init->type(), tag + ".carry");
+    Value *cond = b.createICmp(CmpPred::SLT, i, end, tag + ".cond");
+    b.createCondBr(cond, bodybb, exit);
+
+    b.setInsertPoint(bodybb);
+    Value *next = body(b, i, carry);
+    b.createBr(latch);
+
+    b.setInsertPoint(latch);
+    Value *inext = b.createAdd(i, b.constI64(1), tag + ".inext");
+    b.createBr(header);
+
+    i->addIncoming(begin, pre);
+    i->addIncoming(inext, latch);
+    carry->addIncoming(init, pre);
+    carry->addIncoming(next, latch);
+
+    b.setInsertPoint(exit);
+    return carry;
+}
+
+} // namespace tapas::workloads

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Structured-loop builders used by the benchmark IR generators:
+ * cilk_for (parallel loop that detaches its body per iteration, the
+ * canonical Tapir lowering) and a serial for. Both manage the
+ * header/latch blocks and induction phi so kernels read like the
+ * paper's pseudo code.
+ */
+
+#ifndef TAPAS_WORKLOADS_LOOPS_HH
+#define TAPAS_WORKLOADS_LOOPS_HH
+
+#include <functional>
+
+#include "ir/builder.hh"
+
+namespace tapas::workloads {
+
+/**
+ * Emit a parallel loop:
+ *
+ *   cilk_for (i = begin; i < end; ++i) body(i);
+ *
+ * The body callback is invoked with the builder positioned inside the
+ * detached region and must leave the builder in a block that will be
+ * closed with the region's reattach (i.e. do not terminate it). A
+ * sync is placed after the loop; on return the builder is positioned
+ * in the post-sync block.
+ *
+ * @param b builder (positioned where the loop should start)
+ * @param begin first index (i64)
+ * @param end one-past-last index (i64)
+ * @param tag block-name prefix
+ * @param body emits the detached body for induction value i
+ */
+void buildCilkFor(ir::IRBuilder &b, ir::Value *begin, ir::Value *end,
+                  const std::string &tag,
+                  const std::function<void(ir::IRBuilder &,
+                                           ir::Value *)> &body);
+
+/**
+ * Emit a serial loop: for (i = begin; i < end; ++i) body(i).
+ * On return the builder is positioned in the exit block.
+ */
+void buildSerialFor(ir::IRBuilder &b, ir::Value *begin, ir::Value *end,
+                    const std::string &tag,
+                    const std::function<void(ir::IRBuilder &,
+                                             ir::Value *)> &body);
+
+/**
+ * Emit a grain-coarsened parallel loop, the way Tapir/Cilk lower
+ * cilk_for with a grainsize: the detached body handles a contiguous
+ * sub-range [g*grain, min((g+1)*grain, end)) with an inner serial
+ * loop, amortizing the spawn cost over `grain` iterations.
+ *
+ * @param grain iterations per spawned task (compile-time constant)
+ */
+void buildCilkForGrained(
+    ir::IRBuilder &b, ir::Value *begin, ir::Value *end,
+    uint64_t grain, const std::string &tag,
+    const std::function<void(ir::IRBuilder &, ir::Value *)> &body);
+
+/**
+ * Serial loop with one loop-carried value:
+ *
+ *   carry = init;
+ *   for (i = begin; i < end; ++i) carry = body(i, carry);
+ *   return carry;
+ *
+ * The body receives (builder, i, carry) and returns the next carry;
+ * it must not terminate its final block. On return the builder is in
+ * the exit block and the returned Value holds the final carry.
+ */
+ir::Value *buildSerialForCarry(
+    ir::IRBuilder &b, ir::Value *begin, ir::Value *end,
+    ir::Value *init, const std::string &tag,
+    const std::function<ir::Value *(ir::IRBuilder &, ir::Value *,
+                                    ir::Value *)> &body);
+
+} // namespace tapas::workloads
+
+#endif // TAPAS_WORKLOADS_LOOPS_HH

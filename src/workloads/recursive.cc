@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Recursive parallel benchmarks (paper Section IV-C): mergesort and
+ * Fibonacci. Both recurse by spawning themselves (cilk_spawn f(...)
+ * lowers to a detached region containing a call to f); spawned-call
+ * return values travel through memory (alloca slots), exactly as the
+ * paper describes ("return values from the recursion are passed
+ * through shared cache").
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "support/rng.hh"
+#include "workloads/loops.hh"
+#include "workloads/workload.hh"
+
+namespace tapas::workloads {
+
+using ir::BasicBlock;
+using ir::CmpPred;
+using ir::Function;
+using ir::GlobalVar;
+using ir::IRBuilder;
+using ir::MemImage;
+using ir::Module;
+using ir::RtValue;
+using ir::Type;
+using ir::Value;
+
+namespace {
+
+/** Deterministic input for the sort. */
+int32_t
+sortInput(uint64_t i)
+{
+    Rng rng(0xdead0000u + i);
+    return static_cast<int32_t>(rng.range(-100000, 100000));
+}
+
+/**
+ * Leaf cutoff sort: selection-style compare/exchange over
+ * list[start, end), single-block body (select-based swap).
+ */
+Function *
+buildSelectionSort(Module &m, IRBuilder &b)
+{
+    Function *f = m.addFunction(
+        "small_sort", Type::voidTy(),
+        {{Type::ptr(), "list"}, {Type::i64(), "start"},
+         {Type::i64(), "end"}});
+    b.setInsertPoint(f->addBlock("entry"));
+    buildSerialFor(b, f->arg(1), f->arg(2), "i",
+                   [&](IRBuilder &bi, Value *i) {
+        buildSerialFor(bi, bi.createAdd(i, bi.constI64(1)),
+                       f->arg(2), "j",
+                       [&](IRBuilder &bj, Value *j) {
+            Value *pi = bj.createGep(f->arg(0), 4, i);
+            Value *pj = bj.createGep(f->arg(0), 4, j);
+            Value *vi = bj.createLoad(Type::i32(), pi, "vi");
+            Value *vj = bj.createLoad(Type::i32(), pj, "vj");
+            Value *swap = bj.createICmp(CmpPred::SLT, vj, vi, "swap");
+            bj.createStore(bj.createSelect(swap, vj, vi), pi);
+            bj.createStore(bj.createSelect(swap, vi, vj), pj);
+        });
+    });
+    b.createRet();
+    return f;
+}
+
+/** Leaf merge of list[start,mid) and list[mid,end) via tmp. */
+Function *
+buildMerge(Module &m, IRBuilder &b)
+{
+    Function *f = m.addFunction(
+        "merge", Type::voidTy(),
+        {{Type::ptr(), "list"}, {Type::ptr(), "tmp"},
+         {Type::i64(), "start"}, {Type::i64(), "mid"},
+         {Type::i64(), "end"}});
+    Value *list = f->arg(0);
+    Value *tmp = f->arg(1);
+    Value *start = f->arg(2);
+    Value *mid = f->arg(3);
+    Value *end = f->arg(4);
+
+    b.setInsertPoint(f->addBlock("entry"));
+    // Stage both runs.
+    buildSerialFor(b, start, end, "copy",
+                   [&](IRBuilder &bc, Value *k) {
+        Value *v = bc.createLoad(Type::i32(),
+                                 bc.createGep(list, 4, k), "v");
+        bc.createStore(v, bc.createGep(tmp, 4, k));
+    });
+
+    // Two-pointer merge; the cursors live in stack slots so the body
+    // stays a single dataflow block.
+    Value *islot = b.createAlloca(8, "islot");
+    Value *jslot = b.createAlloca(8, "jslot");
+    b.createStore(start, islot);
+    b.createStore(mid, jslot);
+
+    buildSerialFor(b, start, end, "merge",
+                   [&](IRBuilder &bm, Value *k) {
+        Value *i = bm.createLoad(Type::i64(), islot, "i");
+        Value *j = bm.createLoad(Type::i64(), jslot, "j");
+        Value *i_ok = bm.createICmp(CmpPred::SLT, i, mid, "i_ok");
+        Value *j_ok = bm.createICmp(CmpPred::SLT, j, end, "j_ok");
+        // Clamped loads keep out-of-run reads in-bounds.
+        Value *iidx = bm.createSelect(i_ok, i, start);
+        Value *jidx = bm.createSelect(j_ok, j, start);
+        Value *ti = bm.createLoad(Type::i32(),
+                                  bm.createGep(tmp, 4, iidx), "ti");
+        Value *tj = bm.createLoad(Type::i32(),
+                                  bm.createGep(tmp, 4, jidx), "tj");
+        Value *le = bm.createICmp(CmpPred::SLE, ti, tj, "le");
+        Value *take_i = bm.createAnd(
+            i_ok,
+            bm.createOr(bm.createXor(j_ok, bm.constI1(true)), le),
+            "take_i");
+        Value *v = bm.createSelect(take_i, ti, tj, "v");
+        bm.createStore(v, bm.createGep(list, 4, k));
+        Value *one = bm.constI64(1);
+        bm.createStore(
+            bm.createSelect(take_i, bm.createAdd(i, one), i), islot);
+        bm.createStore(
+            bm.createSelect(take_i, j, bm.createAdd(j, one)), jslot);
+    });
+    b.createRet();
+    return f;
+}
+
+} // namespace
+
+Workload
+makeMergeSort(unsigned n, unsigned cutoff)
+{
+    Workload w;
+    w.name = "mergesort";
+    w.challenge = "Recursive parallel";
+    w.module = std::make_unique<Module>();
+    Module &m = *w.module;
+    IRBuilder b(m);
+
+    GlobalVar *glist = m.addGlobal("list", 4ull * n);
+    GlobalVar *gtmp = m.addGlobal("tmp", 4ull * n);
+
+    Function *small = buildSelectionSort(m, b);
+    Function *merge = buildMerge(m, b);
+
+    Function *ms = m.addFunction(
+        "merge_sort", Type::voidTy(),
+        {{Type::ptr(), "list"}, {Type::ptr(), "tmp"},
+         {Type::i64(), "start"}, {Type::i64(), "end"}});
+    w.top = ms;
+
+    BasicBlock *entry = ms->addBlock("entry");
+    BasicBlock *base = ms->addBlock("base");
+    BasicBlock *rec = ms->addBlock("rec");
+    BasicBlock *d1 = ms->addBlock("spawn_lo");
+    BasicBlock *c1 = ms->addBlock("cont1");
+    BasicBlock *d2 = ms->addBlock("spawn_hi");
+    BasicBlock *c2 = ms->addBlock("cont2");
+    BasicBlock *joined = ms->addBlock("joined");
+    BasicBlock *done = ms->addBlock("done");
+
+    Value *list = ms->arg(0);
+    Value *tmp = ms->arg(1);
+    Value *start = ms->arg(2);
+    Value *end = ms->arg(3);
+
+    b.setInsertPoint(entry);
+    Value *len = b.createSub(end, start, "len");
+    Value *is_small = b.createICmp(
+        CmpPred::SLE, len, b.constI64(cutoff), "is_small");
+    b.createCondBr(is_small, base, rec);
+
+    b.setInsertPoint(base);
+    b.createCall(small, {list, start, end});
+    b.createBr(done);
+
+    b.setInsertPoint(rec);
+    Value *mid = b.createAdd(
+        start, b.createSDiv(len, b.constI64(2)), "mid");
+    b.createDetach(d1, c1);
+
+    b.setInsertPoint(d1); // cilk_spawn merge_sort(lo)
+    b.createCall(ms, {list, tmp, start, mid});
+    b.createReattach(c1);
+
+    b.setInsertPoint(c1);
+    b.createDetach(d2, c2);
+
+    b.setInsertPoint(d2); // cilk_spawn merge_sort(hi)
+    b.createCall(ms, {list, tmp, mid, end});
+    b.createReattach(c2);
+
+    b.setInsertPoint(c2);
+    b.createSync(joined);
+
+    b.setInsertPoint(joined);
+    b.createCall(merge, {list, tmp, start, mid, end});
+    b.createBr(done);
+
+    b.setInsertPoint(done);
+    b.createRet();
+
+    w.workItems = n;
+    w.workUnit = "keys";
+    // Recursion holds queue entries across the whole spawn tree:
+    // size the queues for full expansion (paper: large BRAM budgets
+    // on the recursive benchmarks, Table IV).
+    w.params.defaults.ntasks =
+        std::max<unsigned>(64, 4 * (n / std::max(1u, cutoff)));
+
+    w.setup = [&m, glist, gtmp, n](MemImage &mem) {
+        mem.layout(m);
+        uint64_t pl = mem.addressOf(glist);
+        for (uint64_t i = 0; i < n; ++i)
+            mem.put<int32_t>(pl + 4 * i, sortInput(i));
+        return std::vector<RtValue>{
+            RtValue::fromPtr(pl),
+            RtValue::fromPtr(mem.addressOf(gtmp)),
+            RtValue::fromInt(0), RtValue::fromInt(n)};
+    };
+
+    w.verify = [&m, glist, n](const MemImage &mem, RtValue) {
+        std::vector<int32_t> want(n);
+        for (uint64_t i = 0; i < n; ++i)
+            want[i] = sortInput(i);
+        std::sort(want.begin(), want.end());
+        uint64_t pl = mem.addressOf(glist);
+        for (uint64_t i = 0; i < n; ++i) {
+            int32_t got = mem.get<int32_t>(pl + 4 * i);
+            if (got != want[i]) {
+                return strfmt("list[%llu] = %d, want %d",
+                              static_cast<unsigned long long>(i),
+                              got, want[i]);
+            }
+        }
+        return std::string();
+    };
+    return w;
+}
+
+Workload
+makeFib(unsigned n)
+{
+    Workload w;
+    w.name = "fib";
+    w.challenge = "Recursive parallel";
+    w.module = std::make_unique<Module>();
+    Module &m = *w.module;
+    IRBuilder b(m);
+
+    Function *fib = m.addFunction("fib", Type::i64(),
+                                  {{Type::i64(), "n"}});
+    w.top = fib;
+
+    BasicBlock *entry = fib->addBlock("entry");
+    BasicBlock *base = fib->addBlock("base");
+    BasicBlock *rec = fib->addBlock("rec");
+    BasicBlock *d1 = fib->addBlock("spawn_n1");
+    BasicBlock *c1 = fib->addBlock("cont1");
+    BasicBlock *d2 = fib->addBlock("spawn_n2");
+    BasicBlock *c2 = fib->addBlock("cont2");
+    BasicBlock *joined = fib->addBlock("joined");
+
+    Value *vn = fib->arg(0);
+
+    b.setInsertPoint(entry);
+    Value *is_base =
+        b.createICmp(CmpPred::SLT, vn, b.constI64(2), "is_base");
+    b.createCondBr(is_base, base, rec);
+
+    b.setInsertPoint(base);
+    b.createRet(vn);
+
+    b.setInsertPoint(rec);
+    Value *xs = b.createAlloca(8, "xs");
+    Value *ys = b.createAlloca(8, "ys");
+    Value *n1 = b.createSub(vn, b.constI64(1), "n1");
+    Value *n2 = b.createSub(vn, b.constI64(2), "n2");
+    b.createDetach(d1, c1);
+
+    b.setInsertPoint(d1); // x = cilk_spawn fib(n-1)
+    Value *r1 = b.createCall(fib, {n1}, "r1");
+    b.createStore(r1, xs);
+    b.createReattach(c1);
+
+    b.setInsertPoint(c1);
+    b.createDetach(d2, c2);
+
+    b.setInsertPoint(d2); // y = cilk_spawn fib(n-2)
+    Value *r2 = b.createCall(fib, {n2}, "r2");
+    b.createStore(r2, ys);
+    b.createReattach(c2);
+
+    b.setInsertPoint(c2);
+    b.createSync(joined);
+
+    b.setInsertPoint(joined);
+    Value *x = b.createLoad(Type::i64(), xs, "x");
+    Value *y = b.createLoad(Type::i64(), ys, "y");
+    b.createRet(b.createAdd(x, y, "sum"));
+
+    // Golden value (iteratively).
+    uint64_t a = 0;
+    uint64_t bb2 = 1;
+    for (unsigned i = 0; i < n; ++i) {
+        uint64_t t = a + bb2;
+        a = bb2;
+        bb2 = t;
+    }
+    const int64_t expect = static_cast<int64_t>(a);
+
+    w.workItems = static_cast<double>(expect);
+    w.workUnit = "base_tasks";
+    // Eager child spawning can expand the whole call tree into the
+    // queues; size them for fib(n) total instances.
+    unsigned total = static_cast<unsigned>(
+        std::min<uint64_t>(8192, 4 * (a + 1)));
+    w.params.defaults.ntasks = std::max(64u, total);
+
+    w.setup = [n](MemImage &) {
+        return std::vector<RtValue>{
+            RtValue::fromInt(static_cast<int64_t>(n))};
+    };
+
+    w.verify = [expect](const MemImage &, RtValue ret) {
+        if (ret.i != expect) {
+            return strfmt("fib returned %lld, want %lld",
+                          static_cast<long long>(ret.i),
+                          static_cast<long long>(expect));
+        }
+        return std::string();
+    };
+    return w;
+}
+
+} // namespace tapas::workloads

@@ -1,0 +1,501 @@
+/**
+ * @file
+ * Loop-structured benchmarks: matrix add, image scale, saxpy, stencil
+ * (paper Section IV-A) and the Fig. 12 spawn-scaling microbenchmark.
+ */
+
+#include <vector>
+
+#include "support/rng.hh"
+#include "workloads/loops.hh"
+#include "workloads/workload.hh"
+
+namespace tapas::workloads {
+
+using ir::CmpPred;
+using ir::Function;
+using ir::GlobalVar;
+using ir::IRBuilder;
+using ir::MemImage;
+using ir::Module;
+using ir::Opcode;
+using ir::RtValue;
+using ir::Type;
+using ir::Value;
+
+namespace {
+
+/** Deterministic input pattern shared by setup and golden models. */
+int32_t
+pattern(uint64_t seed, uint64_t i)
+{
+    Rng rng(seed * 0x9e3779b9u + i);
+    return static_cast<int32_t>(rng.range(-1000, 1000));
+}
+
+} // namespace
+
+Workload
+makeMatrixAdd(unsigned n)
+{
+    Workload w;
+    w.name = "matrix_add";
+    w.challenge = "Nested loops";
+    w.module = std::make_unique<Module>();
+    Module &m = *w.module;
+    IRBuilder b(m);
+
+    uint64_t bytes = 4ull * n * n;
+    GlobalVar *ga = m.addGlobal("A", bytes);
+    GlobalVar *gb = m.addGlobal("B", bytes);
+    GlobalVar *gc = m.addGlobal("C", bytes);
+
+    Function *top = m.addFunction(
+        "matrix_add", Type::voidTy(),
+        {{Type::ptr(), "A"}, {Type::ptr(), "B"}, {Type::ptr(), "C"},
+         {Type::i64(), "n"}});
+    w.top = top;
+
+    b.setInsertPoint(top->addBlock("entry"));
+    Value *vn = top->arg(3);
+    buildCilkFor(b, b.constI64(0), vn, "row",
+                 [&](IRBuilder &bb, Value *i) {
+        buildCilkForGrained(bb, bb.constI64(0), vn, 16, "col",
+                     [&](IRBuilder &bc, Value *j) {
+            Value *idx = bc.createAdd(bc.createMul(i, vn), j, "idx");
+            Value *pa = bc.createGep(top->arg(0), 4, idx);
+            Value *pb = bc.createGep(top->arg(1), 4, idx);
+            Value *pc = bc.createGep(top->arg(2), 4, idx);
+            Value *va = bc.createLoad(Type::i32(), pa, "a");
+            Value *vb2 = bc.createLoad(Type::i32(), pb, "b");
+            bc.createStore(bc.createAdd(va, vb2, "sum"), pc);
+        });
+    });
+    b.createRet();
+
+    w.workItems = static_cast<double>(n) * n;
+    w.workUnit = "elements";
+
+    w.setup = [&m, ga, gb, gc, n](MemImage &mem) {
+        mem.layout(m);
+        uint64_t pa = mem.addressOf(ga);
+        uint64_t pb = mem.addressOf(gb);
+        for (uint64_t i = 0; i < uint64_t{n} * n; ++i) {
+            mem.put<int32_t>(pa + 4 * i, pattern(1, i));
+            mem.put<int32_t>(pb + 4 * i, pattern(2, i));
+        }
+        return std::vector<RtValue>{
+            RtValue::fromPtr(pa), RtValue::fromPtr(pb),
+            RtValue::fromPtr(mem.addressOf(gc)),
+            RtValue::fromInt(n)};
+    };
+
+    w.verify = [&m, gc, n](const MemImage &mem, RtValue) {
+        uint64_t pc = mem.addressOf(gc);
+        for (uint64_t i = 0; i < uint64_t{n} * n; ++i) {
+            int32_t want = pattern(1, i) + pattern(2, i);
+            int32_t got = mem.get<int32_t>(pc + 4 * i);
+            if (got != want) {
+                return strfmt("C[%llu] = %d, want %d",
+                              static_cast<unsigned long long>(i), got,
+                              want);
+            }
+        }
+        return std::string();
+    };
+    return w;
+}
+
+Workload
+makeImageScale(unsigned width, unsigned height)
+{
+    Workload w;
+    w.name = "image_scale";
+    w.challenge = "Nested, if-else loops";
+    w.module = std::make_unique<Module>();
+    Module &m = *w.module;
+    IRBuilder b(m);
+
+    unsigned ow = 2 * width;
+    unsigned oh = 2 * height;
+    GlobalVar *gin = m.addGlobal("img_in", 4ull * width * height);
+    GlobalVar *gout = m.addGlobal("img_out", 4ull * ow * oh);
+
+    Function *top = m.addFunction(
+        "image_scale", Type::voidTy(),
+        {{Type::ptr(), "in"}, {Type::ptr(), "out"},
+         {Type::i64(), "w"}, {Type::i64(), "h"}});
+    w.top = top;
+
+    b.setInsertPoint(top->addBlock("entry"));
+    Value *vw = top->arg(2);
+    Value *vh = top->arg(3);
+    Value *vow = b.createMul(vw, b.constI64(2), "ow");
+    Value *voh = b.createMul(vh, b.constI64(2), "oh");
+
+    buildCilkFor(b, b.constI64(0), voh, "y",
+                 [&](IRBuilder &by, Value *y) {
+        buildCilkForGrained(by, by.constI64(0), vow, 16, "x",
+                     [&](IRBuilder &bx, Value *x) {
+            Function *f = bx.insertPoint()->parent();
+            Value *sy = bx.createSDiv(y, bx.constI64(2), "sy");
+            Value *sx = bx.createSDiv(x, bx.constI64(2), "sx");
+            Value *src_idx =
+                bx.createAdd(bx.createMul(sy, vw), sx, "sidx");
+            Value *v0 = bx.createLoad(
+                Type::i32(), bx.createGep(top->arg(0), 4, src_idx),
+                "v0");
+
+            // Interior pixels blend with their right neighbour;
+            // border pixels copy (the paper's if-else challenge).
+            Value *interior = bx.createICmp(
+                CmpPred::SLT, sx,
+                bx.createSub(vw, bx.constI64(1)), "interior");
+            ir::BasicBlock *blend = f->addBlock("x.blend");
+            ir::BasicBlock *copy = f->addBlock("x.copy");
+            ir::BasicBlock *store = f->addBlock("x.store");
+            bx.createCondBr(interior, blend, copy);
+
+            bx.setInsertPoint(blend);
+            Value *v1 = bx.createLoad(
+                Type::i32(),
+                bx.createGep(top->arg(0), 4,
+                             bx.createAdd(src_idx, bx.constI64(1))),
+                "v1");
+            Value *avg = bx.createSDiv(
+                bx.createAdd(v0, v1),
+                m.constInt(Type::i32(), 2), "avg");
+            bx.createBr(store);
+
+            bx.setInsertPoint(copy);
+            bx.createBr(store);
+
+            bx.setInsertPoint(store);
+            ir::PhiInst *pix =
+                bx.createPhi(Type::i32(), "pix");
+            pix->addIncoming(avg, blend);
+            pix->addIncoming(v0, copy);
+            Value *dst_idx =
+                bx.createAdd(bx.createMul(y, vow), x, "didx");
+            bx.createStore(pix,
+                           bx.createGep(top->arg(1), 4, dst_idx));
+        });
+    });
+    b.createRet();
+
+    w.workItems = static_cast<double>(ow) * oh;
+    w.workUnit = "pixels";
+
+    w.setup = [&m, gin, gout, width, height](MemImage &mem) {
+        mem.layout(m);
+        uint64_t pin = mem.addressOf(gin);
+        for (uint64_t i = 0; i < uint64_t{width} * height; ++i)
+            mem.put<int32_t>(pin + 4 * i, pattern(3, i));
+        return std::vector<RtValue>{
+            RtValue::fromPtr(pin),
+            RtValue::fromPtr(mem.addressOf(gout)),
+            RtValue::fromInt(width), RtValue::fromInt(height)};
+    };
+
+    w.verify = [&m, gout, width, height](const MemImage &mem,
+                                         RtValue) {
+        uint64_t pout = mem.addressOf(gout);
+        unsigned ow2 = 2 * width;
+        for (uint64_t y = 0; y < 2ull * height; ++y) {
+            for (uint64_t x = 0; x < ow2; ++x) {
+                uint64_t sy = y / 2;
+                uint64_t sx = x / 2;
+                int32_t v0 = pattern(3, sy * width + sx);
+                int32_t want = v0;
+                if (sx + 1 < width) {
+                    int32_t v1 = pattern(3, sy * width + sx + 1);
+                    want = (v0 + v1) / 2;
+                }
+                int32_t got =
+                    mem.get<int32_t>(pout + 4 * (y * ow2 + x));
+                if (got != want) {
+                    return strfmt("out[%llu,%llu] = %d, want %d",
+                                  static_cast<unsigned long long>(y),
+                                  static_cast<unsigned long long>(x),
+                                  got, want);
+                }
+            }
+        }
+        return std::string();
+    };
+    return w;
+}
+
+Workload
+makeSaxpy(unsigned n)
+{
+    Workload w;
+    w.name = "saxpy";
+    w.challenge = "Dynamic exit loops";
+    w.module = std::make_unique<Module>();
+    Module &m = *w.module;
+    IRBuilder b(m);
+
+    GlobalVar *gn = m.addGlobal("n_box", 8);
+    GlobalVar *gx = m.addGlobal("x", 4ull * n);
+    GlobalVar *gy = m.addGlobal("y", 4ull * n);
+
+    Function *top = m.addFunction(
+        "saxpy", Type::voidTy(),
+        {{Type::ptr(), "nbox"}, {Type::ptr(), "x"},
+         {Type::ptr(), "y"}, {Type::f32(), "a"}});
+    w.top = top;
+
+    b.setInsertPoint(top->addBlock("entry"));
+    // Dynamic trip count: the bound is only known at run time.
+    Value *vn = b.createLoad(Type::i64(), top->arg(0), "n");
+    // Tapir lowers cilk_for with a grainsize: each task handles a
+    // contiguous run of iterations.
+    buildCilkForGrained(b, b.constI64(0), vn, 32, "i",
+                 [&](IRBuilder &bi, Value *i) {
+        Value *px = bi.createGep(top->arg(1), 4, i);
+        Value *py = bi.createGep(top->arg(2), 4, i);
+        Value *xv = bi.createLoad(Type::f32(), px, "xv");
+        Value *yv = bi.createLoad(Type::f32(), py, "yv");
+        Value *r = bi.createFAdd(
+            bi.createFMul(top->arg(3), xv), yv, "r");
+        bi.createStore(r, py);
+    });
+    b.createRet();
+
+    w.workItems = n;
+    w.workUnit = "elements";
+
+    const float a_const = 2.5f;
+    w.setup = [&m, gn, gx, gy, n, a_const](MemImage &mem) {
+        mem.layout(m);
+        mem.put<int64_t>(mem.addressOf(gn), n);
+        uint64_t px = mem.addressOf(gx);
+        uint64_t py = mem.addressOf(gy);
+        for (uint64_t i = 0; i < n; ++i) {
+            mem.put<float>(px + 4 * i,
+                           static_cast<float>(pattern(4, i)) * 0.5f);
+            mem.put<float>(py + 4 * i,
+                           static_cast<float>(pattern(5, i)) * 0.25f);
+        }
+        return std::vector<RtValue>{
+            RtValue::fromPtr(mem.addressOf(gn)),
+            RtValue::fromPtr(px), RtValue::fromPtr(py),
+            RtValue::fromFloat(a_const)};
+    };
+
+    w.verify = [&m, gy, n, a_const](const MemImage &mem, RtValue) {
+        uint64_t py = mem.addressOf(gy);
+        for (uint64_t i = 0; i < n; ++i) {
+            float xv = static_cast<float>(pattern(4, i)) * 0.5f;
+            float yv = static_cast<float>(pattern(5, i)) * 0.25f;
+            // Two explicit roundings: the TXU has no fused FMA.
+            float prod = a_const * xv;
+            float want = prod + yv;
+            float got = mem.get<float>(py + 4 * i);
+            if (got != want) {
+                return strfmt("y[%llu] = %f, want %f",
+                              static_cast<unsigned long long>(i),
+                              static_cast<double>(got),
+                              static_cast<double>(want));
+            }
+        }
+        return std::string();
+    };
+    return w;
+}
+
+Workload
+makeStencil(unsigned rows, unsigned cols, unsigned nbr)
+{
+    Workload w;
+    w.name = "stencil";
+    w.challenge = "Nested parallel/serial";
+    w.module = std::make_unique<Module>();
+    Module &m = *w.module;
+    IRBuilder b(m);
+
+    uint64_t bytes = 4ull * rows * cols;
+    GlobalVar *gin = m.addGlobal("st_in", bytes);
+    GlobalVar *gout = m.addGlobal("st_out", bytes);
+
+    Function *top = m.addFunction(
+        "stencil", Type::voidTy(),
+        {{Type::ptr(), "in"}, {Type::ptr(), "out"},
+         {Type::i64(), "nrows"}, {Type::i64(), "ncols"},
+         {Type::i64(), "nbr"}});
+    w.top = top;
+
+    b.setInsertPoint(top->addBlock("entry"));
+    Value *vr = top->arg(2);
+    Value *vc = top->arg(3);
+    Value *vnbr = top->arg(4);
+    Value *total = b.createMul(vr, vc, "total");
+    Value *span = b.createAdd(
+        b.createMul(vnbr, b.constI64(2)), b.constI64(1), "span");
+
+    buildCilkFor(b, b.constI64(0), total, "pos",
+                 [&](IRBuilder &bp, Value *pos) {
+        Value *row = bp.createSDiv(pos, vc, "row");
+        Value *col = bp.createSRem(pos, vc, "col");
+        Value *zero32 = m.constInt(Type::i32(), 0);
+
+        // Two *serial* inner loops over the neighbourhood (Fig. 10);
+        // boundary handling uses clamped loads + select masking so
+        // the body stays a single dataflow block.
+        Value *acc_final = buildSerialForCarry(
+            bp, bp.constI64(0), span, zero32, "nr",
+            [&](IRBuilder &bn, Value *nr, Value *acc_r) {
+                return buildSerialForCarry(
+                    bn, bn.constI64(0), span, acc_r, "nc",
+                    [&](IRBuilder &bc, Value *nc, Value *acc) {
+                        Value *r = bc.createSub(
+                            bc.createAdd(row, nr), vnbr, "r");
+                        Value *c = bc.createSub(
+                            bc.createAdd(col, nc), vnbr, "c");
+                        Value *r_ok_lo = bc.createICmp(
+                            CmpPred::SGE, r, bc.constI64(0));
+                        Value *r_ok_hi =
+                            bc.createICmp(CmpPred::SLT, r, vr);
+                        Value *c_ok_lo = bc.createICmp(
+                            CmpPred::SGE, c, bc.constI64(0));
+                        Value *c_ok_hi =
+                            bc.createICmp(CmpPred::SLT, c, vc);
+                        Value *ok = bc.createAnd(
+                            bc.createAnd(r_ok_lo, r_ok_hi),
+                            bc.createAnd(c_ok_lo, c_ok_hi), "ok");
+                        // Clamp the address so the load stays legal.
+                        Value *rc = bc.createSelect(
+                            r_ok_lo, r, bc.constI64(0));
+                        rc = bc.createSelect(
+                            r_ok_hi, rc,
+                            bc.createSub(vr, bc.constI64(1)));
+                        Value *cc = bc.createSelect(
+                            c_ok_lo, c, bc.constI64(0));
+                        cc = bc.createSelect(
+                            c_ok_hi, cc,
+                            bc.createSub(vc, bc.constI64(1)));
+                        Value *idx = bc.createAdd(
+                            bc.createMul(rc, vc), cc, "idx");
+                        Value *v = bc.createLoad(
+                            Type::i32(),
+                            bc.createGep(top->arg(0), 4, idx), "v");
+                        Value *masked =
+                            bc.createSelect(ok, v, zero32);
+                        return bc.createAdd(acc, masked, "acc2");
+                    });
+            });
+        bp.createStore(acc_final, bp.createGep(top->arg(1), 4, pos));
+    });
+    b.createRet();
+
+    w.workItems = static_cast<double>(rows) * cols;
+    w.workUnit = "cells";
+
+    w.setup = [&m, gin, gout, rows, cols, nbr](MemImage &mem) {
+        mem.layout(m);
+        uint64_t pin = mem.addressOf(gin);
+        for (uint64_t i = 0; i < uint64_t{rows} * cols; ++i)
+            mem.put<int32_t>(pin + 4 * i, pattern(6, i));
+        return std::vector<RtValue>{
+            RtValue::fromPtr(pin),
+            RtValue::fromPtr(mem.addressOf(gout)),
+            RtValue::fromInt(rows), RtValue::fromInt(cols),
+            RtValue::fromInt(nbr)};
+    };
+
+    w.verify = [&m, gout, rows, cols, nbr](const MemImage &mem,
+                                           RtValue) {
+        uint64_t pout = mem.addressOf(gout);
+        for (int64_t row = 0; row < static_cast<int64_t>(rows);
+             ++row) {
+            for (int64_t col = 0; col < static_cast<int64_t>(cols);
+                 ++col) {
+                int32_t want = 0;
+                for (int64_t dr = -static_cast<int64_t>(nbr);
+                     dr <= static_cast<int64_t>(nbr); ++dr) {
+                    for (int64_t dc = -static_cast<int64_t>(nbr);
+                         dc <= static_cast<int64_t>(nbr); ++dc) {
+                        int64_t r = row + dr;
+                        int64_t c = col + dc;
+                        if (r < 0 || r >= static_cast<int64_t>(rows))
+                            continue;
+                        if (c < 0 || c >= static_cast<int64_t>(cols))
+                            continue;
+                        want += pattern(
+                            6, static_cast<uint64_t>(r * cols + c));
+                    }
+                }
+                int64_t pos = row * cols + col;
+                int32_t got = mem.get<int32_t>(
+                    pout + 4 * static_cast<uint64_t>(pos));
+                if (got != want) {
+                    return strfmt("out[%lld] = %d, want %d",
+                                  static_cast<long long>(pos), got,
+                                  want);
+                }
+            }
+        }
+        return std::string();
+    };
+    return w;
+}
+
+Workload
+makeSpawnScale(unsigned n, unsigned adders)
+{
+    Workload w;
+    w.name = "spawn_scale";
+    w.challenge = "Fine-grain task scaling (Fig. 12)";
+    w.module = std::make_unique<Module>();
+    Module &m = *w.module;
+    IRBuilder b(m);
+
+    GlobalVar *ga = m.addGlobal("a", 4ull * n);
+
+    Function *top = m.addFunction(
+        "scale", Type::voidTy(),
+        {{Type::ptr(), "a"}, {Type::i64(), "n"}});
+    w.top = top;
+
+    b.setInsertPoint(top->addBlock("entry"));
+    buildCilkFor(b, b.constI64(0), top->arg(1), "i",
+                 [&](IRBuilder &bi, Value *i) {
+        Value *addr = bi.createGep(top->arg(0), 4, i);
+        Value *v = bi.createLoad(Type::i32(), addr, "v");
+        for (unsigned k = 0; k < adders; ++k)
+            v = bi.createAdd(v, m.constInt(Type::i32(), 1));
+        bi.createStore(v, addr);
+    });
+    b.createRet();
+
+    w.workItems = static_cast<double>(n) * adders;
+    w.workUnit = "adds";
+
+    w.setup = [&m, ga, n](MemImage &mem) {
+        mem.layout(m);
+        uint64_t pa = mem.addressOf(ga);
+        for (uint64_t i = 0; i < n; ++i)
+            mem.put<int32_t>(pa + 4 * i, pattern(7, i));
+        return std::vector<RtValue>{RtValue::fromPtr(pa),
+                                    RtValue::fromInt(n)};
+    };
+
+    w.verify = [&m, ga, n, adders](const MemImage &mem, RtValue) {
+        uint64_t pa = mem.addressOf(ga);
+        for (uint64_t i = 0; i < n; ++i) {
+            int32_t want =
+                pattern(7, i) + static_cast<int32_t>(adders);
+            int32_t got = mem.get<int32_t>(pa + 4 * i);
+            if (got != want) {
+                return strfmt("a[%llu] = %d, want %d",
+                              static_cast<unsigned long long>(i),
+                              got, want);
+            }
+        }
+        return std::string();
+    };
+    return w;
+}
+
+} // namespace tapas::workloads

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Benchmark workloads (paper Table II): each builds a parallel-IR
+ * module for one benchmark, prepares inputs in a memory image, and
+ * verifies outputs against a host-side golden model. The same
+ * Workload object drives every engine — reference interpreter,
+ * accelerator simulator, CPU baseline — so functional equivalence
+ * across engines is testable.
+ */
+
+#ifndef TAPAS_WORKLOADS_WORKLOAD_HH
+#define TAPAS_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/params.hh"
+#include "ir/interp.hh"
+
+namespace tapas::workloads {
+
+/** One runnable benchmark instance. */
+struct Workload
+{
+    std::string name;
+
+    /** HLS challenge per paper Table II (documentation/reporting). */
+    std::string challenge;
+
+    std::unique_ptr<ir::Module> module;
+
+    /** Function offloaded to the accelerator. */
+    ir::Function *top = nullptr;
+
+    /**
+     * Lay out globals, write inputs, and return the top function's
+     * actual arguments.
+     */
+    std::function<std::vector<ir::RtValue>(ir::MemImage &)> setup;
+
+    /**
+     * Check outputs (and the return value) against the golden model.
+     * Returns an empty string on success, else a diagnostic.
+     */
+    std::function<std::string(const ir::MemImage &, ir::RtValue)>
+        verify;
+
+    /** Work units processed (for normalized throughput metrics). */
+    double workItems = 0;
+
+    /** Label for workItems (e.g. "elements", "chunks"). */
+    std::string workUnit;
+
+    /**
+     * Parameter preset the workload needs (e.g. deep task queues for
+     * recursive benchmarks); benches layer tile sweeps on top.
+     */
+    arch::AcceleratorParams params;
+};
+
+/** Nested parallel loops: C = A + B over an n x n i32 matrix. */
+Workload makeMatrixAdd(unsigned n);
+
+/**
+ * Nested parallel loops with if/else borders: 2x nearest-neighbour
+ * upscale with edge clamping over a w x h i32 image.
+ */
+Workload makeImageScale(unsigned w, unsigned h);
+
+/**
+ * Dynamic-exit parallel loop: y = a*x + y (f32) where the trip count
+ * is loaded from memory at run time.
+ */
+Workload makeSaxpy(unsigned n);
+
+/**
+ * Parallel outer loop over positions, two serial inner loops over a
+ * neighbourhood, boundary conditionals (paper Fig. 10).
+ */
+Workload makeStencil(unsigned rows, unsigned cols, unsigned nbr);
+
+/**
+ * Dynamic task pipeline (paper Fig. 1): chunk fetch with dynamic
+ * exit, per-chunk fingerprinting, conditional compression stage,
+ * output stage.
+ */
+Workload makeDedup(unsigned nchunks, unsigned chunk_size);
+
+/** Recursive parallel mergesort with an insertion-sort cutoff. */
+Workload makeMergeSort(unsigned n, unsigned cutoff);
+
+/** Recursive parallel Fibonacci (paper evaluates n = 15). */
+Workload makeFib(unsigned n);
+
+/**
+ * The Fig. 12 scalability microbenchmark: cilk_for over n elements,
+ * each body a chain of `adders` integer increments on a[i].
+ */
+Workload makeSpawnScale(unsigned n, unsigned adders);
+
+/** All seven paper benchmarks at a given scale factor (1 = bench). */
+std::vector<Workload> makePaperSuite(unsigned scale);
+
+} // namespace tapas::workloads
+
+#endif // TAPAS_WORKLOADS_WORKLOAD_HH

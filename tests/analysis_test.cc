@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests for the compiler analyses: RPO/reachability, dominators,
+ * liveness and natural-loop detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.hh"
+#include "analysis/dominators.hh"
+#include "analysis/liveness.hh"
+#include "analysis/loopinfo.hh"
+#include "ir/builder.hh"
+#include "workloads/workload.hh"
+
+using namespace tapas;
+using namespace tapas::analysis;
+using namespace tapas::ir;
+
+namespace {
+
+/** Diamond CFG: entry -> {a, b} -> join -> exit. */
+struct Diamond
+{
+    Module mod;
+    Function *f;
+    BasicBlock *entry, *a, *b, *join;
+
+    Diamond()
+    {
+        IRBuilder bld(mod);
+        f = mod.addFunction("d", Type::i64(), {{Type::i1(), "c"},
+                                               {Type::i64(), "x"}});
+        entry = f->addBlock("entry");
+        a = f->addBlock("a");
+        b = f->addBlock("b");
+        join = f->addBlock("join");
+
+        bld.setInsertPoint(entry);
+        bld.createCondBr(f->arg(0), a, b);
+        bld.setInsertPoint(a);
+        Value *va = bld.createAdd(f->arg(1), bld.constI64(1), "va");
+        bld.createBr(join);
+        bld.setInsertPoint(b);
+        Value *vb = bld.createMul(f->arg(1), bld.constI64(2), "vb");
+        bld.createBr(join);
+        bld.setInsertPoint(join);
+        PhiInst *phi = bld.createPhi(Type::i64(), "m");
+        phi->addIncoming(va, a);
+        phi->addIncoming(vb, b);
+        bld.createRet(phi);
+    }
+};
+
+} // namespace
+
+TEST(CfgTest, ReversePostOrder)
+{
+    Diamond d;
+    auto rpo = reversePostOrder(*d.f);
+    ASSERT_EQ(rpo.size(), 4u);
+    EXPECT_EQ(rpo.front(), d.entry);
+    EXPECT_EQ(rpo.back(), d.join);
+}
+
+TEST(CfgTest, Reachability)
+{
+    Diamond d;
+    auto all = reachableFrom(d.entry);
+    EXPECT_EQ(all.size(), 4u);
+    auto from_a = reachableFrom(d.a);
+    EXPECT_EQ(from_a.size(), 2u); // a, join
+}
+
+TEST(DomTest, Diamond)
+{
+    Diamond d;
+    DomTree dom(*d.f);
+    EXPECT_EQ(dom.idom(d.entry), nullptr);
+    EXPECT_EQ(dom.idom(d.a), d.entry);
+    EXPECT_EQ(dom.idom(d.b), d.entry);
+    EXPECT_EQ(dom.idom(d.join), d.entry);
+
+    EXPECT_TRUE(dom.dominates(d.entry, d.join));
+    EXPECT_TRUE(dom.dominates(d.a, d.a));
+    EXPECT_FALSE(dom.dominates(d.a, d.join));
+    EXPECT_FALSE(dom.dominates(d.join, d.a));
+
+    auto kids = dom.children(d.entry);
+    EXPECT_EQ(kids.size(), 3u);
+}
+
+TEST(DomTest, UnreachableBlock)
+{
+    Module mod;
+    IRBuilder b(mod);
+    Function *f = mod.addFunction("u", Type::voidTy(), {});
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *dead = f->addBlock("dead");
+    b.setInsertPoint(entry);
+    b.createRet();
+    b.setInsertPoint(dead);
+    b.createRet();
+
+    DomTree dom(*f);
+    EXPECT_TRUE(dom.reachable(entry));
+    EXPECT_FALSE(dom.reachable(dead));
+    EXPECT_FALSE(dom.dominates(dead, entry));
+}
+
+TEST(DomTest, LoopHeaderDominatesBody)
+{
+    auto w = workloads::makeSaxpy(8);
+    DomTree dom(*w.top);
+    BasicBlock *header = w.top->blockByName("i.header");
+    BasicBlock *latch = w.top->blockByName("i.latch");
+    BasicBlock *body = w.top->blockByName("i.body");
+    ASSERT_NE(body, nullptr);
+    ASSERT_NE(header, nullptr);
+    EXPECT_TRUE(dom.dominates(header, latch));
+    EXPECT_TRUE(dom.dominates(header, body));
+    EXPECT_FALSE(dom.dominates(body, latch));
+}
+
+TEST(LivenessTest, Diamond)
+{
+    Diamond d;
+    Liveness live(*d.f);
+    // x is live into both arms; va live out of a; vb live out of b.
+    Argument *x = d.f->arg(1);
+    EXPECT_TRUE(live.liveIn(d.a).count(x));
+    EXPECT_TRUE(live.liveIn(d.b).count(x));
+    // The phi's incoming values are live-out of their predecessors.
+    EXPECT_EQ(live.liveOut(d.a).size(), 1u);
+    EXPECT_EQ(live.liveOut(d.b).size(), 1u);
+    // Nothing is live out of the exit.
+    EXPECT_TRUE(live.liveOut(d.join).empty());
+    EXPECT_GE(live.maxLive(), 2u);
+}
+
+TEST(LivenessTest, LoopCarriedValues)
+{
+    auto w = workloads::makeSaxpy(8);
+    Liveness live(*w.top);
+    BasicBlock *header = w.top->blockByName("i.header");
+    ASSERT_NE(header, nullptr);
+    // The loop bound n (loaded in entry) stays live around the loop.
+    bool found_n = false;
+    for (const Value *v : live.liveIn(header)) {
+        if (v->name() == "n")
+            found_n = true;
+    }
+    EXPECT_TRUE(found_n);
+}
+
+TEST(ExternalInputsTest, DetachedRegion)
+{
+    auto w = workloads::makeSaxpy(256);
+    // The detached grain-task region: body + inner element loop.
+    BasicBlock *spawn = w.top->blockByName("i.spawn");
+    ASSERT_NE(spawn, nullptr);
+    auto *det = cast<DetachInst>(spawn->terminator());
+    auto region = detachedRegion(det->detached(), det->cont());
+    auto ext = externalInputs(region);
+    // Needs at least: grain index phi, n, x, y, a.
+    EXPECT_GE(ext.size(), 4u);
+    for (Value *v : ext) {
+        EXPECT_NE(v->valueKind(), Value::Kind::ConstantInt);
+    }
+}
+
+TEST(LoopInfoTest, SaxpyGrainedLoops)
+{
+    // Grained cilk_for: outer parallel grain loop + inner serial
+    // element loop (inside the detached region).
+    auto w = workloads::makeSaxpy(8);
+    LoopInfo li(*w.top);
+    ASSERT_EQ(li.loops().size(), 2u);
+    bool found_parallel = false;
+    bool found_serial = false;
+    for (const auto &lp : li.loops()) {
+        if (lp->header->name() == "i.header") {
+            EXPECT_TRUE(lp->spawnsTasks());
+            found_parallel = true;
+        }
+        if (lp->header->name() == "i.elem.header") {
+            EXPECT_FALSE(lp->spawnsTasks());
+            found_serial = true;
+        }
+    }
+    EXPECT_TRUE(found_parallel);
+    EXPECT_TRUE(found_serial);
+}
+
+TEST(LoopInfoTest, NestedLoops)
+{
+    auto w = workloads::makeStencil(4, 4, 1);
+    LoopInfo li(*w.top);
+    // pos loop + nr loop + nc loop.
+    ASSERT_EQ(li.loops().size(), 3u);
+    unsigned max_depth = 0;
+    for (const auto &lp : li.loops())
+        max_depth = std::max(max_depth, lp->depth);
+    EXPECT_EQ(max_depth, 3u);
+    EXPECT_EQ(li.topLevel().size(), 1u);
+
+    // Innermost loop is serial (no detach inside).
+    for (const auto &lp : li.loops()) {
+        if (lp->depth == 3) {
+            EXPECT_FALSE(lp->spawnsTasks());
+        }
+        if (lp->depth == 1) {
+            EXPECT_TRUE(lp->spawnsTasks());
+        }
+    }
+}
+
+TEST(LoopInfoTest, LoopForQueries)
+{
+    auto w = workloads::makeStencil(4, 4, 1);
+    LoopInfo li(*w.top);
+    BasicBlock *nc_body = w.top->blockByName("nc.body");
+    ASSERT_NE(nc_body, nullptr);
+    Loop *inner = li.loopFor(nc_body);
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(inner->depth, 3u);
+    EXPECT_EQ(inner->parent->depth, 2u);
+
+    BasicBlock *entry = w.top->entry();
+    EXPECT_EQ(li.loopFor(entry), nullptr);
+}
+
+TEST(CfgTest, DetachedRegionExtraction)
+{
+    auto w = workloads::makeDedup(4, 16);
+    // The S1 chunk-body region: detached from the root loop.
+    const Function *top = w.top;
+    const BasicBlock *spawn = nullptr;
+    for (const auto &bb : top->basicBlocks()) {
+        if (bb->terminator()->opcode() == Opcode::Detach) {
+            spawn = bb.get();
+            break;
+        }
+    }
+    ASSERT_NE(spawn, nullptr);
+    auto *det = cast<DetachInst>(spawn->terminator());
+    auto region = detachedRegion(det->detached(), det->cont());
+    EXPECT_GT(region.size(), 5u);
+    // The region must not contain the continuation.
+    for (BasicBlock *bb : region)
+        EXPECT_NE(bb, det->cont());
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the architecture data structures: op model, task
+ * graph bookkeeping, parameters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/dataflow.hh"
+#include "arch/params.hh"
+#include "ir/builder.hh"
+
+using namespace tapas;
+using namespace tapas::arch;
+
+TEST(OpModelTest, EveryOpcodeHasAClass)
+{
+    using ir::Opcode;
+    for (int op = 0; op <= static_cast<int>(Opcode::Sync); ++op) {
+        OpClass cls = opClassOf(static_cast<Opcode>(op));
+        EXPECT_GE(opLatency(cls), 0u);
+        EXPECT_NE(opClassName(cls), nullptr);
+    }
+}
+
+TEST(OpModelTest, ClassMapping)
+{
+    using ir::Opcode;
+    EXPECT_EQ(opClassOf(Opcode::Add), OpClass::IntAlu);
+    EXPECT_EQ(opClassOf(Opcode::Shl), OpClass::IntAlu);
+    EXPECT_EQ(opClassOf(Opcode::Mul), OpClass::IntMul);
+    EXPECT_EQ(opClassOf(Opcode::SRem), OpClass::IntDiv);
+    EXPECT_EQ(opClassOf(Opcode::FSub), OpClass::FloatAdd);
+    EXPECT_EQ(opClassOf(Opcode::FDiv), OpClass::FloatDiv);
+    EXPECT_EQ(opClassOf(Opcode::Load), OpClass::Load);
+    EXPECT_EQ(opClassOf(Opcode::Detach), OpClass::Detach);
+}
+
+TEST(OpModelTest, LatencyOrdering)
+{
+    // Divides cost more than multiplies cost more than adds.
+    EXPECT_GT(opLatency(OpClass::IntDiv),
+              opLatency(OpClass::IntMul));
+    EXPECT_GT(opLatency(OpClass::IntMul),
+              opLatency(OpClass::IntAlu));
+    EXPECT_GT(opLatency(OpClass::FloatDiv),
+              opLatency(OpClass::FloatMul));
+}
+
+TEST(ParamsTest, PerTaskOverride)
+{
+    AcceleratorParams p;
+    p.defaults.ntiles = 1;
+    p.perTask[3].ntiles = 8;
+    EXPECT_EQ(p.forTask(0).ntiles, 1u);
+    EXPECT_EQ(p.forTask(3).ntiles, 8u);
+
+    p.setAllTiles(4);
+    EXPECT_EQ(p.forTask(0).ntiles, 4u);
+    EXPECT_EQ(p.forTask(3).ntiles, 4u);
+}
+
+TEST(TaskGraphTest, Bookkeeping)
+{
+    ir::Module mod;
+    ir::Function *f = mod.addFunction("f", ir::Type::voidTy(), {});
+    ir::BasicBlock *entry = f->addBlock("entry");
+    ir::BasicBlock *body = f->addBlock("body");
+
+    TaskGraph tg;
+    Task *root = tg.addTask("root", f, entry);
+    Task *child = tg.addTask("child", f, body);
+    child->setParent(root);
+
+    EXPECT_EQ(root->sid(), 0u);
+    EXPECT_EQ(child->sid(), 1u);
+    EXPECT_EQ(tg.root(), root);
+    EXPECT_EQ(tg.task(1), child);
+    EXPECT_TRUE(root->isFunctionRoot());
+    EXPECT_FALSE(child->isFunctionRoot());
+    EXPECT_EQ(tg.functionRootTask(f), root);
+
+    root->setBlocks({entry});
+    child->setBlocks({body});
+    EXPECT_TRUE(root->owns(entry));
+    EXPECT_FALSE(root->owns(body));
+    EXPECT_EQ(tg.taskOwning(body), child);
+}
+
+TEST(TaskGraphTest, ChildrenDeduplicated)
+{
+    ir::Module mod;
+    ir::IRBuilder b(mod);
+    ir::Function *f = mod.addFunction("f", ir::Type::voidTy(), {});
+    ir::BasicBlock *entry = f->addBlock("entry");
+    ir::BasicBlock *b1 = f->addBlock("b1");
+    ir::BasicBlock *c1 = f->addBlock("c1");
+    ir::BasicBlock *b2 = f->addBlock("b2");
+    ir::BasicBlock *c2 = f->addBlock("c2");
+
+    b.setInsertPoint(entry);
+    b.createDetach(b1, c1);
+    b.setInsertPoint(b1);
+    b.createReattach(c1);
+    b.setInsertPoint(c1);
+    b.createDetach(b2, c2);
+    b.setInsertPoint(b2);
+    b.createReattach(c2);
+    b.setInsertPoint(c2);
+    b.createRet();
+
+    TaskGraph tg;
+    Task *root = tg.addTask("root", f, entry);
+    Task *child = tg.addTask("child", f, b1);
+
+    auto *det1 = ir::cast<ir::DetachInst>(entry->terminator());
+    auto *det2 = ir::cast<ir::DetachInst>(c1->terminator());
+    root->addSpawnSite(det1, child);
+    root->addSpawnSite(det2, child); // same child twice
+
+    EXPECT_EQ(root->spawnSites().size(), 2u);
+    EXPECT_EQ(root->children().size(), 1u); // deduplicated
+    EXPECT_EQ(root->childForDetach(det1), child);
+    EXPECT_EQ(root->childForDetach(det2), child);
+}
+
+TEST(TaskGraphTest, UnknownDetachPanics)
+{
+    ir::Module mod;
+    ir::IRBuilder b(mod);
+    ir::Function *f = mod.addFunction("f", ir::Type::voidTy(), {});
+    ir::BasicBlock *entry = f->addBlock("entry");
+    ir::BasicBlock *body = f->addBlock("body");
+    ir::BasicBlock *cont = f->addBlock("cont");
+    b.setInsertPoint(entry);
+    b.createDetach(body, cont);
+    b.setInsertPoint(body);
+    b.createReattach(cont);
+    b.setInsertPoint(cont);
+    b.createRet();
+
+    TaskGraph tg;
+    Task *root = tg.addTask("root", f, entry);
+    auto *det = ir::cast<ir::DetachInst>(entry->terminator());
+    EXPECT_DEATH(root->childForDetach(det), "no registered child");
+}
+
+TEST(DataflowTest, PipelineDepthTracksChains)
+{
+    // A chain of k adds in one block must have depth >= k.
+    ir::Module mod;
+    ir::IRBuilder b(mod);
+    ir::Function *f = mod.addFunction("f", ir::Type::i64(),
+                                      {{ir::Type::i64(), "x"}});
+    b.setInsertPoint(f->addBlock("entry"));
+    ir::Value *v = f->arg(0);
+    for (int i = 0; i < 12; ++i)
+        v = b.createAdd(v, b.constI64(1));
+    b.createRet(v);
+
+    TaskGraph tg;
+    Task *t = tg.addTask("t", f, f->entry());
+    t->setBlocks({f->entry()});
+    t->setArgs({f->arg(0)});
+    Dataflow df = buildDataflow(*t);
+    EXPECT_GE(df.pipelineDepth(), 12u);
+    EXPECT_EQ(df.countOf(OpClass::IntAlu), 12u);
+    EXPECT_EQ(df.numMemPorts(), 0u);
+}

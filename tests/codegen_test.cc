@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the Chisel and DOT emitters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "codegen/chisel.hh"
+#include "workloads/workload.hh"
+
+using namespace tapas;
+
+namespace {
+
+std::string
+chiselFor(workloads::Workload &w)
+{
+    auto design = hls::compile(*w.module, w.top, w.params);
+    return codegen::chiselString(*design);
+}
+
+/** Count occurrences of a substring. */
+size_t
+countOf(const std::string &hay, const std::string &needle)
+{
+    size_t n = 0;
+    size_t pos = 0;
+    while ((pos = hay.find(needle, pos)) != std::string::npos) {
+        ++n;
+        pos += needle.size();
+    }
+    return n;
+}
+
+} // namespace
+
+TEST(ChiselTest, TopLevelStructure)
+{
+    auto w = workloads::makeMatrixAdd(4);
+    std::string src = chiselFor(w);
+
+    // One TaskUnit instantiation per task (paper Fig. 4).
+    EXPECT_EQ(countOf(src, "Module(new TaskUnit("), 3u);
+    EXPECT_NE(src.find("sharedL1cache"), std::string::npos);
+    EXPECT_NE(src.find("NastiMemSlave"), std::string::npos);
+    EXPECT_NE(src.find("io.detach.in <> "), std::string::npos);
+    EXPECT_NE(src.find("Accelerator"), std::string::npos);
+    // Parameters appear (Nt/Ntiles).
+    EXPECT_NE(src.find("Nt = "), std::string::npos);
+    EXPECT_NE(src.find("NumTiles = "), std::string::npos);
+}
+
+TEST(ChiselTest, TxuNodes)
+{
+    auto w = workloads::makeSpawnScale(8, 5);
+    std::string src = chiselFor(w);
+    // Body: 5 adders -> at least 5 ComputeNodes, one load, one store.
+    EXPECT_GE(countOf(src, "new ComputeNode("), 5u);
+    EXPECT_GE(countOf(src, "new UnTypLoad("), 1u);
+    EXPECT_GE(countOf(src, "new UnTypStore("), 1u);
+    // Ready-valid wiring syntax of Fig. 6.
+    EXPECT_GT(countOf(src, ".io.In("), 5u);
+    EXPECT_GT(countOf(src, " <> "), 10u);
+    // Memory ops route through the data box.
+    EXPECT_GE(countOf(src, "dataBox.io.MemReq("), 2u);
+}
+
+TEST(ChiselTest, RecursiveDesignEmits)
+{
+    auto w = workloads::makeFib(8);
+    std::string src = chiselFor(w);
+    EXPECT_EQ(countOf(src, "Module(new TaskUnit("), 3u);
+    // Task-call wiring back to the recursive root.
+    EXPECT_GE(countOf(src, "io.call.out"), 2u);
+    EXPECT_GE(countOf(src, "io.retval.in"), 2u);
+}
+
+TEST(ChiselTest, DeterministicOutput)
+{
+    auto w1 = workloads::makeDedup(4, 16);
+    auto w2 = workloads::makeDedup(4, 16);
+    EXPECT_EQ(chiselFor(w1), chiselFor(w2));
+}
+
+TEST(DotTest, TaskGraph)
+{
+    auto w = workloads::makeFib(8);
+    auto design = hls::compile(*w.module, w.top, w.params);
+    std::ostringstream os;
+    codegen::emitTaskGraphDot(*design->taskGraph, os);
+    std::string dot = os.str();
+    EXPECT_NE(dot.find("digraph TaskGraph"), std::string::npos);
+    EXPECT_EQ(countOf(dot, "label=\"spawn\""), 2u);
+    EXPECT_EQ(countOf(dot, "label=\"call\""), 2u);
+    EXPECT_GE(countOf(dot, "color=red"), 3u); // recursive marks
+}
+
+TEST(DotTest, Dataflow)
+{
+    auto w = workloads::makeSaxpy(16);
+    auto design = hls::compile(*w.module, w.top, w.params);
+    unsigned body_sid =
+        design->taskGraph->root()->children()[0]->sid();
+    std::ostringstream os;
+    codegen::emitDataflowDot(design->dataflow(body_sid), os);
+    std::string dot = os.str();
+    EXPECT_NE(dot.find("digraph Dataflow"), std::string::npos);
+    EXPECT_GE(countOf(dot, "->"), 5u);
+    EXPECT_GE(countOf(dot, "color=blue"), 3u); // loads/stores
+}

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Tests for the FPGA resource/timing/power models and the static-HLS
+ * baseline model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fpga/model.hh"
+#include "statichls/static_hls.hh"
+#include "workloads/workload.hh"
+
+using namespace tapas;
+using namespace tapas::fpga;
+
+namespace {
+
+ResourceReport
+reportFor(workloads::Workload &w, unsigned ntiles, const Device &dev)
+{
+    arch::AcceleratorParams p = w.params;
+    p.setAllTiles(ntiles);
+    auto design = hls::compile(*w.module, w.top, p);
+    return estimateResources(*design, dev);
+}
+
+} // namespace
+
+TEST(FpgaModelTest, MoreTilesMoreAlms)
+{
+    auto w1 = workloads::makeSpawnScale(8, 50);
+    ResourceReport one = reportFor(w1, 1, Device::cycloneV());
+    auto w2 = workloads::makeSpawnScale(8, 50);
+    ResourceReport ten = reportFor(w2, 10, Device::cycloneV());
+
+    EXPECT_GT(ten.alms, one.alms * 4);
+    EXPECT_GT(ten.regs, one.regs * 3);
+    EXPECT_GT(ten.utilization, one.utilization);
+}
+
+TEST(FpgaModelTest, MoreAddersMoreAlms)
+{
+    auto w1 = workloads::makeSpawnScale(8, 1);
+    ResourceReport small = reportFor(w1, 1, Device::cycloneV());
+    auto w2 = workloads::makeSpawnScale(8, 50);
+    ResourceReport big = reportFor(w2, 1, Device::cycloneV());
+
+    // 49 extra adders at ~35 ALMs each.
+    EXPECT_NEAR(static_cast<double>(big.alms - small.alms),
+                49.0 * 35.0, 200.0);
+}
+
+TEST(FpgaModelTest, TableIIIAnchors)
+{
+    // Paper Table III: 1 tile/1 instr ~ 1314 ALMs, 10 tiles/50 instr
+    // ~ 24738 ALMs (85% of the Cyclone V). Match within ~25%.
+    auto w1 = workloads::makeSpawnScale(8, 1);
+    ResourceReport a = reportFor(w1, 1, Device::cycloneV());
+    EXPECT_GT(a.alms, 1314u * 3 / 4);
+    EXPECT_LT(a.alms, 1314u * 5 / 4);
+
+    auto w2 = workloads::makeSpawnScale(8, 50);
+    ResourceReport b = reportFor(w2, 10, Device::cycloneV());
+    EXPECT_GT(b.alms, 24738u * 3 / 4);
+    EXPECT_LT(b.alms, 24738u * 5 / 4);
+    EXPECT_GT(b.utilization, 0.60);
+    EXPECT_LT(b.utilization, 1.0);
+}
+
+TEST(FpgaModelTest, ControlOverheadAmortizes)
+{
+    // Fig. 14: at 1 tile/1 instr most ALMs are overhead; at 10
+    // tiles/50 instr the tiles dominate.
+    auto w1 = workloads::makeSpawnScale(8, 1);
+    ResourceReport small = reportFor(w1, 1, Device::cycloneV());
+    double ctrl_small =
+        static_cast<double>(small.breakdown.taskCtrl +
+                            small.breakdown.memArb +
+                            small.breakdown.misc) /
+        small.breakdown.total();
+
+    auto w2 = workloads::makeSpawnScale(8, 50);
+    ResourceReport big = reportFor(w2, 10, Device::cycloneV());
+    double ctrl_big =
+        static_cast<double>(big.breakdown.taskCtrl +
+                            big.breakdown.memArb +
+                            big.breakdown.misc) /
+        big.breakdown.total();
+
+    EXPECT_GT(ctrl_small, 0.35);
+    EXPECT_LT(ctrl_big, 0.30);
+    EXPECT_LT(ctrl_big, ctrl_small);
+}
+
+TEST(FpgaModelTest, FmaxDegradesWithUtilization)
+{
+    Device cv = Device::cycloneV();
+    auto w1 = workloads::makeSpawnScale(8, 1);
+    ResourceReport small = reportFor(w1, 1, cv);
+    auto w2 = workloads::makeSpawnScale(8, 50);
+    ResourceReport big = reportFor(w2, 10, cv);
+    EXPECT_GT(small.fmaxMhz, big.fmaxMhz * 0.95);
+    EXPECT_GT(small.fmaxMhz, 140.0);
+    EXPECT_LT(small.fmaxMhz, 210.0);
+}
+
+TEST(FpgaModelTest, Arria10FasterAndBigger)
+{
+    auto w1 = workloads::makeSpawnScale(8, 50);
+    ResourceReport cv = reportFor(w1, 10, Device::cycloneV());
+    auto w2 = workloads::makeSpawnScale(8, 50);
+    ResourceReport a10 = reportFor(w2, 10, Device::arria10());
+    EXPECT_GT(a10.fmaxMhz, cv.fmaxMhz * 1.4);
+    EXPECT_LT(a10.utilization, 0.2); // paper: 12%
+}
+
+TEST(FpgaModelTest, RecursiveDesignsAreBramHeavy)
+{
+    // Paper Table IV: fib 62 / mergesort 74 BRAMs vs ~3 for the
+    // loop kernels (deep queues + stack scratchpads).
+    auto wf = workloads::makeFib(15);
+    ResourceReport fib = reportFor(wf, 4, Device::cycloneV());
+    auto ws = workloads::makeSaxpy(64);
+    ResourceReport sax = reportFor(ws, 4, Device::cycloneV());
+
+    EXPECT_GT(fib.brams, 30u);
+    EXPECT_LT(sax.brams, 20u);
+    EXPECT_GT(fib.brams, sax.brams * 3);
+}
+
+TEST(FpgaModelTest, PowerInPaperRange)
+{
+    // Table IV: all Cyclone V benchmarks land between 0.6 and 1.6 W.
+    for (auto &w : workloads::makePaperSuite(1)) {
+        arch::AcceleratorParams p = w.params;
+        p.setAllTiles(4);
+        auto design = hls::compile(*w.module, w.top, p);
+        ResourceReport r =
+            estimateResources(*design, Device::cycloneV());
+        EXPECT_GT(r.powerW, 0.4) << w.name;
+        EXPECT_LT(r.powerW, 2.6) << w.name;
+    }
+}
+
+TEST(FpgaModelTest, Deterministic)
+{
+    auto w1 = workloads::makeDedup(8, 32);
+    auto w2 = workloads::makeDedup(8, 32);
+    ResourceReport a = reportFor(w1, 3, Device::cycloneV());
+    ResourceReport b = reportFor(w2, 3, Device::cycloneV());
+    EXPECT_EQ(a.alms, b.alms);
+    EXPECT_EQ(a.fmaxMhz, b.fmaxMhz);
+    EXPECT_EQ(a.powerW, b.powerW);
+}
+
+// ---------------------------------------------------------------------
+// Static-HLS baseline.
+// ---------------------------------------------------------------------
+
+TEST(StaticHlsTest, SaxpyFeasible)
+{
+    auto w = workloads::makeSaxpy(64);
+    auto design = hls::compile(*w.module, w.top, w.params);
+    statichls::StaticHlsParams p;
+    auto rep = statichls::compileStaticHls(*design,
+                                           Device::cycloneV(), p);
+    ASSERT_TRUE(rep.feasible) << rep.reason;
+    EXPECT_EQ(rep.unroll, 3u);
+    EXPECT_GE(rep.streams, 2u);
+    EXPECT_GT(rep.groupII, 1.0);
+    EXPECT_GT(rep.brams, 20u); // stream buffers (paper: BRAM-heavy)
+    EXPECT_GT(rep.runtimeMs(1 << 20), 0.0);
+}
+
+TEST(StaticHlsTest, ImageScaleFeasible)
+{
+    auto w = workloads::makeImageScale(16, 8);
+    auto design = hls::compile(*w.module, w.top, w.params);
+    statichls::StaticHlsParams p;
+    auto rep = statichls::compileStaticHls(*design,
+                                           Device::cycloneV(), p);
+    EXPECT_TRUE(rep.feasible) << rep.reason;
+}
+
+TEST(StaticHlsTest, RecursionInfeasible)
+{
+    auto w = workloads::makeMergeSort(64, 8);
+    auto design = hls::compile(*w.module, w.top, w.params);
+    statichls::StaticHlsParams p;
+    auto rep = statichls::compileStaticHls(*design,
+                                           Device::cycloneV(), p);
+    EXPECT_FALSE(rep.feasible);
+    EXPECT_NE(rep.reason.find("recursive"), std::string::npos);
+}
+
+TEST(StaticHlsTest, PerfectNestCollapses)
+{
+    // Regular nested parallel loops are statically schedulable
+    // (Intel HLS collapses the nest); matrix add qualifies.
+    auto w = workloads::makeMatrixAdd(8);
+    auto design = hls::compile(*w.module, w.top, w.params);
+    statichls::StaticHlsParams p;
+    auto rep = statichls::compileStaticHls(*design,
+                                           Device::cycloneV(), p);
+    EXPECT_TRUE(rep.feasible) << rep.reason;
+}
+
+TEST(StaticHlsTest, DynamicInnerLoopInfeasible)
+{
+    auto w = workloads::makeStencil(6, 6, 1);
+    auto design = hls::compile(*w.module, w.top, w.params);
+    statichls::StaticHlsParams p;
+    auto rep = statichls::compileStaticHls(*design,
+                                           Device::cycloneV(), p);
+    EXPECT_FALSE(rep.feasible);
+    EXPECT_NE(rep.reason.find("inner loop"), std::string::npos);
+}
+
+TEST(StaticHlsTest, ConditionalPipelineInfeasible)
+{
+    auto w = workloads::makeDedup(6, 16);
+    auto design = hls::compile(*w.module, w.top, w.params);
+    statichls::StaticHlsParams p;
+    auto rep = statichls::compileStaticHls(*design,
+                                           Device::cycloneV(), p);
+    EXPECT_FALSE(rep.feasible);
+}
+
+TEST(StaticHlsTest, UnrollScalesResources)
+{
+    auto w = workloads::makeSaxpy(64);
+    auto design = hls::compile(*w.module, w.top, w.params);
+    statichls::StaticHlsParams p1;
+    p1.unroll = 1;
+    statichls::StaticHlsParams p8;
+    p8.unroll = 8;
+    auto r1 = statichls::compileStaticHls(*design,
+                                          Device::cycloneV(), p1);
+    auto r8 = statichls::compileStaticHls(*design,
+                                          Device::cycloneV(), p8);
+    ASSERT_TRUE(r1.feasible && r8.feasible);
+    EXPECT_GT(r8.alms, r1.alms * 2);
+    EXPECT_GT(r8.brams, r1.brams);
+    // Bandwidth-bound: unroll does not reduce total runtime much.
+    double t1 = r1.runtimeMs(1 << 18);
+    double t8 = r8.runtimeMs(1 << 18);
+    EXPECT_NEAR(t1, t8, t1 * 0.4);
+}

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for TAPAS Stage 1/2: task extraction, argument inference,
+ * recursion detection and dataflow generation, exercised both on
+ * hand-built IR and on the benchmark workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hls/compile.hh"
+#include "hls/task_extract.hh"
+#include "ir/verifier.hh"
+#include "workloads/workload.hh"
+
+using namespace tapas;
+using arch::Task;
+using arch::TaskGraph;
+
+TEST(TaskExtractTest, MatrixAddIsThreeNestedTasks)
+{
+    // The paper's Fig. 3 example: nested cilk_for -> T0 -> T1 -> T2.
+    auto w = workloads::makeMatrixAdd(4);
+    auto tg = hls::extractTasks(*w.module, w.top);
+    ASSERT_EQ(tg->numTasks(), 3u);
+
+    Task *t0 = tg->root();
+    EXPECT_TRUE(t0->isFunctionRoot());
+    EXPECT_EQ(t0->children().size(), 1u);
+
+    Task *t1 = t0->children()[0];
+    EXPECT_EQ(t1->parent(), t0);
+    EXPECT_EQ(t1->children().size(), 1u);
+
+    Task *t2 = t1->children()[0];
+    EXPECT_EQ(t2->parent(), t1);
+    EXPECT_TRUE(t2->children().empty());
+
+    EXPECT_FALSE(t0->isRecursive());
+    EXPECT_FALSE(t2->isRecursive());
+}
+
+TEST(TaskExtractTest, ArgumentInference)
+{
+    auto w = workloads::makeMatrixAdd(4);
+    auto tg = hls::extractTasks(*w.module, w.top);
+    Task *t1 = tg->root()->children()[0];
+    Task *t2 = t1->children()[0];
+
+    // The body needs: i (outer phi), j (inner phi, defined in T1),
+    // n, A, B, C. j is internal to... j is the inner loop's phi in
+    // T1, so T2 receives it plus everything routed through T1.
+    EXPECT_GE(t2->args().size(), 5u);
+
+    // Transitive closure: T1 must carry everything T2 needs that T1
+    // does not define (A, B, C, n, i).
+    for (ir::Value *need : t2->args()) {
+        bool defined_in_t1 = false;
+        if (need->valueKind() == ir::Value::Kind::Instruction) {
+            auto *inst = static_cast<ir::Instruction *>(need);
+            defined_in_t1 = t1->owns(inst->parent());
+        }
+        if (defined_in_t1)
+            continue;
+        bool in_t1_args =
+            std::find(t1->args().begin(), t1->args().end(), need) !=
+            t1->args().end();
+        EXPECT_TRUE(in_t1_args)
+            << "T1 cannot marshal '" << need->name() << "'";
+    }
+}
+
+TEST(TaskExtractTest, RecursiveFib)
+{
+    auto w = workloads::makeFib(8);
+    auto tg = hls::extractTasks(*w.module, w.top);
+    // fib root + two spawn-wrapper tasks.
+    ASSERT_EQ(tg->numTasks(), 3u);
+    Task *root = tg->root();
+    EXPECT_TRUE(root->isRecursive());
+    EXPECT_EQ(root->children().size(), 2u);
+    for (Task *wrap : root->children()) {
+        EXPECT_TRUE(wrap->isRecursive());
+        ASSERT_EQ(wrap->taskCalls().size(), 1u);
+        EXPECT_EQ(wrap->taskCalls()[0].callee, root);
+    }
+}
+
+TEST(TaskExtractTest, MergeSortTaskCalls)
+{
+    auto w = workloads::makeMergeSort(64, 8);
+    auto tg = hls::extractTasks(*w.module, w.top);
+    ASSERT_EQ(tg->numTasks(), 3u);
+    Task *root = tg->root();
+    EXPECT_TRUE(root->isRecursive());
+    // Leaf calls (small_sort, merge) must NOT be task calls.
+    EXPECT_TRUE(root->taskCalls().empty());
+    // Leaf bodies are folded into the root's static counts.
+    EXPECT_GT(root->numInstructions(), 40u);
+    EXPECT_GT(root->numMemOps(), 5u);
+}
+
+TEST(TaskExtractTest, DedupPipelineShape)
+{
+    auto w = workloads::makeDedup(6, 32);
+    auto tg = hls::extractTasks(*w.module, w.top);
+    // S0 (root loop) -> S1 (chunk) -> {S2 compress, S3 write}.
+    ASSERT_EQ(tg->numTasks(), 4u);
+    Task *s0 = tg->root();
+    ASSERT_EQ(s0->children().size(), 1u);
+    Task *s1 = s0->children()[0];
+    EXPECT_EQ(s1->children().size(), 2u);
+    // The compress stage carries the inlined RLE loop: it is the
+    // biggest child (paper Table II: dedup has large per-task
+    // instruction counts).
+    size_t max_child_insts = 0;
+    for (Task *c : s1->children())
+        max_child_insts = std::max(max_child_insts,
+                                   c->numInstructions());
+    EXPECT_GT(max_child_insts, 20u);
+}
+
+TEST(TaskExtractTest, EveryWorkloadExtracts)
+{
+    for (auto &w : workloads::makePaperSuite(1)) {
+        auto tg = hls::extractTasks(*w.module, w.top);
+        EXPECT_GE(tg->numTasks(), 2u) << w.name;
+        EXPECT_EQ(tg->root()->sid(), 0u) << w.name;
+        // Every non-root task has a parent or is a function root.
+        for (const auto &t : tg->tasks()) {
+            if (t->sid() == 0)
+                continue;
+            EXPECT_TRUE(t->parent() != nullptr || t->isFunctionRoot())
+                << w.name << "/" << t->name();
+        }
+    }
+}
+
+TEST(DataflowTest, SpawnScaleAdderChain)
+{
+    auto w = workloads::makeSpawnScale(8, 20);
+    auto design = hls::compile(*w.module, w.top);
+    // Body task: 20 chained adds -> pipeline depth tracks the chain.
+    const arch::TaskGraph &tg = *design->taskGraph;
+    Task *body = tg.root()->children()[0];
+    const arch::Dataflow &df = design->dataflow(body->sid());
+    EXPECT_GE(df.countOf(arch::OpClass::IntAlu), 20u);
+    EXPECT_EQ(df.countOf(arch::OpClass::Load), 1u);
+    EXPECT_EQ(df.countOf(arch::OpClass::Store), 1u);
+    EXPECT_EQ(df.numMemPorts(), 2u);
+    EXPECT_GE(df.pipelineDepth(), 20u);
+}
+
+TEST(DataflowTest, LeafInliningCountsPerCallSite)
+{
+    auto w = workloads::makeMergeSort(64, 8);
+    auto design = hls::compile(*w.module, w.top);
+    const arch::Dataflow &root_df = design->dataflow(0);
+    // Root task inlines small_sort and merge once each; the merge
+    // body alone has several loads/stores.
+    EXPECT_GT(root_df.numMemPorts(), 6u);
+    EXPECT_GT(root_df.numOps(), 50u);
+}
+
+TEST(DataflowTest, ArgInNodes)
+{
+    auto w = workloads::makeMatrixAdd(4);
+    auto design = hls::compile(*w.module, w.top);
+    Task *t2 = design->taskGraph->root()->children()[0]
+                   ->children()[0];
+    const arch::Dataflow &df = design->dataflow(t2->sid());
+    size_t arg_ins = 0;
+    for (const auto &n : df.nodes())
+        arg_ins += n.isArgIn ? 1 : 0;
+    EXPECT_EQ(arg_ins, t2->args().size());
+}
+
+TEST(CompileTest, Stage3BindsPipelineDepth)
+{
+    auto w = workloads::makeSpawnScale(8, 30);
+    arch::AcceleratorParams p;
+    p.defaults.tilePipelineDepth = 0; // ask Stage 3 to derive
+    auto design = hls::compile(*w.module, w.top, p);
+    for (const auto &t : design->taskGraph->tasks()) {
+        unsigned depth =
+            design->params.forTask(t->sid()).tilePipelineDepth;
+        EXPECT_GE(depth, 2u) << t->name();
+        EXPECT_LE(depth, 16u) << t->name();
+    }
+}
+
+TEST(CompileTest, RejectsInvalidModule)
+{
+    ir::Module m;
+    m.addFunction("broken", ir::Type::voidTy(), {});
+    ir::Function *top = m.functionByName("broken");
+    EXPECT_EXIT(hls::compile(m, top), ::testing::ExitedWithCode(1),
+                "cannot compile unverified");
+}

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Unit tests for IRBuilder and CFG structure (edges, phis, Tapir
+ * terminators).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+
+using namespace tapas::ir;
+
+namespace {
+
+/** Fixture with a module, function and builder ready to go. */
+class BuilderTest : public ::testing::Test
+{
+  protected:
+    Module mod;
+    IRBuilder b{mod};
+};
+
+} // namespace
+
+TEST_F(BuilderTest, ArithmeticChain)
+{
+    Function *f = mod.addFunction("f", Type::i64(),
+                                  {{Type::i64(), "x"}});
+    b.setInsertPoint(f->addBlock("entry"));
+    Value *two_x = b.createAdd(f->arg(0), f->arg(0), "two_x");
+    Value *sq = b.createMul(two_x, two_x, "sq");
+    b.createRet(sq);
+
+    BasicBlock *entry = f->entry();
+    EXPECT_EQ(entry->size(), 3u);
+    EXPECT_TRUE(entry->isTerminated());
+    EXPECT_EQ(two_x->type(), Type::i64());
+
+    auto *add = dyn_cast<BinaryInst>(
+        entry->instructions()[0].get());
+    ASSERT_NE(add, nullptr);
+    EXPECT_EQ(add->opcode(), Opcode::Add);
+    EXPECT_EQ(add->lhs(), f->arg(0));
+}
+
+TEST_F(BuilderTest, TypeMismatchDies)
+{
+    Function *f = mod.addFunction("f", Type::voidTy(),
+                                  {{Type::i32(), "a"},
+                                   {Type::i64(), "b"}});
+    b.setInsertPoint(f->addBlock("entry"));
+    EXPECT_DEATH(b.createAdd(f->arg(0), f->arg(1)),
+                 "operand type mismatch");
+}
+
+TEST_F(BuilderTest, AppendAfterTerminatorDies)
+{
+    Function *f = mod.addFunction("f", Type::voidTy(), {});
+    b.setInsertPoint(f->addBlock("entry"));
+    b.createRet();
+    EXPECT_DEATH(b.createRet(), "terminated block");
+}
+
+TEST_F(BuilderTest, BranchEdges)
+{
+    Function *f = mod.addFunction("f", Type::voidTy(),
+                                  {{Type::i1(), "c"}});
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *t = f->addBlock("t");
+    BasicBlock *e = f->addBlock("e");
+    b.setInsertPoint(entry);
+    b.createCondBr(f->arg(0), t, e);
+    b.setInsertPoint(t);
+    b.createRet();
+    b.setInsertPoint(e);
+    b.createRet();
+
+    auto succs = entry->successors();
+    ASSERT_EQ(succs.size(), 2u);
+    EXPECT_EQ(succs[0].to, t);
+    EXPECT_EQ(succs[0].kind, EdgeKind::Normal);
+    EXPECT_EQ(succs[1].to, e);
+
+    auto preds = f->predecessorMap();
+    EXPECT_EQ(preds[t->id()].size(), 1u);
+    EXPECT_EQ(preds[t->id()][0], entry);
+    EXPECT_TRUE(preds[entry->id()].empty());
+}
+
+TEST_F(BuilderTest, CondBrOnNonBoolDies)
+{
+    Function *f = mod.addFunction("f", Type::voidTy(),
+                                  {{Type::i32(), "x"}});
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *t = f->addBlock("t");
+    b.setInsertPoint(entry);
+    EXPECT_DEATH(b.createCondBr(f->arg(0), t, t), "must be i1");
+}
+
+TEST_F(BuilderTest, DetachEdgesAndKinds)
+{
+    Function *f = mod.addFunction("f", Type::voidTy(), {});
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *body = f->addBlock("body");
+    BasicBlock *cont = f->addBlock("cont");
+    BasicBlock *done = f->addBlock("done");
+
+    b.setInsertPoint(entry);
+    b.createDetach(body, cont);
+    b.setInsertPoint(body);
+    b.createReattach(cont);
+    b.setInsertPoint(cont);
+    b.createSync(done);
+    b.setInsertPoint(done);
+    b.createRet();
+
+    auto succs = entry->successors();
+    ASSERT_EQ(succs.size(), 2u);
+    EXPECT_EQ(succs[0].kind, EdgeKind::Spawn);
+    EXPECT_EQ(succs[0].to, body);
+    EXPECT_EQ(succs[1].kind, EdgeKind::Continue);
+    EXPECT_EQ(succs[1].to, cont);
+
+    auto body_succs = body->successors();
+    ASSERT_EQ(body_succs.size(), 1u);
+    EXPECT_EQ(body_succs[0].kind, EdgeKind::Reattach);
+
+    auto cont_succs = cont->successors();
+    ASSERT_EQ(cont_succs.size(), 1u);
+    EXPECT_EQ(cont_succs[0].kind, EdgeKind::Sync);
+
+    EXPECT_TRUE(f->hasDetach());
+}
+
+TEST_F(BuilderTest, PhiBookkeeping)
+{
+    Function *f = mod.addFunction("f", Type::i64(),
+                                  {{Type::i64(), "n"}});
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *loop = f->addBlock("loop");
+    BasicBlock *exit = f->addBlock("exit");
+
+    b.setInsertPoint(entry);
+    b.createBr(loop);
+
+    b.setInsertPoint(loop);
+    PhiInst *i = b.createPhi(Type::i64(), "i");
+    Value *next = b.createAdd(i, b.constI64(1), "next");
+    Value *c = b.createICmp(CmpPred::SLT, next, f->arg(0), "c");
+    b.createCondBr(c, loop, exit);
+    i->addIncoming(b.constI64(0), entry);
+    i->addIncoming(next, loop);
+
+    b.setInsertPoint(exit);
+    b.createRet(i);
+
+    auto phis = loop->phis();
+    ASSERT_EQ(phis.size(), 1u);
+    EXPECT_EQ(phis[0], i);
+    EXPECT_EQ(i->numIncoming(), 2u);
+    EXPECT_EQ(i->incomingFor(entry),
+              static_cast<Value *>(b.constI64(0)));
+    EXPECT_EQ(i->incomingFor(loop), next);
+    EXPECT_DEATH(i->incomingFor(exit), "no incoming edge");
+}
+
+TEST_F(BuilderTest, GepStrides)
+{
+    Function *f = mod.addFunction("f", Type::ptr(),
+                                  {{Type::ptr(), "base"},
+                                   {Type::i64(), "i"},
+                                   {Type::i64(), "j"}});
+    b.setInsertPoint(f->addBlock("entry"));
+    Value *g = b.createGep2(f->arg(0), 400, f->arg(1), 4, f->arg(2),
+                            "addr");
+    b.createRet(g);
+
+    auto *gep = dyn_cast<GepInst>(
+        f->entry()->instructions()[0].get());
+    ASSERT_NE(gep, nullptr);
+    EXPECT_EQ(gep->numIndices(), 2u);
+    EXPECT_EQ(gep->stride(0), 400u);
+    EXPECT_EQ(gep->stride(1), 4u);
+    EXPECT_EQ(gep->base(), f->arg(0));
+    EXPECT_TRUE(gep->type().isPtr());
+}
+
+TEST_F(BuilderTest, CallArityChecked)
+{
+    Function *callee = mod.addFunction("g", Type::i32(),
+                                       {{Type::i32(), "x"}});
+    Function *f = mod.addFunction("f", Type::voidTy(), {});
+    b.setInsertPoint(f->addBlock("entry"));
+    EXPECT_DEATH(b.createCall(callee, {}), "0 args, expected 1");
+}
+
+TEST_F(BuilderTest, InstructionIdsAreDense)
+{
+    Function *f = mod.addFunction("f", Type::voidTy(),
+                                  {{Type::i64(), "x"}});
+    b.setInsertPoint(f->addBlock("entry"));
+    Value *a = b.createAdd(f->arg(0), f->arg(0));
+    Value *c = b.createMul(a, a);
+    b.createRet();
+    (void)c;
+
+    unsigned expect = 0;
+    for (const auto &bb : f->basicBlocks()) {
+        for (const auto &inst : bb->instructions())
+            EXPECT_EQ(inst->id(), expect++);
+    }
+    EXPECT_EQ(f->numInstructions(), 3u);
+}
+
+TEST_F(BuilderTest, InsertBeforeTerminator)
+{
+    Function *f = mod.addFunction("f", Type::voidTy(),
+                                  {{Type::i64(), "x"}});
+    BasicBlock *entry = f->addBlock("entry");
+    b.setInsertPoint(entry);
+    b.createRet();
+
+    entry->insertBeforeTerminator(std::make_unique<BinaryInst>(
+        Opcode::Add, f->arg(0), f->arg(0), "a"));
+    EXPECT_EQ(entry->size(), 2u);
+    EXPECT_EQ(entry->instructions()[0]->opcode(), Opcode::Add);
+    EXPECT_EQ(entry->terminator()->opcode(), Opcode::Ret);
+}

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Round-trip tests for the IR printer and parser: every module printed
+ * by printer.hh must parse back to a structurally identical module
+ * (identical re-print), and parse diagnostics must be useful.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "ir/parser.hh"
+#include "ir/printer.hh"
+#include "ir/verifier.hh"
+
+using namespace tapas::ir;
+
+namespace {
+
+/** print -> parse -> print must be a fixed point. */
+void
+expectRoundTrip(const Module &mod)
+{
+    std::string once = toString(mod);
+    ParseResult r = parseModule(once);
+    ASSERT_TRUE(r.ok()) << r.error << "\nsource:\n" << once;
+    std::string twice = toString(*r.module);
+    EXPECT_EQ(once, twice);
+    EXPECT_TRUE(verifyModule(*r.module).ok())
+        << verifyModule(*r.module).str();
+}
+
+} // namespace
+
+TEST(PrintParseTest, Arithmetic)
+{
+    Module mod;
+    IRBuilder b(mod);
+    Function *f = mod.addFunction("arith", Type::i64(),
+                                  {{Type::i64(), "x"},
+                                   {Type::i64(), "y"}});
+    b.setInsertPoint(f->addBlock("entry"));
+    Value *s = b.createAdd(f->arg(0), f->arg(1), "s");
+    Value *d = b.createSub(s, b.constI64(3), "d");
+    Value *m = b.createMul(d, d);
+    Value *q = b.createSDiv(m, b.constI64(7));
+    Value *r = b.createSRem(q, f->arg(0));
+    Value *x = b.createXor(r, b.createShl(r, b.constI64(2)));
+    b.createRet(x);
+    expectRoundTrip(mod);
+}
+
+TEST(PrintParseTest, FloatOpsAndCasts)
+{
+    Module mod;
+    IRBuilder b(mod);
+    Function *f = mod.addFunction("fp", Type::f64(),
+                                  {{Type::f64(), "x"},
+                                   {Type::i32(), "n"}});
+    b.setInsertPoint(f->addBlock("entry"));
+    Value *nf = b.createCast(Opcode::SIToFP, f->arg(1), Type::f64());
+    Value *s = b.createFAdd(f->arg(0), nf, "s");
+    Value *p = b.createFMul(s, b.constF64(0.5));
+    Value *c = b.createFCmp(CmpPred::OLT, p, b.constF64(100.25), "c");
+    Value *sel = b.createSelect(c, p, b.constF64(1e9));
+    b.createRet(sel);
+    expectRoundTrip(mod);
+}
+
+TEST(PrintParseTest, MemoryAndGlobals)
+{
+    Module mod;
+    IRBuilder b(mod);
+    mod.addGlobal("A", 1024);
+    mod.addGlobal("B", 2048);
+    Function *f = mod.addFunction("mem", Type::voidTy(),
+                                  {{Type::i64(), "i"},
+                                   {Type::i64(), "j"}});
+    b.setInsertPoint(f->addBlock("entry"));
+    Value *a = b.createGep(mod.globalByName("A"), 4, f->arg(0));
+    Value *bb = b.createGep2(mod.globalByName("B"), 256, f->arg(0), 4,
+                             f->arg(1));
+    Value *v = b.createLoad(Type::i32(), a, "v");
+    b.createStore(v, bb);
+    Value *st = b.createAlloca(64, "st");
+    b.createStore(b.constI64(7), st);
+    b.createRet();
+    expectRoundTrip(mod);
+}
+
+TEST(PrintParseTest, LoopWithPhi)
+{
+    Module mod;
+    IRBuilder b(mod);
+    Function *f = mod.addFunction("sum", Type::i64(),
+                                  {{Type::i64(), "n"}});
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *loop = f->addBlock("loop");
+    BasicBlock *exit = f->addBlock("exit");
+
+    b.setInsertPoint(entry);
+    b.createBr(loop);
+    b.setInsertPoint(loop);
+    PhiInst *i = b.createPhi(Type::i64(), "i");
+    PhiInst *acc = b.createPhi(Type::i64(), "acc");
+    Value *acc2 = b.createAdd(acc, i, "acc2");
+    Value *i2 = b.createAdd(i, b.constI64(1), "i2");
+    Value *c = b.createICmp(CmpPred::SLT, i2, f->arg(0), "c");
+    b.createCondBr(c, loop, exit);
+    i->addIncoming(b.constI64(0), entry);
+    i->addIncoming(i2, loop);
+    acc->addIncoming(b.constI64(0), entry);
+    acc->addIncoming(acc2, loop);
+    b.setInsertPoint(exit);
+    b.createRet(acc2);
+
+    expectRoundTrip(mod);
+}
+
+TEST(PrintParseTest, TapirConstructs)
+{
+    Module mod;
+    IRBuilder b(mod);
+    Function *f = mod.addFunction("spawner", Type::voidTy(),
+                                  {{Type::ptr(), "a"},
+                                   {Type::i64(), "i"}});
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *body = f->addBlock("body");
+    BasicBlock *cont = f->addBlock("cont");
+    BasicBlock *done = f->addBlock("done");
+
+    b.setInsertPoint(entry);
+    b.createDetach(body, cont);
+    b.setInsertPoint(body);
+    Value *addr = b.createGep(f->arg(0), 8, f->arg(1));
+    b.createStore(f->arg(1), addr);
+    b.createReattach(cont);
+    b.setInsertPoint(cont);
+    b.createSync(done);
+    b.setInsertPoint(done);
+    b.createRet();
+
+    expectRoundTrip(mod);
+}
+
+TEST(PrintParseTest, CallsAcrossFunctions)
+{
+    Module mod;
+    IRBuilder b(mod);
+    Function *leaf = mod.addFunction("leaf", Type::i64(),
+                                     {{Type::i64(), "x"}});
+    b.setInsertPoint(leaf->addBlock("entry"));
+    b.createRet(b.createAdd(leaf->arg(0), b.constI64(1)));
+
+    Function *root = mod.addFunction("root", Type::i64(),
+                                     {{Type::i64(), "x"}});
+    b.setInsertPoint(root->addBlock("entry"));
+    Value *r = b.createCall(leaf, {root->arg(0)}, "r");
+    Value *r2 = b.createCall(leaf, {r}, "r2");
+    b.createRet(r2);
+
+    Function *vcall = mod.addFunction("vroot", Type::voidTy(), {});
+    b.setInsertPoint(vcall->addBlock("entry"));
+    b.createCall(root, {b.constI64(5)});
+    b.createRet();
+
+    expectRoundTrip(mod);
+}
+
+TEST(PrintParseTest, NameCollisionsGetSuffixes)
+{
+    Module mod;
+    IRBuilder b(mod);
+    Function *f = mod.addFunction("f", Type::i64(),
+                                  {{Type::i64(), "x"}});
+    b.setInsertPoint(f->addBlock("entry"));
+    Value *a1 = b.createAdd(f->arg(0), b.constI64(1), "t");
+    Value *a2 = b.createAdd(a1, b.constI64(2), "t"); // duplicate name
+    b.createRet(a2);
+
+    std::string text = toString(mod);
+    EXPECT_NE(text.find("%t ="), std::string::npos);
+    EXPECT_NE(text.find("%t.0 ="), std::string::npos);
+    expectRoundTrip(mod);
+}
+
+TEST(PrintParseTest, ForwardReferenceInPhi)
+{
+    // Text where a phi uses a value defined later in its own block.
+    const char *src = R"(
+func @count(i64 %n) -> i64 {
+entry:
+    br label %loop
+loop:
+    %i = phi i64 [i64 0, %entry], [i64 %inext, %loop]
+    %inext = add i64 %i, i64 1
+    %c = icmp slt i64 %inext, i64 %n
+    br i1 %c, label %loop, label %exit
+exit:
+    ret i64 %i
+}
+)";
+    ParseResult r = parseModule(src);
+    ASSERT_TRUE(r.ok()) << r.error;
+    Function *f = r.module->functionByName("count");
+    ASSERT_NE(f, nullptr);
+    EXPECT_TRUE(verifyFunction(*f).ok()) << verifyFunction(*f).str();
+
+    // The phi's second incoming must be the add, not a placeholder.
+    auto *loop = f->blockByName("loop");
+    auto *phi = dyn_cast<PhiInst>(loop->instructions()[0].get());
+    ASSERT_NE(phi, nullptr);
+    EXPECT_EQ(phi->incomingValue(1),
+              loop->instructions()[1].get());
+}
+
+TEST(PrintParseTest, ErrorUnknownInstruction)
+{
+    ParseResult r = parseModule(
+        "func @f() -> void {\nentry:\n    frobnicate\n}\n");
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("unknown instruction"), std::string::npos);
+}
+
+TEST(PrintParseTest, ErrorUndefinedValue)
+{
+    ParseResult r = parseModule(
+        "func @f() -> i64 {\nentry:\n    ret i64 %nope\n}\n");
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("undefined value"), std::string::npos);
+}
+
+TEST(PrintParseTest, ErrorBadType)
+{
+    ParseResult r = parseModule(
+        "func @f(i7 %x) -> void {\nentry:\n    ret\n}\n");
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("unknown type"), std::string::npos);
+}
+
+TEST(PrintParseTest, ErrorRedefinition)
+{
+    ParseResult r = parseModule(R"(
+func @f(i64 %x) -> void {
+entry:
+    %a = add i64 %x, i64 1
+    %a = add i64 %x, i64 2
+    ret
+}
+)");
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("redefinition"), std::string::npos);
+}
+
+TEST(PrintParseTest, ErrorCallUnknownFunction)
+{
+    ParseResult r = parseModule(
+        "func @f() -> void {\nentry:\n    call @nope()\n    ret\n}\n");
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("unknown function"), std::string::npos);
+}
+
+TEST(PrintParseTest, CommentsAndWhitespace)
+{
+    const char *src = R"(
+; leading comment
+global @A 64   ; trailing comment
+
+func @f() -> void {
+entry:
+    # hash comments too
+    ret
+}
+)";
+    ParseResult r = parseModule(src);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_NE(r.module->globalByName("A"), nullptr);
+}
+
+TEST(PrintParseTest, NegativeAndFloatLiterals)
+{
+    const char *src = R"(
+func @f() -> f64 {
+entry:
+    %a = fadd f64 -1.5, f64 2.25e3
+    %b = fmul f64 %a, f64 0.001
+    ret f64 %b
+}
+)";
+    ParseResult r = parseModule(src);
+    ASSERT_TRUE(r.ok()) << r.error;
+    expectRoundTrip(*r.module);
+}

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Unit and parameterized property tests for the shared evaluation
+ * helpers (evalBinary / evalCmp / evalCast / normalizeInt). These are
+ * the single source of functional truth for all three execution
+ * engines, so they are swept broadly here.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/rtvalue.hh"
+#include "support/rng.hh"
+
+using namespace tapas::ir;
+
+TEST(NormalizeIntTest, Widths)
+{
+    EXPECT_EQ(normalizeInt(Type::i8(), 0x7f), 127);
+    EXPECT_EQ(normalizeInt(Type::i8(), 0x80), -128);
+    EXPECT_EQ(normalizeInt(Type::i8(), 0x1ff), -1);
+    EXPECT_EQ(normalizeInt(Type::i16(), 0x8000), -32768);
+    EXPECT_EQ(normalizeInt(Type::i32(), 0xffffffffll), -1);
+    EXPECT_EQ(normalizeInt(Type::i64(), -5), -5);
+    EXPECT_EQ(normalizeInt(Type::i1(), 3), 1);
+    EXPECT_EQ(normalizeInt(Type::i1(), 2), 0);
+}
+
+TEST(EvalBinaryTest, IntBasics)
+{
+    auto v = [](int64_t x) { return RtValue::fromInt(x); };
+    EXPECT_EQ(evalBinary(Opcode::Add, Type::i64(), v(2), v(3)).i, 5);
+    EXPECT_EQ(evalBinary(Opcode::Sub, Type::i64(), v(2), v(3)).i, -1);
+    EXPECT_EQ(evalBinary(Opcode::Mul, Type::i64(), v(-4), v(3)).i,
+              -12);
+    EXPECT_EQ(evalBinary(Opcode::SDiv, Type::i64(), v(-7), v(2)).i,
+              -3);
+    EXPECT_EQ(evalBinary(Opcode::SRem, Type::i64(), v(-7), v(2)).i,
+              -1);
+    EXPECT_EQ(evalBinary(Opcode::And, Type::i64(), v(6), v(3)).i, 2);
+    EXPECT_EQ(evalBinary(Opcode::Or, Type::i64(), v(6), v(3)).i, 7);
+    EXPECT_EQ(evalBinary(Opcode::Xor, Type::i64(), v(6), v(3)).i, 5);
+}
+
+TEST(EvalBinaryTest, OverflowWrapsAtWidth)
+{
+    auto v = [](int64_t x) { return RtValue::fromInt(x); };
+    // i8: 127 + 1 wraps to -128.
+    EXPECT_EQ(evalBinary(Opcode::Add, Type::i8(), v(127), v(1)).i,
+              -128);
+    // i32: 2^31-1 + 1 wraps negative.
+    EXPECT_EQ(evalBinary(Opcode::Add, Type::i32(), v(0x7fffffff),
+                         v(1)).i,
+              INT64_C(-2147483648));
+    // i16 multiply wraps.
+    EXPECT_EQ(evalBinary(Opcode::Mul, Type::i16(), v(300), v(300)).i,
+              normalizeInt(Type::i16(), 90000));
+}
+
+TEST(EvalBinaryTest, UnsignedDivRem)
+{
+    auto v = [](int64_t x) { return RtValue::fromInt(x); };
+    // -1 as u8 is 255.
+    EXPECT_EQ(evalBinary(Opcode::UDiv, Type::i8(), v(-1), v(2)).i,
+              127);
+    EXPECT_EQ(evalBinary(Opcode::URem, Type::i8(), v(-1), v(10)).i,
+              5);
+}
+
+TEST(EvalBinaryTest, Shifts)
+{
+    auto v = [](int64_t x) { return RtValue::fromInt(x); };
+    EXPECT_EQ(evalBinary(Opcode::Shl, Type::i32(), v(1), v(4)).i, 16);
+    EXPECT_EQ(evalBinary(Opcode::LShr, Type::i32(), v(-1), v(28)).i,
+              0xf);
+    EXPECT_EQ(evalBinary(Opcode::AShr, Type::i32(), v(-16), v(2)).i,
+              -4);
+    // Shift amount masked at width.
+    EXPECT_EQ(evalBinary(Opcode::Shl, Type::i32(), v(1), v(33)).i, 2);
+}
+
+TEST(EvalBinaryTest, DivByZeroDies)
+{
+    auto v = [](int64_t x) { return RtValue::fromInt(x); };
+    EXPECT_DEATH(evalBinary(Opcode::SDiv, Type::i64(), v(1), v(0)),
+                 "sdiv by zero");
+    EXPECT_DEATH(evalBinary(Opcode::URem, Type::i64(), v(1), v(0)),
+                 "urem by zero");
+}
+
+TEST(EvalBinaryTest, FloatOps)
+{
+    auto v = [](double x) { return RtValue::fromFloat(x); };
+    EXPECT_DOUBLE_EQ(
+        evalBinary(Opcode::FAdd, Type::f64(), v(1.5), v(2.25)).f,
+        3.75);
+    EXPECT_DOUBLE_EQ(
+        evalBinary(Opcode::FDiv, Type::f64(), v(1.0), v(4.0)).f,
+        0.25);
+    // f32 rounds to float precision.
+    double r = evalBinary(Opcode::FMul, Type::f32(), v(1.1),
+                          v(1.1)).f;
+    EXPECT_FLOAT_EQ(static_cast<float>(r), 1.1f * 1.1f);
+}
+
+TEST(EvalCmpTest, SignedVsUnsigned)
+{
+    auto v = [](int64_t x) { return RtValue::fromInt(x); };
+    // -1 < 1 signed, but 0xff > 1 unsigned at i8.
+    EXPECT_EQ(evalCmp(Opcode::ICmp, CmpPred::SLT, Type::i8(), v(-1),
+                      v(1)).i,
+              1);
+    EXPECT_EQ(evalCmp(Opcode::ICmp, CmpPred::ULT, Type::i8(), v(-1),
+                      v(1)).i,
+              0);
+    EXPECT_EQ(evalCmp(Opcode::ICmp, CmpPred::UGT, Type::i8(), v(-1),
+                      v(1)).i,
+              1);
+}
+
+TEST(EvalCmpTest, FloatPreds)
+{
+    auto v = [](double x) { return RtValue::fromFloat(x); };
+    EXPECT_EQ(evalCmp(Opcode::FCmp, CmpPred::OLT, Type::f64(),
+                      v(1.0), v(2.0)).i, 1);
+    EXPECT_EQ(evalCmp(Opcode::FCmp, CmpPred::OGE, Type::f64(),
+                      v(2.0), v(2.0)).i, 1);
+    EXPECT_EQ(evalCmp(Opcode::FCmp, CmpPred::NE, Type::f64(),
+                      v(2.0), v(2.0)).i, 0);
+}
+
+TEST(EvalCastTest, Basics)
+{
+    auto v = [](int64_t x) { return RtValue::fromInt(x); };
+    EXPECT_EQ(evalCast(Opcode::Trunc, Type::i64(), Type::i8(),
+                       v(0x1ff)).i, -1);
+    EXPECT_EQ(evalCast(Opcode::ZExt, Type::i8(), Type::i64(),
+                       v(-1)).i, 255);
+    EXPECT_EQ(evalCast(Opcode::SExt, Type::i8(), Type::i64(),
+                       v(-1)).i, -1);
+    EXPECT_DOUBLE_EQ(evalCast(Opcode::SIToFP, Type::i32(),
+                              Type::f64(), v(-3)).f, -3.0);
+    EXPECT_EQ(evalCast(Opcode::FPToSI, Type::f64(), Type::i32(),
+                       RtValue::fromFloat(3.9)).i, 3);
+    EXPECT_EQ(evalCast(Opcode::FPToSI, Type::f64(), Type::i32(),
+                       RtValue::fromFloat(-3.9)).i, -3);
+}
+
+// ---------------------------------------------------------------------
+// Parameterized property sweeps.
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct WidthCase
+{
+    unsigned bits;
+};
+
+class IntWidthProperty : public ::testing::TestWithParam<unsigned>
+{};
+
+} // namespace
+
+/** add/sub/mul must agree with native arithmetic mod 2^bits. */
+TEST_P(IntWidthProperty, ArithmeticMatchesNativeModulo)
+{
+    unsigned bits = GetParam();
+    Type t = Type::intTy(bits);
+    tapas::Rng rng(bits * 977);
+    for (int iter = 0; iter < 500; ++iter) {
+        int64_t a = normalizeInt(t, static_cast<int64_t>(rng.next()));
+        int64_t bb = normalizeInt(t, static_cast<int64_t>(rng.next()));
+        auto va = RtValue::fromInt(a);
+        auto vb = RtValue::fromInt(bb);
+
+        uint64_t mask = bits == 64 ? ~uint64_t{0}
+                                   : ((uint64_t{1} << bits) - 1);
+        EXPECT_EQ(static_cast<uint64_t>(
+                      evalBinary(Opcode::Add, t, va, vb).i) & mask,
+                  (static_cast<uint64_t>(a) +
+                   static_cast<uint64_t>(bb)) & mask);
+        EXPECT_EQ(static_cast<uint64_t>(
+                      evalBinary(Opcode::Sub, t, va, vb).i) & mask,
+                  (static_cast<uint64_t>(a) -
+                   static_cast<uint64_t>(bb)) & mask);
+        EXPECT_EQ(static_cast<uint64_t>(
+                      evalBinary(Opcode::Mul, t, va, vb).i) & mask,
+                  (static_cast<uint64_t>(a) *
+                   static_cast<uint64_t>(bb)) & mask);
+    }
+}
+
+/** Results are always normalized (sign-extended) at their width. */
+TEST_P(IntWidthProperty, ResultsAreNormalized)
+{
+    unsigned bits = GetParam();
+    Type t = Type::intTy(bits);
+    tapas::Rng rng(bits * 31 + 7);
+    for (int iter = 0; iter < 500; ++iter) {
+        auto va = RtValue::fromInt(static_cast<int64_t>(rng.next()));
+        auto vb = RtValue::fromInt(static_cast<int64_t>(rng.next()));
+        int64_t r = evalBinary(Opcode::Add, t, va, vb).i;
+        EXPECT_EQ(r, normalizeInt(t, r));
+        int64_t x = evalBinary(Opcode::Xor, t, va, vb).i;
+        EXPECT_EQ(x, normalizeInt(t, x));
+    }
+}
+
+/** Compare predicates are mutually consistent. */
+TEST_P(IntWidthProperty, CmpConsistency)
+{
+    unsigned bits = GetParam();
+    Type t = Type::intTy(bits);
+    tapas::Rng rng(bits);
+    for (int iter = 0; iter < 500; ++iter) {
+        auto va = RtValue::fromInt(static_cast<int64_t>(rng.next()));
+        auto vb = RtValue::fromInt(static_cast<int64_t>(rng.next()));
+        auto cmp = [&](CmpPred p) {
+            return evalCmp(Opcode::ICmp, p, t, va, vb).i != 0;
+        };
+        EXPECT_NE(cmp(CmpPred::EQ), cmp(CmpPred::NE));
+        EXPECT_NE(cmp(CmpPred::SLT), cmp(CmpPred::SGE));
+        EXPECT_NE(cmp(CmpPred::ULT), cmp(CmpPred::UGE));
+        EXPECT_NE(cmp(CmpPred::SLE), cmp(CmpPred::SGT));
+        // trichotomy
+        int count = cmp(CmpPred::SLT) + cmp(CmpPred::SGT) +
+                    cmp(CmpPred::EQ);
+        EXPECT_EQ(count, 1);
+    }
+}
+
+/** zext then trunc at the same width is the identity on the pattern. */
+TEST_P(IntWidthProperty, CastRoundTrip)
+{
+    unsigned bits = GetParam();
+    if (bits == 64)
+        GTEST_SKIP() << "no wider type to extend into";
+    Type t = Type::intTy(bits);
+    tapas::Rng rng(bits + 123);
+    for (int iter = 0; iter < 200; ++iter) {
+        int64_t a = normalizeInt(t, static_cast<int64_t>(rng.next()));
+        RtValue wide = evalCast(Opcode::SExt, t, Type::i64(),
+                                RtValue::fromInt(a));
+        RtValue back = evalCast(Opcode::Trunc, Type::i64(), t, wide);
+        EXPECT_EQ(back.i, a);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, IntWidthProperty,
+                         ::testing::Values(8u, 16u, 32u, 64u));

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for IR types, constants and simple values.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/function.hh"
+
+using namespace tapas::ir;
+
+TEST(TypeTest, Factories)
+{
+    EXPECT_TRUE(Type::voidTy().isVoid());
+    EXPECT_TRUE(Type::i32().isInt());
+    EXPECT_TRUE(Type::f64().isFloat());
+    EXPECT_TRUE(Type::ptr().isPtr());
+    EXPECT_TRUE(Type::i1().isBool());
+    EXPECT_FALSE(Type::i8().isBool());
+}
+
+TEST(TypeTest, Widths)
+{
+    EXPECT_EQ(Type::i1().bits(), 1u);
+    EXPECT_EQ(Type::i8().bits(), 8u);
+    EXPECT_EQ(Type::i16().bits(), 16u);
+    EXPECT_EQ(Type::i32().bits(), 32u);
+    EXPECT_EQ(Type::i64().bits(), 64u);
+    EXPECT_EQ(Type::f32().bits(), 32u);
+    EXPECT_EQ(Type::f64().bits(), 64u);
+    EXPECT_EQ(Type::ptr().bits(), 64u);
+}
+
+TEST(TypeTest, SizeBytes)
+{
+    EXPECT_EQ(Type::i1().sizeBytes(), 1u);
+    EXPECT_EQ(Type::i8().sizeBytes(), 1u);
+    EXPECT_EQ(Type::i16().sizeBytes(), 2u);
+    EXPECT_EQ(Type::i32().sizeBytes(), 4u);
+    EXPECT_EQ(Type::i64().sizeBytes(), 8u);
+    EXPECT_EQ(Type::f32().sizeBytes(), 4u);
+    EXPECT_EQ(Type::f64().sizeBytes(), 8u);
+    EXPECT_EQ(Type::ptr().sizeBytes(), 8u);
+}
+
+TEST(TypeTest, Equality)
+{
+    EXPECT_EQ(Type::i32(), Type::intTy(32));
+    EXPECT_NE(Type::i32(), Type::i64());
+    EXPECT_NE(Type::i32(), Type::f32());
+    EXPECT_NE(Type::ptr(), Type::i64());
+    EXPECT_EQ(Type::ptr(), Type::ptr());
+}
+
+TEST(TypeTest, Str)
+{
+    EXPECT_EQ(Type::voidTy().str(), "void");
+    EXPECT_EQ(Type::i1().str(), "i1");
+    EXPECT_EQ(Type::i32().str(), "i32");
+    EXPECT_EQ(Type::f64().str(), "f64");
+    EXPECT_EQ(Type::ptr().str(), "ptr");
+}
+
+TEST(TypeTest, BadWidthDies)
+{
+    EXPECT_DEATH(Type::intTy(7), "unsupported integer width");
+    EXPECT_DEATH(Type::floatTy(16), "unsupported float width");
+    EXPECT_DEATH(Type::voidTy().sizeBytes(), "void has no size");
+}
+
+TEST(ConstantTest, Interning)
+{
+    Module m;
+    ConstantInt *a = m.constInt(Type::i32(), 42);
+    ConstantInt *b = m.constInt(Type::i32(), 42);
+    ConstantInt *c = m.constInt(Type::i64(), 42);
+    ConstantInt *d = m.constInt(Type::i32(), 43);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(a, d);
+    EXPECT_EQ(a->value(), 42);
+    EXPECT_TRUE(a->isConstant());
+}
+
+TEST(ConstantTest, FloatInterning)
+{
+    Module m;
+    ConstantFloat *a = m.constFloat(Type::f64(), 1.5);
+    ConstantFloat *b = m.constFloat(Type::f64(), 1.5);
+    ConstantFloat *c = m.constFloat(Type::f32(), 1.5);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_DOUBLE_EQ(a->value(), 1.5);
+}
+
+TEST(ModuleTest, Globals)
+{
+    Module m;
+    GlobalVar *g = m.addGlobal("A", 4096);
+    EXPECT_EQ(g->name(), "A");
+    EXPECT_EQ(g->sizeBytes(), 4096u);
+    EXPECT_TRUE(g->type().isPtr());
+    EXPECT_EQ(m.globalByName("A"), g);
+    EXPECT_EQ(m.globalByName("B"), nullptr);
+    EXPECT_DEATH(m.addGlobal("A", 1), "duplicate global");
+}
+
+TEST(ModuleTest, Functions)
+{
+    Module m;
+    Function *f = m.addFunction("f", Type::i32(),
+                                {{Type::i32(), "x"},
+                                 {Type::ptr(), "p"}});
+    EXPECT_EQ(f->numArgs(), 2u);
+    EXPECT_EQ(f->arg(0)->name(), "x");
+    EXPECT_EQ(f->arg(0)->type(), Type::i32());
+    EXPECT_EQ(f->arg(1)->index(), 1u);
+    EXPECT_EQ(f->arg(1)->parent(), f);
+    EXPECT_EQ(f->returnType(), Type::i32());
+    EXPECT_EQ(m.functionByName("f"), f);
+    EXPECT_DEATH(m.addFunction("f", Type::voidTy(), {}),
+                 "duplicate function");
+}
+
+TEST(FunctionTest, BlockManagement)
+{
+    Module m;
+    Function *f = m.addFunction("f", Type::voidTy(), {});
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *exit = f->addBlock("exit");
+    EXPECT_EQ(f->entry(), entry);
+    EXPECT_EQ(f->numBlocks(), 2u);
+    EXPECT_EQ(f->blockByName("exit"), exit);
+    EXPECT_EQ(f->blockByName("nope"), nullptr);
+    EXPECT_EQ(entry->id(), 0u);
+    EXPECT_EQ(exit->id(), 1u);
+}

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Unit tests for the IR verifier, including Tapir well-formedness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "ir/verifier.hh"
+
+using namespace tapas::ir;
+
+namespace {
+
+class VerifierTest : public ::testing::Test
+{
+  protected:
+    /** True if some verification error message contains `needle`. */
+    static bool
+    hasError(const VerifyResult &r, const std::string &needle)
+    {
+        for (const auto &e : r.errors) {
+            if (e.find(needle) != std::string::npos)
+                return true;
+        }
+        return false;
+    }
+
+    Module mod;
+    IRBuilder b{mod};
+};
+
+} // namespace
+
+TEST_F(VerifierTest, MinimalValidFunction)
+{
+    Function *f = mod.addFunction("f", Type::voidTy(), {});
+    b.setInsertPoint(f->addBlock("entry"));
+    b.createRet();
+    EXPECT_TRUE(verifyFunction(*f).ok());
+}
+
+TEST_F(VerifierTest, EmptyFunctionFails)
+{
+    Function *f = mod.addFunction("f", Type::voidTy(), {});
+    VerifyResult r = verifyFunction(*f);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(hasError(r, "no blocks"));
+}
+
+TEST_F(VerifierTest, MissingTerminator)
+{
+    Function *f = mod.addFunction("f", Type::voidTy(),
+                                  {{Type::i64(), "x"}});
+    b.setInsertPoint(f->addBlock("entry"));
+    b.createAdd(f->arg(0), f->arg(0));
+    VerifyResult r = verifyFunction(*f);
+    EXPECT_TRUE(hasError(r, "lacks a terminator"));
+}
+
+TEST_F(VerifierTest, EmptyBlockFails)
+{
+    Function *f = mod.addFunction("f", Type::voidTy(), {});
+    b.setInsertPoint(f->addBlock("entry"));
+    b.createRet();
+    f->addBlock("orphan");
+    VerifyResult r = verifyFunction(*f);
+    EXPECT_TRUE(hasError(r, "is empty"));
+}
+
+TEST_F(VerifierTest, RetTypeMismatch)
+{
+    Function *f = mod.addFunction("f", Type::i64(),
+                                  {{Type::i32(), "x"}});
+    b.setInsertPoint(f->addBlock("entry"));
+    b.createRet(f->arg(0));
+    VerifyResult r = verifyFunction(*f);
+    EXPECT_TRUE(hasError(r, "ret type i32"));
+}
+
+TEST_F(VerifierTest, RetMissingValue)
+{
+    Function *f = mod.addFunction("f", Type::i64(), {});
+    b.setInsertPoint(f->addBlock("entry"));
+    b.createRet();
+    VerifyResult r = verifyFunction(*f);
+    EXPECT_TRUE(hasError(r, "ret without value"));
+}
+
+TEST_F(VerifierTest, ForeignValueUse)
+{
+    Function *g = mod.addFunction("g", Type::voidTy(),
+                                  {{Type::i64(), "y"}});
+    Function *f = mod.addFunction("f", Type::voidTy(), {});
+    b.setInsertPoint(f->addBlock("entry"));
+    b.createAdd(g->arg(0), g->arg(0));
+    b.createRet();
+    VerifyResult r = verifyFunction(*f);
+    EXPECT_TRUE(hasError(r, "foreign"));
+}
+
+TEST_F(VerifierTest, PhiMustCoverPreds)
+{
+    Function *f = mod.addFunction("f", Type::i64(),
+                                  {{Type::i1(), "c"}});
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *a = f->addBlock("a");
+    BasicBlock *bb = f->addBlock("b");
+    BasicBlock *join = f->addBlock("join");
+
+    b.setInsertPoint(entry);
+    b.createCondBr(f->arg(0), a, bb);
+    b.setInsertPoint(a);
+    b.createBr(join);
+    b.setInsertPoint(bb);
+    b.createBr(join);
+    b.setInsertPoint(join);
+    PhiInst *phi = b.createPhi(Type::i64(), "v");
+    phi->addIncoming(b.constI64(1), a);
+    // Missing incoming for %b.
+    b.createRet(phi);
+
+    VerifyResult r = verifyFunction(*f);
+    EXPECT_TRUE(hasError(r, "does not cover its predecessors"));
+
+    phi->addIncoming(b.constI64(2), bb);
+    EXPECT_TRUE(verifyFunction(*f).ok());
+}
+
+TEST_F(VerifierTest, PhiTypeMismatch)
+{
+    Function *f = mod.addFunction("f", Type::i64(), {});
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *loop = f->addBlock("loop");
+    b.setInsertPoint(entry);
+    b.createBr(loop);
+    b.setInsertPoint(loop);
+    PhiInst *phi = b.createPhi(Type::i64(), "v");
+    phi->addIncoming(mod.constInt(Type::i32(), 0), entry);
+    phi->addIncoming(phi, loop);
+    b.createBr(loop);
+
+    VerifyResult r = verifyFunction(*f);
+    EXPECT_TRUE(hasError(r, "incoming 0 type mismatch"));
+}
+
+TEST_F(VerifierTest, ValidDetachRegion)
+{
+    Function *f = mod.addFunction("f", Type::voidTy(), {});
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *body = f->addBlock("body");
+    BasicBlock *cont = f->addBlock("cont");
+    BasicBlock *done = f->addBlock("done");
+
+    b.setInsertPoint(entry);
+    b.createDetach(body, cont);
+    b.setInsertPoint(body);
+    b.createReattach(cont);
+    b.setInsertPoint(cont);
+    b.createSync(done);
+    b.setInsertPoint(done);
+    b.createRet();
+
+    EXPECT_TRUE(verifyFunction(*f).ok());
+}
+
+TEST_F(VerifierTest, DetachedRegionMustNotReturn)
+{
+    Function *f = mod.addFunction("f", Type::voidTy(), {});
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *body = f->addBlock("body");
+    BasicBlock *cont = f->addBlock("cont");
+
+    b.setInsertPoint(entry);
+    b.createDetach(body, cont);
+    b.setInsertPoint(body);
+    b.createRet(); // illegal: detached region returns
+    b.setInsertPoint(cont);
+    b.createRet();
+
+    VerifyResult r = verifyFunction(*f);
+    EXPECT_TRUE(hasError(r, "contains a return"));
+    EXPECT_TRUE(hasError(r, "no reattach"));
+}
+
+TEST_F(VerifierTest, DetachedRegionMustNotFallThrough)
+{
+    Function *f = mod.addFunction("f", Type::voidTy(), {});
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *body = f->addBlock("body");
+    BasicBlock *cont = f->addBlock("cont");
+
+    b.setInsertPoint(entry);
+    b.createDetach(body, cont);
+    b.setInsertPoint(body);
+    b.createBr(cont); // illegal: plain branch into the continuation
+    b.setInsertPoint(cont);
+    b.createRet();
+
+    VerifyResult r = verifyFunction(*f);
+    EXPECT_TRUE(hasError(r, "without a reattach"));
+}
+
+TEST_F(VerifierTest, ReattachMustMatchADetach)
+{
+    Function *f = mod.addFunction("f", Type::voidTy(), {});
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *other = f->addBlock("other");
+
+    b.setInsertPoint(entry);
+    b.createReattach(other);
+    b.setInsertPoint(other);
+    b.createRet();
+
+    VerifyResult r = verifyFunction(*f);
+    EXPECT_TRUE(hasError(r, "not any detach's continuation"));
+}
+
+TEST_F(VerifierTest, PhiInDetachContinuationRejected)
+{
+    Function *f = mod.addFunction("f", Type::voidTy(), {});
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *body = f->addBlock("body");
+    BasicBlock *cont = f->addBlock("cont");
+
+    b.setInsertPoint(entry);
+    b.createDetach(body, cont);
+    b.setInsertPoint(body);
+    b.createReattach(cont);
+    b.setInsertPoint(cont);
+    PhiInst *phi = b.createPhi(Type::i64(), "bad");
+    phi->addIncoming(b.constI64(0), entry);
+    phi->addIncoming(b.constI64(1), body);
+    b.createRet();
+
+    VerifyResult r = verifyFunction(*f);
+    EXPECT_TRUE(hasError(r, "must not contain phis"));
+}
+
+TEST_F(VerifierTest, NestedDetachesVerify)
+{
+    // Outer task detaches a region that itself detaches a child:
+    // the shape of the nested cilk_for in paper Fig. 3.
+    Function *f = mod.addFunction("f", Type::voidTy(), {});
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *outer = f->addBlock("outer");
+    BasicBlock *inner = f->addBlock("inner");
+    BasicBlock *inner_cont = f->addBlock("inner_cont");
+    BasicBlock *outer_cont = f->addBlock("outer_cont");
+    BasicBlock *done = f->addBlock("done");
+
+    b.setInsertPoint(entry);
+    b.createDetach(outer, outer_cont);
+    b.setInsertPoint(outer);
+    b.createDetach(inner, inner_cont);
+    b.setInsertPoint(inner);
+    b.createReattach(inner_cont);
+    b.setInsertPoint(inner_cont);
+    b.createSync(done);
+    b.setInsertPoint(done);
+    b.createReattach(outer_cont);
+    b.setInsertPoint(outer_cont);
+    b.createRet();
+
+    EXPECT_TRUE(verifyFunction(*f).ok()) << verifyFunction(*f).str();
+}
+
+TEST_F(VerifierTest, StoreToNonPointer)
+{
+    Function *f = mod.addFunction("f", Type::voidTy(),
+                                  {{Type::i64(), "x"}});
+    BasicBlock *entry = f->addBlock("entry");
+    entry->append(std::make_unique<StoreInst>(f->arg(0), f->arg(0)));
+    b.setInsertPoint(entry);
+    b.createRet();
+    VerifyResult r = verifyFunction(*f);
+    EXPECT_TRUE(hasError(r, "store address is not a ptr"));
+}
+
+TEST_F(VerifierTest, IcmpOnFloatRejected)
+{
+    Function *f = mod.addFunction("f", Type::voidTy(),
+                                  {{Type::f64(), "x"}});
+    BasicBlock *entry = f->addBlock("entry");
+    entry->append(std::make_unique<CmpInst>(
+        Opcode::ICmp, CmpPred::EQ, f->arg(0), f->arg(0), "c"));
+    b.setInsertPoint(entry);
+    b.createRet();
+    VerifyResult r = verifyFunction(*f);
+    EXPECT_TRUE(hasError(r, "icmp on floating-point"));
+}
+
+TEST_F(VerifierTest, ModuleAggregatesErrors)
+{
+    Function *f = mod.addFunction("f", Type::voidTy(), {});
+    Function *g = mod.addFunction("g", Type::voidTy(), {});
+    (void)f;
+    (void)g;
+    VerifyResult r = verifyModule(mod);
+    EXPECT_EQ(r.errors.size(), 2u);
+}
+
+TEST_F(VerifierTest, PhiInDetachedEntryRejected)
+{
+    Function *f = mod.addFunction("f", Type::voidTy(), {});
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *body = f->addBlock("body");
+    BasicBlock *cont = f->addBlock("cont");
+
+    b.setInsertPoint(entry);
+    b.createDetach(body, cont);
+    b.setInsertPoint(body);
+    PhiInst *phi = b.createPhi(Type::i64(), "bad");
+    phi->addIncoming(b.constI64(0), entry);
+    b.createReattach(cont);
+    b.setInsertPoint(cont);
+    b.createRet();
+
+    VerifyResult r = verifyFunction(*f);
+    EXPECT_TRUE(hasError(r, "task entry"));
+}

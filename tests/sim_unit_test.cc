@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Focused tests of the task-unit protocol details: spawn-port
+ * arbitration, tile load balancing, task-call return values through
+ * the (SID, DyID) scheme, and argument marshaling timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/accel.hh"
+#include "workloads/loops.hh"
+#include "workloads/workload.hh"
+
+using namespace tapas;
+using namespace tapas::ir;
+using namespace tapas::sim;
+
+namespace {
+
+/** fib-like returning task tree for value-routing checks. */
+struct ValueProg
+{
+    Module mod;
+    Function *top;
+
+    ValueProg()
+    {
+        IRBuilder b(mod);
+        top = mod.addFunction("sumrec", Type::i64(),
+                              {{Type::i64(), "n"}});
+        BasicBlock *entry = top->addBlock("entry");
+        BasicBlock *base = top->addBlock("base");
+        BasicBlock *rec = top->addBlock("rec");
+        BasicBlock *d1 = top->addBlock("d1");
+        BasicBlock *c1 = top->addBlock("c1");
+        BasicBlock *joined = top->addBlock("joined");
+
+        b.setInsertPoint(entry);
+        Value *c = b.createICmp(CmpPred::SLE, top->arg(0),
+                                b.constI64(0));
+        b.createCondBr(c, base, rec);
+
+        b.setInsertPoint(base);
+        b.createRet(b.constI64(0));
+
+        b.setInsertPoint(rec);
+        Value *slot = b.createAlloca(8, "slot");
+        Value *n1 = b.createSub(top->arg(0), b.constI64(1));
+        b.createDetach(d1, c1);
+
+        b.setInsertPoint(d1);
+        Value *r = b.createCall(top, {n1}, "r");
+        b.createStore(r, slot);
+        b.createReattach(c1);
+
+        b.setInsertPoint(c1);
+        b.createSync(joined);
+
+        b.setInsertPoint(joined);
+        Value *sub = b.createLoad(Type::i64(), slot, "sub");
+        b.createRet(b.createAdd(sub, top->arg(0)));
+    }
+};
+
+} // namespace
+
+TEST(SimUnitTest, TaskCallValuesRouteBack)
+{
+    // sumrec(n) = n + (n-1) + ... + 1, computed via a chain of
+    // recursive task calls whose return values ride the join path.
+    ValueProg prog;
+    arch::AcceleratorParams p;
+    p.defaults.ntasks = 256;
+    auto design = hls::compile(prog.mod, prog.top, p);
+    MemImage mem(64 << 20);
+    mem.layout(prog.mod);
+    sim::AcceleratorSim accel(*design, mem);
+    RtValue r = accel.run({RtValue::fromInt(30)});
+    EXPECT_EQ(r.i, 30 * 31 / 2);
+}
+
+TEST(SimUnitTest, SpawnPortAcceptsOnePerCycle)
+{
+    // A wide flat loop spawning tiny tasks: the target unit's spawn
+    // port accepts at most one per cycle, so total cycles >= spawns.
+    auto w = workloads::makeSpawnScale(512, 1);
+    arch::AcceleratorParams p = w.params;
+    p.setAllTiles(8);
+    p.defaults.ntasks = 512;
+    auto design = hls::compile(*w.module, w.top, p);
+    MemImage mem(64 << 20);
+    auto args = w.setup(mem);
+    sim::AcceleratorSim accel(*design, mem);
+    accel.run(args);
+    EXPECT_TRUE(w.verify(mem, RtValue()).empty());
+    EXPECT_GE(accel.cycles(), 512u);
+}
+
+TEST(SimUnitTest, TilesShareLoadEvenly)
+{
+    // With plentiful independent tasks, both tiles must do work:
+    // cycles with 2 tiles is close to half of 1 tile on a
+    // compute-bound kernel (checked elsewhere); here check busy
+    // accounting is plausible.
+    auto w = workloads::makeStencil(10, 10, 1);
+    arch::AcceleratorParams p = w.params;
+    p.setAllTiles(2);
+    auto design = hls::compile(*w.module, w.top, p);
+    MemImage mem(64 << 20);
+    auto args = w.setup(mem);
+    sim::AcceleratorSim accel(*design, mem);
+    accel.run(args);
+
+    unsigned body_sid =
+        design->taskGraph->root()->children()[0]->sid();
+    uint64_t busy = accel.unit(body_sid).tileBusyCycles.value();
+    // Two tiles both active most of the run: busy cycle-tiles beyond
+    // what a single tile could account for.
+    EXPECT_GT(busy, accel.cycles());
+}
+
+TEST(SimUnitTest, ArgsRamTransferDelaysDispatch)
+{
+    // More marshaled args => later readiness. Compare dispatch
+    // latency between a 2-arg task and a task carrying 8 args.
+    Module mod;
+    IRBuilder b(mod);
+    GlobalVar *g = mod.addGlobal("o", 8 * 64);
+    Function *top = mod.addFunction(
+        "many_args", Type::voidTy(),
+        {{Type::i64(), "a0"}, {Type::i64(), "a1"},
+         {Type::i64(), "a2"}, {Type::i64(), "a3"},
+         {Type::i64(), "a4"}, {Type::i64(), "a5"},
+         {Type::i64(), "a6"}, {Type::i64(), "n"}});
+    b.setInsertPoint(top->addBlock("entry"));
+    workloads::buildCilkFor(
+        b, b.constI64(0), top->arg(7), "i",
+        [&](IRBuilder &bi, Value *i) {
+            // Use every argument so all are marshaled.
+            Value *s = top->arg(0);
+            for (unsigned k = 1; k < 7; ++k)
+                s = bi.createAdd(s, top->arg(k));
+            s = bi.createAdd(s, i);
+            bi.createStore(s, bi.createGep(g, 8, i));
+        });
+    b.createRet();
+
+    auto design = hls::compile(mod, top);
+    unsigned body_sid =
+        design->taskGraph->root()->children()[0]->sid();
+    EXPECT_GE(design->taskGraph->task(body_sid)->args().size(), 8u);
+
+    MemImage mem(16 << 20);
+    mem.layout(mod);
+    sim::AcceleratorSim accel(*design, mem);
+    std::vector<RtValue> args;
+    for (int k = 0; k < 7; ++k)
+        args.push_back(RtValue::fromInt(k));
+    args.push_back(RtValue::fromInt(16));
+    accel.run(args);
+
+    // Functional check: out[i] = 0+1+...+6 + i = 21 + i.
+    uint64_t base = mem.addressOf(g);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(mem.get<int64_t>(base + 8 * i), 21 + i);
+
+    // 8 args at 1 cycle/arg + handshake: dispatch latency > 8.
+    double lat = accel.unit(body_sid)
+                     .stats.scalarValue("spawn_to_dispatch");
+    EXPECT_GT(lat, 8.0);
+}
+
+TEST(SimUnitTest, ConditionalStageSkipCounts)
+{
+    // Dedup: duplicates skip the compression unit entirely (the
+    // paper's conditional-pipeline-stage claim).
+    auto w = workloads::makeDedup(30, 32);
+    auto design = hls::compile(*w.module, w.top, w.params);
+    MemImage mem(64 << 20);
+    auto args = w.setup(mem);
+    sim::AcceleratorSim accel(*design, mem);
+    accel.run(args);
+    EXPECT_TRUE(w.verify(mem, RtValue()).empty());
+
+    // S1 ran for every chunk; S2 only for the unique ones.
+    uint64_t s1 = accel.unit(1).instancesDone.value();
+    uint64_t s2 = accel.unit(2).instancesDone.value();
+    EXPECT_EQ(s1, 30u);
+    EXPECT_LT(s2, s1);
+    EXPECT_GT(s2, 0u);
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the support layer: formatting, stats, RNG, tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+using namespace tapas;
+
+TEST(StrFmtTest, Formats)
+{
+    EXPECT_EQ(strfmt("x=%d y=%s", 42, "hi"), "x=42 y=hi");
+    EXPECT_EQ(strfmt("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(strfmt("empty"), "empty");
+    // Long strings exceed any small static buffer.
+    std::string big(5000, 'a');
+    EXPECT_EQ(strfmt("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(LoggingTest, PanicAborts)
+{
+    EXPECT_DEATH(tapas_panic("boom %d", 7), "boom 7");
+}
+
+TEST(LoggingTest, FatalExitsWithOne)
+{
+    EXPECT_EXIT(tapas_fatal("bad config %s", "x"),
+                ::testing::ExitedWithCode(1), "bad config x");
+}
+
+TEST(LoggingTest, AssertMessage)
+{
+    int x = 3;
+    EXPECT_DEATH(tapas_assert(x == 4, "x was %d", x),
+                 "assertion 'x == 4' failed: x was 3");
+}
+
+TEST(StatsTest, CountersAndScalars)
+{
+    StatGroup g("unit");
+    Counter c(g, "events", "things that happened");
+    Scalar s(g, "rate", "things per cycle");
+    ++c;
+    c += 9;
+    s = 2.5;
+    EXPECT_EQ(g.counterValue("events"), 10u);
+    EXPECT_DOUBLE_EQ(g.scalarValue("rate"), 2.5);
+
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("unit.events 10 # things that happened"),
+              std::string::npos);
+    EXPECT_NE(os.str().find("unit.rate 2.5"), std::string::npos);
+
+    g.resetAll();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(StatsTest, UnknownStatPanics)
+{
+    StatGroup g("unit");
+    EXPECT_DEATH(g.counterValue("nope"), "no counter named");
+}
+
+TEST(RngTest, DeterministicAcrossInstances)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, SeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    unsigned same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2u);
+}
+
+TEST(RngTest, RangesRespected)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        double d = r.real();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+        EXPECT_LT(r.below(17), 17u);
+    }
+}
+
+TEST(RngTest, ChanceIsRoughlyCalibrated)
+{
+    Rng r(99);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(hits, 2500, 250);
+}
+
+TEST(TextTableTest, AlignsColumns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"a", "1"});
+    t.row({"longer_name", "222"});
+    t.separator();
+    t.row({"z", "3"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+
+    // Header, divider, three rows, separator line.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 6);
+    // Columns align: "1" and "222" start at the same offset.
+    size_t line_a = out.find("a ");
+    size_t col1 = out.find('1', line_a) - out.rfind('\n', line_a);
+    size_t line_b = out.find("longer_name");
+    size_t col2 = out.find("222", line_b) - out.rfind('\n', line_b);
+    EXPECT_EQ(col1, col2);
+}

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * tapas-cc: command-line driver for the TAPAS toolchain.
+ *
+ * Compiles a parallel-IR program (.tir text, the format printed by
+ * the IR printer) into an accelerator design, then any combination
+ * of:
+ *
+ *   --report              task graph + FPGA resource estimates
+ *   --emit-chisel <path>  generated Chisel ('-' for stdout)
+ *   --emit-dot <path>     task graph as Graphviz
+ *   --run [args...]       simulate; integer/float arguments,
+ *                         @global resolves to the global's address
+ *   --interp [args...]    run on the reference interpreter instead
+ *   --tiles N             tiles per task unit (default 1)
+ *   --ntasks N            task-queue entries (default 32)
+ *   --opt                 run the optimization passes first
+ *   --unroll N            unroll eligible serial loops by N
+ *   --trace <path>        write a task-lifetime CSV from --run
+ *   --top <name>          offloaded function (default: first
+ *                         function containing a detach)
+ *
+ * Example:
+ *   tapas-cc examples/vector_scale.tir --report \
+ *            --run @vec 64 --emit-chisel -
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "codegen/chisel.hh"
+#include "fpga/model.hh"
+#include "hls/opt.hh"
+#include "hls/unroll.hh"
+#include "ir/parser.hh"
+#include "ir/printer.hh"
+#include "ir/verifier.hh"
+#include "sim/accel.hh"
+
+using namespace tapas;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " <program.tir> [--top NAME] [--tiles N] "
+                 "[--ntasks N]\n"
+                 "       [--report] [--emit-chisel PATH] "
+                 "[--emit-dot PATH]\n"
+                 "       [--run ARGS...] [--interp ARGS...]\n";
+    std::exit(2);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        tapas_fatal("cannot open '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Parse one CLI run-argument against the function's signature. */
+ir::RtValue
+parseArg(const std::string &text, ir::Type type,
+         const ir::Module &mod, ir::MemImage &mem)
+{
+    if (!text.empty() && text[0] == '@') {
+        const ir::GlobalVar *g = mod.globalByName(text.substr(1));
+        if (!g)
+            tapas_fatal("unknown global '%s'", text.c_str());
+        return ir::RtValue::fromPtr(mem.addressOf(g));
+    }
+    if (type.isFloat())
+        return ir::RtValue::fromFloat(std::stod(text));
+    return ir::RtValue::fromInt(std::stoll(text, nullptr, 0));
+}
+
+void
+writeOut(const std::string &path, const std::string &content)
+{
+    if (path == "-") {
+        std::cout << content;
+        return;
+    }
+    std::ofstream out(path);
+    if (!out)
+        tapas_fatal("cannot write '%s'", path.c_str());
+    out << content;
+    std::cout << "wrote " << path << " (" << content.size()
+              << " bytes)\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage(argv[0]);
+
+    std::string input = argv[1];
+    std::string top_name;
+    std::string chisel_path;
+    std::string dot_path;
+    bool report = false;
+    bool do_run = false;
+    bool do_interp = false;
+    bool do_opt = false;
+    unsigned unroll = 0;
+    unsigned tiles = 1;
+    unsigned ntasks = 32;
+    std::string trace_path;
+    std::vector<std::string> run_args;
+
+    for (int i = 2; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage(argv[0]);
+            return argv[i];
+        };
+        if (a == "--top") {
+            top_name = next();
+        } else if (a == "--tiles") {
+            tiles = static_cast<unsigned>(std::stoul(next()));
+        } else if (a == "--ntasks") {
+            ntasks = static_cast<unsigned>(std::stoul(next()));
+        } else if (a == "--report") {
+            report = true;
+        } else if (a == "--opt") {
+            do_opt = true;
+        } else if (a == "--unroll") {
+            unroll = static_cast<unsigned>(std::stoul(next()));
+        } else if (a == "--trace") {
+            trace_path = next();
+        } else if (a == "--emit-chisel") {
+            chisel_path = next();
+        } else if (a == "--emit-dot") {
+            dot_path = next();
+        } else if (a == "--run" || a == "--interp") {
+            // Both engines share one argument list; the second flag
+            // may omit it.
+            (a == "--run" ? do_run : do_interp) = true;
+            std::vector<std::string> these;
+            while (i + 1 < argc && argv[i + 1][0] != '-')
+                these.push_back(argv[++i]);
+            if (!these.empty())
+                run_args = std::move(these);
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    auto mod = ir::parseModuleOrDie(readFile(input));
+    ir::verifyOrDie(*mod);
+
+    if (do_opt) {
+        hls::OptStats os = hls::optimizeModule(*mod);
+        std::cout << "opt: folded " << os.foldedConstants
+                  << ", simplified " << os.simplifiedBranches
+                  << " branches, removed " << os.removedBlocks
+                  << " blocks / " << os.removedInstructions
+                  << " insts\n";
+        ir::verifyOrDie(*mod);
+    }
+    if (unroll >= 2) {
+        unsigned n = 0;
+        for (const auto &f : mod->functions())
+            n += hls::unrollSerialLoops(*f, *mod,
+                                        hls::UnrollOptions{unroll});
+        std::cout << "unroll: " << n << " loops by " << unroll
+                  << "x\n";
+        ir::verifyOrDie(*mod);
+    }
+
+    ir::Function *top = nullptr;
+    if (!top_name.empty()) {
+        top = mod->functionByName(top_name);
+        if (!top)
+            tapas_fatal("no function '@%s'", top_name.c_str());
+    } else {
+        for (const auto &f : mod->functions()) {
+            if (f->hasDetach()) {
+                top = f.get();
+                break;
+            }
+        }
+        if (!top && !mod->functions().empty())
+            top = mod->functions().front().get();
+        if (!top)
+            tapas_fatal("module has no functions");
+    }
+
+    arch::AcceleratorParams params;
+    params.defaults.ntiles = tiles;
+    params.defaults.ntasks = ntasks;
+    auto design = hls::compile(*mod, top, params);
+
+    if (report) {
+        std::cout << "top: @" << top->name() << "\n\ntask graph:\n";
+        for (const auto &t : design->taskGraph->tasks()) {
+            std::cout << "  T" << t->sid() << "  " << t->name()
+                      << "  (" << t->numInstructions() << " insts, "
+                      << t->numMemOps() << " mem, "
+                      << t->args().size() << " args"
+                      << (t->isRecursive() ? ", recursive" : "")
+                      << ")\n";
+        }
+        for (const fpga::Device &dev :
+             {fpga::Device::cycloneV(), fpga::Device::arria10()}) {
+            fpga::ResourceReport r =
+                fpga::estimateResources(*design, dev);
+            std::cout << "\n" << dev.name << ": " << r.alms
+                      << " ALMs, " << r.regs << " regs, " << r.brams
+                      << " M20K, " << strfmt("%.0f", r.fmaxMhz)
+                      << " MHz, " << strfmt("%.2f", r.powerW)
+                      << " W (" << strfmt("%.0f%%",
+                                          r.utilization * 100)
+                      << " of chip)\n";
+        }
+    }
+
+    if (!chisel_path.empty())
+        writeOut(chisel_path, codegen::chiselString(*design));
+
+    if (!dot_path.empty()) {
+        std::ostringstream os;
+        codegen::emitTaskGraphDot(*design->taskGraph, os);
+        writeOut(dot_path, os.str());
+    }
+
+    if (do_run || do_interp) {
+        if (run_args.size() != top->numArgs()) {
+            tapas_fatal("@%s takes %u arguments, %zu given",
+                        top->name().c_str(), top->numArgs(),
+                        run_args.size());
+        }
+        ir::MemImage mem(256ull << 20);
+        mem.layout(*mod);
+        std::vector<ir::RtValue> args;
+        for (unsigned i = 0; i < top->numArgs(); ++i) {
+            args.push_back(parseArg(run_args[i],
+                                    top->arg(i)->type(), *mod, mem));
+        }
+
+        if (do_interp) {
+            ir::Interp interp(*mod, mem);
+            ir::RtValue ret = interp.run(*top, args);
+            std::cout << "interp: " << interp.stats().totalInsts
+                      << " insts, " << interp.stats().spawns
+                      << " spawns";
+            if (!top->returnType().isVoid()) {
+                std::cout << ", returned "
+                          << (top->returnType().isFloat()
+                                  ? strfmt("%g", ret.f)
+                                  : strfmt("%lld",
+                                           static_cast<long long>(
+                                               ret.i)));
+            }
+            std::cout << "\n";
+        }
+        if (do_run) {
+            sim::AcceleratorSim accel(*design, mem);
+            sim::TaskTracer tracer;
+            if (!trace_path.empty())
+                accel.setTracer(&tracer);
+            ir::RtValue ret = accel.run(args);
+            if (!trace_path.empty()) {
+                std::ostringstream os;
+                tracer.dumpCsv(os);
+                writeOut(trace_path, os.str());
+            }
+            std::cout << "accel: " << accel.cycles() << " cycles, "
+                      << accel.totalSpawns() << " spawns, "
+                      << strfmt("%.1f%%",
+                                accel.cacheModel().hitRate() * 100)
+                      << " cache hits";
+            if (!top->returnType().isVoid()) {
+                std::cout << ", returned "
+                          << (top->returnType().isFloat()
+                                  ? strfmt("%g", ret.f)
+                                  : strfmt("%lld",
+                                           static_cast<long long>(
+                                               ret.i)));
+            }
+            std::cout << "\n";
+        }
+    }
+    return 0;
+}
