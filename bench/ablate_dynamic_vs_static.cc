@@ -79,29 +79,51 @@ makeTriangular(unsigned n, uint64_t grain)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchArgs(argc, argv);
     banner("Ablation", "dynamic task scheduling vs static "
                        "partitioning (Fig. 2), triangular load, "
                        "4 tiles");
 
     const unsigned kN = 512;
 
+    driver::Sweep<RunResult> sweep(opt.jobs);
+    sweep.add([kN] {
+        auto w = makeTriangular(kN, 1);
+        return runAccel(w, 4, fpga::Device::cycloneV());
+    });
+    sweep.add([kN] {
+        auto w = makeTriangular(kN, kN / 4);
+        return runAccel(w, 4, fpga::Device::cycloneV());
+    });
+    std::vector<RunResult> results = sweep.run();
+    const RunResult &dyn = results[0];
+    const RunResult &sta = results[1];
+
     TextTable t;
     t.header({"schedule", "grain", "cycles", "speedup"});
-
-    auto dynamic = makeTriangular(kN, 1);
-    AccelRun dyn = runAccel(dynamic, 4, fpga::Device::cycloneV());
-
-    auto statically = makeTriangular(kN, kN / 4);
-    AccelRun sta = runAccel(statically, 4, fpga::Device::cycloneV());
-
     t.row({"static partition", std::to_string(kN / 4),
            std::to_string(sta.cycles), "1.00x"});
     t.row({"dynamic tasks", "1", std::to_string(dyn.cycles),
            strfmt("%.2fx", static_cast<double>(sta.cycles) /
                                dyn.cycles)});
     t.print(std::cout);
+
+    Json doc = experimentJson("ablate_dynamic_vs_static");
+    Json rows = Json::array();
+    for (size_t i = 0; i < results.size(); ++i) {
+        Json jr = Json::object();
+        jr.set("schedule",
+               Json::str(i == 0 ? "dynamic" : "static"));
+        jr.set("grain", Json::num(i == 0 ? 1u : kN / 4));
+        jr.set("result", runResultJson(results[i]));
+        rows.push(std::move(jr));
+    }
+    doc.set("rows", std::move(rows));
+    doc.set("dynamic_speedup",
+            Json::num(static_cast<double>(sta.cycles) / dyn.cycles));
+    maybeWriteJson(opt, doc);
 
     std::cout << "\nStatic partitioning straggles on the expensive "
                  "tail partition; dynamic\nfine-grain tasks "

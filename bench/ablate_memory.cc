@@ -12,36 +12,85 @@
 using namespace tapas;
 using namespace tapas::bench;
 
-int
-main()
+namespace {
+
+/** Run a workload with one memory-system parameter overridden. */
+RunResult
+runWithMem(workloads::Workload &w, unsigned tiles,
+           const std::function<void(arch::MemSystemParams &)> &tweak)
 {
+    arch::AcceleratorParams p = w.params;
+    p.setAllTiles(tiles);
+    tweak(p.mem);
+    driver::AccelSimEngine::Options eo;
+    eo.device = fpga::Device::cycloneV();
+    eo.params = p;
+    return runAccelWith(w, std::move(eo), 64 << 20);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = parseBenchArgs(argc, argv);
     banner("Ablation", "shared-cache capacity and MSHR "
                        "sensitivity");
+
+    const std::vector<unsigned> cache_kbs{64, 16, 4, 1};
+    const std::vector<unsigned> mshr_counts{1, 2, 4, 8, 16};
+    const std::vector<bool> scratch_opts{false, true};
+
+    driver::Sweep<RunResult> sweep(opt.jobs);
+    for (unsigned kb : cache_kbs) {
+        sweep.add([kb] {
+            auto w = workloads::makeMergeSort(2048, 32);
+            return runWithMem(w, 2, [kb](arch::MemSystemParams &m) {
+                m.cacheBytes = kb * 1024;
+            });
+        });
+    }
+    for (unsigned mshrs : mshr_counts) {
+        sweep.add([mshrs] {
+            auto w = workloads::makeSaxpy(8192);
+            return runWithMem(w, 4, [mshrs](arch::MemSystemParams &m) {
+                m.mshrs = mshrs;
+            });
+        });
+    }
+    for (bool scratch : scratch_opts) {
+        sweep.add([scratch] {
+            auto w = workloads::makeStencil(32, 32, 2);
+            return runWithMem(w, 4, [scratch](arch::MemSystemParams &m) {
+                m.useScratchpad = scratch;
+            });
+        });
+    }
+    std::vector<RunResult> results = sweep.run();
+
+    Json doc = experimentJson("ablate_memory");
+    Json rows = Json::array();
+    size_t idx = 0;
 
     std::cout << "L1 capacity sweep (4 MSHRs, mergesort n=2048 -- "
                  "16K working set per array):\n";
     TextTable t1;
     t1.header({"cache", "cycles", "hit rate", "slowdown vs 64K"});
     uint64_t base = 0;
-    for (unsigned kb : {64u, 16u, 4u, 1u}) {
-        auto w = workloads::makeMergeSort(2048, 32);
-        arch::AcceleratorParams p = w.params;
-        p.setAllTiles(2);
-        p.mem.cacheBytes = kb * 1024;
-        auto design = hls::compile(*w.module, w.top, p);
-        ir::MemImage mem(64 << 20);
-        auto args = w.setup(mem);
-        sim::AcceleratorSim accel(*design, mem);
-        accel.run(args);
-        std::string err = w.verify(mem, ir::RtValue());
-        tapas_assert(err.empty(), "verify failed: %s", err.c_str());
+    for (unsigned kb : cache_kbs) {
+        const RunResult &r = results[idx++];
         if (kb == 64)
-            base = accel.cycles();
-        t1.row({strfmt("%uK", kb), std::to_string(accel.cycles()),
-                strfmt("%.1f%%",
-                       accel.cacheModel().hitRate() * 100.0),
+            base = r.cycles;
+        t1.row({strfmt("%uK", kb), std::to_string(r.cycles),
+                strfmt("%.1f%%", r.cacheHitRate * 100.0),
                 strfmt("%.2fx",
-                       static_cast<double>(accel.cycles()) / base)});
+                       static_cast<double>(r.cycles) / base)});
+
+        Json jr = Json::object();
+        jr.set("sweep", Json::str("cache_capacity"));
+        jr.set("cache_kb", Json::num(kb));
+        jr.set("result", runResultJson(r));
+        rows.push(std::move(jr));
     }
     t1.print(std::cout);
 
@@ -50,26 +99,22 @@ main()
     t2.header({"MSHRs", "cycles", "mshr rejects",
                "speedup vs 1"});
     uint64_t one = 0;
-    for (unsigned mshrs : {1u, 2u, 4u, 8u, 16u}) {
-        auto w = workloads::makeSaxpy(8192);
-        arch::AcceleratorParams p = w.params;
-        p.setAllTiles(4);
-        p.mem.mshrs = mshrs;
-        auto design = hls::compile(*w.module, w.top, p);
-        ir::MemImage mem(64 << 20);
-        auto args = w.setup(mem);
-        sim::AcceleratorSim accel(*design, mem);
-        accel.run(args);
-        std::string err = w.verify(mem, ir::RtValue());
-        tapas_assert(err.empty(), "verify failed: %s", err.c_str());
+    for (unsigned mshrs : mshr_counts) {
+        const RunResult &r = results[idx++];
         if (mshrs == 1)
-            one = accel.cycles();
-        t2.row({std::to_string(mshrs),
-                std::to_string(accel.cycles()),
-                std::to_string(
-                    accel.cacheModel().mshrRejects.value()),
+            one = r.cycles;
+        double rejects = r.stat("l1cache.mshr_rejects");
+        t2.row({std::to_string(mshrs), std::to_string(r.cycles),
+                strfmt("%.0f", rejects),
                 strfmt("%.2fx",
-                       static_cast<double>(one) / accel.cycles())});
+                       static_cast<double>(one) / r.cycles)});
+
+        Json jr = Json::object();
+        jr.set("sweep", Json::str("mshrs"));
+        jr.set("mshrs", Json::num(mshrs));
+        jr.set("mshr_rejects", Json::num(rejects));
+        jr.set("result", runResultJson(r));
+        rows.push(std::move(jr));
     }
     t2.print(std::cout);
 
@@ -79,26 +124,25 @@ main()
     TextTable t3;
     t3.header({"backend", "cycles", "speedup"});
     uint64_t cache_cycles = 0;
-    for (bool scratch : {false, true}) {
-        auto w = workloads::makeStencil(32, 32, 2);
-        arch::AcceleratorParams p = w.params;
-        p.setAllTiles(4);
-        p.mem.useScratchpad = scratch;
-        auto design = hls::compile(*w.module, w.top, p);
-        ir::MemImage mem(64 << 20);
-        auto args = w.setup(mem);
-        sim::AcceleratorSim accel(*design, mem);
-        accel.run(args);
-        std::string err = w.verify(mem, ir::RtValue());
-        tapas_assert(err.empty(), "verify failed: %s", err.c_str());
+    for (bool scratch : scratch_opts) {
+        const RunResult &r = results[idx++];
         if (!scratch)
-            cache_cycles = accel.cycles();
+            cache_cycles = r.cycles;
         t3.row({scratch ? "scratchpad" : "cache",
-                std::to_string(accel.cycles()),
+                std::to_string(r.cycles),
                 strfmt("%.2fx", static_cast<double>(cache_cycles) /
-                                    accel.cycles())});
+                                    r.cycles)});
+
+        Json jr = Json::object();
+        jr.set("sweep", Json::str("backend"));
+        jr.set("backend",
+               Json::str(scratch ? "scratchpad" : "cache"));
+        jr.set("result", runResultJson(r));
+        rows.push(std::move(jr));
     }
     t3.print(std::cout);
+    doc.set("rows", std::move(rows));
+    maybeWriteJson(opt, doc);
 
     std::cout << "\nThe paper ships a blocking RISC-V cache with "
                  "\"limited support for\nmultiple outstanding "

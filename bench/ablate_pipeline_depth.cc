@@ -14,7 +14,7 @@ using namespace tapas::bench;
 
 namespace {
 
-uint64_t
+RunResult
 runDepth(workloads::Workload &w, unsigned tiles, unsigned depth)
 {
     arch::AcceleratorParams p = w.params;
@@ -22,35 +22,48 @@ runDepth(workloads::Workload &w, unsigned tiles, unsigned depth)
     p.defaults.tilePipelineDepth = depth;
     for (auto &[sid, tp] : p.perTask)
         tp.tilePipelineDepth = depth;
-    auto design = hls::compile(*w.module, w.top, p);
-    ir::MemImage mem(128 << 20);
-    auto args = w.setup(mem);
-    sim::AcceleratorSim accel(*design, mem);
-    accel.run(args);
-    std::string err = w.verify(mem, ir::RtValue());
-    tapas_assert(err.empty(), "verify failed: %s", err.c_str());
-    return accel.cycles();
+    driver::AccelSimEngine::Options eo;
+    eo.device = fpga::Device::cycloneV();
+    eo.params = p;
+    return runAccelWith(w, std::move(eo), 128 << 20);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchArgs(argc, argv);
     banner("Ablation", "TXU pipeline depth (in-flight task "
                        "instances per tile)");
+
+    const std::vector<unsigned> depths{1, 2, 4, 8, 16, 48};
+
+    driver::Sweep<RunResult> sweep(opt.jobs);
+    for (unsigned depth : depths) {
+        sweep.add([depth] {
+            auto w = workloads::makeDedup(48, 256);
+            return runDepth(w, 2, depth);
+        });
+        sweep.add([depth] {
+            auto w = workloads::makeSpawnScale(2048, 10);
+            return runDepth(w, 2, depth);
+        });
+    }
+    std::vector<RunResult> results = sweep.run();
 
     TextTable t;
     t.header({"depth", "dedup cycles", "dedup speedup",
               "spawn_scale cycles", "spawn_scale speedup"});
+    Json doc = experimentJson("ablate_pipeline_depth");
+    Json rows = Json::array();
 
     uint64_t dedup1 = 0;
     uint64_t scale1 = 0;
-    for (unsigned depth : {1u, 2u, 4u, 8u, 16u, 48u}) {
-        auto wd = workloads::makeDedup(48, 256);
-        uint64_t d = runDepth(wd, 2, depth);
-        auto ws = workloads::makeSpawnScale(2048, 10);
-        uint64_t s = runDepth(ws, 2, depth);
+    size_t idx = 0;
+    for (unsigned depth : depths) {
+        uint64_t d = results[idx++].cycles;
+        uint64_t s = results[idx++].cycles;
         if (depth == 1) {
             dedup1 = d;
             scale1 = s;
@@ -59,8 +72,16 @@ main()
                strfmt("%.2fx", static_cast<double>(dedup1) / d),
                std::to_string(s),
                strfmt("%.2fx", static_cast<double>(scale1) / s)});
+
+        Json jr = Json::object();
+        jr.set("depth", Json::num(depth));
+        jr.set("dedup_cycles", Json::num(d));
+        jr.set("spawn_scale_cycles", Json::num(s));
+        rows.push(std::move(jr));
     }
     t.print(std::cout);
+    doc.set("rows", std::move(rows));
+    maybeWriteJson(opt, doc);
 
     std::cout << "\nStreaming stages with long per-instance loops "
                  "(dedup) keep gaining from\ndeeper pipelines; tiny "

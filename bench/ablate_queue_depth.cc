@@ -12,65 +12,108 @@
 using namespace tapas;
 using namespace tapas::bench;
 
-int
-main()
+namespace {
+
+/** Run with a given queue depth on every task unit. */
+RunResult
+runNtasks(workloads::Workload &w, unsigned tiles, unsigned ntasks)
 {
+    arch::AcceleratorParams p = w.params;
+    p.defaults.ntasks = ntasks;
+    p.setAllTiles(tiles);
+    driver::AccelSimEngine::Options eo;
+    eo.device = fpga::Device::cycloneV();
+    eo.params = p;
+    return runAccelWith(w, std::move(eo), 64 << 20);
+}
+
+/** Sum "unit.<task>.spawn_rejects" over every task unit. */
+uint64_t
+totalSpawnRejects(const RunResult &r)
+{
+    double total = 0;
+    for (const auto &[key, value] : r.stats) {
+        if (key.rfind("unit.", 0) == 0 &&
+            key.size() > 14 &&
+            key.compare(key.size() - 14, 14, ".spawn_rejects") == 0) {
+            total += value;
+        }
+    }
+    return static_cast<uint64_t>(total);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = parseBenchArgs(argc, argv);
     banner("Ablation", "task queue depth (Ntasks) vs performance "
                        "and BRAM");
+
+    const std::vector<unsigned> fib_depths{768, 1024, 2048, 4096};
+    const std::vector<unsigned> saxpy_depths{2, 4, 16, 64};
+
+    driver::Sweep<RunResult> sweep(opt.jobs);
+    for (unsigned ntasks : fib_depths) {
+        sweep.add([ntasks] {
+            auto w = workloads::makeFib(13);
+            return runNtasks(w, 2, ntasks);
+        });
+    }
+    for (unsigned ntasks : saxpy_depths) {
+        sweep.add([ntasks] {
+            auto w = workloads::makeSaxpy(4096);
+            return runNtasks(w, 4, ntasks);
+        });
+    }
+    std::vector<RunResult> results = sweep.run();
+
+    Json doc = experimentJson("ablate_queue_depth");
+    Json rows = Json::array();
+    size_t idx = 0;
 
     std::cout << "fib(13), 2 tiles (recursion-heavy):\n";
     TextTable t;
     t.header({"Ntasks", "cycles", "BRAM", "speedup vs 768"});
     uint64_t base = 0;
-    for (unsigned ntasks : {768u, 1024u, 2048u, 4096u}) {
-        auto w = workloads::makeFib(13);
-        arch::AcceleratorParams p = w.params;
-        p.defaults.ntasks = ntasks;
-        p.setAllTiles(2);
-        auto design = hls::compile(*w.module, w.top, p);
-        ir::MemImage mem(64 << 20);
-        auto args = w.setup(mem);
-        sim::AcceleratorSim accel(*design, mem);
-        ir::RtValue r = accel.run(args);
-        std::string err = w.verify(mem, r);
-        tapas_assert(err.empty(), "verify failed: %s", err.c_str());
-        fpga::ResourceReport rep =
-            fpga::estimateResources(*design, fpga::Device::cycloneV());
+    for (unsigned ntasks : fib_depths) {
+        const RunResult &r = results[idx++];
         if (!base)
-            base = accel.cycles();
-        t.row({std::to_string(ntasks),
-               std::to_string(accel.cycles()),
-               std::to_string(rep.brams),
+            base = r.cycles;
+        t.row({std::to_string(ntasks), std::to_string(r.cycles),
+               strfmt("%.0f", r.stat("brams")),
                strfmt("%.2fx",
-                      static_cast<double>(base) / accel.cycles())});
+                      static_cast<double>(base) / r.cycles)});
+
+        Json jr = Json::object();
+        jr.set("kernel", Json::str("fib"));
+        jr.set("ntasks", Json::num(ntasks));
+        jr.set("brams", Json::num(r.stat("brams")));
+        jr.set("result", runResultJson(r));
+        rows.push(std::move(jr));
     }
     t.print(std::cout);
 
     std::cout << "\nsaxpy 4096, 4 tiles (flat loop):\n";
     TextTable t2;
     t2.header({"Ntasks", "cycles", "spawn rejects"});
-    for (unsigned ntasks : {2u, 4u, 16u, 64u}) {
-        auto w = workloads::makeSaxpy(4096);
-        arch::AcceleratorParams p = w.params;
-        p.defaults.ntasks = ntasks;
-        p.setAllTiles(4);
-        auto design = hls::compile(*w.module, w.top, p);
-        ir::MemImage mem(64 << 20);
-        auto args = w.setup(mem);
-        sim::AcceleratorSim accel(*design, mem);
-        accel.run(args);
-        std::string err = w.verify(mem, ir::RtValue());
-        tapas_assert(err.empty(), "verify failed: %s", err.c_str());
-        uint64_t rejects = 0;
-        for (const auto &task : design->taskGraph->tasks()) {
-            rejects += accel.unit(task->sid())
-                           .spawnRejects.value();
-        }
-        t2.row({std::to_string(ntasks),
-                std::to_string(accel.cycles()),
+    for (unsigned ntasks : saxpy_depths) {
+        const RunResult &r = results[idx++];
+        uint64_t rejects = totalSpawnRejects(r);
+        t2.row({std::to_string(ntasks), std::to_string(r.cycles),
                 std::to_string(rejects)});
+
+        Json jr = Json::object();
+        jr.set("kernel", Json::str("saxpy"));
+        jr.set("ntasks", Json::num(ntasks));
+        jr.set("spawn_rejects", Json::num(rejects));
+        jr.set("result", runResultJson(r));
+        rows.push(std::move(jr));
     }
     t2.print(std::cout);
+    doc.set("rows", std::move(rows));
+    maybeWriteJson(opt, doc);
 
     std::cout << "\nRecursion needs queues sized for the live spawn "
                  "tree: below ~768\nentries fib(13) deadlocks (the "

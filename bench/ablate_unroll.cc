@@ -9,55 +9,30 @@
  */
 
 #include "bench/common.hh"
-#include "hls/unroll.hh"
 
 using namespace tapas;
 using namespace tapas::bench;
 
 namespace {
 
-struct Point
-{
-    uint64_t cycles;
-    uint32_t alms;
-};
-
-Point
+RunResult
 measure(workloads::Workload &w, unsigned factor, unsigned tiles)
 {
-    if (factor > 1) {
-        hls::UnrollOptions o;
-        o.factor = factor;
-        unsigned n = 0;
-        for (const auto &f : w.module->functions())
-            n += hls::unrollSerialLoops(*f, *w.module, o);
-        tapas_assert(n > 0, "nothing unrolled");
-    }
-    arch::AcceleratorParams p = w.params;
-    p.setAllTiles(tiles);
-    auto design = hls::compile(*w.module, w.top, p);
-    ir::MemImage mem(64 << 20);
-    auto args = w.setup(mem);
-    sim::AcceleratorSim accel(*design, mem);
-    accel.run(args);
-    std::string err = w.verify(mem, ir::RtValue());
-    tapas_assert(err.empty(), "verify failed: %s", err.c_str());
-    fpga::ResourceReport rep =
-        fpga::estimateResources(*design, fpga::Device::cycloneV());
-    return {accel.cycles(), rep.alms};
+    driver::AccelSimEngine::Options eo;
+    eo.device = fpga::Device::cycloneV();
+    eo.tiles = tiles;
+    eo.unrollFactor = factor;
+    return runAccelWith(w, std::move(eo), 64 << 20);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchArgs(argc, argv);
     banner("Ablation", "serial-loop unrolling inside TXUs "
                        "(Section VI future work)");
-
-    TextTable t;
-    t.header({"kernel", "unroll", "cycles", "speedup", "ALMs",
-              "ALM cost"});
 
     struct Case
     {
@@ -65,31 +40,62 @@ main()
         workloads::Workload (*make)();
         unsigned tiles;
     };
-    const Case cases[] = {
+    const std::vector<Case> cases = {
         {"saxpy 8192", [] { return workloads::makeSaxpy(8192); }, 4},
         {"stencil 16x16",
          [] { return workloads::makeStencil(16, 16, 2); }, 4},
     };
+    const std::vector<unsigned> factors{1, 2, 4, 8};
 
+    driver::Sweep<RunResult> sweep(opt.jobs);
     for (const Case &c : cases) {
-        Point base{};
-        for (unsigned factor : {1u, 2u, 4u, 8u}) {
-            auto w = c.make();
-            Point pt = measure(w, factor, c.tiles);
-            if (factor == 1)
-                base = pt;
+        for (unsigned factor : factors) {
+            sweep.add([c, factor] {
+                auto w = c.make();
+                return measure(w, factor, c.tiles);
+            });
+        }
+    }
+    std::vector<RunResult> results = sweep.run();
+
+    TextTable t;
+    t.header({"kernel", "unroll", "cycles", "speedup", "ALMs",
+              "ALM cost"});
+    Json doc = experimentJson("ablate_unroll");
+    Json rows = Json::array();
+
+    size_t idx = 0;
+    for (const Case &c : cases) {
+        uint64_t base_cycles = 0;
+        double base_alms = 0;
+        for (unsigned factor : factors) {
+            const RunResult &r = results[idx++];
+            double alms = r.stat("alms");
+            if (factor == 1) {
+                base_cycles = r.cycles;
+                base_alms = alms;
+            }
             t.row({factor == 1 ? c.name : "",
                    std::to_string(factor),
-                   std::to_string(pt.cycles),
-                   strfmt("%.2fx", static_cast<double>(base.cycles) /
-                                       pt.cycles),
-                   std::to_string(pt.alms),
-                   strfmt("%.2fx", static_cast<double>(pt.alms) /
-                                       base.alms)});
+                   std::to_string(r.cycles),
+                   strfmt("%.2fx",
+                          static_cast<double>(base_cycles) /
+                              r.cycles),
+                   strfmt("%.0f", alms),
+                   strfmt("%.2fx", alms / base_alms)});
+
+            Json jr = Json::object();
+            jr.set("kernel", Json::str(c.name));
+            jr.set("unroll", Json::num(factor));
+            jr.set("alms", Json::num(alms));
+            jr.set("result", runResultJson(r));
+            rows.push(std::move(jr));
         }
         t.separator();
     }
     t.print(std::cout);
+    doc.set("rows", std::move(rows));
+    maybeWriteJson(opt, doc);
 
     std::cout << "\nUnrolling helps exactly where the paper predicts: "
                  "compute-bound\nkernels (stencil, 1.65x at 4x) gain from "

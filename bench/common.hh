@@ -1,80 +1,179 @@
 /**
  * @file
- * Shared helpers for the experiment harnesses in bench/: run a
- * workload on the simulated accelerator and on the modelled CPU,
- * combine with the FPGA resource/timing/power models, and print
- * paper-style tables.
+ * Shared helpers for the experiment harnesses in bench/: parse the
+ * common CLI (--jobs/--json), run workloads through the unified
+ * driver::Engine API, fan configuration grids across threads with
+ * driver::Sweep, and print paper-style tables.
  *
  * Each bench binary regenerates one table or figure from the paper's
  * evaluation (Section V); see DESIGN.md for the index and
- * EXPERIMENTS.md for paper-vs-measured values.
+ * EXPERIMENTS.md for paper-vs-measured values. Every binary accepts:
+ *
+ *   --jobs N     run the configuration grid on N worker threads
+ *                (default: TAPAS_JOBS env var, else 1 = serial);
+ *                results are merged in submission order, so output
+ *                is byte-identical to a serial run
+ *   --json PATH  also export machine-readable results as JSON
  */
 
 #ifndef TAPAS_BENCH_COMMON_HH
 #define TAPAS_BENCH_COMMON_HH
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
-#include "cpu/multicore.hh"
-#include "fpga/model.hh"
-#include "sim/accel.hh"
+#include "driver/engine.hh"
+#include "driver/jobrunner.hh"
+#include "support/json.hh"
 #include "support/table.hh"
-#include "workloads/workload.hh"
 
 namespace tapas::bench {
 
-/** One accelerator measurement. */
-struct AccelRun
+using driver::RunResult;
+
+/** CLI options every bench binary accepts. */
+struct BenchOptions
 {
-    uint64_t cycles = 0;
-    uint64_t spawns = 0;
-    double seconds = 0; ///< at the device's modelled fmax
-    fpga::ResourceReport report;
-    double cacheHitRate = 0;
+    /** Sweep worker threads (resolved --jobs / TAPAS_JOBS). */
+    unsigned jobs = 1;
+
+    /** JSON result export path ("" = no export). */
+    std::string jsonPath;
 };
+
+/** Parse a decimal flag argument; fatal() on garbage. */
+inline unsigned
+parseUnsigned(const std::string &flag, const std::string &text)
+{
+    char *end = nullptr;
+    unsigned long v = std::strtoul(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0')
+        tapas_fatal("%s expects a number, got '%s'", flag.c_str(),
+                    text.c_str());
+    return static_cast<unsigned>(v);
+}
+
+/** Parse the common bench CLI; fatal()s on unknown flags. */
+inline BenchOptions
+parseBenchArgs(int argc, char **argv)
+{
+    BenchOptions opt;
+    unsigned cli_jobs = 0;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc) {
+                tapas_fatal("option '%s' expects an argument",
+                            a.c_str());
+            }
+            return argv[i];
+        };
+        if (a == "--jobs") {
+            cli_jobs = parseUnsigned(a, next());
+        } else if (a == "--json") {
+            opt.jsonPath = next();
+        } else if (a == "--help" || a == "-h") {
+            std::cout << "usage: " << argv[0]
+                      << " [--jobs N] [--json PATH]\n";
+            std::exit(0);
+        } else {
+            tapas_fatal("unknown option '%s' (supported: --jobs N, "
+                        "--json PATH)", a.c_str());
+        }
+    }
+    opt.jobs = driver::resolveJobs(cli_jobs);
+    return opt;
+}
+
+/** Write the JSON export if --json was given. */
+inline void
+maybeWriteJson(const BenchOptions &opt, const Json &doc)
+{
+    if (opt.jsonPath.empty())
+        return;
+    std::ofstream out(opt.jsonPath);
+    if (!out)
+        tapas_fatal("cannot write '%s'", opt.jsonPath.c_str());
+    doc.write(out);
+    std::cout << "\nwrote " << opt.jsonPath << "\n";
+}
+
+/** JSON skeleton for one experiment: {"experiment", "rows": []}. */
+inline Json
+experimentJson(const std::string &id)
+{
+    Json doc = Json::object();
+    doc.set("experiment", Json::str(id));
+    doc.set("rows", Json::array());
+    return doc;
+}
+
+/**
+ * The standard engine metrics of one run as a JSON object, for a
+ * bench row's "result" field.
+ */
+inline Json
+runResultJson(const RunResult &r)
+{
+    Json j = Json::object();
+    j.set("cycles", Json::num(r.cycles));
+    j.set("spawns", Json::num(r.spawns));
+    j.set("seconds", Json::num(r.seconds));
+    j.set("cache_hit_rate", Json::num(r.cacheHitRate));
+    return j;
+}
 
 /**
  * Compile and simulate `w` with `ntiles` tiles per task unit on
- * `dev`; fatal()s if the output fails verification.
+ * `dev` through the accelerator engine; fatal()s if the output fails
+ * verification. The result's stats carry the resource estimates
+ * ("alms", "regs", "brams", "fmax_mhz", "power_w", "utilization")
+ * and all simulator stat groups.
  */
-inline AccelRun
+inline RunResult
 runAccel(workloads::Workload &w, unsigned ntiles,
          const fpga::Device &dev,
          uint64_t mem_bytes = 256ull << 20)
 {
-    arch::AcceleratorParams p = w.params;
-    p.setAllTiles(ntiles);
-    auto design = hls::compile(*w.module, w.top, p);
-
-    ir::MemImage mem(mem_bytes);
-    auto args = w.setup(mem);
-    sim::AcceleratorSim accel(*design, mem);
-    ir::RtValue ret = accel.run(args);
-
-    std::string err = w.verify(mem, ret);
-    if (!err.empty()) {
+    driver::AccelSimEngine::Options eo;
+    eo.device = dev;
+    eo.tiles = ntiles;
+    driver::AccelSimEngine engine(eo);
+    RunResult r = engine.runWorkload(w, mem_bytes);
+    if (!r.verifyError.empty()) {
         tapas_fatal("bench '%s' failed verification: %s",
-                    w.name.c_str(), err.c_str());
+                    w.name.c_str(), r.verifyError.c_str());
     }
-
-    AccelRun r;
-    r.cycles = accel.cycles();
-    r.spawns = accel.totalSpawns();
-    r.report = fpga::estimateResources(*design, dev);
-    r.seconds = accel.seconds(r.report.fmaxMhz);
-    r.cacheHitRate = accel.cacheModel().hitRate();
     return r;
 }
 
-/** Run `w` on a modelled CPU (consumes a fresh memory image). */
-inline cpu::CpuRunResult
+/**
+ * As runAccel() but with a full engine-option override (custom
+ * params, pre-passes, observer...).
+ */
+inline RunResult
+runAccelWith(workloads::Workload &w,
+             driver::AccelSimEngine::Options eo,
+             uint64_t mem_bytes = 256ull << 20)
+{
+    driver::AccelSimEngine engine(std::move(eo));
+    RunResult r = engine.runWorkload(w, mem_bytes);
+    if (!r.verifyError.empty()) {
+        tapas_fatal("bench '%s' failed verification: %s",
+                    w.name.c_str(), r.verifyError.c_str());
+    }
+    return r;
+}
+
+/** Run `w` on the modelled CPU (consumes a fresh memory image). */
+inline RunResult
 runCpu(workloads::Workload &w, const cpu::CpuParams &params,
        uint64_t mem_bytes = 256ull << 20)
 {
-    ir::MemImage mem(mem_bytes);
-    auto args = w.setup(mem);
-    return cpu::runOnCpu(*w.module, *w.top, args, mem, params);
+    driver::CpuSimEngine engine(params);
+    return engine.runWorkload(w, mem_bytes);
 }
 
 /** One entry of the paper's benchmark suite at bench scale. */

@@ -12,8 +12,9 @@ using namespace tapas::bench;
 
 namespace {
 
-void
-addRow(TextTable &t, unsigned tiles, unsigned instrs)
+/** Compile the spawn microbench (worker tiled, control at 1). */
+fpga::ResourceReport
+estimateConfig(unsigned tiles, unsigned instrs)
 {
     auto w = workloads::makeSpawnScale(64, instrs);
     arch::AcceleratorParams p = w.params;
@@ -22,34 +23,60 @@ addRow(TextTable &t, unsigned tiles, unsigned instrs)
     unsigned root_sid = design0->taskGraph->root()->sid();
     p.perTask[root_sid].ntiles = 1;
     auto design = hls::compile(*w.module, w.top, p);
-
-    fpga::ResourceReport r =
-        fpga::estimateResources(*design, fpga::Device::cycloneV());
-    const fpga::AlmBreakdown &bd = r.breakdown;
-    double total = bd.total();
-    auto pct = [&](uint32_t v) {
-        return strfmt("%5.1f%%", 100.0 * v / total);
-    };
-    t.row({strfmt("%uT/%uIns", tiles, instrs), pct(bd.tiles),
-           pct(bd.parallelFor), pct(bd.taskCtrl), pct(bd.memArb),
-           pct(bd.misc), std::to_string(bd.total())});
+    return fpga::estimateResources(*design, fpga::Device::cycloneV());
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchArgs(argc, argv);
     banner("Fig. 14", "ALM utilization by sub-block (Cyclone V)");
+
+    const std::vector<std::pair<unsigned, unsigned>> configs = {
+        {1, 1}, {1, 50}, {10, 1}, {10, 50}};
+
+    driver::Sweep<fpga::ResourceReport> sweep(opt.jobs);
+    for (auto [tiles, instrs] : configs) {
+        sweep.add([tiles = tiles, instrs = instrs] {
+            return estimateConfig(tiles, instrs);
+        });
+    }
+    std::vector<fpga::ResourceReport> reports = sweep.run();
 
     TextTable t;
     t.header({"config", "Tiles", "ParallelFor", "TaskCtrl", "MemArb",
               "Misc", "total ALM"});
-    addRow(t, 1, 1);
-    addRow(t, 1, 50);
-    addRow(t, 10, 1);
-    addRow(t, 10, 50);
+    Json doc = experimentJson("fig14_alm_breakdown");
+    Json rows = Json::array();
+
+    size_t idx = 0;
+    for (auto [tiles, instrs] : configs) {
+        const fpga::ResourceReport &r = reports[idx++];
+        const fpga::AlmBreakdown &bd = r.breakdown;
+        double total = bd.total();
+        auto pct = [&](uint32_t v) {
+            return strfmt("%5.1f%%", 100.0 * v / total);
+        };
+        t.row({strfmt("%uT/%uIns", tiles, instrs), pct(bd.tiles),
+               pct(bd.parallelFor), pct(bd.taskCtrl), pct(bd.memArb),
+               pct(bd.misc), std::to_string(bd.total())});
+
+        Json jr = Json::object();
+        jr.set("tiles", Json::num(tiles));
+        jr.set("instructions", Json::num(instrs));
+        jr.set("alm_tiles", Json::num(bd.tiles));
+        jr.set("alm_parallel_for", Json::num(bd.parallelFor));
+        jr.set("alm_task_ctrl", Json::num(bd.taskCtrl));
+        jr.set("alm_mem_arb", Json::num(bd.memArb));
+        jr.set("alm_misc", Json::num(bd.misc));
+        jr.set("alm_total", Json::num(bd.total()));
+        rows.push(std::move(jr));
+    }
     t.print(std::cout);
+    doc.set("rows", std::move(rows));
+    maybeWriteJson(opt, doc);
 
     std::cout << "\nPaper's qualitative result: ~60% non-compute "
                  "overhead at 1T/1Ins,\n~20% at 1T/50Ins, control "

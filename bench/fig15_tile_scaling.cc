@@ -13,30 +13,56 @@ using namespace tapas;
 using namespace tapas::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchArgs(argc, argv);
     banner("Fig. 15", "normalized performance vs tiles per task "
                       "(Cyclone V)");
+
+    const std::vector<SuiteEntry> suite = paperSuite();
+    const std::vector<unsigned> tile_counts{1, 2, 4, 8};
+
+    driver::Sweep<RunResult> sweep(opt.jobs);
+    for (const SuiteEntry &entry : suite) {
+        for (unsigned tiles : tile_counts) {
+            sweep.add([entry, tiles] {
+                auto w = entry.make();
+                return runAccel(w, tiles, fpga::Device::cycloneV());
+            });
+        }
+    }
+    std::vector<RunResult> results = sweep.run();
 
     TextTable t;
     t.header({"benchmark", "1 tile", "2 tiles", "4 tiles",
               "8 tiles", "1-tile cycles"});
+    Json doc = experimentJson("fig15_tile_scaling");
+    Json rows = Json::array();
 
-    for (const SuiteEntry &entry : paperSuite()) {
+    size_t idx = 0;
+    for (const SuiteEntry &entry : suite) {
         uint64_t base = 0;
         std::vector<std::string> row{entry.name};
-        for (unsigned tiles : {1u, 2u, 4u, 8u}) {
-            auto w = entry.make();
-            AccelRun r = runAccel(w, tiles, fpga::Device::cycloneV());
+        for (unsigned tiles : tile_counts) {
+            const RunResult &r = results[idx++];
             if (tiles == 1)
                 base = r.cycles;
-            row.push_back(strfmt(
-                "%.2f", static_cast<double>(base) / r.cycles));
+            double norm = static_cast<double>(base) / r.cycles;
+            row.push_back(strfmt("%.2f", norm));
+
+            Json jr = Json::object();
+            jr.set("benchmark", Json::str(entry.name));
+            jr.set("tiles", Json::num(tiles));
+            jr.set("normalized_perf", Json::num(norm));
+            jr.set("result", runResultJson(r));
+            rows.push(std::move(jr));
         }
         row.push_back(std::to_string(base));
         t.row(row);
     }
     t.print(std::cout);
+    doc.set("rows", std::move(rows));
+    maybeWriteJson(opt, doc);
 
     std::cout << "\nPaper shape: stencil scales best (compute "
                  "bound); saxpy and matrix\nsaturate shared-cache "

@@ -7,20 +7,19 @@
  * 0.3-1.2x, mergesort loses badly (0.06x / 0.1x).
  */
 
+#include <map>
+
 #include "bench/common.hh"
 
 using namespace tapas;
 using namespace tapas::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchArgs(argc, argv);
     banner("Fig. 16", "performance vs Intel i7 quad core "
                       "(>1 means FPGA faster)");
-
-    TextTable t;
-    t.header({"benchmark", "CycloneV", "Arria10", "i7 (us)",
-              "CV (us)", "A10 (us)", "paper CV/A10"});
 
     static const std::map<std::string, std::string> paper = {
         {"matrix_add", "0.6x / 1.2x"}, {"stencil", "0.6x / 0.8x"},
@@ -29,17 +28,48 @@ main()
         {"mergesort", "0.06x / 0.1x"},
     };
 
-    for (const SuiteEntry &entry : paperSuite()) {
-        auto w_cpu = entry.make();
-        cpu::CpuRunResult i7 = runCpu(w_cpu,
-                                      cpuParamsFor(entry.name));
+    const std::vector<SuiteEntry> suite = paperSuite();
 
-        auto w_cv = entry.make();
-        AccelRun cv = runAccel(w_cv, entry.paperTiles,
-                               fpga::Device::cycloneV());
-        auto w_a10 = entry.make();
-        AccelRun a10 = runAccel(w_a10, entry.paperTiles,
-                                fpga::Device::arria10());
+    driver::Sweep<RunResult> sweep(opt.jobs);
+    for (const SuiteEntry &entry : suite) {
+        sweep.add([entry] {
+            auto w = entry.make();
+            return runCpu(w, cpuParamsFor(entry.name));
+        });
+        sweep.add([entry] {
+            auto w = entry.make();
+            return runAccel(w, entry.paperTiles,
+                            fpga::Device::cycloneV());
+        });
+        sweep.add([entry] {
+            auto w = entry.make();
+            return runAccel(w, entry.paperTiles,
+                            fpga::Device::arria10());
+        });
+    }
+    // Context rows: sequential ARM (same memory system as the FPGA)
+    // vs sequential i7 — the paper reports ~13x.
+    sweep.add([] {
+        auto w = workloads::makeStencil(32, 32, 2);
+        return runCpu(w, cpu::CpuParams::armA9());
+    });
+    sweep.add([] {
+        auto w = workloads::makeStencil(32, 32, 2);
+        return runCpu(w, cpu::CpuParams::intelI7());
+    });
+    std::vector<RunResult> results = sweep.run();
+
+    TextTable t;
+    t.header({"benchmark", "CycloneV", "Arria10", "i7 (us)",
+              "CV (us)", "A10 (us)", "paper CV/A10"});
+    Json doc = experimentJson("fig16_vs_cpu");
+    Json rows = Json::array();
+
+    size_t idx = 0;
+    for (const SuiteEntry &entry : suite) {
+        const RunResult &i7 = results[idx++];
+        const RunResult &cv = results[idx++];
+        const RunResult &a10 = results[idx++];
 
         t.row({entry.name,
                strfmt("%.2fx", i7.seconds / cv.seconds),
@@ -48,21 +78,33 @@ main()
                strfmt("%.1f", cv.seconds * 1e6),
                strfmt("%.1f", a10.seconds * 1e6),
                paper.at(entry.name)});
+
+        Json jr = Json::object();
+        jr.set("benchmark", Json::str(entry.name));
+        jr.set("tiles", Json::num(entry.paperTiles));
+        jr.set("speedup_cyclone_v",
+               Json::num(i7.seconds / cv.seconds));
+        jr.set("speedup_arria10",
+               Json::num(i7.seconds / a10.seconds));
+        jr.set("i7_seconds", Json::num(i7.seconds));
+        jr.set("cyclone_v_seconds", Json::num(cv.seconds));
+        jr.set("arria10_seconds", Json::num(a10.seconds));
+        rows.push(std::move(jr));
     }
     t.print(std::cout);
+    doc.set("rows", std::move(rows));
 
-    // Context row: sequential ARM (same memory system as the FPGA)
-    // vs sequential i7 — the paper reports ~13x.
     {
-        auto wa = workloads::makeStencil(32, 32, 2);
-        cpu::CpuRunResult arm = runCpu(wa, cpu::CpuParams::armA9());
-        auto wi = workloads::makeStencil(32, 32, 2);
-        cpu::CpuRunResult i7 = runCpu(wi, cpu::CpuParams::intelI7());
+        const RunResult &arm = results[idx++];
+        const RunResult &i7 = results[idx++];
+        double ratio = arm.stat("serial_seconds") /
+                       i7.stat("serial_seconds");
         std::cout << "\nSequential ARM (SoC) vs sequential i7 on "
                      "stencil: "
-                  << strfmt("%.1fx", arm.serialSeconds /
-                                         i7.serialSeconds)
+                  << strfmt("%.1fx", ratio)
                   << " slower (paper: ~13x)\n";
+        doc.set("arm_vs_i7_serial_slowdown", Json::num(ratio));
     }
+    maybeWriteJson(opt, doc);
     return 0;
 }

@@ -6,20 +6,19 @@
  * the paper reports 10-78x, with mergesort the outlier at 1.3-1.9x.
  */
 
+#include <map>
+
 #include "bench/common.hh"
 
 using namespace tapas;
 using namespace tapas::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchArgs(argc, argv);
     banner("Fig. 17", "performance/watt vs Intel i7 quad core "
                       "(>1 means FPGA better)");
-
-    TextTable t;
-    t.header({"benchmark", "CycloneV", "Arria10", "CV power (W)",
-              "A10 power (W)", "paper CV/A10"});
 
     static const std::map<std::string, std::string> paper = {
         {"matrix_add", "26.7x / 20.2x"},
@@ -31,32 +30,64 @@ main()
         {"mergesort", "1.9x / 1.3x"},
     };
 
-    for (const SuiteEntry &entry : paperSuite()) {
-        auto w_cpu = entry.make();
-        cpu::CpuRunResult i7 = runCpu(w_cpu,
-                                      cpuParamsFor(entry.name));
+    const std::vector<SuiteEntry> suite = paperSuite();
 
-        auto w_cv = entry.make();
-        AccelRun cv = runAccel(w_cv, entry.paperTiles,
-                               fpga::Device::cycloneV());
-        auto w_a10 = entry.make();
-        AccelRun a10 = runAccel(w_a10, entry.paperTiles,
-                                fpga::Device::arria10());
+    driver::Sweep<RunResult> sweep(opt.jobs);
+    for (const SuiteEntry &entry : suite) {
+        sweep.add([entry] {
+            auto w = entry.make();
+            return runCpu(w, cpuParamsFor(entry.name));
+        });
+        sweep.add([entry] {
+            auto w = entry.make();
+            return runAccel(w, entry.paperTiles,
+                            fpga::Device::cycloneV());
+        });
+        sweep.add([entry] {
+            auto w = entry.make();
+            return runAccel(w, entry.paperTiles,
+                            fpga::Device::arria10());
+        });
+    }
+    std::vector<RunResult> results = sweep.run();
 
-        auto ppw_gain = [&](const AccelRun &r) {
+    TextTable t;
+    t.header({"benchmark", "CycloneV", "Arria10", "CV power (W)",
+              "A10 power (W)", "paper CV/A10"});
+    Json doc = experimentJson("fig17_perf_per_watt");
+    Json rows = Json::array();
+
+    size_t idx = 0;
+    for (const SuiteEntry &entry : suite) {
+        const RunResult &i7 = results[idx++];
+        const RunResult &cv = results[idx++];
+        const RunResult &a10 = results[idx++];
+
+        auto ppw_gain = [&](const RunResult &r) {
             double perf_gain = i7.seconds / r.seconds;
             double power_ratio =
-                fpga::kIntelI7PowerW / r.report.powerW;
+                fpga::kIntelI7PowerW / r.stat("power_w");
             return perf_gain * power_ratio;
         };
 
         t.row({entry.name, strfmt("%.1fx", ppw_gain(cv)),
                strfmt("%.1fx", ppw_gain(a10)),
-               strfmt("%.2f", cv.report.powerW),
-               strfmt("%.2f", a10.report.powerW),
+               strfmt("%.2f", cv.stat("power_w")),
+               strfmt("%.2f", a10.stat("power_w")),
                paper.at(entry.name)});
+
+        Json jr = Json::object();
+        jr.set("benchmark", Json::str(entry.name));
+        jr.set("ppw_gain_cyclone_v", Json::num(ppw_gain(cv)));
+        jr.set("ppw_gain_arria10", Json::num(ppw_gain(a10)));
+        jr.set("cyclone_v_power_w", Json::num(cv.stat("power_w")));
+        jr.set("arria10_power_w", Json::num(a10.stat("power_w")));
+        rows.push(std::move(jr));
     }
     t.print(std::cout);
+    doc.set("rows", std::move(rows));
+    doc.set("i7_package_power_w", Json::num(fpga::kIntelI7PowerW));
+    maybeWriteJson(opt, doc);
 
     std::cout << "\ni7 package power: " << fpga::kIntelI7PowerW
               << " W (paper: measured via RAPL).\n";

@@ -19,9 +19,10 @@ struct PaperRow
     const char *chip;
 };
 
-void
-addRow(TextTable &t, const fpga::Device &dev, unsigned tiles,
-       unsigned instrs, const PaperRow &paper)
+/** One config: compile (worker tiled, control unit at 1) + model. */
+fpga::ResourceReport
+estimateConfig(const fpga::Device &dev, unsigned tiles,
+               unsigned instrs)
 {
     auto w = workloads::makeSpawnScale(64, instrs);
     arch::AcceleratorParams p = w.params;
@@ -32,44 +33,92 @@ addRow(TextTable &t, const fpga::Device &dev, unsigned tiles,
     unsigned root_sid = design0->taskGraph->root()->sid();
     p.perTask[root_sid].ntiles = 1;
     auto design = hls::compile(*w.module, w.top, p);
+    return fpga::estimateResources(*design, dev);
+}
 
-    fpga::ResourceReport r = fpga::estimateResources(*design, dev);
+void
+addRow(TextTable &t, Json &rows, const std::string &chip,
+       unsigned tiles, unsigned instrs,
+       const fpga::ResourceReport &r, const PaperRow &paper)
+{
     t.row({std::to_string(tiles), std::to_string(instrs),
            strfmt("%.1f / %.1f", r.fmaxMhz, paper.mhz),
            strfmt("%u / %u", r.alms, paper.alm),
            strfmt("%u / %u", r.regs, paper.reg),
            strfmt("%u / %u", r.brams, paper.bram),
            strfmt("%.0f%% / %s", r.utilization * 100, paper.chip)});
+
+    Json jr = Json::object();
+    jr.set("device", Json::str(chip));
+    jr.set("tiles", Json::num(tiles));
+    jr.set("instructions", Json::num(instrs));
+    jr.set("fmax_mhz", Json::num(r.fmaxMhz));
+    jr.set("alms", Json::num(r.alms));
+    jr.set("regs", Json::num(r.regs));
+    jr.set("brams", Json::num(r.brams));
+    jr.set("utilization", Json::num(r.utilization));
+    rows.push(std::move(jr));
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchArgs(argc, argv);
     banner("Table III", "FPGA utilization (model / paper)");
+
+    struct Config
+    {
+        fpga::Device dev;
+        const char *chip;
+        unsigned tiles, instrs;
+        PaperRow paper;
+    };
+    const std::vector<Config> configs = {
+        {fpga::Device::cycloneV(), "cyclone_v", 1, 1,
+         {185.46, 1314, 1424, 1, "5%"}},
+        {fpga::Device::cycloneV(), "cyclone_v", 1, 50,
+         {178.09, 2955, 3523, 1, "10%"}},
+        {fpga::Device::cycloneV(), "cyclone_v", 10, 1,
+         {153.61, 7107, 8547, 1, "24%"}},
+        {fpga::Device::cycloneV(), "cyclone_v", 10, 50,
+         {159.24, 24738, 27604, 1, "85%"}},
+        {fpga::Device::arria10(), "arria10", 10, 50,
+         {308, 28844, 27659, 1, "12%"}},
+    };
+
+    driver::Sweep<fpga::ResourceReport> sweep(opt.jobs);
+    for (const Config &c : configs) {
+        sweep.add([c] {
+            return estimateConfig(c.dev, c.tiles, c.instrs);
+        });
+    }
+    std::vector<fpga::ResourceReport> reports = sweep.run();
+
+    Json doc = experimentJson("table3_utilization");
+    Json rows = Json::array();
 
     std::cout << "Cyclone V (5CSEMA5):\n";
     TextTable cv;
     cv.header({"Tiles", "Ins.", "MHz", "ALM", "Reg", "BRAM",
                "%Chip"});
-    addRow(cv, fpga::Device::cycloneV(), 1, 1,
-           {185.46, 1314, 1424, 1, "5%"});
-    addRow(cv, fpga::Device::cycloneV(), 1, 50,
-           {178.09, 2955, 3523, 1, "10%"});
-    addRow(cv, fpga::Device::cycloneV(), 10, 1,
-           {153.61, 7107, 8547, 1, "24%"});
-    addRow(cv, fpga::Device::cycloneV(), 10, 50,
-           {159.24, 24738, 27604, 1, "85%"});
+    for (size_t i = 0; i < 4; ++i) {
+        addRow(cv, rows, configs[i].chip, configs[i].tiles,
+               configs[i].instrs, reports[i], configs[i].paper);
+    }
     cv.print(std::cout);
 
     std::cout << "\nArria 10 (10AS066):\n";
     TextTable a10;
     a10.header({"Tiles", "Ins.", "MHz", "ALM", "Reg", "BRAM",
                 "%Chip"});
-    addRow(a10, fpga::Device::arria10(), 10, 50,
-           {308, 28844, 27659, 1, "12%"});
+    addRow(a10, rows, configs[4].chip, configs[4].tiles,
+           configs[4].instrs, reports[4], configs[4].paper);
     a10.print(std::cout);
+
+    doc.set("rows", std::move(rows));
+    maybeWriteJson(opt, doc);
 
     std::cout << "\nNote: BRAM columns differ because this model "
                  "charges the shared 16K L1\ncache and queue RAMs to "

@@ -10,8 +10,9 @@ using namespace tapas;
 using namespace tapas::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchArgs(argc, argv);
     banner("Table IV", "FPGA resources and power, Cyclone V "
                        "(model / paper)");
 
@@ -32,18 +33,31 @@ main()
         {"mergesort", {4, 134, 14098, 24775, 74, 1.491}},
     };
 
+    const std::vector<SuiteEntry> suite = paperSuite();
+
+    driver::Sweep<fpga::ResourceReport> sweep(opt.jobs);
+    for (const SuiteEntry &entry : suite) {
+        sweep.add([entry] {
+            auto w = entry.make();
+            arch::AcceleratorParams params = w.params;
+            params.setAllTiles(entry.paperTiles);
+            auto design = hls::compile(*w.module, w.top, params);
+            return fpga::estimateResources(*design,
+                                           fpga::Device::cycloneV());
+        });
+    }
+    std::vector<fpga::ResourceReport> reports = sweep.run();
+
     TextTable t;
     t.header({"bench", "tiles", "MHz", "ALMs", "Regs", "BRAM",
               "Power(W)"});
+    Json doc = experimentJson("table4_resources_power");
+    Json rows = Json::array();
 
-    for (const SuiteEntry &entry : paperSuite()) {
+    size_t idx = 0;
+    for (const SuiteEntry &entry : suite) {
         const PaperRow &p = paper.at(entry.name);
-        auto w = entry.make();
-        arch::AcceleratorParams params = w.params;
-        params.setAllTiles(entry.paperTiles);
-        auto design = hls::compile(*w.module, w.top, params);
-        fpga::ResourceReport r =
-            fpga::estimateResources(*design, fpga::Device::cycloneV());
+        const fpga::ResourceReport &r = reports[idx++];
 
         t.row({entry.name, std::to_string(entry.paperTiles),
                strfmt("%.0f / %.0f", r.fmaxMhz, p.mhz),
@@ -51,8 +65,20 @@ main()
                strfmt("%u / %u", r.regs, p.regs),
                strfmt("%u / %u", r.brams, p.bram),
                strfmt("%.2f / %.2f", r.powerW, p.power)});
+
+        Json jr = Json::object();
+        jr.set("benchmark", Json::str(entry.name));
+        jr.set("tiles", Json::num(entry.paperTiles));
+        jr.set("fmax_mhz", Json::num(r.fmaxMhz));
+        jr.set("alms", Json::num(r.alms));
+        jr.set("regs", Json::num(r.regs));
+        jr.set("brams", Json::num(r.brams));
+        jr.set("power_w", Json::num(r.powerW));
+        rows.push(std::move(jr));
     }
     t.print(std::cout);
+    doc.set("rows", std::move(rows));
+    maybeWriteJson(opt, doc);
 
     std::cout << "\nShape checks: the recursive benchmarks (fib, "
                  "mergesort) are the BRAM-heavy\noutliers (deep task "

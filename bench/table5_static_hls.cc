@@ -14,75 +14,106 @@ using namespace tapas::bench;
 
 namespace {
 
-void
-compareOne(TextTable &t, const std::string &name,
-           workloads::Workload w, uint64_t trips,
-           const std::string &paper_hls,
-           const std::string &paper_tapas)
+/** Both tool runs for one benchmark, computed as one sweep job. */
+struct Comparison
+{
+    statichls::StaticHlsReport hls;
+    driver::RunResult tapas;
+};
+
+Comparison
+compareOne(workloads::Workload w)
 {
     const fpga::Device dev = fpga::Device::cycloneV();
+    Comparison c;
 
     // --- Intel HLS model (streaming memory, unroll 3) -------------
     auto design_for_analysis = hls::compile(*w.module, w.top,
                                             w.params);
     statichls::StaticHlsParams hp;
     hp.unroll = 3;
-    auto hls_rep = statichls::compileStaticHls(*design_for_analysis,
-                                               dev, hp);
-    tapas_assert(hls_rep.feasible, "Table V kernel must be static");
+    c.hls = statichls::compileStaticHls(*design_for_analysis, dev,
+                                        hp);
+    tapas_assert(c.hls.feasible, "Table V kernel must be static");
 
-    // --- TAPAS (3 tiles, cache memory model) -----------------------
+    // --- TAPAS (3 tiles, cache memory model) ----------------------
     arch::AcceleratorParams p = w.params;
     p.setAllTiles(3);
     // Matched DRAM latency: 270 ns at ~150 MHz = ~40 cycles.
     p.mem.dramLatency = 40;
-    auto design = hls::compile(*w.module, w.top, p);
-    ir::MemImage mem(256ull << 20);
-    auto args = w.setup(mem);
-    sim::AcceleratorSim accel(*design, mem);
-    accel.run(args);
-    std::string err = w.verify(mem, ir::RtValue());
-    tapas_assert(err.empty(), "verification failed: %s",
-                 err.c_str());
-    fpga::ResourceReport tr = fpga::estimateResources(*design, dev);
-    double tapas_ms = accel.cycles() / (tr.fmaxMhz * 1e3);
+    driver::AccelSimEngine::Options eo;
+    eo.device = dev;
+    eo.params = p;
+    c.tapas = runAccelWith(w, std::move(eo));
+    return c;
+}
 
-    t.row({name, "IntelHLS", strfmt("%.0f", hls_rep.fmaxMhz),
-           std::to_string(hls_rep.alms),
-           std::to_string(hls_rep.regs),
-           std::to_string(hls_rep.brams),
-           strfmt("%.3f", hls_rep.runtimeMs(trips)), paper_hls});
-    t.row({"", "TAPAS", strfmt("%.0f", tr.fmaxMhz),
-           std::to_string(tr.alms), std::to_string(tr.regs),
-           std::to_string(tr.brams), strfmt("%.3f", tapas_ms),
-           paper_tapas});
+void
+addRows(TextTable &t, Json &rows, const std::string &name,
+        const Comparison &c, uint64_t trips,
+        const std::string &paper_hls, const std::string &paper_tapas)
+{
+    double hls_ms = c.hls.runtimeMs(trips);
+    double tapas_ms = c.tapas.seconds * 1e3;
+
+    t.row({name, "IntelHLS", strfmt("%.0f", c.hls.fmaxMhz),
+           std::to_string(c.hls.alms), std::to_string(c.hls.regs),
+           std::to_string(c.hls.brams), strfmt("%.3f", hls_ms),
+           paper_hls});
+    t.row({"", "TAPAS", strfmt("%.0f", c.tapas.stat("fmax_mhz")),
+           strfmt("%.0f", c.tapas.stat("alms")),
+           strfmt("%.0f", c.tapas.stat("regs")),
+           strfmt("%.0f", c.tapas.stat("brams")),
+           strfmt("%.3f", tapas_ms), paper_tapas});
     t.separator();
+
+    Json jr = Json::object();
+    jr.set("benchmark", Json::str(name));
+    jr.set("intel_hls_fmax_mhz", Json::num(c.hls.fmaxMhz));
+    jr.set("intel_hls_alms", Json::num(c.hls.alms));
+    jr.set("intel_hls_brams", Json::num(c.hls.brams));
+    jr.set("intel_hls_ms", Json::num(hls_ms));
+    jr.set("tapas_fmax_mhz", Json::num(c.tapas.stat("fmax_mhz")));
+    jr.set("tapas_alms", Json::num(c.tapas.stat("alms")));
+    jr.set("tapas_brams", Json::num(c.tapas.stat("brams")));
+    jr.set("tapas_ms", Json::num(tapas_ms));
+    jr.set("tapas_result", runResultJson(c.tapas));
+    rows.push(std::move(jr));
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchArgs(argc, argv);
     banner("Table V", "Intel HLS vs TAPAS, Cyclone V, 270 ns DRAM, "
                       "unroll 3 vs 3 tiles");
+
+    driver::Sweep<Comparison> sweep(opt.jobs);
+    sweep.add([] {
+        return compareOne(workloads::makeImageScale(64, 32));
+    });
+    sweep.add([] { return compareOne(workloads::makeSaxpy(8192)); });
+    std::vector<Comparison> results = sweep.run();
 
     TextTable t;
     t.header({"bench", "tool", "MHz", "ALMs", "Reg", "BRAM",
               "ms", "paper MHz/ALM/BRAM/ms"});
+    Json doc = experimentJson("table5_static_hls");
+    Json rows = Json::array();
 
     // The paper's arrays are much larger than the simulated ones;
     // runtimes scale with the element count, so compare the per-tool
     // ratio, not the absolute milliseconds.
-    compareOne(t, "image_scale",
-               workloads::makeImageScale(64, 32),
-               static_cast<uint64_t>(128) * 64,
-               "155 / 5467 / 67 / 20ms",
-               "152 / 4543 / 10 / 21ms");
-    compareOne(t, "saxpy", workloads::makeSaxpy(8192), 8192,
-               "181 / 3799 / 38 / 103ms",
-               "146 / 4254 / 11 / 99ms");
+    addRows(t, rows, "image_scale", results[0],
+            static_cast<uint64_t>(128) * 64,
+            "155 / 5467 / 67 / 20ms", "152 / 4543 / 10 / 21ms");
+    addRows(t, rows, "saxpy", results[1], 8192,
+            "181 / 3799 / 38 / 103ms", "146 / 4254 / 11 / 99ms");
     t.print(std::cout);
+    doc.set("rows", std::move(rows));
+    maybeWriteJson(opt, doc);
 
     std::cout << "\nShape checks (paper Section V-E): comparable "
                  "ALMs and runtime;\nIntel HLS burns BRAM on stream "

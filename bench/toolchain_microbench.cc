@@ -2,19 +2,21 @@
  * @file
  * google-benchmark microbenchmarks of the toolchain itself: IR
  * construction, verification, task extraction, full compilation,
- * reference interpretation and cycle simulation throughput. These
- * guard against performance regressions in the infrastructure (they
- * do not reproduce paper results).
+ * reference interpretation and cycle simulation throughput (both via
+ * the unified Engine API), plus the experiment driver's fan-out
+ * overhead. These guard against performance regressions in the
+ * infrastructure (they do not reproduce paper results).
  */
 
 #include <benchmark/benchmark.h>
 
+#include "driver/engine.hh"
+#include "driver/jobrunner.hh"
 #include "hls/compile.hh"
 #include "hls/task_extract.hh"
 #include "ir/printer.hh"
 #include "ir/parser.hh"
 #include "ir/verifier.hh"
-#include "sim/accel.hh"
 #include "workloads/workload.hh"
 
 using namespace tapas;
@@ -80,13 +82,13 @@ void
 BM_InterpThroughput(benchmark::State &state)
 {
     auto w = workloads::makeStencil(12, 12, 1);
+    driver::InterpEngine eng;
     uint64_t insts = 0;
     for (auto _ : state) {
         ir::MemImage mem(32 << 20);
         auto args = w.setup(mem);
-        ir::Interp interp(*w.module, mem);
-        interp.run(*w.top, args);
-        insts += interp.stats().totalInsts;
+        driver::RunResult r = eng.run(*w.module, *w.top, args, mem);
+        insts += static_cast<uint64_t>(r.stat("total_insts"));
     }
     state.counters["insts/s"] = benchmark::Counter(
         static_cast<double>(insts), benchmark::Counter::kIsRate);
@@ -98,18 +100,39 @@ BM_AccelSimThroughput(benchmark::State &state)
 {
     auto w = workloads::makeSaxpy(1024);
     auto design = hls::compile(*w.module, w.top, w.params);
+    // Reuse the compiled design across iterations so the benchmark
+    // measures simulation, not compilation.
+    driver::AccelSimEngine::Options eo;
+    eo.design = design.get();
+    driver::AccelSimEngine eng(std::move(eo));
     uint64_t cycles = 0;
     for (auto _ : state) {
         ir::MemImage mem(32 << 20);
         auto args = w.setup(mem);
-        sim::AcceleratorSim accel(*design, mem);
-        accel.run(args);
-        cycles += accel.cycles();
+        driver::RunResult r = eng.run(*w.module, *w.top, args, mem);
+        cycles += r.cycles;
     }
     state.counters["sim_cycles/s"] = benchmark::Counter(
         static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_AccelSimThroughput);
+
+void
+BM_SweepFanout(benchmark::State &state)
+{
+    const unsigned jobs = static_cast<unsigned>(state.range(0));
+    uint64_t total = 0;
+    for (auto _ : state) {
+        driver::Sweep<uint64_t> sweep(jobs);
+        for (uint64_t i = 0; i < 64; ++i)
+            sweep.add([i] { return i * i; });
+        for (uint64_t v : sweep.run())
+            total += v;
+    }
+    benchmark::DoNotOptimize(total);
+    state.counters["jobs"] = static_cast<double>(jobs);
+}
+BENCHMARK(BM_SweepFanout)->Arg(1)->Arg(4);
 
 } // namespace
 

@@ -1,0 +1,131 @@
+#include "driver/engine.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace tapas::driver {
+
+double
+RunResult::stat(const std::string &name) const
+{
+    auto it = stats.find(name);
+    if (it == stats.end())
+        tapas_fatal("RunResult has no stat '%s'", name.c_str());
+    return it->second;
+}
+
+bool
+RunResult::equals(const RunResult &o) const
+{
+    return retval.i == o.retval.i && cycles == o.cycles &&
+           spawns == o.spawns && seconds == o.seconds &&
+           cacheHitRate == o.cacheHitRate &&
+           verifyError == o.verifyError && stats == o.stats;
+}
+
+RunResult
+Engine::runWorkload(workloads::Workload &w, uint64_t mem_bytes)
+{
+    ir::MemImage mem(mem_bytes);
+    std::vector<ir::RtValue> args = w.setup(mem);
+    bindWorkload(w);
+    RunResult r = run(*w.module, *w.top, args, mem);
+    r.verifyError = w.verify(mem, r.retval);
+    return r;
+}
+
+RunResult
+InterpEngine::run(ir::Module &mod, ir::Function &top,
+                  const std::vector<ir::RtValue> &args,
+                  ir::MemImage &mem)
+{
+    ir::Interp interp(mod, mem, opts);
+    RunResult r;
+    r.retval = interp.run(top, args);
+    const ir::InterpStats &st = interp.stats();
+    r.spawns = st.spawns;
+    r.stats["total_insts"] = static_cast<double>(st.totalInsts);
+    r.stats["calls"] = static_cast<double>(st.calls);
+    r.stats["max_call_depth"] = st.maxCallDepth;
+    r.stats["mem_ops"] = static_cast<double>(st.memOps());
+    return r;
+}
+
+void
+AccelSimEngine::bindWorkload(const workloads::Workload &w)
+{
+    workloadParams = w.params;
+}
+
+RunResult
+AccelSimEngine::run(ir::Module &mod, ir::Function &top,
+                    const std::vector<ir::RtValue> &args,
+                    ir::MemImage &mem)
+{
+    std::unique_ptr<hls::AcceleratorDesign> owned;
+    const hls::AcceleratorDesign *design = opts.design;
+    if (!design) {
+        hls::CompileOptions co;
+        co.params = opts.params
+                        ? *opts.params
+                        : workloadParams.value_or(
+                              arch::AcceleratorParams());
+        if (opts.tiles)
+            co.params.setAllTiles(*opts.tiles);
+        co.runOptPasses = opts.runOptPasses;
+        co.unrollFactor = opts.unrollFactor;
+        owned = hls::compile(mod, &top, co);
+        design = owned.get();
+    }
+
+    sim::AcceleratorSim accel(*design, mem);
+    if (opts.tracer)
+        accel.setTracer(opts.tracer);
+
+    RunResult r;
+    r.retval = accel.run(args);
+    r.cycles = accel.cycles();
+    r.spawns = accel.totalSpawns();
+    r.cacheHitRate = accel.cacheModel().hitRate();
+
+    fpga::ResourceReport rep =
+        fpga::estimateResources(*design, opts.device);
+    r.seconds = accel.seconds(rep.fmaxMhz);
+    r.stats["alms"] = rep.alms;
+    r.stats["regs"] = rep.regs;
+    r.stats["brams"] = rep.brams;
+    r.stats["fmax_mhz"] = rep.fmaxMhz;
+    r.stats["power_w"] = rep.powerW;
+    r.stats["utilization"] = rep.utilization;
+
+    accel.stats.appendTo(r.stats);
+    accel.cacheModel().stats.appendTo(r.stats);
+    for (const auto &task : design->taskGraph->tasks())
+        accel.unit(task->sid()).stats.appendTo(r.stats);
+
+    if (opts.observer)
+        opts.observer(*design, accel);
+    return r;
+}
+
+RunResult
+CpuSimEngine::run(ir::Module &mod, ir::Function &top,
+                  const std::vector<ir::RtValue> &args,
+                  ir::MemImage &mem)
+{
+    cpu::CpuRunResult c = cpu::runOnCpu(mod, top, args, mem, params);
+    RunResult r;
+    r.cycles = static_cast<uint64_t>(std::llround(c.cycles));
+    r.spawns = c.spawns;
+    r.seconds = c.seconds;
+    r.stats["serial_seconds"] = c.serialSeconds;
+    r.stats["work_cycles"] = c.workCycles;
+    r.stats["span_cycles"] = c.spanCycles;
+    r.stats["steals"] = static_cast<double>(c.steals);
+    r.stats["utilization"] = c.utilization;
+    r.stats["dram_accesses"] = static_cast<double>(c.dramAccesses);
+    return r;
+}
+
+} // namespace tapas::driver

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The unified execution-engine API. Every way this repository can
+ * *run* a parallel-IR program — the reference interpreter, the
+ * cycle-level accelerator simulator, the work-stealing multicore
+ * model — sits behind one Engine interface returning one RunResult,
+ * so harnesses and tools compose engines instead of re-wrapping each
+ * engine's ad-hoc entry points.
+ *
+ * Engines are cheap, single-use-friendly objects with no global
+ * state: a run touches only the MemImage and Module it is handed.
+ * Construct one engine per concurrent job and the experiment driver
+ * (jobrunner.hh) can fan runs out across threads; driver_test.cc
+ * verifies that concurrent runs over separate images do not
+ * interfere.
+ */
+
+#ifndef TAPAS_DRIVER_ENGINE_HH
+#define TAPAS_DRIVER_ENGINE_HH
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cpu/multicore.hh"
+#include "fpga/model.hh"
+#include "hls/compile.hh"
+#include "sim/accel.hh"
+#include "workloads/workload.hh"
+
+namespace tapas::driver {
+
+/** What every engine reports for one run. */
+struct RunResult
+{
+    /** The top function's return value (zero lane for void). */
+    ir::RtValue retval;
+
+    /** Modelled cycles (0 for the untimed interpreter). */
+    uint64_t cycles = 0;
+
+    /** Dynamic task spawns. */
+    uint64_t spawns = 0;
+
+    /** Modelled wall-clock seconds (0 for the interpreter). */
+    double seconds = 0;
+
+    /** Shared-L1 hit rate (accelerator engine only). */
+    double cacheHitRate = 0;
+
+    /**
+     * Golden-model diagnostic from Workload::verify; empty when the
+     * run verified or no verifier ran.
+     */
+    std::string verifyError;
+
+    /**
+     * Engine-specific named metrics (flattened stat groups, resource
+     * estimates, CPU scheduler numbers). Ordered map: deterministic
+     * iteration for table/JSON rendering.
+     */
+    std::map<std::string, double> stats;
+
+    /** Look up a named metric; fatal()s when absent. */
+    double stat(const std::string &name) const;
+
+    /** Bitwise equality, stats included (determinism tests). */
+    bool equals(const RunResult &o) const;
+};
+
+/** Abstract execution engine. */
+class Engine
+{
+  public:
+    virtual ~Engine() = default;
+
+    /** Short identifier ("interp", "accel", "cpu"). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Execute `top` with `args` over `mem`. `mem` must already hold
+     * the program's globals/inputs (MemImage::layout or a workload
+     * setup). Engines with pre-passes may mutate `mod`.
+     */
+    virtual RunResult run(ir::Module &mod, ir::Function &top,
+                          const std::vector<ir::RtValue> &args,
+                          ir::MemImage &mem) = 0;
+
+    /**
+     * Run a workload end to end: fresh image, Workload::setup, the
+     * engine, Workload::verify into RunResult::verifyError. This is
+     * the one marshal/verify path shared by every harness.
+     *
+     * @param w workload (its module may be mutated by pre-passes)
+     * @param mem_bytes memory-image size for the run
+     */
+    RunResult runWorkload(workloads::Workload &w,
+                          uint64_t mem_bytes = 256ull << 20);
+
+  protected:
+    /**
+     * Hook invoked by runWorkload() before run(); engines that take
+     * defaults from the workload (e.g. its parameter preset)
+     * override this.
+     */
+    virtual void bindWorkload(const workloads::Workload &w)
+    {
+        (void)w;
+    }
+};
+
+/** Reference interpreter (serial elision) as an Engine. */
+class InterpEngine : public Engine
+{
+  public:
+    explicit InterpEngine(ir::Interp::Options opts = {})
+        : opts(opts)
+    {}
+
+    std::string name() const override { return "interp"; }
+
+    RunResult run(ir::Module &mod, ir::Function &top,
+                  const std::vector<ir::RtValue> &args,
+                  ir::MemImage &mem) override;
+
+  private:
+    ir::Interp::Options opts;
+};
+
+/**
+ * Compile-and-simulate engine: the TAPAS toolchain (with optional
+ * pre-passes) followed by the cycle-level accelerator simulator and
+ * the FPGA resource/timing/power models.
+ */
+class AccelSimEngine : public Engine
+{
+  public:
+    struct Options
+    {
+        /** Target device for resource/fmax/power estimation. */
+        fpga::Device device = fpga::Device::cycloneV();
+
+        /**
+         * Stage-3 parameters; when unset, the workload's preset (or
+         * library defaults for a bare run()) is used.
+         */
+        std::optional<arch::AcceleratorParams> params;
+
+        /** Applied on top of the parameter set via setAllTiles(). */
+        std::optional<unsigned> tiles;
+
+        /** Optimization pre-pass (hls::CompileOptions). */
+        bool runOptPasses = false;
+
+        /** Serial-loop unroll factor (< 2 disables). */
+        unsigned unrollFactor = 0;
+
+        /**
+         * Simulate this pre-compiled design instead of compiling
+         * (params/tiles/pre-pass options are then ignored). Not
+         * owned; must outlive the engine's runs.
+         */
+        const hls::AcceleratorDesign *design = nullptr;
+
+        /** Optional task-lifetime tracer (not owned). */
+        sim::TaskTracer *tracer = nullptr;
+
+        /**
+         * Invoked after the simulation with the compiled design and
+         * the finished simulator, for metrics the flat RunResult
+         * cannot express (e.g. per-unit scalars keyed by sid).
+         */
+        std::function<void(const hls::AcceleratorDesign &,
+                           sim::AcceleratorSim &)>
+            observer;
+    };
+
+    /** Engine with default options (Cyclone V, workload params). */
+    AccelSimEngine() = default;
+
+    explicit AccelSimEngine(Options opts) : opts(std::move(opts)) {}
+
+    std::string name() const override { return "accel"; }
+
+    RunResult run(ir::Module &mod, ir::Function &top,
+                  const std::vector<ir::RtValue> &args,
+                  ir::MemImage &mem) override;
+
+  protected:
+    void bindWorkload(const workloads::Workload &w) override;
+
+  private:
+    Options opts;
+    std::optional<arch::AcceleratorParams> workloadParams;
+};
+
+/** Work-stealing multicore model as an Engine. */
+class CpuSimEngine : public Engine
+{
+  public:
+    explicit CpuSimEngine(cpu::CpuParams params = cpu::CpuParams())
+        : params(params)
+    {}
+
+    std::string name() const override { return "cpu"; }
+
+    RunResult run(ir::Module &mod, ir::Function &top,
+                  const std::vector<ir::RtValue> &args,
+                  ir::MemImage &mem) override;
+
+  private:
+    cpu::CpuParams params;
+};
+
+} // namespace tapas::driver
+
+#endif // TAPAS_DRIVER_ENGINE_HH

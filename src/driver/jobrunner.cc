@@ -1,0 +1,96 @@
+#include "driver/jobrunner.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "support/logging.hh"
+
+namespace tapas::driver {
+
+unsigned
+resolveJobs(unsigned cli_jobs)
+{
+    if (cli_jobs > 0)
+        return cli_jobs;
+    if (const char *env = std::getenv("TAPAS_JOBS")) {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(env, &end, 10);
+        if (end && *end == '\0' && v >= 1)
+            return static_cast<unsigned>(v);
+        tapas_warn("ignoring invalid TAPAS_JOBS='%s'", env);
+    }
+    return 1;
+}
+
+JobRunner::JobRunner(unsigned threads)
+{
+    if (threads <= 1)
+        return;
+    workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+JobRunner::~JobRunner()
+{
+    if (workers.empty())
+        return;
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    workReady.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+void
+JobRunner::submit(std::function<void()> job)
+{
+    if (workers.empty()) {
+        job();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        queue.push_back(std::move(job));
+        ++inFlight;
+    }
+    workReady.notify_one();
+}
+
+void
+JobRunner::wait()
+{
+    if (workers.empty())
+        return;
+    std::unique_lock<std::mutex> lock(mtx);
+    allDone.wait(lock, [this] { return inFlight == 0; });
+}
+
+void
+JobRunner::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            workReady.wait(lock, [this] {
+                return stopping || !queue.empty();
+            });
+            if (queue.empty())
+                return; // stopping and drained
+            job = std::move(queue.front());
+            queue.pop_front();
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            --inFlight;
+        }
+        allDone.notify_all();
+    }
+}
+
+} // namespace tapas::driver

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Multi-threaded experiment driver: a fixed-size worker pool
+ * (JobRunner) and a deterministic fan-out helper (Sweep) that the
+ * bench harnesses use to spread a configuration grid across hardware
+ * threads.
+ *
+ * Determinism contract: jobs are independent, side-effect-free
+ * closures whose results land in a slot fixed at submission time, and
+ * the caller consumes them in submission order. A sweep therefore
+ * produces results — and any table or JSON rendered from them —
+ * bit-identical to a serial run, regardless of worker count or
+ * scheduling; only the wall clock changes. driver_test.cc holds the
+ * line on this.
+ *
+ * Worker count resolution (`resolveJobs`): an explicit `--jobs N`
+ * wins, else the TAPAS_JOBS environment variable, else 1 (serial).
+ * With one job the sweep runs inline on the calling thread — no pool,
+ * no threads — so single-threaded behaviour is exactly the pre-driver
+ * code path.
+ */
+
+#ifndef TAPAS_DRIVER_JOBRUNNER_HH
+#define TAPAS_DRIVER_JOBRUNNER_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tapas::driver {
+
+/**
+ * Resolve the worker count for a sweep.
+ *
+ * @param cli_jobs value of an explicit `--jobs` flag (0 = not given)
+ * @return cli_jobs if nonzero, else TAPAS_JOBS if set and valid,
+ *         else 1
+ */
+unsigned resolveJobs(unsigned cli_jobs = 0);
+
+/** A fixed pool of worker threads draining a FIFO of closures. */
+class JobRunner
+{
+  public:
+    /**
+     * Start `threads` workers. 0 or 1 means inline execution:
+     * submit() runs the job on the calling thread immediately.
+     */
+    explicit JobRunner(unsigned threads);
+
+    /** Waits for all submitted work, then joins the workers. */
+    ~JobRunner();
+
+    JobRunner(const JobRunner &) = delete;
+    JobRunner &operator=(const JobRunner &) = delete;
+
+    /** Enqueue one job (runs inline when the pool has no threads). */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished. */
+    void wait();
+
+    /** Worker threads backing the pool (0 = inline mode). */
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex mtx;
+    std::condition_variable workReady;
+    std::condition_variable allDone;
+    unsigned inFlight = 0;
+    bool stopping = false;
+};
+
+/**
+ * A deterministic fan-out of homogeneous jobs: add() closures, then
+ * run() them across `jobs` workers and collect the results in
+ * submission order.
+ *
+ * @tparam R result type of each job
+ */
+template <typename R>
+class Sweep
+{
+  public:
+    /** @param jobs worker threads to use (<= 1 = serial inline) */
+    explicit Sweep(unsigned jobs) : njobs(jobs) {}
+
+    /** Register a job; returns its result index. */
+    size_t
+    add(std::function<R()> job)
+    {
+        pending.push_back(std::move(job));
+        return pending.size() - 1;
+    }
+
+    /** Registered job count. */
+    size_t size() const { return pending.size(); }
+
+    /**
+     * Execute all registered jobs and return their results in
+     * submission order. Jobs are consumed; run() may be called once.
+     */
+    std::vector<R>
+    run()
+    {
+        std::vector<R> results(pending.size());
+        if (njobs <= 1) {
+            for (size_t i = 0; i < pending.size(); ++i)
+                results[i] = pending[i]();
+        } else {
+            JobRunner pool(njobs);
+            for (size_t i = 0; i < pending.size(); ++i) {
+                pool.submit([this, i, &results] {
+                    results[i] = pending[i]();
+                });
+            }
+            pool.wait();
+        }
+        pending.clear();
+        return results;
+    }
+
+  private:
+    unsigned njobs;
+    std::vector<std::function<R()>> pending;
+};
+
+} // namespace tapas::driver
+
+#endif // TAPAS_DRIVER_JOBRUNNER_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "hls/task_extract.hh"
+#include "hls/unroll.hh"
 #include "ir/verifier.hh"
 
 namespace tapas::hls {
@@ -41,6 +42,30 @@ compile(const ir::Module &mod, ir::Function *top,
         design->params.perTask[sid] = tp;
     }
     return design;
+}
+
+std::unique_ptr<AcceleratorDesign>
+compile(ir::Module &mod, ir::Function *top,
+        const CompileOptions &opts)
+{
+    if (opts.runOptPasses) {
+        OptStats os = optimizeModule(mod);
+        if (opts.optStatsOut)
+            *opts.optStatsOut = os;
+        ir::verifyOrDie(mod);
+    }
+    if (opts.unrollFactor >= 2) {
+        unsigned n = 0;
+        for (const auto &f : mod.functions()) {
+            n += unrollSerialLoops(*f, mod,
+                                   UnrollOptions{opts.unrollFactor});
+        }
+        if (opts.unrolledLoopsOut)
+            *opts.unrolledLoopsOut = n;
+        ir::verifyOrDie(mod);
+    }
+    return compile(static_cast<const ir::Module &>(mod), top,
+                   opts.params);
 }
 
 } // namespace tapas::hls

@@ -15,6 +15,7 @@
 #include "arch/dataflow.hh"
 #include "arch/params.hh"
 #include "arch/task.hh"
+#include "hls/opt.hh"
 
 namespace tapas::hls {
 
@@ -57,6 +58,44 @@ struct AcceleratorDesign
 std::unique_ptr<AcceleratorDesign> compile(
     const ir::Module &mod, ir::Function *top,
     arch::AcceleratorParams params = arch::AcceleratorParams());
+
+/**
+ * Explicit toolchain configuration: the pre-passes (optimization,
+ * serial-loop unrolling) plus the Stage-3 parameters, in the order
+ * the toolchain applies them. Replaces hand-sequencing
+ * optimizeModule() / unrollSerialLoops() / compile() at every call
+ * site.
+ */
+struct CompileOptions
+{
+    /** Stage-3 hardware parameterization. */
+    arch::AcceleratorParams params;
+
+    /** Run the optimization pipeline (opt.hh) before extraction. */
+    bool runOptPasses = false;
+
+    /** Unroll eligible serial loops by this factor (< 2 disables). */
+    unsigned unrollFactor = 0;
+
+    /** If set, receives the optimization-pass statistics. */
+    OptStats *optStatsOut = nullptr;
+
+    /** If set, receives the number of loops unrolled. */
+    unsigned *unrolledLoopsOut = nullptr;
+};
+
+/**
+ * Run the TAPAS toolchain with explicit options: optimization and
+ * unrolling pre-passes (which mutate and re-verify `mod`), then the
+ * Stage 1-3 pipeline above.
+ *
+ * @param mod the parallel-IR module (mutated by enabled pre-passes)
+ * @param top function to offload
+ * @param opts pass and parameter configuration
+ */
+std::unique_ptr<AcceleratorDesign> compile(ir::Module &mod,
+                                           ir::Function *top,
+                                           const CompileOptions &opts);
 
 } // namespace tapas::hls
 

@@ -1,0 +1,207 @@
+#include "support/json.hh"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace tapas {
+
+Json
+Json::object()
+{
+    Json j;
+    j.kind = Kind::Object;
+    return j;
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.kind = Kind::Array;
+    return j;
+}
+
+Json
+Json::str(std::string v)
+{
+    Json j;
+    j.kind = Kind::Str;
+    j.strVal = std::move(v);
+    return j;
+}
+
+Json
+Json::num(double v)
+{
+    // Integral doubles (cycle counts, spawns, ...) print as
+    // integers; everything else uses a fixed %.10g so identical
+    // values always serialize identically.
+    if (std::isfinite(v) && v == std::floor(v) &&
+        std::fabs(v) < 9.007199254740992e15) {
+        Json j;
+        j.kind = Kind::NumInt;
+        j.intVal = static_cast<uint64_t>(static_cast<int64_t>(v));
+        return j;
+    }
+    Json j;
+    j.kind = Kind::NumDouble;
+    j.numVal = v;
+    return j;
+}
+
+Json
+Json::num(uint64_t v)
+{
+    Json j;
+    j.kind = Kind::NumInt;
+    j.intVal = v;
+    return j;
+}
+
+Json
+Json::boolean(bool v)
+{
+    Json j;
+    j.kind = Kind::Bool;
+    j.boolVal = v;
+    return j;
+}
+
+Json &
+Json::set(const std::string &key, Json v)
+{
+    tapas_assert(kind == Kind::Object, "Json::set on a non-object");
+    for (auto &[k, old] : members) {
+        if (k == key) {
+            old = std::move(v);
+            return *this;
+        }
+    }
+    members.emplace_back(key, std::move(v));
+    return *this;
+}
+
+Json &
+Json::push(Json v)
+{
+    tapas_assert(kind == Kind::Array, "Json::push on a non-array");
+    elems.push_back(std::move(v));
+    return *this;
+}
+
+size_t
+Json::size() const
+{
+    return kind == Kind::Object ? members.size() : elems.size();
+}
+
+namespace {
+
+void
+writeEscaped(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                os << strfmt("\\u%04x",
+                             static_cast<unsigned char>(c));
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+indent(std::ostream &os, unsigned depth)
+{
+    for (unsigned i = 0; i < depth * 2; ++i)
+        os << ' ';
+}
+
+} // namespace
+
+void
+Json::writeIndented(std::ostream &os, unsigned depth) const
+{
+    switch (kind) {
+      case Kind::Null:
+        os << "null";
+        break;
+      case Kind::Bool:
+        os << (boolVal ? "true" : "false");
+        break;
+      case Kind::NumDouble:
+        if (std::isfinite(numVal))
+            os << strfmt("%.10g", numVal);
+        else
+            os << "null"; // JSON has no inf/nan
+        break;
+      case Kind::NumInt:
+        os << strfmt("%lld",
+                     static_cast<long long>(
+                         static_cast<int64_t>(intVal)));
+        break;
+      case Kind::Str:
+        writeEscaped(os, strVal);
+        break;
+      case Kind::Array:
+        if (elems.empty()) {
+            os << "[]";
+            break;
+        }
+        os << "[\n";
+        for (size_t i = 0; i < elems.size(); ++i) {
+            indent(os, depth + 1);
+            elems[i].writeIndented(os, depth + 1);
+            os << (i + 1 < elems.size() ? ",\n" : "\n");
+        }
+        indent(os, depth);
+        os << ']';
+        break;
+      case Kind::Object:
+        if (members.empty()) {
+            os << "{}";
+            break;
+        }
+        os << "{\n";
+        for (size_t i = 0; i < members.size(); ++i) {
+            indent(os, depth + 1);
+            writeEscaped(os, members[i].first);
+            os << ": ";
+            members[i].second.writeIndented(os, depth + 1);
+            os << (i + 1 < members.size() ? ",\n" : "\n");
+        }
+        indent(os, depth);
+        os << '}';
+        break;
+    }
+}
+
+void
+Json::write(std::ostream &os) const
+{
+    writeIndented(os, 0);
+    os << '\n';
+}
+
+std::string
+Json::dump() const
+{
+    std::ostringstream ss;
+    write(ss);
+    return ss.str();
+}
+
+} // namespace tapas

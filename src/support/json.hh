@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Minimal JSON document builder used for machine-readable experiment
+ * result export (`--json` in the bench harnesses and tapas-cc).
+ *
+ * Deliberately tiny: build-and-serialize only, no parsing. Object
+ * keys keep insertion order and number formatting is deterministic,
+ * so two runs that compute identical results serialize to
+ * byte-identical files — the property the experiment driver's
+ * determinism guarantee extends to disk.
+ */
+
+#ifndef TAPAS_SUPPORT_JSON_HH
+#define TAPAS_SUPPORT_JSON_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tapas {
+
+/** One JSON value: null, bool, number, string, array or object. */
+class Json
+{
+  public:
+    /** Constructs null. */
+    Json() = default;
+
+    /** An empty JSON object (insertion-ordered keys). */
+    static Json object();
+
+    /** An empty JSON array. */
+    static Json array();
+
+    static Json str(std::string v);
+    static Json num(double v);
+    static Json num(uint64_t v);
+    static Json num(int v) { return num(static_cast<uint64_t>(v)); }
+    static Json num(unsigned v) { return num(static_cast<uint64_t>(v)); }
+    static Json boolean(bool v);
+
+    /** Set `key` in an object (panics on non-objects). */
+    Json &set(const std::string &key, Json v);
+
+    /** Append to an array (panics on non-arrays). */
+    Json &push(Json v);
+
+    /** Elements in an array / members in an object. */
+    size_t size() const;
+
+    /**
+     * Serialize with 2-space indentation and a trailing newline at
+     * the top level.
+     */
+    void write(std::ostream &os) const;
+
+    /** write() into a string. */
+    std::string dump() const;
+
+  private:
+    enum class Kind : uint8_t {
+        Null,
+        Bool,
+        NumDouble,
+        NumInt,
+        Str,
+        Array,
+        Object,
+    };
+
+    void writeIndented(std::ostream &os, unsigned depth) const;
+
+    Kind kind = Kind::Null;
+    bool boolVal = false;
+    double numVal = 0.0;
+    uint64_t intVal = 0;
+    std::string strVal;
+    std::vector<Json> elems;
+    std::vector<std::pair<std::string, Json>> members;
+};
+
+} // namespace tapas
+
+#endif // TAPAS_SUPPORT_JSON_HH

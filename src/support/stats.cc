@@ -32,6 +32,16 @@ StatGroup::dump(std::ostream &os) const
 }
 
 void
+StatGroup::appendTo(std::map<std::string, double> &out) const
+{
+    for (const Counter *c : counters)
+        out[_name + '.' + c->name()] =
+            static_cast<double>(c->value());
+    for (const Scalar *s : scalars)
+        out[_name + '.' + s->name()] = s->value();
+}
+
+void
 StatGroup::resetAll()
 {
     for (Counter *c : counters)

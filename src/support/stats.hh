@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,13 @@ class StatGroup
 
     /** Dump all registered stats as "<group>.<stat> <value> # desc". */
     void dump(std::ostream &os) const;
+
+    /**
+     * Append every registered stat to `out` keyed "<group>.<stat>"
+     * (counters widened to double). Used to snapshot a component's
+     * statistics into an engine RunResult.
+     */
+    void appendTo(std::map<std::string, double> &out) const;
 
     /** Reset every registered stat to zero. */
     void resetAll();

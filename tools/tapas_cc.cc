@@ -17,6 +17,8 @@
  *   --opt                 run the optimization passes first
  *   --unroll N            unroll eligible serial loops by N
  *   --trace <path>        write a task-lifetime CSV from --run
+ *   --jobs N              run --run/--interp engines concurrently
+ *   --json <path>         machine-readable results ('-' for stdout)
  *   --top <name>          offloaded function (default: first
  *                         function containing a detach)
  *
@@ -25,18 +27,19 @@
  *            --run @vec 64 --emit-chisel -
  */
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "codegen/chisel.hh"
+#include "driver/engine.hh"
+#include "driver/jobrunner.hh"
 #include "fpga/model.hh"
-#include "hls/opt.hh"
-#include "hls/unroll.hh"
 #include "ir/parser.hh"
 #include "ir/printer.hh"
 #include "ir/verifier.hh"
-#include "sim/accel.hh"
+#include "support/json.hh"
 
 using namespace tapas;
 
@@ -45,12 +48,37 @@ namespace {
 [[noreturn]] void
 usage(const char *argv0)
 {
-    std::cerr << "usage: " << argv0
-              << " <program.tir> [--top NAME] [--tiles N] "
-                 "[--ntasks N]\n"
-                 "       [--report] [--emit-chisel PATH] "
-                 "[--emit-dot PATH]\n"
-                 "       [--run ARGS...] [--interp ARGS...]\n";
+    std::cerr
+        << "usage: " << argv0
+        << " <program.tir> [--top NAME] [--tiles N] [--ntasks N]\n"
+           "       [--opt] [--unroll N] [--report]\n"
+           "       [--emit-chisel PATH] [--emit-dot PATH]\n"
+           "       [--run ARGS...] [--interp ARGS...] "
+           "[--trace PATH]\n"
+           "       [--jobs N] [--json PATH]\n"
+           "\n"
+           "  --report            task graph + FPGA resource "
+           "estimates\n"
+           "  --emit-chisel PATH  generated Chisel ('-' for "
+           "stdout)\n"
+           "  --emit-dot PATH     task graph as Graphviz\n"
+           "  --run [ARGS...]     cycle simulation; @global "
+           "resolves to its address\n"
+           "  --interp [ARGS...]  reference interpreter (same "
+           "argument list)\n"
+           "  --tiles N           tiles per task unit (default 1)\n"
+           "  --ntasks N          task-queue entries (default 32)\n"
+           "  --opt               run the optimization passes "
+           "before HLS\n"
+           "  --unroll N          unroll eligible serial loops by "
+           "N\n"
+           "  --trace PATH        task-lifetime CSV from --run\n"
+           "  --jobs N            worker threads for --run/--interp "
+           "(or $TAPAS_JOBS)\n"
+           "  --json PATH         machine-readable results ('-' for "
+           "stdout)\n"
+           "  --top NAME          offloaded function (default: "
+           "first with a detach)\n";
     std::exit(2);
 }
 
@@ -63,6 +91,18 @@ readFile(const std::string &path)
     std::ostringstream ss;
     ss << in.rdbuf();
     return ss.str();
+}
+
+/** Parse a decimal flag argument; fatal() on garbage. */
+unsigned
+parseUnsigned(const std::string &flag, const std::string &text)
+{
+    char *end = nullptr;
+    unsigned long v = std::strtoul(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0')
+        tapas_fatal("%s expects a number, got '%s'", flag.c_str(),
+                    text.c_str());
+    return static_cast<unsigned>(v);
 }
 
 /** Parse one CLI run-argument against the function's signature. */
@@ -96,6 +136,14 @@ writeOut(const std::string &path, const std::string &content)
               << " bytes)\n";
 }
 
+std::string
+formatRet(const ir::Function &top, ir::RtValue ret)
+{
+    return top.returnType().isFloat()
+               ? strfmt("%g", ret.f)
+               : strfmt("%lld", static_cast<long long>(ret.i));
+}
+
 } // namespace
 
 int
@@ -108,6 +156,7 @@ main(int argc, char **argv)
     std::string top_name;
     std::string chisel_path;
     std::string dot_path;
+    std::string json_path;
     bool report = false;
     bool do_run = false;
     bool do_interp = false;
@@ -115,34 +164,45 @@ main(int argc, char **argv)
     unsigned unroll = 0;
     unsigned tiles = 1;
     unsigned ntasks = 32;
+    unsigned cli_jobs = 0;
     std::string trace_path;
     std::vector<std::string> run_args;
+
+    if (input == "--help" || input == "-h")
+        usage(argv[0]);
 
     for (int i = 2; i < argc; ++i) {
         std::string a = argv[i];
         auto next = [&]() -> std::string {
             if (++i >= argc)
-                usage(argv[0]);
+                tapas_fatal("flag '%s' needs an argument",
+                            a.c_str());
             return argv[i];
         };
         if (a == "--top") {
             top_name = next();
         } else if (a == "--tiles") {
-            tiles = static_cast<unsigned>(std::stoul(next()));
+            tiles = parseUnsigned(a, next());
         } else if (a == "--ntasks") {
-            ntasks = static_cast<unsigned>(std::stoul(next()));
+            ntasks = parseUnsigned(a, next());
         } else if (a == "--report") {
             report = true;
         } else if (a == "--opt") {
             do_opt = true;
         } else if (a == "--unroll") {
-            unroll = static_cast<unsigned>(std::stoul(next()));
+            unroll = parseUnsigned(a, next());
         } else if (a == "--trace") {
             trace_path = next();
+        } else if (a == "--jobs") {
+            cli_jobs = parseUnsigned(a, next());
+        } else if (a == "--json") {
+            json_path = next();
         } else if (a == "--emit-chisel") {
             chisel_path = next();
         } else if (a == "--emit-dot") {
             dot_path = next();
+        } else if (a == "--help" || a == "-h") {
+            usage(argv[0]);
         } else if (a == "--run" || a == "--interp") {
             // Both engines share one argument list; the second flag
             // may omit it.
@@ -153,31 +213,12 @@ main(int argc, char **argv)
             if (!these.empty())
                 run_args = std::move(these);
         } else {
-            usage(argv[0]);
+            tapas_fatal("unknown flag '%s' (see --help)", a.c_str());
         }
     }
 
     auto mod = ir::parseModuleOrDie(readFile(input));
     ir::verifyOrDie(*mod);
-
-    if (do_opt) {
-        hls::OptStats os = hls::optimizeModule(*mod);
-        std::cout << "opt: folded " << os.foldedConstants
-                  << ", simplified " << os.simplifiedBranches
-                  << " branches, removed " << os.removedBlocks
-                  << " blocks / " << os.removedInstructions
-                  << " insts\n";
-        ir::verifyOrDie(*mod);
-    }
-    if (unroll >= 2) {
-        unsigned n = 0;
-        for (const auto &f : mod->functions())
-            n += hls::unrollSerialLoops(*f, *mod,
-                                        hls::UnrollOptions{unroll});
-        std::cout << "unroll: " << n << " loops by " << unroll
-                  << "x\n";
-        ir::verifyOrDie(*mod);
-    }
 
     ir::Function *top = nullptr;
     if (!top_name.empty()) {
@@ -197,10 +238,28 @@ main(int argc, char **argv)
             tapas_fatal("module has no functions");
     }
 
-    arch::AcceleratorParams params;
-    params.defaults.ntiles = tiles;
-    params.defaults.ntasks = ntasks;
-    auto design = hls::compile(*mod, top, params);
+    hls::CompileOptions copts;
+    copts.params.defaults.ntiles = tiles;
+    copts.params.defaults.ntasks = ntasks;
+    copts.runOptPasses = do_opt;
+    copts.unrollFactor = unroll;
+    hls::OptStats opt_stats;
+    unsigned unrolled_loops = 0;
+    copts.optStatsOut = &opt_stats;
+    copts.unrolledLoopsOut = &unrolled_loops;
+    auto design = hls::compile(*mod, top, copts);
+
+    if (do_opt) {
+        std::cout << "opt: folded " << opt_stats.foldedConstants
+                  << ", simplified " << opt_stats.simplifiedBranches
+                  << " branches, removed " << opt_stats.removedBlocks
+                  << " blocks / " << opt_stats.removedInstructions
+                  << " insts\n";
+    }
+    if (unroll >= 2) {
+        std::cout << "unroll: " << unrolled_loops << " loops by "
+                  << unroll << "x\n";
+    }
 
     if (report) {
         std::cout << "top: @" << top->name() << "\n\ntask graph:\n";
@@ -235,62 +294,110 @@ main(int argc, char **argv)
         writeOut(dot_path, os.str());
     }
 
+    Json doc = Json::object();
+    doc.set("tool", Json::str("tapas_cc"));
+    doc.set("input", Json::str(input));
+    doc.set("top", Json::str(top->name()));
+    Json jresults = Json::array();
+
     if (do_run || do_interp) {
         if (run_args.size() != top->numArgs()) {
             tapas_fatal("@%s takes %u arguments, %zu given",
                         top->name().c_str(), top->numArgs(),
                         run_args.size());
         }
-        ir::MemImage mem(256ull << 20);
-        mem.layout(*mod);
-        std::vector<ir::RtValue> args;
-        for (unsigned i = 0; i < top->numArgs(); ++i) {
-            args.push_back(parseArg(run_args[i],
-                                    top->arg(i)->type(), *mod, mem));
-        }
 
-        if (do_interp) {
-            ir::Interp interp(*mod, mem);
-            ir::RtValue ret = interp.run(*top, args);
-            std::cout << "interp: " << interp.stats().totalInsts
-                      << " insts, " << interp.stats().spawns
-                      << " spawns";
-            if (!top->returnType().isVoid()) {
-                std::cout << ", returned "
-                          << (top->returnType().isFloat()
-                                  ? strfmt("%g", ret.f)
-                                  : strfmt("%lld",
-                                           static_cast<long long>(
-                                               ret.i)));
+        // Each engine gets its own MemImage; the deterministic
+        // layout makes @global addresses identical across images.
+        auto setupMem = [&](ir::MemImage &mem) {
+            mem.layout(*mod);
+            std::vector<ir::RtValue> args;
+            for (unsigned i = 0; i < top->numArgs(); ++i) {
+                args.push_back(parseArg(run_args[i],
+                                        top->arg(i)->type(), *mod,
+                                        mem));
             }
-            std::cout << "\n";
+            return args;
+        };
+
+        sim::TaskTracer tracer;
+        driver::Sweep<driver::RunResult> sweep(
+            driver::resolveJobs(cli_jobs));
+        if (do_interp) {
+            sweep.add([&] {
+                ir::MemImage mem(256ull << 20);
+                auto args = setupMem(mem);
+                driver::InterpEngine eng;
+                return eng.run(*mod, *top, args, mem);
+            });
         }
         if (do_run) {
-            sim::AcceleratorSim accel(*design, mem);
-            sim::TaskTracer tracer;
-            if (!trace_path.empty())
-                accel.setTracer(&tracer);
-            ir::RtValue ret = accel.run(args);
+            sweep.add([&] {
+                ir::MemImage mem(256ull << 20);
+                auto args = setupMem(mem);
+                driver::AccelSimEngine::Options eo;
+                eo.design = design.get();
+                if (!trace_path.empty())
+                    eo.tracer = &tracer;
+                driver::AccelSimEngine eng(std::move(eo));
+                return eng.run(*mod, *top, args, mem);
+            });
+        }
+        std::vector<driver::RunResult> results = sweep.run();
+
+        size_t idx = 0;
+        if (do_interp) {
+            const driver::RunResult &r = results[idx++];
+            std::cout << "interp: "
+                      << static_cast<uint64_t>(
+                             r.stat("total_insts"))
+                      << " insts, " << r.spawns << " spawns";
+            if (!top->returnType().isVoid())
+                std::cout << ", returned " << formatRet(*top,
+                                                        r.retval);
+            std::cout << "\n";
+
+            Json jr = Json::object();
+            jr.set("engine", Json::str("interp"));
+            jr.set("total_insts", Json::num(r.stat("total_insts")));
+            jr.set("spawns", Json::num(r.spawns));
+            if (!top->returnType().isVoid())
+                jr.set("retval", Json::str(formatRet(*top,
+                                                     r.retval)));
+            jresults.push(std::move(jr));
+        }
+        if (do_run) {
+            const driver::RunResult &r = results[idx++];
             if (!trace_path.empty()) {
                 std::ostringstream os;
                 tracer.dumpCsv(os);
                 writeOut(trace_path, os.str());
             }
-            std::cout << "accel: " << accel.cycles() << " cycles, "
-                      << accel.totalSpawns() << " spawns, "
-                      << strfmt("%.1f%%",
-                                accel.cacheModel().hitRate() * 100)
+            std::cout << "accel: " << r.cycles << " cycles, "
+                      << r.spawns << " spawns, "
+                      << strfmt("%.1f%%", r.cacheHitRate * 100)
                       << " cache hits";
-            if (!top->returnType().isVoid()) {
-                std::cout << ", returned "
-                          << (top->returnType().isFloat()
-                                  ? strfmt("%g", ret.f)
-                                  : strfmt("%lld",
-                                           static_cast<long long>(
-                                               ret.i)));
-            }
+            if (!top->returnType().isVoid())
+                std::cout << ", returned " << formatRet(*top,
+                                                        r.retval);
             std::cout << "\n";
+
+            Json jr = Json::object();
+            jr.set("engine", Json::str("accel"));
+            jr.set("cycles", Json::num(r.cycles));
+            jr.set("spawns", Json::num(r.spawns));
+            jr.set("cache_hit_rate", Json::num(r.cacheHitRate));
+            jr.set("seconds", Json::num(r.seconds));
+            if (!top->returnType().isVoid())
+                jr.set("retval", Json::str(formatRet(*top,
+                                                     r.retval)));
+            jresults.push(std::move(jr));
         }
+    }
+
+    if (!json_path.empty()) {
+        doc.set("results", std::move(jresults));
+        writeOut(json_path, doc.dump());
     }
     return 0;
 }
