@@ -14,14 +14,22 @@
  *                results are merged in submission order, so output
  *                is byte-identical to a serial run
  *   --json PATH  also export machine-readable results as JSON
+ *   --trace PATH write a Perfetto trace-event JSON per accelerator
+ *                run; the 2nd, 3rd... traced run gets ".2", ".3"...
+ *                inserted before the extension so parallel sweeps do
+ *                not clobber one file
+ *   --profile    print a per-unit cycle-attribution table after each
+ *                accelerator run
  */
 
 #ifndef TAPAS_BENCH_COMMON_HH
 #define TAPAS_BENCH_COMMON_HH
 
+#include <atomic>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <string>
 
 #include "driver/engine.hh"
@@ -41,7 +49,25 @@ struct BenchOptions
 
     /** JSON result export path ("" = no export). */
     std::string jsonPath;
+
+    /** Perfetto trace path for accelerator runs ("" = no trace). */
+    std::string traceFile;
+
+    /** Print a cycle-attribution table per accelerator run. */
+    bool profile = false;
 };
+
+/**
+ * Observability options the runAccel helpers apply to every
+ * accelerator engine they build; parseBenchArgs() fills this in from
+ * --trace / --profile.
+ */
+inline driver::RunOptions &
+benchRunOptions()
+{
+    static driver::RunOptions opts;
+    return opts;
+}
 
 /** Parse a decimal flag argument; fatal() on garbage. */
 inline unsigned
@@ -74,16 +100,24 @@ parseBenchArgs(int argc, char **argv)
             cli_jobs = parseUnsigned(a, next());
         } else if (a == "--json") {
             opt.jsonPath = next();
+        } else if (a == "--trace") {
+            opt.traceFile = next();
+        } else if (a == "--profile") {
+            opt.profile = true;
         } else if (a == "--help" || a == "-h") {
             std::cout << "usage: " << argv[0]
-                      << " [--jobs N] [--json PATH]\n";
+                      << " [--jobs N] [--json PATH] [--trace PATH]"
+                         " [--profile]\n";
             std::exit(0);
         } else {
             tapas_fatal("unknown option '%s' (supported: --jobs N, "
-                        "--json PATH)", a.c_str());
+                        "--json PATH, --trace PATH, --profile)",
+                        a.c_str());
         }
     }
     opt.jobs = driver::resolveJobs(cli_jobs);
+    benchRunOptions().traceFile = opt.traceFile;
+    benchRunOptions().profile = opt.profile;
     return opt;
 }
 
@@ -125,6 +159,54 @@ runResultJson(const RunResult &r)
     return j;
 }
 
+/** Nth traced run: "out.json" -> "out.json", "out.2.json", ... */
+inline std::string
+numberedTracePath(const std::string &path, unsigned n)
+{
+    if (n == 0)
+        return path;
+    std::string suffix = "." + std::to_string(n + 1);
+    size_t dot = path.rfind('.');
+    if (dot == std::string::npos || dot == 0)
+        return path + suffix;
+    return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
+/**
+ * As runAccel() but with a full engine-option override (custom
+ * params, pre-passes, observer...). Applies benchRunOptions():
+ * traced runs each get a distinct numbered file (safe under --jobs),
+ * and --profile prints the cycle-attribution table after the run
+ * verifies.
+ */
+inline RunResult
+runAccelWith(workloads::Workload &w,
+             driver::AccelSimEngine::Options eo,
+             uint64_t mem_bytes = 256ull << 20)
+{
+    driver::AccelSimEngine engine(std::move(eo));
+    const driver::RunOptions &obs = benchRunOptions();
+    engine.runOptions.profile = obs.profile;
+    if (!obs.traceFile.empty()) {
+        static std::atomic<unsigned> traced{0};
+        engine.runOptions.traceFile =
+            numberedTracePath(obs.traceFile, traced++);
+    }
+    RunResult r = engine.runWorkload(w, mem_bytes);
+    if (!r.verifyError.empty()) {
+        tapas_fatal("bench '%s' failed verification: %s",
+                    w.name.c_str(), r.verifyError.c_str());
+    }
+    if (obs.profile) {
+        // Sweeps print from worker threads; keep reports whole.
+        static std::mutex mu;
+        std::lock_guard<std::mutex> lock(mu);
+        std::cout << "\ncycle profile: " << w.name << "\n"
+                  << r.profileReport;
+    }
+    return r;
+}
+
 /**
  * Compile and simulate `w` with `ntiles` tiles per task unit on
  * `dev` through the accelerator engine; fatal()s if the output fails
@@ -140,31 +222,7 @@ runAccel(workloads::Workload &w, unsigned ntiles,
     driver::AccelSimEngine::Options eo;
     eo.device = dev;
     eo.tiles = ntiles;
-    driver::AccelSimEngine engine(eo);
-    RunResult r = engine.runWorkload(w, mem_bytes);
-    if (!r.verifyError.empty()) {
-        tapas_fatal("bench '%s' failed verification: %s",
-                    w.name.c_str(), r.verifyError.c_str());
-    }
-    return r;
-}
-
-/**
- * As runAccel() but with a full engine-option override (custom
- * params, pre-passes, observer...).
- */
-inline RunResult
-runAccelWith(workloads::Workload &w,
-             driver::AccelSimEngine::Options eo,
-             uint64_t mem_bytes = 256ull << 20)
-{
-    driver::AccelSimEngine engine(std::move(eo));
-    RunResult r = engine.runWorkload(w, mem_bytes);
-    if (!r.verifyError.empty()) {
-        tapas_fatal("bench '%s' failed verification: %s",
-                    w.name.c_str(), r.verifyError.c_str());
-    }
-    return r;
+    return runAccelWith(w, std::move(eo), mem_bytes);
 }
 
 /** Run `w` on the modelled CPU (consumes a fresh memory image). */

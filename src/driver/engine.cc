@@ -1,7 +1,11 @@
 #include "driver/engine.hh"
 
 #include <cmath>
+#include <fstream>
+#include <iostream>
 
+#include "obs/perfetto.hh"
+#include "obs/profiler.hh"
 #include "support/logging.hh"
 
 namespace tapas::driver {
@@ -21,7 +25,8 @@ RunResult::equals(const RunResult &o) const
     return retval.i == o.retval.i && cycles == o.cycles &&
            spawns == o.spawns && seconds == o.seconds &&
            cacheHitRate == o.cacheHitRate &&
-           verifyError == o.verifyError && stats == o.stats;
+           verifyError == o.verifyError && stats == o.stats &&
+           profileReport == o.profileReport;
 }
 
 RunResult
@@ -83,8 +88,34 @@ AccelSimEngine::run(ir::Module &mod, ir::Function &top,
     if (opts.tracer)
         accel.setTracer(opts.tracer);
 
+    obs::PerfettoTraceSink perfetto;
+    if (!runOptions.traceFile.empty())
+        accel.addSink(&perfetto);
+    obs::CycleProfiler profiler;
+    if (runOptions.profile)
+        accel.setProfiler(&profiler);
+
     RunResult r;
     r.retval = accel.run(args);
+
+    if (!runOptions.traceFile.empty()) {
+        accel.removeSink(&perfetto);
+        if (runOptions.traceFile == "-") {
+            perfetto.write(std::cout);
+        } else {
+            std::ofstream os(runOptions.traceFile);
+            if (!os) {
+                tapas_fatal("cannot write trace file '%s'",
+                            runOptions.traceFile.c_str());
+            }
+            perfetto.write(os);
+        }
+    }
+    if (runOptions.profile) {
+        accel.setProfiler(nullptr);
+        r.profileReport = profiler.reportString();
+        profiler.appendTo(r.stats);
+    }
     r.cycles = accel.cycles();
     r.spawns = accel.totalSpawns();
     r.cacheHitRate = accel.cacheModel().hitRate();

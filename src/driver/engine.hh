@@ -32,6 +32,27 @@
 
 namespace tapas::driver {
 
+/**
+ * Cross-engine observability options, set on Engine::runOptions.
+ * Engines without an observability layer (interp, cpu) ignore them.
+ */
+struct RunOptions
+{
+    /**
+     * When non-empty, write a Chrome/Perfetto trace-event JSON of
+     * the run here ("-" for stdout). Open in ui.perfetto.dev.
+     */
+    std::string traceFile;
+
+    /**
+     * Attribute every simulated cycle to a per-unit bucket
+     * (busy / stall_mem / stall_spawn / queue_full / idle); the
+     * rendered table lands in RunResult::profileReport and the raw
+     * buckets in RunResult::stats under "profile.*".
+     */
+    bool profile = false;
+};
+
 /** What every engine reports for one run. */
 struct RunResult
 {
@@ -63,6 +84,12 @@ struct RunResult
      */
     std::map<std::string, double> stats;
 
+    /**
+     * Rendered per-unit cycle-attribution table; empty unless the
+     * run had RunOptions::profile set.
+     */
+    std::string profileReport;
+
     /** Look up a named metric; fatal()s when absent. */
     double stat(const std::string &name) const;
 
@@ -78,6 +105,13 @@ class Engine
 
     /** Short identifier ("interp", "accel", "cpu"). */
     virtual std::string name() const = 0;
+
+    /**
+     * Observability knobs applied to every run() of this engine
+     * (tracing, profiling). Engines that cannot honor them ignore
+     * them; see RunOptions.
+     */
+    RunOptions runOptions;
 
     /**
      * Execute `top` with `args` over `mem`. `mem` must already hold

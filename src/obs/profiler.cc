@@ -1,0 +1,101 @@
+#include "obs/profiler.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/table.hh"
+
+namespace tapas::obs {
+
+const char *
+bucketName(CycleBucket b)
+{
+    switch (b) {
+      case CycleBucket::Busy: return "busy";
+      case CycleBucket::StallMem: return "stall_mem";
+      case CycleBucket::StallSpawn: return "stall_spawn";
+      case CycleBucket::QueueFull: return "queue_full";
+      case CycleBucket::Idle: return "idle";
+    }
+    tapas_panic("unknown cycle bucket");
+}
+
+void
+CycleProfiler::configure(const std::vector<UnitInfo> &units)
+{
+    names.clear();
+    for (const UnitInfo &u : units)
+        names.push_back(u.name);
+    counts.assign(names.size(), {});
+}
+
+uint64_t
+CycleProfiler::totalOf(unsigned sid) const
+{
+    uint64_t n = 0;
+    for (uint64_t c : counts.at(sid))
+        n += c;
+    return n;
+}
+
+uint64_t
+CycleProfiler::total() const
+{
+    uint64_t n = 0;
+    for (unsigned sid = 0; sid < counts.size(); ++sid)
+        n += totalOf(sid);
+    return n;
+}
+
+void
+CycleProfiler::report(std::ostream &os) const
+{
+    TextTable t;
+    t.header({"unit", "cycles", "busy", "stall_mem", "stall_spawn",
+              "queue_full", "idle", "busy%"});
+    for (unsigned sid = 0; sid < names.size(); ++sid) {
+        uint64_t cycles = totalOf(sid);
+        uint64_t busy = bucket(sid, CycleBucket::Busy);
+        t.row({names[sid], std::to_string(cycles),
+               std::to_string(busy),
+               std::to_string(bucket(sid, CycleBucket::StallMem)),
+               std::to_string(bucket(sid, CycleBucket::StallSpawn)),
+               std::to_string(bucket(sid, CycleBucket::QueueFull)),
+               std::to_string(bucket(sid, CycleBucket::Idle)),
+               strfmt("%.1f%%",
+                      cycles ? 100.0 * static_cast<double>(busy) /
+                                   static_cast<double>(cycles)
+                             : 0.0)});
+    }
+    t.print(os);
+}
+
+std::string
+CycleProfiler::reportString() const
+{
+    std::ostringstream os;
+    report(os);
+    return os.str();
+}
+
+void
+CycleProfiler::appendTo(std::map<std::string, double> &out) const
+{
+    for (unsigned sid = 0; sid < names.size(); ++sid) {
+        const std::string base = "profile." + names[sid] + ".";
+        out[base + "cycles"] = static_cast<double>(totalOf(sid));
+        for (unsigned b = 0; b < kNumBuckets; ++b) {
+            out[base + bucketName(static_cast<CycleBucket>(b))] =
+                static_cast<double>(counts[sid][b]);
+        }
+    }
+}
+
+void
+CycleProfiler::clear()
+{
+    counts.assign(names.size(), {});
+}
+
+} // namespace tapas::obs

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Cycle-attribution profiler: explains *where the cycles went* for
+ * every task unit of a simulated accelerator.
+ *
+ * Each simulated cycle of each unit lands in exactly one bucket:
+ *
+ *   busy        >= 1 tile accepted or executed dataflow work
+ *   stall_mem   instances on tiles, all blocked on memory responses
+ *   stall_spawn instances on tiles, all blocked on spawn-port
+ *               back-pressure (target queue full or losing
+ *               arbitration)
+ *   queue_full  occupied but nothing on a tile making progress —
+ *               instances parked in the queue at a sync / task call
+ *               or READY with every tile pipeline full
+ *   idle        no live instances in the unit
+ *
+ * The invariant "buckets sum to simulated cycles x units" is what
+ * turns the paper's Table 3 utilization single number into an
+ * explained breakdown, and is pinned by tests/obs_test.cc.
+ */
+
+#ifndef TAPAS_OBS_PROFILER_HH
+#define TAPAS_OBS_PROFILER_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/sink.hh"
+
+namespace tapas::obs {
+
+/** Where one unit-cycle went. */
+enum class CycleBucket : uint8_t {
+    Busy,
+    StallMem,
+    StallSpawn,
+    QueueFull,
+    Idle,
+};
+
+constexpr unsigned kNumBuckets = 5;
+
+/** Stable snake_case bucket name (stat keys, report columns). */
+const char *bucketName(CycleBucket b);
+
+/** Per-unit cycle-bucket accumulator. */
+class CycleProfiler
+{
+  public:
+    /** Size the per-unit tables; must precede note(). */
+    void configure(const std::vector<UnitInfo> &units);
+
+    /** Attribute one cycle of unit `sid` to bucket `b`. */
+    void
+    note(unsigned sid, CycleBucket b)
+    {
+        ++counts[sid][static_cast<unsigned>(b)];
+    }
+
+    /** Configured unit count. */
+    unsigned numUnits() const
+    {
+        return static_cast<unsigned>(names.size());
+    }
+
+    /** Cycles of unit `sid` attributed to `b`. */
+    uint64_t
+    bucket(unsigned sid, CycleBucket b) const
+    {
+        return counts.at(sid)[static_cast<unsigned>(b)];
+    }
+
+    /** All buckets of unit `sid` summed (== simulated cycles). */
+    uint64_t totalOf(unsigned sid) const;
+
+    /** Grand total over units (== cycles x numUnits). */
+    uint64_t total() const;
+
+    /** Render the per-unit breakdown as an aligned text table. */
+    void report(std::ostream &os) const;
+
+    /** report() into a string. */
+    std::string reportString() const;
+
+    /**
+     * Append every bucket keyed "profile.<unit>.<bucket>" (plus
+     * "profile.<unit>.cycles"), the shape RunResult::stats carries
+     * into the JSON export.
+     */
+    void appendTo(std::map<std::string, double> &out) const;
+
+    /** Drop all attribution (fresh run on a reused profiler). */
+    void clear();
+
+  private:
+    std::vector<std::string> names;
+    std::vector<std::array<uint64_t, kNumBuckets>> counts;
+};
+
+} // namespace tapas::obs
+
+#endif // TAPAS_OBS_PROFILER_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Observability sink interface: the one funnel through which the
+ * cycle-level simulator reports *what happened when* to any number of
+ * attached observers (timeline tracers, profilers, statistics).
+ *
+ * The simulator emits task-lifetime events (spawn / dispatch /
+ * suspend / retire, with parent identity and tile placement),
+ * spawn-port arbitration rejections, cache misses and structural
+ * stalls, plus periodic queue-occupancy and outstanding-miss samples.
+ * A sink overrides only what it cares about; every hook defaults to a
+ * no-op, so an attached-but-uninterested sink costs one virtual call
+ * per event. With no sinks attached the simulator skips emission
+ * entirely.
+ *
+ * This module depends only on src/support/ so that both the simulator
+ * and the driver can link it without cycles.
+ */
+
+#ifndef TAPAS_OBS_SINK_HH
+#define TAPAS_OBS_SINK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tapas::obs {
+
+/** What a sink needs to know about one task unit up front. */
+struct UnitInfo
+{
+    /** Static task name (unique per accelerator). */
+    std::string name;
+
+    /** Number of execution tiles in this unit. */
+    unsigned tiles = 1;
+};
+
+/** Receives simulator events; override only what you observe. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Called once at attach time with the accelerator's units. */
+    virtual void configure(const std::vector<UnitInfo> &/*units*/) {}
+
+    /**
+     * A task instance was accepted into a task queue.
+     * `parent_sid` is ~0u for the root (host-launched) instance.
+     */
+    virtual void
+    taskSpawn(uint64_t /*cycle*/, unsigned /*sid*/, unsigned /*slot*/,
+              unsigned /*parent_sid*/, unsigned /*parent_slot*/)
+    {}
+
+    /** An instance was allocated tile `tile` (entered EXE). */
+    virtual void
+    taskDispatch(uint64_t /*cycle*/, unsigned /*sid*/,
+                 unsigned /*slot*/, unsigned /*tile*/)
+    {}
+
+    /** An instance vacated its tile (blocked at sync / task call). */
+    virtual void
+    taskSuspend(uint64_t /*cycle*/, unsigned /*sid*/,
+                unsigned /*slot*/)
+    {}
+
+    /** An instance completed and joined its parent. */
+    virtual void
+    taskRetire(uint64_t /*cycle*/, unsigned /*sid*/, unsigned /*slot*/)
+    {}
+
+    /**
+     * A spawn aimed at unit `sid` was rejected this cycle:
+     * `queue_full` distinguishes a full task queue from losing the
+     * one-accept-per-cycle port arbitration.
+     */
+    virtual void
+    spawnRejected(uint64_t /*cycle*/, unsigned /*sid*/,
+                  bool /*queue_full*/)
+    {}
+
+    /** The shared L1 recorded a (non-merged or merged) miss. */
+    virtual void cacheMiss(uint64_t /*cycle*/) {}
+
+    /**
+     * The shared L1 rejected a request: `mshr_full` distinguishes
+     * MSHR exhaustion from port contention.
+     */
+    virtual void cacheStall(uint64_t /*cycle*/, bool /*mshr_full*/) {}
+
+    /** Periodic sample: queue occupancy of unit `sid`. */
+    virtual void
+    queueSample(uint64_t /*cycle*/, unsigned /*sid*/,
+                unsigned /*occupancy*/)
+    {}
+
+    /** Periodic sample: outstanding L1 misses (busy MSHRs). */
+    virtual void missSample(uint64_t /*cycle*/, unsigned /*outstanding*/)
+    {}
+};
+
+} // namespace tapas::obs
+
+#endif // TAPAS_OBS_SINK_HH

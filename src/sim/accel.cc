@@ -54,6 +54,57 @@ AcceleratorSim::rootDone(RtValue v)
     rootValue = v;
 }
 
+std::vector<obs::UnitInfo>
+AcceleratorSim::unitInfos() const
+{
+    std::vector<obs::UnitInfo> infos;
+    for (const auto &u : units) {
+        infos.push_back(obs::UnitInfo{
+            u->task().name(),
+            static_cast<unsigned>(u->tiles.size())});
+    }
+    return infos;
+}
+
+void
+AcceleratorSim::addSink(obs::TraceSink *sink)
+{
+    tapas_assert(sink, "null trace sink");
+    sink->configure(unitInfos());
+    sinks.push_back(sink);
+    cache.addSink(sink);
+}
+
+void
+AcceleratorSim::removeSink(obs::TraceSink *sink)
+{
+    for (size_t i = 0; i < sinks.size(); ++i) {
+        if (sinks[i] == sink) {
+            sinks.erase(sinks.begin() + static_cast<long>(i));
+            break;
+        }
+    }
+    cache.removeSink(sink);
+}
+
+void
+AcceleratorSim::setTracer(TaskTracer *t)
+{
+    if (tracer)
+        removeSink(tracer);
+    tracer = t;
+    if (tracer)
+        addSink(tracer);
+}
+
+void
+AcceleratorSim::setProfiler(obs::CycleProfiler *p)
+{
+    prof = p;
+    if (prof)
+        prof->configure(unitInfos());
+}
+
 RtValue
 AcceleratorSim::run(std::vector<RtValue> top_args)
 {
@@ -80,6 +131,20 @@ AcceleratorSim::run(std::vector<RtValue> top_args)
             u->beginCycle(cyc);
         for (auto &u : units)
             u->tick(cyc);
+
+        if (prof) {
+            for (auto &u : units)
+                u->profileCycle(cyc);
+        }
+        if (observed() && cyc % sampleInterval == 0) {
+            for (unsigned sid = 0; sid < units.size(); ++sid) {
+                for (obs::TraceSink *s : sinks)
+                    s->queueSample(cyc, sid, units[sid]->occupancy());
+            }
+            unsigned out = cache.outstandingMisses();
+            for (obs::TraceSink *s : sinks)
+                s->missSample(cyc, out);
+        }
 
         if (progressEvents != last_progress) {
             last_progress = progressEvents;

@@ -45,6 +45,8 @@
 
 #include "hls/compile.hh"
 #include "ir/interp.hh"
+#include "obs/profiler.hh"
+#include "obs/sink.hh"
 #include "sim/databox.hh"
 #include "sim/trace.hh"
 
@@ -115,6 +117,15 @@ class InstanceExec
 
     /** Dynamic nodes fired so far (stats). */
     uint64_t firedCount() const { return firedNodes; }
+
+    /**
+     * Count in-flight nodes by phase across every live frame:
+     * executing (fixed-latency ops), waiting on memory tickets, and
+     * retrying a back-pressured spawn. Used by the cycle-attribution
+     * profiler to classify a unit's cycle.
+     */
+    void phaseCensus(unsigned &exec, unsigned &mem,
+                     unsigned &spawn) const;
 
   private:
     enum class Phase : uint8_t {
@@ -261,11 +272,15 @@ class TaskUnit
         uint64_t readyAt = 0;     ///< args-RAM transfer completion
         uint64_t spawnedAt = 0;
         int tile = -1;
+        bool everDispatched = false; ///< spawn-latency sampling
     };
 
     void dispatch(uint64_t now);
     void retire(unsigned slot, uint64_t now);
     void detachFromTile(unsigned slot);
+
+    /** Attribute this cycle to a profiler bucket (profiler only). */
+    void profileCycle(uint64_t now);
 
     AcceleratorSim &sim;
     const arch::Task &_task;
@@ -276,6 +291,7 @@ class TaskUnit
     std::vector<std::unique_ptr<Tile>> tiles;
     std::deque<unsigned> readyQueue;
     bool spawnAcceptedThisCycle = false;
+    bool dispatchedThisCycle = false;
 
     uint64_t dispatchLatSum = 0;
     uint64_t dispatchCount = 0;
@@ -335,17 +351,87 @@ class AcceleratorSim
     /** Something happened; feeds the deadlock watchdog. */
     void progressEvent() { ++progressEvents; }
 
-    /** Attach (or detach, with nullptr) a task-lifetime tracer. */
-    void setTracer(TaskTracer *t) { tracer = t; }
+    // --- observability -------------------------------------------------
 
-    /** Record a task-lifetime event if a tracer is attached. */
+    /** Unit name / tile-count descriptors, in sid order. */
+    std::vector<obs::UnitInfo> unitInfos() const;
+
+    /**
+     * Attach a trace sink; it receives configure() immediately and
+     * every observability event until removeSink(). The sink must
+     * outlive the simulation (the sim does not take ownership).
+     */
+    void addSink(obs::TraceSink *sink);
+
+    /** Detach a previously attached sink (no-op if absent). */
+    void removeSink(obs::TraceSink *sink);
+
+    /**
+     * Attach (or detach, with nullptr) a task-lifetime tracer.
+     * Convenience wrapper over addSink()/removeSink() kept for the
+     * pre-obs API.
+     */
+    void setTracer(TaskTracer *t);
+
+    /**
+     * Attach (or detach, with nullptr) a cycle-attribution profiler;
+     * it is configured with the unit list immediately. While attached,
+     * every unit classifies each simulated cycle into exactly one
+     * CycleBucket, so bucket totals sum to cycles() x numUnits.
+     */
+    void setProfiler(obs::CycleProfiler *p);
+
+    /** Attached profiler, or nullptr. */
+    obs::CycleProfiler *profiler() { return prof; }
+
+    /** Any trace sink attached? (skip event bookkeeping if not) */
+    bool observed() const { return !sinks.empty(); }
+
     void
-    traceEvent(uint64_t cycle, TraceEvent::Kind kind, unsigned sid,
-               unsigned slot)
+    emitSpawn(uint64_t cycle, unsigned sid, unsigned slot,
+              TaskRef parent)
     {
-        if (tracer)
-            tracer->record(cycle, kind, sid, slot);
+        for (obs::TraceSink *s : sinks) {
+            s->taskSpawn(cycle, sid, slot,
+                         parent.valid() ? parent.sid : ~0u,
+                         parent.slot);
+        }
     }
+
+    void
+    emitDispatch(uint64_t cycle, unsigned sid, unsigned slot,
+                 unsigned tile)
+    {
+        for (obs::TraceSink *s : sinks)
+            s->taskDispatch(cycle, sid, slot, tile);
+    }
+
+    void
+    emitSuspend(uint64_t cycle, unsigned sid, unsigned slot)
+    {
+        for (obs::TraceSink *s : sinks)
+            s->taskSuspend(cycle, sid, slot);
+    }
+
+    void
+    emitRetire(uint64_t cycle, unsigned sid, unsigned slot)
+    {
+        for (obs::TraceSink *s : sinks)
+            s->taskRetire(cycle, sid, slot);
+    }
+
+    void
+    emitSpawnReject(uint64_t cycle, unsigned sid, bool queue_full)
+    {
+        for (obs::TraceSink *s : sinks)
+            s->spawnRejected(cycle, sid, queue_full);
+    }
+
+    /**
+     * Cycles between queue-occupancy / cache-counter samples sent to
+     * trace sinks (counter-track resolution in the Perfetto export).
+     */
+    uint64_t sampleInterval = 16;
 
     ir::MemImage &mem() { return _mem; }
 
@@ -365,6 +451,10 @@ class AcceleratorSim
 
     StatGroup stats{"accel"};
     Counter rootRuns{stats, "runs", "root task invocations"};
+    Histogram taskLifetime{stats, "task_lifetime",
+                           "cycles from spawn to retire", 8};
+    Distribution spawnLatency{stats, "spawn_latency",
+                              "cycles from spawn to first dispatch"};
 
     /** Maximum cycles before declaring a hang. */
     uint64_t maxCycles = 2'000'000'000ull;
@@ -380,7 +470,9 @@ class AcceleratorSim
 
     uint64_t _cycles = 0;
     uint64_t progressEvents = 0;
-    TaskTracer *tracer = nullptr;
+    std::vector<obs::TraceSink *> sinks;
+    obs::CycleProfiler *prof = nullptr;
+    TaskTracer *tracer = nullptr; ///< setTracer() adapter bookkeeping
     bool rootFinished = false;
     ir::RtValue rootValue;
 };

@@ -406,6 +406,29 @@ InstanceExec::pushLeafFrame(const ir::CallInst *call,
     f.returnTo = call;
 }
 
+void
+InstanceExec::phaseCensus(unsigned &exec, unsigned &mem,
+                          unsigned &spawn) const
+{
+    for (const Frame &frame : frames) {
+        for (const NodeState &st : frame.nst) {
+            switch (st.phase) {
+              case Phase::Exec:
+                ++exec;
+                break;
+              case Phase::Mem:
+                ++mem;
+                break;
+              case Phase::SpawnRetry:
+                ++spawn;
+                break;
+              default:
+                break;
+            }
+        }
+    }
+}
+
 InstanceExec::Status
 InstanceExec::step(uint64_t now, Tile &tile)
 {

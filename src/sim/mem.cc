@@ -47,6 +47,7 @@ SharedCache::request(uint64_t addr, bool is_store, uint64_t now)
     CacheResult res;
     if (portsUsed >= params.portsPerCycle) {
         ++portRejects;
+        emitStall(now, /*mshr_full=*/false);
         return res;
     }
 
@@ -91,6 +92,7 @@ SharedCache::request(uint64_t addr, bool is_store, uint64_t now)
             ++accesses;
             ++misses;
             ++mshrMerges;
+            emitMiss(now);
             res.accepted = true;
             res.completesAt = m.readyAt + params.hitLatency;
             return res;
@@ -107,12 +109,14 @@ SharedCache::request(uint64_t addr, bool is_store, uint64_t now)
     }
     if (!free_mshr) {
         ++mshrRejects;
+        emitStall(now, /*mshr_full=*/true);
         return res;
     }
 
     ++portsUsed;
     ++accesses;
     ++misses;
+    emitMiss(now);
 
     // Victim selection (LRU within the set).
     Line *victim = set_base;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "arch/params.hh"
+#include "obs/sink.hh"
 #include "support/stats.hh"
 
 namespace tapas::sim {
@@ -57,6 +58,36 @@ class SharedCache
 
     /** Invalidate all lines (fresh run on a reused model). */
     void reset();
+
+    /**
+     * Attach a trace sink to observe misses and port/MSHR stalls.
+     * Usually driven by AcceleratorSim::addSink(); not owned.
+     */
+    void addSink(obs::TraceSink *sink) { sinks.push_back(sink); }
+
+    /** Detach a previously attached sink (no-op if absent). */
+    void
+    removeSink(obs::TraceSink *sink)
+    {
+        for (size_t i = 0; i < sinks.size(); ++i) {
+            if (sinks[i] == sink) {
+                sinks.erase(sinks.begin() + static_cast<long>(i));
+                return;
+            }
+        }
+    }
+
+    /** MSHRs currently tracking an in-flight miss (counter track). */
+    unsigned
+    outstandingMisses() const
+    {
+        unsigned n = 0;
+        for (const Mshr &m : mshrs) {
+            if (m.busy)
+                ++n;
+        }
+        return n;
+    }
 
     // --- statistics ---------------------------------------------------
 
@@ -109,12 +140,27 @@ class SharedCache
         return std::max(1u, words / params.dramWordsPerCycle);
     }
 
+    void
+    emitMiss(uint64_t now)
+    {
+        for (obs::TraceSink *s : sinks)
+            s->cacheMiss(now);
+    }
+
+    void
+    emitStall(uint64_t now, bool mshr_full)
+    {
+        for (obs::TraceSink *s : sinks)
+            s->cacheStall(now, mshr_full);
+    }
+
     arch::MemSystemParams params;
     unsigned numSets;
     std::vector<Line> lines;       // numSets x ways
     std::vector<Mshr> mshrs;
     unsigned portsUsed = 0;
     uint64_t dramNextFree = 0;
+    std::vector<obs::TraceSink *> sinks;
 };
 
 } // namespace tapas::sim

@@ -1,6 +1,5 @@
 #include "sim/trace.hh"
 
-#include <map>
 #include <ostream>
 
 #include "support/logging.hh"
@@ -19,41 +18,39 @@ traceKindName(TraceEvent::Kind kind)
     tapas_panic("unknown trace kind");
 }
 
-size_t
-TaskTracer::countOf(TraceEvent::Kind kind) const
+void
+TaskTracer::record(uint64_t cycle, TraceEvent::Kind kind,
+                   unsigned sid, unsigned slot)
 {
-    size_t n = 0;
-    for (const TraceEvent &e : events) {
-        if (e.kind == kind)
-            ++n;
+    events.push_back(TraceEvent{cycle, kind, sid, slot});
+    ++kindCounts[static_cast<unsigned>(kind)];
+
+    // Slots are reused; match each retire with the most recent spawn
+    // of the same (sid, slot), exactly as a full scan would.
+    auto key = std::make_pair(sid, slot);
+    if (kind == TraceEvent::Kind::Spawn) {
+        openSpawns[key] = cycle;
+    } else if (kind == TraceEvent::Kind::Retire) {
+        auto it = openSpawns.find(key);
+        if (it != openSpawns.end()) {
+            double life = static_cast<double>(cycle - it->second);
+            openSpawns.erase(it);
+            LifetimeAgg &agg = perSid[sid];
+            agg.sum += life;
+            ++agg.count;
+            allSids.sum += life;
+            ++allSids.count;
+        }
     }
-    return n;
 }
 
 double
 TaskTracer::meanLifetime(unsigned sid) const
 {
-    // Slots are reused; match each retire with the most recent spawn
-    // of the same (sid, slot).
-    std::map<std::pair<unsigned, unsigned>, uint64_t> open;
-    double sum = 0;
-    uint64_t count = 0;
-    for (const TraceEvent &e : events) {
-        if (sid != ~0u && e.sid != sid)
-            continue;
-        auto key = std::make_pair(e.sid, e.slot);
-        if (e.kind == TraceEvent::Kind::Spawn) {
-            open[key] = e.cycle;
-        } else if (e.kind == TraceEvent::Kind::Retire) {
-            auto it = open.find(key);
-            if (it != open.end()) {
-                sum += static_cast<double>(e.cycle - it->second);
-                ++count;
-                open.erase(it);
-            }
-        }
-    }
-    return count ? sum / static_cast<double>(count) : 0.0;
+    if (sid == ~0u)
+        return allSids.mean();
+    auto it = perSid.find(sid);
+    return it == perSid.end() ? 0.0 : it->second.mean();
 }
 
 void
@@ -64,6 +61,16 @@ TaskTracer::dumpCsv(std::ostream &os) const
         os << e.cycle << ',' << traceKindName(e.kind) << ',' << e.sid
            << ',' << e.slot << '\n';
     }
+}
+
+void
+TaskTracer::clear()
+{
+    events.clear();
+    kindCounts.fill(0);
+    openSpawns.clear();
+    perSid.clear();
+    allSids = LifetimeAgg{};
 }
 
 } // namespace tapas::sim

@@ -2,17 +2,27 @@
  * @file
  * Task-lifetime tracer: records spawn / dispatch / suspend / retire
  * events per dynamic task instance so accelerator schedules can be
- * inspected (the execution-flow view of paper Fig. 5). Attach one to
- * an AcceleratorSim before run(); dump as CSV for plotting or query
- * the aggregate statistics.
+ * inspected (the execution-flow view of paper Fig. 5). One of the
+ * obs::TraceSink implementations the simulator can drive — attach via
+ * AcceleratorSim::setTracer() (or addSink()) before run(); dump as
+ * CSV for plotting or query the aggregate statistics.
+ *
+ * Aggregates (countOf, meanLifetime) are maintained incrementally in
+ * record(), so querying them between bench iterations is O(1) in the
+ * event count; tests/sim_trace_test.cc pins them against a
+ * brute-force scan of the event vector.
  */
 
 #ifndef TAPAS_SIM_TRACE_HH
 #define TAPAS_SIM_TRACE_HH
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <vector>
+
+#include "obs/sink.hh"
 
 namespace tapas::sim {
 
@@ -32,38 +42,91 @@ struct TraceEvent
     unsigned slot = 0;
 };
 
+/** Number of TraceEvent kinds (aggregate table size). */
+constexpr unsigned kNumTraceKinds = 4;
+
 /** Printable event-kind name. */
 const char *traceKindName(TraceEvent::Kind kind);
 
 /** Collects TraceEvents emitted by the simulator. */
-class TaskTracer
+class TaskTracer : public obs::TraceSink
 {
   public:
-    void
-    record(uint64_t cycle, TraceEvent::Kind kind, unsigned sid,
-           unsigned slot)
-    {
-        events.push_back(TraceEvent{cycle, kind, sid, slot});
-    }
+    /** Append one event, updating the running aggregates. */
+    void record(uint64_t cycle, TraceEvent::Kind kind, unsigned sid,
+                unsigned slot);
 
     const std::vector<TraceEvent> &all() const { return events; }
 
-    /** Events of one kind (tests/statistics). */
-    size_t countOf(TraceEvent::Kind kind) const;
+    /** Events of one kind; O(1). */
+    size_t
+    countOf(TraceEvent::Kind kind) const
+    {
+        return kindCounts[static_cast<unsigned>(kind)];
+    }
 
     /**
      * Mean cycles between a task's spawn and its retire, over every
-     * instance of `sid` (pass ~0u for all units).
+     * instance of `sid` (pass ~0u for all units); O(1) in the event
+     * count.
      */
     double meanLifetime(unsigned sid = ~0u) const;
 
     /** Write "cycle,event,sid,slot" CSV (header included). */
     void dumpCsv(std::ostream &os) const;
 
-    void clear() { events.clear(); }
+    void clear();
+
+    // --- obs::TraceSink ----------------------------------------------
+
+    void
+    taskSpawn(uint64_t cycle, unsigned sid, unsigned slot,
+              unsigned /*parent_sid*/, unsigned /*parent_slot*/)
+        override
+    {
+        record(cycle, TraceEvent::Kind::Spawn, sid, slot);
+    }
+
+    void
+    taskDispatch(uint64_t cycle, unsigned sid, unsigned slot,
+                 unsigned /*tile*/) override
+    {
+        record(cycle, TraceEvent::Kind::Dispatch, sid, slot);
+    }
+
+    void
+    taskSuspend(uint64_t cycle, unsigned sid, unsigned slot) override
+    {
+        record(cycle, TraceEvent::Kind::Suspend, sid, slot);
+    }
+
+    void
+    taskRetire(uint64_t cycle, unsigned sid, unsigned slot) override
+    {
+        record(cycle, TraceEvent::Kind::Retire, sid, slot);
+    }
 
   private:
+    /** Running spawn->retire aggregate for one sid (or for all). */
+    struct LifetimeAgg
+    {
+        double sum = 0.0;
+        uint64_t count = 0;
+
+        double
+        mean() const
+        {
+            return count ? sum / static_cast<double>(count) : 0.0;
+        }
+    };
+
     std::vector<TraceEvent> events;
+    std::array<size_t, kNumTraceKinds> kindCounts{};
+
+    /** Most recent un-retired spawn cycle per (sid, slot). */
+    std::map<std::pair<unsigned, unsigned>, uint64_t> openSpawns;
+    std::map<unsigned, LifetimeAgg> perSid;
+    LifetimeAgg allSids;
 };
 
 } // namespace tapas::sim

@@ -36,6 +36,7 @@ TaskUnit::trySpawn(std::vector<RtValue> args, TaskRef parent,
 {
     if (spawnAcceptedThisCycle) {
         ++spawnRejects;
+        sim.emitSpawnReject(now, _task.sid(), /*queue_full=*/false);
         return false;
     }
     for (unsigned slot = 0; slot < entries.size(); ++slot) {
@@ -49,6 +50,7 @@ TaskUnit::trySpawn(std::vector<RtValue> args, TaskRef parent,
         e.childCount = 0;
         e.spawnedAt = now;
         e.tile = -1;
+        e.everDispatched = false;
         e.readyAt = now + sim.params().spawnHandshake +
                     static_cast<uint64_t>(args.size()) *
                         sim.params().spawnCyclesPerArg;
@@ -57,12 +59,12 @@ TaskUnit::trySpawn(std::vector<RtValue> args, TaskRef parent,
         e.exec->start(std::move(args));
         readyQueue.push_back(slot);
         ++spawnsAccepted;
-        sim.traceEvent(now, TraceEvent::Kind::Spawn, _task.sid(),
-                       slot);
+        sim.emitSpawn(now, _task.sid(), slot, parent);
         sim.progressEvent();
         return true;
     }
     ++spawnRejects;
+    sim.emitSpawnReject(now, _task.sid(), /*queue_full=*/true);
     return false;
 }
 
@@ -71,6 +73,7 @@ TaskUnit::beginCycle(uint64_t now)
 {
     (void)now;
     spawnAcceptedThisCycle = false;
+    dispatchedThisCycle = false;
     for (auto &t : tiles)
         t->fired.clear();
 }
@@ -105,10 +108,16 @@ TaskUnit::dispatch(uint64_t now)
     e.state = EntryState::Exe;
     e.tile = best;
     tiles[best]->active.push_back(slot);
+    dispatchedThisCycle = true;
     dispatchLatSum += now - e.spawnedAt;
     ++dispatchCount;
-    sim.traceEvent(now, TraceEvent::Kind::Dispatch, _task.sid(),
-                   slot);
+    if (!e.everDispatched) {
+        e.everDispatched = true;
+        sim.spawnLatency.sample(
+            static_cast<double>(now - e.spawnedAt));
+    }
+    sim.emitDispatch(now, _task.sid(), slot,
+                     static_cast<unsigned>(best));
     avgSpawnToDispatch = dispatchCount
         ? static_cast<double>(dispatchLatSum) / dispatchCount
         : 0.0;
@@ -150,7 +159,8 @@ TaskUnit::retire(unsigned slot, uint64_t now)
     e.exec.reset();
     e.state = EntryState::Free;
     ++instancesDone;
-    sim.traceEvent(now, TraceEvent::Kind::Retire, _task.sid(), slot);
+    sim.taskLifetime.sample(now - e.spawnedAt);
+    sim.emitRetire(now, _task.sid(), slot);
     sim.progressEvent();
 
     if (!parent.valid()) {
@@ -187,15 +197,13 @@ TaskUnit::tick(uint64_t now)
                 detachFromTile(slot);
                 e.state = EntryState::Sync;
                 ++syncSuspends;
-                sim.traceEvent(now, TraceEvent::Kind::Suspend,
-                               _task.sid(), slot);
+                sim.emitSuspend(now, _task.sid(), slot);
                 break;
               case InstanceExec::Status::WaitCall:
                 detachFromTile(slot);
                 e.state = EntryState::WaitCall;
                 ++callSuspends;
-                sim.traceEvent(now, TraceEvent::Kind::Suspend,
-                               _task.sid(), slot);
+                sim.emitSuspend(now, _task.sid(), slot);
                 break;
               case InstanceExec::Status::Done:
                 retire(slot, now);
@@ -268,6 +276,46 @@ TaskUnit::occupancy() const
             ++n;
     }
     return n;
+}
+
+void
+TaskUnit::profileCycle(uint64_t now)
+{
+    (void)now;
+    obs::CycleProfiler *prof = sim.profiler();
+    if (!prof)
+        return;
+
+    unsigned sid = _task.sid();
+    if (occupancy() == 0) {
+        prof->note(sid, obs::CycleBucket::Idle);
+        return;
+    }
+
+    bool fired_any = dispatchedThisCycle;
+    for (const auto &t : tiles)
+        fired_any = fired_any || !t->fired.empty();
+
+    unsigned exec_n = 0, mem_n = 0, spawn_n = 0;
+    for (const QueueEntry &e : entries) {
+        if (e.state == EntryState::Exe && e.exec)
+            e.exec->phaseCensus(exec_n, mem_n, spawn_n);
+    }
+
+    // Exactly one bucket per unit per cycle, most-productive first:
+    // any firing or in-flight compute counts as busy; otherwise the
+    // dominant blocker wins. An occupied unit with no executing
+    // instance is backed up in its queue (sync / wait-call / tiles
+    // full), which is the queue-pressure bucket.
+    if (fired_any || exec_n > 0) {
+        prof->note(sid, obs::CycleBucket::Busy);
+    } else if (mem_n > 0) {
+        prof->note(sid, obs::CycleBucket::StallMem);
+    } else if (spawn_n > 0) {
+        prof->note(sid, obs::CycleBucket::StallSpawn);
+    } else {
+        prof->note(sid, obs::CycleBucket::QueueFull);
+    }
 }
 
 } // namespace tapas::sim

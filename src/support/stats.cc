@@ -1,5 +1,6 @@
 #include "support/stats.hh"
 
+#include <cmath>
 #include <ostream>
 
 #include "support/logging.hh"
@@ -9,13 +10,114 @@ namespace tapas {
 Counter::Counter(StatGroup &group, std::string name, std::string desc)
     : _name(std::move(name)), _desc(std::move(desc))
 {
+    group.checkDuplicate(_name);
     group.counters.push_back(this);
 }
 
 Scalar::Scalar(StatGroup &group, std::string name, std::string desc)
     : _name(std::move(name)), _desc(std::move(desc))
 {
+    group.checkDuplicate(_name);
     group.scalars.push_back(this);
+}
+
+Histogram::Histogram(StatGroup &group, std::string name,
+                     std::string desc, unsigned num_buckets)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    tapas_assert(num_buckets >= 2 && num_buckets % 2 == 0,
+                 "histogram needs an even bucket count >= 2, got %u",
+                 num_buckets);
+    _buckets.assign(num_buckets, 0);
+    group.checkDuplicate(_name);
+    group.histograms.push_back(this);
+}
+
+void
+Histogram::sample(uint64_t v, uint64_t n)
+{
+    // Fold adjacent buckets (doubling the bucket size) until the
+    // value fits, as gem5 does: the bucket count stays fixed while
+    // the covered range grows to whatever the run produces.
+    while (v / _bucketSize >= _buckets.size()) {
+        size_t half = _buckets.size() / 2;
+        for (size_t i = 0; i < half; ++i)
+            _buckets[i] = _buckets[2 * i] + _buckets[2 * i + 1];
+        for (size_t i = half; i < _buckets.size(); ++i)
+            _buckets[i] = 0;
+        _bucketSize *= 2;
+    }
+    _buckets[v / _bucketSize] += n;
+
+    if (_count == 0 || v < _min)
+        _min = v;
+    if (v > _max)
+        _max = v;
+    _count += n;
+    _sum += v * n;
+}
+
+void
+Histogram::reset()
+{
+    _buckets.assign(_buckets.size(), 0);
+    _bucketSize = 1;
+    _count = _sum = _min = _max = 0;
+}
+
+Distribution::Distribution(StatGroup &group, std::string name,
+                           std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    group.checkDuplicate(_name);
+    group.distributions.push_back(this);
+}
+
+void
+Distribution::sample(double v)
+{
+    if (_count == 0 || v < _min)
+        _min = v;
+    if (_count == 0 || v > _max)
+        _max = v;
+    ++_count;
+    _sum += v;
+    _sumSq += v * v;
+}
+
+double
+Distribution::stdev() const
+{
+    if (_count == 0)
+        return 0.0;
+    double n = static_cast<double>(_count);
+    double var = _sumSq / n - (_sum / n) * (_sum / n);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void
+Distribution::reset()
+{
+    _count = 0;
+    _sum = _sumSq = _min = _max = 0.0;
+}
+
+void
+StatGroup::checkDuplicate(const std::string &stat) const
+{
+    bool dup = false;
+    for (const Counter *c : counters)
+        dup = dup || c->name() == stat;
+    for (const Scalar *s : scalars)
+        dup = dup || s->name() == stat;
+    for (const Histogram *h : histograms)
+        dup = dup || h->name() == stat;
+    for (const Distribution *d : distributions)
+        dup = dup || d->name() == stat;
+    if (dup) {
+        tapas_fatal("duplicate stat '%s' in group '%s'", stat.c_str(),
+                    _name.c_str());
+    }
 }
 
 void
@@ -29,6 +131,21 @@ StatGroup::dump(std::ostream &os) const
         os << _name << '.' << s->name() << ' ' << s->value() << " # "
            << s->desc() << '\n';
     }
+    for (const Histogram *h : histograms) {
+        os << _name << '.' << h->name() << ".count " << h->count()
+           << " # " << h->desc() << '\n';
+        os << _name << '.' << h->name() << ".mean " << h->mean()
+           << " # mean of " << h->name() << '\n';
+        os << _name << '.' << h->name() << ".buckets";
+        for (uint64_t b : h->buckets())
+            os << ' ' << b;
+        os << " # bucket size " << h->bucketSize() << '\n';
+    }
+    for (const Distribution *d : distributions) {
+        os << _name << '.' << d->name() << ' ' << d->mean() << " +- "
+           << d->stdev() << " [" << d->min() << ", " << d->max()
+           << "] n=" << d->count() << " # " << d->desc() << '\n';
+    }
 }
 
 void
@@ -39,6 +156,27 @@ StatGroup::appendTo(std::map<std::string, double> &out) const
             static_cast<double>(c->value());
     for (const Scalar *s : scalars)
         out[_name + '.' + s->name()] = s->value();
+    for (const Histogram *h : histograms) {
+        const std::string base = _name + '.' + h->name() + '.';
+        out[base + "count"] = static_cast<double>(h->count());
+        out[base + "min"] = static_cast<double>(h->min());
+        out[base + "max"] = static_cast<double>(h->max());
+        out[base + "mean"] = h->mean();
+        out[base + "bucket_size"] =
+            static_cast<double>(h->bucketSize());
+        for (size_t i = 0; i < h->buckets().size(); ++i) {
+            out[base + "bkt" + std::to_string(i)] =
+                static_cast<double>(h->buckets()[i]);
+        }
+    }
+    for (const Distribution *d : distributions) {
+        const std::string base = _name + '.' + d->name() + '.';
+        out[base + "count"] = static_cast<double>(d->count());
+        out[base + "min"] = d->min();
+        out[base + "max"] = d->max();
+        out[base + "mean"] = d->mean();
+        out[base + "stdev"] = d->stdev();
+    }
 }
 
 void
@@ -48,6 +186,10 @@ StatGroup::resetAll()
         c->reset();
     for (Scalar *s : scalars)
         s->reset();
+    for (Histogram *h : histograms)
+        h->reset();
+    for (Distribution *d : distributions)
+        d->reset();
 }
 
 uint64_t

@@ -1,11 +1,15 @@
 /**
  * @file
- * Minimal statistics package: named scalar counters and formula-style
- * derived values grouped per component, in the spirit of gem5's stats.
+ * Minimal statistics package: named scalar counters, formula-style
+ * derived values, histograms and distributions grouped per component,
+ * in the spirit of gem5's stats.
  *
  * Components that want to expose statistics own a StatGroup and
- * register Counter / Scalar members with it. A StatGroup can be dumped
- * to any std::ostream in a stable, grep-friendly format.
+ * register Counter / Scalar / Histogram / Distribution members with
+ * it. Stat names are unique within a group (duplicate registration is
+ * a fatal error). A StatGroup can be dumped to any std::ostream in a
+ * stable, grep-friendly format, or flattened into a name->double map
+ * (appendTo) for RunResult / JSON export.
  */
 
 #ifndef TAPAS_SUPPORT_STATS_HH
@@ -69,6 +73,99 @@ class Scalar
 };
 
 /**
+ * A sampled-value histogram with gem5-style auto-scaling buckets:
+ * the bucket count is fixed, and when a sample lands beyond the
+ * current range adjacent buckets are folded and the bucket size
+ * doubles, so any value range fits without pre-configuration.
+ */
+class Histogram
+{
+  public:
+    /**
+     * Register a histogram with a group.
+     *
+     * @param group owning group (must outlive the histogram's use)
+     * @param name stat name within the group
+     * @param desc one-line description
+     * @param num_buckets bucket count (even, >= 2)
+     */
+    Histogram(StatGroup &group, std::string name, std::string desc,
+              unsigned num_buckets = 8);
+
+    /** Record `n` occurrences of value `v`. */
+    void sample(uint64_t v, uint64_t n = 1);
+
+    uint64_t count() const { return _count; }
+    uint64_t min() const { return _count ? _min : 0; }
+    uint64_t max() const { return _max; }
+    double mean() const
+    {
+        return _count ? static_cast<double>(_sum) /
+                            static_cast<double>(_count)
+                      : 0.0;
+    }
+
+    /** Current width of one bucket (doubles as the range grows). */
+    uint64_t bucketSize() const { return _bucketSize; }
+
+    const std::vector<uint64_t> &buckets() const { return _buckets; }
+
+    void reset();
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+  private:
+    std::string _name;
+    std::string _desc;
+    std::vector<uint64_t> _buckets;
+    uint64_t _bucketSize = 1;
+    uint64_t _count = 0;
+    uint64_t _sum = 0;
+    uint64_t _min = 0;
+    uint64_t _max = 0;
+};
+
+/**
+ * A running distribution: count / min / max / mean / stdev of a
+ * sampled quantity, without storing the samples.
+ */
+class Distribution
+{
+  public:
+    Distribution(StatGroup &group, std::string name,
+                 std::string desc);
+
+    /** Record one sample. */
+    void sample(double v);
+
+    uint64_t count() const { return _count; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+    double mean() const
+    {
+        return _count ? _sum / static_cast<double>(_count) : 0.0;
+    }
+
+    /** Population standard deviation. */
+    double stdev() const;
+
+    void reset();
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+  private:
+    std::string _name;
+    std::string _desc;
+    uint64_t _count = 0;
+    double _sum = 0.0;
+    double _sumSq = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/**
  * A named collection of statistics belonging to one component
  * (e.g., one task unit, one cache).
  */
@@ -85,8 +182,10 @@ class StatGroup
 
     /**
      * Append every registered stat to `out` keyed "<group>.<stat>"
-     * (counters widened to double). Used to snapshot a component's
-     * statistics into an engine RunResult.
+     * (counters widened to double). Histograms flatten to
+     * ".count/.min/.max/.mean/.bucket_size/.bkt<i>" sub-keys and
+     * distributions to ".count/.min/.max/.mean/.stdev". Used to
+     * snapshot a component's statistics into an engine RunResult.
      */
     void appendTo(std::map<std::string, double> &out) const;
 
@@ -104,10 +203,17 @@ class StatGroup
   private:
     friend class Counter;
     friend class Scalar;
+    friend class Histogram;
+    friend class Distribution;
+
+    /** fatal()s if `stat` is already registered in this group. */
+    void checkDuplicate(const std::string &stat) const;
 
     std::string _name;
     std::vector<Counter *> counters;
     std::vector<Scalar *> scalars;
+    std::vector<Histogram *> histograms;
+    std::vector<Distribution *> distributions;
 };
 
 } // namespace tapas

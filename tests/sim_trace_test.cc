@@ -109,6 +109,57 @@ TEST(TraceTest, CsvShape)
     EXPECT_NE(csv.find(",retire,"), std::string::npos);
 }
 
+TEST(TraceTest, AggregatesMatchBruteForceScan)
+{
+    // countOf / meanLifetime are maintained incrementally in
+    // record(); pin them against a from-scratch scan of the raw
+    // event vector (the pre-aggregate implementation).
+    auto w = workloads::makeFib(10);
+    TaskTracer t = traceRun(w);
+
+    std::array<size_t, kNumTraceKinds> kinds{};
+    std::map<std::pair<unsigned, unsigned>, uint64_t> open;
+    std::map<unsigned, std::pair<double, uint64_t>> per_sid;
+    double all_sum = 0.0;
+    uint64_t all_n = 0;
+    for (const TraceEvent &e : t.all()) {
+        ++kinds[static_cast<unsigned>(e.kind)];
+        auto key = std::make_pair(e.sid, e.slot);
+        if (e.kind == TraceEvent::Kind::Spawn) {
+            open[key] = e.cycle;
+        } else if (e.kind == TraceEvent::Kind::Retire) {
+            auto it = open.find(key);
+            ASSERT_NE(it, open.end());
+            double life = static_cast<double>(e.cycle - it->second);
+            open.erase(it);
+            per_sid[e.sid].first += life;
+            ++per_sid[e.sid].second;
+            all_sum += life;
+            ++all_n;
+        }
+    }
+
+    for (unsigned k = 0; k < kNumTraceKinds; ++k) {
+        EXPECT_EQ(t.countOf(static_cast<TraceEvent::Kind>(k)),
+                  kinds[k]);
+    }
+    ASSERT_GT(all_n, 0u);
+    EXPECT_DOUBLE_EQ(t.meanLifetime(),
+                     all_sum / static_cast<double>(all_n));
+    for (const auto &kv : per_sid) {
+        EXPECT_DOUBLE_EQ(t.meanLifetime(kv.first),
+                         kv.second.first /
+                             static_cast<double>(kv.second.second));
+    }
+    // Unknown sid: no samples, zero mean.
+    EXPECT_DOUBLE_EQ(t.meanLifetime(12345), 0.0);
+
+    t.clear();
+    EXPECT_TRUE(t.all().empty());
+    EXPECT_EQ(t.countOf(TraceEvent::Kind::Spawn), 0u);
+    EXPECT_DOUBLE_EQ(t.meanLifetime(), 0.0);
+}
+
 TEST(TraceTest, NoTracerNoOverheadPathStillWorks)
 {
     // Default: no tracer attached; simulation unaffected.

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <sstream>
 
 #include "support/logging.hh"
@@ -69,6 +70,98 @@ TEST(StatsTest, UnknownStatPanics)
 {
     StatGroup g("unit");
     EXPECT_DEATH(g.counterValue("nope"), "no counter named");
+}
+
+TEST(StatsTest, DuplicateNameIsFatal)
+{
+    StatGroup g("dupes");
+    Counter c(g, "events", "first registration");
+    EXPECT_EXIT(Scalar(g, "events", "same name, other kind"),
+                ::testing::ExitedWithCode(1),
+                "duplicate stat 'events' in group 'dupes'");
+    EXPECT_EXIT(Counter(g, "events", "same name, same kind"),
+                ::testing::ExitedWithCode(1),
+                "duplicate stat 'events' in group 'dupes'");
+}
+
+TEST(StatsTest, HistogramBasics)
+{
+    StatGroup g("h");
+    Histogram h(g, "life", "lifetimes", 4);
+    h.sample(0);
+    h.sample(1);
+    h.sample(2);
+    h.sample(3);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 1.5);
+    EXPECT_EQ(h.bucketSize(), 1u);
+    for (uint64_t b : h.buckets())
+        EXPECT_EQ(b, 1u);
+}
+
+TEST(StatsTest, HistogramFoldsToCoverAnyRange)
+{
+    StatGroup g("h");
+    Histogram h(g, "life", "lifetimes", 4);
+    for (uint64_t v = 0; v < 4; ++v)
+        h.sample(v);
+    // 9 needs buckets [0,16): one fold (size 2) is not enough, so
+    // the size doubles twice.
+    h.sample(9);
+    EXPECT_EQ(h.bucketSize(), 4u);
+    EXPECT_EQ(h.buckets()[0], 4u); // 0..3 folded together
+    EXPECT_EQ(h.buckets()[2], 1u); // 9 in [8,12)
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.max(), 9u);
+    // No sample is lost by folding.
+    uint64_t in_buckets = 0;
+    for (uint64_t b : h.buckets())
+        in_buckets += b;
+    EXPECT_EQ(in_buckets, h.count());
+
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bucketSize(), 1u);
+}
+
+TEST(StatsTest, DistributionMoments)
+{
+    StatGroup g("d");
+    Distribution d(g, "lat", "latencies");
+    EXPECT_DOUBLE_EQ(d.stdev(), 0.0); // empty
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 8u);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.stdev(), 2.0); // the classic textbook set
+}
+
+TEST(StatsTest, HistogramAndDistributionFlatten)
+{
+    StatGroup g("grp");
+    Histogram h(g, "hist", "a histogram", 2);
+    Distribution d(g, "dist", "a distribution");
+    h.sample(1);
+    d.sample(3.0);
+
+    std::map<std::string, double> out;
+    g.appendTo(out);
+    EXPECT_DOUBLE_EQ(out.at("grp.hist.count"), 1.0);
+    EXPECT_DOUBLE_EQ(out.at("grp.hist.mean"), 1.0);
+    EXPECT_DOUBLE_EQ(out.at("grp.hist.bucket_size"), 1.0);
+    EXPECT_DOUBLE_EQ(out.at("grp.hist.bkt1"), 1.0);
+    EXPECT_DOUBLE_EQ(out.at("grp.dist.count"), 1.0);
+    EXPECT_DOUBLE_EQ(out.at("grp.dist.mean"), 3.0);
+    EXPECT_DOUBLE_EQ(out.at("grp.dist.stdev"), 0.0);
+
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("grp.hist.count 1"), std::string::npos);
+    EXPECT_NE(os.str().find("grp.dist 3"), std::string::npos);
 }
 
 TEST(RngTest, DeterministicAcrossInstances)

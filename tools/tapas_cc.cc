@@ -16,7 +16,11 @@
  *   --ntasks N            task-queue entries (default 32)
  *   --opt                 run the optimization passes first
  *   --unroll N            unroll eligible serial loops by N
- *   --trace <path>        write a task-lifetime CSV from --run
+ *   --trace <path>        write a Chrome/Perfetto trace-event JSON
+ *                         from --run (open in ui.perfetto.dev)
+ *   --trace-csv <path>    write the task-lifetime CSV from --run
+ *   --profile             per-unit cycle-attribution table from
+ *                         --run (busy / stall / idle buckets)
  *   --jobs N              run --run/--interp engines concurrently
  *   --json <path>         machine-readable results ('-' for stdout)
  *   --top <name>          offloaded function (default: first
@@ -55,7 +59,8 @@ usage(const char *argv0)
            "       [--emit-chisel PATH] [--emit-dot PATH]\n"
            "       [--run ARGS...] [--interp ARGS...] "
            "[--trace PATH]\n"
-           "       [--jobs N] [--json PATH]\n"
+           "       [--trace-csv PATH] [--profile] [--jobs N] "
+           "[--json PATH]\n"
            "\n"
            "  --report            task graph + FPGA resource "
            "estimates\n"
@@ -72,7 +77,12 @@ usage(const char *argv0)
            "before HLS\n"
            "  --unroll N          unroll eligible serial loops by "
            "N\n"
-           "  --trace PATH        task-lifetime CSV from --run\n"
+           "  --trace PATH        Perfetto trace-event JSON from "
+           "--run ('-' for stdout;\n"
+           "                      open in ui.perfetto.dev)\n"
+           "  --trace-csv PATH    task-lifetime CSV from --run\n"
+           "  --profile           per-unit cycle-attribution table "
+           "from --run\n"
            "  --jobs N            worker threads for --run/--interp "
            "(or $TAPAS_JOBS)\n"
            "  --json PATH         machine-readable results ('-' for "
@@ -166,6 +176,8 @@ main(int argc, char **argv)
     unsigned ntasks = 32;
     unsigned cli_jobs = 0;
     std::string trace_path;
+    std::string trace_csv_path;
+    bool do_profile = false;
     std::vector<std::string> run_args;
 
     if (input == "--help" || input == "-h")
@@ -191,8 +203,16 @@ main(int argc, char **argv)
             do_opt = true;
         } else if (a == "--unroll") {
             unroll = parseUnsigned(a, next());
-        } else if (a == "--trace") {
-            trace_path = next();
+        } else if (a == "--trace" || a == "--trace-csv") {
+            // A following flag is a forgotten path, not an argument.
+            std::string path = next();
+            if (path.size() >= 2 && path.compare(0, 2, "--") == 0) {
+                tapas_fatal("%s expects an output path, got the "
+                            "flag '%s'", a.c_str(), path.c_str());
+            }
+            (a == "--trace" ? trace_path : trace_csv_path) = path;
+        } else if (a == "--profile") {
+            do_profile = true;
         } else if (a == "--jobs") {
             cli_jobs = parseUnsigned(a, next());
         } else if (a == "--json") {
@@ -337,9 +357,11 @@ main(int argc, char **argv)
                 auto args = setupMem(mem);
                 driver::AccelSimEngine::Options eo;
                 eo.design = design.get();
-                if (!trace_path.empty())
+                if (!trace_csv_path.empty())
                     eo.tracer = &tracer;
                 driver::AccelSimEngine eng(std::move(eo));
+                eng.runOptions.traceFile = trace_path;
+                eng.runOptions.profile = do_profile;
                 return eng.run(*mod, *top, args, mem);
             });
         }
@@ -368,10 +390,14 @@ main(int argc, char **argv)
         }
         if (do_run) {
             const driver::RunResult &r = results[idx++];
-            if (!trace_path.empty()) {
+            if (!trace_path.empty() && trace_path != "-") {
+                std::cout << "wrote " << trace_path
+                          << " (perfetto trace)\n";
+            }
+            if (!trace_csv_path.empty()) {
                 std::ostringstream os;
                 tracer.dumpCsv(os);
-                writeOut(trace_path, os.str());
+                writeOut(trace_csv_path, os.str());
             }
             std::cout << "accel: " << r.cycles << " cycles, "
                       << r.spawns << " spawns, "
@@ -381,6 +407,8 @@ main(int argc, char **argv)
                 std::cout << ", returned " << formatRet(*top,
                                                         r.retval);
             std::cout << "\n";
+            if (do_profile)
+                std::cout << "\n" << r.profileReport;
 
             Json jr = Json::object();
             jr.set("engine", Json::str("accel"));
@@ -391,6 +419,12 @@ main(int argc, char **argv)
             if (!top->returnType().isVoid())
                 jr.set("retval", Json::str(formatRet(*top,
                                                      r.retval)));
+            // Full flattened stats (includes the "profile.*" cycle
+            // buckets when --profile is on).
+            Json jstats = Json::object();
+            for (const auto &kv : r.stats)
+                jstats.set(kv.first, Json::num(kv.second));
+            jr.set("stats", std::move(jstats));
             jresults.push(std::move(jr));
         }
     }
