@@ -20,6 +20,10 @@
  *                not clobber one file
  *   --profile    print a per-unit cycle-attribution table after each
  *                accelerator run
+ *   --fault-rate R, --fault-seed S, --max-retries N
+ *                deterministic fault injection applied to every
+ *                accelerator run (see sim/fault.hh); benches other
+ *                than fault_sweep fatal() if a run fails outright
  */
 
 #ifndef TAPAS_BENCH_COMMON_HH
@@ -55,6 +59,18 @@ struct BenchOptions
 
     /** Print a cycle-attribution table per accelerator run. */
     bool profile = false;
+
+    /** --fault-rate value (0 = no injection). */
+    double faultRate = 0;
+
+    /** --fault-seed value. */
+    uint64_t faultSeed = 0x7a7a5u;
+
+    /** --max-retries value. */
+    unsigned maxRetries = 8;
+
+    /** Any fault-injection flag given? */
+    bool faultGiven = false;
 };
 
 /**
@@ -69,6 +85,18 @@ benchRunOptions()
     return opts;
 }
 
+/**
+ * Fault-injection config applied by runAccelWith() to every
+ * accelerator engine (unset = no injector); parseBenchArgs() fills
+ * this in from --fault-rate / --fault-seed / --max-retries.
+ */
+inline std::optional<sim::FaultConfig> &
+benchFaultConfig()
+{
+    static std::optional<sim::FaultConfig> cfg;
+    return cfg;
+}
+
 /** Parse a decimal flag argument; fatal() on garbage. */
 inline unsigned
 parseUnsigned(const std::string &flag, const std::string &text)
@@ -79,6 +107,18 @@ parseUnsigned(const std::string &flag, const std::string &text)
         tapas_fatal("%s expects a number, got '%s'", flag.c_str(),
                     text.c_str());
     return static_cast<unsigned>(v);
+}
+
+/** Parse a non-negative (possibly scientific) rate argument. */
+inline double
+parseRate(const std::string &flag, const std::string &text)
+{
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || v < 0)
+        tapas_fatal("%s expects a non-negative number, got '%s'",
+                    flag.c_str(), text.c_str());
+    return v;
 }
 
 /** Parse the common bench CLI; fatal()s on unknown flags. */
@@ -104,20 +144,39 @@ parseBenchArgs(int argc, char **argv)
             opt.traceFile = next();
         } else if (a == "--profile") {
             opt.profile = true;
+        } else if (a == "--fault-rate") {
+            opt.faultRate = parseRate(a, next());
+            opt.faultGiven = true;
+        } else if (a == "--fault-seed") {
+            opt.faultSeed =
+                std::strtoull(next().c_str(), nullptr, 0);
+            opt.faultGiven = true;
+        } else if (a == "--max-retries") {
+            opt.maxRetries = parseUnsigned(a, next());
+            opt.faultGiven = true;
         } else if (a == "--help" || a == "-h") {
             std::cout << "usage: " << argv[0]
                       << " [--jobs N] [--json PATH] [--trace PATH]"
-                         " [--profile]\n";
+                         " [--profile] [--fault-rate R]"
+                         " [--fault-seed S] [--max-retries N]\n";
             std::exit(0);
         } else {
             tapas_fatal("unknown option '%s' (supported: --jobs N, "
-                        "--json PATH, --trace PATH, --profile)",
+                        "--json PATH, --trace PATH, --profile, "
+                        "--fault-rate R, --fault-seed S, "
+                        "--max-retries N)",
                         a.c_str());
         }
     }
     opt.jobs = driver::resolveJobs(cli_jobs);
     benchRunOptions().traceFile = opt.traceFile;
     benchRunOptions().profile = opt.profile;
+    if (opt.faultGiven) {
+        sim::FaultConfig fc =
+            sim::FaultConfig::uniform(opt.faultRate, opt.faultSeed);
+        fc.maxTaskRetries = opt.maxRetries;
+        benchFaultConfig() = fc;
+    }
     return opt;
 }
 
@@ -184,6 +243,8 @@ runAccelWith(workloads::Workload &w,
              driver::AccelSimEngine::Options eo,
              uint64_t mem_bytes = 256ull << 20)
 {
+    if (!eo.fault && benchFaultConfig())
+        eo.fault = benchFaultConfig();
     driver::AccelSimEngine engine(std::move(eo));
     const driver::RunOptions &obs = benchRunOptions();
     engine.runOptions.profile = obs.profile;
@@ -193,6 +254,11 @@ runAccelWith(workloads::Workload &w,
             numberedTracePath(obs.traceFile, traced++);
     }
     RunResult r = engine.runWorkload(w, mem_bytes);
+    if (!r.ok()) {
+        tapas_fatal("bench '%s' failed (%s): %s", w.name.c_str(),
+                    r.failure->kind.c_str(),
+                    r.failure->detail.c_str());
+    }
     if (!r.verifyError.empty()) {
         tapas_fatal("bench '%s' failed verification: %s",
                     w.name.c_str(), r.verifyError.c_str());

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Fault-injection degradation curves: run a set of workloads across
+ * increasing uniform fault rates (spawn drops, queue-RAM bit flips,
+ * lost/delayed memory responses, stuck tiles — see sim/fault.hh) and
+ * chart cycles, recovery work, and survival. Every surviving point is
+ * verified against the workload's golden model: the hardware recovery
+ * paths must deliver the exact reference output, not just "finish".
+ * Failed points are reported with their structured failure kind; a
+ * fault run never aborts the process.
+ *
+ * With --fault-rate R the swept rates are {0, R/10, R}; otherwise the
+ * default grid {0, 1e-5, 1e-4, 1e-3}. --fault-seed fixes the fault
+ * schedule (default 0x7a7a5), so a (seed, rate) point is exactly
+ * reproducible. --max-retries sets the per-task replay budget.
+ */
+
+#include <initializer_list>
+
+#include "bench/common.hh"
+
+using namespace tapas;
+using namespace tapas::bench;
+
+namespace {
+
+struct Point
+{
+    RunResult result;
+    bool failed = false;
+    std::string failKind;
+    bool verified = false;
+    uint64_t injected = 0;
+    uint64_t recovered = 0;
+};
+
+/** Sum a set of fault.* stats, tolerating their absence (rate 0). */
+uint64_t
+sumStats(const RunResult &r, std::initializer_list<const char *> keys)
+{
+    double total = 0;
+    for (const char *k : keys) {
+        auto it = r.stats.find(k);
+        if (it != r.stats.end())
+            total += it->second;
+    }
+    return static_cast<uint64_t>(total);
+}
+
+Point
+runPoint(workloads::Workload &w, double rate, uint64_t seed,
+         unsigned max_retries)
+{
+    driver::AccelSimEngine::Options eo;
+    eo.device = fpga::Device::cycloneV();
+    sim::FaultConfig fc = sim::FaultConfig::uniform(rate, seed);
+    fc.maxTaskRetries = max_retries;
+    eo.fault = fc;
+    // A pathological schedule may wedge a point; report it as a
+    // failure quickly instead of burning the full watchdog budget.
+    eo.watchdogCycles = 2'000'000;
+
+    driver::AccelSimEngine engine(std::move(eo));
+    Point p;
+    p.result = engine.runWorkload(w, 64 << 20);
+    p.failed = !p.result.ok();
+    if (p.failed)
+        p.failKind = p.result.failure->kind;
+    p.verified = !p.failed && p.result.verifyError.empty();
+    p.injected = sumStats(
+        p.result, {"fault.spawn_drops", "fault.queue_corruptions",
+                   "fault.mem_drops", "fault.mem_delays",
+                   "fault.tile_stalls"});
+    p.recovered = sumStats(
+        p.result, {"fault.spawn_retries", "fault.task_replays",
+                   "fault.mem_reissues"});
+    return p;
+}
+
+struct Entry
+{
+    const char *name;
+    workloads::Workload (*make)();
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = parseBenchArgs(argc, argv);
+    banner("fault_sweep", "fault-rate degradation curves with "
+                          "verified recovery");
+
+    std::vector<double> rates{0, 1e-5, 1e-4, 1e-3};
+    if (opt.faultRate > 0)
+        rates = {0, opt.faultRate / 10, opt.faultRate};
+
+    const std::vector<Entry> suite{
+        {"saxpy", [] { return workloads::makeSaxpy(4096); }},
+        {"fib", [] { return workloads::makeFib(13); }},
+        {"mergesort",
+         [] { return workloads::makeMergeSort(2048, 64); }},
+    };
+
+    driver::Sweep<Point> sweep(opt.jobs);
+    for (const Entry &e : suite) {
+        for (double rate : rates) {
+            sweep.add([&e, rate, &opt] {
+                auto w = e.make();
+                return runPoint(w, rate, opt.faultSeed,
+                                opt.maxRetries);
+            });
+        }
+    }
+    std::vector<Point> points = sweep.run();
+    for (const auto &[i, what] : sweep.errors())
+        tapas_warn("sweep job %zu threw: %s", i, what.c_str());
+
+    Json doc = experimentJson("fault_sweep");
+    doc.set("seed", Json::num(static_cast<double>(opt.faultSeed)));
+    Json rows = Json::array();
+    size_t idx = 0;
+    unsigned failures = 0;
+    unsigned unverified = 0;
+
+    for (const Entry &e : suite) {
+        std::cout << e.name << ":\n";
+        TextTable t;
+        t.header({"rate", "status", "cycles", "slowdown", "injected",
+                  "recovered"});
+        uint64_t base = 0;
+        for (double rate : rates) {
+            const Point &p = points[idx++];
+            if (!base && !p.failed)
+                base = p.result.cycles;
+            std::string status = p.failed
+                                     ? "FAIL(" + p.failKind + ")"
+                                     : (p.verified ? "ok"
+                                                   : "MISMATCH");
+            if (p.failed)
+                ++failures;
+            else if (!p.verified)
+                ++unverified;
+            t.row({strfmt("%.0e", rate), status,
+                   std::to_string(p.result.cycles),
+                   base && !p.failed
+                       ? strfmt("%.3fx",
+                                static_cast<double>(p.result.cycles) /
+                                    base)
+                       : "-",
+                   std::to_string(p.injected),
+                   std::to_string(p.recovered)});
+
+            Json jr = Json::object();
+            jr.set("kernel", Json::str(e.name));
+            jr.set("rate", Json::num(rate));
+            jr.set("failed", Json::boolean(p.failed));
+            if (p.failed)
+                jr.set("failure_kind", Json::str(p.failKind));
+            jr.set("verified", Json::boolean(p.verified));
+            jr.set("injected", Json::num(p.injected));
+            jr.set("recovered", Json::num(p.recovered));
+            jr.set("result", runResultJson(p.result));
+            rows.push(std::move(jr));
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    doc.set("rows", std::move(rows));
+    maybeWriteJson(opt, doc);
+
+    std::cout << "Recovery (spawn backoff, checksum replay, memory "
+                 "reissue) absorbs\nmoderate fault rates at a cycle "
+                 "cost; past the knee, retry budgets\nexhaust and "
+                 "points fail *structurally* -- reported, never "
+                 "aborted.\n";
+    if (unverified) {
+        std::cout << unverified
+                  << " surviving point(s) failed verification\n";
+        return 1;
+    }
+    std::cout << "all surviving points verified against the golden "
+                 "model ("
+              << failures << " structured failure(s))\n";
+    return 0;
+}

@@ -26,7 +26,7 @@ RunResult::equals(const RunResult &o) const
            spawns == o.spawns && seconds == o.seconds &&
            cacheHitRate == o.cacheHitRate &&
            verifyError == o.verifyError && stats == o.stats &&
-           profileReport == o.profileReport;
+           profileReport == o.profileReport && failure == o.failure;
 }
 
 RunResult
@@ -36,7 +36,10 @@ Engine::runWorkload(workloads::Workload &w, uint64_t mem_bytes)
     std::vector<ir::RtValue> args = w.setup(mem);
     bindWorkload(w);
     RunResult r = run(*w.module, *w.top, args, mem);
-    r.verifyError = w.verify(mem, r.retval);
+    // A failed run produced no output; verifying the image would only
+    // bury the real diagnostic under a spurious mismatch.
+    if (r.ok())
+        r.verifyError = w.verify(mem, r.retval);
     return r;
 }
 
@@ -87,6 +90,16 @@ AccelSimEngine::run(ir::Module &mod, ir::Function &top,
     sim::AcceleratorSim accel(*design, mem);
     if (opts.tracer)
         accel.setTracer(opts.tracer);
+    if (opts.maxCycles)
+        accel.maxCycles = *opts.maxCycles;
+    if (opts.watchdogCycles)
+        accel.watchdogCycles = *opts.watchdogCycles;
+
+    std::optional<sim::FaultInjector> injector;
+    if (opts.fault) {
+        injector.emplace(*opts.fault);
+        accel.setFaultInjector(&*injector);
+    }
 
     obs::PerfettoTraceSink perfetto;
     if (!runOptions.traceFile.empty())
@@ -119,6 +132,16 @@ AccelSimEngine::run(ir::Module &mod, ir::Function &top,
     r.cycles = accel.cycles();
     r.spawns = accel.totalSpawns();
     r.cacheHitRate = accel.cacheModel().hitRate();
+
+    if (accel.failure().failed()) {
+        r.failure = RunResult::Failure{
+            sim::failureKindName(accel.failure().kind),
+            accel.failure().detail};
+    }
+    // fault.* stats only when injection was actually enabled, so an
+    // attached-but-all-zero injector yields a byte-identical result.
+    if (injector && opts.fault->any())
+        injector->stats.appendTo(r.stats);
 
     fpga::ResourceReport rep =
         fpga::estimateResources(*design, opts.device);

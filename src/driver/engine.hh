@@ -56,6 +56,23 @@ struct RunOptions
 /** What every engine reports for one run. */
 struct RunResult
 {
+    /**
+     * Structured failure from an engine that could not finish the
+     * run (simulator deadlock, cycle-limit overrun, exhausted
+     * fault-retry budget). `kind` is a stable snake_case token
+     * (sim::failureKindName); `detail` is the human diagnostic.
+     */
+    struct Failure
+    {
+        std::string kind;
+        std::string detail;
+
+        bool operator==(const Failure &o) const
+        {
+            return kind == o.kind && detail == o.detail;
+        }
+    };
+
     /** The top function's return value (zero lane for void). */
     ir::RtValue retval;
 
@@ -89,6 +106,12 @@ struct RunResult
      * run had RunOptions::profile set.
      */
     std::string profileReport;
+
+    /** Populated when the run ended in a structured failure. */
+    std::optional<Failure> failure;
+
+    /** Did the run complete (it may still have a verifyError)? */
+    bool ok() const { return !failure.has_value(); }
 
     /** Look up a named metric; fatal()s when absent. */
     double stat(const std::string &name) const;
@@ -200,6 +223,21 @@ class AccelSimEngine : public Engine
 
         /** Optional task-lifetime tracer (not owned). */
         sim::TaskTracer *tracer = nullptr;
+
+        /**
+         * Deterministic fault injection: when set, every run
+         * constructs a FaultInjector from this config (fresh RNG per
+         * run, so repeated runs see the identical fault schedule)
+         * and records fault.* stats in the RunResult. An all-zero
+         * config attaches an injector that perturbs nothing.
+         */
+        std::optional<sim::FaultConfig> fault;
+
+        /** Override AcceleratorSim::maxCycles when set. */
+        std::optional<uint64_t> maxCycles;
+
+        /** Override AcceleratorSim::watchdogCycles when set. */
+        std::optional<uint64_t> watchdogCycles;
 
         /**
          * Invoked after the simulation with the compiled design and

@@ -46,10 +46,38 @@ JobRunner::~JobRunner()
 }
 
 void
+JobRunner::runGuarded(std::function<void()> &job)
+{
+    try {
+        job();
+    } catch (const std::exception &e) {
+        std::lock_guard<std::mutex> lock(mtx);
+        errors_.emplace_back(e.what());
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mtx);
+        errors_.emplace_back("unknown exception");
+    }
+}
+
+size_t
+JobRunner::failureCount() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return errors_.size();
+}
+
+std::vector<std::string>
+JobRunner::errors() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return errors_;
+}
+
+void
 JobRunner::submit(std::function<void()> job)
 {
     if (workers.empty()) {
-        job();
+        runGuarded(job);
         return;
     }
     {
@@ -84,7 +112,7 @@ JobRunner::workerLoop()
             job = std::move(queue.front());
             queue.pop_front();
         }
-        job();
+        runGuarded(job);
         {
             std::lock_guard<std::mutex> lock(mtx);
             --inFlight;

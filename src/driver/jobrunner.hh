@@ -25,8 +25,11 @@
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
+#include <map>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -57,7 +60,12 @@ class JobRunner
     JobRunner(const JobRunner &) = delete;
     JobRunner &operator=(const JobRunner &) = delete;
 
-    /** Enqueue one job (runs inline when the pool has no threads). */
+    /**
+     * Enqueue one job (runs inline when the pool has no threads).
+     * A job that throws does not tear down the pool or the calling
+     * thread: the exception is swallowed and recorded (see errors()),
+     * and the remaining jobs run normally.
+     */
     void submit(std::function<void()> job);
 
     /** Block until every submitted job has finished. */
@@ -69,12 +77,22 @@ class JobRunner
         return static_cast<unsigned>(workers.size());
     }
 
+    /** Jobs that threw so far (stable after wait()). */
+    size_t failureCount() const;
+
+    /** what() strings of thrown jobs, in completion order. */
+    std::vector<std::string> errors() const;
+
   private:
     void workerLoop();
 
+    /** Run one job, capturing anything it throws. */
+    void runGuarded(std::function<void()> &job);
+
     std::vector<std::thread> workers;
     std::deque<std::function<void()>> queue;
-    std::mutex mtx;
+    std::vector<std::string> errors_;
+    mutable std::mutex mtx;
     std::condition_variable workReady;
     std::condition_variable allDone;
     unsigned inFlight = 0;
@@ -85,6 +103,11 @@ class JobRunner
  * A deterministic fan-out of homogeneous jobs: add() closures, then
  * run() them across `jobs` workers and collect the results in
  * submission order.
+ *
+ * A job that throws leaves its slot default-constructed and records
+ * the exception in errors() keyed by submission index — keyed, not
+ * ordered by completion, so the error set is as deterministic as the
+ * results. The other jobs are unaffected.
  *
  * @tparam R result type of each job
  */
@@ -116,12 +139,12 @@ class Sweep
         std::vector<R> results(pending.size());
         if (njobs <= 1) {
             for (size_t i = 0; i < pending.size(); ++i)
-                results[i] = pending[i]();
+                runOne(i, results);
         } else {
             JobRunner pool(njobs);
             for (size_t i = 0; i < pending.size(); ++i) {
                 pool.submit([this, i, &results] {
-                    results[i] = pending[i]();
+                    runOne(i, results);
                 });
             }
             pool.wait();
@@ -130,9 +153,31 @@ class Sweep
         return results;
     }
 
+    /** Exceptions thrown by jobs, keyed by submission index. */
+    const std::map<size_t, std::string> &errors() const
+    {
+        return errs;
+    }
+
   private:
+    void
+    runOne(size_t i, std::vector<R> &results)
+    {
+        try {
+            results[i] = pending[i]();
+        } catch (const std::exception &e) {
+            std::lock_guard<std::mutex> lock(errMtx);
+            errs.emplace(i, e.what());
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(errMtx);
+            errs.emplace(i, "unknown exception");
+        }
+    }
+
     unsigned njobs;
     std::vector<std::function<R()>> pending;
+    std::map<size_t, std::string> errs;
+    std::mutex errMtx;
 };
 
 } // namespace tapas::driver

@@ -1,5 +1,6 @@
 #include "ir/parser.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 #include <map>
@@ -256,7 +257,11 @@ class Parser
     {
         expectIdent("global");
         Token name = expect(Tok::GlobalName, "global name");
+        if (mod->globalByName(name.text))
+            lex.fail("redefinition of global @" + name.text);
         Token size = expect(Tok::IntLit, "global size");
+        if (size.ival < 0)
+            lex.fail("negative size for global @" + name.text);
         mod->addGlobal(name.text, static_cast<uint64_t>(size.ival));
     }
 
@@ -283,6 +288,8 @@ class Parser
         expect(Tok::RParen, "')'");
         expect(Tok::Arrow, "'->'");
         Type ret = parseType(/*allow_void=*/true);
+        if (mod->functionByName(name.text))
+            lex.fail("redefinition of function @" + name.text);
         Function *func = mod->addFunction(name.text, ret,
                                           std::move(params));
         expect(Tok::LBrace, "'{'");
@@ -338,20 +345,40 @@ class Parser
             Token t = lex.peek();
             if (t.kind == Tok::Ident && peekIsBlockLabel()) {
                 Token label = lex.next();
-                if (lex.peek().kind != Tok::Colon)
-                    lex.fail("unknown instruction '" + label.text +
-                             "'");
+                if (lex.peek().kind != Tok::Colon) {
+                    throw ParseError(
+                        "line " + std::to_string(label.line) +
+                        ": unknown instruction '" + label.text + "'");
+                }
                 lex.next();
                 cur = getBlock(func, label.text);
+                if (std::find(defOrder.begin(), defOrder.end(),
+                              cur) != defOrder.end()) {
+                    lex.fail("redefinition of block '" + label.text +
+                             "'");
+                }
                 defOrder.push_back(cur);
                 continue;
             }
             if (!cur)
                 lex.fail("instruction before first block label");
+            if (cur->isTerminated()) {
+                lex.fail("instruction after terminator in block '" +
+                         cur->name() + "'");
+            }
             parseInstruction(func);
         }
 
         resolveFixups();
+        // A label mentioned by a terminator but never defined would
+        // leave a body-less block behind (and trip reorderBlocks).
+        for (const auto &[name, bb] : blockOf) {
+            if (std::find(defOrder.begin(), defOrder.end(), bb) ==
+                defOrder.end()) {
+                throw ParseError("undefined block label %" + name +
+                                 " in function @" + func->name());
+            }
+        }
         func->reorderBlocks(defOrder);
     }
 

@@ -61,10 +61,21 @@ evalBinary(Opcode op, Type type, RtValue lhs, RtValue rhs)
     int64_t a = lhs.i;
     int64_t b = rhs.i;
     int64_t r = 0;
+    // Add/Sub/Mul wrap modulo 2^bits by definition; compute in
+    // unsigned space so the wraparound is well-defined C++.
     switch (op) {
-      case Opcode::Add: r = a + b; break;
-      case Opcode::Sub: r = a - b; break;
-      case Opcode::Mul: r = a * b; break;
+      case Opcode::Add:
+        r = static_cast<int64_t>(static_cast<uint64_t>(a) +
+                                 static_cast<uint64_t>(b));
+        break;
+      case Opcode::Sub:
+        r = static_cast<int64_t>(static_cast<uint64_t>(a) -
+                                 static_cast<uint64_t>(b));
+        break;
+      case Opcode::Mul:
+        r = static_cast<int64_t>(static_cast<uint64_t>(a) *
+                                 static_cast<uint64_t>(b));
+        break;
       case Opcode::SDiv:
         tapas_assert(b != 0, "sdiv by zero");
         r = a / b;

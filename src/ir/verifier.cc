@@ -190,10 +190,26 @@ checkOperands(const Function &func, ErrorSink &err)
                     if (!inst->operand(0)->type().isInt())
                         err.add("integer binary '%s' on non-int",
                                 opcodeName(inst->opcode()));
+                    if (inst->operand(0)->type() !=
+                        inst->operand(1)->type()) {
+                        err.add("binary '%s' operand type mismatch "
+                                "(%s vs %s)",
+                                opcodeName(inst->opcode()),
+                                inst->operand(0)->type().str().c_str(),
+                                inst->operand(1)->type().str().c_str());
+                    }
                 } else if (isFloatBinary(inst->opcode())) {
                     if (!inst->operand(0)->type().isFloat())
                         err.add("float binary '%s' on non-float",
                                 opcodeName(inst->opcode()));
+                    if (inst->operand(0)->type() !=
+                        inst->operand(1)->type()) {
+                        err.add("binary '%s' operand type mismatch "
+                                "(%s vs %s)",
+                                opcodeName(inst->opcode()),
+                                inst->operand(0)->type().str().c_str(),
+                                inst->operand(1)->type().str().c_str());
+                    }
                 }
                 break;
             }

@@ -170,6 +170,34 @@ PerfettoTraceSink::spawnRejected(uint64_t /*cycle*/, unsigned sid,
 }
 
 void
+PerfettoTraceSink::emitFaultInstant(uint64_t cycle,
+                                    const char *prefix,
+                                    const char *kind, unsigned sid)
+{
+    unsigned pid = sid == ~0u ? memoryPid() : unitPid(sid);
+    push(strfmt("{\"name\":\"%s:%s\",\"cat\":\"fault\","
+                "\"ph\":\"i\",\"s\":\"p\",\"ts\":%llu,"
+                "\"pid\":%u,\"tid\":0}",
+                prefix, jsonEscape(kind).c_str(), ull(cycle), pid));
+}
+
+void
+PerfettoTraceSink::faultInjected(uint64_t cycle, const char *kind,
+                                 unsigned sid)
+{
+    ++faultsTotal;
+    emitFaultInstant(cycle, "fault", kind, sid);
+}
+
+void
+PerfettoTraceSink::faultRecovered(uint64_t cycle, const char *kind,
+                                  unsigned sid)
+{
+    ++recoveriesTotal;
+    emitFaultInstant(cycle, "recover", kind, sid);
+}
+
+void
 PerfettoTraceSink::cacheMiss(uint64_t /*cycle*/)
 {
     ++cacheMisses;

@@ -52,6 +52,10 @@ class PerfettoTraceSink : public TraceSink
                     unsigned slot) override;
     void spawnRejected(uint64_t cycle, unsigned sid,
                        bool queue_full) override;
+    void faultInjected(uint64_t cycle, const char *kind,
+                       unsigned sid) override;
+    void faultRecovered(uint64_t cycle, const char *kind,
+                        unsigned sid) override;
     void cacheMiss(uint64_t cycle) override;
     void cacheStall(uint64_t cycle, bool mshr_full) override;
     void queueSample(uint64_t cycle, unsigned sid,
@@ -99,10 +103,16 @@ class PerfettoTraceSink : public TraceSink
     std::map<Key, uint64_t> pendingFlow; ///< spawn flow ids by child
     uint64_t nextFlowId = 1;
 
+    /** Instant marker for a fault/recovery event. */
+    void emitFaultInstant(uint64_t cycle, const char *prefix,
+                          const char *kind, unsigned sid);
+
     uint64_t spawnRejectsTotal = 0;
     std::map<unsigned, uint64_t> spawnRejectsByUnit;
     uint64_t cacheMisses = 0;
     uint64_t cacheStalls = 0;
+    uint64_t faultsTotal = 0;
+    uint64_t recoveriesTotal = 0;
 };
 
 } // namespace tapas::obs

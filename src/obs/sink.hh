@@ -90,6 +90,26 @@ class TraceSink
      */
     virtual void cacheStall(uint64_t /*cycle*/, bool /*mshr_full*/) {}
 
+    /**
+     * A fault was injected. `kind` is a stable snake_case label
+     * ("spawn_drop", "queue_corrupt", "mem_drop", "mem_delay",
+     * "tile_stuck"); `sid` is the afflicted unit, or ~0u for the
+     * shared memory system.
+     */
+    virtual void
+    faultInjected(uint64_t /*cycle*/, const char * /*kind*/,
+                  unsigned /*sid*/)
+    {}
+
+    /**
+     * A recovery action fired ("spawn_retry", "task_replay",
+     * "mem_reissue"); `sid` as in faultInjected().
+     */
+    virtual void
+    faultRecovered(uint64_t /*cycle*/, const char * /*kind*/,
+                   unsigned /*sid*/)
+    {}
+
     /** Periodic sample: queue occupancy of unit `sid`. */
     virtual void
     queueSample(uint64_t /*cycle*/, unsigned /*sid*/,

@@ -6,6 +6,9 @@
 #include "sim/accel.hh"
 
 #include <ostream>
+#include <string>
+
+#include "support/logging.hh"
 
 namespace tapas::sim {
 
@@ -24,7 +27,7 @@ AcceleratorSim::AcceleratorSim(const hls::AcceleratorDesign &design,
     tapas_assert(!units.empty(), "accelerator with no task units");
 }
 
-bool
+SpawnOutcome
 AcceleratorSim::spawnTask(unsigned sid, std::vector<RtValue> args,
                           TaskRef parent,
                           const ir::CallInst *caller_site,
@@ -110,25 +113,64 @@ AcceleratorSim::run(std::vector<RtValue> top_args)
 {
     ++rootRuns;
     rootFinished = false;
+    failure_ = SimFailure{};
+    rootValue = RtValue{};
 
     // The host (ARM) writes the arguments and kicks the root unit.
-    bool ok = units[0]->trySpawn(std::move(top_args), TaskRef{},
-                                 nullptr, /*now=*/0);
-    tapas_assert(ok, "root spawn rejected on an empty accelerator");
-    units[0]->beginCycle(0); // re-arm the spawn port for cycle 0
+    // With a fault injector the kick handshake itself may be dropped;
+    // the host re-presents it each cycle until the port takes it, up
+    // to the task-retry budget.
+    bool rootSpawned = false;
+    unsigned rootDrops = 0;
 
     uint64_t last_progress = progressEvents;
     uint64_t last_progress_cycle = 0;
 
     uint64_t cyc = 0;
-    for (; !rootFinished; ++cyc) {
-        if (cyc > maxCycles)
-            tapas_fatal("accelerator exceeded %llu cycles",
-                        static_cast<unsigned long long>(maxCycles));
+    for (; !rootFinished && !failure_.failed(); ++cyc) {
+        if (cyc > maxCycles) {
+            reportFailure(
+                SimFailure::Kind::CycleLimit,
+                "accelerator exceeded " + std::to_string(maxCycles) +
+                    " cycles\n" +
+                    diagnosticDump(cyc, last_progress_cycle));
+            break;
+        }
 
         cache.beginCycle(cyc);
         for (auto &u : units)
             u->beginCycle(cyc);
+
+        if (!rootSpawned) {
+            SpawnOutcome oc = units[0]->trySpawn(top_args, TaskRef{},
+                                                 nullptr, cyc);
+            if (oc == SpawnOutcome::Accepted) {
+                rootSpawned = true;
+            } else if (oc == SpawnOutcome::Rejected) {
+                reportFailure(
+                    SimFailure::Kind::SpawnFailed,
+                    "root spawn rejected on an empty accelerator");
+                break;
+            } else if (faultInj &&
+                       ++rootDrops >
+                           faultInj->config().maxTaskRetries) {
+                reportFailure(
+                    SimFailure::Kind::FaultBudget,
+                    "root spawn handshake dropped " +
+                        std::to_string(rootDrops) +
+                        " times; retry budget exhausted");
+                break;
+            }
+        }
+
+        // Transient bit flips in queue RAMs: at most one per cycle,
+        // landing on a uniformly chosen unit.
+        if (faultInj && faultInj->corruptThisCycle()) {
+            unsigned sid = faultInj->pick(
+                static_cast<unsigned>(units.size()));
+            units[sid]->injectQueueCorruption(cyc, *faultInj);
+        }
+
         for (auto &u : units)
             u->tick(cyc);
 
@@ -150,24 +192,51 @@ AcceleratorSim::run(std::vector<RtValue> top_args)
             last_progress = progressEvents;
             last_progress_cycle = cyc;
         } else if (cyc - last_progress_cycle > watchdogCycles) {
-            std::string occ;
-            for (auto &u : units) {
-                occ += u->task().name() + "=" +
-                       std::to_string(u->occupancy()) + " ";
-            }
-            tapas_fatal(
-                "accelerator deadlock at cycle %llu (no progress for "
-                "%llu cycles; queue occupancy: %s). Recursion deeper "
-                "than the task queues (Ntasks) causes this, exactly "
-                "as on the FPGA — raise Ntasks.",
-                static_cast<unsigned long long>(cyc),
-                static_cast<unsigned long long>(watchdogCycles),
-                occ.c_str());
+            reportFailure(
+                SimFailure::Kind::Deadlock,
+                "accelerator deadlock at cycle " +
+                    std::to_string(cyc) + " (no progress for " +
+                    std::to_string(watchdogCycles) +
+                    " cycles). Recursion deeper than the task queues "
+                    "(Ntasks) causes this, exactly as on the FPGA — "
+                    "raise Ntasks.\n" +
+                    diagnosticDump(cyc, last_progress_cycle));
+            break;
         }
     }
 
     _cycles = cyc;
+    if (failure_.failed()) {
+        tapas_warn("accelerator run failed (%s): %s",
+                   failureKindName(failure_.kind),
+                   failure_.detail.c_str());
+        return RtValue{};
+    }
     return rootValue;
+}
+
+std::string
+AcceleratorSim::diagnosticDump(uint64_t now,
+                               uint64_t last_progress_cycle) const
+{
+    std::string out;
+    out += "  last progress at cycle " +
+           std::to_string(last_progress_cycle) + " (now " +
+           std::to_string(now) + ")\n";
+    out += "  outstanding cache misses: " +
+           std::to_string(cache.outstandingMisses()) + "\n";
+    for (const auto &u : units) {
+        std::array<unsigned, 5> c = u->stateCounts();
+        out += "  unit " + u->task().name() + ": occupancy " +
+               std::to_string(u->occupancy()) + "/" +
+               std::to_string(u->entries.size()) + " [free=" +
+               std::to_string(c[0]) + " ready=" +
+               std::to_string(c[1]) + " exe=" + std::to_string(c[2]) +
+               " sync=" + std::to_string(c[3]) + " waitcall=" +
+               std::to_string(c[4]) + "], ready-queue depth " +
+               std::to_string(u->readyQueue.size()) + "\n";
+    }
+    return out;
 }
 
 uint64_t

@@ -36,6 +36,7 @@
 #ifndef TAPAS_SIM_ACCEL_HH
 #define TAPAS_SIM_ACCEL_HH
 
+#include <array>
 #include <deque>
 #include <map>
 #include <memory>
@@ -48,12 +49,20 @@
 #include "obs/profiler.hh"
 #include "obs/sink.hh"
 #include "sim/databox.hh"
+#include "sim/fault.hh"
 #include "sim/trace.hh"
 
 namespace tapas::sim {
 
 class AcceleratorSim;
 class TaskUnit;
+
+/** Result of presenting a spawn to a unit's spawn port. */
+enum class SpawnOutcome : uint8_t {
+    Accepted, ///< enqueued; the child will run
+    Rejected, ///< port busy or queue full; retry next cycle
+    Dropped,  ///< injected fault ate the handshake; retry w/ backoff
+};
 
 /** Dynamic task identity: (SID, DyID) of paper Fig. 5. */
 struct TaskRef
@@ -81,6 +90,9 @@ struct Tile
 
     /** Static nodes that already accepted a token this cycle. */
     std::set<const ir::Instruction *> fired;
+
+    /** Injected transient freeze: no firing until this cycle. */
+    uint64_t stuckUntil = 0;
 };
 
 /**
@@ -146,6 +158,12 @@ class InstanceExec
         MemTicket ticket = 0;
         bool callDelivered = false;
         ir::RtValue callValue;
+
+        /** Earliest cycle a SpawnRetry node re-presents its spawn. */
+        uint64_t nextRetryAt = 0;
+
+        /** Consecutive dropped handshakes (backoff exponent). */
+        unsigned spawnDropStreak = 0;
     };
 
     /** One activation record: the task body or an inlined leaf call. */
@@ -168,6 +186,10 @@ class InstanceExec
     /** Try to fire one waiting node; returns false if deps pending. */
     bool tryFire(Frame &frame, size_t idx, uint64_t now, Tile &tile);
 
+    /** Enter/extend SpawnRetry after a Rejected/Dropped spawn. */
+    void noteSpawnFailure(NodeState &st, SpawnOutcome oc,
+                          uint64_t now);
+
     /** Progress a fired node toward completion. */
     void advanceNode(Frame &frame, size_t idx, uint64_t now,
                      Tile &tile);
@@ -186,7 +208,14 @@ class InstanceExec
     TaskRef self;
 
     std::map<const ir::Value *, ir::RtValue> argMap;
-    std::vector<Frame> frames;
+
+    /**
+     * Activation-record stack. A deque, not a vector: tryFire() can
+     * push a leaf-call frame while step() still holds a reference to
+     * the current frame, and deque growth never invalidates
+     * references to existing elements.
+     */
+    std::deque<Frame> frames;
     ir::RtValue retVal;
     bool done = false;
     unsigned memInFlight = 0;
@@ -212,15 +241,28 @@ class TaskUnit
 
     /**
      * Spawn-port arbitration: accept at most one spawn per cycle and
-     * only while a queue entry is free.
-     *
-     * @return false if the spawner must retry.
+     * only while a queue entry is free. With a fault injector
+     * attached the handshake itself may be dropped (the spawner
+     * retries with backoff).
      */
-    bool trySpawn(std::vector<ir::RtValue> args, TaskRef parent,
-                  const ir::CallInst *caller_site, uint64_t now);
+    SpawnOutcome trySpawn(std::vector<ir::RtValue> args,
+                          TaskRef parent,
+                          const ir::CallInst *caller_site,
+                          uint64_t now);
 
     void beginCycle(uint64_t now);
     void tick(uint64_t now);
+
+    /**
+     * An injected bit flip hit this unit's queue RAM: corrupt the
+     * checksum of a randomly chosen not-yet-dispatched entry. Flips
+     * landing on empty or executing entries are absorbed (those bits
+     * live in tile flip-flops, not the ECC-guarded queue BRAM).
+     */
+    void injectQueueCorruption(uint64_t now, FaultInjector &inj);
+
+    /** Entry counts per state [Free,Ready,Exe,Sync,WaitCall]. */
+    std::array<unsigned, 5> stateCounts() const;
 
     /** A detach-spawned child of `slot` finished. */
     void childJoined(unsigned slot);
@@ -273,7 +315,27 @@ class TaskUnit
         uint64_t spawnedAt = 0;
         int tile = -1;
         bool everDispatched = false; ///< spawn-latency sampling
+
+        // Fault-tolerance state (populated only with an injector):
+        // a golden copy of the marshaled arguments, the checksum the
+        // queue RAM is supposed to hold (models ECC), and how many
+        // replays this instance has burned from its retry budget.
+        std::vector<ir::RtValue> savedArgs;
+        uint32_t checksum = 0;
+        unsigned faultRetries = 0;
     };
+
+    /** Checksum over an entry's marshaled arguments (models ECC). */
+    static uint32_t argsChecksum(const std::vector<ir::RtValue> &args,
+                                 unsigned sid, unsigned slot);
+
+    /**
+     * Dispatch-time checksum verification: on mismatch re-marshal
+     * and re-enqueue the instance (or fail the run once the retry
+     * budget is gone). Returns false when the entry was consumed by
+     * recovery and must not dispatch this cycle.
+     */
+    bool verifyEntryChecksum(unsigned slot, uint64_t now);
 
     void dispatch(uint64_t now);
     void retire(unsigned slot, uint64_t now);
@@ -312,11 +374,28 @@ class AcceleratorSim
 
     /**
      * Run the accelerator: spawn the root task with `top_args` and
-     * simulate until it completes.
+     * simulate until it completes — or until it fails. A run that
+     * deadlocks, exceeds maxCycles, or exhausts a fault-retry budget
+     * does NOT abort the process: it returns (a zero RtValue) with
+     * failure() populated, including a per-unit diagnostic dump.
      *
-     * @return the root task's return value
+     * @return the root task's return value (zero on failure)
      */
     ir::RtValue run(std::vector<ir::RtValue> top_args);
+
+    /** How the last run() ended (kind None means success). */
+    const SimFailure &failure() const { return failure_; }
+
+    /**
+     * Record a failure; the main loop stops at the next cycle
+     * boundary. First failure wins.
+     */
+    void
+    reportFailure(SimFailure::Kind kind, std::string detail)
+    {
+        if (!failure_.failed())
+            failure_ = SimFailure{kind, std::move(detail)};
+    }
 
     /** Cycles consumed by the last run(). */
     uint64_t cycles() const { return _cycles; }
@@ -333,10 +412,12 @@ class AcceleratorSim
 
     // --- services used by InstanceExec / TaskUnit ----------------------
 
-    /** Route a spawn to a unit (false => retry next cycle). */
-    bool spawnTask(unsigned sid, std::vector<ir::RtValue> args,
-                   TaskRef parent, const ir::CallInst *caller_site,
-                   uint64_t now);
+    /** Route a spawn to a unit (non-Accepted => spawner retries). */
+    SpawnOutcome spawnTask(unsigned sid,
+                           std::vector<ir::RtValue> args,
+                           TaskRef parent,
+                           const ir::CallInst *caller_site,
+                           uint64_t now);
 
     /** Child of `parent` joined (detach join). */
     void notifyChildDone(TaskRef parent);
@@ -383,6 +464,36 @@ class AcceleratorSim
 
     /** Attached profiler, or nullptr. */
     obs::CycleProfiler *profiler() { return prof; }
+
+    /**
+     * Attach (or detach, with nullptr) a fault injector; it also
+     * hooks the shared cache. Not owned; must outlive the run.
+     * Attach before run(): mid-run attachment misses the checksum
+     * baseline of already-queued entries.
+     */
+    void
+    setFaultInjector(FaultInjector *f)
+    {
+        faultInj = f;
+        cache.setFaultInjector(f);
+    }
+
+    /** Attached fault injector, or nullptr. */
+    FaultInjector *faultInjector() { return faultInj; }
+
+    void
+    emitFault(uint64_t cycle, const char *kind, unsigned sid)
+    {
+        for (obs::TraceSink *s : sinks)
+            s->faultInjected(cycle, kind, sid);
+    }
+
+    void
+    emitRecovery(uint64_t cycle, const char *kind, unsigned sid)
+    {
+        for (obs::TraceSink *s : sinks)
+            s->faultRecovered(cycle, kind, sid);
+    }
 
     /** Any trace sink attached? (skip event bookkeeping if not) */
     bool observed() const { return !sinks.empty(); }
@@ -463,6 +574,15 @@ class AcceleratorSim
     uint64_t watchdogCycles = 1'000'000;
 
   private:
+    /**
+     * The state dump attached to deadlock / cycle-limit failures:
+     * per-unit queue occupancy and entry-state breakdown,
+     * outstanding cache misses, and the last cycle that made
+     * progress.
+     */
+    std::string diagnosticDump(uint64_t now,
+                               uint64_t last_progress_cycle) const;
+
     const hls::AcceleratorDesign &_design;
     ir::MemImage &_mem;
     SharedCache cache;
@@ -473,6 +593,8 @@ class AcceleratorSim
     std::vector<obs::TraceSink *> sinks;
     obs::CycleProfiler *prof = nullptr;
     TaskTracer *tracer = nullptr; ///< setTracer() adapter bookkeeping
+    FaultInjector *faultInj = nullptr;
+    SimFailure failure_;
     bool rootFinished = false;
     ir::RtValue rootValue;
 };

@@ -63,9 +63,29 @@ DataBox::tick(uint64_t now)
             break; // in-order issue: head blocks the tree this cycle
         }
         e.issued = true;
-        e.completesAt = res.completesAt;
+        e.completesAt = res.dropped ? kLostResponse : res.completesAt;
+        e.issuedAt = now;
         issueQueue.pop_front();
         ++granted;
+    }
+
+    // Lost-response watchdog: a request whose response an injected
+    // fault swallowed is timed out and re-presented to the cache,
+    // like an AXI master reissuing a transaction that never saw its
+    // R/B beat. Only fault runs pay for the scan.
+    FaultInjector *inj = cache.faultInjector();
+    if (!inj)
+        return;
+    uint64_t timeout = inj->config().memTimeoutCycles;
+    for (MemTicket t = 0; t < entries.size(); ++t) {
+        Entry &e = entries[t];
+        if (e.busy && e.issued && e.completesAt == kLostResponse &&
+            now - e.issuedAt >= timeout) {
+            e.issued = false;
+            issueQueue.push_back(t);
+            ++timeoutReissues;
+            cache.noteReissue(now);
+        }
     }
 }
 

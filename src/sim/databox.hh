@@ -61,8 +61,13 @@ class DataBox
                         "requests rejected: staging table full"};
     Counter cacheRetries{stats, "cache_retries",
                          "issue attempts the cache rejected"};
+    Counter timeoutReissues{stats, "timeout_reissues",
+                            "lost responses timed out and reissued"};
 
   private:
+    /** completesAt of a response an injected fault swallowed. */
+    static constexpr uint64_t kLostResponse = ~0ull;
+
     struct Entry
     {
         bool busy = false;
@@ -70,6 +75,7 @@ class DataBox
         bool store = false;
         uint64_t addr = 0;
         uint64_t completesAt = 0;
+        uint64_t issuedAt = 0; ///< for the lost-response watchdog
     };
 
     SharedCache &cache;

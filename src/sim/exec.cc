@@ -271,12 +271,12 @@ InstanceExec::tryFire(Frame &frame, size_t idx, uint64_t now,
             tapas_assert(!frame.returnTo,
                          "task call inside an inlined leaf call");
             arch::Task *callee = task.calleeForCall(call);
-            if (sim.spawnTask(callee->sid(), std::move(args), self,
-                              call, now)) {
+            SpawnOutcome oc = sim.spawnTask(
+                callee->sid(), std::move(args), self, call, now);
+            if (oc == SpawnOutcome::Accepted)
                 st.phase = Phase::CallWait;
-            } else {
-                st.phase = Phase::SpawnRetry;
-            }
+            else
+                noteSpawnFailure(st, oc, now);
             return true;
         }
         // Leaf call: push an inlined activation record.
@@ -301,12 +301,14 @@ InstanceExec::tryFire(Frame &frame, size_t idx, uint64_t now,
         args.reserve(child->args().size());
         for (Value *a : child->args())
             args.push_back(evalOperand(frame, a));
-        if (sim.spawnTask(child->sid(), std::move(args), self,
-                          nullptr, now)) {
+        SpawnOutcome oc = sim.spawnTask(child->sid(),
+                                        std::move(args), self,
+                                        nullptr, now);
+        if (oc == SpawnOutcome::Accepted) {
             sim.unit(self.sid).noteChildSpawned(self.slot);
             finish_fixed(arch::opLatency(arch::OpClass::Detach));
         } else {
-            st.phase = Phase::SpawnRetry;
+            noteSpawnFailure(st, oc, now);
         }
         return true;
       }
@@ -344,20 +346,36 @@ InstanceExec::advanceNode(Frame &frame, size_t idx, uint64_t now,
         }
         break;
       case Phase::SpawnRetry: {
-        // Re-attempt the spawn each cycle (ready/valid back-pressure).
+        // Re-attempt the spawn each cycle (ready/valid back-pressure)
+        // — except while backing off after a dropped handshake.
+        if (now < st.nextRetryAt)
+            break;
+        if (st.spawnDropStreak > 0) {
+            // This re-presentation is fault recovery, not ordinary
+            // back-pressure: count it and tell the sinks.
+            if (FaultInjector *inj = sim.faultInjector()) {
+                ++inj->spawnRetries;
+                sim.emitRecovery(now, "spawn_retry", self.sid);
+            }
+        }
         if (inst->opcode() == Opcode::Detach) {
             auto *det = ir::cast<const ir::DetachInst>(inst);
             arch::Task *child = task.childForDetach(det);
             std::vector<RtValue> args;
             for (Value *a : child->args())
                 args.push_back(evalOperand(frame, a));
-            if (sim.spawnTask(child->sid(), std::move(args), self,
-                              nullptr, now)) {
+            SpawnOutcome oc = sim.spawnTask(child->sid(),
+                                            std::move(args), self,
+                                            nullptr, now);
+            if (oc == SpawnOutcome::Accepted) {
                 sim.unit(self.sid).noteChildSpawned(self.slot);
                 st.phase = Phase::Exec;
                 st.doneAt =
                     now + arch::opLatency(arch::OpClass::Detach);
+                st.spawnDropStreak = 0;
                 sim.progressEvent();
+            } else {
+                noteSpawnFailure(st, oc, now);
             }
         } else {
             auto *call = ir::cast<const ir::CallInst>(inst);
@@ -365,10 +383,15 @@ InstanceExec::advanceNode(Frame &frame, size_t idx, uint64_t now,
             std::vector<RtValue> args;
             for (unsigned i = 0; i < call->numArgs(); ++i)
                 args.push_back(evalOperand(frame, call->arg(i)));
-            if (sim.spawnTask(callee->sid(), std::move(args), self,
-                              call, now)) {
+            SpawnOutcome oc = sim.spawnTask(callee->sid(),
+                                            std::move(args), self,
+                                            call, now);
+            if (oc == SpawnOutcome::Accepted) {
                 st.phase = Phase::CallWait;
+                st.spawnDropStreak = 0;
                 sim.progressEvent();
+            } else {
+                noteSpawnFailure(st, oc, now);
             }
         }
         break;
@@ -390,6 +413,24 @@ InstanceExec::advanceNode(Frame &frame, size_t idx, uint64_t now,
         break;
       default:
         break;
+    }
+}
+
+void
+InstanceExec::noteSpawnFailure(NodeState &st, SpawnOutcome oc,
+                               uint64_t now)
+{
+    st.phase = Phase::SpawnRetry;
+    if (oc == SpawnOutcome::Dropped) {
+        FaultInjector *inj = sim.faultInjector();
+        st.nextRetryAt =
+            now + (inj ? inj->spawnBackoff(st.spawnDropStreak) : 1);
+        ++st.spawnDropStreak;
+    } else {
+        // Ordinary back-pressure: same retry-every-cycle cadence as
+        // without an injector (a rejection also ends a drop streak).
+        st.nextRetryAt = now;
+        st.spawnDropStreak = 0;
     }
 }
 

@@ -1,0 +1,23 @@
+#include "sim/fault.hh"
+
+namespace tapas::sim {
+
+const char *
+failureKindName(SimFailure::Kind kind)
+{
+    switch (kind) {
+      case SimFailure::Kind::None:
+        return "none";
+      case SimFailure::Kind::Deadlock:
+        return "deadlock";
+      case SimFailure::Kind::CycleLimit:
+        return "cycle_limit";
+      case SimFailure::Kind::FaultBudget:
+        return "fault_budget";
+      case SimFailure::Kind::SpawnFailed:
+        return "spawn_failed";
+    }
+    return "unknown";
+}
+
+} // namespace tapas::sim

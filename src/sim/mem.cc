@@ -61,6 +61,7 @@ SharedCache::request(uint64_t addr, bool is_store, uint64_t now)
         res.accepted = true;
         res.hit = true;
         res.completesAt = now + params.scratchpadLatency;
+        applyResponseFault(res, now);
         return res;
     }
 
@@ -81,6 +82,7 @@ SharedCache::request(uint64_t addr, bool is_store, uint64_t now)
             res.accepted = true;
             res.hit = true;
             res.completesAt = start + params.hitLatency;
+            applyResponseFault(res, now);
             return res;
         }
     }
@@ -95,6 +97,7 @@ SharedCache::request(uint64_t addr, bool is_store, uint64_t now)
             emitMiss(now);
             res.accepted = true;
             res.completesAt = m.readyAt + params.hitLatency;
+            applyResponseFault(res, now);
             return res;
         }
     }
@@ -151,7 +154,29 @@ SharedCache::request(uint64_t addr, bool is_store, uint64_t now)
 
     res.accepted = true;
     res.completesAt = fill_done + params.hitLatency;
+    applyResponseFault(res, now);
     return res;
+}
+
+void
+SharedCache::applyResponseFault(CacheResult &res, uint64_t now)
+{
+    if (!injector)
+        return;
+    switch (injector->memFault()) {
+      case FaultInjector::MemFault::Drop:
+        res.dropped = true;
+        for (obs::TraceSink *s : sinks)
+            s->faultInjected(now, "mem_drop", ~0u);
+        break;
+      case FaultInjector::MemFault::Delay:
+        res.completesAt += injector->config().memDelayCycles;
+        for (obs::TraceSink *s : sinks)
+            s->faultInjected(now, "mem_delay", ~0u);
+        break;
+      case FaultInjector::MemFault::None:
+        break;
+    }
 }
 
 } // namespace tapas::sim

@@ -21,6 +21,7 @@
 
 #include "arch/params.hh"
 #include "obs/sink.hh"
+#include "sim/fault.hh"
 #include "support/stats.hh"
 
 namespace tapas::sim {
@@ -36,6 +37,12 @@ struct CacheResult
 
     /** True if the access hit (for stats/tests). */
     bool hit = false;
+
+    /**
+     * Injected fault: the response will never arrive. The requester
+     * (data box) must time the request out and reissue it.
+     */
+    bool dropped = false;
 };
 
 /** Shared L1 cache + DRAM channel timing model. */
@@ -58,6 +65,29 @@ class SharedCache
 
     /** Invalidate all lines (fresh run on a reused model). */
     void reset();
+
+    /**
+     * Attach (or detach, with nullptr) a fault injector perturbing
+     * accepted responses (lost/delayed data). Not owned; usually
+     * driven by AcceleratorSim::setFaultInjector().
+     */
+    void setFaultInjector(FaultInjector *f) { injector = f; }
+
+    /** Attached injector, or nullptr (data boxes consult this). */
+    FaultInjector *faultInjector() { return injector; }
+
+    /**
+     * A data box timed out a dropped response and reissued the
+     * request (recovery bookkeeping + sink notification).
+     */
+    void
+    noteReissue(uint64_t now)
+    {
+        if (injector)
+            ++injector->memReissues;
+        for (obs::TraceSink *s : sinks)
+            s->faultRecovered(now, "mem_reissue", ~0u);
+    }
 
     /**
      * Attach a trace sink to observe misses and port/MSHR stalls.
@@ -154,7 +184,11 @@ class SharedCache
             s->cacheStall(now, mshr_full);
     }
 
+    /** Perturb an accepted result per the attached injector. */
+    void applyResponseFault(CacheResult &res, uint64_t now);
+
     arch::MemSystemParams params;
+    FaultInjector *injector = nullptr;
     unsigned numSets;
     std::vector<Line> lines;       // numSets x ways
     std::vector<Mshr> mshrs;

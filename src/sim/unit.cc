@@ -30,14 +30,21 @@ TaskUnit::TaskUnit(AcceleratorSim &sim, const arch::Task &task,
     }
 }
 
-bool
+SpawnOutcome
 TaskUnit::trySpawn(std::vector<RtValue> args, TaskRef parent,
                    const ir::CallInst *caller_site, uint64_t now)
 {
+    // An injected fault may eat the ready/valid handshake before the
+    // port even arbitrates it; the spawner backs off and retries.
+    FaultInjector *inj = sim.faultInjector();
+    if (inj && inj->dropSpawn()) {
+        sim.emitFault(now, "spawn_drop", _task.sid());
+        return SpawnOutcome::Dropped;
+    }
     if (spawnAcceptedThisCycle) {
         ++spawnRejects;
         sim.emitSpawnReject(now, _task.sid(), /*queue_full=*/false);
-        return false;
+        return SpawnOutcome::Rejected;
     }
     for (unsigned slot = 0; slot < entries.size(); ++slot) {
         QueueEntry &e = entries[slot];
@@ -54,6 +61,11 @@ TaskUnit::trySpawn(std::vector<RtValue> args, TaskRef parent,
         e.readyAt = now + sim.params().spawnHandshake +
                     static_cast<uint64_t>(args.size()) *
                         sim.params().spawnCyclesPerArg;
+        if (inj) {
+            e.savedArgs = args; // golden copy for checksum replay
+            e.checksum = argsChecksum(args, _task.sid(), slot);
+            e.faultRetries = 0;
+        }
         e.exec = std::make_unique<InstanceExec>(
             sim, _task, TaskRef{_task.sid(), slot});
         e.exec->start(std::move(args));
@@ -61,21 +73,111 @@ TaskUnit::trySpawn(std::vector<RtValue> args, TaskRef parent,
         ++spawnsAccepted;
         sim.emitSpawn(now, _task.sid(), slot, parent);
         sim.progressEvent();
-        return true;
+        return SpawnOutcome::Accepted;
     }
     ++spawnRejects;
     sim.emitSpawnReject(now, _task.sid(), /*queue_full=*/true);
+    return SpawnOutcome::Rejected;
+}
+
+uint32_t
+TaskUnit::argsChecksum(const std::vector<RtValue> &args, unsigned sid,
+                       unsigned slot)
+{
+    // FNV-1a over the marshaled argument words plus the entry's
+    // identity, standing in for the ECC bits of the queue BRAM.
+    uint32_t h = 2166136261u;
+    auto mix = [&h](uint64_t word) {
+        for (unsigned b = 0; b < 8; ++b) {
+            h ^= static_cast<uint32_t>(word & 0xffu);
+            h *= 16777619u;
+            word >>= 8;
+        }
+    };
+    mix((static_cast<uint64_t>(sid) << 32) | slot);
+    for (const RtValue &v : args)
+        mix(static_cast<uint64_t>(v.i));
+    return h;
+}
+
+void
+TaskUnit::injectQueueCorruption(uint64_t now, FaultInjector &inj)
+{
+    unsigned slot =
+        static_cast<unsigned>(inj.pick(entries.size()));
+    QueueEntry &e = entries[slot];
+    // Only not-yet-dispatched entries live in the guarded queue BRAM;
+    // flips landing elsewhere hit tile flip-flops and are absorbed
+    // (re-executing a partially run task would not be idempotent).
+    if (e.state != EntryState::Ready || e.everDispatched)
+        return;
+    e.checksum ^= inj.corruptionMask();
+    ++inj.queueCorruptions;
+    sim.emitFault(now, "queue_corrupt", _task.sid());
+}
+
+bool
+TaskUnit::verifyEntryChecksum(unsigned slot, uint64_t now)
+{
+    FaultInjector *inj = sim.faultInjector();
+    if (!inj)
+        return true;
+    QueueEntry &e = entries[slot];
+    uint32_t expect = argsChecksum(e.savedArgs, _task.sid(), slot);
+    if (e.checksum == expect)
+        return true;
+
+    if (e.faultRetries >= inj->config().maxTaskRetries) {
+        sim.reportFailure(
+            SimFailure::Kind::FaultBudget,
+            "task '" + _task.name() + "' slot " +
+                std::to_string(slot) + " exhausted its " +
+                std::to_string(inj->config().maxTaskRetries) +
+                "-replay fault budget on queue corruption");
+        return false;
+    }
+    ++e.faultRetries;
+    ++inj->taskReplays;
+    sim.emitRecovery(now, "task_replay", _task.sid());
+
+    // Re-marshal from the golden argument copy: fresh instance, fresh
+    // checksum, and the args-RAM transfer latency is paid again.
+    e.exec = std::make_unique<InstanceExec>(
+        sim, _task, TaskRef{_task.sid(), slot});
+    std::vector<RtValue> args = e.savedArgs;
+    e.exec->start(std::move(args));
+    e.checksum = expect;
+    e.readyAt = now + sim.params().spawnHandshake +
+                static_cast<uint64_t>(e.savedArgs.size()) *
+                    sim.params().spawnCyclesPerArg;
+    readyQueue.pop_front();
+    readyQueue.push_back(slot);
+    sim.progressEvent();
     return false;
+}
+
+std::array<unsigned, 5>
+TaskUnit::stateCounts() const
+{
+    std::array<unsigned, 5> counts{};
+    for (const QueueEntry &e : entries)
+        ++counts[static_cast<size_t>(e.state)];
+    return counts;
 }
 
 void
 TaskUnit::beginCycle(uint64_t now)
 {
-    (void)now;
     spawnAcceptedThisCycle = false;
     dispatchedThisCycle = false;
-    for (auto &t : tiles)
+    FaultInjector *inj = sim.faultInjector();
+    for (auto &t : tiles) {
         t->fired.clear();
+        if (inj && now >= t->stuckUntil && inj->stickTile()) {
+            t->stuckUntil = now + inj->config().tileStuckCycles;
+            sim.emitFault(now, "tile_stuck", _task.sid());
+        }
+    }
 }
 
 void
@@ -90,10 +192,14 @@ TaskUnit::dispatch(uint64_t now)
                  "non-ready entry in the ready queue");
     if (e.readyAt > now)
         return; // args still streaming into the args RAM
+    if (!verifyEntryChecksum(slot, now))
+        return; // entry consumed by fault recovery this cycle
 
-    // Least-loaded tile with pipeline capacity.
+    // Least-loaded tile with pipeline capacity (skipping frozen ones).
     int best = -1;
     for (unsigned t = 0; t < tiles.size(); ++t) {
+        if (now < tiles[t]->stuckUntil)
+            continue;
         if (tiles[t]->active.size() >= params.tilePipelineDepth)
             continue;
         if (best < 0 ||
@@ -157,6 +263,7 @@ TaskUnit::retire(unsigned slot, uint64_t now)
 
     detachFromTile(slot);
     e.exec.reset();
+    e.savedArgs.clear();
     e.state = EntryState::Free;
     ++instancesDone;
     sim.taskLifetime.sample(now - e.spawnedAt);
@@ -181,6 +288,12 @@ TaskUnit::tick(uint64_t now)
         Tile &tile = *tile_up;
         if (!tile.active.empty())
             ++tileBusyCycles;
+        if (now < tile.stuckUntil) {
+            // Frozen pipeline: no firing, but outstanding memory
+            // requests keep draining through the data box.
+            tile.box.tick(now);
+            continue;
+        }
         // Copy: instances may retire/suspend during iteration.
         std::vector<unsigned> slots = tile.active;
         for (unsigned slot : slots) {

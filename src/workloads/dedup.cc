@@ -74,10 +74,14 @@ firstOccurrence(unsigned chunk)
 int64_t
 goldenHash(unsigned chunk, unsigned words)
 {
-    int64_t h = 0;
-    for (unsigned w = 0; w < words; ++w)
-        h = h * 31 + chunkWord(chunk, w);
-    return h;
+    // Wraps mod 2^64 like the IR's i64 ops; compute unsigned so the
+    // wraparound is well-defined C++.
+    uint64_t h = 0;
+    for (unsigned w = 0; w < words; ++w) {
+        h = h * 31 +
+            static_cast<uint64_t>(chunkWord(chunk, w));
+    }
+    return static_cast<int64_t>(h);
 }
 
 /**
@@ -90,7 +94,9 @@ int64_t
 mixLane(int64_t w, unsigned r)
 {
     int64_t k = static_cast<int64_t>(r * 2654435761u);
-    int64_t t = (w ^ k) * static_cast<int64_t>(0x9e37 + 2 * r);
+    int64_t t = static_cast<int64_t>(
+        static_cast<uint64_t>(w ^ k) *
+        static_cast<uint64_t>(0x9e37 + 2 * r));
     t ^= static_cast<int64_t>(static_cast<uint64_t>(t) >> 9);
     return t;
 }
@@ -452,7 +458,10 @@ makeDedup(unsigned nchunks, unsigned chunk_size)
             int64_t csum = 0;
             if (!dup)
                 goldenCompress(c, words, pairs, csum);
-            int64_t rec = h * 4 + pairs * 2 + (dup ? 1 : 0);
+            int64_t rec = static_cast<int64_t>(
+                static_cast<uint64_t>(h) * 4 +
+                static_cast<uint64_t>(pairs) * 2 +
+                (dup ? 1u : 0u));
             if (mem.get<int64_t>(ph + 8ull * c) != h)
                 return strfmt("hash[%u] mismatch", c);
             if (mem.get<int64_t>(ps + 8ull * c) != pairs) {

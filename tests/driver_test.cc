@@ -7,6 +7,8 @@
  */
 
 #include <atomic>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -234,6 +236,71 @@ TEST(Sweep, ConcurrentSimsDoNotInterfere)
 
     EXPECT_TRUE(got_a.equals(ref_a));
     EXPECT_TRUE(got_b.equals(ref_b));
+}
+
+/**
+ * Robustness: one job throwing must not tear down the pool, the
+ * process, or the other jobs' results.
+ */
+TEST(JobRunner, ThrowingJobDoesNotTearDownPool)
+{
+    driver::JobRunner runner(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 20; ++i) {
+        runner.submit([&count, i] {
+            if (i == 7)
+                throw std::runtime_error("job 7 exploded");
+            ++count;
+        });
+    }
+    runner.wait();
+    EXPECT_EQ(count.load(), 19);
+    EXPECT_EQ(runner.failureCount(), 1u);
+    std::vector<std::string> errs = runner.errors();
+    ASSERT_EQ(errs.size(), 1u);
+    EXPECT_EQ(errs[0], "job 7 exploded");
+}
+
+TEST(JobRunner, InlineThrowingJobIsCaptured)
+{
+    driver::JobRunner runner(1);
+    int after = 0;
+    runner.submit([] { throw std::runtime_error("inline boom"); });
+    runner.submit([&after] { after = 1; });
+    runner.wait();
+    EXPECT_EQ(after, 1);
+    ASSERT_EQ(runner.failureCount(), 1u);
+    EXPECT_EQ(runner.errors()[0], "inline boom");
+}
+
+/**
+ * Regression: job k of N throws; the other N-1 results land in their
+ * submission-order slots identically under serial and parallel
+ * execution, and the error is keyed by the failing index.
+ */
+TEST(Sweep, ThrowingJobLeavesSlotDefaultAndOthersMerge)
+{
+    auto build = [](unsigned jobs) {
+        driver::Sweep<int> sweep(jobs);
+        for (int i = 0; i < 16; ++i) {
+            sweep.add([i]() -> int {
+                if (i == 5)
+                    throw std::runtime_error("config 5 is cursed");
+                return i + 100;
+            });
+        }
+        std::vector<int> r = sweep.run();
+        EXPECT_EQ(sweep.errors().size(), 1u);
+        EXPECT_EQ(sweep.errors().count(5), 1u);
+        EXPECT_EQ(sweep.errors().at(5), "config 5 is cursed");
+        return r;
+    };
+    std::vector<int> serial = build(1);
+    std::vector<int> parallel = build(4);
+    ASSERT_EQ(serial.size(), 16u);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(serial[i], i == 5 ? 0 : i + 100);
+    EXPECT_EQ(serial, parallel);
 }
 
 } // namespace

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Parser robustness corpus: ~30 hand-corrupted .tir programs that a
+ * crashed printer, a truncated download, or a hostile user could feed
+ * to parseModule(). The invariant under test is that the front end
+ * *diagnoses* — every case either fails to parse with a non-empty
+ * error, or parses and is then rejected by the verifier — and never
+ * crashes, aborts, or leaks a warning through the structured error
+ * path (warnCount() is pinned across the whole corpus).
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ir/function.hh"
+#include "ir/parser.hh"
+#include "ir/verifier.hh"
+#include "support/logging.hh"
+
+using namespace tapas;
+using namespace tapas::ir;
+
+namespace {
+
+/** What a corrupted program must produce. */
+enum class Expect {
+    ParseError, ///< parseModule() must fail with a diagnostic
+    Diagnosed,  ///< parse error OR verifier error — either is fine
+};
+
+struct FuzzCase
+{
+    const char *name;
+    Expect expect;
+    /** Required error substring ("" = any non-empty diagnostic). */
+    const char *needle;
+    const char *src;
+};
+
+const FuzzCase kCorpus[] = {
+    // --- lexical garbage ---------------------------------------------
+    {"raw_garbage", Expect::ParseError, "",
+     "\x01\x02garbage ~~ !!! \xff\xfe"},
+    {"binary_noise_in_func", Expect::ParseError, "",
+     "func @f() -> void {\nentry:\n    \x7f\x03\x04\n}\n"},
+    {"stray_top_level_token", Expect::ParseError, "",
+     "lorem ipsum\nfunc @f() -> void {\nentry:\n    ret\n}\n"},
+    {"percent_soup", Expect::ParseError, "",
+     "func @f() -> void {\nentry:\n    %%% = %% %\n}\n"},
+
+    // --- truncation --------------------------------------------------
+    {"truncated_header", Expect::ParseError, "",
+     "func @f("},
+    {"truncated_after_arrow", Expect::ParseError, "",
+     "func @f() ->"},
+    {"truncated_mid_body", Expect::ParseError, "",
+     "func @f(i64 %x) -> i64 {\nentry:\n    %a = add i64 %x,"},
+    {"missing_close_brace", Expect::ParseError, "",
+     "func @f() -> void {\nentry:\n    ret\n"},
+    {"truncated_global", Expect::ParseError, "",
+     "global @A"},
+    {"truncated_phi", Expect::ParseError, "",
+     "func @f() -> i64 {\nentry:\n    %p = phi i64 [\n}\n"},
+
+    // --- bad types / literals ---------------------------------------
+    {"unknown_type_i7", Expect::ParseError, "unknown type",
+     "func @f(i7 %x) -> void {\nentry:\n    ret\n}\n"},
+    {"unknown_return_type", Expect::ParseError, "unknown type",
+     "func @f() -> q32 {\nentry:\n    ret\n}\n"},
+    {"bad_int_literal", Expect::ParseError, "",
+     "func @f() -> i64 {\nentry:\n    ret i64 12abc\n}\n"},
+    {"global_size_garbage", Expect::ParseError, "",
+     "global @A sixty-four\n"},
+
+    // --- unknown constructs ------------------------------------------
+    {"unknown_instruction", Expect::ParseError, "unknown instruction",
+     "func @f() -> void {\nentry:\n    frobnicate\n}\n"},
+    {"unknown_cmp_predicate", Expect::ParseError, "",
+     "func @f(i64 %x) -> void {\nentry:\n"
+     "    %c = icmp wat i64 %x, i64 0\n    ret\n}\n"},
+    {"call_unknown_function", Expect::ParseError, "unknown function",
+     "func @f() -> void {\nentry:\n    call @nope()\n    ret\n}\n"},
+
+    // --- dangling / duplicate names ----------------------------------
+    {"undefined_value", Expect::ParseError, "undefined value",
+     "func @f() -> i64 {\nentry:\n    ret i64 %nope\n}\n"},
+    {"value_redefinition", Expect::ParseError, "redefinition",
+     "func @f(i64 %x) -> void {\nentry:\n"
+     "    %a = add i64 %x, i64 1\n    %a = add i64 %x, i64 2\n"
+     "    ret\n}\n"},
+    {"branch_to_missing_label", Expect::Diagnosed, "",
+     "func @f() -> void {\nentry:\n    br label %limbo\n}\n"},
+    {"duplicate_block_label", Expect::Diagnosed, "",
+     "func @f() -> void {\nentry:\n    br label %b\nb:\n"
+     "    br label %b\nb:\n    ret\n}\n"},
+    {"duplicate_function", Expect::Diagnosed, "",
+     "func @f() -> void {\nentry:\n    ret\n}\n"
+     "func @f() -> void {\nentry:\n    ret\n}\n"},
+
+    // --- structurally broken functions -------------------------------
+    {"empty_function_body", Expect::Diagnosed, "",
+     "func @f() -> void {\n}\n"},
+    {"block_without_terminator", Expect::Diagnosed, "",
+     "func @f(i64 %x) -> i64 {\nentry:\n    %a = add i64 %x, i64 1\n"
+     "}\n"},
+    {"code_before_first_label", Expect::ParseError, "",
+     "func @f() -> void {\n    ret\n}\n"},
+    {"instruction_after_terminator", Expect::Diagnosed, "",
+     "func @f(i64 %x) -> i64 {\nentry:\n    ret i64 %x\n"
+     "    %a = add i64 %x, i64 1\n}\n"},
+
+    // --- type errors the verifier must catch -------------------------
+    {"mixed_operand_types", Expect::Diagnosed, "",
+     "func @f(i64 %x, f64 %y) -> i64 {\nentry:\n"
+     "    %a = add i64 %x, f64 %y\n    ret i64 %a\n}\n"},
+    {"ret_value_from_void", Expect::Diagnosed, "",
+     "func @f(i64 %x) -> void {\nentry:\n    ret i64 %x\n}\n"},
+    {"ret_void_from_i64", Expect::Diagnosed, "",
+     "func @f() -> i64 {\nentry:\n    ret\n}\n"},
+    {"condbr_on_i64", Expect::Diagnosed, "",
+     "func @f(i64 %x) -> void {\nentry:\n"
+     "    br i64 %x, label %a, label %b\na:\n    ret\nb:\n    ret\n"
+     "}\n"},
+
+    // --- broken Tapir constructs -------------------------------------
+    {"detach_missing_continuation", Expect::ParseError, "",
+     "func @f() -> void {\nentry:\n    detach label %body\n"
+     "body:\n    ret\n}\n"},
+    {"reattach_to_wrong_block", Expect::Diagnosed, "",
+     "func @f() -> void {\nentry:\n"
+     "    detach label %body, label %cont\n"
+     "body:\n    reattach label %entry\ncont:\n    ret\n}\n"},
+    {"detached_body_exits_via_br", Expect::Diagnosed, "",
+     "func @f() -> void {\nentry:\n"
+     "    detach label %body, label %cont\n"
+     "body:\n    br label %cont\ncont:\n    ret\n}\n"},
+    {"icmp_on_floats", Expect::Diagnosed, "",
+     "func @f(f64 %x) -> void {\nentry:\n"
+     "    %c = icmp slt f64 %x, f64 0.5\n    ret\n}\n"},
+
+    // --- malformed phis ----------------------------------------------
+    {"phi_wrong_predecessor", Expect::Diagnosed, "",
+     "func @f(i64 %n) -> i64 {\nentry:\n    br label %exit\n"
+     "exit:\n    %v = phi i64 [i64 0, %exit]\n    ret i64 %v\n}\n"},
+    {"phi_missing_bracket", Expect::ParseError, "",
+     "func @f() -> i64 {\nentry:\n"
+     "    %v = phi i64 i64 0, %entry\n    ret i64 %v\n}\n"},
+};
+
+/**
+ * Parse one corpus entry and return its diagnostic (parse error or
+ * joined verifier errors). EXPECTs encode the case's contract.
+ */
+std::string
+diagnose(const FuzzCase &fc)
+{
+    ParseResult r = parseModule(fc.src);
+    if (!r.ok()) {
+        EXPECT_FALSE(r.error.empty())
+            << fc.name << ": parse failed without a diagnostic";
+        return r.error;
+    }
+    EXPECT_NE(fc.expect, Expect::ParseError)
+        << fc.name << ": expected a parse error but the parser "
+        << "accepted the program";
+    VerifyResult v = verifyModule(*r.module);
+    EXPECT_FALSE(v.ok())
+        << fc.name << ": corrupted program parsed AND verified";
+    return v.str();
+}
+
+TEST(ParserFuzz, EveryCorruptedProgramIsDiagnosedNotCrashed)
+{
+    unsigned warns_before = warnCount();
+    for (const FuzzCase &fc : kCorpus) {
+        SCOPED_TRACE(fc.name);
+        std::string diag = diagnose(fc);
+        EXPECT_FALSE(diag.empty());
+        if (fc.needle[0] != '\0') {
+            EXPECT_NE(diag.find(fc.needle), std::string::npos)
+                << "diagnostic was: " << diag;
+        }
+    }
+    // Malformed input flows through the structured error path; it
+    // must not leak tapas_warn() noise (or worse, fatal()).
+    EXPECT_EQ(warnCount(), warns_before);
+}
+
+TEST(ParserFuzz, ParseErrorsCarryLineInformation)
+{
+    // Spot-check that diagnostics point at the offending line.
+    ParseResult r = parseModule(
+        "func @f() -> void {\nentry:\n    frobnicate\n}\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("3"), std::string::npos)
+        << "error does not name line 3: " << r.error;
+}
+
+TEST(ParserFuzz, ParserRecoversCleanStateAfterFailure)
+{
+    // A failed parse must not poison a subsequent good parse (no
+    // global parser state).
+    const char *good = "func @ok(i64 %x) -> i64 {\nentry:\n"
+                       "    %a = add i64 %x, i64 1\n    ret i64 %a\n"
+                       "}\n";
+    for (const FuzzCase &fc : kCorpus)
+        (void)parseModule(fc.src);
+    ParseResult r = parseModule(good);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_TRUE(verifyModule(*r.module).ok());
+}
+
+TEST(ParserFuzz, CorpusIsDeterministic)
+{
+    // Same input, same diagnostic — byte for byte.
+    for (const FuzzCase &fc : kCorpus) {
+        SCOPED_TRACE(fc.name);
+        ParseResult a = parseModule(fc.src);
+        ParseResult b = parseModule(fc.src);
+        EXPECT_EQ(a.ok(), b.ok());
+        EXPECT_EQ(a.error, b.error);
+    }
+}
+
+} // namespace

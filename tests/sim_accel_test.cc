@@ -161,8 +161,9 @@ TEST(AccelSimTest, QueueBackpressureDoesNotDeadlockLoops)
 TEST(AccelSimTest, RecursionDeeperThanQueueDeadlocksWithDiagnostic)
 {
     // The paper's hardware reality: recursion holds queue entries;
-    // a too-small Ntasks wedges the accelerator. We detect and
-    // report instead of hanging.
+    // a too-small Ntasks wedges the accelerator. We detect it and
+    // return a structured failure (the process stays alive) with a
+    // per-unit diagnostic dump.
     auto w = workloads::makeFib(12);
     arch::AcceleratorParams p;
     p.defaults.ntasks = 4;
@@ -171,8 +172,30 @@ TEST(AccelSimTest, RecursionDeeperThanQueueDeadlocksWithDiagnostic)
     auto args = w.setup(mem);
     sim::AcceleratorSim accel(*design, mem);
     accel.watchdogCycles = 20000;
-    EXPECT_EXIT(accel.run(args), ::testing::ExitedWithCode(1),
-                "deadlock");
+    accel.run(args);
+
+    const sim::SimFailure &f = accel.failure();
+    ASSERT_TRUE(f.failed());
+    EXPECT_EQ(f.kind, sim::SimFailure::Kind::Deadlock);
+    EXPECT_STREQ(sim::failureKindName(f.kind), "deadlock");
+    EXPECT_NE(f.detail.find("deadlock"), std::string::npos);
+    EXPECT_NE(f.detail.find("raise Ntasks"), std::string::npos);
+    // The diagnostic dump names every unit with its queue state.
+    EXPECT_NE(f.detail.find("occupancy"), std::string::npos);
+    EXPECT_NE(f.detail.find("last progress"), std::string::npos);
+    EXPECT_NE(f.detail.find("outstanding cache misses"),
+              std::string::npos);
+
+    // A subsequent run on a fresh simulator with the workload's own
+    // (deep-enough) queue preset is unaffected.
+    arch::AcceleratorParams p2 = w.params;
+    auto design2 = hls::compile(*w.module, w.top, p2);
+    ir::MemImage mem2(64 << 20);
+    auto args2 = w.setup(mem2);
+    sim::AcceleratorSim accel2(*design2, mem2);
+    ir::RtValue ret = accel2.run(args2);
+    EXPECT_FALSE(accel2.failure().failed());
+    EXPECT_TRUE(w.verify(mem2, ret).empty());
 }
 
 TEST(AccelSimTest, CacheStatsPopulated)

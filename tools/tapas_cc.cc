@@ -25,6 +25,14 @@
  *   --json <path>         machine-readable results ('-' for stdout)
  *   --top <name>          offloaded function (default: first
  *                         function containing a detach)
+ *   --fault-rate R        inject faults at rate R (per cycle/event)
+ *                         into --run; see sim/fault.hh
+ *   --fault-seed S        fault-schedule seed (default 0x7a7a5)
+ *   --max-retries N       per-task fault-retry budget (default 8)
+ *
+ * Exit codes: 0 success, 1 toolchain error, 2 usage, 3 --run/--interp
+ * return-value mismatch, 4 simulation failed (deadlock / cycle
+ * limit / spawn failed), 5 fault-retry budget exhausted.
  *
  * Example:
  *   tapas-cc examples/vector_scale.tir --report \
@@ -88,7 +96,18 @@ usage(const char *argv0)
            "  --json PATH         machine-readable results ('-' for "
            "stdout)\n"
            "  --top NAME          offloaded function (default: "
-           "first with a detach)\n";
+           "first with a detach)\n"
+           "  --fault-rate R      inject faults at rate R into "
+           "--run (0 disables)\n"
+           "  --fault-seed S      fault-schedule seed (default "
+           "0x7a7a5)\n"
+           "  --max-retries N     per-task fault-retry budget "
+           "(default 8)\n"
+           "\n"
+           "exit codes: 0 ok, 1 error, 2 usage, 3 run/interp "
+           "mismatch,\n"
+           "            4 simulation failure, 5 fault budget "
+           "exhausted\n";
     std::exit(2);
 }
 
@@ -113,6 +132,18 @@ parseUnsigned(const std::string &flag, const std::string &text)
         tapas_fatal("%s expects a number, got '%s'", flag.c_str(),
                     text.c_str());
     return static_cast<unsigned>(v);
+}
+
+/** Parse a (possibly scientific-notation) rate argument. */
+double
+parseDouble(const std::string &flag, const std::string &text)
+{
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || v < 0)
+        tapas_fatal("%s expects a non-negative number, got '%s'",
+                    flag.c_str(), text.c_str());
+    return v;
 }
 
 /** Parse one CLI run-argument against the function's signature. */
@@ -178,6 +209,10 @@ main(int argc, char **argv)
     std::string trace_path;
     std::string trace_csv_path;
     bool do_profile = false;
+    bool fault_given = false;
+    double fault_rate = 0;
+    uint64_t fault_seed = 0x7a7a5u;
+    unsigned max_retries = 8;
     std::vector<std::string> run_args;
 
     if (input == "--help" || input == "-h")
@@ -215,6 +250,15 @@ main(int argc, char **argv)
             do_profile = true;
         } else if (a == "--jobs") {
             cli_jobs = parseUnsigned(a, next());
+        } else if (a == "--fault-rate") {
+            fault_rate = parseDouble(a, next());
+            fault_given = true;
+        } else if (a == "--fault-seed") {
+            fault_seed = std::strtoull(next().c_str(), nullptr, 0);
+            fault_given = true;
+        } else if (a == "--max-retries") {
+            max_retries = parseUnsigned(a, next());
+            fault_given = true;
         } else if (a == "--json") {
             json_path = next();
         } else if (a == "--emit-chisel") {
@@ -314,6 +358,8 @@ main(int argc, char **argv)
         writeOut(dot_path, os.str());
     }
 
+    int exit_code = 0;
+
     Json doc = Json::object();
     doc.set("tool", Json::str("tapas_cc"));
     doc.set("input", Json::str(input));
@@ -359,6 +405,12 @@ main(int argc, char **argv)
                 eo.design = design.get();
                 if (!trace_csv_path.empty())
                     eo.tracer = &tracer;
+                if (fault_given) {
+                    sim::FaultConfig fc = sim::FaultConfig::uniform(
+                        fault_rate, fault_seed);
+                    fc.maxTaskRetries = max_retries;
+                    eo.fault = fc;
+                }
                 driver::AccelSimEngine eng(std::move(eo));
                 eng.runOptions.traceFile = trace_path;
                 eng.runOptions.profile = do_profile;
@@ -368,15 +420,18 @@ main(int argc, char **argv)
         std::vector<driver::RunResult> results = sweep.run();
 
         size_t idx = 0;
+        std::optional<ir::RtValue> interp_ret;
         if (do_interp) {
             const driver::RunResult &r = results[idx++];
             std::cout << "interp: "
                       << static_cast<uint64_t>(
                              r.stat("total_insts"))
                       << " insts, " << r.spawns << " spawns";
-            if (!top->returnType().isVoid())
+            if (!top->returnType().isVoid()) {
                 std::cout << ", returned " << formatRet(*top,
                                                         r.retval);
+                interp_ret = r.retval;
+            }
             std::cout << "\n";
 
             Json jr = Json::object();
@@ -399,14 +454,47 @@ main(int argc, char **argv)
                 tracer.dumpCsv(os);
                 writeOut(trace_csv_path, os.str());
             }
-            std::cout << "accel: " << r.cycles << " cycles, "
-                      << r.spawns << " spawns, "
-                      << strfmt("%.1f%%", r.cacheHitRate * 100)
-                      << " cache hits";
-            if (!top->returnType().isVoid())
-                std::cout << ", returned " << formatRet(*top,
-                                                        r.retval);
-            std::cout << "\n";
+            if (!r.ok()) {
+                std::cout << "accel: FAILED ("
+                          << r.failure->kind << ") after "
+                          << r.cycles << " cycles\n"
+                          << r.failure->detail << "\n";
+                exit_code =
+                    r.failure->kind == "fault_budget" ? 5 : 4;
+            } else {
+                std::cout << "accel: " << r.cycles << " cycles, "
+                          << r.spawns << " spawns, "
+                          << strfmt("%.1f%%", r.cacheHitRate * 100)
+                          << " cache hits";
+                if (!top->returnType().isVoid()) {
+                    std::cout << ", returned "
+                              << formatRet(*top, r.retval);
+                }
+                std::cout << "\n";
+            }
+            if (fault_given && fault_rate > 0) {
+                std::cout << "fault: injected="
+                          << static_cast<uint64_t>(
+                                 r.stat("fault.spawn_drops") +
+                                 r.stat("fault.queue_corruptions") +
+                                 r.stat("fault.mem_drops") +
+                                 r.stat("fault.mem_delays") +
+                                 r.stat("fault.tile_stalls"))
+                          << " recovered="
+                          << static_cast<uint64_t>(
+                                 r.stat("fault.spawn_retries") +
+                                 r.stat("fault.task_replays") +
+                                 r.stat("fault.mem_reissues"))
+                          << "\n";
+            }
+            if (r.ok() && interp_ret &&
+                interp_ret->i != r.retval.i) {
+                std::cout << "MISMATCH: interp returned "
+                          << formatRet(*top, *interp_ret)
+                          << ", accel returned "
+                          << formatRet(*top, r.retval) << "\n";
+                exit_code = 3;
+            }
             if (do_profile)
                 std::cout << "\n" << r.profileReport;
 
@@ -416,7 +504,13 @@ main(int argc, char **argv)
             jr.set("spawns", Json::num(r.spawns));
             jr.set("cache_hit_rate", Json::num(r.cacheHitRate));
             jr.set("seconds", Json::num(r.seconds));
-            if (!top->returnType().isVoid())
+            if (!r.ok()) {
+                Json jf = Json::object();
+                jf.set("kind", Json::str(r.failure->kind));
+                jf.set("detail", Json::str(r.failure->detail));
+                jr.set("failure", std::move(jf));
+            }
+            if (r.ok() && !top->returnType().isVoid())
                 jr.set("retval", Json::str(formatRet(*top,
                                                      r.retval)));
             // Full flattened stats (includes the "profile.*" cycle
@@ -433,5 +527,5 @@ main(int argc, char **argv)
         doc.set("results", std::move(jresults));
         writeOut(json_path, doc.dump());
     }
-    return 0;
+    return exit_code;
 }
