@@ -1,0 +1,57 @@
+#include "arch/firing_index.hh"
+
+#include "ir/instruction.hh"
+#include "support/logging.hh"
+
+namespace tapas::arch {
+
+FiringIndex::FiringIndex(const Task &task)
+{
+    addFunction(task.function(), /*whole_function=*/false, task);
+}
+
+void
+FiringIndex::addFunction(const ir::Function *func, bool whole_function,
+                         const Task &task)
+{
+    for (const auto &entry : bases) {
+        if (entry.first == func)
+            return; // shared region (recursion / repeated callee)
+    }
+    bases.emplace_back(func, total);
+    total += static_cast<unsigned>(func->numInstructions());
+
+    // The task frame only executes the task's own blocks; a leaf
+    // callee frame executes its whole function. Either way, every
+    // detach-free call target reachable from here needs a region
+    // (task calls spawn another unit and never run locally).
+    auto scan_block = [&](const ir::BasicBlock *bb) {
+        for (const auto &inst : bb->instructions()) {
+            if (inst->opcode() != ir::Opcode::Call)
+                continue;
+            auto *call = ir::cast<ir::CallInst>(inst.get());
+            if (!call->callee()->hasDetach())
+                addFunction(call->callee(), true, task);
+        }
+    };
+    if (whole_function) {
+        for (const auto &bb : func->basicBlocks())
+            scan_block(bb.get());
+    } else {
+        for (const ir::BasicBlock *bb : task.blocks())
+            scan_block(bb);
+    }
+}
+
+unsigned
+FiringIndex::baseOf(const ir::Function *func) const
+{
+    for (const auto &entry : bases) {
+        if (entry.first == func)
+            return entry.second;
+    }
+    tapas_fatal("firing index has no region for function '%s'",
+                func->name().c_str());
+}
+
+} // namespace tapas::arch

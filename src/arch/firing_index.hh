@@ -1,0 +1,70 @@
+/**
+ * @file
+ * FiringIndex: a dense firing-slot numbering for everything a task
+ * instance can execute.
+ *
+ * The simulator's TXU tiles enforce II = 1 per static function unit:
+ * each static instruction may accept at most one new token per cycle
+ * per tile. The hot path therefore needs a "has this static node
+ * fired this cycle?" lookup keyed by instruction — and instruction
+ * ids are only unique *within a function*, while a task instance can
+ * execute its own function's body plus any transitively-reachable
+ * detach-free callee (leaf calls are inlined as activation records at
+ * simulation time).
+ *
+ * FiringIndex flattens that whole reachable instruction space into
+ * one dense [0, slots()) range at task-compile time: the task's own
+ * function gets base 0, and every distinct leaf-callee function gets
+ * a contiguous region of Function::numInstructions() slots. A frame
+ * executing function F addresses slot `baseOf(F) + inst->id()`, so
+ * the per-tile fired set becomes a flat vector indexed in O(1) with
+ * no hashing, ordering, or per-cycle clearing (see sim/accel.hh).
+ *
+ * A recursive leaf callee maps all its activations onto one region —
+ * exactly the aliasing the hardware has (one physical function unit
+ * per static instruction), and exactly what the pointer-keyed
+ * std::set this replaces did.
+ */
+
+#ifndef TAPAS_ARCH_FIRING_INDEX_HH
+#define TAPAS_ARCH_FIRING_INDEX_HH
+
+#include <utility>
+#include <vector>
+
+#include "arch/task.hh"
+
+namespace tapas::arch {
+
+/** Dense per-task firing-slot assignment (built once per TaskUnit). */
+class FiringIndex
+{
+  public:
+    explicit FiringIndex(const Task &task);
+
+    /** Total firing slots across every reachable function. */
+    unsigned slots() const { return total; }
+
+    /**
+     * First slot of `func`'s instruction-id range; fatal()s when the
+     * function is not reachable from the task body.
+     */
+    unsigned baseOf(const ir::Function *func) const;
+
+  private:
+    /** Walk `func` for leaf call sites, assigning bases depth-first. */
+    void addFunction(const ir::Function *func, bool whole_function,
+                     const Task &task);
+
+    /**
+     * (function, base) pairs in discovery order. Tasks reach a
+     * handful of leaf callees at most, so a linear scan beats any
+     * hashed container here.
+     */
+    std::vector<std::pair<const ir::Function *, unsigned>> bases;
+    unsigned total = 0;
+};
+
+} // namespace tapas::arch
+
+#endif // TAPAS_ARCH_FIRING_INDEX_HH

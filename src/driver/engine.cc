@@ -94,6 +94,7 @@ AccelSimEngine::run(ir::Module &mod, ir::Function &top,
         accel.maxCycles = *opts.maxCycles;
     if (opts.watchdogCycles)
         accel.watchdogCycles = *opts.watchdogCycles;
+    accel.idleSkip = opts.idleSkip;
 
     std::optional<sim::FaultInjector> injector;
     if (opts.fault) {

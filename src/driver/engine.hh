@@ -240,6 +240,13 @@ class AccelSimEngine : public Engine
         std::optional<uint64_t> watchdogCycles;
 
         /**
+         * Allow the simulator's idle-cycle fast-forward (cycle-exact;
+         * see AcceleratorSim::idleSkip). Disable to force the
+         * every-cycle reference loop, e.g. for A/B equivalence tests.
+         */
+        bool idleSkip = true;
+
+        /**
          * Invoked after the simulation with the compiled design and
          * the finished simulator, for metrics the flat RunResult
          * cannot express (e.g. per-unit scalars keyed by sid).

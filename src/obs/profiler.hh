@@ -62,6 +62,16 @@ class CycleProfiler
         ++counts[sid][static_cast<unsigned>(b)];
     }
 
+    /**
+     * Attribute `n` cycles at once (idle-skip bulk accounting; the
+     * buckets-sum-to-cycles invariant holds across skipped spans).
+     */
+    void
+    note(unsigned sid, CycleBucket b, uint64_t n)
+    {
+        counts[sid][static_cast<unsigned>(b)] += n;
+    }
+
     /** Configured unit count. */
     unsigned numUnits() const
     {

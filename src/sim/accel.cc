@@ -5,6 +5,7 @@
 
 #include "sim/accel.hh"
 
+#include <algorithm>
 #include <ostream>
 #include <string>
 
@@ -75,6 +76,7 @@ AcceleratorSim::addSink(obs::TraceSink *sink)
     tapas_assert(sink, "null trace sink");
     sink->configure(unitInfos());
     sinks.push_back(sink);
+    hasSinks = true;
     cache.addSink(sink);
 }
 
@@ -87,6 +89,7 @@ AcceleratorSim::removeSink(obs::TraceSink *sink)
             break;
         }
     }
+    hasSinks = !sinks.empty();
     cache.removeSink(sink);
 }
 
@@ -115,6 +118,14 @@ AcceleratorSim::run(std::vector<RtValue> top_args)
     rootFinished = false;
     failure_ = SimFailure{};
     rootValue = RtValue{};
+    idleSkipped = 0;
+    for (auto &u : units)
+        u->resetFiring(); // stale stamps from a previous run()
+
+    // Idle-skip stays exact only while nothing consumes RNG per
+    // cycle; a fault injector with any nonzero rate does.
+    const bool skip_allowed =
+        idleSkip && !(faultInj && faultInj->config().any());
 
     // The host (ARM) writes the arguments and kicks the root unit.
     // With a fault injector the kick handshake itself may be dropped;
@@ -202,6 +213,47 @@ AcceleratorSim::run(std::vector<RtValue> top_args)
                     "raise Ntasks.\n" +
                     diagnosticDump(cyc, last_progress_cycle));
             break;
+        }
+
+        // Idle-cycle fast-forward: this cycle was quiet (no progress
+        // event), so the next state change can only come from a unit
+        // timer — an in-flight memory response, a fixed-latency op,
+        // an args-RAM transfer, a spawn-backoff deadline. Jump to
+        // the earliest of those instead of spinning. Any unit that
+        // must be ticked every cycle (pending issue-queue work,
+        // per-cycle spawn retries, an unswept block) vetoes the jump
+        // with a zero wake. Capping at the watchdog deadline, the
+        // cycle limit, and the next trace-sample boundary keeps
+        // failures and observability streams byte-identical to the
+        // unskipped simulation.
+        if (skip_allowed && rootSpawned && last_progress_cycle != cyc) {
+            uint64_t wake = InstanceExec::kNoWake;
+            bool can_skip = true;
+            for (auto &u : units) {
+                uint64_t w = u->nextWake(cyc, !hasSinks);
+                if (w == 0) {
+                    can_skip = false;
+                    break;
+                }
+                wake = std::min(wake, w);
+            }
+            if (can_skip) {
+                wake = std::min(
+                    wake, last_progress_cycle + watchdogCycles + 1);
+                wake = std::min(wake, maxCycles + 1);
+                if (hasSinks) {
+                    wake = std::min(
+                        wake,
+                        (cyc / sampleInterval + 1) * sampleInterval);
+                }
+                if (wake > cyc + 1) {
+                    uint64_t skipped = wake - cyc - 1;
+                    for (auto &u : units)
+                        u->accountSkipped(skipped, cyc);
+                    idleSkipped += skipped;
+                    cyc = wake - 1; // for-loop ++ lands on `wake`
+                }
+            }
         }
     }
 

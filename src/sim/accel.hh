@@ -41,9 +41,9 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <vector>
 
+#include "arch/firing_index.hh"
 #include "hls/compile.hh"
 #include "ir/interp.hh"
 #include "obs/profiler.hh"
@@ -79,8 +79,9 @@ struct TaskRef
 struct Tile
 {
     Tile(SharedCache &cache, unsigned staging, unsigned issue_width,
-         std::string name)
-        : box(cache, staging, issue_width, std::move(name))
+         unsigned firing_slots, std::string name)
+        : box(cache, staging, issue_width, std::move(name)),
+          firedMark(firing_slots, 0)
     {}
 
     DataBox box;
@@ -88,11 +89,29 @@ struct Tile
     /** Slots of the instances currently in this tile's pipeline. */
     std::vector<unsigned> active;
 
-    /** Static nodes that already accepted a token this cycle. */
-    std::set<const ir::Instruction *> fired;
+    /**
+     * Per-firing-slot generation stamp: slot `s` accepted a token in
+     * cycle `c` iff firedMark[s] == c + 1 (0 = never). Stamping with
+     * the cycle number replaces the per-cycle clear of the old
+     * instruction-pointer set — stale stamps can never match the
+     * current cycle. Indexed by arch::FiringIndex slot.
+     */
+    std::vector<uint64_t> firedMark;
+
+    /** Tokens accepted this cycle (profiler's fired_any signal). */
+    unsigned firedThisCycle = 0;
 
     /** Injected transient freeze: no firing until this cycle. */
     uint64_t stuckUntil = 0;
+
+    /** Forget all firing history (start of a run()). */
+    void
+    resetFiring()
+    {
+        firedMark.assign(firedMark.size(), 0);
+        firedThisCycle = 0;
+        box.resetStallWitness();
+    }
 };
 
 /**
@@ -110,7 +129,7 @@ class InstanceExec
     };
 
     InstanceExec(AcceleratorSim &sim, const arch::Task &task,
-                 TaskRef self);
+                 const arch::FiringIndex &fidx, TaskRef self);
 
     /** Provide the marshaled arguments; instance becomes runnable. */
     void start(std::vector<ir::RtValue> args);
@@ -138,6 +157,24 @@ class InstanceExec
      */
     void phaseCensus(unsigned &exec, unsigned &mem,
                      unsigned &spawn) const;
+
+    /**
+     * Idle-skip wake computation: the earliest future cycle at which
+     * this instance's internal timers can change its state, assuming
+     * the current cycle made no progress anywhere.
+     *
+     * Returns 0 when the instance must be ticked next cycle (a block
+     * not yet swept, a spawn re-presenting under back-pressure, an
+     * unissued memory request, a delivered-but-unconsumed call
+     * result), or kNoWake when it holds no timer at all (blocked
+     * purely on external progress — a sync join or call return,
+     * which the unit owning the child provides at its own wake).
+     */
+    uint64_t nextWake(uint64_t now, const DataBox &box,
+                      bool allow_bulk) const;
+
+    /** nextWake() sentinel: no internal timer. */
+    static constexpr uint64_t kNoWake = ~0ull;
 
   private:
     enum class Phase : uint8_t {
@@ -176,6 +213,17 @@ class InstanceExec
         const ir::BasicBlock *bb = nullptr;
         const ir::BasicBlock *prev = nullptr;
         std::vector<NodeState> nst;        // per instruction in bb
+
+        /** FiringIndex base of `func` (firing slot = base + id). */
+        unsigned fireBase = 0;
+
+        /**
+         * Set by enterBlock(), cleared by step()'s first sweep over
+         * the new block. A fresh block's nodes are fireable without
+         * any timer expiring, so idle-skip must not engage while one
+         * exists (nextWake() returns 0).
+         */
+        bool fresh = true;
     };
 
     ir::RtValue evalOperand(const Frame &frame, const ir::Value *v);
@@ -205,9 +253,22 @@ class InstanceExec
 
     AcceleratorSim &sim;
     const arch::Task &task;
+    const arch::FiringIndex &fidx;
     TaskRef self;
 
-    std::map<const ir::Value *, ir::RtValue> argMap;
+    /**
+     * Marshaled arguments, resolved to dense slots at start():
+     * ir::Argument formals land in taskArgVals by argument index;
+     * enclosing-task ir::Instruction values land directly in the task
+     * frame's regs (their ids never collide with instructions the
+     * task executes — ids are function-wide and those producers live
+     * outside the task's blocks). argInstMark flags the latter so the
+     * dependence check can tell "marshaled live-in" from "produced
+     * here" in O(1); taskArgPresent backs the unmarshaled-use assert.
+     */
+    std::vector<ir::RtValue> taskArgVals;
+    std::vector<uint8_t> taskArgPresent;
+    std::vector<uint8_t> argInstMark;
 
     /**
      * Activation-record stack. A deque, not a vector: tryFire() can
@@ -216,6 +277,10 @@ class InstanceExec
      * references to existing elements.
      */
     std::deque<Frame> frames;
+
+    /** enterBlock() phi-resolution scratch (hoisted allocation). */
+    std::vector<ir::RtValue> phiScratch;
+
     ir::RtValue retVal;
     bool done = false;
     unsigned memInFlight = 0;
@@ -280,12 +345,40 @@ class TaskUnit
         return entries.at(slot).childCount;
     }
 
-    bool idle() const;
+    bool idle() const { return occupied == 0; }
 
     const arch::Task &task() const { return _task; }
 
-    /** Entries currently not Free (tests/stats). */
-    unsigned occupancy() const;
+    /** Entries currently not Free (tests/stats); O(1). */
+    unsigned occupancy() const { return occupied; }
+
+    /**
+     * Idle-skip wake computation over the whole unit: the earliest
+     * future cycle at which a dispatch or an on-tile instance timer
+     * can make progress, assuming the current cycle was quiet. 0
+     * means the unit must be ticked every cycle (pending issue-queue
+     * work, a dispatchable entry, a spawn under back-pressure);
+     * InstanceExec::kNoWake means the unit holds no timers.
+     */
+    uint64_t nextWake(uint64_t now, bool allow_stall_bulk) const;
+
+    /**
+     * Account `n` skipped quiet cycles: per-tile busy-cycle counters
+     * and (when a profiler is attached) bulk cycle attribution in the
+     * same bucket profileCycle() would have picked each cycle, so the
+     * "buckets sum to cycles x units" invariant survives skipping.
+     */
+    void accountSkipped(uint64_t n, uint64_t base);
+
+    /** Zero the tiles' firing stamps (start of a run()). */
+    void
+    resetFiring()
+    {
+        for (auto &t : tiles)
+            t->resetFiring();
+        spawnRejectCycle = ~0ull;
+        spawnRejectsThisCycle = 0;
+    }
 
     // --- statistics ---------------------------------------------------
 
@@ -344,16 +437,39 @@ class TaskUnit
     /** Attribute this cycle to a profiler bucket (profiler only). */
     void profileCycle(uint64_t now);
 
+    /**
+     * Shared classification core of profileCycle()/accountSkipped():
+     * which bucket does this unit's current state land in, given
+     * whether any token fired? Quiet (skipped) cycles pass false.
+     */
+    obs::CycleBucket classifyCycle(bool fired_any) const;
+
     AcceleratorSim &sim;
     const arch::Task &_task;
     const arch::Dataflow &df;
     arch::TaskUnitParams params;
+
+    /** Dense firing-slot assignment for this task's instructions. */
+    arch::FiringIndex fidx;
 
     std::vector<QueueEntry> entries;
     std::vector<std::unique_ptr<Tile>> tiles;
     std::deque<unsigned> readyQueue;
     bool spawnAcceptedThisCycle = false;
     bool dispatchedThisCycle = false;
+
+    // Stall-span witness for the idle-cycle fast-forward: how many
+    // spawns this unit rejected queue-full in the current cycle.
+    // Each corresponds to a spawner re-presenting every cycle, so a
+    // skipped span multiplies them (see accountSkipped()).
+    uint64_t spawnRejectCycle = ~0ull;
+    unsigned spawnRejectsThisCycle = 0;
+
+    /** Entries not Free, maintained at spawn/retire (O(1) queries). */
+    unsigned occupied = 0;
+
+    /** tick()'s per-tile copy of the active list (hoisted alloc). */
+    std::vector<unsigned> stepScratch;
 
     uint64_t dispatchLatSum = 0;
     uint64_t dispatchCount = 0;
@@ -399,6 +515,14 @@ class AcceleratorSim
 
     /** Cycles consumed by the last run(). */
     uint64_t cycles() const { return _cycles; }
+
+    /**
+     * Progress events observed so far (spawns, firings, completions,
+     * joins). A host-side measure of how much simulation work a run
+     * performed — the numerator of bench/sim_throughput's
+     * events-per-host-second metric. Monotonic across runs.
+     */
+    uint64_t progressCount() const { return progressEvents; }
 
     /** Total dynamic spawns across all units in the last run. */
     uint64_t totalSpawns() const;
@@ -484,6 +608,8 @@ class AcceleratorSim
     void
     emitFault(uint64_t cycle, const char *kind, unsigned sid)
     {
+        if (!hasSinks)
+            return;
         for (obs::TraceSink *s : sinks)
             s->faultInjected(cycle, kind, sid);
     }
@@ -491,17 +617,21 @@ class AcceleratorSim
     void
     emitRecovery(uint64_t cycle, const char *kind, unsigned sid)
     {
+        if (!hasSinks)
+            return;
         for (obs::TraceSink *s : sinks)
             s->faultRecovered(cycle, kind, sid);
     }
 
     /** Any trace sink attached? (skip event bookkeeping if not) */
-    bool observed() const { return !sinks.empty(); }
+    bool observed() const { return hasSinks; }
 
     void
     emitSpawn(uint64_t cycle, unsigned sid, unsigned slot,
               TaskRef parent)
     {
+        if (!hasSinks)
+            return;
         for (obs::TraceSink *s : sinks) {
             s->taskSpawn(cycle, sid, slot,
                          parent.valid() ? parent.sid : ~0u,
@@ -513,6 +643,8 @@ class AcceleratorSim
     emitDispatch(uint64_t cycle, unsigned sid, unsigned slot,
                  unsigned tile)
     {
+        if (!hasSinks)
+            return;
         for (obs::TraceSink *s : sinks)
             s->taskDispatch(cycle, sid, slot, tile);
     }
@@ -520,6 +652,8 @@ class AcceleratorSim
     void
     emitSuspend(uint64_t cycle, unsigned sid, unsigned slot)
     {
+        if (!hasSinks)
+            return;
         for (obs::TraceSink *s : sinks)
             s->taskSuspend(cycle, sid, slot);
     }
@@ -527,6 +661,8 @@ class AcceleratorSim
     void
     emitRetire(uint64_t cycle, unsigned sid, unsigned slot)
     {
+        if (!hasSinks)
+            return;
         for (obs::TraceSink *s : sinks)
             s->taskRetire(cycle, sid, slot);
     }
@@ -534,6 +670,8 @@ class AcceleratorSim
     void
     emitSpawnReject(uint64_t cycle, unsigned sid, bool queue_full)
     {
+        if (!hasSinks)
+            return;
         for (obs::TraceSink *s : sinks)
             s->spawnRejected(cycle, sid, queue_full);
     }
@@ -573,6 +711,22 @@ class AcceleratorSim
     /** Cycles without progress before declaring deadlock. */
     uint64_t watchdogCycles = 1'000'000;
 
+    /**
+     * Idle-cycle fast-forward: when a cycle makes no progress and
+     * every unit is quiescent (only in-flight memory responses,
+     * fixed-latency ops, or delayed spawn retries pending), jump
+     * straight to the earliest wake-up cycle instead of spinning.
+     * Cycle-exact by construction — modeled cycle counts, stats, and
+     * observability streams are identical either way (pinned by
+     * tests/sim_perf_test.cc). Auto-disabled while a fault injector
+     * with any nonzero rate is attached: those draw from the RNG
+     * every cycle, so skipping would change the fault schedule.
+     */
+    bool idleSkip = true;
+
+    /** Cycles the last run() fast-forwarded over (diagnostics). */
+    uint64_t skippedCycles() const { return idleSkipped; }
+
   private:
     /**
      * The state dump attached to deadlock / cycle-limit failures:
@@ -589,8 +743,10 @@ class AcceleratorSim
     std::vector<std::unique_ptr<TaskUnit>> units;
 
     uint64_t _cycles = 0;
+    uint64_t idleSkipped = 0;
     uint64_t progressEvents = 0;
     std::vector<obs::TraceSink *> sinks;
+    bool hasSinks = false; ///< cached !sinks.empty() for emit paths
     obs::CycleProfiler *prof = nullptr;
     TaskTracer *tracer = nullptr; ///< setTracer() adapter bookkeeping
     FaultInjector *faultInj = nullptr;

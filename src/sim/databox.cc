@@ -17,7 +17,6 @@ bool
 DataBox::submit(uint64_t addr, bool is_store, uint64_t now,
                 MemTicket &ticket)
 {
-    (void)now;
     for (MemTicket t = 0; t < entries.size(); ++t) {
         Entry &e = entries[t];
         if (e.busy)
@@ -34,6 +33,11 @@ DataBox::submit(uint64_t addr, bool is_store, uint64_t now,
         return true;
     }
     ++fullRejects;
+    if (fullRejectCycle != now) {
+        fullRejectCycle = now;
+        fullRejectsThisCycle = 0;
+    }
+    ++fullRejectsThisCycle;
     return false;
 }
 
@@ -60,6 +64,8 @@ DataBox::tick(uint64_t now)
         CacheResult res = cache.request(e.addr, e.store, now);
         if (!res.accepted) {
             ++cacheRetries;
+            headRejectCycle = now;
+            headRejectMshrFull = res.mshrFull;
             break; // in-order issue: head blocks the tree this cycle
         }
         e.issued = true;

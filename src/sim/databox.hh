@@ -55,6 +55,90 @@ class DataBox
     /** Entries currently occupied (tests/stats). */
     unsigned occupancy() const { return occupied; }
 
+    /**
+     * No requests waiting to issue into the cache: tick() would not
+     * touch arbiter or cache state. An unissued request retries the
+     * cache (and churns its reject stats) every cycle.
+     */
+    bool quiescent() const { return issueQueue.empty(); }
+
+    /**
+     * Idle-skip constraint from this box, evaluated at the end of a
+     * quiet cycle `now`:
+     *
+     *   0        must be ticked next cycle (veto any skip)
+     *   ~0       no constraint
+     *   other    earliest cycle this box's state can change
+     *
+     * An empty issue queue poses no constraint — in-flight responses
+     * are timed by their polling dataflow nodes, and staging-full
+     * submit retries are bulk-accounted by accountSkipped(). A
+     * non-empty queue is skippable only when this cycle's head
+     * attempt was rejected for MSHR exhaustion and no MSHR was
+     * allocated this cycle: that reject then provably repeats every
+     * cycle (no accepts anywhere during a quiet span, so the cache's
+     * line/MSHR state is frozen) until the earliest MSHR retires,
+     * which is the returned wake. `allow_bulk` is false when trace
+     * sinks are attached — skipped retries would drop their
+     * per-cycle cacheStall events.
+     */
+    uint64_t
+    stallWake(uint64_t now, bool allow_bulk) const
+    {
+        if (issueQueue.empty())
+            return ~0ull;
+        if (!allow_bulk || headRejectCycle != now ||
+            !headRejectMshrFull ||
+            cache.lastMshrAllocCycle() == now) {
+            return 0;
+        }
+        return cache.nextMshrRetireAt();
+    }
+
+    /**
+     * Bulk-account `n` skipped cycles after a quiet cycle `base`:
+     * a head rejected at `base` would have retried (and been
+     * rejected) once per cycle; every submit rejected at `base`
+     * would likewise have retried per cycle while the staging table
+     * stayed full.
+     */
+    /**
+     * Forget stall witnesses (fresh run: cycle numbers restart, so
+     * a stale witness could alias a new cycle and wrongly validate
+     * a span).
+     */
+    void
+    resetStallWitness()
+    {
+        headRejectCycle = ~0ull;
+        headRejectMshrFull = false;
+        fullRejectCycle = ~0ull;
+        fullRejectsThisCycle = 0;
+    }
+
+    void
+    accountSkipped(uint64_t n, uint64_t base)
+    {
+        if (!issueQueue.empty() && headRejectCycle == base) {
+            cacheRetries += n;
+            cache.bulkStallRejects(n);
+        }
+        if (fullRejectCycle == base)
+            fullRejects += n * fullRejectsThisCycle;
+    }
+
+    /**
+     * Completion cycle of an in-flight ticket, or 0 while it is
+     * still waiting to issue (idle-skip wake computation; only
+     * meaningful for a busy ticket).
+     */
+    uint64_t
+    completesAt(MemTicket ticket) const
+    {
+        const Entry &e = entries[ticket];
+        return e.issued ? e.completesAt : 0;
+    }
+
     StatGroup stats;
     Counter submitted{stats, "requests", "memory requests accepted"};
     Counter fullRejects{stats, "full_rejects",
@@ -83,6 +167,13 @@ class DataBox
     std::deque<MemTicket> issueQueue;
     unsigned issueWidth;
     unsigned occupied = 0;
+
+    // Stall-span witnesses for the idle-cycle fast-forward: what
+    // this box's per-cycle retries did in the current cycle.
+    uint64_t headRejectCycle = ~0ull;  ///< head retry rejected then
+    bool headRejectMshrFull = false;   ///< ...because MSHRs were full
+    uint64_t fullRejectCycle = ~0ull;  ///< submit hit a full table
+    unsigned fullRejectsThisCycle = 0; ///< how many, that cycle
 };
 
 } // namespace tapas::sim

@@ -6,6 +6,8 @@
 
 #include "sim/accel.hh"
 
+#include <algorithm>
+
 namespace tapas::sim {
 
 using ir::BasicBlock;
@@ -15,8 +17,8 @@ using ir::RtValue;
 using ir::Value;
 
 InstanceExec::InstanceExec(AcceleratorSim &sim, const arch::Task &task,
-                           TaskRef self)
-    : sim(sim), task(task), self(self)
+                           const arch::FiringIndex &fidx, TaskRef self)
+    : sim(sim), task(task), fidx(fidx), self(self)
 {}
 
 void
@@ -26,13 +28,37 @@ InstanceExec::start(std::vector<RtValue> args)
     tapas_assert(args.size() == formals.size(),
                  "task '%s' spawned with %zu args, expects %zu",
                  task.name().c_str(), args.size(), formals.size());
-    for (size_t i = 0; i < formals.size(); ++i)
-        argMap[formals[i]] = args[i];
 
     frames.emplace_back();
     Frame &f = frames.back();
     f.func = task.function();
+    f.fireBase = fidx.baseOf(f.func);
     f.regs.resize(f.func->numInstructions());
+
+    // Resolve the marshaled live-ins to dense slots once, here, so
+    // the per-cycle operand path never touches an associative
+    // container: Argument formals by argument index, enclosing-task
+    // Instruction values straight into the frame's register file.
+    taskArgVals.assign(f.func->numArgs(), RtValue{});
+    taskArgPresent.assign(f.func->numArgs(), 0);
+    argInstMark.assign(f.func->numInstructions(), 0);
+    for (size_t i = 0; i < formals.size(); ++i) {
+        const Value *v = formals[i];
+        if (v->valueKind() == Value::Kind::Argument) {
+            unsigned idx =
+                static_cast<const ir::Argument *>(v)->index();
+            taskArgVals[idx] = args[i];
+            taskArgPresent[idx] = 1;
+        } else {
+            tapas_assert(v->valueKind() == Value::Kind::Instruction,
+                         "task '%s' marshals a non-argument, "
+                         "non-instruction live-in",
+                         task.name().c_str());
+            unsigned id = static_cast<const Instruction *>(v)->id();
+            f.regs[id] = args[i];
+            argInstMark[id] = 1;
+        }
+    }
 }
 
 RtValue
@@ -55,22 +81,18 @@ InstanceExec::evalOperand(const Frame &frame, const Value *v)
                          "leaf frame uses a foreign argument");
             return frame.argVals[arg->index()];
         }
-        auto it = argMap.find(v);
-        tapas_assert(it != argMap.end(),
+        tapas_assert(arg->index() < taskArgPresent.size() &&
+                     taskArgPresent[arg->index()],
                      "task '%s' uses unmarshaled argument '%s'",
                      task.name().c_str(), arg->name().c_str());
-        return it->second;
+        return taskArgVals[arg->index()];
       }
-      case Value::Kind::Instruction: {
-        auto *inst = static_cast<const Instruction *>(v);
-        if (!frame.returnTo) {
-            // Values defined in enclosing tasks arrive as args.
-            auto it = argMap.find(v);
-            if (it != argMap.end())
-                return it->second;
-        }
-        return frame.regs[inst->id()];
-      }
+      case Value::Kind::Instruction:
+        // Values defined in enclosing tasks were marshaled straight
+        // into the task frame's registers by start(); ids are
+        // function-wide, so they never collide with instructions the
+        // task itself executes.
+        return frame.regs[static_cast<const Instruction *>(v)->id()];
       default:
         tapas_panic("unexpected operand kind in TXU");
     }
@@ -83,19 +105,20 @@ InstanceExec::enterBlock(Frame &frame, const BasicBlock *bb,
     frame.prev = frame.bb;
     frame.bb = bb;
     frame.nst.assign(bb->size(), NodeState{});
+    frame.fresh = true; // nodes fireable before any timer expires
 
     // Phis are wires out of the instance's registers: resolve all of
     // them in parallel at block entry, zero cost.
     auto phis = bb->phis();
     if (!phis.empty()) {
         tapas_assert(frame.prev, "phi in a task/function entry block");
-        std::vector<RtValue> vals;
-        vals.reserve(phis.size());
+        phiScratch.clear();
+        phiScratch.reserve(phis.size());
         for (ir::PhiInst *phi : phis)
-            vals.push_back(
+            phiScratch.push_back(
                 evalOperand(frame, phi->incomingFor(frame.prev)));
         for (size_t i = 0; i < phis.size(); ++i) {
-            frame.regs[phis[i]->id()] = vals[i];
+            frame.regs[phis[i]->id()] = phiScratch[i];
             frame.nst[i].phase = Phase::DoneNode;
             frame.nst[i].doneAt = now;
         }
@@ -133,7 +156,7 @@ InstanceExec::tryFire(Frame &frame, size_t idx, uint64_t now,
             auto *dep = static_cast<const Instruction *>(op);
             if (dep->parent() != frame.bb)
                 continue; // defined in an earlier block: in regs
-            if (!frame.returnTo && argMap.count(dep))
+            if (!frame.returnTo && argInstMark[dep->id()])
                 continue; // parent-task value marshaled as an arg
             size_t dep_idx = dep->id() - base_id;
             if (frame.nst[dep_idx].phase != Phase::DoneNode)
@@ -141,9 +164,14 @@ InstanceExec::tryFire(Frame &frame, size_t idx, uint64_t now,
         }
     }
 
-    // One token per static function unit per cycle (II = 1).
-    if (!tile.fired.insert(inst).second)
+    // One token per static function unit per cycle (II = 1). The
+    // stamp now+1 marks "fired in cycle `now`" (0 = never), so the
+    // mark table needs no per-cycle clearing.
+    uint64_t &mark = tile.firedMark[frame.fireBase + inst->id()];
+    if (mark == now + 1)
         return false;
+    mark = now + 1;
+    ++tile.firedThisCycle;
 
     NodeState &st = frame.nst[idx];
     Opcode op = inst->opcode();
@@ -217,7 +245,8 @@ InstanceExec::tryFire(Frame &frame, size_t idx, uint64_t now,
         uint64_t addr = evalOperand(frame, ld->addr()).ptr();
         MemTicket ticket;
         if (!tile.box.submit(addr, false, now, ticket)) {
-            tile.fired.erase(inst); // no structural issue happened
+            mark = 0; // no structural issue happened
+            --tile.firedThisCycle;
             --firedNodes;
             return false;
         }
@@ -240,7 +269,8 @@ InstanceExec::tryFire(Frame &frame, size_t idx, uint64_t now,
         uint64_t addr = evalOperand(frame, sti->addr()).ptr();
         MemTicket ticket;
         if (!tile.box.submit(addr, true, now, ticket)) {
-            tile.fired.erase(inst);
+            mark = 0;
+            --tile.firedThisCycle;
             --firedNodes;
             return false;
         }
@@ -442,9 +472,66 @@ InstanceExec::pushLeafFrame(const ir::CallInst *call,
     frames.emplace_back();
     Frame &f = frames.back();
     f.func = call->callee();
+    f.fireBase = fidx.baseOf(f.func);
     f.regs.resize(f.func->numInstructions());
     f.argVals = std::move(args);
     f.returnTo = call;
+}
+
+uint64_t
+InstanceExec::nextWake(uint64_t now, const DataBox &box,
+                       bool allow_bulk) const
+{
+    uint64_t wake = kNoWake;
+    for (const Frame &frame : frames) {
+        // A block that has not had a full firing sweep yet can fire
+        // nodes next cycle with no timer involved: must tick.
+        if (!frame.bb || frame.fresh)
+            return 0;
+        for (const NodeState &st : frame.nst) {
+            switch (st.phase) {
+              case Phase::Exec:
+                wake = std::min(wake, std::max(st.doneAt, now + 1));
+                break;
+              case Phase::Mem: {
+                uint64_t c = box.completesAt(st.ticket);
+                // An unissued ticket sits in the box's issue queue;
+                // DataBox::stallWake governs that (veto or an
+                // MSHR-retire bound), so it holds no timer here.
+                if (c != 0)
+                    wake = std::min(wake, std::max(c, now + 1));
+                break;
+              }
+              case Phase::SpawnRetry:
+                if (st.nextRetryAt > now + 1) {
+                    // Fault backoff: a real timer.
+                    wake = std::min(wake, st.nextRetryAt);
+                    break;
+                }
+                // Re-presents next cycle. If this cycle's attempt
+                // was rejected by a full target queue (nextRetryAt
+                // stamped `now`, no drop streak), the rejection
+                // provably repeats each quiet cycle — entries are
+                // freed only by timed completions, which bound the
+                // skip globally — and the target unit bulk-accounts
+                // the rejects. Anything else must tick per cycle.
+                if (!allow_bulk || st.spawnDropStreak > 0 ||
+                    st.nextRetryAt != now) {
+                    return 0;
+                }
+                break;
+              case Phase::CallWait:
+                if (st.callDelivered)
+                    return 0; // consumed by the next step()
+                break;
+              default:
+                // Waiting nodes unblock only via the timers above;
+                // SyncWait / LeafCall / DoneNode hold no timer.
+                break;
+            }
+        }
+    }
+    return wake;
 }
 
 void
@@ -483,6 +570,10 @@ InstanceExec::step(uint64_t now, Tile &tile)
         enterBlock(frame, entry, now);
         return Status::Running;
     }
+
+    // This sweep gives every node of the block its firing chance, so
+    // the block no longer blocks idle-skip (see Frame::fresh).
+    frame.fresh = false;
 
     bool has_sync_wait = false;
     bool has_call_wait = false;

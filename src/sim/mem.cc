@@ -28,6 +28,8 @@ SharedCache::reset()
     for (Mshr &m : mshrs)
         m = Mshr{};
     portsUsed = 0;
+    outstanding = 0;
+    mshrAllocCycle = ~0ull;
     dramNextFree = 0;
 }
 
@@ -35,9 +37,13 @@ void
 SharedCache::beginCycle(uint64_t now)
 {
     portsUsed = 0;
+    if (outstanding == 0)
+        return;
     for (Mshr &m : mshrs) {
-        if (m.busy && m.readyAt <= now)
+        if (m.busy && m.readyAt <= now) {
             m.busy = false;
+            --outstanding;
+        }
     }
 }
 
@@ -112,6 +118,7 @@ SharedCache::request(uint64_t addr, bool is_store, uint64_t now)
     }
     if (!free_mshr) {
         ++mshrRejects;
+        res.mshrFull = true;
         emitStall(now, /*mshr_full=*/true);
         return res;
     }
@@ -151,6 +158,8 @@ SharedCache::request(uint64_t addr, bool is_store, uint64_t now)
     free_mshr->busy = true;
     free_mshr->lineAddr = line_addr;
     free_mshr->readyAt = fill_done;
+    ++outstanding;
+    mshrAllocCycle = now;
 
     res.accepted = true;
     res.completesAt = fill_done + params.hitLatency;

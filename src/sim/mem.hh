@@ -22,6 +22,7 @@
 #include "arch/params.hh"
 #include "obs/sink.hh"
 #include "sim/fault.hh"
+#include "support/logging.hh"
 #include "support/stats.hh"
 
 namespace tapas::sim {
@@ -31,6 +32,14 @@ struct CacheResult
 {
     /** False: no port or MSHR this cycle; retry later. */
     bool accepted = false;
+
+    /**
+     * Set on rejection when the cause was MSHR exhaustion (vs port
+     * contention). An MSHR-full reject repeats identically every
+     * cycle until an MSHR retires, which is what lets the idle-skip
+     * fast-forward stall spans (see DataBox::stallWake).
+     */
+    bool mshrFull = false;
 
     /** Cycle at which the data is available to the requester. */
     uint64_t completesAt = 0;
@@ -85,6 +94,8 @@ class SharedCache
     {
         if (injector)
             ++injector->memReissues;
+        if (!hasSinks)
+            return;
         for (obs::TraceSink *s : sinks)
             s->faultRecovered(now, "mem_reissue", ~0u);
     }
@@ -93,7 +104,12 @@ class SharedCache
      * Attach a trace sink to observe misses and port/MSHR stalls.
      * Usually driven by AcceleratorSim::addSink(); not owned.
      */
-    void addSink(obs::TraceSink *sink) { sinks.push_back(sink); }
+    void
+    addSink(obs::TraceSink *sink)
+    {
+        sinks.push_back(sink);
+        hasSinks = true;
+    }
 
     /** Detach a previously attached sink (no-op if absent). */
     void
@@ -102,21 +118,59 @@ class SharedCache
         for (size_t i = 0; i < sinks.size(); ++i) {
             if (sinks[i] == sink) {
                 sinks.erase(sinks.begin() + static_cast<long>(i));
-                return;
+                break;
             }
         }
+        hasSinks = !sinks.empty();
     }
+
+    /**
+     * Earliest cycle at which a busy MSHR retires (its fill lands
+     * and beginCycle frees it), or ~0 when none are busy. Idle-skip
+     * wake bound for MSHR-full stall spans.
+     */
+    uint64_t
+    nextMshrRetireAt() const
+    {
+        uint64_t wake = ~0ull;
+        if (outstanding == 0)
+            return wake;
+        for (const Mshr &m : mshrs) {
+            if (m.busy && m.readyAt < wake)
+                wake = m.readyAt;
+        }
+        return wake;
+    }
+
+    /**
+     * Cycle of the most recent MSHR allocation. A reject witnessed
+     * in a cycle that also allocated an MSHR is not a valid
+     * stall-span witness: the rejected request might merge into the
+     * new MSHR (or hit its line) on the next attempt.
+     */
+    uint64_t lastMshrAllocCycle() const { return mshrAllocCycle; }
+
+    /**
+     * Bulk-account `n` skipped cycles of one MSHR-full stall span:
+     * the span's per-cycle retry would have rejected once per cycle.
+     */
+    void bulkStallRejects(uint64_t n) { mshrRejects += n; }
 
     /** MSHRs currently tracking an in-flight miss (counter track). */
     unsigned
     outstandingMisses() const
     {
+#ifndef NDEBUG
         unsigned n = 0;
         for (const Mshr &m : mshrs) {
             if (m.busy)
                 ++n;
         }
-        return n;
+        tapas_assert(n == outstanding,
+                     "MSHR counter out of sync: counted %u, "
+                     "maintained %u", n, outstanding);
+#endif
+        return outstanding;
     }
 
     // --- statistics ---------------------------------------------------
@@ -173,6 +227,8 @@ class SharedCache
     void
     emitMiss(uint64_t now)
     {
+        if (!hasSinks)
+            return;
         for (obs::TraceSink *s : sinks)
             s->cacheMiss(now);
     }
@@ -180,6 +236,8 @@ class SharedCache
     void
     emitStall(uint64_t now, bool mshr_full)
     {
+        if (!hasSinks)
+            return;
         for (obs::TraceSink *s : sinks)
             s->cacheStall(now, mshr_full);
     }
@@ -193,8 +251,21 @@ class SharedCache
     std::vector<Line> lines;       // numSets x ways
     std::vector<Mshr> mshrs;
     unsigned portsUsed = 0;
+
+    /**
+     * Busy MSHRs, maintained incrementally (allocate / retire) so
+     * outstandingMisses() and the begin-of-cycle retire scan are
+     * O(1) when no miss is in flight; asserted against the full
+     * scan in debug builds.
+     */
+    unsigned outstanding = 0;
+
+    /** Cycle of the last MSHR allocation (stall-span witness). */
+    uint64_t mshrAllocCycle = ~0ull;
+
     uint64_t dramNextFree = 0;
     std::vector<obs::TraceSink *> sinks;
+    bool hasSinks = false; ///< cached !sinks.empty() for emit paths
 };
 
 } // namespace tapas::sim

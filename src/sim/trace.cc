@@ -27,7 +27,7 @@ TaskTracer::record(uint64_t cycle, TraceEvent::Kind kind,
 
     // Slots are reused; match each retire with the most recent spawn
     // of the same (sid, slot), exactly as a full scan would.
-    auto key = std::make_pair(sid, slot);
+    uint64_t key = spawnKey(sid, slot);
     if (kind == TraceEvent::Kind::Spawn) {
         openSpawns[key] = cycle;
     } else if (kind == TraceEvent::Kind::Retire) {
@@ -35,6 +35,8 @@ TaskTracer::record(uint64_t cycle, TraceEvent::Kind kind,
         if (it != openSpawns.end()) {
             double life = static_cast<double>(cycle - it->second);
             openSpawns.erase(it);
+            if (sid >= perSid.size())
+                perSid.resize(sid + 1);
             LifetimeAgg &agg = perSid[sid];
             agg.sum += life;
             ++agg.count;
@@ -49,8 +51,7 @@ TaskTracer::meanLifetime(unsigned sid) const
 {
     if (sid == ~0u)
         return allSids.mean();
-    auto it = perSid.find(sid);
-    return it == perSid.end() ? 0.0 : it->second.mean();
+    return sid < perSid.size() ? perSid[sid].mean() : 0.0;
 }
 
 void

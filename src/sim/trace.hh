@@ -19,7 +19,7 @@
 #include <array>
 #include <cstdint>
 #include <iosfwd>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/sink.hh"
@@ -120,12 +120,21 @@ class TaskTracer : public obs::TraceSink
         }
     };
 
+    /** Hashable (sid, slot) key for the open-spawn table. */
+    static uint64_t
+    spawnKey(unsigned sid, unsigned slot)
+    {
+        return (static_cast<uint64_t>(sid) << 32) | slot;
+    }
+
     std::vector<TraceEvent> events;
     std::array<size_t, kNumTraceKinds> kindCounts{};
 
     /** Most recent un-retired spawn cycle per (sid, slot). */
-    std::map<std::pair<unsigned, unsigned>, uint64_t> openSpawns;
-    std::map<unsigned, LifetimeAgg> perSid;
+    std::unordered_map<uint64_t, uint64_t> openSpawns;
+
+    /** Indexed by sid; grown on demand (sid space is dense). */
+    std::vector<LifetimeAgg> perSid;
     LifetimeAgg allSids;
 };
 

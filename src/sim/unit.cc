@@ -6,6 +6,8 @@
 
 #include "sim/accel.hh"
 
+#include <algorithm>
+
 namespace tapas::sim {
 
 using ir::RtValue;
@@ -15,7 +17,7 @@ TaskUnit::TaskUnit(AcceleratorSim &sim, const arch::Task &task,
                    const arch::TaskUnitParams &params,
                    SharedCache &cache)
     : stats("unit." + task.name()), sim(sim), _task(task), df(df),
-      params(params)
+      params(params), fidx(task)
 {
     tapas_assert(params.ntasks >= 1 && params.ntiles >= 1,
                  "task unit needs a queue and at least one tile");
@@ -25,7 +27,7 @@ TaskUnit::TaskUnit(AcceleratorSim &sim, const arch::Task &task,
                                   df.numMemPorts()) + 4);
     for (unsigned t = 0; t < params.ntiles; ++t) {
         tiles.push_back(std::make_unique<Tile>(
-            cache, staging, /*issue_width=*/1,
+            cache, staging, /*issue_width=*/1, fidx.slots(),
             "box." + task.name() + "." + std::to_string(t)));
     }
 }
@@ -67,15 +69,21 @@ TaskUnit::trySpawn(std::vector<RtValue> args, TaskRef parent,
             e.faultRetries = 0;
         }
         e.exec = std::make_unique<InstanceExec>(
-            sim, _task, TaskRef{_task.sid(), slot});
+            sim, _task, fidx, TaskRef{_task.sid(), slot});
         e.exec->start(std::move(args));
         readyQueue.push_back(slot);
+        ++occupied;
         ++spawnsAccepted;
         sim.emitSpawn(now, _task.sid(), slot, parent);
         sim.progressEvent();
         return SpawnOutcome::Accepted;
     }
     ++spawnRejects;
+    if (spawnRejectCycle != now) {
+        spawnRejectCycle = now;
+        spawnRejectsThisCycle = 0;
+    }
+    ++spawnRejectsThisCycle;
     sim.emitSpawnReject(now, _task.sid(), /*queue_full=*/true);
     return SpawnOutcome::Rejected;
 }
@@ -143,7 +151,7 @@ TaskUnit::verifyEntryChecksum(unsigned slot, uint64_t now)
     // Re-marshal from the golden argument copy: fresh instance, fresh
     // checksum, and the args-RAM transfer latency is paid again.
     e.exec = std::make_unique<InstanceExec>(
-        sim, _task, TaskRef{_task.sid(), slot});
+        sim, _task, fidx, TaskRef{_task.sid(), slot});
     std::vector<RtValue> args = e.savedArgs;
     e.exec->start(std::move(args));
     e.checksum = expect;
@@ -170,12 +178,16 @@ TaskUnit::beginCycle(uint64_t now)
 {
     spawnAcceptedThisCycle = false;
     dispatchedThisCycle = false;
-    FaultInjector *inj = sim.faultInjector();
-    for (auto &t : tiles) {
-        t->fired.clear();
-        if (inj && now >= t->stuckUntil && inj->stickTile()) {
-            t->stuckUntil = now + inj->config().tileStuckCycles;
-            sim.emitFault(now, "tile_stuck", _task.sid());
+    // The firing marks are generation-stamped by cycle, so there is
+    // nothing to clear per cycle — only the fired_any tally resets.
+    for (auto &t : tiles)
+        t->firedThisCycle = 0;
+    if (FaultInjector *inj = sim.faultInjector()) {
+        for (auto &t : tiles) {
+            if (now >= t->stuckUntil && inj->stickTile()) {
+                t->stuckUntil = now + inj->config().tileStuckCycles;
+                sim.emitFault(now, "tile_stuck", _task.sid());
+            }
         }
     }
 }
@@ -265,6 +277,7 @@ TaskUnit::retire(unsigned slot, uint64_t now)
     e.exec.reset();
     e.savedArgs.clear();
     e.state = EntryState::Free;
+    --occupied;
     ++instancesDone;
     sim.taskLifetime.sample(now - e.spawnedAt);
     sim.emitRetire(now, _task.sid(), slot);
@@ -294,9 +307,10 @@ TaskUnit::tick(uint64_t now)
             tile.box.tick(now);
             continue;
         }
-        // Copy: instances may retire/suspend during iteration.
-        std::vector<unsigned> slots = tile.active;
-        for (unsigned slot : slots) {
+        // Copy: instances may retire/suspend during iteration (the
+        // scratch vector is a member, so no per-cycle allocation).
+        stepScratch = tile.active;
+        for (unsigned slot : stepScratch) {
             QueueEntry &e = entries[slot];
             tapas_assert(e.state == EntryState::Exe,
                          "active slot not in EXE");
@@ -370,44 +384,77 @@ TaskUnit::noteChildSpawned(unsigned slot)
     ++e.childCount;
 }
 
-bool
-TaskUnit::idle() const
+uint64_t
+TaskUnit::nextWake(uint64_t now, bool allow_stall_bulk) const
 {
-    for (const QueueEntry &e : entries) {
-        if (e.state != EntryState::Free)
-            return false;
-    }
-    return true;
-}
+    uint64_t wake = InstanceExec::kNoWake;
 
-unsigned
-TaskUnit::occupancy() const
-{
-    unsigned n = 0;
-    for (const QueueEntry &e : entries) {
-        if (e.state != EntryState::Free)
-            ++n;
+    if (!readyQueue.empty()) {
+        const QueueEntry &e = entries[readyQueue.front()];
+        if (e.readyAt > now) {
+            // Args still streaming in; dispatch becomes possible at
+            // readyAt (a spurious wake if the tiles are full then —
+            // harmless, the tick is a no-op and skip re-engages).
+            wake = std::min(wake, e.readyAt);
+        } else {
+            // Dispatchable now. In a quiet cycle this means every
+            // tile is at capacity, but play it safe: if any tile can
+            // take it next cycle, tick normally.
+            for (const auto &t : tiles) {
+                if (t->active.size() < params.tilePipelineDepth)
+                    return 0;
+            }
+        }
     }
-    return n;
+
+    for (const auto &tile_up : tiles) {
+        const Tile &tile = *tile_up;
+        // Unissued requests churn cache/arbiter state every cycle;
+        // a witnessed MSHR-full stall span yields a retire-time
+        // bound instead of a veto (bulk-accounted on skip).
+        uint64_t bw = tile.box.stallWake(now, allow_stall_bulk);
+        if (bw == 0)
+            return 0;
+        wake = std::min(wake, bw);
+        if (tile.stuckUntil > now)
+            wake = std::min(wake, tile.stuckUntil);
+        for (unsigned slot : tile.active) {
+            uint64_t w = entries[slot].exec->nextWake(
+                now, tile.box, allow_stall_bulk);
+            if (w == 0)
+                return 0;
+            wake = std::min(wake, w);
+        }
+    }
+    return wake;
 }
 
 void
-TaskUnit::profileCycle(uint64_t now)
+TaskUnit::accountSkipped(uint64_t n, uint64_t base)
 {
-    (void)now;
-    obs::CycleProfiler *prof = sim.profiler();
-    if (!prof)
-        return;
-
-    unsigned sid = _task.sid();
-    if (occupancy() == 0) {
-        prof->note(sid, obs::CycleBucket::Idle);
-        return;
+    for (const auto &t : tiles) {
+        if (!t->active.empty())
+            tileBusyCycles += n;
+        t->box.accountSkipped(n, base);
     }
+    // Spawners rejected queue-full at `base` re-present (and are
+    // re-rejected) once per skipped cycle.
+    if (spawnRejectCycle == base)
+        spawnRejects += n * spawnRejectsThisCycle;
+    if (obs::CycleProfiler *prof = sim.profiler()) {
+        // A skipped cycle fired nothing and dispatched nothing by
+        // construction, so it classifies exactly like the quiet
+        // cycle that triggered the skip.
+        prof->note(_task.sid(), classifyCycle(/*fired_any=*/false),
+                   n);
+    }
+}
 
-    bool fired_any = dispatchedThisCycle;
-    for (const auto &t : tiles)
-        fired_any = fired_any || !t->fired.empty();
+obs::CycleBucket
+TaskUnit::classifyCycle(bool fired_any) const
+{
+    if (occupancy() == 0)
+        return obs::CycleBucket::Idle;
 
     unsigned exec_n = 0, mem_n = 0, spawn_n = 0;
     for (const QueueEntry &e : entries) {
@@ -420,15 +467,28 @@ TaskUnit::profileCycle(uint64_t now)
     // dominant blocker wins. An occupied unit with no executing
     // instance is backed up in its queue (sync / wait-call / tiles
     // full), which is the queue-pressure bucket.
-    if (fired_any || exec_n > 0) {
-        prof->note(sid, obs::CycleBucket::Busy);
-    } else if (mem_n > 0) {
-        prof->note(sid, obs::CycleBucket::StallMem);
-    } else if (spawn_n > 0) {
-        prof->note(sid, obs::CycleBucket::StallSpawn);
-    } else {
-        prof->note(sid, obs::CycleBucket::QueueFull);
-    }
+    if (fired_any || exec_n > 0)
+        return obs::CycleBucket::Busy;
+    if (mem_n > 0)
+        return obs::CycleBucket::StallMem;
+    if (spawn_n > 0)
+        return obs::CycleBucket::StallSpawn;
+    return obs::CycleBucket::QueueFull;
+}
+
+void
+TaskUnit::profileCycle(uint64_t now)
+{
+    (void)now;
+    obs::CycleProfiler *prof = sim.profiler();
+    if (!prof)
+        return;
+
+    bool fired_any = dispatchedThisCycle;
+    for (const auto &t : tiles)
+        fired_any = fired_any || t->firedThisCycle > 0;
+
+    prof->note(_task.sid(), classifyCycle(fired_any));
 }
 
 } // namespace tapas::sim

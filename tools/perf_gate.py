@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Simulation-throughput regression gate.
+
+Compares a fresh `bench/sim_throughput --json` report against the
+checked-in baseline (BENCH_simspeed.json at the repo root) row by row,
+keyed on (workload, tiles). The metric is simulated KHz — simulated
+cycles per wall-clock second — so it tracks simulator speed, not
+workload behavior. Cycle counts are also cross-checked exactly: a
+cycle drift means the simulator's *timing model* changed, which is a
+different (and worse) kind of regression than running slowly.
+
+Two thresholds, expressed as current/baseline ratios:
+
+  --warn-below R   print a warning for rows slower than R x baseline
+                   (default 0.8); never affects the exit code.
+  --fail-below R   exit 1 for rows slower than R x baseline (default
+                   1/3, catching order-of-magnitude regressions while
+                   tolerating noisy shared CI runners).
+
+Usage:
+  build/bench/sim_throughput --json current.json
+  tools/perf_gate.py --baseline BENCH_simspeed.json current.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    """Map (workload, tiles) -> row dict from a sim_throughput report."""
+    with open(path) as f:
+        doc = json.load(f)
+    rows = doc.get("rows", [])
+    if not rows:
+        sys.exit(f"error: {path} has no benchmark rows")
+    return {(r["workload"], r["tiles"]): r for r in rows}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("current", help="fresh sim_throughput --json report")
+    ap.add_argument("--baseline", default="BENCH_simspeed.json",
+                    help="checked-in baseline report (default: %(default)s)")
+    ap.add_argument("--warn-below", type=float, default=0.8, metavar="R",
+                    help="warn when sim_khz < R x baseline (default: %(default)s)")
+    ap.add_argument("--fail-below", type=float, default=1 / 3, metavar="R",
+                    help="fail when sim_khz < R x baseline (default: 1/3)")
+    args = ap.parse_args()
+
+    base = load_rows(args.baseline)
+    cur = load_rows(args.current)
+
+    failed = False
+    print(f"{'workload':<12} {'tiles':>5} {'base_khz':>10} {'cur_khz':>10} "
+          f"{'ratio':>7}  status")
+    for key, b in sorted(base.items()):
+        c = cur.get(key)
+        name = f"{key[0]} x{key[1]}"
+        if c is None:
+            print(f"  missing row for {name} in current report")
+            failed = True
+            continue
+        if c["cycles"] != b["cycles"]:
+            print(f"  CYCLE DRIFT on {name}: baseline {b['cycles']} vs "
+                  f"current {c['cycles']} — timing model changed; "
+                  "re-baseline deliberately or fix the regression")
+            failed = True
+        ratio = c["sim_khz"] / b["sim_khz"] if b["sim_khz"] else float("inf")
+        if ratio < args.fail_below:
+            status = "FAIL"
+            failed = True
+        elif ratio < args.warn_below:
+            status = "warn"
+        else:
+            status = "ok"
+        print(f"{key[0]:<12} {key[1]:>5} {b['sim_khz']:>10.1f} "
+              f"{c['sim_khz']:>10.1f} {ratio:>6.2f}x  {status}")
+
+    for key in sorted(set(cur) - set(base)):
+        print(f"  note: {key[0]} x{key[1]} present only in current report")
+
+    if failed:
+        print("perf gate: FAIL")
+        return 1
+    print("perf gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
