@@ -231,29 +231,34 @@ numberedTracePath(const std::string &path, unsigned n)
     return path.substr(0, dot) + suffix + path.substr(dot);
 }
 
-/**
- * As runAccel() but with a full engine-option override (custom
- * params, pre-passes, observer...). Applies benchRunOptions():
- * traced runs each get a distinct numbered file (safe under --jobs),
- * and --profile prints the cycle-attribution table after the run
- * verifies.
- */
-inline RunResult
-runAccelWith(workloads::Workload &w,
-             driver::AccelSimEngine::Options eo,
-             uint64_t mem_bytes = 256ull << 20)
+/** Layer the bench-wide --fault-* config into engine options. */
+inline driver::AccelSimEngine::Options
+withBenchFaults(driver::AccelSimEngine::Options eo)
 {
     if (!eo.fault && benchFaultConfig())
         eo.fault = benchFaultConfig();
-    driver::AccelSimEngine engine(std::move(eo));
-    const driver::RunOptions &obs = benchRunOptions();
-    engine.runOptions.profile = obs.profile;
-    if (!obs.traceFile.empty()) {
+    return eo;
+}
+
+/**
+ * Run `w` over an already-prepared design — the run() half of the
+ * engine's compile/run split. Applies benchRunOptions() through the
+ * explicit RunOptions overload: traced runs each get a distinct
+ * numbered file (safe under --jobs), and --profile prints the
+ * cycle-attribution table after the run verifies. fatal()s on a
+ * structured failure or a golden-model mismatch.
+ */
+inline RunResult
+runPrepared(workloads::Workload &w, driver::AccelSimEngine &engine,
+            const driver::CompiledDesign &design,
+            uint64_t mem_bytes = 256ull << 20)
+{
+    driver::RunOptions ro = benchRunOptions();
+    if (!ro.traceFile.empty()) {
         static std::atomic<unsigned> traced{0};
-        engine.runOptions.traceFile =
-            numberedTracePath(obs.traceFile, traced++);
+        ro.traceFile = numberedTracePath(ro.traceFile, traced++);
     }
-    RunResult r = engine.runWorkload(w, mem_bytes);
+    RunResult r = engine.runWorkload(w, design, mem_bytes, ro);
     if (!r.ok()) {
         tapas_fatal("bench '%s' failed (%s): %s", w.name.c_str(),
                     r.failure->kind.c_str(),
@@ -263,7 +268,7 @@ runAccelWith(workloads::Workload &w,
         tapas_fatal("bench '%s' failed verification: %s",
                     w.name.c_str(), r.verifyError.c_str());
     }
-    if (obs.profile) {
+    if (ro.profile) {
         // Sweeps print from worker threads; keep reports whole.
         static std::mutex mu;
         std::lock_guard<std::mutex> lock(mu);
@@ -271,6 +276,22 @@ runAccelWith(workloads::Workload &w,
                   << r.profileReport;
     }
     return r;
+}
+
+/**
+ * As runAccel() but with a full engine-option override (custom
+ * params, pre-passes, observer...). Compiles once via
+ * AccelSimEngine::prepare(), then runs the prepared design through
+ * runPrepared() above.
+ */
+inline RunResult
+runAccelWith(workloads::Workload &w,
+             driver::AccelSimEngine::Options eo,
+             uint64_t mem_bytes = 256ull << 20)
+{
+    driver::AccelSimEngine engine(withBenchFaults(std::move(eo)));
+    driver::CompiledDesign design = engine.prepare(w);
+    return runPrepared(w, engine, design, mem_bytes);
 }
 
 /**

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Design-space exploration driver: search the Stage-3 parameter
+ * space (worker tiles, task-queue entries, unroll factor, opt
+ * passes) for the best accelerator configurations of three paper
+ * workloads on the Cyclone V, using the dse/ subsystem — analytic
+ * pruning against the device budget, a shared compile-once
+ * DesignCache, and sweep fan-out that is byte-identical for any
+ * --jobs value (the JSON export is diffable across worker counts).
+ *
+ * Flags on top of the common bench CLI:
+ *
+ *   --bench NAME      explore one space (saxpy | fib | dedup);
+ *                     default: all three
+ *   --strategy S      grid (exhaustive) or halving (greedy
+ *                     successive halving; default grid)
+ *   --rungs N         workload sizes available to halving; the final
+ *                     rung is the full-size instance (default 3)
+ */
+
+#include "bench/common.hh"
+#include "dse/dse.hh"
+
+using namespace tapas;
+using namespace tapas::bench;
+
+namespace {
+
+/** One explorable workload family and its candidate space. */
+struct SpaceEntry
+{
+    const char *name;
+    dse::WorkloadFactory factory;
+    dse::ParamSpace space;
+};
+
+/**
+ * The three spaces. Each factory scales its instance with the rung
+ * index (rung rungs-1 = full size) so successive halving can rank on
+ * cheap instances; the grid only ever builds the final rung.
+ */
+std::vector<SpaceEntry>
+makeSpaces()
+{
+    std::vector<SpaceEntry> spaces;
+    {
+        // Bandwidth-bound loop: tiles beyond the shared-cache
+        // saturation point buy ALMs, not cycles — a real frontier.
+        SpaceEntry e;
+        e.name = "saxpy";
+        e.factory = [](unsigned rung) {
+            return workloads::makeSaxpy(512u << rung);
+        };
+        e.space.tiles = {1, 2, 4, 8};
+        e.space.ntasks = {16, 32};
+        e.space.unrollFactors = {0, 2};
+        e.space.optPasses = {false, true};
+        spaces.push_back(std::move(e));
+    }
+    {
+        // Recursive spawn tree: queue sizing dominates; undersized
+        // queues deadlock and exercise the failure path.
+        SpaceEntry e;
+        e.name = "fib";
+        e.factory = [](unsigned rung) {
+            return workloads::makeFib(8 + 2 * rung);
+        };
+        e.space.tiles = {1, 2, 4};
+        e.space.ntasks = {256, 1024, 2048};
+        spaces.push_back(std::move(e));
+    }
+    {
+        // Balanced dynamic pipeline: mostly flat in tiles, so the
+        // frontier collapses toward the cheapest configuration.
+        SpaceEntry e;
+        e.name = "dedup";
+        e.factory = [](unsigned rung) {
+            return workloads::makeDedup(16u << rung, 128);
+        };
+        e.space.tiles = {1, 2, 4};
+        e.space.ntasks = {16, 32};
+        spaces.push_back(std::move(e));
+    }
+    return spaces;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Peel the dse-specific flags off before the common parser
+    // (which fatal()s on flags it does not know).
+    std::string bench_filter;
+    dse::Strategy strategy = dse::Strategy::ExhaustiveGrid;
+    unsigned rungs = 3;
+    std::vector<char *> fwd{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                tapas_fatal("option '%s' expects an argument",
+                            a.c_str());
+            return argv[i];
+        };
+        if (a == "--bench") {
+            bench_filter = next();
+        } else if (a == "--strategy") {
+            std::string s = next();
+            auto parsed = dse::strategyFromName(s);
+            if (!parsed) {
+                tapas_fatal("--strategy expects 'grid' or "
+                            "'halving', got '%s'", s.c_str());
+            }
+            strategy = *parsed;
+        } else if (a == "--rungs") {
+            rungs = parseUnsigned(a, next());
+            if (rungs == 0)
+                tapas_fatal("--rungs expects at least 1");
+        } else if (a == "--help" || a == "-h") {
+            std::cout << "usage: " << argv[0]
+                      << " [--bench saxpy|fib|dedup]"
+                         " [--strategy grid|halving] [--rungs N]\n"
+                         "       [--jobs N] [--json PATH]\n";
+            return 0;
+        } else {
+            fwd.push_back(argv[i]);
+        }
+    }
+    BenchOptions opt =
+        parseBenchArgs(static_cast<int>(fwd.size()), fwd.data());
+    banner("DSE", "design-space exploration with compile-once "
+                  "design caching (Cyclone V)");
+
+    std::vector<SpaceEntry> spaces = makeSpaces();
+    if (!bench_filter.empty()) {
+        bool known = false;
+        for (const SpaceEntry &e : spaces)
+            known |= bench_filter == e.name;
+        if (!known) {
+            tapas_fatal("--bench: unknown space '%s' (saxpy, fib, "
+                        "dedup)", bench_filter.c_str());
+        }
+    }
+
+    // One cache across every exploration: identical (module, params,
+    // device) compiles — e.g. shared rungs between strategies — are
+    // paid for once. explore() reports per-exploration deltas.
+    dse::DesignCache cache;
+
+    Json doc = experimentJson("dse_explore");
+    Json rows = Json::array();
+    for (SpaceEntry &e : spaces) {
+        if (!bench_filter.empty() && bench_filter != e.name)
+            continue;
+
+        dse::ExploreOptions xopts;
+        xopts.device = fpga::Device::cycloneV();
+        xopts.jobs = opt.jobs;
+        xopts.strategy = strategy;
+        xopts.rungs = rungs;
+        xopts.cache = &cache;
+
+        std::cout << e.name << ": " << e.space.size()
+                  << " configurations, strategy "
+                  << dse::strategyName(strategy) << "\n\n";
+        dse::ExploreResult xr =
+            dse::explore(e.factory, e.space, xopts);
+        dse::printReport(xr, std::cout);
+        std::cout << "\n";
+        rows.push(dse::toJson(xr));
+    }
+    doc.set("rows", std::move(rows));
+    maybeWriteJson(opt, doc);
+    return 0;
+}

@@ -39,11 +39,8 @@ uint64_t
 sumStats(const RunResult &r, std::initializer_list<const char *> keys)
 {
     double total = 0;
-    for (const char *k : keys) {
-        auto it = r.stats.find(k);
-        if (it != r.stats.end())
-            total += it->second;
-    }
+    for (const char *k : keys)
+        total += r.statOr(k, 0);
     return static_cast<uint64_t>(total);
 }
 

@@ -35,7 +35,15 @@ main(int argc, char **argv)
         for (unsigned tiles = 1; tiles <= 5; ++tiles) {
             sweep.add([kN, adders, tiles, dev] {
                 auto w = workloads::makeSpawnScale(kN, adders);
-                return runAccel(w, tiles, dev);
+                // Compile once per configuration; the run reuses the
+                // prepared design (engine compile/run split).
+                driver::AccelSimEngine::Options eo;
+                eo.device = dev;
+                eo.tiles = tiles;
+                driver::AccelSimEngine engine(
+                    withBenchFaults(std::move(eo)));
+                driver::CompiledDesign design = engine.prepare(w);
+                return runPrepared(w, engine, design);
             });
         }
     }

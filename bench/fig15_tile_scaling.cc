@@ -27,7 +27,16 @@ main(int argc, char **argv)
         for (unsigned tiles : tile_counts) {
             sweep.add([entry, tiles] {
                 auto w = entry.make();
-                return runAccel(w, tiles, fpga::Device::cycloneV());
+                // Compile exactly once per configuration, then run
+                // the prepared design (the engine's compile/run
+                // split); any repeated run reuses the same design.
+                driver::AccelSimEngine::Options eo;
+                eo.device = fpga::Device::cycloneV();
+                eo.tiles = tiles;
+                driver::AccelSimEngine engine(
+                    withBenchFaults(std::move(eo)));
+                driver::CompiledDesign design = engine.prepare(w);
+                return runPrepared(w, engine, design);
             });
         }
     }

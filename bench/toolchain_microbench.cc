@@ -12,6 +12,7 @@
 
 #include "driver/engine.hh"
 #include "driver/jobrunner.hh"
+#include "dse/design_cache.hh"
 #include "hls/compile.hh"
 #include "hls/task_extract.hh"
 #include "ir/printer.hh"
@@ -99,23 +100,42 @@ void
 BM_AccelSimThroughput(benchmark::State &state)
 {
     auto w = workloads::makeSaxpy(1024);
-    auto design = hls::compile(*w.module, w.top, w.params);
-    // Reuse the compiled design across iterations so the benchmark
-    // measures simulation, not compilation.
-    driver::AccelSimEngine::Options eo;
-    eo.design = design.get();
-    driver::AccelSimEngine eng(std::move(eo));
+    // Prepare the design once (the compile/run split) so the
+    // benchmark measures simulation, not compilation.
+    driver::AccelSimEngine eng;
+    driver::CompiledDesign design = eng.prepare(w);
     uint64_t cycles = 0;
     for (auto _ : state) {
         ir::MemImage mem(32 << 20);
         auto args = w.setup(mem);
-        driver::RunResult r = eng.run(*w.module, *w.top, args, mem);
+        driver::RunResult r = eng.run(design, args, mem);
         cycles += r.cycles;
     }
     state.counters["sim_cycles/s"] = benchmark::Counter(
         static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_AccelSimThroughput);
+
+void
+BM_PreparedCompileCached(benchmark::State &state)
+{
+    // The DSE cache's steady state: every lookup after the first is
+    // a hit returning the shared CompiledDesign.
+    auto w = workloads::makeSaxpy(256);
+    const std::string text = ir::toString(*w.module);
+    hls::CompileOptions copts;
+    copts.params = w.params;
+    const fpga::Device dev = fpga::Device::cycloneV();
+    dse::DesignCache cache;
+    cache.get(text, w.top->name(), copts, dev);
+    for (auto _ : state) {
+        auto look = cache.get(text, w.top->name(), copts, dev);
+        benchmark::DoNotOptimize(look.hit);
+    }
+    state.counters["hits"] =
+        static_cast<double>(cache.hits());
+}
+BENCHMARK(BM_PreparedCompileCached);
 
 void
 BM_SweepFanout(benchmark::State &state)

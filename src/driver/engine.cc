@@ -4,6 +4,8 @@
 #include <fstream>
 #include <iostream>
 
+#include "ir/parser.hh"
+#include "ir/printer.hh"
 #include "obs/perfetto.hh"
 #include "obs/profiler.hh"
 #include "support/logging.hh"
@@ -19,6 +21,13 @@ RunResult::stat(const std::string &name) const
     return it->second;
 }
 
+double
+RunResult::statOr(const std::string &name, double fallback) const
+{
+    auto it = stats.find(name);
+    return it == stats.end() ? fallback : it->second;
+}
+
 bool
 RunResult::equals(const RunResult &o) const
 {
@@ -29,13 +38,50 @@ RunResult::equals(const RunResult &o) const
            profileReport == o.profileReport && failure == o.failure;
 }
 
+const hls::AcceleratorDesign &
+CompiledDesign::get() const
+{
+    if (!design)
+        tapas_fatal("CompiledDesign holds no design");
+    return *design;
+}
+
+CompiledDesign
+compileDesign(const std::string &module_text, const std::string &top,
+              const hls::CompileOptions &copts,
+              const fpga::Device &dev)
+{
+    std::shared_ptr<ir::Module> clone =
+        ir::parseModuleOrDie(module_text);
+    ir::Function *top_fn = clone->functionByName(top);
+    if (!top_fn)
+        tapas_fatal("compileDesign: no function '@%s'", top.c_str());
+
+    CompiledDesign cd;
+    cd.design = hls::compile(*clone, top_fn, copts);
+    cd.module = std::move(clone);
+    cd.params = cd.design->params;
+    cd.device = dev;
+    cd.report = fpga::estimateResources(*cd.design, dev);
+    return cd;
+}
+
+CompiledDesign
+compileDesign(const ir::Module &mod, const std::string &top,
+              const hls::CompileOptions &copts,
+              const fpga::Device &dev)
+{
+    return compileDesign(ir::toString(mod), top, copts, dev);
+}
+
 RunResult
-Engine::runWorkload(workloads::Workload &w, uint64_t mem_bytes)
+Engine::runWorkload(workloads::Workload &w, uint64_t mem_bytes,
+                    const RunOptions &ro)
 {
     ir::MemImage mem(mem_bytes);
     std::vector<ir::RtValue> args = w.setup(mem);
     bindWorkload(w);
-    RunResult r = run(*w.module, *w.top, args, mem);
+    RunResult r = run(*w.module, *w.top, args, mem, ro);
     // A failed run produced no output; verifying the image would only
     // bury the real diagnostic under a spurious mismatch.
     if (r.ok())
@@ -46,8 +92,9 @@ Engine::runWorkload(workloads::Workload &w, uint64_t mem_bytes)
 RunResult
 InterpEngine::run(ir::Module &mod, ir::Function &top,
                   const std::vector<ir::RtValue> &args,
-                  ir::MemImage &mem)
+                  ir::MemImage &mem, const RunOptions &ro)
 {
+    (void)ro; // no observability layer on the interpreter
     ir::Interp interp(mod, mem, opts);
     RunResult r;
     r.retval = interp.run(top, args);
@@ -66,28 +113,80 @@ AccelSimEngine::bindWorkload(const workloads::Workload &w)
     workloadParams = w.params;
 }
 
+hls::CompileOptions
+AccelSimEngine::compileOptions() const
+{
+    hls::CompileOptions co;
+    co.params = opts.params
+                    ? *opts.params
+                    : workloadParams.value_or(
+                          arch::AcceleratorParams());
+    if (opts.tiles)
+        co.params.setAllTiles(*opts.tiles);
+    co.runOptPasses = opts.runOptPasses;
+    co.unrollFactor = opts.unrollFactor;
+    return co;
+}
+
+CompiledDesign
+AccelSimEngine::prepare(const ir::Module &mod,
+                        const ir::Function &top) const
+{
+    return compileDesign(mod, top.name(), compileOptions(),
+                         opts.device);
+}
+
+CompiledDesign
+AccelSimEngine::prepare(const workloads::Workload &w)
+{
+    bindWorkload(w);
+    return prepare(*w.module, *w.top);
+}
+
 RunResult
 AccelSimEngine::run(ir::Module &mod, ir::Function &top,
                     const std::vector<ir::RtValue> &args,
-                    ir::MemImage &mem)
+                    ir::MemImage &mem, const RunOptions &ro)
 {
-    std::unique_ptr<hls::AcceleratorDesign> owned;
-    const hls::AcceleratorDesign *design = opts.design;
-    if (!design) {
-        hls::CompileOptions co;
-        co.params = opts.params
-                        ? *opts.params
-                        : workloadParams.value_or(
-                              arch::AcceleratorParams());
-        if (opts.tiles)
-            co.params.setAllTiles(*opts.tiles);
-        co.runOptPasses = opts.runOptPasses;
-        co.unrollFactor = opts.unrollFactor;
-        owned = hls::compile(mod, &top, co);
-        design = owned.get();
-    }
+    if (opts.design)
+        return run(*opts.design, args, mem, ro);
 
-    sim::AcceleratorSim accel(*design, mem);
+    hls::CompileOptions co = compileOptions();
+    std::unique_ptr<hls::AcceleratorDesign> owned =
+        hls::compile(mod, &top, co);
+    fpga::ResourceReport rep =
+        fpga::estimateResources(*owned, opts.device);
+    return simulate(*owned, rep, args, mem, ro);
+}
+
+RunResult
+AccelSimEngine::run(const CompiledDesign &design,
+                    const std::vector<ir::RtValue> &args,
+                    ir::MemImage &mem, const RunOptions &ro)
+{
+    return simulate(design.get(), design.report, args, mem, ro);
+}
+
+RunResult
+AccelSimEngine::runWorkload(workloads::Workload &w,
+                            const CompiledDesign &design,
+                            uint64_t mem_bytes, const RunOptions &ro)
+{
+    ir::MemImage mem(mem_bytes);
+    std::vector<ir::RtValue> args = w.setup(mem);
+    RunResult r = run(design, args, mem, ro);
+    if (r.ok())
+        r.verifyError = w.verify(mem, r.retval);
+    return r;
+}
+
+RunResult
+AccelSimEngine::simulate(const hls::AcceleratorDesign &design,
+                         const fpga::ResourceReport &report,
+                         const std::vector<ir::RtValue> &args,
+                         ir::MemImage &mem, const RunOptions &ro)
+{
+    sim::AcceleratorSim accel(design, mem);
     if (opts.tracer)
         accel.setTracer(opts.tracer);
     if (opts.maxCycles)
@@ -103,29 +202,29 @@ AccelSimEngine::run(ir::Module &mod, ir::Function &top,
     }
 
     obs::PerfettoTraceSink perfetto;
-    if (!runOptions.traceFile.empty())
+    if (!ro.traceFile.empty())
         accel.addSink(&perfetto);
     obs::CycleProfiler profiler;
-    if (runOptions.profile)
+    if (ro.profile)
         accel.setProfiler(&profiler);
 
     RunResult r;
     r.retval = accel.run(args);
 
-    if (!runOptions.traceFile.empty()) {
+    if (!ro.traceFile.empty()) {
         accel.removeSink(&perfetto);
-        if (runOptions.traceFile == "-") {
+        if (ro.traceFile == "-") {
             perfetto.write(std::cout);
         } else {
-            std::ofstream os(runOptions.traceFile);
+            std::ofstream os(ro.traceFile);
             if (!os) {
                 tapas_fatal("cannot write trace file '%s'",
-                            runOptions.traceFile.c_str());
+                            ro.traceFile.c_str());
             }
             perfetto.write(os);
         }
     }
-    if (runOptions.profile) {
+    if (ro.profile) {
         accel.setProfiler(nullptr);
         r.profileReport = profiler.reportString();
         profiler.appendTo(r.stats);
@@ -144,31 +243,30 @@ AccelSimEngine::run(ir::Module &mod, ir::Function &top,
     if (injector && opts.fault->any())
         injector->stats.appendTo(r.stats);
 
-    fpga::ResourceReport rep =
-        fpga::estimateResources(*design, opts.device);
-    r.seconds = accel.seconds(rep.fmaxMhz);
-    r.stats["alms"] = rep.alms;
-    r.stats["regs"] = rep.regs;
-    r.stats["brams"] = rep.brams;
-    r.stats["fmax_mhz"] = rep.fmaxMhz;
-    r.stats["power_w"] = rep.powerW;
-    r.stats["utilization"] = rep.utilization;
+    r.seconds = accel.seconds(report.fmaxMhz);
+    r.stats["alms"] = report.alms;
+    r.stats["regs"] = report.regs;
+    r.stats["brams"] = report.brams;
+    r.stats["fmax_mhz"] = report.fmaxMhz;
+    r.stats["power_w"] = report.powerW;
+    r.stats["utilization"] = report.utilization;
 
     accel.stats.appendTo(r.stats);
     accel.cacheModel().stats.appendTo(r.stats);
-    for (const auto &task : design->taskGraph->tasks())
+    for (const auto &task : design.taskGraph->tasks())
         accel.unit(task->sid()).stats.appendTo(r.stats);
 
     if (opts.observer)
-        opts.observer(*design, accel);
+        opts.observer(design, accel);
     return r;
 }
 
 RunResult
 CpuSimEngine::run(ir::Module &mod, ir::Function &top,
                   const std::vector<ir::RtValue> &args,
-                  ir::MemImage &mem)
+                  ir::MemImage &mem, const RunOptions &ro)
 {
+    (void)ro; // no observability layer on the CPU model
     cpu::CpuRunResult c = cpu::runOnCpu(mod, top, args, mem, params);
     RunResult r;
     r.cycles = static_cast<uint64_t>(std::llround(c.cycles));

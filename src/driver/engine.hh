@@ -13,6 +13,12 @@
  * (jobrunner.hh) can fan runs out across threads; driver_test.cc
  * verifies that concurrent runs over separate images do not
  * interfere.
+ *
+ * Compilation and execution are split: AccelSimEngine::prepare()
+ * runs the toolchain once and returns an owning CompiledDesign that
+ * run()/runWorkload() accept and reuse across any number of runs.
+ * The design-space explorer (dse/) builds its compile-once cache on
+ * top of this split.
  */
 
 #ifndef TAPAS_DRIVER_ENGINE_HH
@@ -20,6 +26,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -116,9 +123,74 @@ struct RunResult
     /** Look up a named metric; fatal()s when absent. */
     double stat(const std::string &name) const;
 
+    /**
+     * Look up a named metric that may legitimately be absent (e.g.
+     * fault.* stats on a run without injection); returns `fallback`
+     * instead of fatal()ing.
+     */
+    double statOr(const std::string &name, double fallback) const;
+
     /** Bitwise equality, stats included (determinism tests). */
     bool equals(const RunResult &o) const;
 };
+
+/**
+ * One fully compiled accelerator design, owning everything a run
+ * needs: the module clone the design points into, the Stage-3 bound
+ * parameters, and the analytic resource report for the device it was
+ * prepared against. Produced by AccelSimEngine::prepare() or
+ * compileDesign(); consumed by the run()/runWorkload() overloads.
+ *
+ * The payload is immutable after construction and held by shared_ptr,
+ * so a CompiledDesign is cheap to copy and safe to reuse from many
+ * threads at once — the property the design cache (dse/) and the
+ * compile-once bench harnesses rely on. Repeated runs of one
+ * CompiledDesign are byte-identical (dse_test.cc pins this).
+ */
+struct CompiledDesign
+{
+    /** Owning clone of the source module (post pre-passes). */
+    std::shared_ptr<const ir::Module> module;
+
+    /** The compiled design; points into `module`. */
+    std::shared_ptr<const hls::AcceleratorDesign> design;
+
+    /** Stage-3 bound parameters (== design->params). */
+    arch::AcceleratorParams params;
+
+    /** Device the resource report was estimated for. */
+    fpga::Device device;
+
+    /** Analytic resource/Fmax/power estimate on `device`. */
+    fpga::ResourceReport report;
+
+    /** Holds a design (default-constructed instances do not). */
+    bool valid() const { return design != nullptr; }
+
+    /** The wrapped design; fatal()s when invalid. */
+    const hls::AcceleratorDesign &get() const;
+};
+
+/**
+ * Run the toolchain on a standalone module-text clone and wrap the
+ * result: parse `module_text`, apply the pre-passes in `copts`,
+ * compile `top`, and estimate resources on `dev`. The caller's
+ * modules are untouched — the returned design owns its own clone.
+ *
+ * This is the content-addressed compile entry point: byte-identical
+ * (module_text, top, copts, dev) inputs yield interchangeable
+ * designs, which is what lets dse::DesignCache memoize compiles.
+ */
+CompiledDesign compileDesign(const std::string &module_text,
+                             const std::string &top,
+                             const hls::CompileOptions &copts,
+                             const fpga::Device &dev);
+
+/** As above, from an in-memory module (printed, then cloned). */
+CompiledDesign compileDesign(const ir::Module &mod,
+                             const std::string &top,
+                             const hls::CompileOptions &copts,
+                             const fpga::Device &dev);
 
 /** Abstract execution engine. */
 class Engine
@@ -130,20 +202,35 @@ class Engine
     virtual std::string name() const = 0;
 
     /**
-     * Observability knobs applied to every run() of this engine
-     * (tracing, profiling). Engines that cannot honor them ignore
-     * them; see RunOptions.
+     * Default observability knobs, applied by the overloads that do
+     * not take an explicit RunOptions. Kept for callers that
+     * configure an engine once and run it many times; new code
+     * should prefer passing RunOptions per run.
      */
     RunOptions runOptions;
 
     /**
      * Execute `top` with `args` over `mem`. `mem` must already hold
      * the program's globals/inputs (MemImage::layout or a workload
-     * setup). Engines with pre-passes may mutate `mod`.
+     * setup). Engines with pre-passes may mutate `mod`. Routes
+     * through the RunOptions overload with this engine's runOptions.
+     */
+    RunResult
+    run(ir::Module &mod, ir::Function &top,
+        const std::vector<ir::RtValue> &args, ir::MemImage &mem)
+    {
+        return run(mod, top, args, mem, runOptions);
+    }
+
+    /**
+     * As run() above, with explicit per-run observability options
+     * (tracing, profiling). Engines that cannot honor them ignore
+     * them; see RunOptions.
      */
     virtual RunResult run(ir::Module &mod, ir::Function &top,
                           const std::vector<ir::RtValue> &args,
-                          ir::MemImage &mem) = 0;
+                          ir::MemImage &mem,
+                          const RunOptions &ro) = 0;
 
     /**
      * Run a workload end to end: fresh image, Workload::setup, the
@@ -153,8 +240,16 @@ class Engine
      * @param w workload (its module may be mutated by pre-passes)
      * @param mem_bytes memory-image size for the run
      */
-    RunResult runWorkload(workloads::Workload &w,
-                          uint64_t mem_bytes = 256ull << 20);
+    RunResult
+    runWorkload(workloads::Workload &w,
+                uint64_t mem_bytes = 256ull << 20)
+    {
+        return runWorkload(w, mem_bytes, runOptions);
+    }
+
+    /** As runWorkload() with explicit per-run observability. */
+    RunResult runWorkload(workloads::Workload &w, uint64_t mem_bytes,
+                          const RunOptions &ro);
 
   protected:
     /**
@@ -178,9 +273,11 @@ class InterpEngine : public Engine
 
     std::string name() const override { return "interp"; }
 
+    using Engine::run;
+
     RunResult run(ir::Module &mod, ir::Function &top,
                   const std::vector<ir::RtValue> &args,
-                  ir::MemImage &mem) override;
+                  ir::MemImage &mem, const RunOptions &ro) override;
 
   private:
     ir::Interp::Options opts;
@@ -215,11 +312,12 @@ class AccelSimEngine : public Engine
         unsigned unrollFactor = 0;
 
         /**
-         * Simulate this pre-compiled design instead of compiling
-         * (params/tiles/pre-pass options are then ignored). Not
-         * owned; must outlive the engine's runs.
+         * Simulate this prepared design instead of compiling
+         * (params/tiles/pre-pass options are then ignored). Owning —
+         * the engine shares the design's immutable payload, so the
+         * producer (prepare(), a DesignCache) may go away.
          */
-        const hls::AcceleratorDesign *design = nullptr;
+        std::optional<CompiledDesign> design;
 
         /** Optional task-lifetime tracer (not owned). */
         sim::TaskTracer *tracer = nullptr;
@@ -263,14 +361,75 @@ class AccelSimEngine : public Engine
 
     std::string name() const override { return "accel"; }
 
+    using Engine::run;
+    using Engine::runWorkload;
+
     RunResult run(ir::Module &mod, ir::Function &top,
                   const std::vector<ir::RtValue> &args,
-                  ir::MemImage &mem) override;
+                  ir::MemImage &mem, const RunOptions &ro) override;
+
+    /**
+     * Compile once, run many: run the toolchain with this engine's
+     * options (params/tiles/pre-passes/device) on a clone of `mod`
+     * and return the owning design. The caller's module is never
+     * mutated — unlike run(), whose enabled pre-passes rewrite the
+     * module they are handed.
+     */
+    CompiledDesign prepare(const ir::Module &mod,
+                           const ir::Function &top) const;
+
+    /**
+     * As prepare(mod, top), taking Stage-3 defaults from the
+     * workload's parameter preset exactly as runWorkload() does.
+     */
+    CompiledDesign prepare(const workloads::Workload &w);
+
+    /** Simulate a prepared design (engine runOptions apply). */
+    RunResult
+    run(const CompiledDesign &design,
+        const std::vector<ir::RtValue> &args, ir::MemImage &mem)
+    {
+        return run(design, args, mem, runOptions);
+    }
+
+    /** Simulate a prepared design with explicit observability. */
+    RunResult run(const CompiledDesign &design,
+                  const std::vector<ir::RtValue> &args,
+                  ir::MemImage &mem, const RunOptions &ro);
+
+    /**
+     * Workload end-to-end over a prepared design: fresh image,
+     * Workload::setup, simulate `design`, Workload::verify. The
+     * design must have been prepared from this workload's module
+     * (prepare(w)) or an identically printed one — the image layout
+     * is derived from `w.module`, which is only interchangeable with
+     * the design's owned clone when the two print identically.
+     */
+    RunResult
+    runWorkload(workloads::Workload &w, const CompiledDesign &design,
+                uint64_t mem_bytes = 256ull << 20)
+    {
+        return runWorkload(w, design, mem_bytes, runOptions);
+    }
+
+    /** As above with explicit per-run observability. */
+    RunResult runWorkload(workloads::Workload &w,
+                          const CompiledDesign &design,
+                          uint64_t mem_bytes, const RunOptions &ro);
 
   protected:
     void bindWorkload(const workloads::Workload &w) override;
 
   private:
+    /** Engine options -> toolchain options (shared compile path). */
+    hls::CompileOptions compileOptions() const;
+
+    /** Simulate `design` and assemble the RunResult. */
+    RunResult simulate(const hls::AcceleratorDesign &design,
+                       const fpga::ResourceReport &report,
+                       const std::vector<ir::RtValue> &args,
+                       ir::MemImage &mem, const RunOptions &ro);
+
     Options opts;
     std::optional<arch::AcceleratorParams> workloadParams;
 };
@@ -285,9 +444,11 @@ class CpuSimEngine : public Engine
 
     std::string name() const override { return "cpu"; }
 
+    using Engine::run;
+
     RunResult run(ir::Module &mod, ir::Function &top,
                   const std::vector<ir::RtValue> &args,
-                  ir::MemImage &mem) override;
+                  ir::MemImage &mem, const RunOptions &ro) override;
 
   private:
     cpu::CpuParams params;

@@ -1,0 +1,431 @@
+#include "dse/dse.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <ostream>
+
+#include "driver/jobrunner.hh"
+#include "ir/printer.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+
+namespace tapas::dse {
+
+size_t
+ParamSpace::size() const
+{
+    return tiles.size() * ntasks.size() * pipelineDepths.size() *
+           unrollFactors.size() * optPasses.size();
+}
+
+std::string
+Config::label() const
+{
+    std::string s = strfmt("t%u.q%u.p%u.u%u", tiles, ntasks,
+                           pipelineDepth, unrollFactor);
+    if (optPasses)
+        s += ".opt";
+    return s;
+}
+
+hls::CompileOptions
+Config::compileOptions(const arch::AcceleratorParams &base) const
+{
+    hls::CompileOptions co;
+    co.params = base;
+    co.params.defaults.ntasks = ntasks;
+    co.params.defaults.ntiles = tiles;
+    co.params.defaults.tilePipelineDepth = pipelineDepth;
+    for (auto &[sid, p] : co.params.perTask) {
+        p.ntasks = ntasks;
+        p.ntiles = tiles;
+        p.tilePipelineDepth = pipelineDepth;
+    }
+    co.runOptPasses = optPasses;
+    co.unrollFactor = unrollFactor;
+    return co;
+}
+
+std::vector<Config>
+enumerate(const ParamSpace &space)
+{
+    std::vector<Config> configs;
+    configs.reserve(space.size());
+    for (unsigned t : space.tiles) {
+        for (unsigned q : space.ntasks) {
+            for (unsigned d : space.pipelineDepths) {
+                for (unsigned u : space.unrollFactors) {
+                    for (bool o : space.optPasses) {
+                        Config c;
+                        c.tiles = t;
+                        c.ntasks = q;
+                        c.pipelineDepth = d;
+                        c.unrollFactor = u;
+                        c.optPasses = o;
+                        configs.push_back(c);
+                    }
+                }
+            }
+        }
+    }
+    return configs;
+}
+
+const char *
+strategyName(Strategy s)
+{
+    switch (s) {
+      case Strategy::ExhaustiveGrid:
+        return "grid";
+      case Strategy::SuccessiveHalving:
+        return "halving";
+    }
+    return "unknown";
+}
+
+std::optional<Strategy>
+strategyFromName(const std::string &name)
+{
+    if (name == "grid")
+        return Strategy::ExhaustiveGrid;
+    if (name == "halving")
+        return Strategy::SuccessiveHalving;
+    return std::nullopt;
+}
+
+namespace {
+
+/** One sweep job's outcome for one (config, rung). */
+struct Eval
+{
+    std::string workloadName;
+    std::string keyId;
+    fpga::ResourceReport report;
+    bool pruned = false;
+    bool simulated = false;
+    driver::RunResult result;
+};
+
+Eval
+evalOne(const WorkloadFactory &make, unsigned rung,
+        const Config &cfg, const ExploreOptions &opts,
+        DesignCache &cache)
+{
+    workloads::Workload w = make(rung);
+    hls::CompileOptions co = cfg.compileOptions(w.params);
+    std::string text = ir::toString(*w.module);
+
+    DesignCache::Lookup look =
+        cache.get(text, w.top->name(), co, opts.device);
+
+    Eval e;
+    e.workloadName = w.name;
+    e.keyId = look.keyId;
+    e.report = look.design.report;
+
+    // Analytic-model pruning: over the device's budget means the
+    // design cannot be placed, so a simulation would only cost time.
+    if (e.report.alms > opts.device.totalAlms ||
+        e.report.brams > opts.device.totalM20k) {
+        e.pruned = true;
+        return e;
+    }
+
+    driver::AccelSimEngine::Options eo;
+    eo.device = opts.device;
+    eo.watchdogCycles = opts.watchdogCycles;
+    driver::AccelSimEngine engine(std::move(eo));
+    e.result = engine.runWorkload(w, look.design, opts.memBytes);
+    e.simulated = true;
+    return e;
+}
+
+/**
+ * Successive-halving rank: completed runs by ascending cycles, then
+ * structurally failed runs; enumeration index breaks every tie.
+ */
+bool
+rankBefore(const PointResult &a, size_t ia, const PointResult &b,
+           size_t ib)
+{
+    if (a.failed != b.failed)
+        return b.failed;
+    if (!a.failed && a.result.cycles != b.result.cycles)
+        return a.result.cycles < b.result.cycles;
+    return ia < ib;
+}
+
+} // namespace
+
+ExploreResult
+explore(const WorkloadFactory &make, const ParamSpace &space,
+        const ExploreOptions &opts)
+{
+    const unsigned rungs = std::max(1u, opts.rungs);
+    std::vector<Config> configs = enumerate(space);
+
+    DesignCache localCache;
+    DesignCache *cache = opts.cache ? opts.cache : &localCache;
+    const uint64_t hits0 = cache->hits();
+    const uint64_t misses0 = cache->misses();
+
+    ExploreResult res;
+    res.device = opts.device;
+    res.strategy = opts.strategy;
+    res.rungs = rungs;
+    res.spaceSize = configs.size();
+    res.points.resize(configs.size());
+    for (size_t i = 0; i < configs.size(); ++i)
+        res.points[i].config = configs[i];
+
+    std::vector<size_t> alive(configs.size());
+    std::iota(alive.begin(), alive.end(), size_t{0});
+
+    const unsigned start_rung =
+        opts.strategy == Strategy::ExhaustiveGrid ? rungs - 1 : 0;
+    for (unsigned rung = start_rung; rung < rungs; ++rung) {
+        driver::Sweep<Eval> sweep(opts.jobs);
+        for (size_t idx : alive) {
+            const Config cfg = configs[idx];
+            sweep.add([&make, rung, cfg, &opts, cache] {
+                return evalOne(make, rung, cfg, opts, *cache);
+            });
+        }
+        std::vector<Eval> evals = sweep.run();
+        for (const auto &[slot, what] : sweep.errors()) {
+            tapas_fatal("dse: candidate '%s' threw: %s",
+                        configs[alive[slot]].label().c_str(),
+                        what.c_str());
+        }
+
+        for (size_t k = 0; k < alive.size(); ++k) {
+            const Eval &e = evals[k];
+            PointResult &p = res.points[alive[k]];
+            if (res.workload.empty())
+                res.workload = e.workloadName;
+            p.keyId = e.keyId;
+            p.alms = e.report.alms;
+            p.brams = e.report.brams;
+            p.fmaxMhz = e.report.fmaxMhz;
+            p.powerW = e.report.powerW;
+            p.lastRung = rung;
+            if (e.pruned) {
+                p.pruned = true;
+                continue;
+            }
+            ++res.simulated;
+            p.result = e.result;
+            p.failed = !e.result.ok();
+            if (p.failed) {
+                p.failKind = e.result.failure->kind;
+            } else if (!e.result.verifyError.empty()) {
+                // A completed-but-wrong design is a toolchain bug,
+                // not a bad configuration; never report it as a
+                // legitimate design point.
+                tapas_fatal("dse: '%s' config %s failed golden-model "
+                            "verification: %s",
+                            e.workloadName.c_str(),
+                            p.config.label().c_str(),
+                            e.result.verifyError.c_str());
+            }
+            p.verified = !p.failed;
+        }
+
+        alive.erase(std::remove_if(alive.begin(), alive.end(),
+                                   [&](size_t idx) {
+                                       return res.points[idx].pruned;
+                                   }),
+                    alive.end());
+
+        if (rung + 1 < rungs && alive.size() > 1) {
+            std::vector<size_t> order = alive;
+            std::sort(order.begin(), order.end(),
+                      [&](size_t a, size_t b) {
+                          return rankBefore(res.points[a], a,
+                                            res.points[b], b);
+                      });
+            const size_t keep = (order.size() + 1) / 2;
+            for (size_t k = keep; k < order.size(); ++k)
+                res.points[order[k]].eliminated = true;
+            order.resize(keep);
+            std::sort(order.begin(), order.end());
+            alive = std::move(order);
+        }
+    }
+
+    res.pruned = static_cast<uint64_t>(
+        std::count_if(res.points.begin(), res.points.end(),
+                      [](const PointResult &p) { return p.pruned; }));
+    res.cacheHits = cache->hits() - hits0;
+    res.cacheMisses = cache->misses() - misses0;
+
+    // Pareto frontier over (cycles, alms, power) among full-size
+    // verified points.
+    std::vector<size_t> cand;
+    for (size_t i = 0; i < res.points.size(); ++i) {
+        if (res.points[i].finalRung(rungs) && res.points[i].verified)
+            cand.push_back(i);
+    }
+    auto dominates = [&](const PointResult &a, const PointResult &b) {
+        bool no_worse = a.result.cycles <= b.result.cycles &&
+                        a.alms <= b.alms && a.powerW <= b.powerW;
+        bool better = a.result.cycles < b.result.cycles ||
+                      a.alms < b.alms || a.powerW < b.powerW;
+        return no_worse && better;
+    };
+    for (size_t i : cand) {
+        bool dominated = false;
+        for (size_t j : cand) {
+            if (j != i &&
+                dominates(res.points[j], res.points[i])) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated) {
+            res.points[i].onFrontier = true;
+            res.frontier.push_back(i);
+        }
+    }
+    std::sort(res.frontier.begin(), res.frontier.end(),
+              [&](size_t a, size_t b) {
+                  const PointResult &pa = res.points[a];
+                  const PointResult &pb = res.points[b];
+                  if (pa.result.cycles != pb.result.cycles)
+                      return pa.result.cycles < pb.result.cycles;
+                  if (pa.alms != pb.alms)
+                      return pa.alms < pb.alms;
+                  if (pa.powerW != pb.powerW)
+                      return pa.powerW < pb.powerW;
+                  return a < b;
+              });
+    return res;
+}
+
+namespace {
+
+std::string
+pointStatus(const PointResult &p)
+{
+    if (p.pruned)
+        return "pruned";
+    if (p.failed)
+        return "failed:" + p.failKind;
+    if (p.eliminated)
+        return "eliminated";
+    return "ok";
+}
+
+Json
+configJson(const Config &c)
+{
+    Json j = Json::object();
+    j.set("tiles", Json::num(c.tiles));
+    j.set("ntasks", Json::num(c.ntasks));
+    j.set("pipeline_depth", Json::num(c.pipelineDepth));
+    j.set("unroll", Json::num(c.unrollFactor));
+    j.set("opt_passes", Json::boolean(c.optPasses));
+    return j;
+}
+
+Json
+pointJson(const PointResult &p)
+{
+    Json j = Json::object();
+    j.set("label", Json::str(p.config.label()));
+    j.set("config", configJson(p.config));
+    j.set("design_key", Json::str(p.keyId));
+    j.set("status", Json::str(pointStatus(p)));
+    j.set("alms", Json::num(p.alms));
+    j.set("brams", Json::num(p.brams));
+    j.set("fmax_mhz", Json::num(p.fmaxMhz));
+    j.set("power_w", Json::num(p.powerW));
+    if (!p.pruned) {
+        j.set("last_rung", Json::num(p.lastRung));
+        j.set("cycles", Json::num(p.result.cycles));
+        j.set("seconds", Json::num(p.result.seconds));
+        j.set("spawns", Json::num(p.result.spawns));
+        j.set("verified", Json::boolean(p.verified));
+    }
+    j.set("on_frontier", Json::boolean(p.onFrontier));
+    return j;
+}
+
+} // namespace
+
+Json
+toJson(const ExploreResult &r)
+{
+    Json doc = Json::object();
+    doc.set("workload", Json::str(r.workload));
+    doc.set("device", Json::str(r.device.name));
+    doc.set("strategy", Json::str(strategyName(r.strategy)));
+    doc.set("rungs", Json::num(r.rungs));
+    doc.set("space_size", Json::num(static_cast<uint64_t>(
+                              r.spaceSize)));
+    doc.set("pruned", Json::num(r.pruned));
+    doc.set("simulated", Json::num(r.simulated));
+    doc.set("cache_hits", Json::num(r.cacheHits));
+    doc.set("cache_misses", Json::num(r.cacheMisses));
+
+    Json points = Json::array();
+    for (const PointResult &p : r.points)
+        points.push(pointJson(p));
+    doc.set("points", std::move(points));
+
+    Json frontier = Json::array();
+    for (size_t i : r.frontier)
+        frontier.push(pointJson(r.points[i]));
+    doc.set("frontier", std::move(frontier));
+    return doc;
+}
+
+void
+printReport(const ExploreResult &r, std::ostream &os)
+{
+    os << "dse: " << r.workload << " on " << r.device.name << " ("
+       << strategyName(r.strategy) << ", " << r.spaceSize
+       << " configs)\n\n";
+
+    TextTable t;
+    t.header({"config", "status", "cycles", "alms", "brams",
+              "power_w", "fmax", "frontier"});
+    for (const PointResult &p : r.points) {
+        std::string cycles =
+            p.pruned || p.failed
+                ? "-"
+                : std::to_string(p.result.cycles) +
+                      (p.finalRung(r.rungs) ? "" : "*");
+        t.row({p.config.label(), pointStatus(p), cycles,
+               std::to_string(p.alms), std::to_string(p.brams),
+               strfmt("%.2f", p.powerW), strfmt("%.0f", p.fmaxMhz),
+               p.onFrontier ? "*" : ""});
+    }
+    t.print(os);
+    if (r.strategy == Strategy::SuccessiveHalving)
+        os << "(* = cycles measured at a reduced-size rung)\n";
+
+    os << "\nPareto frontier (cycles / ALMs / power):\n";
+    if (r.frontier.empty()) {
+        os << "  (empty - no verified full-size point)\n";
+    } else {
+        TextTable f;
+        f.header({"config", "cycles", "seconds", "alms", "power_w",
+                  "verified"});
+        for (size_t i : r.frontier) {
+            const PointResult &p = r.points[i];
+            f.row({p.config.label(),
+                   std::to_string(p.result.cycles),
+                   strfmt("%.3e", p.result.seconds),
+                   std::to_string(p.alms), strfmt("%.2f", p.powerW),
+                   p.verified ? "yes" : "no"});
+        }
+        f.print(os);
+    }
+
+    os << "\nspace " << r.spaceSize << " | pruned " << r.pruned
+       << " | simulated " << r.simulated << " | compiles "
+       << r.cacheMisses << " | cache hits " << r.cacheHits << "\n";
+}
+
+} // namespace tapas::dse

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the design-space exploration subsystem (src/dse) and the
+ * compile/run split it is built on: analytic pruning never discards
+ * a feasible configuration, the content-addressed DesignCache returns
+ * designs whose runs are byte-identical to a cold compile, a prepared
+ * CompiledDesign is reusable across runs, and a full exploration —
+ * cache totals included — is identical for any worker count.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/engine.hh"
+#include "dse/dse.hh"
+#include "ir/printer.hh"
+#include "workloads/workload.hh"
+
+using namespace tapas;
+
+namespace {
+
+dse::WorkloadFactory
+saxpyFactory()
+{
+    return [](unsigned rung) {
+        return workloads::makeSaxpy(64u << rung);
+    };
+}
+
+/** Compile one configuration of `w` the way explore() does. */
+driver::CompiledDesign
+compileConfig(const workloads::Workload &w, const dse::Config &cfg,
+              const fpga::Device &dev)
+{
+    return driver::compileDesign(*w.module, w.top->name(),
+                                 cfg.compileOptions(w.params), dev);
+}
+
+TEST(ParamSpace, EnumerationIsTheCartesianProduct)
+{
+    dse::ParamSpace space;
+    space.tiles = {1, 2};
+    space.ntasks = {16, 32};
+    space.unrollFactors = {0, 2};
+    space.optPasses = {false, true};
+    EXPECT_EQ(space.size(), 16u);
+
+    std::vector<dse::Config> configs = dse::enumerate(space);
+    ASSERT_EQ(configs.size(), 16u);
+    // Deterministic order: first point is the first value of every
+    // axis; the label round-trips the interesting fields.
+    EXPECT_EQ(configs.front().label(), "t1.q16.p0.u0");
+    EXPECT_EQ(configs.back().label(), "t2.q32.p0.u2.opt");
+}
+
+TEST(Dse, PruningNeverDiscardsAFeasibleConfig)
+{
+    // Learn the analytic estimates of the smallest and largest
+    // candidates, then aim the device budget between them so the
+    // space genuinely splits.
+    auto w = workloads::makeSaxpy(64);
+    dse::Config small;
+    small.tiles = 1;
+    dse::Config big;
+    big.tiles = 8;
+    fpga::Device dev = fpga::Device::cycloneV();
+    uint32_t lo = compileConfig(w, small, dev).report.alms;
+    uint32_t hi = compileConfig(w, big, dev).report.alms;
+    ASSERT_LT(lo, hi);
+    dev.totalAlms = (lo + hi) / 2;
+
+    dse::ParamSpace space;
+    space.tiles = {1, 2, 4, 8};
+    dse::ExploreOptions opts;
+    opts.device = dev;
+    opts.rungs = 1;
+    dse::ExploreResult r =
+        dse::explore(saxpyFactory(), space, opts);
+
+    ASSERT_EQ(r.points.size(), 4u);
+    unsigned pruned = 0;
+    for (const dse::PointResult &p : r.points) {
+        bool over = p.alms > dev.totalAlms || p.brams > dev.totalM20k;
+        // Pruned exactly when the estimate exceeds the budget:
+        // never a feasible point, never a free pass for an
+        // infeasible one.
+        EXPECT_EQ(p.pruned, over) << p.config.label();
+        pruned += p.pruned;
+    }
+    EXPECT_EQ(r.pruned, pruned);
+    EXPECT_GT(pruned, 0u);
+    EXPECT_LT(pruned, 4u);
+    // Pruned points never simulate.
+    EXPECT_EQ(r.simulated, 4u - pruned);
+}
+
+TEST(DesignCache, HitRunsAreIdenticalToColdCompile)
+{
+    auto w = workloads::makeSaxpy(128);
+    const std::string text = ir::toString(*w.module);
+    dse::Config cfg;
+    cfg.tiles = 2;
+    hls::CompileOptions copts = cfg.compileOptions(w.params);
+    const fpga::Device dev = fpga::Device::cycloneV();
+
+    dse::DesignCache cache;
+    auto first = cache.get(text, w.top->name(), copts, dev);
+    EXPECT_FALSE(first.hit);
+    auto second = cache.get(text, w.top->name(), copts, dev);
+    EXPECT_TRUE(second.hit);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(first.keyId, second.keyId);
+
+    // A run through the cache-hit design is byte-identical to a run
+    // through a fresh cold compile of the same inputs.
+    driver::CompiledDesign cold =
+        driver::compileDesign(text, w.top->name(), copts, dev);
+    driver::AccelSimEngine eng;
+    driver::RunResult warm_r =
+        eng.runWorkload(w, second.design, 32 << 20);
+    driver::RunResult cold_r = eng.runWorkload(w, cold, 32 << 20);
+    ASSERT_TRUE(warm_r.ok());
+    EXPECT_TRUE(warm_r.verifyError.empty()) << warm_r.verifyError;
+    EXPECT_TRUE(warm_r.equals(cold_r));
+}
+
+TEST(CompiledDesign, PreparedDesignReusesAcrossRuns)
+{
+    auto w = workloads::makeDedup(8, 64);
+    driver::AccelSimEngine eng;
+    driver::CompiledDesign design = eng.prepare(w);
+    ASSERT_TRUE(design.valid());
+    // The workload's own module is untouched by prepare(): the
+    // design owns a clone.
+    EXPECT_EQ(ir::toString(*w.module),
+              ir::toString(*design.module));
+
+    driver::RunResult a = eng.runWorkload(w, design, 32 << 20);
+    driver::RunResult b = eng.runWorkload(w, design, 32 << 20);
+    ASSERT_TRUE(a.ok());
+    EXPECT_TRUE(a.verifyError.empty()) << a.verifyError;
+    EXPECT_TRUE(a.equals(b));
+
+    // And matches the one-shot compile-in-run() path.
+    driver::AccelSimEngine fresh;
+    driver::RunResult c = fresh.runWorkload(w, 32 << 20);
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(a.cycles, c.cycles);
+    EXPECT_EQ(a.retval.i, c.retval.i);
+}
+
+TEST(Dse, ExplorationIsIdenticalAcrossWorkerCounts)
+{
+    dse::ParamSpace space;
+    space.tiles = {1, 2, 4};
+    space.ntasks = {16, 32};
+
+    auto runWith = [&](unsigned jobs, dse::Strategy strategy) {
+        dse::ExploreOptions opts;
+        opts.jobs = jobs;
+        opts.strategy = strategy;
+        opts.rungs = 2;
+        return dse::toJson(
+                   dse::explore(saxpyFactory(), space, opts))
+            .dump();
+    };
+    for (dse::Strategy s : {dse::Strategy::ExhaustiveGrid,
+                            dse::Strategy::SuccessiveHalving}) {
+        std::string serial = runWith(1, s);
+        std::string parallel = runWith(4, s);
+        // Full JSON equality: frontier, per-point results, and the
+        // cache hit/miss and pruned totals all survive fan-out.
+        EXPECT_EQ(serial, parallel) << dse::strategyName(s);
+    }
+}
+
+TEST(Dse, FrontierPointsAreVerifiedAndNonDominated)
+{
+    dse::ParamSpace space;
+    space.tiles = {1, 2, 4};
+    dse::ExploreOptions opts;
+    opts.rungs = 1;
+    dse::ExploreResult r =
+        dse::explore(saxpyFactory(), space, opts);
+
+    ASSERT_FALSE(r.frontier.empty());
+    for (size_t i : r.frontier) {
+        const dse::PointResult &p = r.points[i];
+        EXPECT_TRUE(p.verified);
+        EXPECT_TRUE(p.onFrontier);
+        // No other verified point dominates it.
+        for (const dse::PointResult &q : r.points) {
+            if (&q == &p || !q.verified)
+                continue;
+            bool dominates =
+                q.result.cycles <= p.result.cycles &&
+                q.alms <= p.alms && q.powerW <= p.powerW &&
+                (q.result.cycles < p.result.cycles ||
+                 q.alms < p.alms || q.powerW < p.powerW);
+            EXPECT_FALSE(dominates)
+                << q.config.label() << " dominates "
+                << p.config.label();
+        }
+    }
+}
+
+TEST(RunResult, StatOrFallsBackWhenAbsent)
+{
+    driver::RunResult r;
+    r.stats["present"] = 7.5;
+    EXPECT_EQ(r.statOr("present", 0), 7.5);
+    EXPECT_EQ(r.statOr("absent", -1), -1);
+}
+
+} // namespace

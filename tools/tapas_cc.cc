@@ -29,6 +29,12 @@
  *                         into --run; see sim/fault.hh
  *   --fault-seed S        fault-schedule seed (default 0x7a7a5)
  *   --max-retries N       per-task fault-retry budget (default 8)
+ *   --dse [args...]       design-space exploration (exhaustive grid)
+ *                         over tiles x ntasks on the Cyclone V;
+ *                         prunes over-budget points, memoizes
+ *                         compiles, reports the Pareto frontier
+ *   --dse-tiles LIST      comma-separated tile counts (1,2,4,8)
+ *   --dse-ntasks LIST     comma-separated queue sizes (--ntasks)
  *
  * Exit codes: 0 success, 1 toolchain error, 2 usage, 3 --run/--interp
  * return-value mismatch, 4 simulation failed (deadlock / cycle
@@ -47,6 +53,7 @@
 #include "codegen/chisel.hh"
 #include "driver/engine.hh"
 #include "driver/jobrunner.hh"
+#include "dse/dse.hh"
 #include "fpga/model.hh"
 #include "ir/parser.hh"
 #include "ir/printer.hh"
@@ -103,6 +110,14 @@ usage(const char *argv0)
            "0x7a7a5)\n"
            "  --max-retries N     per-task fault-retry budget "
            "(default 8)\n"
+           "  --dse [ARGS...]     explore tiles x ntasks (exhaustive "
+           "grid, Cyclone V);\n"
+           "                      reports the cycles/ALMs/power "
+           "Pareto frontier\n"
+           "  --dse-tiles LIST    tile counts to explore (default "
+           "1,2,4,8)\n"
+           "  --dse-ntasks LIST   queue sizes to explore (default: "
+           "--ntasks)\n"
            "\n"
            "exit codes: 0 ok, 1 error, 2 usage, 3 run/interp "
            "mismatch,\n"
@@ -132,6 +147,21 @@ parseUnsigned(const std::string &flag, const std::string &text)
         tapas_fatal("%s expects a number, got '%s'", flag.c_str(),
                     text.c_str());
     return static_cast<unsigned>(v);
+}
+
+/** Parse a comma-separated list of decimal values ("1,2,4"). */
+std::vector<unsigned>
+parseUnsignedList(const std::string &flag, const std::string &text)
+{
+    std::vector<unsigned> values;
+    std::string item;
+    std::istringstream ss(text);
+    while (std::getline(ss, item, ','))
+        values.push_back(parseUnsigned(flag, item));
+    if (values.empty())
+        tapas_fatal("%s expects a comma-separated list, got '%s'",
+                    flag.c_str(), text.c_str());
+    return values;
 }
 
 /** Parse a (possibly scientific-notation) rate argument. */
@@ -213,6 +243,9 @@ main(int argc, char **argv)
     double fault_rate = 0;
     uint64_t fault_seed = 0x7a7a5u;
     unsigned max_retries = 8;
+    bool do_dse = false;
+    std::vector<unsigned> dse_tiles{1, 2, 4, 8};
+    std::vector<unsigned> dse_ntasks;
     std::vector<std::string> run_args;
 
     if (input == "--help" || input == "-h")
@@ -267,10 +300,17 @@ main(int argc, char **argv)
             dot_path = next();
         } else if (a == "--help" || a == "-h") {
             usage(argv[0]);
-        } else if (a == "--run" || a == "--interp") {
-            // Both engines share one argument list; the second flag
-            // may omit it.
-            (a == "--run" ? do_run : do_interp) = true;
+        } else if (a == "--dse-tiles") {
+            dse_tiles = parseUnsignedList(a, next());
+        } else if (a == "--dse-ntasks") {
+            dse_ntasks = parseUnsignedList(a, next());
+        } else if (a == "--run" || a == "--interp" || a == "--dse") {
+            // All engines share one argument list; later flags may
+            // omit it.
+            if (a == "--dse")
+                do_dse = true;
+            else
+                (a == "--run" ? do_run : do_interp) = true;
             std::vector<std::string> these;
             while (i + 1 < argc && argv[i + 1][0] != '-')
                 these.push_back(argv[++i]);
@@ -311,7 +351,12 @@ main(int argc, char **argv)
     unsigned unrolled_loops = 0;
     copts.optStatsOut = &opt_stats;
     copts.unrolledLoopsOut = &unrolled_loops;
-    auto design = hls::compile(*mod, top, copts);
+    // Compile once into an owning design (the pre-passes run on the
+    // design's private clone; the parsed module stays pristine, so
+    // --interp exercises the program exactly as written).
+    driver::CompiledDesign cd = driver::compileDesign(
+        *mod, top->name(), copts, fpga::Device::cycloneV());
+    const hls::AcceleratorDesign &design = cd.get();
 
     if (do_opt) {
         std::cout << "opt: folded " << opt_stats.foldedConstants
@@ -327,7 +372,7 @@ main(int argc, char **argv)
 
     if (report) {
         std::cout << "top: @" << top->name() << "\n\ntask graph:\n";
-        for (const auto &t : design->taskGraph->tasks()) {
+        for (const auto &t : design.taskGraph->tasks()) {
             std::cout << "  T" << t->sid() << "  " << t->name()
                       << "  (" << t->numInstructions() << " insts, "
                       << t->numMemOps() << " mem, "
@@ -338,7 +383,7 @@ main(int argc, char **argv)
         for (const fpga::Device &dev :
              {fpga::Device::cycloneV(), fpga::Device::arria10()}) {
             fpga::ResourceReport r =
-                fpga::estimateResources(*design, dev);
+                fpga::estimateResources(design, dev);
             std::cout << "\n" << dev.name << ": " << r.alms
                       << " ALMs, " << r.regs << " regs, " << r.brams
                       << " M20K, " << strfmt("%.0f", r.fmaxMhz)
@@ -350,11 +395,11 @@ main(int argc, char **argv)
     }
 
     if (!chisel_path.empty())
-        writeOut(chisel_path, codegen::chiselString(*design));
+        writeOut(chisel_path, codegen::chiselString(design));
 
     if (!dot_path.empty()) {
         std::ostringstream os;
-        codegen::emitTaskGraphDot(*design->taskGraph, os);
+        codegen::emitTaskGraphDot(*design.taskGraph, os);
         writeOut(dot_path, os.str());
     }
 
@@ -402,7 +447,7 @@ main(int argc, char **argv)
                 ir::MemImage mem(256ull << 20);
                 auto args = setupMem(mem);
                 driver::AccelSimEngine::Options eo;
-                eo.design = design.get();
+                eo.design = cd;
                 if (!trace_csv_path.empty())
                     eo.tracer = &tracer;
                 if (fault_given) {
@@ -412,9 +457,10 @@ main(int argc, char **argv)
                     eo.fault = fc;
                 }
                 driver::AccelSimEngine eng(std::move(eo));
-                eng.runOptions.traceFile = trace_path;
-                eng.runOptions.profile = do_profile;
-                return eng.run(*mod, *top, args, mem);
+                driver::RunOptions ro;
+                ro.traceFile = trace_path;
+                ro.profile = do_profile;
+                return eng.run(*mod, *top, args, mem, ro);
             });
         }
         std::vector<driver::RunResult> results = sweep.run();
@@ -475,16 +521,17 @@ main(int argc, char **argv)
             if (fault_given && fault_rate > 0) {
                 std::cout << "fault: injected="
                           << static_cast<uint64_t>(
-                                 r.stat("fault.spawn_drops") +
-                                 r.stat("fault.queue_corruptions") +
-                                 r.stat("fault.mem_drops") +
-                                 r.stat("fault.mem_delays") +
-                                 r.stat("fault.tile_stalls"))
+                                 r.statOr("fault.spawn_drops", 0) +
+                                 r.statOr("fault.queue_corruptions",
+                                          0) +
+                                 r.statOr("fault.mem_drops", 0) +
+                                 r.statOr("fault.mem_delays", 0) +
+                                 r.statOr("fault.tile_stalls", 0))
                           << " recovered="
                           << static_cast<uint64_t>(
-                                 r.stat("fault.spawn_retries") +
-                                 r.stat("fault.task_replays") +
-                                 r.stat("fault.mem_reissues"))
+                                 r.statOr("fault.spawn_retries", 0) +
+                                 r.statOr("fault.task_replays", 0) +
+                                 r.statOr("fault.mem_reissues", 0))
                           << "\n";
             }
             if (r.ok() && interp_ret &&
@@ -521,6 +568,69 @@ main(int argc, char **argv)
             jr.set("stats", std::move(jstats));
             jresults.push(std::move(jr));
         }
+    }
+
+    if (do_dse) {
+        if (run_args.size() != top->numArgs()) {
+            tapas_fatal("--dse: @%s takes %u arguments, %zu given",
+                        top->name().c_str(), top->numArgs(),
+                        run_args.size());
+        }
+
+        // The explorer wraps the CLI program as a workload: each
+        // candidate re-parses the canonical module text (candidates
+        // run concurrently and pre-passes mutate their input), lays
+        // the image out, and binds the CLI argument list. There is no
+        // golden model for an arbitrary .tir file, so verify accepts
+        // any completed run.
+        const std::string mtext = ir::toString(*mod);
+        const std::string top_name = top->name();
+        const std::vector<std::string> cli_args = run_args;
+        dse::WorkloadFactory factory = [&](unsigned) {
+            workloads::Workload w;
+            w.name = input;
+            w.module = ir::parseModuleOrDie(mtext);
+            w.top = w.module->functionByName(top_name);
+            ir::Module *m = w.module.get();
+            ir::Function *t = w.top;
+            w.setup = [m, t,
+                       cli_args](ir::MemImage &mem) {
+                mem.layout(*m);
+                std::vector<ir::RtValue> args;
+                for (unsigned i = 0; i < t->numArgs(); ++i) {
+                    args.push_back(parseArg(cli_args[i],
+                                            t->arg(i)->type(), *m,
+                                            mem));
+                }
+                return args;
+            };
+            w.verify = [](const ir::MemImage &, ir::RtValue) {
+                return std::string();
+            };
+            return w;
+        };
+
+        dse::ParamSpace space;
+        space.tiles = dse_tiles;
+        space.ntasks =
+            dse_ntasks.empty() ? std::vector<unsigned>{ntasks}
+                               : dse_ntasks;
+        space.optPasses = {do_opt};
+        space.unrollFactors = {unroll};
+
+        dse::ExploreOptions xopts;
+        xopts.device = fpga::Device::cycloneV();
+        xopts.jobs = driver::resolveJobs(cli_jobs);
+        xopts.strategy = dse::Strategy::ExhaustiveGrid;
+        xopts.rungs = 1;
+
+        std::cout << "dse: exploring " << space.size()
+                  << " configurations of @" << top_name << " on "
+                  << xopts.device.name << "\n\n";
+        dse::ExploreResult xr =
+            dse::explore(factory, space, xopts);
+        dse::printReport(xr, std::cout);
+        doc.set("dse", dse::toJson(xr));
     }
 
     if (!json_path.empty()) {
