@@ -20,6 +20,8 @@
  *                not clobber one file
  *   --profile    print a per-unit cycle-attribution table after each
  *                accelerator run
+ *   --explain    print a critical-path bottleneck report after each
+ *                accelerator run (obs/critpath.hh)
  *   --fault-rate R, --fault-seed S, --max-retries N
  *                deterministic fault injection applied to every
  *                accelerator run (see sim/fault.hh); benches other
@@ -59,6 +61,9 @@ struct BenchOptions
 
     /** Print a cycle-attribution table per accelerator run. */
     bool profile = false;
+
+    /** Print a critical-path bottleneck report per accelerator run. */
+    bool explain = false;
 
     /** --fault-rate value (0 = no injection). */
     double faultRate = 0;
@@ -144,6 +149,8 @@ parseBenchArgs(int argc, char **argv)
             opt.traceFile = next();
         } else if (a == "--profile") {
             opt.profile = true;
+        } else if (a == "--explain") {
+            opt.explain = true;
         } else if (a == "--fault-rate") {
             opt.faultRate = parseRate(a, next());
             opt.faultGiven = true;
@@ -157,13 +164,13 @@ parseBenchArgs(int argc, char **argv)
         } else if (a == "--help" || a == "-h") {
             std::cout << "usage: " << argv[0]
                       << " [--jobs N] [--json PATH] [--trace PATH]"
-                         " [--profile] [--fault-rate R]"
+                         " [--profile] [--explain] [--fault-rate R]"
                          " [--fault-seed S] [--max-retries N]\n";
             std::exit(0);
         } else {
             tapas_fatal("unknown option '%s' (supported: --jobs N, "
                         "--json PATH, --trace PATH, --profile, "
-                        "--fault-rate R, --fault-seed S, "
+                        "--explain, --fault-rate R, --fault-seed S, "
                         "--max-retries N)",
                         a.c_str());
         }
@@ -171,6 +178,7 @@ parseBenchArgs(int argc, char **argv)
     opt.jobs = driver::resolveJobs(cli_jobs);
     benchRunOptions().traceFile = opt.traceFile;
     benchRunOptions().profile = opt.profile;
+    benchRunOptions().explain = opt.explain;
     if (opt.faultGiven) {
         sim::FaultConfig fc =
             sim::FaultConfig::uniform(opt.faultRate, opt.faultSeed);
@@ -274,6 +282,12 @@ runPrepared(workloads::Workload &w, driver::AccelSimEngine &engine,
         std::lock_guard<std::mutex> lock(mu);
         std::cout << "\ncycle profile: " << w.name << "\n"
                   << r.profileReport;
+    }
+    if (ro.explain) {
+        static std::mutex mu;
+        std::lock_guard<std::mutex> lock(mu);
+        std::cout << "\nbottleneck: " << w.name << "\n"
+                  << r.bottleneckReport;
     }
     return r;
 }

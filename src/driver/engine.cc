@@ -1,5 +1,6 @@
 #include "driver/engine.hh"
 
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -35,7 +36,9 @@ RunResult::equals(const RunResult &o) const
            spawns == o.spawns && seconds == o.seconds &&
            cacheHitRate == o.cacheHitRate &&
            verifyError == o.verifyError && stats == o.stats &&
-           profileReport == o.profileReport && failure == o.failure;
+           profileReport == o.profileReport &&
+           bottleneckReport == o.bottleneckReport &&
+           bottleneck == o.bottleneck && failure == o.failure;
 }
 
 const hls::AcceleratorDesign &
@@ -51,18 +54,41 @@ compileDesign(const std::string &module_text, const std::string &top,
               const hls::CompileOptions &copts,
               const fpga::Device &dev)
 {
+    using clock = std::chrono::steady_clock;
+    auto since = [](clock::time_point t0) {
+        return std::chrono::duration<double>(clock::now() - t0)
+            .count();
+    };
+    auto t_start = clock::now();
+
     std::shared_ptr<ir::Module> clone =
         ir::parseModuleOrDie(module_text);
+    double parse_sec = since(t_start);
     ir::Function *top_fn = clone->functionByName(top);
     if (!top_fn)
         tapas_fatal("compileDesign: no function '@%s'", top.c_str());
 
+    // Instrument the phases without perturbing the cache key: the
+    // phase-out pointer is excluded from describeCompileOptions().
+    hls::CompilePhaseSeconds phases;
+    hls::CompileOptions timed = copts;
+    timed.phaseSecondsOut = &phases;
+
     CompiledDesign cd;
-    cd.design = hls::compile(*clone, top_fn, copts);
+    auto t_codegen = clock::now();
+    cd.design = hls::compile(*clone, top_fn, timed);
     cd.module = std::move(clone);
     cd.params = cd.design->params;
     cd.device = dev;
     cd.report = fpga::estimateResources(*cd.design, dev);
+    double codegen_sec = since(t_codegen);
+
+    cd.timings.parseSec = parse_sec;
+    cd.timings.optSec = phases.optSec;
+    cd.timings.unrollSec = phases.unrollSec;
+    cd.timings.codegenSec =
+        codegen_sec - phases.optSec - phases.unrollSec;
+    cd.timings.totalSec = since(t_start);
     return cd;
 }
 
@@ -204,6 +230,9 @@ AccelSimEngine::simulate(const hls::AcceleratorDesign &design,
     obs::PerfettoTraceSink perfetto;
     if (!ro.traceFile.empty())
         accel.addSink(&perfetto);
+    obs::CriticalPathSink critpath;
+    if (ro.explain)
+        accel.addSink(&critpath);
     obs::CycleProfiler profiler;
     if (ro.profile)
         accel.setProfiler(&profiler);
@@ -211,6 +240,24 @@ AccelSimEngine::simulate(const hls::AcceleratorDesign &design,
     RunResult r;
     r.retval = accel.run(args);
 
+    if (ro.explain) {
+        accel.removeSink(&critpath);
+        obs::BottleneckReport bn = critpath.analyze();
+        // The pinned invariant: a completed run's critical path is
+        // exactly as long as the run (analyze() fatal()s if its
+        // per-class attribution does not sum to the path).
+        if (bn.valid && bn.cycles != accel.cycles()) {
+            tapas_fatal("critical path is %llu cycles but the run "
+                        "took %llu",
+                        (unsigned long long)bn.cycles,
+                        (unsigned long long)accel.cycles());
+        }
+        r.bottleneckReport = bn.text();
+        bn.appendTo(r.stats);
+        if (!ro.traceFile.empty())
+            perfetto.addCriticalPathTrack(bn.segments);
+        r.bottleneck = std::move(bn);
+    }
     if (!ro.traceFile.empty()) {
         accel.removeSink(&perfetto);
         if (ro.traceFile == "-") {

@@ -34,6 +34,7 @@
 #include "cpu/multicore.hh"
 #include "fpga/model.hh"
 #include "hls/compile.hh"
+#include "obs/critpath.hh"
 #include "sim/accel.hh"
 #include "workloads/workload.hh"
 
@@ -58,6 +59,16 @@ struct RunOptions
      * buckets in RunResult::stats under "profile.*".
      */
     bool profile = false;
+
+    /**
+     * Critical-path & bottleneck analysis (obs/critpath.hh): a
+     * CriticalPathSink reconstructs the run's dynamic task DAG and
+     * the rendered report lands in RunResult::bottleneckReport, the
+     * structured one in RunResult::bottleneck, and aggregates in
+     * RunResult::stats under "critpath.*". Off by default: the
+     * zero-observer simulator fast path stays untouched.
+     */
+    bool explain = false;
 };
 
 /** What every engine reports for one run. */
@@ -114,6 +125,18 @@ struct RunResult
      */
     std::string profileReport;
 
+    /**
+     * Rendered critical-path bottleneck report; empty unless the run
+     * had RunOptions::explain set.
+     */
+    std::string bottleneckReport;
+
+    /**
+     * Structured bottleneck analysis (deterministic JSON via
+     * toJson()); present only when the run had RunOptions::explain.
+     */
+    std::optional<obs::BottleneckReport> bottleneck;
+
     /** Populated when the run ended in a structured failure. */
     std::optional<Failure> failure;
 
@@ -163,6 +186,24 @@ struct CompiledDesign
 
     /** Analytic resource/Fmax/power estimate on `device`. */
     fpga::ResourceReport report;
+
+    /**
+     * Host wall-clock seconds the toolchain spent producing this
+     * design, by phase. Diagnostic only — never folded into
+     * byte-deterministic result documents. A DesignCache hit reuses
+     * the original compile's timings, which is exactly the time the
+     * hit saved.
+     */
+    struct CompileTimings
+    {
+        double parseSec = 0;   ///< module-text parse
+        double optSec = 0;     ///< optimization pipeline
+        double unrollSec = 0;  ///< serial-loop unrolling
+        double codegenSec = 0; ///< Stages 1-3 + resource estimate
+        double totalSec = 0;   ///< end-to-end compileDesign()
+    };
+
+    CompileTimings timings;
 
     /** Holds a design (default-constructed instances do not). */
     bool valid() const { return design != nullptr; }

@@ -6,6 +6,7 @@
 
 #include "driver/jobrunner.hh"
 #include "ir/printer.hh"
+#include "obs/critpath.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
 
@@ -103,6 +104,8 @@ struct Eval
     fpga::ResourceReport report;
     bool pruned = false;
     bool simulated = false;
+    bool cacheHit = false;
+    double compileSec = 0; ///< this design's original compile time
     driver::RunResult result;
 };
 
@@ -122,6 +125,8 @@ evalOne(const WorkloadFactory &make, unsigned rung,
     e.workloadName = w.name;
     e.keyId = look.keyId;
     e.report = look.design.report;
+    e.cacheHit = look.hit;
+    e.compileSec = look.design.timings.totalSec;
 
     // Analytic-model pruning: over the device's budget means the
     // design cannot be placed, so a simulation would only cost time.
@@ -135,7 +140,9 @@ evalOne(const WorkloadFactory &make, unsigned rung,
     eo.device = opts.device;
     eo.watchdogCycles = opts.watchdogCycles;
     driver::AccelSimEngine engine(std::move(eo));
-    e.result = engine.runWorkload(w, look.design, opts.memBytes);
+    driver::RunOptions ro;
+    ro.explain = opts.explain && rung + 1 >= std::max(1u, opts.rungs);
+    e.result = engine.runWorkload(w, look.design, opts.memBytes, ro);
     e.simulated = true;
     return e;
 }
@@ -203,6 +210,12 @@ explore(const WorkloadFactory &make, const ParamSpace &space,
             PointResult &p = res.points[alive[k]];
             if (res.workload.empty())
                 res.workload = e.workloadName;
+            // Every hit re-credits the shared design's original
+            // compile time: the seconds a cold cache would have cost.
+            if (e.cacheHit)
+                res.compileSecondsSaved += e.compileSec;
+            else
+                res.compileSeconds += e.compileSec;
             p.keyId = e.keyId;
             p.alms = e.report.alms;
             p.brams = e.report.brams;
@@ -347,8 +360,21 @@ pointJson(const PointResult &p)
         j.set("spawns", Json::num(p.result.spawns));
         j.set("verified", Json::boolean(p.verified));
     }
+    // Cycle-derived and deterministic, so safe in byte-compared
+    // exports (present only when the final rung ran with explain).
+    if (p.result.bottleneck && p.result.bottleneck->valid)
+        j.set("bottleneck", p.result.bottleneck->toJson());
     j.set("on_frontier", Json::boolean(p.onFrontier));
     return j;
+}
+
+/** Frontier-table annotation: the dominant bottleneck class. */
+std::string
+dominantBottleneck(const PointResult &p)
+{
+    if (!p.result.bottleneck || !p.result.bottleneck->valid)
+        return "-";
+    return obs::segClassName(p.result.bottleneck->dominant());
 }
 
 } // namespace
@@ -411,13 +437,14 @@ printReport(const ExploreResult &r, std::ostream &os)
     } else {
         TextTable f;
         f.header({"config", "cycles", "seconds", "alms", "power_w",
-                  "verified"});
+                  "bottleneck", "verified"});
         for (size_t i : r.frontier) {
             const PointResult &p = r.points[i];
             f.row({p.config.label(),
                    std::to_string(p.result.cycles),
                    strfmt("%.3e", p.result.seconds),
                    std::to_string(p.alms), strfmt("%.2f", p.powerW),
+                   dominantBottleneck(p),
                    p.verified ? "yes" : "no"});
         }
         f.print(os);
@@ -426,6 +453,10 @@ printReport(const ExploreResult &r, std::ostream &os)
     os << "\nspace " << r.spaceSize << " | pruned " << r.pruned
        << " | simulated " << r.simulated << " | compiles "
        << r.cacheMisses << " | cache hits " << r.cacheHits << "\n";
+    os << strfmt("toolchain %.3gms compiling; cache hits saved "
+                 "%.3gms\n",
+                 r.compileSeconds * 1e3,
+                 r.compileSecondsSaved * 1e3);
 }
 
 } // namespace tapas::dse

@@ -140,6 +140,16 @@ struct ExploreOptions
      * devices). Defaults to a private per-call cache.
      */
     DesignCache *cache = nullptr;
+
+    /**
+     * Attach a critical-path bottleneck analysis to every final-rung
+     * simulation (lower rungs run small instances whose bottlenecks
+     * are not the ones being shopped for). The resulting report is
+     * cycle-derived and deterministic, so it is safe to include in
+     * the byte-compared JSON export; frontier points are annotated
+     * with their dominant bottleneck class.
+     */
+    bool explain = true;
 };
 
 /** Outcome for one configuration. */
@@ -211,6 +221,16 @@ struct ExploreResult
     uint64_t simulated = 0; ///< simulations run, lower rungs included
     uint64_t cacheHits = 0;
     uint64_t cacheMisses = 0;
+
+    /**
+     * Wall-clock toolchain time: seconds actually spent compiling
+     * (cache misses) and seconds a cold-cache exploration would have
+     * added (each hit re-credits its design's original compile time).
+     * Diagnostic only — reported in printReport()'s footer, never in
+     * toJson(), which must stay byte-identical across `--jobs`.
+     */
+    double compileSeconds = 0;
+    double compileSecondsSaved = 0;
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "hls/compile.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "hls/task_extract.hh"
 #include "hls/unroll.hh"
@@ -48,12 +49,24 @@ std::unique_ptr<AcceleratorDesign>
 compile(ir::Module &mod, ir::Function *top,
         const CompileOptions &opts)
 {
+    using clock = std::chrono::steady_clock;
+    auto mark = clock::now();
+    auto lap = [&mark]() {
+        auto now = clock::now();
+        double sec =
+            std::chrono::duration<double>(now - mark).count();
+        mark = now;
+        return sec;
+    };
+
     if (opts.runOptPasses) {
         OptStats os = optimizeModule(mod);
         if (opts.optStatsOut)
             *opts.optStatsOut = os;
         ir::verifyOrDie(mod);
     }
+    double opt_sec = lap();
+
     if (opts.unrollFactor >= 2) {
         unsigned n = 0;
         for (const auto &f : mod.functions()) {
@@ -64,8 +77,16 @@ compile(ir::Module &mod, ir::Function *top,
             *opts.unrolledLoopsOut = n;
         ir::verifyOrDie(mod);
     }
-    return compile(static_cast<const ir::Module &>(mod), top,
-                   opts.params);
+    double unroll_sec = lap();
+
+    auto design = compile(static_cast<const ir::Module &>(mod), top,
+                          opts.params);
+    if (opts.phaseSecondsOut) {
+        opts.phaseSecondsOut->optSec = opt_sec;
+        opts.phaseSecondsOut->unrollSec = unroll_sec;
+        opts.phaseSecondsOut->stagesSec = lap();
+    }
+    return design;
 }
 
 } // namespace tapas::hls

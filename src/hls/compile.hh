@@ -60,6 +60,18 @@ std::unique_ptr<AcceleratorDesign> compile(
     arch::AcceleratorParams params = arch::AcceleratorParams());
 
 /**
+ * Host wall-clock seconds spent in each toolchain phase of one
+ * compile(opts) call. Purely diagnostic: never part of a result
+ * document that must be byte-deterministic.
+ */
+struct CompilePhaseSeconds
+{
+    double optSec = 0;    ///< optimization pipeline
+    double unrollSec = 0; ///< serial-loop unrolling
+    double stagesSec = 0; ///< Stages 1-3 (extract/dataflow/bind)
+};
+
+/**
  * Explicit toolchain configuration: the pre-passes (optimization,
  * serial-loop unrolling) plus the Stage-3 parameters, in the order
  * the toolchain applies them. Replaces hand-sequencing
@@ -82,6 +94,9 @@ struct CompileOptions
 
     /** If set, receives the number of loops unrolled. */
     unsigned *unrolledLoopsOut = nullptr;
+
+    /** If set, receives per-phase wall-clock timings. */
+    CompilePhaseSeconds *phaseSecondsOut = nullptr;
 };
 
 /**

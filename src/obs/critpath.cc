@@ -1,0 +1,497 @@
+#include "obs/critpath.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/logging.hh"
+
+namespace tapas::obs {
+
+const char *
+segClassName(SegClass c)
+{
+    switch (c) {
+    case SegClass::Compute:
+        return "compute";
+    case SegClass::QueueWait:
+        return "queue_wait";
+    case SegClass::MemStall:
+        return "mem_stall";
+    case SegClass::SpawnBackpressure:
+        return "spawn_backpressure";
+    }
+    return "?";
+}
+
+SegClass
+BottleneckReport::dominant() const
+{
+    unsigned best = 0;
+    for (unsigned i = 1; i < kNumSegClasses; i++)
+        if (classCycles[i] > classCycles[best])
+            best = i;
+    return static_cast<SegClass>(best);
+}
+
+bool
+BottleneckReport::operator==(const BottleneckReport &o) const
+{
+    for (unsigned i = 0; i < kNumSegClasses; i++)
+        if (classCycles[i] != o.classCycles[i])
+            return false;
+    return valid == o.valid && cycles == o.cycles &&
+           segments == o.segments && whatIfs == o.whatIfs &&
+           units == o.units;
+}
+
+std::string
+BottleneckReport::text() const
+{
+    std::string out = "== bottleneck report ==\n";
+    if (!valid) {
+        out += "  no completed root task; nothing to analyze\n";
+        return out;
+    }
+
+    out += strfmt("critical path: %llu cycles == run cycles, "
+                  "%zu segments\n",
+                  (unsigned long long)cycles, segments.size());
+    for (unsigned i = 0; i < kNumSegClasses; i++) {
+        double pct =
+            cycles ? 100.0 * (double)classCycles[i] / (double)cycles
+                   : 0.0;
+        out += strfmt("  %-18s %12llu cycles  %5.1f%%\n",
+                      segClassName(static_cast<SegClass>(i)),
+                      (unsigned long long)classCycles[i], pct);
+    }
+    out += strfmt("dominant bottleneck: %s\n",
+                  segClassName(dominant()));
+
+    out += "what-if bounds:\n";
+    for (const WhatIf &w : whatIfs)
+        out += strfmt("  %-32s => <= %.2fx  (%llu cycles)\n",
+                      w.what.c_str(), w.bound,
+                      (unsigned long long)w.zeroedCycles);
+
+    out += "per-unit critical-path share:\n";
+    out += strfmt("  %-12s %8s %8s %12s %12s %10s %9s\n", "unit",
+                  "insts", "on-path", "crit-cycles", "queue-wait",
+                  "mean-slack", "max-slack");
+    for (const UnitPathStats &u : units)
+        out += strfmt("  %-12s %8llu %8llu %12llu %12llu %10.1f "
+                      "%9llu\n",
+                      u.name.c_str(), (unsigned long long)u.instances,
+                      (unsigned long long)u.critInstances,
+                      (unsigned long long)u.critCycles,
+                      (unsigned long long)u.critQueueWait, u.meanSlack,
+                      (unsigned long long)u.maxSlack);
+    return out;
+}
+
+Json
+BottleneckReport::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("valid", Json::boolean(valid));
+    doc.set("cycles", Json::num(cycles));
+
+    Json cls = Json::object();
+    for (unsigned i = 0; i < kNumSegClasses; i++)
+        cls.set(segClassName(static_cast<SegClass>(i)),
+                Json::num(classCycles[i]));
+    doc.set("classes", std::move(cls));
+    doc.set("dominant", Json::str(segClassName(dominant())));
+    doc.set("segments", Json::num(uint64_t(segments.size())));
+
+    Json wifs = Json::array();
+    for (const WhatIf &w : whatIfs) {
+        Json jw = Json::object();
+        jw.set("what", Json::str(w.what));
+        jw.set("key", Json::str(w.key));
+        jw.set("zeroed_cycles", Json::num(w.zeroedCycles));
+        jw.set("bound", Json::num(w.bound));
+        wifs.push(std::move(jw));
+    }
+    doc.set("what_if", std::move(wifs));
+
+    Json uns = Json::array();
+    for (const UnitPathStats &u : units) {
+        Json ju = Json::object();
+        ju.set("unit", Json::str(u.name));
+        ju.set("instances", Json::num(u.instances));
+        ju.set("crit_instances", Json::num(u.critInstances));
+        ju.set("crit_cycles", Json::num(u.critCycles));
+        ju.set("crit_queue_wait", Json::num(u.critQueueWait));
+        ju.set("mean_slack", Json::num(u.meanSlack));
+        ju.set("max_slack", Json::num(u.maxSlack));
+        uns.push(std::move(ju));
+    }
+    doc.set("units", std::move(uns));
+    return doc;
+}
+
+void
+BottleneckReport::appendTo(std::map<std::string, double> &out) const
+{
+    if (!valid)
+        return;
+    out["critpath.cycles"] = (double)cycles;
+    for (unsigned i = 0; i < kNumSegClasses; i++)
+        out[std::string("critpath.") +
+            segClassName(static_cast<SegClass>(i))] =
+            (double)classCycles[i];
+    out["critpath.segments"] = (double)segments.size();
+    out["critpath.dominant"] = (double)(unsigned)dominant();
+    for (const WhatIf &w : whatIfs)
+        out["critpath.bound." + w.key] = w.bound;
+}
+
+void
+CriticalPathSink::configure(const std::vector<UnitInfo> &units)
+{
+    unitNames.clear();
+    for (const UnitInfo &u : units)
+        unitNames.push_back(u.name);
+    insts.clear();
+    live.clear();
+    root = kNone;
+}
+
+void
+CriticalPathSink::taskSpawn(uint64_t cycle, unsigned sid,
+                            unsigned slot, unsigned parent_sid,
+                            unsigned parent_slot)
+{
+    size_t idx = insts.size();
+    Instance in;
+    in.sid = sid;
+    in.spawnCycle = cycle;
+    if (parent_sid == ~0u) {
+        in.parent = kNone;
+        root = idx;
+    } else {
+        auto it = live.find({parent_sid, parent_slot});
+        if (it != live.end()) {
+            in.parent = it->second;
+            insts[it->second].children.push_back(idx);
+        }
+    }
+    insts.push_back(std::move(in));
+    live[{sid, slot}] = idx; // slot generations: latest spawn wins
+}
+
+void
+CriticalPathSink::taskDispatch(uint64_t cycle, unsigned sid,
+                               unsigned slot, unsigned /*tile*/)
+{
+    auto it = live.find({sid, slot});
+    if (it == live.end())
+        return;
+    Residency r;
+    r.start = cycle;
+    insts[it->second].res.push_back(r);
+}
+
+void
+CriticalPathSink::residencyStalls(uint64_t /*cycle*/, unsigned sid,
+                                  unsigned slot, uint64_t mem_stall,
+                                  uint64_t spawn_stall)
+{
+    auto it = live.find({sid, slot});
+    if (it == live.end())
+        return;
+    insts[it->second].pendMem = mem_stall;
+    insts[it->second].pendSpawn = spawn_stall;
+}
+
+void
+CriticalPathSink::closeResidency(Instance &in, uint64_t cycle)
+{
+    if (in.res.empty() || in.res.back().end != 0)
+        return; // defensive: no open residency
+    Residency &r = in.res.back();
+    r.end = cycle + 1;
+    r.mem = in.pendMem;
+    r.spawn = in.pendSpawn;
+    uint64_t span = r.end - r.start;
+    if (r.mem + r.spawn > span) { // never expected; keep exact
+        r.mem = std::min(r.mem, span);
+        r.spawn = span - r.mem;
+    }
+    in.pendMem = 0;
+    in.pendSpawn = 0;
+}
+
+void
+CriticalPathSink::taskSuspend(uint64_t cycle, unsigned sid,
+                              unsigned slot)
+{
+    auto it = live.find({sid, slot});
+    if (it == live.end())
+        return;
+    closeResidency(insts[it->second], cycle);
+}
+
+void
+CriticalPathSink::taskRetire(uint64_t cycle, unsigned sid,
+                             unsigned slot)
+{
+    auto it = live.find({sid, slot});
+    if (it == live.end())
+        return;
+    Instance &in = insts[it->second];
+    closeResidency(in, cycle);
+    in.retireCycle = cycle;
+    in.retired = true;
+    live.erase(it); // the slot can be recycled for a new instance
+}
+
+namespace {
+
+/** Window of the run one instance must account for. */
+struct CoverItem
+{
+    size_t inst;
+    uint64_t w0;
+    uint64_t w1;
+};
+
+} // namespace
+
+BottleneckReport
+CriticalPathSink::analyze() const
+{
+    BottleneckReport rep;
+    if (root == kNone || !insts[root].retired)
+        return rep; // empty-but-valid: no completed root task
+
+    rep.valid = true;
+    rep.cycles = insts[root].retireCycle + 1;
+
+    // -- Walk the DAG backward from the final retire, partitioning
+    //    [0, cycles) into attributed segments via a worklist (deep
+    //    linear recursions would otherwise overflow the stack).
+    std::vector<CritSegment> segs;
+    std::vector<uint8_t> onPath(insts.size(), 0);
+
+    auto emit = [&](uint64_t b, uint64_t e, SegClass c, size_t inst) {
+        if (b >= e)
+            return;
+        segs.push_back({b, e, c, insts[inst].sid});
+        onPath[inst] = 1;
+    };
+
+    std::vector<CoverItem> work;
+    work.push_back({root, 0, rep.cycles});
+    while (!work.empty()) {
+        CoverItem it = work.back();
+        work.pop_back();
+        const Instance &in = insts[it.inst];
+        uint64_t pos = it.w0;
+
+        // Before the spawn was accepted, the spawn itself was being
+        // re-presented (a fault-delayed host kick for the root; never
+        // reached for children, whose windows start after they
+        // spawned).
+        if (pos < in.spawnCycle) {
+            uint64_t e = std::min(in.spawnCycle, it.w1);
+            emit(pos, e, SegClass::SpawnBackpressure, it.inst);
+            pos = e;
+        }
+
+        for (size_t k = 0; k < in.res.size() && pos < it.w1; k++) {
+            const Residency &r = in.res[k];
+            if (r.end != 0 && r.end <= pos)
+                continue; // residency wholly before the window
+
+            // Gap before this residency: queue wait for the first
+            // dispatch, or a suspend gap charged to the releasing
+            // child (the last child retire inside the gap is the
+            // join that re-readied this instance).
+            if (pos < r.start) {
+                uint64_t gapEnd = std::min(r.start, it.w1);
+                size_t rel = kNone;
+                if (k > 0) {
+                    uint64_t lo = in.res[k - 1].end - 1;
+                    for (size_t c : in.children) {
+                        const Instance &ch = insts[c];
+                        if (!ch.retired || ch.retireCycle < lo ||
+                            ch.retireCycle >= r.start)
+                            continue;
+                        if (rel == kNone ||
+                            ch.retireCycle >=
+                                insts[rel].retireCycle)
+                            rel = c;
+                    }
+                }
+                if (rel != kNone &&
+                    insts[rel].retireCycle + 1 > pos) {
+                    uint64_t ce = std::min(
+                        insts[rel].retireCycle + 1, gapEnd);
+                    work.push_back({rel, pos, ce});
+                    pos = ce;
+                }
+                emit(pos, gapEnd, SegClass::QueueWait, it.inst);
+                pos = gapEnd;
+            }
+
+            // The residency itself: render the measured stall totals
+            // as canonical [mem, spawn, compute] runs so clipping to
+            // the window stays integer-exact.
+            uint64_t rend = r.end ? r.end : it.w1; // open: clip
+            rend = std::min(rend, it.w1);
+            uint64_t runs[3][2] = {
+                {r.start, r.start + r.mem},
+                {r.start + r.mem, r.start + r.mem + r.spawn},
+                {r.start + r.mem + r.spawn, r.end ? r.end : rend},
+            };
+            SegClass cls[3] = {SegClass::MemStall,
+                               SegClass::SpawnBackpressure,
+                               SegClass::Compute};
+            for (int i = 0; i < 3; i++) {
+                uint64_t b = std::max(runs[i][0], pos);
+                uint64_t e = std::min(runs[i][1], rend);
+                emit(b, e, cls[i], it.inst);
+            }
+            pos = std::max(pos, rend);
+        }
+
+        // Defensive remainder (a window should always be exactly
+        // covered): ready but never re-dispatched.
+        emit(pos, it.w1, SegClass::QueueWait, it.inst);
+    }
+
+    std::sort(segs.begin(), segs.end(),
+              [](const CritSegment &a, const CritSegment &b) {
+                  return a.begin < b.begin;
+              });
+
+    // Coalesce adjacent same-class same-unit spans.
+    for (const CritSegment &s : segs) {
+        if (!rep.segments.empty()) {
+            CritSegment &p = rep.segments.back();
+            if (p.end == s.begin && p.cls == s.cls &&
+                p.sid == s.sid) {
+                p.end = s.end;
+                rep.classCycles[(unsigned)s.cls] += s.length();
+                continue;
+            }
+        }
+        rep.segments.push_back(s);
+        rep.classCycles[(unsigned)s.cls] += s.length();
+    }
+
+    // -- Per-unit shares and slack.
+    size_t nunits = unitNames.size();
+    rep.units.resize(nunits);
+    std::vector<uint64_t> unitCrit(nunits, 0), unitQw(nunits, 0);
+    std::vector<uint64_t> slackSum(nunits, 0), slackN(nunits, 0);
+    for (const CritSegment &s : rep.segments) {
+        if (s.sid >= nunits)
+            continue;
+        unitCrit[s.sid] += s.length();
+        if (s.cls == SegClass::QueueWait)
+            unitQw[s.sid] += s.length();
+    }
+    for (size_t i = 0; i < insts.size(); i++) {
+        const Instance &in = insts[i];
+        if (!in.retired || in.sid >= nunits)
+            continue;
+        rep.units[in.sid].instances++;
+        if (onPath[i])
+            rep.units[in.sid].critInstances++;
+        if (in.parent == kNone)
+            continue; // root has no join to be late for
+
+        // Slack: how much later could this child have retired
+        // without delaying the join that actually released (or
+        // contained) it? Suspend-gap windows of the parent first —
+        // a retire on the suspend cycle itself releases the parent.
+        const Instance &p = insts[in.parent];
+        uint64_t slack = 0;
+        bool found = false;
+        for (size_t k = 1; k < p.res.size() && !found; k++) {
+            uint64_t lo = p.res[k - 1].end - 1;
+            uint64_t hi = p.res[k].start;
+            if (in.retireCycle < lo || in.retireCycle >= hi)
+                continue;
+            uint64_t latest = in.retireCycle;
+            for (size_t c : p.children) {
+                const Instance &sib = insts[c];
+                if (sib.retired && sib.retireCycle >= lo &&
+                    sib.retireCycle < hi)
+                    latest = std::max(latest, sib.retireCycle);
+            }
+            slack = latest - in.retireCycle;
+            found = true;
+        }
+        if (!found) {
+            for (const Residency &r : p.res) {
+                if (r.end == 0 || in.retireCycle < r.start ||
+                    in.retireCycle >= r.end)
+                    continue;
+                slack = (r.end - 1) - in.retireCycle;
+                break;
+            }
+        }
+        slackSum[in.sid] += slack;
+        slackN[in.sid]++;
+        rep.units[in.sid].maxSlack =
+            std::max(rep.units[in.sid].maxSlack, slack);
+    }
+    for (size_t s = 0; s < nunits; s++) {
+        UnitPathStats &u = rep.units[s];
+        u.name = unitNames[s];
+        u.critCycles = unitCrit[s];
+        u.critQueueWait = unitQw[s];
+        u.meanSlack = slackN[s]
+                          ? (double)slackSum[s] / (double)slackN[s]
+                          : 0.0;
+    }
+
+    // -- What-if bounds: re-walk the recorded path with a segment
+    //    class (or a unit's queue-wait) zeroed. Bounds are >= 1 and
+    //    monotone by construction: zeroing a superset of segments
+    //    removes at least as many cycles.
+    auto addWhatIf = [&](std::string what, std::string key,
+                         uint64_t zeroed) {
+        WhatIf w;
+        w.what = std::move(what);
+        w.key = std::move(key);
+        w.zeroedCycles = zeroed;
+        uint64_t rest =
+            rep.cycles > zeroed ? rep.cycles - zeroed : 1;
+        w.bound = (double)rep.cycles / (double)rest;
+        rep.whatIfs.push_back(std::move(w));
+    };
+    addWhatIf("zero queue-wait", "queue_wait",
+              rep.classOf(SegClass::QueueWait));
+    addWhatIf("zero mem-stall", "mem_stall",
+              rep.classOf(SegClass::MemStall));
+    addWhatIf("zero spawn-backpressure", "spawn_backpressure",
+              rep.classOf(SegClass::SpawnBackpressure));
+    addWhatIf("zero all stalls", "all_stalls",
+              rep.classOf(SegClass::QueueWait) +
+                  rep.classOf(SegClass::MemStall) +
+                  rep.classOf(SegClass::SpawnBackpressure));
+    for (size_t s = 0; s < nunits; s++)
+        if (unitQw[s])
+            addWhatIf(
+                strfmt("infinite tiles on unit '%s'",
+                       unitNames[s].c_str()),
+                strfmt("unit.%s.queue_wait", unitNames[s].c_str()),
+                unitQw[s]);
+
+    // The pinned invariant: the partition covers the run exactly.
+    uint64_t sum = 0;
+    for (unsigned i = 0; i < kNumSegClasses; i++)
+        sum += rep.classCycles[i];
+    if (sum != rep.cycles)
+        tapas_fatal("critical-path attribution (%llu cycles) does "
+                    "not cover the run (%llu cycles)",
+                    (unsigned long long)sum,
+                    (unsigned long long)rep.cycles);
+    return rep;
+}
+
+} // namespace tapas::obs

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Critical-path & bottleneck analysis: explain *why* a simulated
+ * accelerator run took as long as it did, end to end.
+ *
+ * CriticalPathSink is a TraceSink that reconstructs the dynamic task
+ * DAG from the simulator's spawn / dispatch / suspend / retire events
+ * (parent identity and tile placement are part of the events) plus
+ * the per-residency stall counts of residencyStalls(). analyze() then
+ * walks the DAG backward from the final (root) retire and partitions
+ * every cycle of the run into critical-path segments, each attributed
+ * to one of four classes:
+ *
+ *   compute            the chain was executing dataflow on a tile
+ *   queue_wait         the chain sat in a task queue (spawn -> first
+ *                      dispatch, or re-ready -> re-dispatch after a
+ *                      join) — more tiles / deeper queues help here
+ *   mem_stall          the chain was on a tile but every in-flight
+ *                      node was waiting on a memory response
+ *   spawn_backpressure the chain was on a tile but blocked
+ *                      re-presenting a spawn (target port busy or
+ *                      queue full), or the host kick itself was
+ *                      being re-presented
+ *
+ * Two invariants are pinned by tests/critpath_test.cc:
+ *   (1) the critical-path length equals the run's simulated cycles;
+ *   (2) the per-class attributions sum to the path length.
+ *
+ * The report also carries what-if speedup bounds ("zero queue-wait
+ * => <= 1.31x", "infinite tiles on unit 'fib' => <= 2.4x"), computed
+ * by re-walking the recorded path with the chosen segment class
+ * zeroed — so a bound is always >= 1 and zeroing a superset of
+ * segments never predicts less speedup — and per-unit slack
+ * aggregates for the instances that were *not* on the path.
+ *
+ * The walk itself: a suspend gap of an instance is charged to the
+ * *releasing* child — the last child whose retire falls inside the
+ * gap (its join is what re-readied the parent) — by recursing into
+ * that child's own timeline; whatever remains of the gap after the
+ * releasing retire is queue-wait (the parent was ready, waiting for
+ * a tile). Tile residencies are split using the residencyStalls()
+ * counts; the split is exact in total per residency, rendered as
+ * contiguous mem / spawn / compute runs (the within-residency
+ * ordering is synthesized, the totals are measured).
+ */
+
+#ifndef TAPAS_OBS_CRITPATH_HH
+#define TAPAS_OBS_CRITPATH_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/sink.hh"
+#include "support/json.hh"
+
+namespace tapas::obs {
+
+/** Critical-path segment classes. */
+enum class SegClass : uint8_t {
+    Compute,
+    QueueWait,
+    MemStall,
+    SpawnBackpressure,
+};
+
+constexpr unsigned kNumSegClasses = 4;
+
+/** Stable snake_case class name (stat keys, JSON, reports). */
+const char *segClassName(SegClass c);
+
+/** One contiguous span of the critical path. */
+struct CritSegment
+{
+    uint64_t begin = 0; ///< first cycle (inclusive)
+    uint64_t end = 0;   ///< one past the last cycle
+    SegClass cls = SegClass::Compute;
+    unsigned sid = 0;   ///< unit that owned the chain here
+
+    uint64_t length() const { return end - begin; }
+
+    bool
+    operator==(const CritSegment &o) const
+    {
+        return begin == o.begin && end == o.end && cls == o.cls &&
+               sid == o.sid;
+    }
+};
+
+/** One what-if speedup bound: zeroing `what` => <= `bound` x. */
+struct WhatIf
+{
+    /** Human label ("zero queue-wait", "infinite tiles on 'fib'"). */
+    std::string what;
+
+    /** Stable key ("queue_wait", "unit.fib.queue_wait", ...). */
+    std::string key;
+
+    /** Critical-path cycles the scenario removes. */
+    uint64_t zeroedCycles = 0;
+
+    /** Upper speedup bound: path / (path - zeroed). */
+    double bound = 1.0;
+
+    bool
+    operator==(const WhatIf &o) const
+    {
+        return what == o.what && key == o.key &&
+               zeroedCycles == o.zeroedCycles && bound == o.bound;
+    }
+};
+
+/** Per-unit critical-path share and slack aggregate. */
+struct UnitPathStats
+{
+    std::string name;
+    uint64_t instances = 0;     ///< retired instances of this unit
+    uint64_t critInstances = 0; ///< of which contributed path cycles
+    uint64_t critCycles = 0;    ///< path cycles attributed here
+    uint64_t critQueueWait = 0; ///< of which queue-wait
+    double meanSlack = 0;       ///< mean slack, retired non-root insts
+    uint64_t maxSlack = 0;
+
+    bool
+    operator==(const UnitPathStats &o) const
+    {
+        return name == o.name && instances == o.instances &&
+               critInstances == o.critInstances &&
+               critCycles == o.critCycles &&
+               critQueueWait == o.critQueueWait &&
+               meanSlack == o.meanSlack && maxSlack == o.maxSlack;
+    }
+};
+
+/** Everything analyze() learned about one run. */
+struct BottleneckReport
+{
+    /**
+     * A root instance retired, so there was a path to analyze. A
+     * failed run (deadlock, cycle limit, fault budget) or a run with
+     * no events yields an empty-but-valid report with valid = false.
+     */
+    bool valid = false;
+
+    /** Critical-path length == simulated cycles of the run. */
+    uint64_t cycles = 0;
+
+    /** Per-class attribution; sums to `cycles` (the invariant). */
+    uint64_t classCycles[kNumSegClasses] = {0, 0, 0, 0};
+
+    /** The full path partition, ordered by begin cycle. */
+    std::vector<CritSegment> segments;
+
+    /** What-if bounds, in deterministic order. */
+    std::vector<WhatIf> whatIfs;
+
+    /** Per-unit shares, sid order. */
+    std::vector<UnitPathStats> units;
+
+    uint64_t classOf(SegClass c) const
+    {
+        return classCycles[static_cast<unsigned>(c)];
+    }
+
+    /** Class with the most critical cycles (ties: lowest index). */
+    SegClass dominant() const;
+
+    /** Rendered human-readable report. */
+    std::string text() const;
+
+    /** Deterministic JSON document (byte-stable across runs). */
+    Json toJson() const;
+
+    /** Flatten aggregates into a stats map under "critpath.*". */
+    void appendTo(std::map<std::string, double> &out) const;
+
+    bool operator==(const BottleneckReport &o) const;
+};
+
+/**
+ * The DAG-reconstructing sink. Attach for a run, then analyze().
+ * Reusable: configure() (issued by AcceleratorSim::addSink) resets
+ * all state.
+ */
+class CriticalPathSink : public TraceSink
+{
+  public:
+    void configure(const std::vector<UnitInfo> &units) override;
+
+    void taskSpawn(uint64_t cycle, unsigned sid, unsigned slot,
+                   unsigned parent_sid,
+                   unsigned parent_slot) override;
+    void taskDispatch(uint64_t cycle, unsigned sid, unsigned slot,
+                      unsigned tile) override;
+    void residencyStalls(uint64_t cycle, unsigned sid, unsigned slot,
+                         uint64_t mem_stall,
+                         uint64_t spawn_stall) override;
+    void taskSuspend(uint64_t cycle, unsigned sid,
+                     unsigned slot) override;
+    void taskRetire(uint64_t cycle, unsigned sid,
+                    unsigned slot) override;
+
+    /**
+     * Reconstruct the critical path of the recorded run. Safe to call
+     * on a failed or empty run: the result is then an
+     * empty-but-valid report (valid = false, all counts zero).
+     */
+    BottleneckReport analyze() const;
+
+    /** Dynamic task instances recorded (tests). */
+    size_t numInstances() const { return insts.size(); }
+
+  private:
+    static constexpr size_t kNone = ~size_t{0};
+
+    /** One closed (or still-open) tile residency. */
+    struct Residency
+    {
+        uint64_t start = 0; ///< dispatch cycle
+        uint64_t end = 0;   ///< suspend/retire cycle + 1 (0 = open)
+        uint64_t mem = 0;   ///< fully-mem-stalled cycles inside
+        uint64_t spawn = 0; ///< fully-spawn-stalled cycles inside
+    };
+
+    /** One dynamic task instance (slot generations disambiguated). */
+    struct Instance
+    {
+        unsigned sid = 0;
+        uint64_t spawnCycle = 0;
+        size_t parent = kNone;       ///< index into insts
+        std::vector<size_t> children;
+        std::vector<Residency> res;
+        uint64_t retireCycle = 0;
+        bool retired = false;
+
+        /** residencyStalls() payload awaiting the closing event. */
+        uint64_t pendMem = 0;
+        uint64_t pendSpawn = 0;
+    };
+
+    using Key = std::pair<unsigned, unsigned>; ///< (sid, slot)
+
+    /** Close the instance's open residency at `cycle` + 1. */
+    void closeResidency(Instance &in, uint64_t cycle);
+
+    std::vector<std::string> unitNames;
+    std::vector<Instance> insts;
+    std::map<Key, size_t> live; ///< (sid, slot) -> current instance
+    size_t root = kNone;
+};
+
+} // namespace tapas::obs
+
+#endif // TAPAS_OBS_CRITPATH_HH

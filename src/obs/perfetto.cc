@@ -242,6 +242,33 @@ PerfettoTraceSink::missSample(uint64_t cycle, unsigned outstanding)
 }
 
 void
+PerfettoTraceSink::addCriticalPathTrack(
+    const std::vector<CritSegment> &segs)
+{
+    unsigned pid = memoryPid() + 1;
+    push(strfmt("{\"name\":\"process_name\",\"ph\":\"M\","
+                "\"pid\":%u,\"tid\":0,\"args\":{\"name\":"
+                "\"critical path\"}}",
+                pid));
+    push(strfmt("{\"name\":\"thread_name\",\"ph\":\"M\","
+                "\"pid\":%u,\"tid\":0,\"args\":{\"name\":"
+                "\"bottleneck\"}}",
+                pid));
+    for (const CritSegment &s : segs) {
+        const char *unit = s.sid < unitNames.size()
+                               ? unitNames[s.sid].c_str()
+                               : "?";
+        push(strfmt("{\"name\":\"%s\",\"cat\":\"critpath\","
+                    "\"ph\":\"X\",\"ts\":%llu,\"dur\":%llu,"
+                    "\"pid\":%u,\"tid\":0,"
+                    "\"args\":{\"unit\":\"%s\"}}",
+                    segClassName(s.cls), ull(s.begin),
+                    ull(s.length()), pid,
+                    jsonEscape(unit).c_str()));
+    }
+}
+
+void
 PerfettoTraceSink::write(std::ostream &os) const
 {
     os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";

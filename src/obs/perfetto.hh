@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/critpath.hh"
 #include "obs/sink.hh"
 
 namespace tapas::obs {
@@ -61,6 +62,14 @@ class PerfettoTraceSink : public TraceSink
     void queueSample(uint64_t cycle, unsigned sid,
                      unsigned occupancy) override;
     void missSample(uint64_t cycle, unsigned outstanding) override;
+
+    /**
+     * Append a "critical path" process whose single track renders
+     * the run's critical-path partition (obs/critpath.hh): one slice
+     * per segment, named after its class, carrying the owning unit
+     * as an arg. Call after the run, before write().
+     */
+    void addCriticalPathTrack(const std::vector<CritSegment> &segs);
 
     /** Serialize the accumulated trace as one JSON document. */
     void write(std::ostream &os) const;

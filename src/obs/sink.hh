@@ -72,6 +72,22 @@ class TraceSink
     {}
 
     /**
+     * Emitted immediately before the taskSuspend/taskRetire that
+     * closes a tile residency: of the residency's cycles, how many
+     * the instance spent making no dataflow progress because every
+     * in-flight node was blocked on a memory response (`mem_stall`)
+     * or on spawn-port back-pressure (`spawn_stall`). The remaining
+     * residency cycles carried compute. Counted only while a sink is
+     * attached; enables cycle-exact critical-path attribution
+     * (obs/critpath.hh).
+     */
+    virtual void
+    residencyStalls(uint64_t /*cycle*/, unsigned /*sid*/,
+                    unsigned /*slot*/, uint64_t /*mem_stall*/,
+                    uint64_t /*spawn_stall*/)
+    {}
+
+    /**
      * A spawn aimed at unit `sid` was rejected this cycle:
      * `queue_full` distinguishes a full task queue from losing the
      * one-accept-per-cycle port arbitration.

@@ -409,6 +409,13 @@ class TaskUnit
         int tile = -1;
         bool everDispatched = false; ///< spawn-latency sampling
 
+        // Residency stall attribution (counted only while a trace
+        // sink is attached — see residencyStalls()): cycles of the
+        // current tile residency in which the instance fired nothing
+        // and every in-flight node was blocked on memory / a spawn.
+        uint64_t residMem = 0;
+        uint64_t residSpawn = 0;
+
         // Fault-tolerance state (populated only with an injector):
         // a golden copy of the marshaled arguments, the checksum the
         // queue RAM is supposed to hold (models ECC), and how many
@@ -647,6 +654,16 @@ class AcceleratorSim
             return;
         for (obs::TraceSink *s : sinks)
             s->taskDispatch(cycle, sid, slot, tile);
+    }
+
+    void
+    emitResidency(uint64_t cycle, unsigned sid, unsigned slot,
+                  uint64_t mem, uint64_t spawn)
+    {
+        if (!hasSinks)
+            return;
+        for (obs::TraceSink *s : sinks)
+            s->residencyStalls(cycle, sid, slot, mem, spawn);
     }
 
     void

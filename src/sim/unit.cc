@@ -224,6 +224,8 @@ TaskUnit::dispatch(uint64_t now)
 
     readyQueue.pop_front();
     e.state = EntryState::Exe;
+    e.residMem = 0;
+    e.residSpawn = 0;
     e.tile = best;
     tiles[best]->active.push_back(slot);
     dispatchedThisCycle = true;
@@ -280,6 +282,8 @@ TaskUnit::retire(unsigned slot, uint64_t now)
     --occupied;
     ++instancesDone;
     sim.taskLifetime.sample(now - e.spawnedAt);
+    sim.emitResidency(now, _task.sid(), slot, e.residMem,
+                      e.residSpawn);
     sim.emitRetire(now, _task.sid(), slot);
     sim.progressEvent();
 
@@ -309,12 +313,36 @@ TaskUnit::tick(uint64_t now)
         }
         // Copy: instances may retire/suspend during iteration (the
         // scratch vector is a member, so no per-cycle allocation).
+        const bool counting = sim.observed();
         stepScratch = tile.active;
         for (unsigned slot : stepScratch) {
             QueueEntry &e = entries[slot];
             tapas_assert(e.state == EntryState::Exe,
                          "active slot not in EXE");
-            InstanceExec::Status st = e.exec->step(now, tile);
+            InstanceExec::Status st;
+            if (counting) {
+                // Residency stall attribution: a cycle in which the
+                // instance fired nothing and holds no executing node
+                // was spent entirely blocked — on memory responses
+                // or on spawn back-pressure, memory winning ties
+                // (same priority as classifyCycle()). Everything
+                // else (including pipeline fill at a block boundary)
+                // is compute.
+                const uint64_t before = e.exec->firedCount();
+                st = e.exec->step(now, tile);
+                if (e.exec->firedCount() == before) {
+                    unsigned ex = 0, mm = 0, sp = 0;
+                    e.exec->phaseCensus(ex, mm, sp);
+                    if (ex == 0) {
+                        if (mm > 0)
+                            ++e.residMem;
+                        else if (sp > 0)
+                            ++e.residSpawn;
+                    }
+                }
+            } else {
+                st = e.exec->step(now, tile);
+            }
             switch (st) {
               case InstanceExec::Status::Running:
                 break;
@@ -324,12 +352,16 @@ TaskUnit::tick(uint64_t now)
                 detachFromTile(slot);
                 e.state = EntryState::Sync;
                 ++syncSuspends;
+                sim.emitResidency(now, _task.sid(), slot, e.residMem,
+                                  e.residSpawn);
                 sim.emitSuspend(now, _task.sid(), slot);
                 break;
               case InstanceExec::Status::WaitCall:
                 detachFromTile(slot);
                 e.state = EntryState::WaitCall;
                 ++callSuspends;
+                sim.emitResidency(now, _task.sid(), slot, e.residMem,
+                                  e.residSpawn);
                 sim.emitSuspend(now, _task.sid(), slot);
                 break;
               case InstanceExec::Status::Done:
@@ -441,6 +473,27 @@ TaskUnit::accountSkipped(uint64_t n, uint64_t base)
     // re-rejected) once per skipped cycle.
     if (spawnRejectCycle == base)
         spawnRejects += n * spawnRejectsThisCycle;
+    if (sim.observed()) {
+        // Residency stall attribution over the skipped span: a quiet
+        // span fires nothing and expires no timers, so each on-tile
+        // instance's phase census is the one the per-cycle path would
+        // have seen every skipped cycle (skip-on == skip-off).
+        for (const auto &t : tiles) {
+            if (t->stuckUntil > base + 1)
+                continue; // frozen: the per-cycle path never steps it
+            for (unsigned slot : t->active) {
+                QueueEntry &e = entries[slot];
+                unsigned ex = 0, mm = 0, sp = 0;
+                e.exec->phaseCensus(ex, mm, sp);
+                if (ex == 0) {
+                    if (mm > 0)
+                        e.residMem += n;
+                    else if (sp > 0)
+                        e.residSpawn += n;
+                }
+            }
+        }
+    }
     if (obs::CycleProfiler *prof = sim.profiler()) {
         // A skipped cycle fired nothing and dispatched nothing by
         // construction, so it classifies exactly like the quiet

@@ -281,6 +281,58 @@ TEST(PerfettoTest, UnitNamesAreJsonEscaped)
     EXPECT_TRUE(JsonChecker(json).valid()) << json;
 }
 
+TEST(PerfettoTest, ControlCharactersAreEscaped)
+{
+    // Regression: names with raw control characters (newline, tab,
+    // 0x01) must come out as \n / \t / , never raw bytes — the
+    // checker rejects any raw char < 0x20 inside a string.
+    obs::PerfettoTraceSink sink;
+    sink.configure({obs::UnitInfo{"bad\nname\twith\x01"
+                                  "ctrl",
+                                  1}});
+    std::string json = sink.dump();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\\n"), std::string::npos);
+    EXPECT_NE(json.find("\\t"), std::string::npos);
+    EXPECT_NE(json.find("\\u0001"), std::string::npos);
+}
+
+TEST(PerfettoTest, ZeroEventTraceIsValid)
+{
+    // A run that never spawns or misses must still export a valid
+    // trace: configured tracks, no slices.
+    obs::PerfettoTraceSink sink;
+    sink.configure({obs::UnitInfo{"idle_unit", 2}});
+    std::string json = sink.dump();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_EQ(countSub(json, "\"ph\":\"X\""), 0u);
+
+    // And a sink that was never even configured.
+    obs::PerfettoTraceSink bare;
+    EXPECT_TRUE(JsonChecker(bare.dump()).valid());
+}
+
+TEST(ProfilerTest, AllIdleProfileIsWellFormed)
+{
+    // A configured profiler that only ever saw idle cycles still
+    // renders a complete report and obeys the sum invariant.
+    obs::CycleProfiler prof;
+    prof.configure({obs::UnitInfo{"idle_unit", 1}});
+    prof.note(0, obs::CycleBucket::Idle, 128);
+    EXPECT_EQ(prof.total(), 128u);
+    EXPECT_EQ(prof.bucket(0, obs::CycleBucket::Busy), 0u);
+    std::string rep = prof.reportString();
+    EXPECT_NE(rep.find("idle_unit"), std::string::npos);
+    EXPECT_NE(rep.find("busy%"), std::string::npos);
+
+    // Zero events entirely: report still renders, totals are zero.
+    obs::CycleProfiler empty;
+    empty.configure({obs::UnitInfo{"idle_unit", 1}});
+    EXPECT_EQ(empty.total(), 0u);
+    EXPECT_FALSE(empty.reportString().empty());
+}
+
 TEST(ProfilerTest, BucketsSumToCyclesTimesUnits)
 {
     std::vector<workloads::Workload> suite;

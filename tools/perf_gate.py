@@ -17,6 +17,12 @@ Two thresholds, expressed as current/baseline ratios:
                    1/3, catching order-of-magnitude regressions while
                    tolerating noisy shared CI runners).
 
+events_per_sec (simulation events retired per wall-clock second) is
+checked against the same --warn-below ratio, warn-only: it measures
+event-processing efficiency rather than end-to-end speed (idle-cycle
+skipping can change sim_khz without touching it), so a drop is worth
+a look but never fails the gate by itself.
+
 Usage:
   build/bench/sim_throughput --json current.json
   tools/perf_gate.py --baseline BENCH_simspeed.json current.json
@@ -76,6 +82,13 @@ def main():
             status = "ok"
         print(f"{key[0]:<12} {key[1]:>5} {b['sim_khz']:>10.1f} "
               f"{c['sim_khz']:>10.1f} {ratio:>6.2f}x  {status}")
+        b_eps = b.get("events_per_sec")
+        c_eps = c.get("events_per_sec")
+        if b_eps and c_eps is not None:
+            eps_ratio = c_eps / b_eps
+            if eps_ratio < args.warn_below:
+                print(f"  warn: {name} events_per_sec {c_eps:.3g} is "
+                      f"{eps_ratio:.2f}x baseline {b_eps:.3g}")
 
     for key in sorted(set(cur) - set(base)):
         print(f"  note: {key[0]} x{key[1]} present only in current report")

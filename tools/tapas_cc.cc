@@ -21,6 +21,8 @@
  *   --trace-csv <path>    write the task-lifetime CSV from --run
  *   --profile             per-unit cycle-attribution table from
  *                         --run (busy / stall / idle buckets)
+ *   --explain             critical-path & bottleneck report from
+ *                         --run (segment classes, what-if bounds)
  *   --jobs N              run --run/--interp engines concurrently
  *   --json <path>         machine-readable results ('-' for stdout)
  *   --top <name>          offloaded function (default: first
@@ -97,6 +99,8 @@ usage(const char *argv0)
            "                      open in ui.perfetto.dev)\n"
            "  --trace-csv PATH    task-lifetime CSV from --run\n"
            "  --profile           per-unit cycle-attribution table "
+           "from --run\n"
+           "  --explain           critical-path bottleneck report "
            "from --run\n"
            "  --jobs N            worker threads for --run/--interp "
            "(or $TAPAS_JOBS)\n"
@@ -239,6 +243,7 @@ main(int argc, char **argv)
     std::string trace_path;
     std::string trace_csv_path;
     bool do_profile = false;
+    bool do_explain = false;
     bool fault_given = false;
     double fault_rate = 0;
     uint64_t fault_seed = 0x7a7a5u;
@@ -281,6 +286,8 @@ main(int argc, char **argv)
             (a == "--trace" ? trace_path : trace_csv_path) = path;
         } else if (a == "--profile") {
             do_profile = true;
+        } else if (a == "--explain") {
+            do_explain = true;
         } else if (a == "--jobs") {
             cli_jobs = parseUnsigned(a, next());
         } else if (a == "--fault-rate") {
@@ -409,6 +416,18 @@ main(int argc, char **argv)
     doc.set("tool", Json::str("tapas_cc"));
     doc.set("input", Json::str(input));
     doc.set("top", Json::str(top->name()));
+    // Host wall-clock phase timings of the one compile above. These
+    // vary run to run by nature — determinism checks must diff the
+    // simulation payloads, never this block.
+    {
+        Json jt = Json::object();
+        jt.set("parse_sec", Json::num(cd.timings.parseSec));
+        jt.set("opt_sec", Json::num(cd.timings.optSec));
+        jt.set("unroll_sec", Json::num(cd.timings.unrollSec));
+        jt.set("codegen_sec", Json::num(cd.timings.codegenSec));
+        jt.set("total_sec", Json::num(cd.timings.totalSec));
+        doc.set("compile_timings", std::move(jt));
+    }
     Json jresults = Json::array();
 
     if (do_run || do_interp) {
@@ -460,6 +479,7 @@ main(int argc, char **argv)
                 driver::RunOptions ro;
                 ro.traceFile = trace_path;
                 ro.profile = do_profile;
+                ro.explain = do_explain;
                 return eng.run(*mod, *top, args, mem, ro);
             });
         }
@@ -544,6 +564,8 @@ main(int argc, char **argv)
             }
             if (do_profile)
                 std::cout << "\n" << r.profileReport;
+            if (do_explain)
+                std::cout << "\n" << r.bottleneckReport;
 
             Json jr = Json::object();
             jr.set("engine", Json::str("accel"));
@@ -560,6 +582,8 @@ main(int argc, char **argv)
             if (r.ok() && !top->returnType().isVoid())
                 jr.set("retval", Json::str(formatRet(*top,
                                                      r.retval)));
+            if (do_explain && r.bottleneck)
+                jr.set("bottleneck", r.bottleneck->toJson());
             // Full flattened stats (includes the "profile.*" cycle
             // buckets when --profile is on).
             Json jstats = Json::object();
