@@ -40,7 +40,10 @@
 
 #include "driver/engine.hh"
 #include "driver/jobrunner.hh"
+#include "support/atomic_file.hh"
+#include "support/cancel.hh"
 #include "support/json.hh"
+#include "support/manifest.hh"
 #include "support/table.hh"
 
 namespace tapas::bench {
@@ -100,6 +103,19 @@ benchFaultConfig()
 {
     static std::optional<sim::FaultConfig> cfg;
     return cfg;
+}
+
+/**
+ * Run manifest for this invocation (argv, jobs, build info), filled
+ * by parseBenchArgs() and attached to every --json export. Volatile
+ * by design — byte-comparing diffs strip it
+ * (tools/strip_volatile.py).
+ */
+inline Json &
+benchManifest()
+{
+    static Json m;
+    return m;
 }
 
 /** Parse a decimal flag argument; fatal() on garbage. */
@@ -176,9 +192,15 @@ parseBenchArgs(int argc, char **argv)
         }
     }
     opt.jobs = driver::resolveJobs(cli_jobs);
+    // Ctrl-C cancels cooperatively: every accelerator run polls the
+    // process token, partial results are flushed, exit code 6.
+    installSigintHandler();
+    benchRunOptions().cancel = &processCancelToken();
     benchRunOptions().traceFile = opt.traceFile;
     benchRunOptions().profile = opt.profile;
     benchRunOptions().explain = opt.explain;
+    benchManifest() =
+        runManifest(argv[0], argc, argv, opt.jobs);
     if (opt.faultGiven) {
         sim::FaultConfig fc =
             sim::FaultConfig::uniform(opt.faultRate, opt.faultSeed);
@@ -188,16 +210,19 @@ parseBenchArgs(int argc, char **argv)
     return opt;
 }
 
-/** Write the JSON export if --json was given. */
+/**
+ * Write the JSON export if --json was given. Atomic (temp + rename),
+ * so an interrupt mid-export can never leave a torn artifact, and
+ * stamped with the run manifest.
+ */
 inline void
-maybeWriteJson(const BenchOptions &opt, const Json &doc)
+maybeWriteJson(const BenchOptions &opt, Json doc)
 {
     if (opt.jsonPath.empty())
         return;
-    std::ofstream out(opt.jsonPath);
-    if (!out)
-        tapas_fatal("cannot write '%s'", opt.jsonPath.c_str());
-    doc.write(out);
+    if (!benchManifest().isNull())
+        doc.set("manifest", benchManifest());
+    atomicWriteFile(opt.jsonPath, doc.dump());
     std::cout << "\nwrote " << opt.jsonPath << "\n";
 }
 
@@ -267,6 +292,20 @@ runPrepared(workloads::Workload &w, driver::AccelSimEngine &engine,
         ro.traceFile = numberedTracePath(ro.traceFile, traced++);
     }
     RunResult r = engine.runWorkload(w, design, mem_bytes, ro);
+    if (r.interrupted) {
+        // A bench table with holes is useless: report the interrupt
+        // and exit with the distinct code. _Exit skips the other
+        // workers' teardown — they hold only per-run state.
+        {
+            static std::mutex mu;
+            std::lock_guard<std::mutex> lock(mu);
+            std::cout << "\ninterrupted: " << w.name << " at cycle "
+                      << r.interruptCycle << "; partial results "
+                      << "above are complete rows only\n";
+            std::cout.flush();
+        }
+        std::_Exit(kExitInterrupted);
+    }
     if (!r.ok()) {
         tapas_fatal("bench '%s' failed (%s): %s", w.name.c_str(),
                     r.failure->kind.c_str(),

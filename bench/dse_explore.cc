@@ -16,7 +16,22 @@
  *                     successive halving; default grid)
  *   --rungs N         workload sizes available to halving; the final
  *                     rung is the full-size instance (default 3)
+ *   --journal PATH    journal completed evaluations per space
+ *                     ("j.jsonl" -> "j.saxpy.jsonl", ...) so an
+ *                     interrupted run can resume
+ *   --resume PATH     as --journal, but restore finished evaluations
+ *                     first; the completed export is byte-identical
+ *                     to an uninterrupted run
+ *   --deadline SEC    total wall-clock budget, split across the
+ *                     remaining spaces (and, inside each, across
+ *                     rungs); on expiry the partial results flush
+ *                     and the exit code is 6
+ *
+ * SIGINT drains cooperatively: completed points are flushed (and
+ * journaled), the exit code is 6, and --resume picks up the rest.
  */
+
+#include <chrono>
 
 #include "bench/common.hh"
 #include "dse/dse.hh"
@@ -84,6 +99,16 @@ makeSpaces()
     return spaces;
 }
 
+/** Per-space journal: "j.jsonl" + "saxpy" -> "j.saxpy.jsonl". */
+std::string
+spaceJournalPath(const std::string &base, const std::string &name)
+{
+    size_t dot = base.rfind('.');
+    if (dot == std::string::npos || dot == 0)
+        return base + "." + name;
+    return base.substr(0, dot) + "." + name + base.substr(dot);
+}
+
 } // namespace
 
 int
@@ -94,6 +119,9 @@ main(int argc, char **argv)
     std::string bench_filter;
     dse::Strategy strategy = dse::Strategy::ExhaustiveGrid;
     unsigned rungs = 3;
+    std::string journal_base;
+    bool do_resume = false;
+    double deadline_sec = 0;
     std::vector<char *> fwd{argv[0]};
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -117,10 +145,19 @@ main(int argc, char **argv)
             rungs = parseUnsigned(a, next());
             if (rungs == 0)
                 tapas_fatal("--rungs expects at least 1");
+        } else if (a == "--journal") {
+            journal_base = next();
+        } else if (a == "--resume") {
+            journal_base = next();
+            do_resume = true;
+        } else if (a == "--deadline") {
+            deadline_sec = parseRate(a, next());
         } else if (a == "--help" || a == "-h") {
             std::cout << "usage: " << argv[0]
                       << " [--bench saxpy|fib|dedup]"
                          " [--strategy grid|halving] [--rungs N]\n"
+                         "       [--journal PATH | --resume PATH] "
+                         "[--deadline SEC]\n"
                          "       [--jobs N] [--json PATH]\n";
             return 0;
         } else {
@@ -148,11 +185,19 @@ main(int argc, char **argv)
     // paid for once. explore() reports per-exploration deltas.
     dse::DesignCache cache;
 
+    std::vector<const SpaceEntry *> selected;
+    for (const SpaceEntry &e : spaces) {
+        if (bench_filter.empty() || bench_filter == e.name)
+            selected.push_back(&e);
+    }
+
+    const auto t_start = std::chrono::steady_clock::now();
+    bool interrupted = false;
+
     Json doc = experimentJson("dse_explore");
     Json rows = Json::array();
-    for (SpaceEntry &e : spaces) {
-        if (!bench_filter.empty() && bench_filter != e.name)
-            continue;
+    for (size_t si = 0; si < selected.size(); ++si) {
+        const SpaceEntry &e = *selected[si];
 
         dse::ExploreOptions xopts;
         xopts.device = fpga::Device::cycloneV();
@@ -160,6 +205,23 @@ main(int argc, char **argv)
         xopts.strategy = strategy;
         xopts.rungs = rungs;
         xopts.cache = &cache;
+        xopts.cancel = &processCancelToken();
+        if (!journal_base.empty()) {
+            xopts.journalPath =
+                spaceJournalPath(journal_base, e.name);
+            xopts.resume = do_resume;
+        }
+        if (deadline_sec > 0) {
+            // Equal share of the time left for each remaining
+            // space; finishing early rolls slack forward.
+            const double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t_start)
+                    .count();
+            xopts.deadlineSeconds =
+                std::max(0.001, deadline_sec - elapsed) /
+                static_cast<double>(selected.size() - si);
+        }
 
         std::cout << e.name << ": " << e.space.size()
                   << " configurations, strategy "
@@ -169,8 +231,18 @@ main(int argc, char **argv)
         dse::printReport(xr, std::cout);
         std::cout << "\n";
         rows.push(dse::toJson(xr));
+        if (xr.partial) {
+            interrupted = true;
+            if (xr.interruptReason == "cancelled")
+                break; // SIGINT: stop starting new spaces
+        }
     }
     doc.set("rows", std::move(rows));
     maybeWriteJson(opt, doc);
+    if (interrupted) {
+        std::cout << "interrupted: partial results flushed; re-run "
+                     "with --resume to finish\n";
+        return kExitInterrupted;
+    }
     return 0;
 }

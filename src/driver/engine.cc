@@ -9,6 +9,7 @@
 #include "ir/printer.hh"
 #include "obs/perfetto.hh"
 #include "obs/profiler.hh"
+#include "support/atomic_file.hh"
 #include "support/logging.hh"
 
 namespace tapas::driver {
@@ -38,7 +39,9 @@ RunResult::equals(const RunResult &o) const
            verifyError == o.verifyError && stats == o.stats &&
            profileReport == o.profileReport &&
            bottleneckReport == o.bottleneckReport &&
-           bottleneck == o.bottleneck && failure == o.failure;
+           bottleneck == o.bottleneck && failure == o.failure &&
+           interrupted == o.interrupted &&
+           interruptCycle == o.interruptCycle;
 }
 
 const hls::AcceleratorDesign &
@@ -221,6 +224,20 @@ AccelSimEngine::simulate(const hls::AcceleratorDesign &design,
         accel.watchdogCycles = *opts.watchdogCycles;
     accel.idleSkip = opts.idleSkip;
 
+    // Run lifecycle: a wall-clock deadline is a child token over the
+    // caller's cancel source, so SIGINT and --deadline compose.
+    std::optional<CancelToken> deadlineTok;
+    if (ro.deadlineSeconds > 0) {
+        deadlineTok.emplace(ro.cancel);
+        deadlineTok->setDeadlineSeconds(ro.deadlineSeconds);
+        accel.cancelToken = &*deadlineTok;
+    } else if (ro.cancel) {
+        accel.cancelToken = ro.cancel;
+    }
+    accel.deadlineCycles = ro.deadlineCycles;
+    accel.checkpointEveryCycles = ro.checkpointEveryCycles;
+    accel.onCheckpoint = ro.onCheckpoint;
+
     std::optional<sim::FaultInjector> injector;
     if (opts.fault) {
         injector.emplace(*opts.fault);
@@ -239,36 +256,39 @@ AccelSimEngine::simulate(const hls::AcceleratorDesign &design,
 
     RunResult r;
     r.retval = accel.run(args);
+    const bool wasInterrupted =
+        accel.failure().kind == sim::SimFailure::Kind::Interrupted;
 
     if (ro.explain) {
         accel.removeSink(&critpath);
-        obs::BottleneckReport bn = critpath.analyze();
-        // The pinned invariant: a completed run's critical path is
-        // exactly as long as the run (analyze() fatal()s if its
-        // per-class attribution does not sum to the path).
-        if (bn.valid && bn.cycles != accel.cycles()) {
-            tapas_fatal("critical path is %llu cycles but the run "
-                        "took %llu",
-                        (unsigned long long)bn.cycles,
-                        (unsigned long long)accel.cycles());
+        // An interrupted run has in-flight tasks with no retire
+        // events; the path-length invariant below only holds for
+        // completed runs, so the analysis is skipped.
+        if (!wasInterrupted) {
+            obs::BottleneckReport bn = critpath.analyze();
+            // The pinned invariant: a completed run's critical path
+            // is exactly as long as the run (analyze() fatal()s if
+            // its per-class attribution does not sum to the path).
+            if (bn.valid && bn.cycles != accel.cycles()) {
+                tapas_fatal("critical path is %llu cycles but the "
+                            "run took %llu",
+                            (unsigned long long)bn.cycles,
+                            (unsigned long long)accel.cycles());
+            }
+            r.bottleneckReport = bn.text();
+            bn.appendTo(r.stats);
+            if (!ro.traceFile.empty())
+                perfetto.addCriticalPathTrack(bn.segments);
+            r.bottleneck = std::move(bn);
         }
-        r.bottleneckReport = bn.text();
-        bn.appendTo(r.stats);
-        if (!ro.traceFile.empty())
-            perfetto.addCriticalPathTrack(bn.segments);
-        r.bottleneck = std::move(bn);
     }
     if (!ro.traceFile.empty()) {
         accel.removeSink(&perfetto);
         if (ro.traceFile == "-") {
             perfetto.write(std::cout);
         } else {
-            std::ofstream os(ro.traceFile);
-            if (!os) {
-                tapas_fatal("cannot write trace file '%s'",
-                            ro.traceFile.c_str());
-            }
-            perfetto.write(os);
+            // Atomic: an interrupt never leaves a truncated trace.
+            atomicWriteFile(ro.traceFile, perfetto.dump());
         }
     }
     if (ro.profile) {
@@ -284,6 +304,10 @@ AccelSimEngine::simulate(const hls::AcceleratorDesign &design,
         r.failure = RunResult::Failure{
             sim::failureKindName(accel.failure().kind),
             accel.failure().detail};
+        if (wasInterrupted) {
+            r.interrupted = true;
+            r.interruptCycle = accel.cycles();
+        }
     }
     // fault.* stats only when injection was actually enabled, so an
     // attached-but-all-zero injector yields a byte-identical result.

@@ -36,6 +36,7 @@
 #include "hls/compile.hh"
 #include "obs/critpath.hh"
 #include "sim/accel.hh"
+#include "support/cancel.hh"
 #include "workloads/workload.hh"
 
 namespace tapas::driver {
@@ -69,6 +70,37 @@ struct RunOptions
      * zero-observer simulator fast path stays untouched.
      */
     bool explain = false;
+
+    // --- run lifecycle (accelerator engine; see DESIGN.md) --------
+
+    /**
+     * External cancellation (SIGINT, a sweep draining): polled on the
+     * simulator cycle loop at amortized cost; a trip stops the run at
+     * a cycle boundary with RunResult::interrupted set. Not owned.
+     */
+    const CancelToken *cancel = nullptr;
+
+    /**
+     * Wall-clock budget for this run (<= 0 = none). Implemented as a
+     * child token over `cancel`, so both compose.
+     */
+    double deadlineSeconds = 0;
+
+    /**
+     * Deterministic simulated-cycle deadline (0 = none): the run
+     * stops with RunResult::interrupted before executing this cycle.
+     * Exact and reproducible, unlike the wall-clock knobs — the
+     * checkpoint/resume byte-identity tests are built on it.
+     */
+    uint64_t deadlineCycles = 0;
+
+    /**
+     * Invoke onCheckpoint every `checkpointEveryCycles` simulated
+     * cycles (0 = off) so the caller can commit a resume snapshot
+     * while the run is still going.
+     */
+    uint64_t checkpointEveryCycles = 0;
+    std::function<void(uint64_t)> onCheckpoint;
 };
 
 /** What every engine reports for one run. */
@@ -139,6 +171,16 @@ struct RunResult
 
     /** Populated when the run ended in a structured failure. */
     std::optional<Failure> failure;
+
+    /**
+     * The run was stopped cooperatively (deadline or cancellation)
+     * at a cycle boundary before completion. `failure` is also set
+     * (kind "interrupted") so every !ok() path keeps working;
+     * `cycles` holds the boundary the run stopped at, mirrored here
+     * as interruptCycle for callers that snapshot.
+     */
+    bool interrupted = false;
+    uint64_t interruptCycle = 0;
 
     /** Did the run complete (it may still have a verifyError)? */
     bool ok() const { return !failure.has_value(); }

@@ -22,7 +22,9 @@ resolveJobs(unsigned cli_jobs)
     return 1;
 }
 
-JobRunner::JobRunner(unsigned threads)
+JobRunner::JobRunner(unsigned threads, const CancelToken *cancel,
+                     bool stop_on_error)
+    : cancel_(cancel), stopOnError_(stop_on_error)
 {
     if (threads <= 1)
         return;
@@ -48,15 +50,41 @@ JobRunner::~JobRunner()
 void
 JobRunner::runGuarded(std::function<void()> &job)
 {
+    // Graceful drain: a tripped token or an earlier fatal error
+    // skips jobs that have not started; running jobs are never
+    // interrupted, so every completed slot stays valid.
+    if (draining()) {
+        std::lock_guard<std::mutex> lock(mtx);
+        ++skipped_;
+        return;
+    }
     try {
         job();
     } catch (const std::exception &e) {
         std::lock_guard<std::mutex> lock(mtx);
         errors_.emplace_back(e.what());
+        fatalSeen_.store(true, std::memory_order_relaxed);
     } catch (...) {
         std::lock_guard<std::mutex> lock(mtx);
         errors_.emplace_back("unknown exception");
+        fatalSeen_.store(true, std::memory_order_relaxed);
     }
+}
+
+bool
+JobRunner::draining() const
+{
+    if (cancel_ && cancel_->shouldStop())
+        return true;
+    return stopOnError_ &&
+           fatalSeen_.load(std::memory_order_relaxed);
+}
+
+size_t
+JobRunner::skippedCount() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return skipped_;
 }
 
 size_t

@@ -18,20 +18,32 @@
  * With one job the sweep runs inline on the calling thread — no pool,
  * no threads — so single-threaded behaviour is exactly the pre-driver
  * code path.
+ *
+ * Graceful drain: both JobRunner and Sweep accept an optional
+ * CancelToken and a stop-on-first-fatal-error flag. Once the token
+ * trips (SIGINT, a deadline) or — with the flag — any job records an
+ * error, jobs that have not started are *skipped* (their slots stay
+ * default-constructed, their indices land in skipped()); jobs already
+ * running finish normally. Nothing is torn down mid-job, so every
+ * completed slot is valid and partial results can be flushed.
  */
 
 #ifndef TAPAS_DRIVER_JOBRUNNER_HH
 #define TAPAS_DRIVER_JOBRUNNER_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "support/cancel.hh"
 
 namespace tapas::driver {
 
@@ -51,8 +63,15 @@ class JobRunner
     /**
      * Start `threads` workers. 0 or 1 means inline execution:
      * submit() runs the job on the calling thread immediately.
+     *
+     * @param cancel optional token; once tripped, not-yet-started
+     *        jobs are skipped (graceful drain). Not owned.
+     * @param stop_on_error treat the first job error as fatal: every
+     *        job after it is skipped.
      */
-    explicit JobRunner(unsigned threads);
+    explicit JobRunner(unsigned threads,
+                       const CancelToken *cancel = nullptr,
+                       bool stop_on_error = false);
 
     /** Waits for all submitted work, then joins the workers. */
     ~JobRunner();
@@ -83,6 +102,12 @@ class JobRunner
     /** what() strings of thrown jobs, in completion order. */
     std::vector<std::string> errors() const;
 
+    /** Jobs skipped by a cancel/fatal-error drain (after wait()). */
+    size_t skippedCount() const;
+
+    /** Is the pool draining (cancelled or fatal error seen)? */
+    bool draining() const;
+
   private:
     void workerLoop();
 
@@ -97,6 +122,10 @@ class JobRunner
     std::condition_variable allDone;
     unsigned inFlight = 0;
     bool stopping = false;
+    const CancelToken *cancel_ = nullptr;
+    bool stopOnError_ = false;
+    size_t skipped_ = 0;
+    std::atomic<bool> fatalSeen_{false};
 };
 
 /**
@@ -115,8 +144,18 @@ template <typename R>
 class Sweep
 {
   public:
-    /** @param jobs worker threads to use (<= 1 = serial inline) */
-    explicit Sweep(unsigned jobs) : njobs(jobs) {}
+    /**
+     * @param jobs worker threads to use (<= 1 = serial inline)
+     * @param cancel optional graceful-drain token (not owned): once
+     *        tripped, unstarted jobs are skipped and their indices
+     *        recorded in skipped()
+     * @param stop_on_error first job error drains the rest
+     */
+    explicit Sweep(unsigned jobs,
+                   const CancelToken *cancel = nullptr,
+                   bool stop_on_error = false)
+        : njobs(jobs), cancel_(cancel), stopOnError_(stop_on_error)
+    {}
 
     /** Register a job; returns its result index. */
     size_t
@@ -159,25 +198,56 @@ class Sweep
         return errs;
     }
 
+    /**
+     * Submission indices skipped by a graceful drain; their result
+     * slots are default-constructed. Deterministic only in so far as
+     * the drain point is (a serial sweep with a cycle-deterministic
+     * cancel source is; a wall-clock one is not).
+     */
+    const std::set<size_t> &skipped() const { return skipped_; }
+
+    /** Did a cancel/fatal-error drain occur? */
+    bool drained() const { return !skipped_.empty(); }
+
   private:
+    bool
+    draining() const
+    {
+        if (cancel_ && cancel_->shouldStop())
+            return true;
+        return stopOnError_ &&
+               fatalSeen_.load(std::memory_order_relaxed);
+    }
+
     void
     runOne(size_t i, std::vector<R> &results)
     {
+        if (draining()) {
+            std::lock_guard<std::mutex> lock(errMtx);
+            skipped_.insert(i);
+            return;
+        }
         try {
             results[i] = pending[i]();
         } catch (const std::exception &e) {
             std::lock_guard<std::mutex> lock(errMtx);
             errs.emplace(i, e.what());
+            fatalSeen_.store(true, std::memory_order_relaxed);
         } catch (...) {
             std::lock_guard<std::mutex> lock(errMtx);
             errs.emplace(i, "unknown exception");
+            fatalSeen_.store(true, std::memory_order_relaxed);
         }
     }
 
     unsigned njobs;
+    const CancelToken *cancel_ = nullptr;
+    bool stopOnError_ = false;
     std::vector<std::function<R()>> pending;
     std::map<size_t, std::string> errs;
+    std::set<size_t> skipped_;
     std::mutex errMtx;
+    std::atomic<bool> fatalSeen_{false};
 };
 
 } // namespace tapas::driver

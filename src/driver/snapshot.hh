@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Versioned, checksummed run snapshots for checkpoint/resume.
+ *
+ * A v1 snapshot is a *deterministic-replay manifest*: the complete
+ * recipe for the interrupted run — the module text itself, the top
+ * function, the parsed argument list, every knob that shapes the
+ * simulation (tiles, queue depths, pre-passes, fault schedule) — plus
+ * the cycle the run was interrupted at. Because the simulator is
+ * fully deterministic (idle-skip, fault schedules, and the memory
+ * system are all seeded/cycle-exact; the test suite pins this),
+ * resuming by replaying the recipe reproduces the interrupted run's
+ * trajectory exactly and then continues it, so a resumed run is
+ * byte-identical to one that was never interrupted — the contract
+ * the lifecycle tests pin. A future stateful format (serialized
+ * unit/queue/MSHR state, skipping the replayed prefix) would bump
+ * kVersion; readers reject versions they do not understand rather
+ * than guessing.
+ *
+ * The file is a JSON document with a FNV-1a checksum over the
+ * payload, written atomically (support/atomic_file.hh) so a crash
+ * mid-checkpoint can never leave a torn snapshot.
+ */
+
+#ifndef TAPAS_DRIVER_SNAPSHOT_HH
+#define TAPAS_DRIVER_SNAPSHOT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/fault.hh"
+#include "support/json.hh"
+
+namespace tapas::driver {
+
+/** The replay manifest a v1 snapshot carries. */
+struct Snapshot
+{
+    /** Format version this writer produces. */
+    static constexpr uint64_t kVersion = 1;
+
+    /** Snapshot kind; v1 only knows "replay". */
+    static constexpr const char *kKind = "replay";
+
+    /** Original input name (display/JSON parity on resume). */
+    std::string inputName;
+
+    /** Full module text (self-contained: resume needs no input). */
+    std::string moduleText;
+
+    /** Offloaded top function. */
+    std::string top;
+
+    /** Raw CLI run-argument strings ("@global" forms included). */
+    std::vector<std::string> runArgs;
+
+    // Resolved toolchain/simulation knobs of the interrupted run.
+    unsigned tiles = 1;
+    unsigned ntasks = 32;
+    bool optPasses = false;
+    unsigned unrollFactor = 0;
+
+    /** Fault schedule, when injection was on. */
+    std::optional<sim::FaultConfig> fault;
+
+    /** Cycle boundary the run was interrupted at (diagnostic). */
+    uint64_t interruptCycle = 0;
+
+    /** Serialize to the full snapshot document (checksummed). */
+    Json toJson() const;
+};
+
+/** Commit `s` to `path` atomically. */
+void writeSnapshot(const std::string &path, const Snapshot &s);
+
+/**
+ * Load and validate a snapshot: magic, a version this reader
+ * understands, and the payload checksum must all match, else
+ * fatal() with a pointed diagnostic (a torn or hand-edited snapshot
+ * must never silently replay the wrong run).
+ */
+Snapshot readSnapshot(const std::string &path);
+
+} // namespace tapas::driver
+
+#endif // TAPAS_DRIVER_SNAPSHOT_HH

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "dse/design_cache.hh"
+#include "support/cancel.hh"
 #include "support/json.hh"
 
 namespace tapas::dse {
@@ -150,6 +151,38 @@ struct ExploreOptions
      * with their dominant bottleneck class.
      */
     bool explain = true;
+
+    // --- run lifecycle (see DESIGN.md, "Run lifecycle") -----------
+
+    /**
+     * External cancellation (SIGINT and friends): propagated into
+     * every candidate simulation and checked between evaluations. A
+     * trip drains the in-flight sweep, marks unevaluated points
+     * skipped, and returns a partial ExploreResult. Not owned.
+     */
+    const CancelToken *cancel = nullptr;
+
+    /**
+     * Total wall-clock budget for the exploration (<= 0 = none),
+     * apportioned across rungs: each rung gets an equal share of the
+     * time remaining when it starts, so early rungs cannot starve the
+     * full-size finals and slack rolls forward.
+     */
+    double deadlineSeconds = 0;
+
+    /**
+     * When non-empty, journal every *completed* evaluation to this
+     * JSONL file as it finishes (dse/journal.hh) so an interrupted
+     * exploration can be resumed without redoing finished work.
+     */
+    std::string journalPath;
+
+    /**
+     * Load `journalPath` first and restore already-journaled
+     * evaluations instead of re-running them. The resumed result is
+     * byte-identical to an uninterrupted exploration (tests pin it).
+     */
+    bool resume = false;
 };
 
 /** Outcome for one configuration. */
@@ -185,14 +218,35 @@ struct PointResult
     /** Member of the reported Pareto frontier. */
     bool onFrontier = false;
 
-    /** Engine result at lastRung (default when pruned). */
+    /**
+     * Never evaluated at its scheduled rung — the exploration was
+     * interrupted first. Skipped points re-run on --dse-resume.
+     */
+    bool skipped = false;
+
+    /** Restored from a resume journal instead of re-simulated. */
+    bool fromJournal = false;
+
+    /**
+     * Structured bottleneck blob for the JSON export — the live
+     * run's BottleneckReport::toJson() or the journaled copy of it;
+     * identical bytes either way.
+     */
+    std::optional<Json> bottleneckJson;
+
+    /**
+     * Engine result at lastRung (default when pruned; only the
+     * cycles/seconds/spawns scalars are reconstructed for journaled
+     * restores).
+     */
     driver::RunResult result;
 
     /** Full-size result available (simulated at the final rung)? */
     bool
     finalRung(unsigned rungs) const
     {
-        return !pruned && !eliminated && lastRung == rungs - 1;
+        return !pruned && !eliminated && !skipped &&
+               lastRung == rungs - 1;
     }
 };
 
@@ -219,8 +273,33 @@ struct ExploreResult
     size_t spaceSize = 0;
     uint64_t pruned = 0;
     uint64_t simulated = 0; ///< simulations run, lower rungs included
+
+    /**
+     * Compile reuse within this exploration, derived from the
+     * deterministic evaluation sequence (first sight of a design key
+     * is a miss, every repeat a hit) rather than from live cache
+     * counters — so the totals are identical for any `--jobs` value
+     * and across a journal resume, where restored evaluations never
+     * touch the process's cache.
+     */
     uint64_t cacheHits = 0;
     uint64_t cacheMisses = 0;
+
+    /**
+     * The exploration was interrupted (deadline or cancellation):
+     * `points` covers only what finished, the frontier is a salvage
+     * over completed full-size points, and the JSON export carries
+     * `"partial": true`. `interruptReason` says why ("deadline" or
+     * "cancelled").
+     */
+    bool partial = false;
+    std::string interruptReason;
+
+    /** Points never evaluated at their scheduled rung. */
+    uint64_t skipped = 0;
+
+    /** Evaluations restored from the resume journal. */
+    uint64_t journaled = 0;
 
     /**
      * Wall-clock toolchain time: seconds actually spent compiling

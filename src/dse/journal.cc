@@ -1,0 +1,122 @@
+#include "dse/journal.hh"
+
+#include <fstream>
+
+#include "support/logging.hh"
+
+namespace tapas::dse {
+
+namespace {
+
+constexpr const char *kMagic = "tapas-dse";
+
+Json
+headerJson(const std::string &fingerprint)
+{
+    Json h = Json::object();
+    h.set("journal", Json::str(kMagic));
+    h.set("version", Json::num(Journal::kVersion));
+    h.set("fingerprint", Json::str(fingerprint));
+    return h;
+}
+
+} // namespace
+
+Journal::Journal(const std::string &path,
+                 const std::string &fingerprint, bool resume)
+    : path_(path)
+{
+    if (resume) {
+        std::ifstream in(path_);
+        if (in) {
+            std::string line;
+            bool first = true;
+            while (std::getline(in, line)) {
+                if (line.empty())
+                    continue;
+                std::string err;
+                Json j = Json::parse(line, &err);
+                if (!err.empty() || !j.isObject()) {
+                    // A torn final line from a crash mid-append; the
+                    // evaluation it described simply re-runs.
+                    tapas_warn("dse journal '%s': skipping "
+                               "unparseable line (%s)",
+                               path_.c_str(), err.c_str());
+                    continue;
+                }
+                if (first) {
+                    first = false;
+                    const Json *magic = j.find("journal");
+                    const Json *ver = j.find("version");
+                    const Json *fp = j.find("fingerprint");
+                    if (!magic || !magic->isStr() ||
+                        magic->asStr() != kMagic || !ver ||
+                        !ver->isNum() ||
+                        ver->asUint() != kVersion) {
+                        tapas_fatal("'%s' is not a version-%llu "
+                                    "tapas-dse journal",
+                                    path_.c_str(),
+                                    static_cast<unsigned long long>(
+                                        kVersion));
+                    }
+                    if (!fp || !fp->isStr() ||
+                        fp->asStr() != fingerprint) {
+                        tapas_fatal(
+                            "dse journal '%s' belongs to a "
+                            "different exploration (fingerprint "
+                            "%s, expected %s); refusing to resume",
+                            path_.c_str(),
+                            fp && fp->isStr() ? fp->asStr().c_str()
+                                              : "?",
+                            fingerprint.c_str());
+                    }
+                    continue;
+                }
+                const Json *id = j.find("id");
+                if (!id || !id->isStr()) {
+                    tapas_warn("dse journal '%s': entry without an "
+                               "id; skipped",
+                               path_.c_str());
+                    continue;
+                }
+                // Last write wins (an entry duplicated by an earlier
+                // resume is harmless).
+                entries_[id->asStr()] = std::move(j);
+            }
+            if (first) {
+                // Existing but empty file: adopt it.
+                std::ofstream out(path_, std::ios::trunc);
+                out << headerJson(fingerprint).dumpCompact() << "\n";
+            }
+            return;
+        }
+        // No journal yet: resuming from nothing is a fresh start.
+    }
+    std::ofstream out(path_, std::ios::trunc);
+    if (!out)
+        tapas_fatal("cannot write dse journal '%s'", path_.c_str());
+    out << headerJson(fingerprint).dumpCompact() << "\n";
+}
+
+const Json *
+Journal::find(const std::string &id) const
+{
+    auto it = entries_.find(id);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+void
+Journal::append(const std::string &id, Json entry)
+{
+    entry.set("id", Json::str(id));
+    const std::string line = entry.dumpCompact();
+    std::lock_guard<std::mutex> lock(mtx_);
+    std::ofstream out(path_, std::ios::app);
+    if (!out)
+        tapas_fatal("cannot append to dse journal '%s'",
+                    path_.c_str());
+    out << line << "\n";
+    out.flush();
+}
+
+} // namespace tapas::dse

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Append-only JSONL journal of completed DSE evaluations — the
+ * crash-safety layer under explore().
+ *
+ * The file holds one header line describing the exploration (format
+ * version + a fingerprint of device/strategy/rungs/space) followed by
+ * one compact JSON line per *completed* evaluation, keyed by the same
+ * content-addressed id as the DesignCache (so the key covers the
+ * module text, the configuration, and — via the rung-sized workload —
+ * the rung). Entries are flushed as soon as each evaluation finishes:
+ * a SIGINT, deadline, or crash loses at most the in-flight points,
+ * and a torn final line (the process died mid-append) is simply
+ * ignored on load.
+ *
+ * Interrupted evaluations are deliberately never journaled — they
+ * carry no replayable result, so --dse-resume re-runs them; only
+ * deterministic outcomes (completed, pruned, or a structural failure
+ * like a deadlocked queue sizing) are restored, which is what makes a
+ * resumed exploration's JSON byte-identical to an uninterrupted run.
+ */
+
+#ifndef TAPAS_DSE_JOURNAL_HH
+#define TAPAS_DSE_JOURNAL_HH
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "support/json.hh"
+
+namespace tapas::dse {
+
+/** Append-only completed-evaluation journal; see file comment. */
+class Journal
+{
+  public:
+    /** Journal format version (the header's "version"). */
+    static constexpr uint64_t kVersion = 1;
+
+    /**
+     * Open `path` for appending. With `resume` set, existing entries
+     * are loaded first (tolerating a truncated final line) and the
+     * header must match `fingerprint` — resuming against a journal
+     * from a *different* exploration is fatal, never silent garbage.
+     * Without `resume`, the file is truncated and a fresh header
+     * written.
+     */
+    Journal(const std::string &path, const std::string &fingerprint,
+            bool resume);
+
+    /** Entry for `id`, or nullptr when never journaled. */
+    const Json *find(const std::string &id) const;
+
+    /** Entries restored at open (resume only). */
+    size_t loadedCount() const { return entries_.size(); }
+
+    /**
+     * Append one completed evaluation and flush. Thread-safe: sweep
+     * workers append concurrently. `entry` must be an object; the id
+     * is stored inside the line.
+     */
+    void append(const std::string &id, Json entry);
+
+  private:
+    std::string path_;
+    std::map<std::string, Json> entries_;
+    std::mutex mtx_;
+};
+
+} // namespace tapas::dse
+
+#endif // TAPAS_DSE_JOURNAL_HH

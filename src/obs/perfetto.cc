@@ -198,6 +198,27 @@ PerfettoTraceSink::faultRecovered(uint64_t cycle, const char *kind,
 }
 
 void
+PerfettoTraceSink::runInterrupted(uint64_t cycle,
+                                  const char *reason)
+{
+    // Global-scope instant: the whole run stopped here.
+    push(strfmt("{\"name\":\"interrupted:%s\","
+                "\"cat\":\"lifecycle\",\"ph\":\"i\",\"s\":\"g\","
+                "\"ts\":%llu,\"pid\":%u,\"tid\":0}",
+                jsonEscape(reason).c_str(), ull(cycle),
+                memoryPid()));
+}
+
+void
+PerfettoTraceSink::checkpointWritten(uint64_t cycle)
+{
+    push(strfmt("{\"name\":\"checkpoint\",\"cat\":\"lifecycle\","
+                "\"ph\":\"i\",\"s\":\"g\",\"ts\":%llu,"
+                "\"pid\":%u,\"tid\":0}",
+                ull(cycle), memoryPid()));
+}
+
+void
 PerfettoTraceSink::cacheMiss(uint64_t /*cycle*/)
 {
     ++cacheMisses;

@@ -57,6 +57,9 @@ class PerfettoTraceSink : public TraceSink
                        unsigned sid) override;
     void faultRecovered(uint64_t cycle, const char *kind,
                         unsigned sid) override;
+    void runInterrupted(uint64_t cycle,
+                        const char *reason) override;
+    void checkpointWritten(uint64_t cycle) override;
     void cacheMiss(uint64_t cycle) override;
     void cacheStall(uint64_t cycle, bool mshr_full) override;
     void queueSample(uint64_t cycle, unsigned sid,

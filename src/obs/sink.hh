@@ -126,6 +126,18 @@ class TraceSink
                    unsigned /*sid*/)
     {}
 
+    /**
+     * The run stopped cooperatively at a cycle boundary (deadline or
+     * cancellation) before the root task retired. `reason` is a
+     * stable token ("deadline", "cancelled", "cycle_deadline").
+     */
+    virtual void
+    runInterrupted(uint64_t /*cycle*/, const char * /*reason*/)
+    {}
+
+    /** A checkpoint snapshot was committed at this cycle. */
+    virtual void checkpointWritten(uint64_t /*cycle*/) {}
+
     /** Periodic sample: queue occupancy of unit `sid`. */
     virtual void
     queueSample(uint64_t /*cycle*/, unsigned /*sid*/,

@@ -137,8 +137,52 @@ AcceleratorSim::run(std::vector<RtValue> top_args)
     uint64_t last_progress = progressEvents;
     uint64_t last_progress_cycle = 0;
 
+    // Cooperative-interruption bookkeeping. The wall-clock token is
+    // polled on an amortized cadence (poll at cycle 0 covers
+    // "cancelled before the first cycle"); the simulated-cycle
+    // deadline is exact. Checkpoints fire at the first boundary at
+    // or past each multiple of the cadence.
+    uint64_t cancel_poll_at = 0;
+    uint64_t next_ckpt = checkpointEveryCycles;
+
     uint64_t cyc = 0;
     for (; !rootFinished && !failure_.failed(); ++cyc) {
+        if (deadlineCycles && cyc >= deadlineCycles) {
+            reportFailure(SimFailure::Kind::Interrupted,
+                          "cycle deadline of " +
+                              std::to_string(deadlineCycles) +
+                              " reached");
+            if (hasSinks) {
+                for (obs::TraceSink *s : sinks)
+                    s->runInterrupted(cyc, "cycle_deadline");
+            }
+            break;
+        }
+        if (cancelToken && cyc >= cancel_poll_at) {
+            cancel_poll_at = cyc + cancelPollInterval;
+            if (cancelToken->shouldStop()) {
+                const char *why =
+                    cancelReasonName(cancelToken->reason());
+                reportFailure(SimFailure::Kind::Interrupted,
+                              std::string("run ") + why +
+                                  " at cycle " + std::to_string(cyc));
+                if (hasSinks) {
+                    for (obs::TraceSink *s : sinks)
+                        s->runInterrupted(cyc, why);
+                }
+                break;
+            }
+        }
+        if (next_ckpt && cyc >= next_ckpt) {
+            while (next_ckpt <= cyc)
+                next_ckpt += checkpointEveryCycles;
+            if (onCheckpoint)
+                onCheckpoint(cyc);
+            if (hasSinks) {
+                for (obs::TraceSink *s : sinks)
+                    s->checkpointWritten(cyc);
+            }
+        }
         if (cyc > maxCycles) {
             reportFailure(
                 SimFailure::Kind::CycleLimit,
@@ -241,6 +285,15 @@ AcceleratorSim::run(std::vector<RtValue> top_args)
                 wake = std::min(
                     wake, last_progress_cycle + watchdogCycles + 1);
                 wake = std::min(wake, maxCycles + 1);
+                // Land exactly on lifecycle boundaries: the cycle
+                // deadline must fire at its cycle, and a checkpoint
+                // boundary should not be overshot. Neither cap binds
+                // unless the boundary is inside the skip span, so a
+                // non-firing deadline keeps the run byte-identical.
+                if (deadlineCycles)
+                    wake = std::min(wake, deadlineCycles);
+                if (next_ckpt)
+                    wake = std::min(wake, next_ckpt);
                 if (hasSinks) {
                     wake = std::min(
                         wake,
@@ -259,9 +312,13 @@ AcceleratorSim::run(std::vector<RtValue> top_args)
 
     _cycles = cyc;
     if (failure_.failed()) {
-        tapas_warn("accelerator run failed (%s): %s",
-                   failureKindName(failure_.kind),
-                   failure_.detail.c_str());
+        // An interrupt is a requested stop, not a malfunction; the
+        // caller reports it through the structured result instead.
+        if (failure_.kind != SimFailure::Kind::Interrupted) {
+            tapas_warn("accelerator run failed (%s): %s",
+                       failureKindName(failure_.kind),
+                       failure_.detail.c_str());
+        }
         return RtValue{};
     }
     return rootValue;

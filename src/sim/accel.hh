@@ -38,12 +38,14 @@
 
 #include <array>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "arch/firing_index.hh"
+#include "support/cancel.hh"
 #include "hls/compile.hh"
 #include "ir/interp.hh"
 #include "obs/profiler.hh"
@@ -740,6 +742,42 @@ class AcceleratorSim
      * every cycle, so skipping would change the fault schedule.
      */
     bool idleSkip = true;
+
+    /**
+     * Cooperative cancellation (not owned; must outlive the run).
+     * Polled every cancelPollInterval cycles — the only place the
+     * simulator reads a wall clock — and honored at the top of the
+     * next cycle: the run stops with SimFailure::Kind::Interrupted
+     * and _cycles holding the boundary it stopped at. Null = never
+     * polled; the zero-observer fast path is untouched.
+     */
+    const CancelToken *cancelToken = nullptr;
+
+    /**
+     * Deterministic *simulated-cycle* deadline: stop with Interrupted
+     * before executing cycle `deadlineCycles` (0 = none). Unlike the
+     * wall-clock token this is exact and reproducible — the
+     * interrupt lands on the same boundary every run — so tests and
+     * checkpoint cadences are built on it. A deadline at or past the
+     * run's natural cycle count never fires (the run completes), and
+     * a non-firing deadline leaves the run byte-identical: the
+     * idle-skip wake is capped at the deadline, which only binds when
+     * the deadline would have been reached anyway.
+     */
+    uint64_t deadlineCycles = 0;
+
+    /** Cycles between cancel-token polls (amortizes clock reads). */
+    uint64_t cancelPollInterval = 4096;
+
+    /**
+     * Checkpoint cadence: invoke onCheckpoint at each multiple of
+     * checkpointEveryCycles the run reaches (0 = off; the idle-skip
+     * wake is capped so boundaries are landed on exactly). The hook
+     * runs between cycles — the simulator state is quiescent — and
+     * must not mutate the simulation.
+     */
+    uint64_t checkpointEveryCycles = 0;
+    std::function<void(uint64_t)> onCheckpoint;
 
     /** Cycles the last run() fast-forwarded over (diagnostics). */
     uint64_t skippedCycles() const { return idleSkipped; }

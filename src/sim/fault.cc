@@ -16,6 +16,8 @@ failureKindName(SimFailure::Kind kind)
         return "fault_budget";
       case SimFailure::Kind::SpawnFailed:
         return "spawn_failed";
+      case SimFailure::Kind::Interrupted:
+        return "interrupted";
     }
     return "unknown";
 }

@@ -54,6 +54,7 @@ struct SimFailure
         CycleLimit,  ///< exceeded maxCycles
         FaultBudget, ///< a task exhausted its fault-retry budget
         SpawnFailed, ///< root spawn rejected by an empty accelerator
+        Interrupted, ///< cooperative stop (deadline or cancel)
     };
 
     Kind kind = Kind::None;

@@ -1,0 +1,44 @@
+#include "support/atomic_file.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "support/logging.hh"
+
+#ifdef _WIN32
+#include <process.h>
+#define getpid _getpid
+#else
+#include <unistd.h>
+#endif
+
+namespace tapas {
+
+void
+atomicWriteFile(const std::string &path, const std::string &content)
+{
+    // The temp file must live in the destination directory:
+    // rename(2) is only atomic within one filesystem.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(getpid());
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            tapas_fatal("cannot write temp file '%s'", tmp.c_str());
+        }
+        os.write(content.data(),
+                 static_cast<std::streamsize>(content.size()));
+        os.flush();
+        if (!os) {
+            std::remove(tmp.c_str());
+            tapas_fatal("short write to temp file '%s'", tmp.c_str());
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        tapas_fatal("cannot rename '%s' into place as '%s'",
+                    tmp.c_str(), path.c_str());
+    }
+}
+
+} // namespace tapas

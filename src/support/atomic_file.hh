@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Atomic artifact writes: stage the content in a temp file next to
+ * the destination and rename() it into place. A reader (or a CI
+ * byte-diff) therefore sees either the previous artifact or the
+ * complete new one — never a truncated file, no matter where an
+ * interrupt or crash lands. Used for every --json/--trace/snapshot
+ * artifact the tools emit.
+ */
+
+#ifndef TAPAS_SUPPORT_ATOMIC_FILE_HH
+#define TAPAS_SUPPORT_ATOMIC_FILE_HH
+
+#include <string>
+
+namespace tapas {
+
+/**
+ * Replace `path` with `content` atomically (temp file + rename in
+ * the destination directory). fatal()s when the directory is not
+ * writable or the rename fails; the temp file never survives.
+ */
+void atomicWriteFile(const std::string &path,
+                     const std::string &content);
+
+} // namespace tapas
+
+#endif // TAPAS_SUPPORT_ATOMIC_FILE_HH

@@ -1,0 +1,58 @@
+#include "support/cancel.hh"
+
+#include <csignal>
+#include <cstdlib>
+
+namespace tapas {
+
+const char *
+cancelReasonName(CancelToken::Reason r)
+{
+    switch (r) {
+      case CancelToken::Reason::None:
+        return "none";
+      case CancelToken::Reason::Cancelled:
+        return "cancelled";
+      case CancelToken::Reason::Deadline:
+        return "deadline";
+    }
+    return "unknown";
+}
+
+CancelToken &
+processCancelToken()
+{
+    static CancelToken token;
+    return token;
+}
+
+namespace {
+
+std::atomic<int> sigintCount{0};
+
+extern "C" void
+sigintHandler(int)
+{
+    // cancel() and the atomic counter are async-signal-safe; nothing
+    // here allocates or locks.
+    if (sigintCount.fetch_add(1, std::memory_order_relaxed) == 0) {
+        processCancelToken().cancel(CancelToken::Reason::Cancelled);
+    } else {
+        // Second Ctrl-C: the run is too wedged to drain.
+        std::_Exit(130);
+    }
+}
+
+} // namespace
+
+void
+installSigintHandler()
+{
+    static bool installed = false;
+    if (installed)
+        return;
+    installed = true;
+    std::signal(SIGINT, sigintHandler);
+}
+
+} // namespace tapas

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Cooperative cancellation and deadlines for long-running work.
+ *
+ * A CancelToken is a tiny shared flag + optional wall-clock deadline
+ * that deep loops (the accelerator simulator's cycle loop, the DSE
+ * rung driver, the job pool) poll at amortized cost and honor at a
+ * clean boundary. Tokens chain: a child token constructed over a
+ * parent trips whenever the parent does, so a per-rung deadline token
+ * composes with the process-wide SIGINT token without either side
+ * knowing about the other.
+ *
+ * Cancellation is *requested*, never imposed: the polling loop
+ * decides where it is safe to stop, finishes the current cycle/job,
+ * and reports a structured "interrupted" outcome instead of throwing
+ * or aborting. installSigintHandler() wires Ctrl-C into the
+ * process-wide token (first SIGINT requests cancellation; a second
+ * one hard-exits for a wedged run).
+ */
+
+#ifndef TAPAS_SUPPORT_CANCEL_HH
+#define TAPAS_SUPPORT_CANCEL_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace tapas {
+
+/** Shared cancel/deadline flag; see file comment. */
+class CancelToken
+{
+  public:
+    /** Why a token tripped. */
+    enum class Reason : uint8_t {
+        None = 0,
+        Cancelled, ///< explicit cancel() (SIGINT, fatal job error)
+        Deadline,  ///< wall-clock deadline expired
+    };
+
+    CancelToken() = default;
+
+    /**
+     * A child token: trips when `parent` trips, and additionally on
+     * its own cancel()/deadline. `parent` may be null (equivalent to
+     * a root token) and is not owned — it must outlive the child.
+     */
+    explicit CancelToken(const CancelToken *parent) : parent_(parent)
+    {}
+
+    /** Request cancellation. Async-signal-safe; idempotent. */
+    void
+    cancel(Reason r = Reason::Cancelled)
+    {
+        uint8_t none = 0;
+        flag_.compare_exchange_strong(
+            none, static_cast<uint8_t>(r), std::memory_order_relaxed);
+    }
+
+    /** Arm a wall-clock deadline `seconds` from now (<= 0 disarms). */
+    void
+    setDeadlineSeconds(double seconds)
+    {
+        if (seconds <= 0) {
+            hasDeadline_ = false;
+            return;
+        }
+        hasDeadline_ = true;
+        deadline_ = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(seconds));
+    }
+
+    /**
+     * Has cancellation been requested (own flag or parent chain)?
+     * Never reads the clock — safe on the hottest paths.
+     */
+    bool
+    cancelled() const
+    {
+        if (flag_.load(std::memory_order_relaxed) != 0)
+            return true;
+        return parent_ && parent_->cancelled();
+    }
+
+    /**
+     * Should the polling loop stop? Checks the flag, the parent
+     * chain, and (only when armed) the deadline clock. Latches: once
+     * true, stays true, and reason() reports why.
+     */
+    bool
+    shouldStop() const
+    {
+        if (flag_.load(std::memory_order_relaxed) != 0)
+            return true;
+        if (parent_ && parent_->shouldStop()) {
+            flag_.store(static_cast<uint8_t>(parent_->reason()),
+                        std::memory_order_relaxed);
+            return true;
+        }
+        if (hasDeadline_ &&
+            std::chrono::steady_clock::now() >= deadline_) {
+            flag_.store(static_cast<uint8_t>(Reason::Deadline),
+                        std::memory_order_relaxed);
+            return true;
+        }
+        return false;
+    }
+
+    /** Why the token tripped (None while still live). */
+    Reason
+    reason() const
+    {
+        return static_cast<Reason>(
+            flag_.load(std::memory_order_relaxed));
+    }
+
+  private:
+    /** Latched trip reason; mutable so shouldStop() can latch. */
+    mutable std::atomic<uint8_t> flag_{0};
+    const CancelToken *parent_ = nullptr;
+    bool hasDeadline_ = false;
+    std::chrono::steady_clock::time_point deadline_{};
+};
+
+/** Stable token name of a trip reason ("cancelled", "deadline"). */
+const char *cancelReasonName(CancelToken::Reason r);
+
+/**
+ * The process-wide token SIGINT trips (see installSigintHandler()).
+ * Long-running tools chain their per-run tokens off this one.
+ */
+CancelToken &processCancelToken();
+
+/**
+ * Route SIGINT into processCancelToken(): the first Ctrl-C requests
+ * cooperative cancellation (the run drains, flushes partial results,
+ * and exits kExitInterrupted); a second Ctrl-C hard-exits with the
+ * conventional 130 for a run too wedged to drain. Idempotent.
+ */
+void installSigintHandler();
+
+/**
+ * Process exit code for a run that was interrupted (deadline or
+ * SIGINT) but shut down cleanly with partial results flushed.
+ * Distinct from error (1), usage (2), verify-mismatch (3), sim
+ * failure (4), and fault-budget (5).
+ */
+constexpr int kExitInterrupted = 6;
+
+} // namespace tapas
+
+#endif // TAPAS_SUPPORT_CANCEL_HH

@@ -1,6 +1,8 @@
 #include "support/json.hh"
 
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
 #include <ostream>
 #include <sstream>
 
@@ -96,6 +98,335 @@ size_t
 Json::size() const
 {
     return kind == Kind::Object ? members.size() : elems.size();
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    tapas_assert(kind == Kind::Object, "Json::find on a non-object");
+    for (const auto &[k, v] : members) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const Json &
+Json::at(size_t i) const
+{
+    tapas_assert(kind == Kind::Array, "Json::at on a non-array");
+    tapas_assert(i < elems.size(), "Json::at out of range");
+    return elems[i];
+}
+
+const std::string &
+Json::keyAt(size_t i) const
+{
+    tapas_assert(kind == Kind::Object, "Json::keyAt on a non-object");
+    tapas_assert(i < members.size(), "Json::keyAt out of range");
+    return members[i].first;
+}
+
+const Json &
+Json::valueAt(size_t i) const
+{
+    tapas_assert(kind == Kind::Object,
+                 "Json::valueAt on a non-object");
+    tapas_assert(i < members.size(), "Json::valueAt out of range");
+    return members[i].second;
+}
+
+const std::string &
+Json::asStr() const
+{
+    tapas_assert(kind == Kind::Str, "Json::asStr on a non-string");
+    return strVal;
+}
+
+bool
+Json::asBool() const
+{
+    tapas_assert(kind == Kind::Bool, "Json::asBool on a non-bool");
+    return boolVal;
+}
+
+double
+Json::asNum() const
+{
+    if (kind == Kind::NumInt)
+        return static_cast<double>(static_cast<int64_t>(intVal));
+    tapas_assert(kind == Kind::NumDouble,
+                 "Json::asNum on a non-number");
+    return numVal;
+}
+
+uint64_t
+Json::asUint() const
+{
+    if (kind == Kind::NumDouble)
+        return static_cast<uint64_t>(numVal);
+    tapas_assert(kind == Kind::NumInt,
+                 "Json::asUint on a non-number");
+    return intVal;
+}
+
+/** Recursive-descent parser over writer-style JSON. */
+struct JsonParser
+{
+    const std::string &text;
+    size_t pos = 0;
+    std::string err;
+
+    explicit JsonParser(const std::string &t) : text(t) {}
+
+    bool
+    fail(const std::string &what)
+    {
+        if (err.empty()) {
+            err = what + " at offset " + std::to_string(pos);
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return fail(std::string("expected '") + c + "'");
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = std::char_traits<char>::length(word);
+        if (text.compare(pos, n, word) != 0)
+            return fail("bad literal");
+        pos += n;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (pos >= text.size() || text[pos] != '"')
+            return fail("expected string");
+        ++pos;
+        while (pos < text.size()) {
+            char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                return fail("truncated escape");
+            char e = text[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                  if (pos + 4 > text.size())
+                      return fail("truncated \\u escape");
+                  unsigned cp = 0;
+                  for (int i = 0; i < 4; ++i) {
+                      char h = text[pos++];
+                      cp <<= 4;
+                      if (h >= '0' && h <= '9')
+                          cp |= static_cast<unsigned>(h - '0');
+                      else if (h >= 'a' && h <= 'f')
+                          cp |= static_cast<unsigned>(h - 'a' + 10);
+                      else if (h >= 'A' && h <= 'F')
+                          cp |= static_cast<unsigned>(h - 'A' + 10);
+                      else
+                          return fail("bad \\u escape");
+                  }
+                  // The writer only emits \u00xx control escapes;
+                  // encode the general case as UTF-8 anyway.
+                  if (cp < 0x80) {
+                      out += static_cast<char>(cp);
+                  } else if (cp < 0x800) {
+                      out += static_cast<char>(0xc0 | (cp >> 6));
+                      out += static_cast<char>(0x80 | (cp & 0x3f));
+                  } else {
+                      out += static_cast<char>(0xe0 | (cp >> 12));
+                      out += static_cast<char>(0x80 |
+                                               ((cp >> 6) & 0x3f));
+                      out += static_cast<char>(0x80 | (cp & 0x3f));
+                  }
+                  break;
+              }
+              default:
+                return fail("bad escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(Json &out)
+    {
+        size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        bool integral = true;
+        while (pos < text.size()) {
+            char c = text[pos];
+            if (c >= '0' && c <= '9') {
+                ++pos;
+            } else if (c == '.' || c == 'e' || c == 'E' ||
+                       c == '+' || c == '-') {
+                integral = false;
+                ++pos;
+            } else {
+                break;
+            }
+        }
+        if (pos == start)
+            return fail("expected number");
+        std::string tok = text.substr(start, pos - start);
+        errno = 0;
+        if (integral) {
+            // Integer literals round-trip through NumInt so a parsed
+            // document re-dumps exactly what the writer emitted.
+            char *end = nullptr;
+            long long v = std::strtoll(tok.c_str(), &end, 10);
+            if (errno == 0 && end && *end == '\0') {
+                out = Json::num(
+                    static_cast<uint64_t>(static_cast<int64_t>(v)));
+                return true;
+            }
+        }
+        char *end = nullptr;
+        double d = std::strtod(tok.c_str(), &end);
+        if (!end || *end != '\0')
+            return fail("bad number");
+        out = Json();
+        out.kind = Json::Kind::NumDouble;
+        out.numVal = d;
+        return true;
+    }
+
+    bool
+    parseValue(Json &out, unsigned depth)
+    {
+        if (depth > 128)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            out = Json::object();
+            skipWs();
+            if (pos < text.size() && text[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                if (!consume(':'))
+                    return false;
+                Json v;
+                if (!parseValue(v, depth + 1))
+                    return false;
+                out.set(key, std::move(v));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                return consume('}');
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out = Json::array();
+            skipWs();
+            if (pos < text.size() && text[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                Json v;
+                if (!parseValue(v, depth + 1))
+                    return false;
+                out.push(std::move(v));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                return consume(']');
+            }
+        }
+        if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Json::str(std::move(s));
+            return true;
+        }
+        if (c == 't') {
+            if (!literal("true"))
+                return false;
+            out = Json::boolean(true);
+            return true;
+        }
+        if (c == 'f') {
+            if (!literal("false"))
+                return false;
+            out = Json::boolean(false);
+            return true;
+        }
+        if (c == 'n') {
+            if (!literal("null"))
+                return false;
+            out = Json();
+            return true;
+        }
+        return parseNumber(out);
+    }
+};
+
+Json
+Json::parse(const std::string &text, std::string *err)
+{
+    JsonParser p(text);
+    Json out;
+    bool ok = p.parseValue(out, 0);
+    if (ok) {
+        p.skipWs();
+        if (p.pos != text.size())
+            ok = p.fail("trailing garbage");
+    }
+    if (err)
+        *err = ok ? "" : p.err;
+    return ok ? out : Json();
 }
 
 namespace {
@@ -201,6 +532,45 @@ Json::dump() const
 {
     std::ostringstream ss;
     write(ss);
+    return ss.str();
+}
+
+void
+Json::writeCompact(std::ostream &os) const
+{
+    switch (kind) {
+      case Kind::Array:
+        os << '[';
+        for (size_t i = 0; i < elems.size(); ++i) {
+            if (i)
+                os << ',';
+            elems[i].writeCompact(os);
+        }
+        os << ']';
+        break;
+      case Kind::Object:
+        os << '{';
+        for (size_t i = 0; i < members.size(); ++i) {
+            if (i)
+                os << ',';
+            writeEscaped(os, members[i].first);
+            os << ':';
+            members[i].second.writeCompact(os);
+        }
+        os << '}';
+        break;
+      default:
+        // Scalars render identically in both forms.
+        writeIndented(os, 0);
+        break;
+    }
+}
+
+std::string
+Json::dumpCompact() const
+{
+    std::ostringstream ss;
+    writeCompact(ss);
     return ss.str();
 }
 

@@ -3,11 +3,17 @@
  * Minimal JSON document builder used for machine-readable experiment
  * result export (`--json` in the bench harnesses and tapas-cc).
  *
- * Deliberately tiny: build-and-serialize only, no parsing. Object
- * keys keep insertion order and number formatting is deterministic,
- * so two runs that compute identical results serialize to
- * byte-identical files — the property the experiment driver's
- * determinism guarantee extends to disk.
+ * Deliberately tiny. Object keys keep insertion order and number
+ * formatting is deterministic, so two runs that compute identical
+ * results serialize to byte-identical files — the property the
+ * experiment driver's determinism guarantee extends to disk.
+ *
+ * The run-lifecycle layer (snapshots, the DSE journal) additionally
+ * needs to read documents this writer produced, so there is a small
+ * parse() with read-only accessors. parse() + dump() is stable on
+ * writer output: integer literals come back as integers and doubles
+ * re-render through the same %.10g, so a value journaled once and a
+ * value recomputed serialize byte-identically (tests pin this).
  */
 
 #ifndef TAPAS_SUPPORT_JSON_HH
@@ -42,6 +48,14 @@ class Json
     static Json num(unsigned v) { return num(static_cast<uint64_t>(v)); }
     static Json boolean(bool v);
 
+    /**
+     * Parse a JSON document. On a syntax error, returns null and
+     * (when `err` is non-null) stores a diagnostic with the byte
+     * offset; a valid parse leaves `err` empty.
+     */
+    static Json parse(const std::string &text,
+                      std::string *err = nullptr);
+
     /** Set `key` in an object (panics on non-objects). */
     Json &set(const std::string &key, Json v);
 
@@ -50,6 +64,36 @@ class Json
 
     /** Elements in an array / members in an object. */
     size_t size() const;
+
+    // --- read-only accessors (for parsed documents) ---------------
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isStr() const { return kind == Kind::Str; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    bool
+    isNum() const
+    {
+        return kind == Kind::NumDouble || kind == Kind::NumInt;
+    }
+
+    /** Member lookup in an object; nullptr when absent. */
+    const Json *find(const std::string &key) const;
+
+    /** Element `i` of an array (panics out of range). */
+    const Json &at(size_t i) const;
+
+    /** Key / value of object member `i` (insertion order). */
+    const std::string &keyAt(size_t i) const;
+    const Json &valueAt(size_t i) const;
+
+    /** The value (panics on kind mismatch). */
+    const std::string &asStr() const;
+    bool asBool() const;
+    double asNum() const;
+    uint64_t asUint() const;
 
     /**
      * Serialize with 2-space indentation and a trailing newline at
@@ -60,7 +104,16 @@ class Json
     /** write() into a string. */
     std::string dump() const;
 
+    /**
+     * Serialize onto a single line with no whitespace and no
+     * trailing newline — the JSONL form the DSE journal appends, one
+     * record per line so a torn write only ever loses the last line.
+     */
+    std::string dumpCompact() const;
+
   private:
+    friend struct JsonParser;
+
     enum class Kind : uint8_t {
         Null,
         Bool,
@@ -72,6 +125,7 @@ class Json
     };
 
     void writeIndented(std::ostream &os, unsigned depth) const;
+    void writeCompact(std::ostream &os) const;
 
     Kind kind = Kind::Null;
     bool boolVal = false;

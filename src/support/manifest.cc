@@ -1,0 +1,26 @@
+#include "support/manifest.hh"
+
+namespace tapas {
+
+Json
+runManifest(const std::string &tool, int argc,
+            const char *const *argv, unsigned jobs)
+{
+    Json m = Json::object();
+    m.set("tool", Json::str(tool));
+    Json args = Json::array();
+    for (int i = 1; i < argc; ++i)
+        args.push(Json::str(argv[i]));
+    m.set("args", std::move(args));
+    m.set("jobs", Json::num(jobs));
+#ifdef __VERSION__
+    m.set("compiler", Json::str(__VERSION__));
+#else
+    m.set("compiler", Json::str("unknown"));
+#endif
+    m.set("cxx_standard",
+          Json::num(static_cast<uint64_t>(__cplusplus)));
+    return m;
+}
+
+} // namespace tapas

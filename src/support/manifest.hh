@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Run manifest: the reproducibility block embedded in every --json
+ * export (tool name, the exact command line, resolved worker count,
+ * build info). Mirrors the compile-timings policy — diagnostic
+ * context for a human or an archival system, never part of the
+ * byte-compared result fields; tools/strip_volatile.py removes it
+ * before CI byte-diffs.
+ */
+
+#ifndef TAPAS_SUPPORT_MANIFEST_HH
+#define TAPAS_SUPPORT_MANIFEST_HH
+
+#include <string>
+
+#include "support/json.hh"
+
+namespace tapas {
+
+/**
+ * Build the manifest object for one tool invocation. Callers may
+ * set() additional keys (e.g. a fault seed) before embedding it
+ * under "manifest" in their JSON document.
+ *
+ * @param tool stable tool name ("tapas-cc", "dse_explore", ...)
+ * @param argc/argv the untouched process command line
+ * @param jobs resolved worker count (after --jobs/TAPAS_JOBS)
+ */
+Json runManifest(const std::string &tool, int argc,
+                 const char *const *argv, unsigned jobs);
+
+} // namespace tapas
+
+#endif // TAPAS_SUPPORT_MANIFEST_HH

@@ -8,11 +8,16 @@
  * cache totals included — is identical for any worker count.
  */
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include <gtest/gtest.h>
 
 #include "driver/engine.hh"
 #include "dse/dse.hh"
 #include "ir/printer.hh"
+#include "support/cancel.hh"
 #include "workloads/workload.hh"
 
 using namespace tapas;
@@ -211,6 +216,177 @@ TEST(RunResult, StatOrFallsBackWhenAbsent)
     r.stats["present"] = 7.5;
     EXPECT_EQ(r.statOr("present", 0), 7.5);
     EXPECT_EQ(r.statOr("absent", -1), -1);
+}
+
+// ---------------------------------------------------------------
+// Journal / resume
+// ---------------------------------------------------------------
+
+std::string
+journalTmp(const std::string &name)
+{
+    return (std::filesystem::path(testing::TempDir()) / name)
+        .string();
+}
+
+dse::ParamSpace
+journalSpace()
+{
+    dse::ParamSpace space;
+    space.tiles = {1, 2};
+    space.ntasks = {16, 32};
+    return space;
+}
+
+dse::ExploreOptions
+journalOpts()
+{
+    dse::ExploreOptions opts;
+    opts.rungs = 1;
+    return opts;
+}
+
+/**
+ * The journal crash-safety contract: journaling an exploration does
+ * not perturb its export, and resuming from a completed journal —
+ * where every evaluation restores instead of re-running — produces
+ * the identical bytes.
+ */
+TEST(DseJournal, CompletedJournalResumesByteIdentically)
+{
+    const std::string path = journalTmp("dse_journal_full.jsonl");
+    const std::string ref =
+        dse::toJson(dse::explore(saxpyFactory(), journalSpace(),
+                                 journalOpts()))
+            .dump();
+
+    dse::ExploreOptions jopts = journalOpts();
+    jopts.journalPath = path;
+    dse::ExploreResult first =
+        dse::explore(saxpyFactory(), journalSpace(), jopts);
+    EXPECT_EQ(dse::toJson(first).dump(), ref);
+    EXPECT_FALSE(first.partial);
+    EXPECT_EQ(first.journaled, 0u);
+
+    jopts.resume = true;
+    dse::ExploreResult second =
+        dse::explore(saxpyFactory(), journalSpace(), jopts);
+    EXPECT_EQ(dse::toJson(second).dump(), ref);
+    // Everything came back from the journal; nothing re-simulated,
+    // yet the simulated/cache totals in the export still match.
+    EXPECT_EQ(second.journaled, journalSpace().size());
+    for (const dse::PointResult &p : second.points)
+        EXPECT_TRUE(p.fromJournal) << p.config.label();
+}
+
+/**
+ * A cancelled exploration flushes a partial result (skipped points,
+ * "partial": true, the reason) and a resume completes it to the
+ * uninterrupted bytes.
+ */
+TEST(DseJournal, CancelledRunIsPartialAndResumeCompletes)
+{
+    const std::string path = journalTmp("dse_journal_cancel.jsonl");
+    const std::string ref =
+        dse::toJson(dse::explore(saxpyFactory(), journalSpace(),
+                                 journalOpts()))
+            .dump();
+
+    CancelToken tok;
+    tok.cancel();
+    dse::ExploreOptions copts = journalOpts();
+    copts.journalPath = path;
+    copts.cancel = &tok;
+    dse::ExploreResult cut =
+        dse::explore(saxpyFactory(), journalSpace(), copts);
+    EXPECT_TRUE(cut.partial);
+    EXPECT_EQ(cut.interruptReason, "cancelled");
+    EXPECT_EQ(cut.skipped, journalSpace().size());
+    EXPECT_TRUE(cut.frontier.empty());
+
+    std::string err;
+    Json cut_doc = Json::parse(dse::toJson(cut).dump(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_TRUE(cut_doc.find("partial")->asBool());
+    EXPECT_EQ(cut_doc.find("interrupt_reason")->asStr(),
+              "cancelled");
+
+    dse::ExploreOptions ropts = journalOpts();
+    ropts.journalPath = path;
+    ropts.resume = true;
+    dse::ExploreResult done =
+        dse::explore(saxpyFactory(), journalSpace(), ropts);
+    EXPECT_FALSE(done.partial);
+    EXPECT_EQ(dse::toJson(done).dump(), ref);
+    // The complete export says so explicitly.
+    Json done_doc = Json::parse(dse::toJson(done).dump(), &err);
+    EXPECT_FALSE(done_doc.find("partial")->asBool());
+    EXPECT_EQ(done_doc.find("interrupt_reason"), nullptr);
+}
+
+/**
+ * A journal whose final line was torn mid-append (crash) still
+ * resumes: the torn entry re-runs, the rest restore, and the export
+ * is byte-identical to the uninterrupted run.
+ */
+TEST(DseJournal, TornFinalLineRecovers)
+{
+    const std::string path = journalTmp("dse_journal_torn.jsonl");
+    const std::string ref =
+        dse::toJson(dse::explore(saxpyFactory(), journalSpace(),
+                                 journalOpts()))
+            .dump();
+
+    dse::ExploreOptions jopts = journalOpts();
+    jopts.journalPath = path;
+    dse::explore(saxpyFactory(), journalSpace(), jopts);
+
+    // Tear the last journaled line in half.
+    std::string text;
+    {
+        std::ifstream in(path);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        text = ss.str();
+    }
+    ASSERT_FALSE(text.empty());
+    ASSERT_EQ(text.back(), '\n');
+    const size_t last_start = text.rfind('\n', text.size() - 2) + 1;
+    const size_t cut =
+        last_start + (text.size() - last_start) / 2;
+    ASSERT_GT(cut, last_start);
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << text.substr(0, cut);
+    }
+
+    dse::ExploreOptions ropts = journalOpts();
+    ropts.journalPath = path;
+    ropts.resume = true;
+    dse::ExploreResult done =
+        dse::explore(saxpyFactory(), journalSpace(), ropts);
+    EXPECT_FALSE(done.partial);
+    EXPECT_LT(done.journaled, journalSpace().size());
+    EXPECT_EQ(dse::toJson(done).dump(), ref);
+}
+
+/** Resuming against another exploration's journal is fatal. */
+TEST(DseJournalDeathTest, ForeignJournalIsRejected)
+{
+    const std::string path =
+        journalTmp("dse_journal_foreign.jsonl");
+    dse::ExploreOptions jopts = journalOpts();
+    jopts.journalPath = path;
+    dse::explore(saxpyFactory(), journalSpace(), jopts);
+
+    // Same journal file, different space: the fingerprint differs.
+    dse::ParamSpace other = journalSpace();
+    other.tiles = {1, 2, 4};
+    dse::ExploreOptions ropts = journalOpts();
+    ropts.journalPath = path;
+    ropts.resume = true;
+    EXPECT_DEATH(dse::explore(saxpyFactory(), other, ropts),
+                 "different exploration");
 }
 
 } // namespace

@@ -30,6 +30,7 @@ Usage:
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -40,7 +41,14 @@ def load_rows(path):
     rows = doc.get("rows", [])
     if not rows:
         sys.exit(f"error: {path} has no benchmark rows")
-    return {(r["workload"], r["tiles"]): r for r in rows}
+    out = {}
+    for r in rows:
+        if "workload" not in r or "tiles" not in r:
+            print(f"  warn: {path} has a row without workload/tiles "
+                  "keys; skipped")
+            continue
+        out[(r["workload"], r["tiles"])] = r
+    return out
 
 
 def main():
@@ -54,6 +62,15 @@ def main():
                     help="fail when sim_khz < R x baseline (default: 1/3)")
     args = ap.parse_args()
 
+    # A missing baseline is not a regression: first run on a fresh
+    # branch, renamed file, or a deliberately dropped baseline. Warn
+    # so the log shows the gate did not actually compare anything,
+    # but let the build pass.
+    if not os.path.exists(args.baseline):
+        print(f"perf gate: warning: baseline '{args.baseline}' not "
+              "found; nothing to compare, passing")
+        return 0
+
     base = load_rows(args.baseline)
     cur = load_rows(args.current)
 
@@ -66,6 +83,12 @@ def main():
         if c is None:
             print(f"  missing row for {name} in current report")
             failed = True
+            continue
+        if "cycles" not in b or "sim_khz" not in b:
+            # A baseline row without the gated metrics cannot fail
+            # anything — warn so the hole is visible, keep going.
+            print(f"  warn: baseline row {name} lacks cycles/sim_khz;"
+                  " skipped")
             continue
         if c["cycles"] != b["cycles"]:
             print(f"  CYCLE DRIFT on {name}: baseline {b['cycles']} vs "

@@ -38,9 +38,32 @@
  *   --dse-tiles LIST      comma-separated tile counts (1,2,4,8)
  *   --dse-ntasks LIST     comma-separated queue sizes (--ntasks)
  *
+ * Run lifecycle (see DESIGN.md, "Run lifecycle"):
+ *   --deadline SEC        wall-clock budget for --run; on expiry the
+ *                         simulation stops at a cycle boundary,
+ *                         writes a snapshot (with --checkpoint) and
+ *                         exits 6
+ *   --deadline-cycles N   deterministic simulated-cycle deadline
+ *   --checkpoint PATH     where to write the resume snapshot when a
+ *                         run is interrupted
+ *   --checkpoint-every N  additionally snapshot every N cycles while
+ *                         the run is going
+ *   --resume PATH         continue an interrupted run from its
+ *                         snapshot (no input file needed); the
+ *                         completed run is byte-identical to one
+ *                         that was never interrupted
+ *   --dse-journal PATH    journal completed DSE evaluations (JSONL)
+ *   --dse-resume PATH     resume a DSE exploration from its journal
+ *   --dse-deadline SEC    wall-clock budget for --dse, apportioned
+ *                         across rungs
+ *   SIGINT (Ctrl-C) requests cooperative cancellation everywhere:
+ *   partial results are flushed and the exit code is 6; a second
+ *   SIGINT hard-exits (130).
+ *
  * Exit codes: 0 success, 1 toolchain error, 2 usage, 3 --run/--interp
  * return-value mismatch, 4 simulation failed (deadlock / cycle
- * limit / spawn failed), 5 fault-retry budget exhausted.
+ * limit / spawn failed), 5 fault-retry budget exhausted,
+ * 6 interrupted (deadline or SIGINT; partial results flushed).
  *
  * Example:
  *   tapas-cc examples/vector_scale.tir --report \
@@ -55,12 +78,16 @@
 #include "codegen/chisel.hh"
 #include "driver/engine.hh"
 #include "driver/jobrunner.hh"
+#include "driver/snapshot.hh"
 #include "dse/dse.hh"
 #include "fpga/model.hh"
 #include "ir/parser.hh"
 #include "ir/printer.hh"
 #include "ir/verifier.hh"
+#include "support/atomic_file.hh"
+#include "support/cancel.hh"
 #include "support/json.hh"
+#include "support/manifest.hh"
 
 using namespace tapas;
 
@@ -122,11 +149,26 @@ usage(const char *argv0)
            "1,2,4,8)\n"
            "  --dse-ntasks LIST   queue sizes to explore (default: "
            "--ntasks)\n"
+           "  --deadline SEC      wall-clock budget for --run "
+           "(interrupt + exit 6)\n"
+           "  --deadline-cycles N deterministic simulated-cycle "
+           "deadline for --run\n"
+           "  --checkpoint PATH   resume snapshot for interrupted "
+           "runs\n"
+           "  --checkpoint-every N  also snapshot every N simulated "
+           "cycles\n"
+           "  --resume PATH       continue an interrupted --run from "
+           "its snapshot\n"
+           "  --dse-journal PATH  journal completed --dse "
+           "evaluations (JSONL)\n"
+           "  --dse-resume PATH   resume --dse from its journal\n"
+           "  --dse-deadline SEC  wall-clock budget for --dse\n"
            "\n"
            "exit codes: 0 ok, 1 error, 2 usage, 3 run/interp "
            "mismatch,\n"
            "            4 simulation failure, 5 fault budget "
-           "exhausted\n";
+           "exhausted,\n"
+           "            6 interrupted (deadline or SIGINT)\n";
     std::exit(2);
 }
 
@@ -168,6 +210,18 @@ parseUnsignedList(const std::string &flag, const std::string &text)
     return values;
 }
 
+/** Parse a 64-bit flag argument (cycle counts); fatal() on garbage. */
+uint64_t
+parseUint64(const std::string &flag, const std::string &text)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 0);
+    if (end == text.c_str() || *end != '\0')
+        tapas_fatal("%s expects a number, got '%s'", flag.c_str(),
+                    text.c_str());
+    return v;
+}
+
 /** Parse a (possibly scientific-notation) rate argument. */
 double
 parseDouble(const std::string &flag, const std::string &text)
@@ -203,10 +257,9 @@ writeOut(const std::string &path, const std::string &content)
         std::cout << content;
         return;
     }
-    std::ofstream out(path);
-    if (!out)
-        tapas_fatal("cannot write '%s'", path.c_str());
-    out << content;
+    // Atomic (temp + rename): an interrupt or crash mid-write can
+    // never leave a torn artifact behind.
+    atomicWriteFile(path, content);
     std::cout << "wrote " << path << " (" << content.size()
               << " bytes)\n";
 }
@@ -227,7 +280,14 @@ main(int argc, char **argv)
     if (argc < 2)
         usage(argv[0]);
 
-    std::string input = argv[1];
+    // The input file is optional when the module comes from a
+    // snapshot (--resume), so a leading flag is legal.
+    std::string input;
+    int first_flag = 1;
+    if (argv[1][0] != '-') {
+        input = argv[1];
+        first_flag = 2;
+    }
     std::string top_name;
     std::string chisel_path;
     std::string dot_path;
@@ -252,11 +312,16 @@ main(int argc, char **argv)
     std::vector<unsigned> dse_tiles{1, 2, 4, 8};
     std::vector<unsigned> dse_ntasks;
     std::vector<std::string> run_args;
+    double deadline_sec = 0;
+    uint64_t deadline_cycles = 0;
+    std::string checkpoint_path;
+    uint64_t checkpoint_every = 0;
+    std::string resume_path;
+    std::string dse_journal_path;
+    bool dse_resume = false;
+    double dse_deadline_sec = 0;
 
-    if (input == "--help" || input == "-h")
-        usage(argv[0]);
-
-    for (int i = 2; i < argc; ++i) {
+    for (int i = first_flag; i < argc; ++i) {
         std::string a = argv[i];
         auto next = [&]() -> std::string {
             if (++i >= argc)
@@ -311,6 +376,23 @@ main(int argc, char **argv)
             dse_tiles = parseUnsignedList(a, next());
         } else if (a == "--dse-ntasks") {
             dse_ntasks = parseUnsignedList(a, next());
+        } else if (a == "--deadline") {
+            deadline_sec = parseDouble(a, next());
+        } else if (a == "--deadline-cycles") {
+            deadline_cycles = parseUint64(a, next());
+        } else if (a == "--checkpoint") {
+            checkpoint_path = next();
+        } else if (a == "--checkpoint-every") {
+            checkpoint_every = parseUint64(a, next());
+        } else if (a == "--resume") {
+            resume_path = next();
+        } else if (a == "--dse-journal") {
+            dse_journal_path = next();
+        } else if (a == "--dse-resume") {
+            dse_journal_path = next();
+            dse_resume = true;
+        } else if (a == "--dse-deadline") {
+            dse_deadline_sec = parseDouble(a, next());
         } else if (a == "--run" || a == "--interp" || a == "--dse") {
             // All engines share one argument list; later flags may
             // omit it.
@@ -328,7 +410,45 @@ main(int argc, char **argv)
         }
     }
 
-    auto mod = ir::parseModuleOrDie(readFile(input));
+    // First Ctrl-C requests cooperative cancellation; the run drains,
+    // flushes partial artifacts, and exits kExitInterrupted.
+    installSigintHandler();
+
+    // Fault schedule, resolved once: flags (uniform rate + seed) or
+    // the exact config an interrupted run snapshotted.
+    std::optional<sim::FaultConfig> fault_cfg;
+    if (fault_given) {
+        sim::FaultConfig fc =
+            sim::FaultConfig::uniform(fault_rate, fault_seed);
+        fc.maxTaskRetries = max_retries;
+        fault_cfg = fc;
+    }
+
+    driver::Snapshot snap;
+    const bool resuming = !resume_path.empty();
+    if (resuming) {
+        // The snapshot is the authoritative replay recipe: it
+        // overrides the module source and every knob that shaped the
+        // interrupted run, and it implies --run.
+        snap = driver::readSnapshot(resume_path);
+        input = snap.inputName;
+        top_name = snap.top;
+        run_args = snap.runArgs;
+        tiles = snap.tiles;
+        ntasks = snap.ntasks;
+        do_opt = snap.optPasses;
+        unroll = snap.unrollFactor;
+        fault_cfg = snap.fault;
+        do_run = true;
+        std::cout << "resume: replaying " << input << " from "
+                  << resume_path << " (interrupted at cycle "
+                  << snap.interruptCycle << ")\n";
+    } else if (input.empty()) {
+        usage(argv[0]);
+    }
+
+    auto mod = ir::parseModuleOrDie(
+        resuming ? snap.moduleText : readFile(input));
     ir::verifyOrDie(*mod);
 
     ir::Function *top = nullptr;
@@ -416,6 +536,12 @@ main(int argc, char **argv)
     doc.set("tool", Json::str("tapas_cc"));
     doc.set("input", Json::str(input));
     doc.set("top", Json::str(top->name()));
+    // Where these results came from: argv, jobs, build info. Varies
+    // across hosts and invocations (a resumed run's argv differs from
+    // the uninterrupted one's) — byte-comparing diffs must strip it,
+    // like compile_timings (tools/strip_volatile.py).
+    doc.set("manifest", runManifest("tapas_cc", argc, argv,
+                                    driver::resolveJobs(cli_jobs)));
     // Host wall-clock phase timings of the one compile above. These
     // vary run to run by nature — determinism checks must diff the
     // simulation payloads, never this block.
@@ -450,6 +576,23 @@ main(int argc, char **argv)
             return args;
         };
 
+        // Rebuildable replay recipe for checkpoint/interrupt
+        // snapshots; `cycle` is the boundary the run stopped at.
+        auto buildSnapshot = [&](uint64_t cycle) {
+            driver::Snapshot s;
+            s.inputName = input;
+            s.moduleText = ir::toString(*mod);
+            s.top = top->name();
+            s.runArgs = run_args;
+            s.tiles = tiles;
+            s.ntasks = ntasks;
+            s.optPasses = do_opt;
+            s.unrollFactor = unroll;
+            s.fault = fault_cfg;
+            s.interruptCycle = cycle;
+            return s;
+        };
+
         sim::TaskTracer tracer;
         driver::Sweep<driver::RunResult> sweep(
             driver::resolveJobs(cli_jobs));
@@ -469,17 +612,23 @@ main(int argc, char **argv)
                 eo.design = cd;
                 if (!trace_csv_path.empty())
                     eo.tracer = &tracer;
-                if (fault_given) {
-                    sim::FaultConfig fc = sim::FaultConfig::uniform(
-                        fault_rate, fault_seed);
-                    fc.maxTaskRetries = max_retries;
-                    eo.fault = fc;
-                }
+                if (fault_cfg)
+                    eo.fault = *fault_cfg;
                 driver::AccelSimEngine eng(std::move(eo));
                 driver::RunOptions ro;
                 ro.traceFile = trace_path;
                 ro.profile = do_profile;
                 ro.explain = do_explain;
+                ro.cancel = &processCancelToken();
+                ro.deadlineSeconds = deadline_sec;
+                ro.deadlineCycles = deadline_cycles;
+                if (!checkpoint_path.empty() && checkpoint_every) {
+                    ro.checkpointEveryCycles = checkpoint_every;
+                    ro.onCheckpoint = [&](uint64_t cyc) {
+                        driver::writeSnapshot(checkpoint_path,
+                                              buildSnapshot(cyc));
+                    };
+                }
                 return eng.run(*mod, *top, args, mem, ro);
             });
         }
@@ -520,7 +669,20 @@ main(int argc, char **argv)
                 tracer.dumpCsv(os);
                 writeOut(trace_csv_path, os.str());
             }
-            if (!r.ok()) {
+            if (r.interrupted) {
+                std::cout << "accel: interrupted at cycle "
+                          << r.interruptCycle << " ("
+                          << r.failure->detail << ")\n";
+                if (!checkpoint_path.empty()) {
+                    driver::writeSnapshot(
+                        checkpoint_path,
+                        buildSnapshot(r.interruptCycle));
+                    std::cout << "snapshot: wrote " << checkpoint_path
+                              << "; continue with --resume "
+                              << checkpoint_path << "\n";
+                }
+                exit_code = kExitInterrupted;
+            } else if (!r.ok()) {
                 std::cout << "accel: FAILED ("
                           << r.failure->kind << ") after "
                           << r.cycles << " cycles\n"
@@ -538,7 +700,13 @@ main(int argc, char **argv)
                 }
                 std::cout << "\n";
             }
-            if (fault_given && fault_rate > 0) {
+            const bool fault_active =
+                fault_cfg && (fault_cfg->spawnDropRate > 0 ||
+                              fault_cfg->queueCorruptRate > 0 ||
+                              fault_cfg->memDropRate > 0 ||
+                              fault_cfg->memDelayRate > 0 ||
+                              fault_cfg->tileStuckRate > 0);
+            if (fault_active && !r.interrupted) {
                 std::cout << "fault: injected="
                           << static_cast<uint64_t>(
                                  r.statOr("fault.spawn_drops", 0) +
@@ -647,6 +815,10 @@ main(int argc, char **argv)
         xopts.jobs = driver::resolveJobs(cli_jobs);
         xopts.strategy = dse::Strategy::ExhaustiveGrid;
         xopts.rungs = 1;
+        xopts.cancel = &processCancelToken();
+        xopts.deadlineSeconds = dse_deadline_sec;
+        xopts.journalPath = dse_journal_path;
+        xopts.resume = dse_resume;
 
         std::cout << "dse: exploring " << space.size()
                   << " configurations of @" << top_name << " on "
@@ -655,6 +827,8 @@ main(int argc, char **argv)
             dse::explore(factory, space, xopts);
         dse::printReport(xr, std::cout);
         doc.set("dse", dse::toJson(xr));
+        if (xr.partial && exit_code == 0)
+            exit_code = kExitInterrupted;
     }
 
     if (!json_path.empty()) {
