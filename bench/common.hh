@@ -32,6 +32,7 @@
 #define TAPAS_BENCH_COMMON_HH
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -262,6 +263,29 @@ numberedTracePath(const std::string &path, unsigned n)
     if (dot == std::string::npos || dot == 0)
         return path + suffix;
     return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
+/**
+ * Best-of-N wall-clock timing with one untimed warm-up iteration.
+ * `timed_once` performs one complete measurement and returns its
+ * host seconds; the first invocation's time is discarded (cold
+ * i-cache, first-touch page faults, lazy allocator pools all land
+ * there) and the minimum over the next `reps` invocations is
+ * returned. Modeled results must not depend on how often
+ * `timed_once` runs — it is invoked reps + 1 times.
+ */
+template <typename Fn>
+inline double
+warmedBestOf(unsigned reps, Fn &&timed_once)
+{
+    (void)timed_once(); // warm-up, timing discarded
+    double best = 0;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        double secs = timed_once();
+        if (rep == 0 || secs < best)
+            best = secs;
+    }
+    return best;
 }
 
 /** Layer the bench-wide --fault-* config into engine options. */

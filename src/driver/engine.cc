@@ -223,6 +223,7 @@ AccelSimEngine::simulate(const hls::AcceleratorDesign &design,
     if (opts.watchdogCycles)
         accel.watchdogCycles = *opts.watchdogCycles;
     accel.idleSkip = opts.idleSkip;
+    accel.scheduler = opts.scheduler;
 
     // Run lifecycle: a wall-clock deadline is a child token over the
     // caller's cancel source, so SIGINT and --deadline compose.

@@ -39,16 +39,17 @@ AcceleratorSim::spawnTask(unsigned sid, std::vector<RtValue> args,
 }
 
 void
-AcceleratorSim::notifyChildDone(TaskRef parent)
+AcceleratorSim::notifyChildDone(TaskRef parent, uint64_t now)
 {
-    units.at(parent.sid)->childJoined(parent.slot);
+    units.at(parent.sid)->childJoined(parent.slot, now);
 }
 
 void
 AcceleratorSim::notifyCallDone(TaskRef parent,
-                               const ir::CallInst *site, RtValue v)
+                               const ir::CallInst *site, RtValue v,
+                               uint64_t now)
 {
-    units.at(parent.sid)->callReturned(parent.slot, site, v);
+    units.at(parent.sid)->callReturned(parent.slot, site, v, now);
 }
 
 void
@@ -127,6 +128,18 @@ AcceleratorSim::run(std::vector<RtValue> top_args)
     const bool skip_allowed =
         idleSkip && !(faultInj && faultInj->config().any());
 
+    // Event scheduler: individual quiet tiles may sleep through
+    // their stall spans (settled in bulk on wake-up). Requires the
+    // same preconditions as the whole-machine skip, plus no trace
+    // sinks: sinks consume per-cycle cache-stall events that bulk
+    // accounting would drop. With tile sleep off, event mode
+    // degenerates to the scan loop — trivially byte-identical.
+    const bool tile_sleep = scheduler == Scheduler::Event &&
+                            skip_allowed && !hasSinks;
+    calendar.reset(0);
+    for (auto &u : units)
+        u->eventSleep = tile_sleep;
+
     // The host (ARM) writes the arguments and kicks the root unit.
     // With a fault injector the kick handshake itself may be dropped;
     // the host re-presents it each cycle until the port takes it, up
@@ -145,6 +158,7 @@ AcceleratorSim::run(std::vector<RtValue> top_args)
     uint64_t cancel_poll_at = 0;
     uint64_t next_ckpt = checkpointEveryCycles;
 
+    uint64_t last_ticked = 0; ///< last cycle the units were ticked
     uint64_t cyc = 0;
     for (; !rootFinished && !failure_.failed(); ++cyc) {
         if (deadlineCycles && cyc >= deadlineCycles) {
@@ -226,8 +240,12 @@ AcceleratorSim::run(std::vector<RtValue> top_args)
             units[sid]->injectQueueCorruption(cyc, *faultInj);
         }
 
+        if (tile_sleep)
+            calendar.advanceTo(cyc); // entries <= cyc settle below
+
         for (auto &u : units)
             u->tick(cyc);
+        last_ticked = cyc;
 
         if (prof) {
             for (auto &u : units)
@@ -271,7 +289,11 @@ AcceleratorSim::run(std::vector<RtValue> top_args)
         // failures and observability streams byte-identical to the
         // unskipped simulation.
         if (skip_allowed && rootSpawned && last_progress_cycle != cyc) {
-            uint64_t wake = InstanceExec::kNoWake;
+            // Event mode: sleeping tiles are excluded from the unit
+            // rescan below; the calendar holds their wake bounds.
+            // (kNone == kNoWake, so an empty calendar is neutral.)
+            uint64_t wake = tile_sleep ? calendar.nextEventAt()
+                                       : InstanceExec::kNoWake;
             bool can_skip = true;
             for (auto &u : units) {
                 uint64_t w = u->nextWake(cyc, !hasSinks);
@@ -308,6 +330,14 @@ AcceleratorSim::run(std::vector<RtValue> top_args)
                 }
             }
         }
+    }
+
+    if (tile_sleep) {
+        // Tiles still asleep when the run ended: account their spans
+        // through the last processed cycle (a sleeping tile can only
+        // exist after at least one tick, so last_ticked is live).
+        for (auto &u : units)
+            u->settleAllSleeping(last_ticked);
     }
 
     _cycles = cyc;

@@ -50,6 +50,7 @@
 #include "ir/interp.hh"
 #include "obs/profiler.hh"
 #include "obs/sink.hh"
+#include "sim/calendar.hh"
 #include "sim/databox.hh"
 #include "sim/fault.hh"
 #include "sim/trace.hh"
@@ -58,6 +59,25 @@ namespace tapas::sim {
 
 class AcceleratorSim;
 class TaskUnit;
+
+/**
+ * Cycle-loop scheduling policy. Both produce byte-identical results
+ * (cycle counts, stats, observability streams — pinned by
+ * tests/sim_sched_test.cc); they differ only in host work per
+ * simulated cycle.
+ *
+ *  - Scan: the original loop — every tile of every unit is visited
+ *    every processed cycle, plus the whole-machine idle-skip jump.
+ *  - Event: additionally puts *individual* tiles to sleep when their
+ *    next possible state change is provably in the future, settling
+ *    their stall/residency accounting in bulk on wake-up, and feeds
+ *    the known wake cycles into a WakeupCalendar so the idle-skip
+ *    jump is a calendar lookup instead of a full rescan.
+ */
+enum class Scheduler : uint8_t {
+    Scan,  ///< legacy full scan each cycle
+    Event, ///< active tiles only + wakeup calendar (default)
+};
 
 /** Result of presenting a spawn to a unit's spawn port. */
 enum class SpawnOutcome : uint8_t {
@@ -171,9 +191,18 @@ class InstanceExec
      * result), or kNoWake when it holds no timer at all (blocked
      * purely on external progress — a sync join or call return,
      * which the unit owning the child provides at its own wake).
+     *
+     * With `spawn_waits` non-null, a spawn re-presenting under
+     * ordinary back-pressure (no drop streak, rejected this very
+     * cycle) pushes its target task sid there instead of vetoing:
+     * the caller may sleep the tile as a registered spawn-waiter,
+     * provided the target queue is full and pokes it on every entry
+     * free (see TaskUnit::pokeSpawnWaiters).
      */
     uint64_t nextWake(uint64_t now, const DataBox &box,
-                      bool allow_bulk) const;
+                      bool allow_bulk,
+                      std::vector<unsigned> *spawn_waits
+                      = nullptr) const;
 
     /** nextWake() sentinel: no internal timer. */
     static constexpr uint64_t kNoWake = ~0ull;
@@ -332,11 +361,11 @@ class TaskUnit
     std::array<unsigned, 5> stateCounts() const;
 
     /** A detach-spawned child of `slot` finished. */
-    void childJoined(unsigned slot);
+    void childJoined(unsigned slot, uint64_t now);
 
     /** A task-called child of `slot` returned `v` for `site`. */
     void callReturned(unsigned slot, const ir::CallInst *site,
-                      ir::RtValue v);
+                      ir::RtValue v, uint64_t now);
 
     /** Child-counter increment when `slot` spawns. */
     void noteChildSpawned(unsigned slot);
@@ -380,6 +409,47 @@ class TaskUnit
             t->resetFiring();
         spawnRejectCycle = ~0ull;
         spawnRejectsThisCycle = 0;
+        resetSleep();
+    }
+
+    /** Wake every sleeping tile without settling (start of a run). */
+    void
+    resetSleep()
+    {
+        tileSleepUntil.assign(tiles.size(), 0);
+        tileSleepBase.assign(tiles.size(), 0);
+        tileSpawnWaits.assign(tiles.size(), {});
+        spawnWaiters.clear();
+        sleepingTiles = 0;
+        tileSlept = 0;
+        tickCycle = ~0ull;
+        tickTilePos = 0;
+    }
+
+    /** Tiles currently asleep under the event scheduler (tests). */
+    unsigned sleepingTileCount() const { return sleepingTiles; }
+
+    /**
+     * Tile-cycles covered by sleep spans instead of per-cycle ticks.
+     * Diagnostic only — deliberately NOT a stats Counter, so modeled
+     * results stay byte-identical across schedulers.
+     */
+    uint64_t tileSleptCycles() const { return tileSlept; }
+
+    /**
+     * End-of-run settle: close out every still-sleeping tile through
+     * `upto` (the last processed cycle). The run may end — root
+     * retire, failure, interrupt — while a tile is mid-span; scan
+     * mode would have ticked it quietly through that cycle, so its
+     * bulk accounting must land before stats are read.
+     */
+    void
+    settleAllSleeping(uint64_t upto)
+    {
+        for (size_t ti = 0; ti < tiles.size(); ++ti) {
+            if (tileSleepUntil[ti] != 0)
+                settleTile(static_cast<unsigned>(ti), upto);
+        }
     }
 
     // --- statistics ---------------------------------------------------
@@ -442,6 +512,112 @@ class TaskUnit
     void dispatch(uint64_t now);
     void retire(unsigned slot, uint64_t now);
     void detachFromTile(unsigned slot);
+
+    // --- event-scheduler tile sleep ------------------------------------
+
+    /**
+     * Earliest future cycle at which the given (quiet this cycle)
+     * tile can possibly change state: the min over its data box's
+     * stall wake and every resident instance's internal timers.
+     * Returns 0 when the tile must be ticked next cycle,
+     * InstanceExec::kNoWake when it holds no timer at all (empty, or
+     * every resident blocked purely on an external poke).
+     *
+     * Side effect: fills waitScratch with the target sid of every
+     * resident spawn retry that is sleepable only as a spawn-waiter
+     * (one entry per retrying node). On a nonzero return the caller
+     * must register those waits before sleeping the tile.
+     */
+    uint64_t tileWake(const Tile &tile, uint64_t now);
+
+    /**
+     * Close out a sleeping tile's skipped span: bulk-account the
+     * quiet cycles (sleepBase, upto] exactly as scan mode would have
+     * accrued them one by one — tile-busy counters plus the data
+     * box's stall/retry witnesses — then mark the tile awake. The
+     * tile's next real tick restamps every witness.
+     */
+    void settleTile(unsigned t, uint64_t upto);
+
+    /**
+     * External poke (dispatch, child join, call return) landing on a
+     * possibly-sleeping tile at cycle `now`. No-op when awake.
+     * Settles through `now` when the tile's position in this cycle's
+     * tile loop has already passed (scan mode would have ticked it
+     * quietly before the poke arrived, and it reacts next cycle),
+     * through `now - 1` otherwise (it still gets its step this
+     * cycle, in scan order).
+     */
+    void wakeTileForPoke(unsigned t, uint64_t now);
+
+    /** No free entry in the task queue (spawns reject queue-full). */
+    bool queueFull() const
+    {
+        return occupied >= static_cast<unsigned>(entries.size());
+    }
+
+    /**
+     * Register the just-slept tile `t` as a spawn-waiter on every
+     * target collected in waitScratch (aggregated per target with a
+     * retrying-node count). Each registered target pokes the tile
+     * whenever one of its queue entries frees — the only event that
+     * can turn the repeating queue-full rejection into an accept.
+     * Also pulls this tile's rejects back out of the targets' skip
+     * witnesses: from now on the settle credit accounts them.
+     */
+    void registerSpawnWaits(unsigned t, uint64_t now);
+
+    /**
+     * An entry of THIS unit's queue just freed (retire): wake every
+     * registered spawn-waiter tile so its next re-present runs live
+     * and can take the slot in scan order.
+     */
+    void pokeSpawnWaiters(uint64_t now);
+
+    /** SoA per-tile sleep state: wake cycle (0 = awake)... */
+    std::vector<uint64_t> tileSleepUntil;
+    /** ...and the last cycle the tile actually ticked. */
+    std::vector<uint64_t> tileSleepBase;
+
+    /**
+     * Spawn-waiter registry: (unit, tile) pairs — possibly of other
+     * units — sleeping on this unit's queue being full. Registered
+     * by registerSpawnWaits(), poked by pokeSpawnWaiters(), torn
+     * down by the waiter's settleTile().
+     */
+    std::vector<std::pair<TaskUnit *, unsigned>> spawnWaiters;
+
+    /** Per sleeping tile: (target sid, retrying-node count) pairs it
+        is spawn-waiting on; the count drives the settle-time
+        queue-full reject credit on the target. */
+    std::vector<std::vector<std::pair<unsigned, unsigned>>>
+        tileSpawnWaits;
+
+    /** tileWake() spawn-target scratch (hoisted alloc). */
+    std::vector<unsigned> waitScratch;
+
+    /** pokeSpawnWaiters() scratch: pokes settle waiters, which
+        unregisters them mid-iteration, so it drains a copy. */
+    std::vector<std::pair<TaskUnit *, unsigned>> pokeScratch;
+
+    /** Count of nonzero tileSleepUntil entries. */
+    unsigned sleepingTiles = 0;
+
+    /** Lifetime tile-cycles settled from sleep spans (diagnostic). */
+    uint64_t tileSlept = 0;
+
+    /** May tick() put quiet tiles to sleep? (set by run()) */
+    bool eventSleep = false;
+
+    /**
+     * Where this cycle's tile loop currently stands: tick() stamps
+     * tickCycle on entry and tickTilePos before processing each tile
+     * (tiles.size() once the loop is done). wakeTileForPoke() uses
+     * the pair to decide whether a same-cycle poke arrived before or
+     * after the target tile's position in scan order.
+     */
+    uint64_t tickCycle = ~0ull;
+    size_t tickTilePos = 0;
 
     /** Attribute this cycle to a profiler bucket (profiler only). */
     void profileCycle(uint64_t now);
@@ -553,17 +729,39 @@ class AcceleratorSim
                            uint64_t now);
 
     /** Child of `parent` joined (detach join). */
-    void notifyChildDone(TaskRef parent);
+    void notifyChildDone(TaskRef parent, uint64_t now);
 
     /** Task-called child returned a value to `parent` at `site`. */
     void notifyCallDone(TaskRef parent, const ir::CallInst *site,
-                        ir::RtValue v);
+                        ir::RtValue v, uint64_t now);
+
+    /**
+     * Record a known-future tile wake in the calendar (event
+     * scheduler). Hints only: a stale or early entry costs one
+     * processed quiet cycle, never correctness.
+     */
+    void
+    scheduleWake(uint64_t cycle)
+    {
+        calendar.schedule(cycle);
+    }
 
     /** Root task finished. */
     void rootDone(ir::RtValue v);
 
     /** Something happened; feeds the deadlock watchdog. */
     void progressEvent() { ++progressEvents; }
+
+    /**
+     * Un-count a speculative firing that turned out not to happen: a
+     * load/store whose data-box submit was rejected retracts the
+     * progressEvent() its tryFire charged up front (exec.cc). A
+     * retry-every-cycle stall thus counts zero progress — the event
+     * stream measures activity, not attempts — which is what lets
+     * the event scheduler sleep a tile that is only being rejected,
+     * and keeps the watchdog an honest no-forward-progress detector.
+     */
+    void retractProgressEvent() { --progressEvents; }
 
     // --- observability -------------------------------------------------
 
@@ -744,6 +942,15 @@ class AcceleratorSim
     bool idleSkip = true;
 
     /**
+     * Cycle-loop scheduling policy (see Scheduler). Event mode is
+     * byte-identical to Scan on every workload — including fault
+     * injection, tracing, and checkpoint/resume — and is the
+     * default; Scan remains selectable as the reference
+     * implementation and differential-test oracle.
+     */
+    Scheduler scheduler = Scheduler::Event;
+
+    /**
      * Cooperative cancellation (not owned; must outlive the run).
      * Polled every cancelPollInterval cycles — the only place the
      * simulator reads a wall clock — and honored at the top of the
@@ -782,6 +989,19 @@ class AcceleratorSim
     /** Cycles the last run() fast-forwarded over (diagnostics). */
     uint64_t skippedCycles() const { return idleSkipped; }
 
+    /**
+     * Tile-cycles the event scheduler covered with per-tile sleep
+     * spans in the last run() (summed over units; 0 in scan mode).
+     * Diagnostic only — never folded into stats or RunResult.
+     */
+    uint64_t tileSleptCycles() const
+    {
+        uint64_t total = 0;
+        for (const auto &u : units)
+            total += u->tileSleptCycles();
+        return total;
+    }
+
   private:
     /**
      * The state dump attached to deadlock / cycle-limit failures:
@@ -799,6 +1019,9 @@ class AcceleratorSim
 
     uint64_t _cycles = 0;
     uint64_t idleSkipped = 0;
+
+    /** Future tile wakes (event scheduler); reset each run(). */
+    WakeupCalendar calendar;
     uint64_t progressEvents = 0;
     std::vector<obs::TraceSink *> sinks;
     bool hasSinks = false; ///< cached !sinks.empty() for emit paths

@@ -1,0 +1,134 @@
+#include "sim/calendar.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace tapas::sim {
+
+WakeupCalendar::WakeupCalendar(unsigned window_bits)
+    : window(1ull << window_bits)
+{
+    tapas_assert(window_bits >= 6 && window_bits <= 20,
+                 "calendar window must be 64..1M buckets");
+    bits.resize(window / 64, 0);
+}
+
+void
+WakeupCalendar::reset(uint64_t now)
+{
+    std::fill(bits.begin(), bits.end(), 0);
+    cursor = now;
+    wheelCount = 0;
+    overflow.clear();
+    overflowMin = kNone;
+}
+
+void
+WakeupCalendar::schedule(uint64_t cycle)
+{
+    tapas_assert(cycle > cursor,
+                 "scheduling a wake at or before the cursor");
+    if (cycle - cursor > window) {
+        overflow.push_back(cycle);
+        overflowMin = std::min(overflowMin, cycle);
+        return;
+    }
+    uint64_t b = bucketOf(cycle);
+    uint64_t &word = bits[b >> 6];
+    uint64_t mask = 1ull << (b & 63);
+    if (!(word & mask)) {
+        word |= mask;
+        ++wheelCount;
+    }
+}
+
+void
+WakeupCalendar::advanceTo(uint64_t now)
+{
+    if (now <= cursor)
+        return;
+    if (now - cursor >= window) {
+        // A jump past the whole window: every wheel entry is due.
+        std::fill(bits.begin(), bits.end(), 0);
+        wheelCount = 0;
+    } else {
+        for (uint64_t c = cursor + 1; c <= now && wheelCount; ++c) {
+            uint64_t b = bucketOf(c);
+            uint64_t &word = bits[b >> 6];
+            uint64_t mask = 1ull << (b & 63);
+            if (word & mask) {
+                word &= ~mask;
+                --wheelCount;
+            }
+        }
+    }
+    cursor = now;
+    if (overflowMin != kNone && overflowMin <= cursor + window)
+        drainOverflow();
+}
+
+void
+WakeupCalendar::drainOverflow()
+{
+    std::vector<uint64_t> keep;
+    overflowMin = kNone;
+    for (uint64_t c : overflow) {
+        if (c <= cursor)
+            continue; // already processed; drop
+        if (c - cursor <= window) {
+            uint64_t b = bucketOf(c);
+            uint64_t &word = bits[b >> 6];
+            uint64_t mask = 1ull << (b & 63);
+            if (!(word & mask)) {
+                word |= mask;
+                ++wheelCount;
+            }
+        } else {
+            keep.push_back(c);
+            overflowMin = std::min(overflowMin, c);
+        }
+    }
+    overflow.swap(keep);
+}
+
+uint64_t
+WakeupCalendar::nextEventAt() const
+{
+    uint64_t best = overflowMin;
+    if (wheelCount) {
+        // Scan occupancy words from the cursor's bucket forward,
+        // wrapping once around the wheel. Entries are confined to
+        // (cursor, cursor+window], so the first set bit found in
+        // ring order is the earliest cycle.
+        uint64_t start = bucketOf(cursor + 1);
+        uint64_t nwords = window / 64;
+        for (uint64_t i = 0; i < nwords + 1; ++i) {
+            uint64_t wi = ((start >> 6) + i) % nwords;
+            uint64_t word = bits[wi];
+            if (i == 0) {
+                // Mask off bits before the start bucket in its word.
+                word &= ~0ull << (start & 63);
+            } else if (i == nwords) {
+                // Wrapped fully: only bits before the start bucket.
+                word = bits[wi] & ~(~0ull << (start & 63));
+            }
+            if (!word)
+                continue;
+            uint64_t bit = static_cast<uint64_t>(
+                __builtin_ctzll(word));
+            uint64_t bucket = (wi << 6) | bit;
+            // Map the bucket back to its absolute cycle: the unique
+            // cycle in (cursor, cursor+window] with this index.
+            uint64_t base = cursor - bucketOf(cursor);
+            uint64_t cyc = base + bucket;
+            if (cyc <= cursor)
+                cyc += window;
+            best = std::min(best, cyc);
+            break;
+        }
+    }
+    return best;
+}
+
+} // namespace tapas::sim

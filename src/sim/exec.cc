@@ -248,6 +248,7 @@ InstanceExec::tryFire(Frame &frame, size_t idx, uint64_t now,
             mark = 0; // no structural issue happened
             --tile.firedThisCycle;
             --firedNodes;
+            sim.retractProgressEvent();
             return false;
         }
         ir::Type t = ld->type();
@@ -272,6 +273,7 @@ InstanceExec::tryFire(Frame &frame, size_t idx, uint64_t now,
             mark = 0;
             --tile.firedThisCycle;
             --firedNodes;
+            sim.retractProgressEvent();
             return false;
         }
         ir::Type t = sti->value()->type();
@@ -480,7 +482,8 @@ InstanceExec::pushLeafFrame(const ir::CallInst *call,
 
 uint64_t
 InstanceExec::nextWake(uint64_t now, const DataBox &box,
-                       bool allow_bulk) const
+                       bool allow_bulk,
+                       std::vector<unsigned> *spawn_waits) const
 {
     uint64_t wake = kNoWake;
     for (const Frame &frame : frames) {
@@ -488,7 +491,8 @@ InstanceExec::nextWake(uint64_t now, const DataBox &box,
         // nodes next cycle with no timer involved: must tick.
         if (!frame.bb || frame.fresh)
             return 0;
-        for (const NodeState &st : frame.nst) {
+        for (size_t i = 0; i < frame.nst.size(); ++i) {
+            const NodeState &st = frame.nst[i];
             switch (st.phase) {
               case Phase::Exec:
                 wake = std::min(wake, std::max(st.doneAt, now + 1));
@@ -502,24 +506,42 @@ InstanceExec::nextWake(uint64_t now, const DataBox &box,
                     wake = std::min(wake, std::max(c, now + 1));
                 break;
               }
-              case Phase::SpawnRetry:
+              case Phase::SpawnRetry: {
                 if (st.nextRetryAt > now + 1) {
                     // Fault backoff: a real timer.
                     wake = std::min(wake, st.nextRetryAt);
                     break;
                 }
-                // Re-presents next cycle. If this cycle's attempt
-                // was rejected by a full target queue (nextRetryAt
-                // stamped `now`, no drop streak), the rejection
-                // provably repeats each quiet cycle — entries are
-                // freed only by timed completions, which bound the
-                // skip globally — and the target unit bulk-accounts
-                // the rejects. Anything else must tick per cycle.
-                if (!allow_bulk || st.spawnDropStreak > 0 ||
-                    st.nextRetryAt != now) {
+                // Anything but plain back-pressure (rejected this
+                // very cycle, no drop streak) must tick per cycle.
+                if (st.spawnDropStreak > 0 || st.nextRetryAt != now)
                     return 0;
-                }
+                // Re-presents next cycle. Rejected by a full target
+                // queue, the rejection provably repeats each quiet
+                // cycle — entries are freed only by timed
+                // completions, which bound the skip globally — and
+                // the target unit bulk-accounts the rejects.
+                if (allow_bulk)
+                    break;
+                // Per-tile sleep: the target's frees are not
+                // tile-locally boundable, but each free is an
+                // observable event — report the target sid so the
+                // tile can sleep as a registered spawn-waiter
+                // (poked on every entry free), or veto if the
+                // caller cannot register waits.
+                if (!spawn_waits)
+                    return 0;
+                const Instruction *inst =
+                    frame.bb->instructions()[i].get();
+                arch::Task *target =
+                    inst->opcode() == Opcode::Detach
+                        ? task.childForDetach(
+                              ir::cast<const ir::DetachInst>(inst))
+                        : task.calleeForCall(
+                              ir::cast<const ir::CallInst>(inst));
+                spawn_waits->push_back(target->sid());
                 break;
+              }
               case Phase::CallWait:
                 if (st.callDelivered)
                     return 0; // consumed by the next step()

@@ -51,13 +51,14 @@ CacheResult
 SharedCache::request(uint64_t addr, bool is_store, uint64_t now)
 {
     CacheResult res;
-    if (portsUsed >= params.portsPerCycle) {
-        ++portRejects;
-        emitStall(now, /*mshr_full=*/false);
-        return res;
-    }
+    const bool has_port = portsUsed < params.portsPerCycle;
 
     if (params.useScratchpad) {
+        if (!has_port) {
+            ++portRejects;
+            emitStall(now, /*mshr_full=*/false);
+            return res;
+        }
         // Banked scratchpad: fixed latency, no misses (data staged
         // ahead of invocation, as in streaming HLS designs).
         ++portsUsed;
@@ -75,10 +76,15 @@ SharedCache::request(uint64_t addr, bool is_store, uint64_t now)
     uint64_t set = line_addr % numSets;
     Line *set_base = &lines[set * params.ways];
 
-    // Hit path.
+    // Hit path (the tag probe mutates nothing until accepted).
     for (unsigned w = 0; w < params.ways; ++w) {
         Line &l = set_base[w];
         if (l.valid && l.tag == line_addr) {
+            if (!has_port) {
+                ++portRejects;
+                emitStall(now, /*mshr_full=*/false);
+                return res;
+            }
             ++portsUsed;
             ++accesses;
             ++hits;
@@ -96,6 +102,11 @@ SharedCache::request(uint64_t addr, bool is_store, uint64_t now)
     // Merge into an in-flight miss to the same line.
     for (Mshr &m : mshrs) {
         if (m.busy && m.lineAddr == line_addr) {
+            if (!has_port) {
+                ++portRejects;
+                emitStall(now, /*mshr_full=*/false);
+                return res;
+            }
             ++portsUsed;
             ++accesses;
             ++misses;
@@ -108,7 +119,15 @@ SharedCache::request(uint64_t addr, bool is_store, uint64_t now)
         }
     }
 
-    // New miss: need a free MSHR.
+    // New miss: need a free MSHR. MSHR exhaustion is classified
+    // before port contention: whether the request is accepted is the
+    // same either way (both hazards reject), but an MSHR-full reject
+    // repeats identically every cycle until an MSHR retires — the
+    // stall-span witness DataBox::stallWake relies on — whereas a
+    // port reject depends on which *other* requesters happened to
+    // win ports this cycle. Classifying the longer-lived structural
+    // hazard first makes the per-cycle reject stream of a stalled
+    // requester independent of unrelated same-cycle traffic.
     Mshr *free_mshr = nullptr;
     for (Mshr &m : mshrs) {
         if (!m.busy) {
@@ -120,6 +139,11 @@ SharedCache::request(uint64_t addr, bool is_store, uint64_t now)
         ++mshrRejects;
         res.mshrFull = true;
         emitStall(now, /*mshr_full=*/true);
+        return res;
+    }
+    if (!has_port) {
+        ++portRejects;
+        emitStall(now, /*mshr_full=*/false);
         return res;
     }
 

@@ -30,6 +30,7 @@ TaskUnit::TaskUnit(AcceleratorSim &sim, const arch::Task &task,
             cache, staging, /*issue_width=*/1, fidx.slots(),
             "box." + task.name() + "." + std::to_string(t)));
     }
+    resetSleep();
 }
 
 SpawnOutcome
@@ -180,8 +181,13 @@ TaskUnit::beginCycle(uint64_t now)
     dispatchedThisCycle = false;
     // The firing marks are generation-stamped by cycle, so there is
     // nothing to clear per cycle — only the fired_any tally resets.
-    for (auto &t : tiles)
-        t->firedThisCycle = 0;
+    // A sleeping tile's tally is already 0 (it slept off a quiet
+    // cycle and cannot fire while asleep), so clearing only awake
+    // tiles keeps this O(awake tiles), not O(tiles).
+    for (size_t ti = 0; ti < tiles.size(); ++ti) {
+        if (tileSleepUntil[ti] == 0)
+            tiles[ti]->firedThisCycle = 0;
+    }
     if (FaultInjector *inj = sim.faultInjector()) {
         for (auto &t : tiles) {
             if (now >= t->stuckUntil && inj->stickTile()) {
@@ -221,6 +227,11 @@ TaskUnit::dispatch(uint64_t now)
     }
     if (best < 0)
         return; // every tile pipeline is full
+
+    // A dispatch is an external poke: a sleeping chosen tile settles
+    // its skipped span and takes the instance this very cycle (the
+    // tile loop runs after dispatch, so scan order is preserved).
+    wakeTileForPoke(static_cast<unsigned>(best), now);
 
     readyQueue.pop_front();
     e.state = EntryState::Exe;
@@ -280,6 +291,10 @@ TaskUnit::retire(unsigned slot, uint64_t now)
     e.savedArgs.clear();
     e.state = EntryState::Free;
     --occupied;
+    // The freed slot is what every registered spawn-waiter sleeps
+    // on: wake them before anything else can race for it.
+    if (!spawnWaiters.empty())
+        pokeSpawnWaiters(now);
     ++instancesDone;
     sim.taskLifetime.sample(now - e.spawnedAt);
     sim.emitResidency(now, _task.sid(), slot, e.residMem,
@@ -290,19 +305,30 @@ TaskUnit::retire(unsigned slot, uint64_t now)
     if (!parent.valid()) {
         sim.rootDone(ret);
     } else if (site) {
-        sim.notifyCallDone(parent, site, ret);
+        sim.notifyCallDone(parent, site, ret, now);
     } else {
-        sim.notifyChildDone(parent);
+        sim.notifyChildDone(parent, now);
     }
 }
 
 void
 TaskUnit::tick(uint64_t now)
 {
+    tickCycle = now;
+    tickTilePos = 0;
     dispatch(now);
 
-    for (auto &tile_up : tiles) {
-        Tile &tile = *tile_up;
+    for (size_t ti = 0; ti < tiles.size(); ++ti) {
+        tickTilePos = ti;
+        Tile &tile = *tiles[ti];
+        if (tileSleepUntil[ti] != 0) {
+            if (tileSleepUntil[ti] > now)
+                continue; // asleep: provably quiet until its wake
+            // Timer due: close out the skipped span, then take the
+            // normal per-cycle path below.
+            settleTile(static_cast<unsigned>(ti), now - 1);
+        }
+        const uint64_t progressBefore = sim.progressCount();
         if (!tile.active.empty())
             ++tileBusyCycles;
         if (now < tile.stuckUntil) {
@@ -370,11 +396,177 @@ TaskUnit::tick(uint64_t now)
             }
         }
         tile.box.tick(now);
+
+        // Event scheduler: a tile that just went through a provably
+        // quiet cycle (no firing, no progress event from its
+        // instances) may sleep until its earliest internal timer.
+        // The fired/progress gate is only a cheap pre-filter;
+        // correctness rests on tileWake()'s veto logic.
+        if (eventSleep && tile.firedThisCycle == 0 &&
+            now >= tile.stuckUntil &&
+            sim.progressCount() == progressBefore) {
+            uint64_t w = tileWake(tile, now);
+            if (w > now + 1) {
+                tileSleepUntil[ti] = w;
+                tileSleepBase[ti] = now;
+                ++sleepingTiles;
+                if (w != InstanceExec::kNoWake)
+                    sim.scheduleWake(w);
+                if (!waitScratch.empty())
+                    registerSpawnWaits(static_cast<unsigned>(ti),
+                                       now);
+            }
+        }
+    }
+    tickTilePos = tiles.size();
+}
+
+uint64_t
+TaskUnit::tileWake(const Tile &tile, uint64_t now)
+{
+    // Per-tile stall spans may be bulk-accounted (allow_bulk): an
+    // MSHR-full head reject repeats identically every cycle until an
+    // MSHR retires no matter what other tiles do (rejects never
+    // allocate, and MSHR-full is classified before port contention).
+    // Spawn retries pass allow_bulk=false but report their targets
+    // into waitScratch instead of vetoing: a retry against a full
+    // queue repeats verbatim until the target frees an entry, and
+    // retire() — the only free site — pokes every registered waiter,
+    // so the span stays exactly bounded.
+    waitScratch.clear();
+    uint64_t wake = tile.box.stallWake(now, /*allow_bulk=*/true);
+    if (wake == 0)
+        return 0;
+    for (unsigned slot : tile.active) {
+        uint64_t w = entries[slot].exec->nextWake(
+            now, tile.box, /*allow_bulk=*/false, &waitScratch);
+        if (w == 0)
+            return 0;
+        wake = std::min(wake, w);
+    }
+    // A spawn-waiter sleep is only sound against a full queue: a
+    // non-full target (the reject was port contention, not
+    // queue-full) could accept the very next re-present, so the
+    // tile must stay awake and retry live.
+    for (unsigned sid : waitScratch) {
+        if (!sim.unit(sid).queueFull())
+            return 0;
+    }
+    return wake;
+}
+
+void
+TaskUnit::registerSpawnWaits(unsigned t, uint64_t now)
+{
+    auto &waits = tileSpawnWaits[t];
+    tapas_assert(waits.empty(), "stale spawn-wait registrations");
+    // Aggregate waitScratch (one sid per retrying node) into
+    // per-target counts: each count is one queue-full reject the
+    // target tallies per slept cycle at settle time.
+    for (unsigned sid : waitScratch) {
+        bool found = false;
+        for (auto &[tsid, cnt] : waits) {
+            if (tsid == sid) {
+                ++cnt;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            waits.emplace_back(sid, 1u);
+    }
+    for (const auto &[tsid, cnt] : waits) {
+        TaskUnit &target = sim.unit(tsid);
+        target.spawnWaiters.emplace_back(this, t);
+        // This tile's rejects this cycle sit in the target's skip
+        // witness iff no accept consumed the spawn port (a reject
+        // with the port free is always queue-full, which stamps the
+        // witness). Their repeats are now the settle credit's job,
+        // so pull them back out — otherwise a global skip engaging
+        // this very cycle would replay them a second time. With an
+        // accept this cycle there was a progress event, so no skip
+        // can replay this cycle's witness and the flavor of our
+        // rejects (port-busy, unstamped) no longer matters.
+        if (!target.spawnAcceptedThisCycle) {
+            tapas_assert(target.spawnRejectCycle == now &&
+                             target.spawnRejectsThisCycle >= cnt,
+                         "spawn-wait registration without matching "
+                         "witness rejects");
+            target.spawnRejectsThisCycle -= cnt;
+        }
     }
 }
 
 void
-TaskUnit::childJoined(unsigned slot)
+TaskUnit::pokeSpawnWaiters(uint64_t now)
+{
+    // Settling a waiter unregisters it from every target it waits
+    // on (mutating this list), so drain a copy. wakeTileForPoke's
+    // scan-position test decides whether the waiter's re-present
+    // still runs this cycle or next, exactly as scan order would.
+    pokeScratch = spawnWaiters;
+    for (const auto &[u, t] : pokeScratch)
+        u->wakeTileForPoke(t, now);
+}
+
+void
+TaskUnit::settleTile(unsigned t, uint64_t upto)
+{
+    Tile &tile = *tiles[t];
+    const uint64_t base = tileSleepBase[t];
+    tapas_assert(upto >= base, "settling a tile backwards");
+    const uint64_t n = upto - base;
+    if (n > 0) {
+        // Exactly what n scan-mode quiet cycles would have accrued:
+        // the busy-cycle count (membership is frozen while asleep —
+        // detach needs a step, dispatch pokes) and the data box's
+        // per-cycle retry/reject witnesses. Residency attribution
+        // needs nothing: tiles sleep only with no sinks attached.
+        if (!tile.active.empty())
+            tileBusyCycles += n;
+        tile.box.accountSkipped(n, base);
+        tileSlept += n;
+    }
+    // Spawn-waiter teardown: each slept cycle re-presented every
+    // retrying node against its (provably still-full) target queue,
+    // so the target tallies one queue-full reject per node per
+    // cycle — exactly what scan mode would have counted live. The
+    // targets' own reject witnesses only cover live attempts, so
+    // this credit never overlaps accountSkipped()'s replay.
+    auto &waits = tileSpawnWaits[t];
+    for (const auto &[tsid, cnt] : waits) {
+        TaskUnit &target = sim.unit(tsid);
+        if (n > 0)
+            target.spawnRejects += n * cnt;
+        auto &reg = target.spawnWaiters;
+        for (size_t i = 0; i < reg.size(); ++i) {
+            if (reg[i].first == this && reg[i].second == t) {
+                reg[i] = reg.back();
+                reg.pop_back();
+                break;
+            }
+        }
+    }
+    waits.clear();
+    tileSleepUntil[t] = 0;
+    --sleepingTiles;
+}
+
+void
+TaskUnit::wakeTileForPoke(unsigned t, uint64_t now)
+{
+    if (tileSleepUntil[t] == 0)
+        return;
+    // Did this cycle's tile loop already pass tile t? Then scan mode
+    // would have ticked it quietly at `now` before the poke arrived
+    // (count `now` into the settled span; it reacts at now+1).
+    // Otherwise it still gets its step this cycle, in scan order.
+    const bool passed = tickCycle == now && tickTilePos > t;
+    settleTile(t, passed ? now : now - 1);
+}
+
+void
+TaskUnit::childJoined(unsigned slot, uint64_t now)
 {
     QueueEntry &e = entries.at(slot);
     tapas_assert(e.state != EntryState::Free,
@@ -384,6 +576,11 @@ TaskUnit::childJoined(unsigned slot)
                  _task.name().c_str());
     --e.childCount;
     sim.progressEvent();
+    // A join landing on an on-tile parent is an external poke: its
+    // tile holds no timer for it (nextWake treats sync joins as
+    // externally driven), so a sleeping tile must be woken here.
+    if (e.tile >= 0)
+        wakeTileForPoke(static_cast<unsigned>(e.tile), now);
     if (e.childCount == 0 && e.state == EntryState::Sync) {
         e.state = EntryState::Ready;
         e.readyAt = 0;
@@ -393,13 +590,18 @@ TaskUnit::childJoined(unsigned slot)
 
 void
 TaskUnit::callReturned(unsigned slot, const ir::CallInst *site,
-                       RtValue v)
+                       RtValue v, uint64_t now)
 {
     QueueEntry &e = entries.at(slot);
     tapas_assert(e.state != EntryState::Free,
                  "call return for a freed entry");
     e.exec->deliverCallResult(site, v);
     sim.progressEvent();
+    // Same poke rule as childJoined: a call result delivered to an
+    // instance still resident on a tile (it had not suspended yet)
+    // makes that instance steppable next cycle.
+    if (e.tile >= 0)
+        wakeTileForPoke(static_cast<unsigned>(e.tile), now);
     if (e.state == EntryState::WaitCall) {
         e.state = EntryState::Ready;
         e.readyAt = 0;
@@ -439,8 +641,13 @@ TaskUnit::nextWake(uint64_t now, bool allow_stall_bulk) const
         }
     }
 
-    for (const auto &tile_up : tiles) {
-        const Tile &tile = *tile_up;
+    for (size_t ti = 0; ti < tiles.size(); ++ti) {
+        const Tile &tile = *tiles[ti];
+        // A sleeping tile is already covered: its timer wake sits in
+        // the calendar, and a poke-only sleeper wakes via the poker,
+        // whose own timers bound the jump.
+        if (tileSleepUntil[ti] != 0)
+            continue;
         // Unissued requests churn cache/arbiter state every cycle;
         // a witnessed MSHR-full stall span yields a retire-time
         // bound instead of a veto (bulk-accounted on skip).
@@ -464,7 +671,12 @@ TaskUnit::nextWake(uint64_t now, bool allow_stall_bulk) const
 void
 TaskUnit::accountSkipped(uint64_t n, uint64_t base)
 {
-    for (const auto &t : tiles) {
+    for (size_t ti = 0; ti < tiles.size(); ++ti) {
+        const auto &t = tiles[ti];
+        // A sleeping tile settles its own span on wake-up; counting
+        // it here too would double-account (the spans overlap).
+        if (tileSleepUntil[ti] != 0)
+            continue;
         if (!t->active.empty())
             tileBusyCycles += n;
         t->box.accountSkipped(n, base);

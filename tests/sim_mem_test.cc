@@ -69,18 +69,50 @@ TEST(SharedCacheTest, HitBeforeFillWaitsForFill)
 
 TEST(SharedCacheTest, PortLimit)
 {
-    SharedCache c(smallParams());
+    arch::MemSystemParams p = smallParams();
+    p.mshrs = 4; // keep an MSHR free: the reject below is port-only
+    SharedCache c(p);
     c.beginCycle(0);
     EXPECT_TRUE(c.request(0x1000, false, 0).accepted);
     EXPECT_TRUE(c.request(0x2000, false, 0).accepted);
     // Third request in the same cycle: no port.
-    EXPECT_FALSE(c.request(0x3000, false, 0).accepted);
+    CacheResult r = c.request(0x3000, false, 0);
+    EXPECT_FALSE(r.accepted);
+    EXPECT_FALSE(r.mshrFull);
     EXPECT_EQ(c.portRejects.value(), 1u);
 
     c.beginCycle(1);
-    // Ports replenish each cycle, but now both MSHRs are busy.
-    EXPECT_FALSE(c.request(0x3000, false, 1).accepted);
+    // Ports replenish each cycle.
+    EXPECT_TRUE(c.request(0x3000, false, 1).accepted);
+}
+
+/**
+ * When a would-be-new-miss faces both exhausted MSHRs and exhausted
+ * ports, the reject is classified MSHR-full: that reject provably
+ * repeats every cycle until an MSHR retires (the stall-span witness
+ * the idle-skip and the event scheduler's per-tile sleep rely on),
+ * whereas port availability depends on unrelated same-cycle traffic.
+ * Acceptance is unaffected — both hazards reject.
+ */
+TEST(SharedCacheTest, MshrFullClassifiedBeforePortContention)
+{
+    SharedCache c(smallParams()); // 2 MSHRs, 2 ports
+    c.beginCycle(0);
+    EXPECT_TRUE(c.request(0x1000, false, 0).accepted);
+    EXPECT_TRUE(c.request(0x2000, false, 0).accepted);
+    // Both MSHRs busy AND both ports consumed: MSHR-full wins.
+    CacheResult r = c.request(0x3000, false, 0);
+    EXPECT_FALSE(r.accepted);
+    EXPECT_TRUE(r.mshrFull);
     EXPECT_EQ(c.mshrRejects.value(), 1u);
+    EXPECT_EQ(c.portRejects.value(), 0u);
+
+    c.beginCycle(1);
+    // Ports replenish, MSHRs still busy: same classification.
+    CacheResult r2 = c.request(0x3000, false, 1);
+    EXPECT_FALSE(r2.accepted);
+    EXPECT_TRUE(r2.mshrFull);
+    EXPECT_EQ(c.mshrRejects.value(), 2u);
 }
 
 TEST(SharedCacheTest, MshrsRetire)

@@ -141,6 +141,10 @@ usage(const char *argv0)
            "0x7a7a5)\n"
            "  --max-retries N     per-task fault-retry budget "
            "(default 8)\n"
+           "  --scheduler S       cycle-loop policy for --run: "
+           "event (default) or\n"
+           "                      scan (legacy reference loop); "
+           "results are byte-identical\n"
            "  --dse [ARGS...]     explore tiles x ntasks (exhaustive "
            "grid, Cyclone V);\n"
            "                      reports the cycles/ALMs/power "
@@ -320,6 +324,7 @@ main(int argc, char **argv)
     std::string dse_journal_path;
     bool dse_resume = false;
     double dse_deadline_sec = 0;
+    sim::Scheduler scheduler = sim::Scheduler::Event;
 
     for (int i = first_flag; i < argc; ++i) {
         std::string a = argv[i];
@@ -364,6 +369,16 @@ main(int argc, char **argv)
         } else if (a == "--max-retries") {
             max_retries = parseUnsigned(a, next());
             fault_given = true;
+        } else if (a == "--scheduler") {
+            std::string s = next();
+            if (s == "scan") {
+                scheduler = sim::Scheduler::Scan;
+            } else if (s == "event") {
+                scheduler = sim::Scheduler::Event;
+            } else {
+                tapas_fatal("--scheduler expects scan or event, "
+                            "got '%s'", s.c_str());
+            }
         } else if (a == "--json") {
             json_path = next();
         } else if (a == "--emit-chisel") {
@@ -610,6 +625,7 @@ main(int argc, char **argv)
                 auto args = setupMem(mem);
                 driver::AccelSimEngine::Options eo;
                 eo.design = cd;
+                eo.scheduler = scheduler;
                 if (!trace_csv_path.empty())
                     eo.tracer = &tracer;
                 if (fault_cfg)
