@@ -80,6 +80,22 @@ BM_FullCompile(benchmark::State &state)
 BENCHMARK(BM_FullCompile);
 
 void
+BM_MicroOpLowering(benchmark::State &state)
+{
+    // Ahead-of-time micro-op lowering (ir/lower.hh) in isolation,
+    // with the compile pipeline's reported share of it as a counter
+    // (hls::compile times the same phase into lowerSec).
+    auto w = workloads::makeMergeSort(256, 32);
+    auto design = hls::compile(*w.module, w.top, w.params);
+    for (auto _ : state) {
+        ir::LoweredProgram lp(*w.module, ir::LowerOptions{});
+        benchmark::DoNotOptimize(lp.numFuncs());
+    }
+    state.counters["compile_lower_sec"] = design->lowerSec;
+}
+BENCHMARK(BM_MicroOpLowering);
+
+void
 BM_InterpThroughput(benchmark::State &state)
 {
     auto w = workloads::makeStencil(12, 12, 1);

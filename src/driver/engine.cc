@@ -89,8 +89,9 @@ compileDesign(const std::string &module_text, const std::string &top,
     cd.timings.parseSec = parse_sec;
     cd.timings.optSec = phases.optSec;
     cd.timings.unrollSec = phases.unrollSec;
-    cd.timings.codegenSec =
-        codegen_sec - phases.optSec - phases.unrollSec;
+    cd.timings.codegenSec = codegen_sec - phases.optSec -
+                            phases.unrollSec - phases.lowerSec;
+    cd.timings.lowerSec = phases.lowerSec;
     cd.timings.totalSec = since(t_start);
     return cd;
 }
@@ -224,6 +225,8 @@ AccelSimEngine::simulate(const hls::AcceleratorDesign &design,
         accel.watchdogCycles = *opts.watchdogCycles;
     accel.idleSkip = opts.idleSkip;
     accel.scheduler = opts.scheduler;
+    if (opts.lowering)
+        accel.useLowering = *opts.lowering && design.lowered != nullptr;
 
     // Run lifecycle: a wall-clock deadline is a child token over the
     // caller's cancel source, so SIGINT and --deadline compose.

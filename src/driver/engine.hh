@@ -242,6 +242,7 @@ struct CompiledDesign
         double optSec = 0;     ///< optimization pipeline
         double unrollSec = 0;  ///< serial-loop unrolling
         double codegenSec = 0; ///< Stages 1-3 + resource estimate
+        double lowerSec = 0;   ///< micro-op lowering (ir/lower.hh)
         double totalSec = 0;   ///< end-to-end compileDesign()
     };
 
@@ -426,6 +427,16 @@ class AccelSimEngine : public Engine
          * every-cycle reference loop, e.g. for A/B equivalence tests.
          */
         bool idleSkip = true;
+
+        /**
+         * Execute from the design's ahead-of-time lowered micro-op
+         * tables (default) or the legacy IR-walking interpreter loop.
+         * Byte-identical results either way (tests/sim_lower_test.cc
+         * pins this); the knob exists for differential testing and
+         * perf comparison. Unset = simulator default (lowered when
+         * the design carries tables and TAPAS_NO_LOWERING is unset).
+         */
+        std::optional<bool> lowering;
 
         /**
          * Cycle-loop scheduling policy (sim::Scheduler): the default

@@ -16,6 +16,7 @@
 #include "arch/params.hh"
 #include "arch/task.hh"
 #include "hls/opt.hh"
+#include "ir/lower.hh"
 
 namespace tapas::hls {
 
@@ -36,6 +37,18 @@ struct AcceleratorDesign
 
     /** Stage 3 output: bound hardware parameters. */
     arch::AcceleratorParams params;
+
+    /**
+     * Ahead-of-time lowered micro-op tables (ir/lower.hh): every
+     * function decoded once at compile time, with the operation
+     * model's latencies baked in and each detach site carrying its
+     * child task's marshaled-argument template. Shared read-only by
+     * every run / thread / DSE point executing this design.
+     */
+    std::shared_ptr<const ir::LoweredProgram> lowered;
+
+    /** Host wall-clock seconds spent lowering (diagnostic only). */
+    double lowerSec = 0;
 
     const arch::Dataflow &
     dataflow(unsigned sid) const
@@ -69,6 +82,7 @@ struct CompilePhaseSeconds
     double optSec = 0;    ///< optimization pipeline
     double unrollSec = 0; ///< serial-loop unrolling
     double stagesSec = 0; ///< Stages 1-3 (extract/dataflow/bind)
+    double lowerSec = 0;  ///< micro-op lowering (ir/lower.hh)
 };
 
 /**

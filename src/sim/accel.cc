@@ -19,6 +19,12 @@ AcceleratorSim::AcceleratorSim(const hls::AcceleratorDesign &design,
                                ir::MemImage &mem)
     : _design(design), _mem(mem), cache(design.params.mem)
 {
+    // Lowered execution defaults to on whenever the design carries
+    // decoded tables; TAPAS_NO_LOWERING forces the legacy walkers
+    // (the differential-testing oracle).
+    useLowering = design.lowered != nullptr &&
+                  !ir::loweringDisabledByEnv();
+
     const arch::TaskGraph &tg = *design.taskGraph;
     for (const auto &task : tg.tasks()) {
         units.push_back(std::make_unique<TaskUnit>(
@@ -29,13 +35,13 @@ AcceleratorSim::AcceleratorSim(const hls::AcceleratorDesign &design,
 }
 
 SpawnOutcome
-AcceleratorSim::spawnTask(unsigned sid, std::vector<RtValue> args,
+AcceleratorSim::spawnTask(unsigned sid,
+                          const std::vector<RtValue> &args,
                           TaskRef parent,
                           const ir::CallInst *caller_site,
                           uint64_t now)
 {
-    return units.at(sid)->trySpawn(std::move(args), parent,
-                                   caller_site, now);
+    return units.at(sid)->trySpawn(args, parent, caller_site, now);
 }
 
 void
@@ -113,8 +119,18 @@ AcceleratorSim::setProfiler(obs::CycleProfiler *p)
 }
 
 RtValue
-AcceleratorSim::run(std::vector<RtValue> top_args)
+AcceleratorSim::run(const std::vector<RtValue> &top_args)
 {
+    // Bind the shared constant pools to this simulation's memory
+    // image once; every instance frame then indexes them read-only.
+    if (useLowering && lowPools.empty()) {
+        const ir::LoweredProgram &lp = *_design.lowered;
+        lowPools.reserve(lp.numFuncs());
+        for (size_t i = 0; i < lp.numFuncs(); ++i)
+            lowPools.push_back(
+                ir::LoweredProgram::resolvePool(lp.at(i), _mem));
+    }
+
     ++rootRuns;
     rootFinished = false;
     failure_ = SimFailure{};

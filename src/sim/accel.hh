@@ -154,7 +154,15 @@ class InstanceExec
                  const arch::FiringIndex &fidx, TaskRef self);
 
     /** Provide the marshaled arguments; instance becomes runnable. */
-    void start(std::vector<ir::RtValue> args);
+    void start(const std::vector<ir::RtValue> &args);
+
+    /**
+     * Return to the freshly-constructed state while keeping every
+     * buffer's capacity: queue entries pool one InstanceExec per slot
+     * and reset it on reuse instead of reallocating frames, register
+     * files and node-state vectors per spawn.
+     */
+    void reset();
 
     /** Advance one cycle on the given tile. */
     Status step(uint64_t now, Tile &tile);
@@ -255,15 +263,66 @@ class InstanceExec
          * exists (nextWake() returns 0).
          */
         bool fresh = true;
+
+        // Lowered-execution mirror state (null in legacy mode): the
+        // decoded function/block plus the per-function resolved
+        // constant pool (ir/lower.hh). bb/prev stay maintained in
+        // both modes so the cold paths (wake computation, call
+        // delivery, diagnostics) are shared.
+        const ir::LoweredFunc *lf = nullptr;
+        const ir::LoweredBlock *lbb = nullptr;
+        const ir::RtValue *pool = nullptr;
+        uint32_t prevId = ir::kNoSucc;
+
+        /**
+         * Nodes of the current block in DoneNode phase, maintained
+         * on every transition. The lowered sweep's block-completion
+         * and terminator-quiescence checks read this instead of
+         * rescanning nst; the legacy path keeps the scans, so the
+         * differential suite cross-validates the counter.
+         */
+        uint32_t doneCount = 0;
     };
 
     ir::RtValue evalOperand(const Frame &frame, const ir::Value *v);
+
+    /** Lowered operand fetch: indexed load + 2-bit tag switch. */
+    ir::RtValue evalRef(const Frame &frame, ir::OperandRef r) const;
 
     void enterBlock(Frame &frame, const ir::BasicBlock *bb,
                     uint64_t now);
 
     /** Try to fire one waiting node; returns false if deps pending. */
     bool tryFire(Frame &frame, size_t idx, uint64_t now, Tile &tile);
+
+    /**
+     * Lowered twin of tryFire()'s execute stage: fires node `idx`
+     * from the MicroOp table. The dependence/quiescence gate lives
+     * inline in stepL(); this only re-checks the per-cycle firing
+     * token and may still back off (memory submit reject).
+     */
+    void fireL(Frame &frame, size_t idx, const ir::MicroOp &mop,
+               uint64_t now, Tile &tile);
+
+    /**
+     * Lowered sweep: step()'s per-node loop specialized to the
+     * decoded tables — inline dependence gate, inline Exec/Mem
+     * advance, doneCount-based block completion. Rare phases
+     * (SpawnRetry, CallWait) delegate to the shared advanceNode().
+     */
+    Status stepL(Frame &frame, uint64_t now, Tile &tile);
+
+    /**
+     * Fill spawnScratch with the marshaled arguments of the child
+     * spawned by the Detach at node `idx` (template refs when
+     * lowered, the child's live-in list otherwise).
+     */
+    void marshalDetachArgs(Frame &frame, size_t idx,
+                           const arch::Task &child);
+
+    /** Fill spawnScratch with the actuals of the Call at node `idx`. */
+    void marshalCallArgs(Frame &frame, size_t idx,
+                         const ir::CallInst *call);
 
     /** Enter/extend SpawnRetry after a Rejected/Dropped spawn. */
     void noteSpawnFailure(NodeState &st, SpawnOutcome oc,
@@ -279,8 +338,16 @@ class InstanceExec
     /** Handle a completed terminator: block transition / task end. */
     Status finishBlock(uint64_t now);
 
-    void pushLeafFrame(const ir::CallInst *call,
-                       std::vector<ir::RtValue> args, uint64_t now);
+    /** Push a leaf-call frame; actuals are taken from spawnScratch. */
+    void pushLeafFrame(const ir::CallInst *call, uint64_t now);
+
+    /**
+     * Live top frame / frame-pool allocation. frames[0..nFrames) are
+     * live; popped frames stay in the deque with their buffer
+     * capacities intact and are recycled by acquireFrame().
+     */
+    Frame &topFrame() { return frames[nFrames - 1]; }
+    Frame &acquireFrame();
 
     AcceleratorSim &sim;
     const arch::Task &task;
@@ -305,12 +372,23 @@ class InstanceExec
      * Activation-record stack. A deque, not a vector: tryFire() can
      * push a leaf-call frame while step() still holds a reference to
      * the current frame, and deque growth never invalidates
-     * references to existing elements.
+     * references to existing elements. Only frames[0..nFrames) are
+     * live; the tail holds recycled frames (see acquireFrame()).
      */
     std::deque<Frame> frames;
+    size_t nFrames = 0;
 
     /** enterBlock() phi-resolution scratch (hoisted allocation). */
     std::vector<ir::RtValue> phiScratch;
+
+    /** Spawn/call argument marshaling scratch (hoisted allocation). */
+    std::vector<ir::RtValue> spawnScratch;
+
+    /** Decoded program when lowered execution is active, else null. */
+    const ir::LoweredProgram *low = nullptr;
+
+    /** Decoded form of `task`'s function (null in legacy mode). */
+    const ir::LoweredFunc *taskLf = nullptr;
 
     ir::RtValue retVal;
     bool done = false;
@@ -341,7 +419,7 @@ class TaskUnit
      * attached the handshake itself may be dropped (the spawner
      * retries with backoff).
      */
-    SpawnOutcome trySpawn(std::vector<ir::RtValue> args,
+    SpawnOutcome trySpawn(const std::vector<ir::RtValue> &args,
                           TaskRef parent,
                           const ir::CallInst *caller_site,
                           uint64_t now);
@@ -682,7 +760,7 @@ class AcceleratorSim
      *
      * @return the root task's return value (zero on failure)
      */
-    ir::RtValue run(std::vector<ir::RtValue> top_args);
+    ir::RtValue run(const std::vector<ir::RtValue> &top_args);
 
     /** How the last run() ended (kind None means success). */
     const SimFailure &failure() const { return failure_; }
@@ -723,7 +801,7 @@ class AcceleratorSim
 
     /** Route a spawn to a unit (non-Accepted => spawner retries). */
     SpawnOutcome spawnTask(unsigned sid,
-                           std::vector<ir::RtValue> args,
+                           const std::vector<ir::RtValue> &args,
                            TaskRef parent,
                            const ir::CallInst *caller_site,
                            uint64_t now);
@@ -951,6 +1029,30 @@ class AcceleratorSim
     Scheduler scheduler = Scheduler::Event;
 
     /**
+     * Execute instances from the design's ahead-of-time lowered
+     * micro-op tables (ir/lower.hh) instead of walking Instruction
+     * objects. Byte-identical results either way — the legacy walker
+     * remains as the differential oracle. Defaults to on when the
+     * design carries tables and TAPAS_NO_LOWERING is unset; set
+     * before run().
+     */
+    bool useLowering;
+
+    /** Decoded program in effect for this run, or nullptr (legacy). */
+    const ir::LoweredProgram *
+    loweredProgram() const
+    {
+        return useLowering ? _design.lowered.get() : nullptr;
+    }
+
+    /** Resolved constant pool of lowered function `func_index`. */
+    const ir::RtValue *
+    constPool(uint32_t func_index) const
+    {
+        return lowPools[func_index].data();
+    }
+
+    /**
      * Cooperative cancellation (not owned; must outlive the run).
      * Polled every cancelPollInterval cycles — the only place the
      * simulator reads a wall clock — and honored at the top of the
@@ -1016,6 +1118,10 @@ class AcceleratorSim
     ir::MemImage &_mem;
     SharedCache cache;
     std::vector<std::unique_ptr<TaskUnit>> units;
+
+    /** Per-function constant pools with global addresses patched
+     *  against _mem (lazily resolved at the first lowered run()). */
+    std::vector<std::vector<ir::RtValue>> lowPools;
 
     uint64_t _cycles = 0;
     uint64_t idleSkipped = 0;

@@ -2,6 +2,24 @@
  * @file
  * InstanceExec: dataflow execution of one dynamic task instance
  * (the per-tile TXU pipeline of paper Section III-C).
+ *
+ * Two operand-fetch/firing engines share all control logic:
+ *
+ *  - the lowered path (stepL / fireL / evalRef) executes from the
+ *    design's ahead-of-time decoded micro-op tables (ir/lower.hh):
+ *    operand fetch is an indexed load plus a 2-bit tag switch,
+ *    in-block dependences and latencies are pre-resolved, spawn
+ *    argument lists come from per-detach templates, and block
+ *    completion reads the incrementally maintained Frame::doneCount
+ *    instead of rescanning node states;
+ *  - the legacy path (tryFire / evalOperand) walks ir::Instruction
+ *    objects and is kept as the differential-testing oracle
+ *    (TAPAS_NO_LOWERING=1).
+ *
+ * Both produce byte-identical results (pinned by
+ * tests/sim_lower_test.cc). Everything outside the firing hot loop —
+ * block transitions, suspension, wake computation, call delivery —
+ * is mode-independent because lowered frames keep bb/prev maintained.
  */
 
 #include "sim/accel.hh"
@@ -12,28 +30,77 @@ namespace tapas::sim {
 
 using ir::BasicBlock;
 using ir::Instruction;
+using ir::LoweredBlock;
+using ir::MicroDep;
+using ir::MicroKind;
+using ir::MicroOp;
 using ir::Opcode;
+using ir::OperandRef;
 using ir::RtValue;
 using ir::Value;
 
 InstanceExec::InstanceExec(AcceleratorSim &sim, const arch::Task &task,
                            const arch::FiringIndex &fidx, TaskRef self)
     : sim(sim), task(task), fidx(fidx), self(self)
-{}
+{
+    low = sim.loweredProgram();
+    taskLf = low ? &low->funcOf(task.function()) : nullptr;
+}
 
 void
-InstanceExec::start(std::vector<RtValue> args)
+InstanceExec::reset()
+{
+    // Queue entries pool one InstanceExec per slot: return to the
+    // freshly-constructed state but keep every buffer's capacity.
+    // taskArgVals/taskArgPresent/argInstMark are re-assigned by the
+    // next start().
+    nFrames = 0;
+    retVal = RtValue{};
+    done = false;
+    memInFlight = 0;
+    firedNodes = 0;
+    low = sim.loweredProgram();
+    taskLf = low ? &low->funcOf(task.function()) : nullptr;
+}
+
+InstanceExec::Frame &
+InstanceExec::acquireFrame()
+{
+    if (nFrames == frames.size())
+        frames.emplace_back();
+    Frame &f = frames[nFrames++];
+    f.func = nullptr;
+    f.returnTo = nullptr;
+    f.bb = nullptr;
+    f.prev = nullptr;
+    f.fresh = true;
+    f.fireBase = 0;
+    f.lf = nullptr;
+    f.lbb = nullptr;
+    f.pool = nullptr;
+    f.prevId = ir::kNoSucc;
+    f.doneCount = 0;
+    f.argVals.clear();
+    f.nst.clear();
+    return f;
+}
+
+void
+InstanceExec::start(const std::vector<RtValue> &args)
 {
     const auto &formals = task.args();
     tapas_assert(args.size() == formals.size(),
                  "task '%s' spawned with %zu args, expects %zu",
                  task.name().c_str(), args.size(), formals.size());
 
-    frames.emplace_back();
-    Frame &f = frames.back();
+    Frame &f = acquireFrame();
     f.func = task.function();
     f.fireBase = fidx.baseOf(f.func);
-    f.regs.resize(f.func->numInstructions());
+    f.regs.assign(f.func->numInstructions(), RtValue{});
+    if (low) {
+        f.lf = taskLf;
+        f.pool = sim.constPool(taskLf->index);
+    }
 
     // Resolve the marshaled live-ins to dense slots once, here, so
     // the per-cycle operand path never touches an associative
@@ -98,6 +165,25 @@ InstanceExec::evalOperand(const Frame &frame, const Value *v)
     }
 }
 
+RtValue
+InstanceExec::evalRef(const Frame &frame, OperandRef r) const
+{
+    switch (r.tag) {
+      case OperandRef::Tag::Const:
+        return frame.pool[r.index];
+      case OperandRef::Tag::Arg:
+        if (frame.returnTo)
+            return frame.argVals[r.index];
+        tapas_assert(r.index < taskArgPresent.size() &&
+                     taskArgPresent[r.index],
+                     "task '%s' uses unmarshaled argument #%u",
+                     task.name().c_str(), r.index);
+        return taskArgVals[r.index];
+      default: // Reg
+        return frame.regs[r.index];
+    }
+}
+
 void
 InstanceExec::enterBlock(Frame &frame, const BasicBlock *bb,
                          uint64_t now)
@@ -105,10 +191,38 @@ InstanceExec::enterBlock(Frame &frame, const BasicBlock *bb,
     frame.prev = frame.bb;
     frame.bb = bb;
     frame.nst.assign(bb->size(), NodeState{});
+    frame.doneCount = 0;
     frame.fresh = true; // nodes fireable before any timer expires
 
     // Phis are wires out of the instance's registers: resolve all of
     // them in parallel at block entry, zero cost.
+    if (frame.lf) {
+        frame.prevId = frame.prev
+                           ? static_cast<uint32_t>(frame.prev->id())
+                           : ir::kNoSucc;
+        frame.lbb = &frame.lf->blocks[bb->id()];
+        const LoweredBlock &lb = *frame.lbb;
+        if (lb.numPhis != 0) {
+            tapas_assert(frame.prev,
+                         "phi in a task/function entry block");
+            const ir::PhiRoute &route =
+                frame.lf->routeFor(lb, frame.prevId);
+            const OperandRef *oprs =
+                frame.lf->operands.data() + route.operandBegin;
+            phiScratch.clear();
+            phiScratch.reserve(lb.numPhis);
+            for (uint32_t i = 0; i < lb.numPhis; ++i)
+                phiScratch.push_back(evalRef(frame, oprs[i]));
+            for (uint32_t i = 0; i < lb.numPhis; ++i) {
+                frame.regs[lb.firstId + i] = phiScratch[i];
+                frame.nst[i].phase = Phase::DoneNode;
+                frame.nst[i].doneAt = now;
+            }
+            frame.doneCount = lb.numPhis;
+        }
+        return;
+    }
+
     auto phis = bb->phis();
     if (!phis.empty()) {
         tapas_assert(frame.prev, "phi in a task/function entry block");
@@ -122,6 +236,7 @@ InstanceExec::enterBlock(Frame &frame, const BasicBlock *bb,
             frame.nst[i].phase = Phase::DoneNode;
             frame.nst[i].doneAt = now;
         }
+        frame.doneCount = static_cast<uint32_t>(phis.size());
     }
 }
 
@@ -133,6 +248,44 @@ InstanceExec::blockDone(const Frame &frame) const
             return false;
     }
     return true;
+}
+
+void
+InstanceExec::marshalDetachArgs(Frame &frame, size_t idx,
+                                const arch::Task &child)
+{
+    spawnScratch.clear();
+    if (frame.lf) {
+        const MicroOp &mop = frame.lf->ops[frame.lbb->opBegin + idx];
+        const OperandRef *oprs =
+            frame.lf->operands.data() + mop.opBegin;
+        spawnScratch.reserve(mop.opCount);
+        for (uint16_t i = 0; i < mop.opCount; ++i)
+            spawnScratch.push_back(evalRef(frame, oprs[i]));
+        return;
+    }
+    spawnScratch.reserve(child.args().size());
+    for (Value *a : child.args())
+        spawnScratch.push_back(evalOperand(frame, a));
+}
+
+void
+InstanceExec::marshalCallArgs(Frame &frame, size_t idx,
+                              const ir::CallInst *call)
+{
+    spawnScratch.clear();
+    if (frame.lf) {
+        const MicroOp &mop = frame.lf->ops[frame.lbb->opBegin + idx];
+        const OperandRef *oprs =
+            frame.lf->operands.data() + mop.opBegin;
+        spawnScratch.reserve(mop.opCount);
+        for (uint16_t i = 0; i < mop.opCount; ++i)
+            spawnScratch.push_back(evalRef(frame, oprs[i]));
+        return;
+    }
+    spawnScratch.reserve(call->numArgs());
+    for (unsigned i = 0; i < call->numArgs(); ++i)
+        spawnScratch.push_back(evalOperand(frame, call->arg(i)));
 }
 
 bool
@@ -293,10 +446,7 @@ InstanceExec::tryFire(Frame &frame, size_t idx, uint64_t now,
       }
       case Opcode::Call: {
         auto *call = ir::cast<ir::CallInst>(inst);
-        std::vector<RtValue> args;
-        args.reserve(call->numArgs());
-        for (unsigned i = 0; i < call->numArgs(); ++i)
-            args.push_back(evalOperand(frame, call->arg(i)));
+        marshalCallArgs(frame, idx, call);
 
         if (call->callee()->hasDetach()) {
             // Task call: spawn the callee's task unit, await value.
@@ -304,7 +454,7 @@ InstanceExec::tryFire(Frame &frame, size_t idx, uint64_t now,
                          "task call inside an inlined leaf call");
             arch::Task *callee = task.calleeForCall(call);
             SpawnOutcome oc = sim.spawnTask(
-                callee->sid(), std::move(args), self, call, now);
+                callee->sid(), spawnScratch, self, call, now);
             if (oc == SpawnOutcome::Accepted)
                 st.phase = Phase::CallWait;
             else
@@ -313,7 +463,7 @@ InstanceExec::tryFire(Frame &frame, size_t idx, uint64_t now,
         }
         // Leaf call: push an inlined activation record.
         st.phase = Phase::LeafCall;
-        pushLeafFrame(call, std::move(args), now);
+        pushLeafFrame(call, now);
         return true;
       }
       case Opcode::Br:
@@ -329,13 +479,9 @@ InstanceExec::tryFire(Frame &frame, size_t idx, uint64_t now,
       case Opcode::Detach: {
         auto *det = ir::cast<ir::DetachInst>(inst);
         arch::Task *child = task.childForDetach(det);
-        std::vector<RtValue> args;
-        args.reserve(child->args().size());
-        for (Value *a : child->args())
-            args.push_back(evalOperand(frame, a));
-        SpawnOutcome oc = sim.spawnTask(child->sid(),
-                                        std::move(args), self,
-                                        nullptr, now);
+        marshalDetachArgs(frame, idx, *child);
+        SpawnOutcome oc = sim.spawnTask(child->sid(), spawnScratch,
+                                        self, nullptr, now);
         if (oc == SpawnOutcome::Accepted) {
             sim.unit(self.sid).noteChildSpawned(self.slot);
             finish_fixed(arch::opLatency(arch::OpClass::Detach));
@@ -356,16 +502,190 @@ InstanceExec::tryFire(Frame &frame, size_t idx, uint64_t now,
 }
 
 void
+InstanceExec::fireL(Frame &frame, size_t idx, const MicroOp &mop,
+                    uint64_t now, Tile &tile)
+{
+    const ir::LoweredFunc &lf = *frame.lf;
+    const OperandRef *oprs = lf.operands.data() + mop.opBegin;
+
+    // One token per static function unit per cycle (II = 1); see
+    // tryFire for the generation-stamp scheme.
+    uint64_t &mark = tile.firedMark[frame.fireBase + mop.id];
+    if (mark == now + 1)
+        return;
+    mark = now + 1;
+    ++tile.firedThisCycle;
+
+    NodeState &st = frame.nst[idx];
+
+    auto finish_fixed = [&](unsigned latency) {
+        st.phase = Phase::Exec;
+        st.doneAt = now + std::max(1u, latency);
+    };
+
+    ++firedNodes;
+    sim.progressEvent();
+
+    switch (mop.kind) {
+      case MicroKind::Binary:
+        frame.regs[mop.id] = ir::evalBinary(
+            mop.op, mop.type, evalRef(frame, oprs[0]),
+            evalRef(frame, oprs[1]));
+        finish_fixed(mop.latency);
+        return;
+      case MicroKind::Cmp:
+        frame.regs[mop.id] = ir::evalCmp(
+            mop.op, mop.pred, mop.srcType, evalRef(frame, oprs[0]),
+            evalRef(frame, oprs[1]));
+        finish_fixed(mop.latency);
+        return;
+      case MicroKind::Select: {
+        bool c = evalRef(frame, oprs[0]).truthy();
+        frame.regs[mop.id] = evalRef(frame, c ? oprs[1] : oprs[2]);
+        finish_fixed(mop.latency);
+        return;
+      }
+      case MicroKind::Cast:
+        frame.regs[mop.id] = ir::evalCast(
+            mop.op, mop.srcType, mop.type, evalRef(frame, oprs[0]));
+        finish_fixed(mop.latency);
+        return;
+      case MicroKind::Gep: {
+        uint64_t addr = evalRef(frame, oprs[0]).ptr();
+        const int64_t *strides = lf.strides.data() + mop.strideBegin;
+        for (uint16_t i = 1; i < mop.opCount; ++i) {
+            int64_t index = evalRef(frame, oprs[i]).i;
+            addr += static_cast<uint64_t>(index * strides[i - 1]);
+        }
+        frame.regs[mop.id] = RtValue::fromPtr(addr);
+        finish_fixed(mop.latency);
+        return;
+      }
+      case MicroKind::Alloca:
+        // Stack RAM bump; space is taken from the shared image and
+        // intentionally not recycled (see DESIGN.md).
+        frame.regs[mop.id] =
+            RtValue::fromPtr(sim.mem().alloc(mop.allocaBytes, 8));
+        finish_fixed(mop.latency);
+        return;
+      case MicroKind::Load: {
+        uint64_t addr = evalRef(frame, oprs[0]).ptr();
+        MemTicket ticket;
+        if (!tile.box.submit(addr, false, now, ticket)) {
+            mark = 0; // no structural issue happened
+            --tile.firedThisCycle;
+            --firedNodes;
+            sim.retractProgressEvent();
+            return;
+        }
+        if (mop.memIsFloat) {
+            frame.regs[mop.id] = RtValue::fromFloat(
+                mop.memBits == 32 ? sim.mem().loadF32(addr)
+                                  : sim.mem().loadF64(addr));
+        } else {
+            frame.regs[mop.id] = RtValue::fromInt(
+                sim.mem().loadInt(addr, mop.memSize));
+        }
+        st.phase = Phase::Mem;
+        st.ticket = ticket;
+        ++memInFlight;
+        return;
+      }
+      case MicroKind::Store: {
+        // Operand order: [0] = value, [1] = address.
+        uint64_t addr = evalRef(frame, oprs[1]).ptr();
+        MemTicket ticket;
+        if (!tile.box.submit(addr, true, now, ticket)) {
+            mark = 0;
+            --tile.firedThisCycle;
+            --firedNodes;
+            sim.retractProgressEvent();
+            return;
+        }
+        RtValue v = evalRef(frame, oprs[0]);
+        if (mop.memIsFloat) {
+            if (mop.memBits == 32)
+                sim.mem().storeF32(addr, static_cast<float>(v.f));
+            else
+                sim.mem().storeF64(addr, v.f);
+        } else {
+            sim.mem().storeInt(addr, mop.memSize, v.i);
+        }
+        st.phase = Phase::Mem;
+        st.ticket = ticket;
+        ++memInFlight;
+        return;
+      }
+      case MicroKind::Call: {
+        auto *call = ir::cast<ir::CallInst>(mop.inst);
+        marshalCallArgs(frame, idx, call);
+
+        if (mop.calleeHasDetach) {
+            // Task call: spawn the callee's task unit, await value.
+            tapas_assert(!frame.returnTo,
+                         "task call inside an inlined leaf call");
+            arch::Task *callee = task.calleeForCall(call);
+            SpawnOutcome oc = sim.spawnTask(
+                callee->sid(), spawnScratch, self, call, now);
+            if (oc == SpawnOutcome::Accepted)
+                st.phase = Phase::CallWait;
+            else
+                noteSpawnFailure(st, oc, now);
+            return;
+        }
+        // Leaf call: push an inlined activation record.
+        st.phase = Phase::LeafCall;
+        pushLeafFrame(call, now);
+        return;
+      }
+      case MicroKind::Br:
+        finish_fixed(mop.latency);
+        return;
+      case MicroKind::Ret:
+        if (mop.opCount != 0)
+            retVal = evalRef(frame, oprs[0]);
+        finish_fixed(mop.latency);
+        return;
+      case MicroKind::Detach: {
+        auto *det = ir::cast<ir::DetachInst>(mop.inst);
+        arch::Task *child = task.childForDetach(det);
+        marshalDetachArgs(frame, idx, *child);
+        SpawnOutcome oc = sim.spawnTask(child->sid(), spawnScratch,
+                                        self, nullptr, now);
+        if (oc == SpawnOutcome::Accepted) {
+            sim.unit(self.sid).noteChildSpawned(self.slot);
+            finish_fixed(mop.latency);
+        } else {
+            noteSpawnFailure(st, oc, now);
+        }
+        return;
+      }
+      case MicroKind::Reattach:
+        // Join latency is a run-time parameter (params().joinLatency),
+        // deliberately not baked into the tables: the same lowered
+        // design may be simulated under different parameterizations.
+        finish_fixed(sim.params().joinLatency);
+        return;
+      case MicroKind::Sync:
+        st.phase = Phase::SyncWait; // resolved against the counter
+        return;
+      case MicroKind::PhiNode:
+      default:
+        tapas_panic("TXU cannot execute '%s'", ir::opcodeName(mop.op));
+    }
+}
+
+void
 InstanceExec::advanceNode(Frame &frame, size_t idx, uint64_t now,
                           Tile &tile)
 {
     NodeState &st = frame.nst[idx];
-    const Instruction *inst = frame.bb->instructions()[idx].get();
 
     switch (st.phase) {
       case Phase::Exec:
         if (st.doneAt <= now) {
             st.phase = Phase::DoneNode;
+            ++frame.doneCount;
             sim.progressEvent();
         }
         break;
@@ -373,6 +693,7 @@ InstanceExec::advanceNode(Frame &frame, size_t idx, uint64_t now,
         if (tile.box.poll(st.ticket, now)) {
             st.phase = Phase::DoneNode;
             st.doneAt = now;
+            ++frame.doneCount;
             --memInFlight;
             sim.progressEvent();
         }
@@ -390,14 +711,13 @@ InstanceExec::advanceNode(Frame &frame, size_t idx, uint64_t now,
                 sim.emitRecovery(now, "spawn_retry", self.sid);
             }
         }
+        const Instruction *inst = frame.bb->instructions()[idx].get();
         if (inst->opcode() == Opcode::Detach) {
             auto *det = ir::cast<const ir::DetachInst>(inst);
             arch::Task *child = task.childForDetach(det);
-            std::vector<RtValue> args;
-            for (Value *a : child->args())
-                args.push_back(evalOperand(frame, a));
+            marshalDetachArgs(frame, idx, *child);
             SpawnOutcome oc = sim.spawnTask(child->sid(),
-                                            std::move(args), self,
+                                            spawnScratch, self,
                                             nullptr, now);
             if (oc == SpawnOutcome::Accepted) {
                 sim.unit(self.sid).noteChildSpawned(self.slot);
@@ -412,11 +732,9 @@ InstanceExec::advanceNode(Frame &frame, size_t idx, uint64_t now,
         } else {
             auto *call = ir::cast<const ir::CallInst>(inst);
             arch::Task *callee = task.calleeForCall(call);
-            std::vector<RtValue> args;
-            for (unsigned i = 0; i < call->numArgs(); ++i)
-                args.push_back(evalOperand(frame, call->arg(i)));
+            marshalCallArgs(frame, idx, call);
             SpawnOutcome oc = sim.spawnTask(callee->sid(),
-                                            std::move(args), self,
+                                            spawnScratch, self,
                                             call, now);
             if (oc == SpawnOutcome::Accepted) {
                 st.phase = Phase::CallWait;
@@ -433,10 +751,13 @@ InstanceExec::advanceNode(Frame &frame, size_t idx, uint64_t now,
         break;
       case Phase::CallWait:
         if (st.callDelivered) {
+            const Instruction *inst =
+                frame.bb->instructions()[idx].get();
             if (!inst->type().isVoid())
                 frame.regs[inst->id()] = st.callValue;
             st.phase = Phase::DoneNode;
             st.doneAt = now;
+            ++frame.doneCount;
             sim.progressEvent();
         }
         break;
@@ -467,17 +788,19 @@ InstanceExec::noteSpawnFailure(NodeState &st, SpawnOutcome oc,
 }
 
 void
-InstanceExec::pushLeafFrame(const ir::CallInst *call,
-                            std::vector<RtValue> args, uint64_t now)
+InstanceExec::pushLeafFrame(const ir::CallInst *call, uint64_t now)
 {
     (void)now;
-    frames.emplace_back();
-    Frame &f = frames.back();
+    Frame &f = acquireFrame();
     f.func = call->callee();
     f.fireBase = fidx.baseOf(f.func);
-    f.regs.resize(f.func->numInstructions());
-    f.argVals = std::move(args);
+    f.regs.assign(f.func->numInstructions(), RtValue{});
+    f.argVals.assign(spawnScratch.begin(), spawnScratch.end());
     f.returnTo = call;
+    if (low) {
+        f.lf = &low->funcOf(f.func);
+        f.pool = sim.constPool(f.lf->index);
+    }
 }
 
 uint64_t
@@ -486,7 +809,8 @@ InstanceExec::nextWake(uint64_t now, const DataBox &box,
                        std::vector<unsigned> *spawn_waits) const
 {
     uint64_t wake = kNoWake;
-    for (const Frame &frame : frames) {
+    for (size_t fi = 0; fi < nFrames; ++fi) {
+        const Frame &frame = frames[fi];
         // A block that has not had a full firing sweep yet can fire
         // nodes next cycle with no timer involved: must tick.
         if (!frame.bb || frame.fresh)
@@ -560,8 +884,8 @@ void
 InstanceExec::phaseCensus(unsigned &exec, unsigned &mem,
                           unsigned &spawn) const
 {
-    for (const Frame &frame : frames) {
-        for (const NodeState &st : frame.nst) {
+    for (size_t fi = 0; fi < nFrames; ++fi) {
+        for (const NodeState &st : frames[fi].nst) {
             switch (st.phase) {
               case Phase::Exec:
                 ++exec;
@@ -583,12 +907,12 @@ InstanceExec::Status
 InstanceExec::step(uint64_t now, Tile &tile)
 {
     tapas_assert(!done, "stepping a finished instance");
-    Frame &frame = frames.back();
+    Frame &frame = topFrame();
 
     if (!frame.bb) {
         // First cycle: enter the task (or callee) entry block.
         const BasicBlock *entry =
-            frames.size() == 1 ? task.entry() : frame.func->entry();
+            nFrames == 1 ? task.entry() : frame.func->entry();
         enterBlock(frame, entry, now);
         return Status::Running;
     }
@@ -596,6 +920,9 @@ InstanceExec::step(uint64_t now, Tile &tile)
     // This sweep gives every node of the block its firing chance, so
     // the block no longer blocks idle-skip (see Frame::fresh).
     frame.fresh = false;
+
+    if (frame.lf)
+        return stepL(frame, now, tile);
 
     bool has_sync_wait = false;
     bool has_call_wait = false;
@@ -655,18 +982,152 @@ InstanceExec::step(uint64_t now, Tile &tile)
 }
 
 InstanceExec::Status
+InstanceExec::stepL(Frame &frame, uint64_t now, Tile &tile)
+{
+    const ir::LoweredFunc &lf = *frame.lf;
+    const MicroOp *ops = lf.ops.data() + frame.lbb->opBegin;
+    const MicroDep *depPool = lf.deps.data();
+    NodeState *nst = frame.nst.data();
+    const size_t n = frame.nst.size();
+
+    bool has_sync_wait = false;
+    bool has_call_wait = false;
+    bool busy = false; // Exec/Mem/SpawnRetry/LeafCall in flight
+
+    for (size_t i = 0; i < n; ++i) {
+        NodeState &st = nst[i];
+        if (st.phase == Phase::Waiting) {
+            const MicroOp &mop = ops[i];
+            bool ready;
+            // MicroKind orders the five terminators (Br..Sync) last.
+            if (mop.kind >= MicroKind::Br) {
+                // Terminators leave the block: wait for full
+                // quiescence so no in-flight node outlives its block
+                // activation.
+                ready = frame.doneCount + 1 == n;
+            } else {
+                ready = true;
+                const MicroDep *deps = depPool + mop.depBegin;
+                for (uint16_t d = 0; d < mop.depCount; ++d) {
+                    if (!frame.returnTo &&
+                        argInstMark[deps[d].instId])
+                        continue; // parent value marshaled as an arg
+                    if (nst[deps[d].nstIdx].phase !=
+                        Phase::DoneNode) {
+                        ready = false;
+                        break;
+                    }
+                }
+            }
+            if (ready)
+                fireL(frame, i, mop, now, tile);
+            if (st.phase == Phase::Waiting)
+                continue; // not ready, token clash, or mem reject
+        }
+        // Advance + census, merged. The hot Exec/Mem polls are
+        // inlined; the rare control phases share advanceNode() with
+        // the legacy sweep, censusing the post-advance phase exactly
+        // as step() does.
+        switch (st.phase) {
+          case Phase::DoneNode:
+            break;
+          case Phase::Exec:
+            if (st.doneAt <= now) {
+                st.phase = Phase::DoneNode;
+                ++frame.doneCount;
+                sim.progressEvent();
+            } else {
+                busy = true;
+            }
+            break;
+          case Phase::Mem:
+            if (tile.box.poll(st.ticket, now)) {
+                st.phase = Phase::DoneNode;
+                st.doneAt = now;
+                ++frame.doneCount;
+                --memInFlight;
+                sim.progressEvent();
+            } else {
+                busy = true;
+            }
+            break;
+          case Phase::SyncWait:
+            has_sync_wait = true;
+            break;
+          case Phase::LeafCall:
+            busy = true;
+            break;
+          case Phase::CallWait:
+          case Phase::SpawnRetry:
+            advanceNode(frame, i, now, tile);
+            switch (st.phase) {
+              case Phase::CallWait:
+                has_call_wait = true;
+                break;
+              case Phase::Exec:
+              case Phase::SpawnRetry:
+                busy = true;
+                break;
+              default:
+                break;
+            }
+            break;
+          default:
+            break;
+        }
+    }
+
+    // Sync resolution: the unit owns the join counter; ask it.
+    if (has_sync_wait) {
+        if (sim.unit(self.sid).childCountOf(self.slot) == 0) {
+            for (size_t i = 0; i < n; ++i) {
+                if (nst[i].phase == Phase::SyncWait) {
+                    nst[i].phase = Phase::Exec;
+                    nst[i].doneAt = now + 1;
+                    sim.progressEvent();
+                }
+            }
+            has_sync_wait = false;
+            busy = true;
+        }
+    }
+
+    // Block transition once everything in the block has completed.
+    if (frame.doneCount == n)
+        return finishBlock(now);
+
+    if (has_sync_wait && memInFlight == 0 && !busy)
+        return Status::WaitSync;
+    if (has_call_wait && memInFlight == 0 && !busy)
+        return Status::WaitCall;
+    return Status::Running;
+}
+
+InstanceExec::Status
 InstanceExec::finishBlock(uint64_t now)
 {
-    Frame &frame = frames.back();
+    Frame &frame = topFrame();
     const Instruction *term = frame.bb->terminator();
 
     switch (term->opcode()) {
       case Opcode::Br: {
-        auto *br = ir::cast<const ir::BranchInst>(term);
-        const BasicBlock *next = br->ifTrue();
-        if (br->isConditional() &&
-            !evalOperand(frame, br->cond()).truthy()) {
-            next = br->ifFalse();
+        const BasicBlock *next;
+        if (frame.lf) {
+            const MicroOp &t = frame.lf->ops[frame.lbb->opEnd - 1];
+            uint32_t nid =
+                (t.opCount != 0 &&
+                 !evalRef(frame, frame.lf->operands[t.opBegin])
+                      .truthy())
+                    ? t.succ1
+                    : t.succ0;
+            next = frame.lf->blocks[nid].bb;
+        } else {
+            auto *br = ir::cast<const ir::BranchInst>(term);
+            next = br->ifTrue();
+            if (br->isConditional() &&
+                !evalOperand(frame, br->cond()).truthy()) {
+                next = br->ifFalse();
+            }
         }
         enterBlock(frame, next, now);
         return Status::Running;
@@ -682,17 +1143,17 @@ InstanceExec::finishBlock(uint64_t now)
         return Status::Running;
       }
       case Opcode::Reattach:
-        tapas_assert(frames.size() == 1,
+        tapas_assert(nFrames == 1,
                      "reattach inside an inlined leaf call");
         done = true;
         return Status::Done;
       case Opcode::Ret: {
-        if (frames.size() > 1) {
+        if (nFrames > 1) {
             // Leaf call returns: deliver to the caller's call node.
             const ir::CallInst *site = frame.returnTo;
             RtValue v = retVal;
-            frames.pop_back();
-            Frame &caller = frames.back();
+            --nFrames; // pop; the frame stays pooled for reuse
+            Frame &caller = topFrame();
             unsigned base = caller.bb->instructions()[0]->id();
             size_t idx = site->id() - base;
             tapas_assert(caller.bb->instructions()[idx].get() == site,
@@ -701,6 +1162,7 @@ InstanceExec::finishBlock(uint64_t now)
                 caller.regs[site->id()] = v;
             caller.nst[idx].phase = Phase::DoneNode;
             caller.nst[idx].doneAt = now;
+            ++caller.doneCount;
             sim.progressEvent();
             return Status::Running;
         }
@@ -716,7 +1178,7 @@ void
 InstanceExec::deliverCallResult(const ir::CallInst *site, RtValue v)
 {
     // Task calls only occur in the task frame (frames[0]).
-    Frame &frame = frames.front();
+    Frame &frame = frames[0];
     tapas_assert(frame.bb, "call result before instance started");
     unsigned base = frame.bb->instructions()[0]->id();
     size_t idx = site->id() - base;

@@ -34,7 +34,7 @@ TaskUnit::TaskUnit(AcceleratorSim &sim, const arch::Task &task,
 }
 
 SpawnOutcome
-TaskUnit::trySpawn(std::vector<RtValue> args, TaskRef parent,
+TaskUnit::trySpawn(const std::vector<RtValue> &args, TaskRef parent,
                    const ir::CallInst *caller_site, uint64_t now)
 {
     // An injected fault may eat the ready/valid handshake before the
@@ -69,9 +69,16 @@ TaskUnit::trySpawn(std::vector<RtValue> args, TaskRef parent,
             e.checksum = argsChecksum(args, _task.sid(), slot);
             e.faultRetries = 0;
         }
-        e.exec = std::make_unique<InstanceExec>(
-            sim, _task, fidx, TaskRef{_task.sid(), slot});
-        e.exec->start(std::move(args));
+        // One pooled InstanceExec per queue slot: later spawns into
+        // the same slot reset it instead of reallocating its frames,
+        // register files and node-state vectors.
+        if (!e.exec) {
+            e.exec = std::make_unique<InstanceExec>(
+                sim, _task, fidx, TaskRef{_task.sid(), slot});
+        } else {
+            e.exec->reset();
+        }
+        e.exec->start(args);
         readyQueue.push_back(slot);
         ++occupied;
         ++spawnsAccepted;
@@ -149,12 +156,10 @@ TaskUnit::verifyEntryChecksum(unsigned slot, uint64_t now)
     ++inj->taskReplays;
     sim.emitRecovery(now, "task_replay", _task.sid());
 
-    // Re-marshal from the golden argument copy: fresh instance, fresh
-    // checksum, and the args-RAM transfer latency is paid again.
-    e.exec = std::make_unique<InstanceExec>(
-        sim, _task, fidx, TaskRef{_task.sid(), slot});
-    std::vector<RtValue> args = e.savedArgs;
-    e.exec->start(std::move(args));
+    // Re-marshal from the golden argument copy: fresh instance state,
+    // fresh checksum, and the args-RAM transfer latency is paid again.
+    e.exec->reset();
+    e.exec->start(e.savedArgs);
     e.checksum = expect;
     e.readyAt = now + sim.params().spawnHandshake +
                 static_cast<uint64_t>(e.savedArgs.size()) *
@@ -287,7 +292,8 @@ TaskUnit::retire(unsigned slot, uint64_t now)
     const ir::CallInst *site = e.callerSite;
 
     detachFromTile(slot);
-    e.exec.reset();
+    // Keep the pooled exec object (and its buffer capacities) alive;
+    // the next spawn into this slot resets and restarts it.
     e.savedArgs.clear();
     e.state = EntryState::Free;
     --occupied;

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Lowering-equivalence tests: executing from the ahead-of-time
+ * micro-op tables (ir/lower.hh, the default) must produce a
+ * RunResult that compares equal field-for-field with the legacy
+ * IR-walking interpreter loop on every workload and under every
+ * observability/lifecycle configuration: both cycle-loop schedulers,
+ * profiling, fault injection with a fixed seed, --explain sinks,
+ * trace sinks, and deadline-interrupted checkpoint/resume. Lowering
+ * is a pure simulation-speed optimization; any observable divergence
+ * is a bug.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "driver/engine.hh"
+#include "ir/lower.hh"
+#include "sim/accel.hh"
+#include "sim/fault.hh"
+#include "sim/trace.hh"
+#include "workloads/workload.hh"
+
+using namespace tapas;
+
+namespace {
+
+constexpr uint64_t kMemBytes = 32ull << 20;
+
+/** The paper suite at test-sized inputs (bench/common.hh shapes). */
+std::vector<workloads::Workload>
+suite()
+{
+    std::vector<workloads::Workload> s;
+    s.push_back(workloads::makeMatrixAdd(24));
+    s.push_back(workloads::makeStencil(16, 16, 1));
+    s.push_back(workloads::makeSaxpy(1024));
+    s.push_back(workloads::makeImageScale(32, 16));
+    s.push_back(workloads::makeDedup(16, 128));
+    s.push_back(workloads::makeFib(12));
+    s.push_back(workloads::makeMergeSort(512, 32));
+    return s;
+}
+
+/** Run `w` with the lowering knob pinned and profiling on. */
+driver::RunResult
+runWith(workloads::Workload &w, bool lowering,
+        driver::AccelSimEngine::Options eo = {},
+        driver::RunOptions ro = {})
+{
+    eo.lowering = lowering;
+    driver::AccelSimEngine eng(std::move(eo));
+    ro.profile = true;
+    return eng.runWorkload(w, kMemBytes, ro);
+}
+
+/**
+ * The headline differential: every workload, single- and multi-tile,
+ * both cycle-loop schedulers, with and without a fixed-seed fault
+ * injector — byte-identical between the lowered engine and the
+ * legacy walkers. The fault legs matter most: injected perturbations
+ * (spawn drops, queue corruption, delayed memory) route both engines
+ * through their rarely-taken retry paths in lockstep.
+ */
+TEST(LowerEquiv, EveryWorkloadTilesSchedFaultsByteIdentical)
+{
+    for (unsigned tiles : {1u, 4u}) {
+        for (auto sched :
+             {sim::Scheduler::Scan, sim::Scheduler::Event}) {
+            for (bool faults : {false, true}) {
+                auto ref_suite = suite();
+                auto opt_suite = suite();
+                for (size_t i = 0; i < ref_suite.size(); ++i) {
+                    SCOPED_TRACE(
+                        std::string(ref_suite[i].name) +
+                        " tiles=" + std::to_string(tiles) +
+                        " sched=" +
+                        (sched == sim::Scheduler::Scan ? "scan"
+                                                       : "event") +
+                        " faults=" + (faults ? "on" : "off"));
+                    driver::AccelSimEngine::Options eo;
+                    eo.tiles = tiles;
+                    eo.scheduler = sched;
+                    if (faults) {
+                        sim::FaultConfig fc;
+                        fc.seed = 0xfeedu;
+                        fc.spawnDropRate = 1e-3;
+                        fc.queueCorruptRate = 1e-3;
+                        fc.memDropRate = 1e-3;
+                        fc.memDelayRate = 1e-3;
+                        fc.tileStuckRate = 1e-3;
+                        eo.fault = fc;
+                    }
+                    driver::RunResult ref =
+                        runWith(ref_suite[i], false, eo);
+                    driver::RunResult opt =
+                        runWith(opt_suite[i], true, eo);
+                    // A fault-injected run may legitimately end in a
+                    // structured failure; equals() compares that too.
+                    if (!faults) {
+                        EXPECT_TRUE(ref.ok()) << ref_suite[i].name;
+                        EXPECT_TRUE(ref.verifyError.empty())
+                            << ref.verifyError;
+                    }
+                    EXPECT_TRUE(ref.equals(opt))
+                        << "lowered engine diverged: cycles "
+                        << ref.cycles << " vs " << opt.cycles;
+                }
+            }
+        }
+    }
+}
+
+/**
+ * --explain attaches a CriticalPathSink; the lowered engine must
+ * reproduce the legacy run exactly, bottleneck report and critpath.*
+ * stats included — residency attribution sees the same firings on
+ * the same cycles.
+ */
+TEST(LowerEquiv, ExplainReportIdentical)
+{
+    auto run = [](bool lowering) {
+        auto w = workloads::makeMergeSort(512, 32);
+        driver::RunOptions ro;
+        ro.explain = true;
+        return runWith(w, lowering, {}, ro);
+    };
+    driver::RunResult ref = run(false);
+    driver::RunResult opt = run(true);
+    EXPECT_TRUE(ref.ok());
+    EXPECT_FALSE(ref.bottleneckReport.empty());
+    EXPECT_TRUE(ref.equals(opt));
+    EXPECT_EQ(ref.bottleneckReport, opt.bottleneckReport);
+}
+
+/**
+ * With a tracer attached both engines must produce the identical
+ * event stream — same cycles, kinds, units, slots, in order.
+ */
+TEST(LowerEquiv, TracedStreamExact)
+{
+    auto runTraced = [](bool lowering) {
+        auto w = workloads::makeMergeSort(512, 32);
+        sim::TaskTracer tracer;
+        driver::AccelSimEngine::Options eo;
+        eo.tracer = &tracer;
+        eo.lowering = lowering;
+        driver::AccelSimEngine eng(std::move(eo));
+        driver::RunResult r = eng.runWorkload(w, kMemBytes);
+        EXPECT_TRUE(r.ok());
+        return std::make_pair(std::move(r), tracer.all());
+    };
+    auto [ref, ref_events] = runTraced(false);
+    auto [opt, opt_events] = runTraced(true);
+    EXPECT_TRUE(ref.equals(opt));
+    ASSERT_EQ(ref_events.size(), opt_events.size());
+    for (size_t i = 0; i < ref_events.size(); ++i) {
+        EXPECT_EQ(ref_events[i].cycle, opt_events[i].cycle) << i;
+        EXPECT_EQ(ref_events[i].kind, opt_events[i].kind) << i;
+        EXPECT_EQ(ref_events[i].sid, opt_events[i].sid) << i;
+        EXPECT_EQ(ref_events[i].slot, opt_events[i].slot) << i;
+    }
+}
+
+/**
+ * Checkpoint/resume across engines: interrupting a lowered run at a
+ * deterministic cycle deadline must stop at the same boundary with
+ * the same partial state as the legacy walkers, and an uninterrupted
+ * replay must reproduce the full run byte-for-byte.
+ */
+TEST(LowerEquiv, InterruptThenReplayByteIdentical)
+{
+    auto runOnce = [](bool lowering, driver::RunOptions ro) {
+        auto w = workloads::makeSaxpy(1024);
+        return runWith(w, lowering, {}, std::move(ro));
+    };
+
+    driver::RunResult legacy_ref = runOnce(false, {});
+    driver::RunResult ref = runOnce(true, {});
+    ASSERT_TRUE(ref.ok());
+    ASSERT_GT(ref.cycles, 2u);
+    EXPECT_TRUE(ref.equals(legacy_ref));
+
+    driver::RunOptions mid;
+    mid.deadlineCycles = ref.cycles / 2;
+    driver::RunResult stopped = runOnce(true, mid);
+    EXPECT_TRUE(stopped.interrupted);
+    EXPECT_EQ(stopped.interruptCycle, ref.cycles / 2);
+
+    // The interrupted prefix must match a legacy run stopped at the
+    // same boundary: mid-flight frames, queues, and stats align.
+    driver::RunResult legacy_stopped = runOnce(false, mid);
+    EXPECT_TRUE(stopped.equals(legacy_stopped))
+        << "interrupted prefix diverged at cycle "
+        << stopped.interruptCycle;
+
+    driver::RunResult resumed = runOnce(true, {});
+    EXPECT_TRUE(resumed.equals(ref))
+        << "replay after interruption diverged";
+}
+
+/**
+ * The TAPAS_NO_LOWERING escape hatch: non-empty and not "0" disables
+ * lowering at simulator construction; the engine-level knob is not
+ * consulted by the env path. Restores the environment on exit.
+ */
+TEST(LowerEquiv, EnvKnobDisablesLowering)
+{
+    // The whole suite may legitimately run under TAPAS_NO_LOWERING=1
+    // (CI's legacy leg does); stash any pre-set value and restore it.
+    const char *prior = ::getenv("TAPAS_NO_LOWERING");
+    std::string saved = prior ? prior : "";
+
+    ::unsetenv("TAPAS_NO_LOWERING");
+    EXPECT_FALSE(ir::loweringDisabledByEnv());
+    ::setenv("TAPAS_NO_LOWERING", "0", 1);
+    EXPECT_FALSE(ir::loweringDisabledByEnv());
+    ::setenv("TAPAS_NO_LOWERING", "1", 1);
+    EXPECT_TRUE(ir::loweringDisabledByEnv());
+
+    auto w = workloads::makeFib(10);
+    auto design = hls::compile(*w.module, w.top, w.params);
+    ASSERT_NE(design->lowered, nullptr);
+    ir::MemImage mem(kMemBytes);
+    {
+        sim::AcceleratorSim sim(*design, mem);
+        EXPECT_FALSE(sim.useLowering);
+    }
+    ::unsetenv("TAPAS_NO_LOWERING");
+    {
+        sim::AcceleratorSim sim(*design, mem);
+        EXPECT_TRUE(sim.useLowering);
+    }
+
+    if (prior)
+        ::setenv("TAPAS_NO_LOWERING", saved.c_str(), 1);
+}
+
+/**
+ * The compiled tables ride the design: a prepared CompiledDesign
+ * carries one immutable LoweredProgram that every simulation of that
+ * design shares; repeated lowered runs of the shared design are
+ * byte-identical to each other and to a legacy run of the same
+ * design.
+ */
+TEST(LowerEquiv, SharedDesignRunsByteIdentical)
+{
+    auto w = workloads::makeMergeSort(256, 32);
+    driver::AccelSimEngine eng;
+    driver::CompiledDesign design = eng.prepare(w);
+    ASSERT_NE(design.get().lowered, nullptr);
+    EXPECT_GT(design.get().lowered->numFuncs(), 0u);
+    EXPECT_GT(design.timings.lowerSec, 0.0);
+
+    auto runShared = [&](bool lowering) {
+        driver::AccelSimEngine::Options eo;
+        eo.lowering = lowering;
+        driver::AccelSimEngine e2(std::move(eo));
+        return e2.runWorkload(w, design, kMemBytes);
+    };
+    driver::RunResult a = runShared(true);
+    driver::RunResult b = runShared(true);
+    driver::RunResult legacy = runShared(false);
+    EXPECT_TRUE(a.ok());
+    EXPECT_TRUE(a.equals(b));
+    EXPECT_TRUE(a.equals(legacy));
+}
+
+} // namespace

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Lowering-equivalence smoke: the full tapas-cc --json document must
+# be byte-identical between the lowered engine (default) and the
+# legacy IR walkers (TAPAS_NO_LOWERING=1) once the volatile host-side
+# keys are stripped (tools/strip_volatile.py). This is the end-to-end
+# leg of the differential suite in tests/sim_lower_test.cc: it covers
+# the JSON renderer and every stat the document flattens, not just
+# RunResult::equals.
+#
+# Usage: lowering_equiv_test.sh <tapas-cc-binary> <source-dir>
+set -euo pipefail
+
+cc="$1"
+src="$2"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+run_case() {
+    local name="$1"; shift
+    "$cc" "$@" --json "$tmp/$name.low.json" >/dev/null
+    TAPAS_NO_LOWERING=1 \
+        "$cc" "$@" --json "$tmp/$name.leg.json" >/dev/null
+    python3 "$src/tools/strip_volatile.py" "$tmp/$name.low.json" \
+        > "$tmp/$name.low.norm"
+    python3 "$src/tools/strip_volatile.py" "$tmp/$name.leg.json" \
+        > "$tmp/$name.leg.norm"
+    if ! diff -u "$tmp/$name.leg.norm" "$tmp/$name.low.norm"; then
+        echo "FAIL: $name: lowered vs legacy JSON diverged" >&2
+        exit 1
+    fi
+    echo "ok: $name"
+}
+
+run_case vector_scale "$src/examples/vector_scale.tir" \
+    --opt --run @vec 64
+run_case parallel_fib "$src/examples/parallel_fib.tir" \
+    --ntasks 2048 --run 12
+echo "lowering equivalence: all cases byte-identical"

@@ -3,9 +3,9 @@
 
 Compares a fresh `bench/sim_throughput --json` report against the
 checked-in baseline (BENCH_simspeed.json at the repo root) row by row,
-keyed on (workload, scheduler, tiles) — rows lacking a scheduler key
-(pre-event-core baselines) key on (workload, "", tiles) and still
-match a current report without one. The metric is simulated KHz —
+keyed on (workload, scheduler, lowering, tiles) — rows lacking a
+scheduler or lowering key (older baselines) key on "" for the missing
+field and still match a current report without one. The metric is simulated KHz —
 simulated cycles per wall-clock second — so it tracks simulator
 speed, not workload behavior. Cycle counts are also cross-checked
 exactly: a cycle drift means the simulator's *timing model* changed,
@@ -42,7 +42,7 @@ import sys
 
 
 def load_rows(path):
-    """Map (workload, scheduler, tiles) -> row dict from a report."""
+    """Map (workload, scheduler, lowering, tiles) -> row dict."""
     with open(path) as f:
         doc = json.load(f)
     rows = doc.get("rows", [])
@@ -54,14 +54,23 @@ def load_rows(path):
             print(f"  warn: {path} has a row without workload/tiles "
                   "keys; skipped")
             continue
-        out[(r["workload"], r.get("scheduler", ""), r["tiles"])] = r
+        out[(r["workload"], r.get("scheduler", ""),
+             r.get("lowering", ""), r["tiles"])] = r
     return out
 
 
+def row_label(key):
+    workload, scheduler, lowering, _tiles = key
+    label = workload
+    if scheduler:
+        label += f"/{scheduler}"
+    if lowering:
+        label += f"/low={lowering}"
+    return label
+
+
 def row_name(key):
-    workload, scheduler, tiles = key
-    label = f"{workload}/{scheduler}" if scheduler else workload
-    return f"{label} x{tiles}"
+    return f"{row_label(key)} x{key[3]}"
 
 
 def main():
@@ -121,8 +130,8 @@ def main():
             status = "warn"
         else:
             status = "ok"
-        label = f"{key[0]}/{key[1]}" if key[1] else key[0]
-        print(f"{label:<22} {key[2]:>5} {b['sim_khz']:>10.1f} "
+        label = row_label(key)
+        print(f"{label:<22} {key[3]:>5} {b['sim_khz']:>10.1f} "
               f"{c['sim_khz']:>10.1f} {ratio:>6.2f}x  {status}")
         b_eps = b.get("events_per_sec")
         c_eps = c.get("events_per_sec")

@@ -566,6 +566,7 @@ main(int argc, char **argv)
         jt.set("opt_sec", Json::num(cd.timings.optSec));
         jt.set("unroll_sec", Json::num(cd.timings.unrollSec));
         jt.set("codegen_sec", Json::num(cd.timings.codegenSec));
+        jt.set("lower_sec", Json::num(cd.timings.lowerSec));
         jt.set("total_sec", Json::num(cd.timings.totalSec));
         doc.set("compile_timings", std::move(jt));
     }
